@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction workflow.
+
+PY ?= python
+
+.PHONY: install test bench report examples all clean
+
+install:
+	pip install -e . --no-build-isolation || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+report: bench
+	$(PY) -m repro report
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/trace_debugging.py
+	$(PY) examples/adversarial_gadgets.py
+	$(PY) examples/video_conference_wan.py
+	$(PY) examples/supercomputer_mesh.py
+	$(PY) examples/upgrade_study.py
+
+all: test bench report
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

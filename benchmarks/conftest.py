@@ -1,0 +1,33 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one experiment table (see DESIGN.md's
+experiment index). pytest captures stdout, so tables are also written to
+``benchmarks/results/<name>.txt`` -- those files are the reproduction's
+artifact set, referenced by EXPERIMENTS.md. Run with ``-s`` to watch the
+tables live.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Persist (and print) one or more experiment tables."""
+
+    def _save(name: str, tables):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        if not isinstance(tables, (list, tuple)):
+            tables = [tables]
+        text = "\n\n".join(t.format() for t in tables)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return tables
+
+    return _save

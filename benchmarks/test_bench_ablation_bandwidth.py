@@ -1,0 +1,14 @@
+"""E-AB2: bandwidth sweep -- the L*C~/B congestion term in isolation."""
+
+from repro.experiments import exp_ablations
+
+
+def test_bench_ablation_bandwidth(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_ablations.run_bandwidth_sweep(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ab2", table)
+    times = table.column("time(mean)")
+    assert all(a >= b for a, b in zip(times, times[1:]))  # more B, never slower

@@ -1,0 +1,47 @@
+"""E-AB3: model ablations -- worm length, tie rule, acknowledgement mode."""
+
+from repro.experiments import exp_ablations
+
+
+def test_bench_ablation_length(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_ablations.run_length_sweep(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ab3_length", table)
+    times = table.column("time(mean)")
+    assert times[-1] > times[0]
+
+
+def test_bench_ablation_tie_rule(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_ablations.run_tie_rule(trials=10, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ab3_tie", table)
+    times = table.column("time(mean)")
+    assert max(times) < 3 * min(times)  # the unspecified case is benign
+
+
+def test_bench_ablation_acks(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_ablations.run_ack_modes(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ab3_acks", table)
+    assert len(table.rows) == 3
+
+
+def test_bench_ablation_priority_modes(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_ablations.run_priority_modes(trials=10, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ab3_priority", table)
+    rounds = table.column("rounds(mean)")
+    # MT 1.3's indifference to the priority assignment.
+    assert max(rounds) - min(rounds) <= 1.0

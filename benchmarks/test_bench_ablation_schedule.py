@@ -1,0 +1,14 @@
+"""E-AB1: delay-schedule ablation (geometric vs paper vs fixed vs none)."""
+
+from repro.experiments import exp_ablations
+
+
+def test_bench_ablation_schedule(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_ablations.run_schedule_ablation(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ab1", table)
+    rounds = dict(zip(table.column("schedule"), table.column("rounds(mean)")))
+    assert rounds["zero-delay"] > rounds["geometric(c=2)"]

@@ -1,0 +1,18 @@
+"""E-ADV: the fully assembled Section-2.2 / 3.2 lower-bound instances."""
+
+from repro.experiments import exp_adversary
+
+
+def test_bench_adversary(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_adversary.run_assembled(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_adv", table)
+    rows = {(r[0], r[1]): r for r in table.rows}
+    sf = rows[("S3.2 (triangles+bundles)", "serve-first")]
+    pr = rows[("S3.2 (triangles+bundles)", "priority")]
+    # Priority shortens the triangle tail on the assembled instance too.
+    assert pr[2] <= sf[2]
+    assert pr[4] <= sf[4]

@@ -1,0 +1,15 @@
+"""E-CMP: trial-and-failure vs wavelength conversion vs offline TDM."""
+
+from repro.experiments import exp_baselines
+
+
+def test_bench_baselines(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_baselines.run(trials=5, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_cmp", tables)
+    three_way = tables[0]
+    tdm = three_way.column("tdm makespan")
+    tf = three_way.column("t&f time")
+    # The offline schedule is the coordination floor on every workload.
+    assert all(a <= b for a, b in zip(tdm, tf))

@@ -1,0 +1,61 @@
+"""E-ENG: raw engine throughput (events/second) for both rules.
+
+The one genuine microbenchmark: how fast the discrete-event core chews
+through head-arrival events on a dense, collision-heavy instance. All
+other benchmarks time experiment regeneration end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import RoutingEngine
+from repro.optics.coupler import CollisionRule
+from repro.paths.gadgets import type2_bundle
+from repro.worms.worm import Launch, make_worms
+from repro.experiments.workloads import butterfly_q_function
+
+WORM_LENGTH = 4
+
+
+def _bundle_setup(congestion, D, bandwidth, seed=0):
+    coll = type2_bundle(congestion=congestion, D=D).collection
+    worms = make_worms(coll.paths, WORM_LENGTH)
+    rng = np.random.default_rng(seed)
+    delays = rng.integers(0, 4 * congestion, size=coll.n)
+    wls = rng.integers(0, bandwidth, size=coll.n)
+    ranks = rng.permutation(coll.n)
+    launches = [
+        Launch(worm=i, delay=int(delays[i]), wavelength=int(wls[i]),
+               priority=int(ranks[i]))
+        for i in range(coll.n)
+    ]
+    return worms, launches
+
+
+@pytest.mark.parametrize("rule", [CollisionRule.SERVE_FIRST, CollisionRule.PRIORITY])
+def test_bench_engine_bundle(benchmark, rule):
+    """One round over a 512-worm bundle (dense same-link contention)."""
+    worms, launches = _bundle_setup(congestion=512, D=16, bandwidth=4)
+    engine = RoutingEngine(worms, rule)
+    result = benchmark(
+        lambda: engine.run_round(launches, collect_collisions=False)
+    )
+    assert result.n_delivered + result.n_failed == 512
+
+
+def test_bench_engine_butterfly(benchmark):
+    """One round over a ~2000-worm butterfly q-function (sparse conflicts)."""
+    coll = butterfly_q_function(8, q=8, rng=0)
+    worms = make_worms(coll.paths, WORM_LENGTH)
+    rng = np.random.default_rng(1)
+    delays = rng.integers(0, 64, size=coll.n)
+    wls = rng.integers(0, 4, size=coll.n)
+    launches = [
+        Launch(worm=i, delay=int(delays[i]), wavelength=int(wls[i]))
+        for i in range(coll.n)
+    ]
+    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+    result = benchmark(
+        lambda: engine.run_round(launches, collect_collisions=False)
+    )
+    assert len(result.outcomes) == coll.n

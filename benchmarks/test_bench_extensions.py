@@ -1,0 +1,42 @@
+"""E-EXT1/2/3: the Section-4 open problems probed empirically."""
+
+from repro.experiments import exp_extensions
+
+
+def test_bench_ext_sparse_conversion(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_extensions.run_sparse_conversion(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ext1", table)
+    # On the bundle rows, full conversion must not beat zero conversion.
+    bundle_rows = [r for r in table.rows if r[0].startswith("bundle")]
+    zero = next(r for r in bundle_rows if r[1] == 0.0)
+    full = next(r for r in bundle_rows if r[1] == 1.0)
+    assert full[3] >= zero[3]
+
+
+def test_bench_ext_multihop(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_extensions.run_multihop(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ext2", table)
+    segs = table.column("optical D per segment")
+    assert segs[0] > segs[-1]  # hops shorten the optical dilation
+
+
+def test_bench_ext_simple_paths(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_extensions.run_simple_paths(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_ext3", table)
+    with_sc = table.column("rounds w/ shortcuts")
+    control = table.column("rounds matched scf")
+    # No blow-up: shortcut-bearing rounds stay within 2x of the control.
+    for a, b in zip(with_sc, control):
+        assert a <= 2 * b + 1

@@ -1,0 +1,20 @@
+"""E-HARD: worst-case permutations vs Valiant's randomised two-phase."""
+
+from repro.experiments import exp_hard_permutations
+
+
+def test_bench_hard_permutations(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_hard_permutations.run(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_hard", tables)
+    mesh, cube = tables
+    # The hypercube congestion separation: direct C~ doubles per dim while
+    # Valiant's stays nearly flat.
+    direct = cube.column("direct C~")
+    valiant = cube.column("valiant C~(max phase)")
+    assert direct[-1] >= 2 * direct[-3]
+    assert valiant[-1] <= 2 * valiant[0] + 4
+    assert direct[-1] > valiant[-1]

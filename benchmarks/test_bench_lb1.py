@@ -1,0 +1,32 @@
+"""E-LB1: Section 2.2 lower bound -- staircase chains (Fig. 5, Lemma 2.8).
+
+Regenerates the staircase round-scaling table and the Lemma 2.8 chain
+probability table; the measured probabilities must dominate the analytic
+lower bound.
+"""
+
+from repro.experiments import exp_lower_bounds
+
+
+def test_bench_lb1_rounds(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_lower_bounds.run_staircase_rounds(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_lb1_rounds", table)
+    rounds = table.column("rounds(mean)")
+    assert rounds[-1] >= rounds[0]
+
+
+def test_bench_lb1_chain_probability(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_lower_bounds.run_chain_probability(trials=3000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_lb1_chain", table)
+    measured = table.column("P[first i discarded] measured")
+    lower = table.column("lower bound ((L-1)/2BD)^i")
+    for m, lb in zip(measured, lower):
+        assert m >= lb * 0.8  # Monte-Carlo slack on the deepest chains

@@ -1,0 +1,23 @@
+"""E-LB2: Section 2.2 lower bound -- bundle survivor decay (Lemma 2.10).
+
+Regenerates the survivor-trajectory table: the collapse is doubly
+exponential and the mean trajectory respects the Lemma 2.10 floor.
+"""
+
+from repro.experiments import exp_lower_bounds
+
+
+def test_bench_lb2(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_lower_bounds.run_bundle_decay(
+            congestion=256, trials=5, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_lb2", table)
+    surv = table.column("survivors(mean)")
+    floors = table.column("lemma2.10 floor")
+    assert surv[0] == 256
+    for s, f in zip(surv, floors):
+        assert s >= 0.9 * f

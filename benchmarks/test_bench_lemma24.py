@@ -1,0 +1,16 @@
+"""E-L24: Lemma 2.4 -- congestion halving under the paper's schedule."""
+
+from repro.experiments import exp_lemma24
+
+
+def test_bench_lemma24(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_lemma24.run(trials=5, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_l24", tables)
+    bundle = tables[0]
+    meas = bundle.column("C~_t measured(max)")
+    env = bundle.column("lemma2.4 envelope C/2^(t-1)")
+    logf = bundle.column("log2 n floor")
+    for m, e, lf in zip(meas, env, logf):
+        assert m <= max(e, 4 * lf)

@@ -1,0 +1,17 @@
+"""E-T11: Main Theorem 1.1 -- leveled collections, serve-first routers.
+
+Regenerates the round/time scaling tables for butterfly permutations and
+staircase fields (results/e_t11.txt) and times the regeneration.
+"""
+
+from repro.experiments import exp_mt11
+
+
+def test_bench_mt11(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_mt11.run(trials=5, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_t11", tables)
+    butterfly = tables[0]
+    # Shape acceptance: rounds stay tiny across the n sweep.
+    assert max(butterfly.column("rounds(max)")) <= 8

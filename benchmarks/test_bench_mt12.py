@@ -1,0 +1,20 @@
+"""E-T12: Main Theorem 1.2 -- serve-first routers on cyclic collections.
+
+Regenerates the serve-first half of the triangle-field comparison: round
+counts must *grow* with n (the log_alpha n degradation unique to
+serve-first + cyclic blocking). The joint serve-first/priority table is
+produced once here and asserted from both angles (test_bench_mt13 covers
+the priority half).
+"""
+
+from repro.experiments import exp_mt12_13
+
+
+def test_bench_mt12(benchmark, save_table):
+    (table,) = benchmark.pedantic(
+        lambda: exp_mt12_13.run(trials=5, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_t12_t13", table)
+    sf = table.column("rounds_sf(mean)")
+    # Serve-first degrades as the field grows.
+    assert sf[-1] > sf[0]

@@ -1,0 +1,23 @@
+"""E-T13: Main Theorem 1.3 -- priority routers on cyclic collections.
+
+The priority half of the triangle-field comparison: round counts stay
+nearly flat with n and beat serve-first by a growing factor.
+"""
+
+from repro.experiments import exp_mt12_13
+
+
+def test_bench_mt13(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_mt12_13.run_rule_comparison(
+            structure_counts=(2, 8, 32, 128), trials=5, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_t13", table)
+    pr = table.column("rounds_pr(mean)")
+    ratios = table.column("sf/pr")
+    # Priority stays ~flat and wins at scale.
+    assert pr[-1] <= pr[0] + 2
+    assert ratios[-1] > 1.5

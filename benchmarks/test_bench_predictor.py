@@ -1,0 +1,20 @@
+"""E-PRED: the analytic mean-field model vs the simulator."""
+
+from repro.experiments import exp_predictor
+
+
+def test_bench_predictor(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_predictor.run(trials=8, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_pred", tables)
+    bundles, meshes = tables
+    # Per-round agreement: model within a factor ~2 of simulation while
+    # counts are macroscopic.
+    for row in bundles.rows:
+        _, _, model, sim = row
+        if sim >= 4:
+            assert 0.4 * sim <= model <= 2.5 * sim
+    for row in meshes.rows:
+        _, _, model_rounds, sim_rounds = row
+        assert abs(model_rounds - sim_rounds) <= 2

@@ -1,0 +1,29 @@
+"""E-RWA and E-FAULT: static assignment trade-off and fault resilience."""
+
+from repro.experiments import exp_resilience, exp_rwa
+
+
+def test_bench_rwa(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_rwa.run_channels_vs_rounds(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_rwa", table)
+    channels = table.column("RWA channels")
+    congestion = table.column("C~")
+    # Greedy RWA never needs more than the path congestion.
+    for ch, c in zip(channels, congestion):
+        assert ch <= c
+
+
+def test_bench_fault(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: exp_resilience.run_fault_sweep(trials=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("e_fault", table)
+    assert all(table.column("completed"))
+    rounds = table.column("rounds(mean)")
+    assert rounds[-1] > rounds[0]  # faults cost rounds, gracefully

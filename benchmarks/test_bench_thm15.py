@@ -1,0 +1,15 @@
+"""E-T15: Theorem 1.5 -- random functions on node-symmetric networks."""
+
+from repro.experiments import exp_thm15
+
+
+def test_bench_thm15(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_thm15.run(trials=5, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_t15", tables)
+    congestion = tables[0]
+    meas = congestion.column("C~(max)")
+    pred = congestion.column("D^2 + log n")
+    for m, p in zip(meas, pred):
+        assert m <= p  # the O(D^2 + log n) congestion claim, constant 1

@@ -1,0 +1,14 @@
+"""E-T16: Theorem 1.6 -- random functions on d-dimensional meshes."""
+
+from repro.experiments import exp_thm16
+
+
+def test_bench_thm16(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_thm16.run(trials=5, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_t16", tables)
+    side_sweep = tables[0]
+    rounds = side_sweep.column("rounds(mean)")
+    # 16x more worms adds at most a few rounds: the sqrt(d)+loglog n claim.
+    assert rounds[-1] - rounds[0] <= 3

@@ -1,0 +1,13 @@
+"""E-T17: Theorem 1.7 -- random q-functions on butterflies."""
+
+from repro.experiments import exp_thm17
+
+
+def test_bench_thm17(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_thm17.run(trials=5, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_t17", tables)
+    q_sweep = tables[0]
+    times = q_sweep.column("time(mean)")
+    assert all(a <= b for a, b in zip(times, times[1:]))  # more load, more time

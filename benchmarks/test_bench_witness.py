@@ -1,0 +1,18 @@
+"""E-F4: witness trees on real runs (Fig. 4, Claim 2.6 dichotomy)."""
+
+from repro.experiments import exp_witness
+
+
+def test_bench_witness(benchmark, save_table):
+    tables = benchmark.pedantic(
+        lambda: exp_witness.run(trials=10, seed=0), rounds=1, iterations=1
+    )
+    save_table("e_f4", tables)
+    forest, cycles, depths = tables
+    # Witness-tree depths stay loglog-small even at C~ = 256.
+    assert max(depths.column("max depth")) <= 8
+    winner_row = dict(zip(forest.columns, forest.rows[0]))
+    assert winner_row["forests (Claim 2.6)"] == winner_row["blocking graphs"]
+    by_rule = {r[0]: r for r in cycles.rows}
+    assert by_rule["priority"][2] == 0  # no cycles under priority, ever
+    assert by_rule["serve-first"][2] > 0

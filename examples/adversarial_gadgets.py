@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Tour of the paper's lower-bound gadgets and witness trees.
+
+Three constructions drive the paper's lower bounds, and this example runs
+all of them and prints what the proofs predict:
+
+* the **staircase** (Fig. 5): worms can discard each other in a chain
+  (Lemma 2.8) -- with equal delays only the last worm survives;
+* the **cyclic triangle** (Section 3.2): three worms block each other in a
+  cycle; serve-first routers keep burning rounds on it while priority
+  routers dissolve it instantly (the Main Theorem 1.2 vs 1.3 gap);
+* the **bundle** (type-2): C identical paths whose survivor count
+  collapses doubly exponentially (Lemma 2.10).
+
+Finally it extracts a real witness tree (Fig. 4) from a logged execution
+and verifies Definition 2.1 and Claim 2.6 on it.
+
+Run:  python examples/adversarial_gadgets.py
+"""
+
+from repro import (
+    CollisionRule,
+    FixedSchedule,
+    GeometricSchedule,
+    route_collection,
+    type1_staircase,
+    type1_triangle,
+    type2_bundle,
+)
+from repro.core.engine import RoutingEngine
+from repro.core.witness import (
+    blocking_graphs,
+    build_witness_tree,
+    check_blocking_forest,
+    validate_witness_tree,
+)
+from repro.experiments.runner import trial_mean
+from repro.worms.worm import Launch, make_worms
+
+L = 4
+SEED = 3
+
+
+def staircase_demo() -> None:
+    print("== staircase (Fig. 5, Lemma 2.8) ==")
+    k = 6
+    g = type1_staircase(k=k, D=20, L=L)
+    worms = make_worms(g.collection.paths, L)
+    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+    res = engine.run_round([Launch(worm=i, delay=0, wavelength=0) for i in range(k)])
+    print(
+        f"equal delays on {k} staggered paths: survivors {res.delivered} "
+        "(each worm is discarded by its successor; only the last lives)\n"
+    )
+
+
+def triangle_demo() -> None:
+    print("== cyclic triangle (Section 3.2) ==")
+    field_sizes = (4, 64)
+    for count in field_sizes:
+        from repro.experiments.workloads import triangle_field
+
+        coll = triangle_field(count, D=8, L=L).collection
+        rounds = {}
+        for rule in (CollisionRule.SERVE_FIRST, CollisionRule.PRIORITY):
+            rounds[rule] = trial_mean(
+                lambda s, rule=rule: route_collection(
+                    coll,
+                    bandwidth=1,
+                    rule=rule,
+                    worm_length=L,
+                    schedule=FixedSchedule(delta=4),
+                    max_rounds=4000,
+                    track_congestion=False,
+                    rng=s,
+                ).rounds,
+                trials=5,
+                seed=SEED,
+            )
+        sf = rounds[CollisionRule.SERVE_FIRST]
+        pr = rounds[CollisionRule.PRIORITY]
+        print(
+            f"{count:>3} triangles ({3 * count} worms): serve-first "
+            f"{sf:.1f} rounds vs priority {pr:.1f} rounds "
+            f"(ratio {sf / pr:.2f})"
+        )
+    print(
+        "the serve-first/priority gap grows with n -- the Main Theorem "
+        "1.2 vs 1.3 separation\n"
+    )
+
+
+def bundle_demo() -> None:
+    print("== bundle (type-2, Lemma 2.10) ==")
+    g = type2_bundle(congestion=256, D=8)
+    res = route_collection(
+        g.collection,
+        bandwidth=1,
+        worm_length=L,
+        schedule=GeometricSchedule(c_congestion=4.0),
+        rng=SEED,
+    )
+    surv = [r.active_before for r in res.records] + [0]
+    print(f"survivors per round: {surv} (doubly exponential collapse)\n")
+
+
+def witness_demo() -> None:
+    print("== witness tree (Fig. 4, Definitions 2.1/2.3, Claim 2.6) ==")
+    g = type2_bundle(congestion=48, D=6)
+    for seed in range(SEED, SEED + 60):
+        res = route_collection(
+            g.collection,
+            bandwidth=1,
+            worm_length=L,
+            schedule=GeometricSchedule(c_congestion=1.5),
+            collect_collisions=True,
+            rng=seed,
+        )
+        if not res.completed:
+            continue
+        worm = max(res.delivered_round, key=res.delivered_round.get)
+        if res.delivered_round[worm] >= 3:
+            break
+    tree = build_witness_tree(res, worm)
+    depth = res.delivered_round[worm] - 1
+    validate_witness_tree(tree, g.collection)
+    print(
+        f"worm {worm} stayed active {depth} rounds; its witness tree W({depth}) "
+        f"has {sum(1 for _ in tree.iter_nodes())} nodes and is a VALID "
+        "embedding (Definition 2.1)"
+    )
+    for graph in blocking_graphs(tree):
+        chk = check_blocking_forest(graph)
+        print(
+            f"  level {graph['level']}: {len(graph['nodes'])} worms, "
+            f"{len(graph['edges'])} collision pairs, new={sorted(graph['new'])}, "
+            f"forest rooted at new worms: {chk.ok}"
+        )
+
+
+def main() -> None:
+    staircase_demo()
+    triangle_demo()
+    bundle_demo()
+    witness_demo()
+
+
+if __name__ == "__main__":
+    main()

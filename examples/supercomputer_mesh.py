@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Scenario: optical interconnect of a mesh supercomputer (Theorem 1.6).
+
+"High-speed supercomputing and distributed computing" is the paper's
+second motivating application. Here a 3-dimensional mesh of compute nodes
+exchanges data by routing a random function (an all-to-all-style shuffle)
+over dimension-order optical paths, with serve-first routers -- exactly
+Theorem 1.6's setting.
+
+The example shows the theorem's punchline: the number of retry rounds is
+essentially independent of machine size (``sqrt(d) + loglog n``), an
+exponential improvement over the ``Theta(log n)`` rounds that the prior
+analysis of this protocol family ([11]) could guarantee; and it compares
+the online protocol against the offline TDM schedule a central scheduler
+could achieve with global knowledge.
+
+Run:  python examples/supercomputer_mesh.py
+"""
+
+from repro import GeometricSchedule, route_collection, tdm_schedule
+from repro.core import bounds
+from repro.experiments.runner import trial_mean
+from repro.experiments.workloads import mesh_random_function
+from repro._util import log2_safe
+
+D_DIM = 3
+WORM_LENGTH = 4
+BANDWIDTH = 4
+SEED = 23
+
+
+def main() -> None:
+    schedule = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+    print(
+        f"{D_DIM}-dim mesh, random-function shuffle, serve-first routers, "
+        f"B={BANDWIDTH}, L={WORM_LENGTH}\n"
+    )
+    header = (
+        f"{'side':>4}  {'nodes':>6}  {'rounds':>7}  {'log2 n':>7}  "
+        f"{'online time':>11}  {'offline TDM':>11}"
+    )
+    print(header)
+    for side in (4, 6, 8):
+        n_nodes = side**D_DIM
+
+        def rounds_and_time(s, side=side):
+            coll = mesh_random_function(side, D_DIM, rng=s)
+            res = route_collection(
+                coll,
+                bandwidth=BANDWIDTH,
+                worm_length=WORM_LENGTH,
+                schedule=schedule,
+                track_congestion=True,
+                rng=s,
+            )
+            assert res.completed
+            return res.rounds, res.total_time
+
+        rounds = trial_mean(lambda s: rounds_and_time(s)[0], trials=5, seed=SEED)
+        time = trial_mean(lambda s: rounds_and_time(s)[1], trials=5, seed=SEED)
+        coll = mesh_random_function(side, D_DIM, rng=SEED)
+        tdm = tdm_schedule(coll, bandwidth=BANDWIDTH, worm_length=WORM_LENGTH)
+        print(
+            f"{side:>4}  {n_nodes:>6}  {rounds:>7.1f}  "
+            f"{log2_safe(n_nodes):>7.1f}  {time:>11.0f}  {tdm.makespan:>11}"
+        )
+
+    print(
+        "\nreading: rounds stay ~flat while log2(n) grows -- the paper's "
+        "exponential improvement over the O(log n)-round guarantee of "
+        "Cypher et al. [11]. The online, coordination-free protocol lands "
+        "within a small factor of the offline TDM schedule."
+    )
+    print(
+        f"\nTheorem 1.6 time shape at side=8: "
+        f"{bounds.theorem16_time(8, D_DIM, BANDWIDTH, WORM_LENGTH):.0f} "
+        f"(constants dropped); [11]'s B=1 shape: "
+        f"{bounds.cypher_mesh_time(8, D_DIM, WORM_LENGTH):.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scenario: should an operator buy converters, hop stations, or fibers?
+
+The paper's Section 4 asks what changes when routers can convert
+wavelengths (at a few places) or worms may take a bounded number of
+electrical hops. This example plays network architect: starting from a
+plain bufferless WDM backbone (a long-haul chain carrying bundled
+traffic), it prices three upgrades against each other at equal routing
+semantics:
+
+* more wavelengths per fiber (raise ``B``),
+* sparse wavelength converters (25% of routers),
+* two electrical hop stations per connection (OEO regeneration).
+
+It also consults the mean-field predictor first -- the analytic model
+answers "how many retry rounds will this take?" without running the
+simulator at all.
+
+Run:  python examples/upgrade_study.py
+"""
+
+from repro import (
+    GeometricSchedule,
+    predict_rounds,
+    route_collection,
+    route_multihop,
+    route_with_sparse_conversion,
+)
+from repro.experiments.runner import trial_mean
+from repro.extensions.sparse_conversion import random_converter_nodes
+from repro.paths.gadgets import type2_bundle
+
+CONGESTION = 48  # connections sharing the backbone
+SPAN = 20  # links end to end
+WORM_LENGTH = 6
+SEED = 31
+
+SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+
+def main() -> None:
+    coll = type2_bundle(congestion=CONGESTION, D=SPAN).collection
+    print(
+        f"backbone: {CONGESTION} connections over a {SPAN}-link span, "
+        f"L={WORM_LENGTH} flit bursts\n"
+    )
+
+    print("analytic forecast (mean-field model, no simulation):")
+    for B in (2, 4, 8):
+        rounds = predict_rounds(
+            coll, bandwidth=B, worm_length=WORM_LENGTH, schedule=SCHEDULE
+        )
+        print(f"  B={B}: ~{rounds} retry rounds expected")
+
+    base_B = 4
+    converters = random_converter_nodes(coll, 0.25, rng=SEED)
+
+    options = {
+        f"baseline (B={base_B})": lambda s: route_collection(
+            coll, bandwidth=base_B, worm_length=WORM_LENGTH,
+            schedule=SCHEDULE, rng=s,
+        ).total_time,
+        f"double fibers (B={2 * base_B})": lambda s: route_collection(
+            coll, bandwidth=2 * base_B, worm_length=WORM_LENGTH,
+            schedule=SCHEDULE, rng=s,
+        ).total_time,
+        "25% converters": lambda s: route_with_sparse_conversion(
+            coll, bandwidth=base_B, converters=converters,
+            worm_length=WORM_LENGTH, schedule=SCHEDULE, rng=s,
+        ).total_time,
+        "2 hop stations": lambda s: route_multihop(
+            coll, bandwidth=base_B, hops=2, worm_length=WORM_LENGTH,
+            schedule=SCHEDULE, rng=s,
+        ).total_time,
+    }
+
+    print("\nsimulated upgrade comparison (mean over 5 trials):")
+    for name, runner in options.items():
+        time = trial_mean(runner, trials=5, seed=SEED)
+        print(f"  {name:<24} {time:>8.0f} steps")
+
+    print(
+        "\nreading: on a congestion-dominated backbone, extra wavelengths "
+        "attack the L*C~/B term directly and win; converters only multiply "
+        "collision opportunities under trial-and-failure semantics, and "
+        "hop stations pay a full extra protocol phase per segment -- "
+        "matching the paper's focus on conversion-free routing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Scenario: multi-site video conferencing over an all-optical WAN.
+
+The paper motivates all-optical networks with "video conferencing,
+scientific visualization and real-time medical imaging" (Section 1). This
+example models a metropolitan WAN as a 2-dimensional torus of optical
+routers (node-symmetric, so Theorem 1.5's path system applies). Each
+conference is a set of long-lived point-to-point sessions; we ask two
+provisioning questions:
+
+* how many wavelengths (router bandwidth B) does the operator need for a
+  target setup latency?
+* do priority-capable routers (more expensive hardware, Section 1's
+  power-level prototypes) buy anything over plain serve-first couplers on
+  this workload?
+
+Run:  python examples/video_conference_wan.py
+"""
+
+import numpy as np
+
+from repro import (
+    CollisionRule,
+    GeometricSchedule,
+    Torus,
+    torus_path_collection,
+    route_collection,
+)
+from repro.experiments.runner import trial_mean
+
+SIDE = 8  # 8x8 torus: 64 router sites
+SESSIONS_PER_SITE = 2  # two outgoing video sessions per site
+WORM_LENGTH = 8  # a video burst: 8 flits
+SEED = 11
+
+
+def conference_pairs(t: Torus, per_site: int, rng) -> list[tuple]:
+    """Each site opens `per_site` sessions to uniformly random peers."""
+    nodes = t.nodes
+    pairs = []
+    for src in nodes:
+        for _ in range(per_site):
+            dst = nodes[int(rng.integers(len(nodes)))]
+            if dst != src:
+                pairs.append((src, dst))
+    return pairs
+
+
+def main() -> None:
+    t = Torus((SIDE, SIDE))
+    rng = np.random.default_rng(SEED)
+    pairs = conference_pairs(t, SESSIONS_PER_SITE, rng)
+    collection = torus_path_collection(t, pairs)
+    print(
+        f"WAN: {t!r}; {collection.n} sessions, D={collection.dilation}, "
+        f"C~={collection.path_congestion}"
+    )
+
+    schedule = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+    print("\nprovisioning sweep (mean over 5 trials):")
+    print(f"{'B':>3}  {'rule':<12}  {'rounds':>7}  {'setup time (steps)':>19}")
+    for bandwidth in (1, 2, 4, 8):
+        for rule in (CollisionRule.SERVE_FIRST, CollisionRule.PRIORITY):
+            def one(s, bandwidth=bandwidth, rule=rule):
+                res = route_collection(
+                    collection,
+                    bandwidth=bandwidth,
+                    rule=rule,
+                    worm_length=WORM_LENGTH,
+                    schedule=schedule,
+                    rng=s,
+                )
+                assert res.completed
+                return res.total_time
+
+            time = trial_mean(one, trials=5, seed=SEED)
+            rounds = trial_mean(
+                lambda s, bandwidth=bandwidth, rule=rule: route_collection(
+                    collection,
+                    bandwidth=bandwidth,
+                    rule=rule,
+                    worm_length=WORM_LENGTH,
+                    schedule=schedule,
+                    rng=s,
+                ).rounds,
+                trials=5,
+                seed=SEED,
+            )
+            print(f"{bandwidth:>3}  {rule.value:<12}  {rounds:>7.1f}  {time:>19.0f}")
+
+    print(
+        "\nreading: total time scales ~1/B while congestion dominates "
+        "(the L*C~/B term); on this torus workload the collections are "
+        "short-cut free without blocking cycles, so serve-first couplers "
+        "already achieve the priority-level round count -- the paper's "
+        "expensive priority hardware is unnecessary here (it pays off on "
+        "cyclically-blocking collections; see examples/adversarial_gadgets.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the environment has no `wheel`, so editable installs
+must go through setuptools' develop command (`--no-use-pep517`)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""Small shared helpers: RNG plumbing, math utilities, validation.
+
+Every stochastic component in the library accepts either an integer seed,
+``None`` (fresh OS entropy) or an existing :class:`numpy.random.Generator`.
+Funnelling all of them through :func:`as_generator` keeps experiments
+reproducible end to end: an experiment seeds a root generator and spawns
+independent child streams per trial/round with :func:`spawn_generator`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_generator",
+    "spawn_generator",
+    "log2_safe",
+    "loglog",
+    "log_base",
+    "ceil_div",
+    "check_positive",
+    "check_non_negative",
+    "pairwise",
+]
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_generator(seed: "int | None | np.random.Generator | np.random.SeedSequence") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generator(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used to give each trial / round / worm-batch its own stream so that
+    parallel or reordered execution cannot perturb other streams.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))
+
+
+def log2_safe(x: float) -> float:
+    """``log2(x)`` clamped so that arguments below 2 return 1.
+
+    The paper's bound formulas divide by logarithms that degenerate for
+    tiny instances; clamping keeps the formulas finite and monotone there.
+    """
+    return max(1.0, math.log2(max(2.0, float(x))))
+
+
+def log_base(x: float, base: float) -> float:
+    """``log_base(x)`` with both arguments clamped to be > 1."""
+    x = max(2.0, float(x))
+    base = max(2.0, float(base))
+    return math.log(x) / math.log(base)
+
+
+def loglog(x: float) -> float:
+    """``log2(log2(x))`` clamped to be >= 1."""
+    return max(1.0, math.log2(log2_safe(x)))
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    return -(-a // b)
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def pairwise(seq: Sequence) -> Iterable[tuple]:
+    """Yield consecutive pairs ``(seq[i], seq[i+1])``."""
+    return zip(seq, seq[1:])

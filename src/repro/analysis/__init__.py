@@ -1,0 +1,52 @@
+"""Analytic companions to the simulator.
+
+* :mod:`repro.analysis.collisions` -- exact pairwise collision geometry:
+  for two worms on fixed paths, the set of delay differences that makes
+  them interact, and the resulting collision probability under the
+  protocol's randomness. For shortcut-free pairs in isolation this is
+  exact (cross-validated against the engine in the test suite).
+* :mod:`repro.analysis.predictor` -- a mean-field round model built on the
+  pairwise probabilities: predicts per-round survivor counts and
+  rounds-to-completion without simulating, so experiments can show
+  model-vs-simulation agreement;
+* :mod:`repro.analysis.expected` -- exact expected edge loads of path
+  systems under random functions (the [27] property Theorem 1.5 quotes);
+* :mod:`repro.analysis.chernoff` -- the Hagerup-Rueb tail bounds the
+  paper's w.h.p. steps instantiate.
+"""
+
+from repro.analysis.collisions import (
+    blocking_windows,
+    interaction_windows,
+    pair_collision_probability,
+    pair_blocking_probability,
+)
+from repro.analysis.predictor import (
+    MeanFieldPrediction,
+    predict_rounds,
+    survival_trajectory,
+)
+from repro.analysis.expected import (
+    link_usage,
+    expected_edge_load,
+    max_expected_edge_load,
+    verifies_meyer_scheideler_property,
+)
+from repro.analysis.chernoff import chernoff_upper, chernoff_lower, whp_threshold
+
+__all__ = [
+    "blocking_windows",
+    "interaction_windows",
+    "pair_collision_probability",
+    "pair_blocking_probability",
+    "MeanFieldPrediction",
+    "predict_rounds",
+    "survival_trajectory",
+    "link_usage",
+    "expected_edge_load",
+    "max_expected_edge_load",
+    "verifies_meyer_scheideler_property",
+    "chernoff_upper",
+    "chernoff_lower",
+    "whp_threshold",
+]

@@ -1,0 +1,71 @@
+"""Chernoff bounds as used by the paper (Hagerup & Rueb [18]).
+
+Lemma 2.4 bounds the congestion after a round by applying, for
+``X = sum of independent 0/1 variables`` with mean ``mu``:
+
+    P[X >= (1 + eps) mu]  <=  (e^eps / (1 + eps)^(1 + eps))^mu
+
+and Lemma 2.10's appendix uses the lower-tail form
+
+    P[X <= (1 - eps) mu]  <=  e^(-eps^2 mu / 2).
+
+These are provided both for the experiments (plotting predicted tail
+envelopes next to Monte-Carlo estimates) and for tests that check the
+simulator's empirical tails never violate them on genuinely independent
+workloads.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_upper",
+    "chernoff_lower",
+    "whp_threshold",
+]
+
+
+def chernoff_upper(mu: float, eps: float) -> float:
+    """Upper-tail bound ``P[X >= (1+eps) mu]`` for sums of 0/1 variables."""
+    if mu < 0:
+        raise ValueError(f"mu must be >= 0, got {mu}")
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if mu == 0:
+        return 0.0
+    exponent = mu * (eps - (1.0 + eps) * math.log1p(eps))
+    return min(1.0, math.exp(exponent))
+
+
+def chernoff_lower(mu: float, eps: float) -> float:
+    """Lower-tail bound ``P[X <= (1-eps) mu]``."""
+    if mu < 0:
+        raise ValueError(f"mu must be >= 0, got {mu}")
+    if not 0 < eps <= 1:
+        raise ValueError(f"eps must be in (0, 1], got {eps}")
+    return min(1.0, math.exp(-eps * eps * mu / 2.0))
+
+
+def whp_threshold(mu: float, n: float, k: float = 1.0) -> float:
+    """The deviation ``x`` with ``P[X >= x] <= n^-k`` (paper's w.h.p.).
+
+    Solves the upper Chernoff bound for ``(1+eps) mu`` numerically
+    (bisection on eps); the Lemma 2.4 proof instantiates this at
+    ``eps = 2e - 1``.
+    """
+    if mu <= 0:
+        # Zero mean: any positive threshold works; return the additive
+        # log-term the paper's max{.., O(log n)} floors express.
+        return k * math.log(max(2.0, n))
+    target = max(2.0, n) ** (-k)
+    lo, hi = 1e-9, 1.0
+    while chernoff_upper(mu, hi) > target and hi < 1e9:
+        hi *= 2.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if chernoff_upper(mu, mid) > target:
+            lo = mid
+        else:
+            hi = mid
+    return (1.0 + hi) * mu

@@ -1,0 +1,153 @@
+"""Exact pairwise collision geometry.
+
+Two worms of length ``L`` launched with delays ``d1, d2`` interact exactly
+when, on some shared directed link, one head arrives while the other's
+signal is scheduled to be crossing. With the link at position ``a`` on
+path 1 and ``b`` on path 2, worm 2's head meets worm 1's signal iff
+
+    d2 + b  in  [d1 + a, d1 + a + L - 1],
+
+i.e. the delay difference ``d = d2 - d1`` lies in ``[a - b - (L-1), a - b]``
+... split by who is mid-transmission: ``d in [a-b+1-L, a-b-1]`` means
+worm 1 walked into worm 2's signal, ``d in [a-b+1, a-b+L-1]`` means worm 2
+walked into worm 1's, and ``d = a - b`` is the simultaneous tie.
+
+For a *shortcut-free* pair the offset ``a - b`` is the same on every
+shared link (that is exactly what shortcut-freeness means), so in a
+two-worm system these windows are exact: the first shared link the
+trailing head reaches decides the collision, and no earlier event can
+interfere. For general pairs the union over links upper-bounds the
+interaction set (an early elimination can shadow a later window).
+Section 2.1 uses precisely this geometry: "there are at most 2L
+possibilities for the delays of two worms such that they meet".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PathError
+
+__all__ = [
+    "blocking_windows",
+    "interaction_windows",
+    "pair_collision_probability",
+    "pair_blocking_probability",
+]
+
+
+def _shared_offsets(path1: Sequence, path2: Sequence) -> list[int]:
+    """Offsets ``a - b`` for every directed link shared by the paths."""
+    pos2 = {}
+    for b, link in enumerate(zip(path2, path2[1:])):
+        pos2.setdefault(link, b)
+    offsets = []
+    for a, link in enumerate(zip(path1, path1[1:])):
+        b = pos2.get(link)
+        if b is not None:
+            offsets.append(a - b)
+    return offsets
+
+
+def _merge(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Union of inclusive integer intervals, sorted and disjoint."""
+    out: list[tuple[int, int]] = []
+    for lo, hi in sorted(i for i in intervals if i[0] <= i[1]):
+        if out and lo <= out[-1][1] + 1:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def blocking_windows(
+    path1: Sequence, path2: Sequence, length: int
+) -> dict[str, list[tuple[int, int]]]:
+    """Delay-difference windows ``d = d2 - d1`` by collision role.
+
+    Keys: ``"w2_blocked"`` (worm 2's head meets worm 1's signal),
+    ``"w1_blocked"`` (vice versa), ``"tie"`` (simultaneous heads).
+    Inclusive integer intervals; empty lists when the paths share no
+    directed link.
+    """
+    if length <= 0:
+        raise PathError(f"worm length must be positive, got {length}")
+    offsets = _shared_offsets(path1, path2)
+    w2 = [(off + 1, off + length - 1) for off in offsets]
+    w1 = [(off - (length - 1), off - 1) for off in offsets]
+    ties = [(off, off) for off in offsets]
+    return {
+        "w2_blocked": _merge(w2),
+        "w1_blocked": _merge(w1),
+        "tie": _merge(ties),
+    }
+
+
+def interaction_windows(
+    path1: Sequence, path2: Sequence, length: int
+) -> list[tuple[int, int]]:
+    """Union of all windows: delay differences where the pair interacts."""
+    w = blocking_windows(path1, path2, length)
+    return _merge(w["w2_blocked"] + w["w1_blocked"] + w["tie"])
+
+
+def _count_pairs_with_difference(delta: int, windows: list[tuple[int, int]]) -> int:
+    """Number of (d1, d2) in [delta]^2 with d2 - d1 inside the windows.
+
+    For difference value ``v`` there are ``delta - |v|`` pairs.
+    """
+    total = 0
+    for lo, hi in windows:
+        lo = max(lo, -(delta - 1))
+        hi = min(hi, delta - 1)
+        for v in range(lo, hi + 1):
+            total += delta - abs(v)
+    return total
+
+
+def pair_collision_probability(
+    path1: Sequence,
+    path2: Sequence,
+    length: int,
+    bandwidth: int,
+    delta: int,
+) -> float:
+    """Exact interaction probability for an isolated shortcut-free pair.
+
+    Both worms draw independent uniform delays in ``[delta]`` and
+    wavelengths in ``[bandwidth]``; they interact iff the wavelengths
+    match and the delay difference lands in an interaction window. The
+    paper's ``2L/(B*Delta)`` upper bound (Section 2.1) is this quantity
+    coarsened; tests verify both the exact value against brute force and
+    the bound's dominance.
+    """
+    if bandwidth <= 0 or delta <= 0:
+        raise PathError("bandwidth and delta must be positive")
+    windows = interaction_windows(path1, path2, length)
+    hits = _count_pairs_with_difference(delta, windows)
+    return hits / (delta * delta * bandwidth)
+
+
+def pair_blocking_probability(
+    victim: Sequence,
+    blocker: Sequence,
+    length: int,
+    bandwidth: int,
+    delta: int,
+) -> float:
+    """Probability that ``victim`` specifically loses flits to ``blocker``.
+
+    The directional half of :func:`pair_collision_probability`: only the
+    windows where the victim's head walks into the blocker's signal (plus
+    the simultaneous tie, where both are damaged) count. This is what a
+    per-worm failure model needs -- using the symmetric interaction
+    probability would double-count (a worm does not fail by blocking
+    someone else).
+    """
+    if bandwidth <= 0 or delta <= 0:
+        raise PathError("bandwidth and delta must be positive")
+    w = blocking_windows(victim, blocker, length)
+    windows = _merge(w["w1_blocked"] + w["tie"])
+    hits = _count_pairs_with_difference(delta, windows)
+    return hits / (delta * delta * bandwidth)

@@ -1,0 +1,40 @@
+"""Baseline routing schemes the paper is compared against.
+
+* :mod:`repro.baselines.conversion` -- trial-and-failure with *wavelength
+  conversion at every router* (worms re-randomise their channel per hop),
+  the capability of the Cypher et al. [11] setting that the paper
+  deliberately forgoes ("we want to show how far one can get without
+  wavelength conversion");
+* :mod:`repro.baselines.tdm` -- an offline, centrally coordinated
+  time/wavelength-division schedule (greedy conflict colouring): zero
+  collisions, but it needs global knowledge, the antithesis of the
+  paper's local-control requirement;
+* :mod:`repro.baselines.oneshot` -- the oblivious single-shot sender
+  (one round, no retries): measures raw collision pressure;
+* :mod:`repro.baselines.rwa` -- static routing-and-wavelength assignment,
+  the conflict-free offline approach almost all of Section 1.2's related
+  work takes: ~C̃ channels buy zero collisions.
+"""
+
+from repro.baselines.conversion import ConversionProtocol, route_with_conversion
+from repro.baselines.tdm import TdmSchedule, tdm_schedule, verify_tdm_schedule
+from repro.baselines.oneshot import one_shot_delivery
+from repro.baselines.rwa import (
+    RwaAssignment,
+    rwa_assignment,
+    wavelengths_needed,
+    verify_rwa,
+)
+
+__all__ = [
+    "ConversionProtocol",
+    "route_with_conversion",
+    "TdmSchedule",
+    "tdm_schedule",
+    "verify_tdm_schedule",
+    "one_shot_delivery",
+    "RwaAssignment",
+    "rwa_assignment",
+    "wavelengths_needed",
+    "verify_rwa",
+]

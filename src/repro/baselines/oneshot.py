@@ -1,0 +1,50 @@
+"""The oblivious single-shot sender.
+
+One round, no acknowledgements, no retries: every worm draws one delay and
+one wavelength and is launched. The delivered fraction measures the raw
+collision pressure of a collection -- the quantity the trial-and-failure
+rounds drive to one, and the natural yardstick for round-1 behaviour.
+"""
+
+from __future__ import annotations
+
+from repro._util import as_generator
+from repro.core.engine import RoutingEngine
+from repro.core.records import RoundResult
+from repro.optics.coupler import CollisionRule, TieRule
+from repro.paths.collection import PathCollection
+from repro.worms.worm import Launch, make_worms
+
+__all__ = ["one_shot_delivery"]
+
+
+def one_shot_delivery(
+    collection: PathCollection,
+    bandwidth: int,
+    worm_length: int,
+    delay_range: int,
+    rule: CollisionRule = CollisionRule.SERVE_FIRST,
+    tie_rule: TieRule = TieRule.ALL_LOSE,
+    rng=None,
+) -> tuple[float, RoundResult]:
+    """Launch everything once; return (delivered fraction, round result)."""
+    if delay_range < 1:
+        raise ValueError(f"delay_range must be >= 1, got {delay_range}")
+    rng = as_generator(rng)
+    worms = make_worms(collection.paths, worm_length)
+    engine = RoutingEngine(worms, rule, tie_rule)
+    n = collection.n
+    delays = rng.integers(0, delay_range, size=n)
+    wavelengths = rng.integers(0, bandwidth, size=n)
+    priorities = rng.permutation(n)
+    launches = [
+        Launch(
+            worm=w.uid,
+            delay=int(delays[i]),
+            wavelength=int(wavelengths[i]),
+            priority=int(priorities[i]),
+        )
+        for i, w in enumerate(worms)
+    ]
+    result = engine.run_round(launches, collect_collisions=False)
+    return result.n_delivered / n, result

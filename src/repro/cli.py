@@ -1,0 +1,194 @@
+"""Command-line interface: run the reproduction's experiments.
+
+::
+
+    python -m repro list                 # experiment inventory
+    python -m repro run e_t16            # one experiment, print its tables
+    python -m repro run all --trials 5   # the whole battery
+    python -m repro demo                 # 30-second protocol demo
+
+Each experiment id matches DESIGN.md's index; ``run`` prints the same
+tables the benchmark harness saves under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.errors import ExperimentError
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _registry() -> dict[str, tuple[str, Callable]]:
+    from repro.experiments import (
+        exp_ablations,
+        exp_adversary,
+        exp_baselines,
+        exp_extensions,
+        exp_hard_permutations,
+        exp_lemma24,
+        exp_lower_bounds,
+        exp_mt11,
+        exp_mt12_13,
+        exp_predictor,
+        exp_resilience,
+        exp_rwa,
+        exp_thm15,
+        exp_thm16,
+        exp_thm17,
+        exp_witness,
+    )
+
+    return {
+        "e_t11": ("Main Theorem 1.1: leveled collections, serve-first", exp_mt11.run),
+        "e_t12_13": (
+            "Main Theorems 1.2/1.3: serve-first vs priority on cyclic gadgets",
+            exp_mt12_13.run,
+        ),
+        "e_lb": ("Section 2.2 lower bounds: staircases and bundles", exp_lower_bounds.run),
+        "e_l24": ("Lemma 2.4: congestion halving", exp_lemma24.run),
+        "e_t15": ("Theorem 1.5: node-symmetric networks", exp_thm15.run),
+        "e_t16": ("Theorem 1.6: d-dimensional meshes", exp_thm16.run),
+        "e_t17": ("Theorem 1.7: butterflies, q-functions", exp_thm17.run),
+        "e_cmp": ("Baselines: conversion and TDM", exp_baselines.run),
+        "e_ab": ("Ablations: schedules, bandwidth, model knobs", exp_ablations.run),
+        "e_f4": ("Witness trees and Claim 2.6", exp_witness.run),
+        "e_ext": ("Section 4 open problems", exp_extensions.run),
+        "e_pred": ("Mean-field model vs simulation", exp_predictor.run),
+        "e_rwa": ("Static wavelength assignment vs trial-and-failure", exp_rwa.run),
+        "e_fault": ("Transient link-fault resilience", exp_resilience.run),
+        "e_adv": ("Assembled S2.2/S3.2 lower-bound instances", exp_adversary.run),
+        "e_hard": ("Worst-case permutations and Valiant's trick", exp_hard_permutations.run),
+    }
+
+
+def EXPERIMENTS() -> dict[str, tuple[str, Callable]]:
+    """The experiment registry: id -> (description, runner)."""
+    return _registry()
+
+
+def _cmd_list(_args) -> int:
+    registry = _registry()
+    width = max(len(k) for k in registry)
+    print("available experiments (see DESIGN.md for the paper mapping):\n")
+    for key, (desc, _) in registry.items():
+        print(f"  {key.ljust(width)}  {desc}")
+    print(f"\n  {'all'.ljust(width)}  run everything")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    registry = _registry()
+    if args.experiment == "all":
+        targets = list(registry)
+    elif args.experiment in registry:
+        targets = [args.experiment]
+    else:
+        raise ExperimentError(
+            f"unknown experiment {args.experiment!r}; try 'python -m repro list'"
+        )
+    for key in targets:
+        desc, runner = registry[key]
+        print(f"\n### {key}: {desc} (trials={args.trials}, seed={args.seed})")
+        t0 = time.perf_counter()
+        tables = runner(trials=args.trials, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        if not isinstance(tables, (list, tuple)):
+            tables = [tables]
+        for table in tables:
+            print()
+            print(table.format())
+        print(f"\n[{key} done in {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro import (
+        Butterfly,
+        GeometricSchedule,
+        butterfly_path_collection,
+        random_permutation,
+        route_collection,
+    )
+
+    bf = Butterfly(6)
+    pairs = random_permutation(range(bf.rows), rng=0)
+    coll = butterfly_path_collection(bf, pairs)
+    print(f"routing a random permutation on {bf.name}: {coll!r}")
+    result = route_collection(
+        coll,
+        bandwidth=4,
+        worm_length=4,
+        schedule=GeometricSchedule(c_congestion=2.0, c_floor=0.5),
+        rng=0,
+    )
+    print(f"completed in {result.rounds} rounds / {result.total_time} steps")
+    for rec in result.records:
+        print(
+            f"  round {rec.index}: Delta={rec.delay_range}, active "
+            f"{rec.active_before}, delivered {rec.delivered}"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import write_report
+
+    sections = write_report(args.results, args.out)
+    print(f"wrote {args.out} with {sections} sections")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Flammini & Scheideler (SPAA 1997): "
+        "trial-and-failure routing for all-optical networks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument("--trials", type=int, default=5, help="trials per data point")
+    run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    run.set_defaults(fn=_cmd_run)
+
+    sub.add_parser("demo", help="a 30-second protocol demo").set_defaults(
+        fn=_cmd_demo
+    )
+
+    report = sub.add_parser(
+        "report", help="aggregate benchmarks/results into one markdown report"
+    )
+    report.add_argument(
+        "--results", default="benchmarks/results", help="saved-tables directory"
+    )
+    report.add_argument(
+        "--out", default="REPRODUCTION_REPORT.md", help="output markdown path"
+    )
+    report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""Every bound formula of the paper, as plain functions.
+
+These are used by the experiments to plot predicted shapes next to
+measured values, and by tests to check internal consistency (monotonicity,
+crossovers, the Theorem 1.6 derivation step
+``sqrt(log_alpha N) = O(sqrt(d))``). Asymptotic statements carry unknown
+constants, so all functions return the *bracket content* (constant 1);
+callers fit a single multiplicative constant when comparing to data.
+
+Logarithms are clamped (see :func:`repro._util.log2_safe`) so the formulas
+stay finite and monotone at small instances.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util import log2_safe, log_base, loglog
+
+__all__ = [
+    "alpha",
+    "beta",
+    "rounds_leveled",
+    "rounds_shortcut",
+    "time_leveled_upper",
+    "time_shortcut_upper",
+    "time_priority_upper",
+    "time_leveled_lower",
+    "time_shortcut_lower",
+    "paper_k0_leveled",
+    "paper_T_leveled",
+    "paper_k0_shortcut",
+    "paper_T_shortcut",
+    "theorem15_time",
+    "theorem16_time",
+    "theorem17_time",
+    "cypher_mesh_time",
+    "cypher_conversion_time",
+    "lemma24_congestion",
+    "lemma210_survivors",
+    "triangle_cycle_probability",
+    "staircase_chain_probability",
+]
+
+
+# ---------------------------------------------------------------------------
+# The base quantities
+# ---------------------------------------------------------------------------
+
+
+def alpha(C: float, B: float, D: float, L: float) -> float:
+    """``alpha = C + B(D/L + 1) + 2`` (Main Theorems)."""
+    return C + B * (D / L + 1.0) + 2.0
+
+
+def beta(C: float, B: float, D: float, L: float) -> float:
+    """``beta = alpha/C + 2`` (Main Theorems)."""
+    return alpha(C, B, D, L) / C + 2.0
+
+
+# ---------------------------------------------------------------------------
+# Round counts
+# ---------------------------------------------------------------------------
+
+
+def rounds_leveled(n: float, C: float, B: float, D: float, L: float) -> float:
+    """``sqrt(log_alpha n) + loglog_beta n`` -- Main Theorems 1.1/1.3."""
+    a = alpha(C, B, D, L)
+    b = beta(C, B, D, L)
+    return math.sqrt(log_base(n, a)) + max(1.0, math.log2(max(2.0, log_base(n, b))))
+
+
+def rounds_shortcut(n: float, C: float, B: float, D: float, L: float) -> float:
+    """``log_alpha n + loglog_beta n`` -- Main Theorem 1.2."""
+    a = alpha(C, B, D, L)
+    b = beta(C, B, D, L)
+    return log_base(n, a) + max(1.0, math.log2(max(2.0, log_base(n, b))))
+
+
+# ---------------------------------------------------------------------------
+# Total-time bounds (Main Theorems)
+# ---------------------------------------------------------------------------
+
+
+def time_leveled_upper(n: float, C: float, B: float, D: float, L: float) -> float:
+    """Main Theorem 1.1 upper bound (constant dropped)."""
+    return L * C / B + rounds_leveled(n, C, B, D, L) * (D + L + L * log2_safe(n) / B)
+
+
+def time_shortcut_upper(n: float, C: float, B: float, D: float, L: float) -> float:
+    """Main Theorem 1.2 upper bound (constant dropped)."""
+    return L * C / B + rounds_shortcut(n, C, B, D, L) * (
+        D + L + L * log2_safe(n) ** 1.5 / B
+    )
+
+
+def time_priority_upper(n: float, C: float, B: float, D: float, L: float) -> float:
+    """Main Theorem 1.3 upper bound -- identical form to Theorem 1.1."""
+    return time_leveled_upper(n, C, B, D, L)
+
+
+def time_leveled_lower(n: float, C: float, B: float, D: float, L: float) -> float:
+    """Main Theorems 1.1/1.3 lower bound (constant dropped)."""
+    return L * C / B + rounds_leveled(n, C, B, D, L) * (D + L)
+
+
+def time_shortcut_lower(n: float, C: float, B: float, D: float, L: float) -> float:
+    """Main Theorem 1.2 lower bound (constant dropped)."""
+    return L * C / B + rounds_shortcut(n, C, B, D, L) * (D + L)
+
+
+# ---------------------------------------------------------------------------
+# The exact Section 2.1 / 3.1 round budgets
+# ---------------------------------------------------------------------------
+
+
+def paper_k0_leveled(
+    n: float, C: float, B: float, D: float, L: float, gamma: float = 1.0
+) -> float:
+    """Section 2.1's ``k_0``: the witness-tree size cutoff."""
+    denom = math.log2(2.0 + (B / (16.0 * C)) * (D / L + 1.0))
+    return (2.0 + gamma) * log2_safe(n) / denom + 1.0
+
+
+def paper_T_leveled(
+    n: float, C: float, B: float, D: float, L: float, gamma: float = 1.0
+) -> float:
+    """Section 2.1's round budget ``T`` (verbatim formula)."""
+    k0 = paper_k0_leveled(n, C, B, D, L, gamma)
+    log_n = log2_safe(n)
+    inner = (max(C / log_n, log_n) + (B / (6.0 * math.e)) * (D / L + 1.0)) / math.sqrt(
+        2.0 * k0
+    )
+    inner = max(inner, 2.0)
+    first = math.sqrt(2.0 * (2.0 + gamma) * log_n / math.log2(inner))
+    return first + math.ceil(math.log2(max(2.0, k0)))
+
+
+def paper_k0_shortcut(
+    n: float, C: float, B: float, D: float, L: float, gamma: float = 1.0
+) -> float:
+    """Section 3.1's ``k_0``."""
+    denom = math.log2(2.0 + (B / (8.0 * C)) * (D / L + 1.0))
+    return (2.0 + gamma) * log2_safe(n) / denom + 1.0
+
+
+def paper_T_shortcut(
+    n: float, C: float, B: float, D: float, L: float, gamma: float = 1.0
+) -> float:
+    """Section 3.1's round budget ``T`` (verbatim formula)."""
+    k0 = paper_k0_shortcut(n, C, B, D, L, gamma)
+    log_n = log2_safe(n)
+    inner = max(C / (2.0 * log_n), log_n**1.5) + (B / 26.0) * (D / L + 1.0)
+    inner = max(inner, 2.0)
+    first = (2.0 + gamma) * log_n / math.log2(inner)
+    return first + math.ceil(math.log2(max(2.0, k0)))
+
+
+# ---------------------------------------------------------------------------
+# Application theorems
+# ---------------------------------------------------------------------------
+
+
+def theorem15_time(n: float, D: float, B: float, L: float) -> float:
+    """Theorem 1.5: random functions on node-symmetric networks.
+
+    ``L*D^2/B + (sqrt(log_D n) + loglog n)(D + L)``.
+    """
+    return L * D * D / B + (math.sqrt(log_base(n, D)) + loglog(n)) * (D + L)
+
+
+def theorem16_time(side: float, d: float, B: float, L: float) -> float:
+    """Theorem 1.6: random functions on d-dimensional side-``n`` meshes.
+
+    ``L*d*n/B + (sqrt(d) + loglog n)(d*n + L + L*d*log(n)/B)``.
+    """
+    return L * d * side / B + (math.sqrt(d) + loglog(side)) * (
+        d * side + L + L * d * log2_safe(side) / B
+    )
+
+
+def theorem17_time(n: float, q: float, B: float, L: float) -> float:
+    """Theorem 1.7: random q-functions on the log(n)-dimensional butterfly.
+
+    ``L*q*log(n)/B + sqrt(log n / log(q log n)) (L + log n + L log(n)/B)``.
+    """
+    log_n = log2_safe(n)
+    inner = max(2.0, q * log_n)
+    return L * q * log_n / B + math.sqrt(log_n / math.log2(inner)) * (
+        L + log_n + L * log_n / B
+    )
+
+
+# ---------------------------------------------------------------------------
+# Comparators (Cypher et al. [11])
+# ---------------------------------------------------------------------------
+
+
+def cypher_mesh_time(side: float, d: float, L: float) -> float:
+    """[11]'s bound for random functions on meshes at B = 1.
+
+    ``L*d*n + (d*n + L) log n`` -- the paper's Theorem 1.6 beats its
+    second term exponentially (``sqrt(d) + loglog n`` rounds instead of
+    ``log n``).
+    """
+    return L * d * side + (d * side + L) * log2_safe(side)
+
+
+def cypher_conversion_time(
+    n: float, C: float, B: float, D: float, L: float
+) -> float:
+    """[11]'s bound with wavelength conversion allowed at every router.
+
+    ``(L*C*D^(1/B) + (D + L) log n)/B``.
+    """
+    return (L * C * D ** (1.0 / B) + (D + L) * log2_safe(n)) / B
+
+
+# ---------------------------------------------------------------------------
+# Lemma-level predictions
+# ---------------------------------------------------------------------------
+
+
+def lemma24_congestion(C: float, t: int, n: float, log_factor: float = 1.0) -> float:
+    """Lemma 2.4: congestion bound after ``t - 1`` halvings.
+
+    ``max{C / 2^(t-1), O(log n)}`` with the hidden constant exposed as
+    ``log_factor``.
+    """
+    return max(C / 2.0 ** (t - 1), log_factor * log2_safe(n))
+
+
+def lemma210_survivors(
+    C: float, t: int, B: float, delta_hat: float, L: float
+) -> float:
+    """Lemma 2.10: surviving-worm lower bound in a type-2 bundle.
+
+    ``C / (32 B Delta_hat / ((L-1) C))^(2^(t-1) - 1)`` -- a doubly
+    exponential collapse whenever the base exceeds one.
+    """
+    if L < 2:
+        raise ValueError("Lemma 2.10 needs L >= 2")
+    base = 32.0 * B * delta_hat / ((L - 1.0) * C)
+    return C / base ** (2.0 ** (t - 1) - 1.0)
+
+
+def triangle_cycle_probability(L: int, B: int, delta: int) -> float:
+    """Section 3.2: chance all three triangle worms block cyclically.
+
+    At least ``(floor(L/2) / (B*(delta)))^2`` per round when
+    ``delta >= L`` (worms 2 and 3 must land on worm 1's wavelength inside
+    its ``floor(L/2)`` window).
+    """
+    if delta < L:
+        raise ValueError("the bound needs delay range >= L")
+    return ((L // 2) / (B * delta)) ** 2
+
+
+def staircase_chain_probability(i: int, L: int, B: int, delta: int) -> float:
+    """Lemma 2.8: chance the first ``i`` staircase worms are all discarded.
+
+    At least ``((L-1) / (2 B delta))^i`` for delay range ``delta >= L``.
+    """
+    if delta < L:
+        raise ValueError("the bound needs delay range >= L")
+    if i < 0:
+        raise ValueError("i must be >= 0")
+    return ((L - 1.0) / (2.0 * B * delta)) ** i

@@ -1,0 +1,388 @@
+"""The discrete-event wormhole routing engine.
+
+Simulates one round (one forward pass) of the trial-and-failure protocol
+exactly under the model of Section 1.1:
+
+* a worm with startup delay ``delta`` enters the ``i``-th directed link of
+  its path at step ``delta + i``; flit ``j`` crosses that link during step
+  ``delta + i + j``; a fragment of ``l`` flits occupies the link during
+  the inclusive window ``[delta+i, delta+i+l-1]``;
+* worms are never buffered: at every coupler the head either proceeds or
+  the worm loses flits, per the serve-first / priority kernels of
+  :mod:`repro.optics.coupler`;
+* an *eliminated* worm's upstream flits drain harmlessly (its already
+  scheduled upstream occupancies stand, downstream ones never happen);
+* a *truncated* worm (priority rule) keeps its leading fragment -- length
+  = (cut time) - (entry time at the cut link) -- which continues to travel
+  and to contend for links; occupancies strictly upstream of the cut keep
+  their previous length; repeated truncations compose via ``min``.
+
+The engine processes head-arrival events in global time order and resolves
+each contended (link, wavelength, time) group through the coupler kernels,
+so the collision semantics live in exactly one place. Conflict-free
+arrivals take an inlined fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.records import CollisionEvent, CollisionKind, RoundResult
+from repro.errors import ProtocolError
+from repro.optics.coupler import CollisionRule, TieRule, resolve
+from repro.optics.signal import Arrival, Occupancy
+from repro.worms.worm import FailureKind, Launch, Worm, WormOutcome
+
+__all__ = ["RoutingEngine", "run_round"]
+
+
+class _Record:
+    """One live occupancy: worm ``run`` holds a link from ``entry`` to ``end``."""
+
+    __slots__ = ("run", "pos", "entry", "end")
+
+    def __init__(self, run: "_Run", pos: int, entry: int, end: int) -> None:
+        self.run = run
+        self.pos = pos
+        self.entry = entry
+        self.end = end
+
+
+class _Run:
+    """Mutable per-worm state for one round."""
+
+    __slots__ = (
+        "uid",
+        "length",
+        "n_links",
+        "delay",
+        "wavelength",
+        "priority",
+        "link_ids",
+        "cut_len",
+        "dead_at",
+        "faulted",
+        "truncated",
+        "blockers",
+        "records",
+    )
+
+    def __init__(self, worm: Worm, launch: Launch, link_ids: list[int]) -> None:
+        self.uid = worm.uid
+        self.length = worm.length
+        self.n_links = worm.n_links
+        self.delay = launch.delay
+        if isinstance(launch.wavelength, tuple) and len(launch.wavelength) != worm.n_links:
+            raise ProtocolError(
+                f"worm {worm.uid}: {len(launch.wavelength)} per-link wavelengths "
+                f"for {worm.n_links} links"
+            )
+        self.wavelength = launch.wavelength
+        self.priority = launch.priority
+        self.link_ids = link_ids
+        self.cut_len = worm.length
+        self.dead_at: int | None = None
+        self.faulted = False
+        self.truncated = False
+        self.blockers: list[int] = []
+        self.records: list[_Record] = []
+
+
+class RoutingEngine:
+    """Routes a fixed set of worms; reusable across rounds.
+
+    Construction precomputes each worm's directed-link ids once; each
+    :meth:`run_round` call takes fresh launches (delays, wavelengths,
+    priorities) for any subset of the worms.
+    """
+
+    def __init__(
+        self,
+        worms: Sequence[Worm],
+        rule: CollisionRule,
+        tie_rule: TieRule = TieRule.ALL_LOSE,
+    ) -> None:
+        if not worms:
+            raise ProtocolError("the engine needs at least one worm")
+        self.rule = rule
+        self.tie_rule = tie_rule
+        self._worms: dict[int, Worm] = {}
+        self._link_ids: dict[int, list[int]] = {}
+        link_index: dict[tuple, int] = {}
+        self._links: list[tuple] = []
+        for w in worms:
+            if w.uid in self._worms:
+                raise ProtocolError(f"duplicate worm uid {w.uid}")
+            self._worms[w.uid] = w
+            ids = []
+            for a, b in zip(w.path, w.path[1:]):
+                link = (a, b)
+                lid = link_index.get(link)
+                if lid is None:
+                    lid = len(link_index)
+                    link_index[link] = lid
+                    self._links.append(link)
+                ids.append(lid)
+            self._link_ids[w.uid] = ids
+
+    @property
+    def worms(self) -> dict[int, Worm]:
+        """The engine's worms by uid."""
+        return dict(self._worms)
+
+    def run_round(
+        self,
+        launches: Sequence[Launch],
+        collect_collisions: bool = True,
+        dead_links: Sequence[tuple] | None = None,
+    ) -> RoundResult:
+        """Simulate one forward pass for the launched worms.
+
+        ``launches`` name the participating worms (one launch per worm);
+        non-launched worms simply do not exist this round. ``dead_links``
+        are directed links that are down for the whole round (fault
+        injection): any head reaching one is lost there -- the signal
+        enters a dark fiber -- and the worm fails with kind ``FAULTED``.
+        Returns the per-worm outcomes and, when requested, every losing
+        collision.
+        """
+        runs: list[_Run] = []
+        seen: set[int] = set()
+        for launch in launches:
+            worm = self._worms.get(launch.worm)
+            if worm is None:
+                raise ProtocolError(f"launch names unknown worm uid {launch.worm}")
+            if launch.worm in seen:
+                raise ProtocolError(f"worm uid {launch.worm} launched twice")
+            seen.add(launch.worm)
+            runs.append(_Run(worm, launch, self._link_ids[launch.worm]))
+
+        # Head-arrival events: (time, link_id, wavelength, pos, run_index).
+        events: list[tuple[int, int, int, int, int]] = []
+        for ri, run in enumerate(runs):
+            t0 = run.delay
+            wl = run.wavelength
+            append = events.append
+            if isinstance(wl, tuple):
+                for pos, lid in enumerate(run.link_ids):
+                    append((t0 + pos, lid, wl[pos], pos, ri))
+            else:
+                for pos, lid in enumerate(run.link_ids):
+                    append((t0 + pos, lid, wl, pos, ri))
+        events.sort()
+
+        collisions: list[CollisionEvent] = []
+        occupancy: dict[tuple[int, int], _Record] = {}
+        rule = self.rule
+        tie_rule = self.tie_rule
+        links = self._links
+        dead_lids: set[int] = set()
+        if dead_links:
+            index = {link: lid for lid, link in enumerate(links)}
+            for link in dead_links:
+                lid = index.get(tuple(link))
+                if lid is not None:
+                    dead_lids.add(lid)
+
+        i = 0
+        n_events = len(events)
+        while i < n_events:
+            t, lid, wl, pos, ri = events[i]
+            j = i + 1
+            while (
+                j < n_events
+                and events[j][0] == t
+                and events[j][1] == lid
+                and events[j][2] == wl
+            ):
+                j += 1
+            group = events[i:j]
+            i = j
+
+            live = [(p, runs[k]) for (_, _, _, p, k) in group if runs[k].dead_at is None]
+            if not live:
+                continue
+
+            if lid in dead_lids:
+                # Dark fiber: every head entering it is lost outright.
+                for p, run in live:
+                    run.dead_at = p
+                    run.faulted = True
+                continue
+
+            key = (lid, wl)
+            rec = occupancy.get(key)
+            if rec is not None and rec.end < t:
+                rec = None  # stale record: the previous tail already cleared
+
+            if rec is None and len(live) == 1:
+                # Fast path: idle link, single head -- no conflict to decide.
+                p, run = live[0]
+                self._install(occupancy, key, run, p, t)
+                continue
+
+            occ_obj = None
+            if rec is not None:
+                occ_obj = Occupancy(
+                    worm=rec.run.uid,
+                    start=rec.entry,
+                    end=rec.end,
+                    priority=rec.run.priority,
+                )
+            arrivals = [
+                Arrival(worm=run.uid, length=run.cut_len, priority=run.priority)
+                for _, run in live
+            ]
+            decision = resolve(rule, occ_obj, arrivals, t, tie_rule)
+
+            by_uid = {run.uid: (p, run) for p, run in live}
+            if decision.eliminated:
+                blocker = self._primary_blocker(decision, rec, by_uid)
+                for uid in decision.eliminated:
+                    p, run = by_uid[uid]
+                    run.dead_at = p
+                    b = blocker if blocker != uid else self._other_blocker(
+                        decision, rec, by_uid, uid
+                    )
+                    run.blockers.append(b)
+                    if collect_collisions:
+                        collisions.append(
+                            CollisionEvent(
+                                time=t,
+                                link=links[lid],
+                                wavelength=wl,
+                                blocked=uid,
+                                blocker=b,
+                                link_pos=p,
+                                kind=CollisionKind.ELIMINATED,
+                            )
+                        )
+            if decision.truncate_occupant:
+                assert rec is not None
+                occ_run = rec.run
+                new_len = t - rec.entry  # flits already forwarded past the cut
+                if new_len < occ_run.cut_len:
+                    occ_run.cut_len = new_len
+                    cut_pos = rec.pos
+                    for r in occ_run.records:
+                        if r.pos >= cut_pos:
+                            cap = r.entry + new_len - 1
+                            if cap < r.end:
+                                r.end = cap
+                occ_run.truncated = True
+                b = (
+                    decision.winner
+                    if decision.winner is not None
+                    else arrivals[0].worm
+                )
+                occ_run.blockers.append(b)
+                if collect_collisions:
+                    collisions.append(
+                        CollisionEvent(
+                            time=t,
+                            link=links[lid],
+                            wavelength=wl,
+                            blocked=occ_run.uid,
+                            blocker=b,
+                            link_pos=rec.pos,
+                            kind=CollisionKind.TRUNCATED,
+                        )
+                    )
+            if decision.winner is not None:
+                p, run = by_uid[decision.winner]
+                self._install(occupancy, key, run, p, t)
+
+        outcomes, makespan = self._finalise(runs)
+        return RoundResult(
+            outcomes=outcomes, collisions=tuple(collisions), makespan=makespan
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _install(
+        occupancy: dict, key: tuple[int, int], run: _Run, pos: int, t: int
+    ) -> None:
+        rec = _Record(run, pos, t, t + run.cut_len - 1)
+        occupancy[key] = rec
+        run.records.append(rec)
+
+    @staticmethod
+    def _primary_blocker(decision, rec: _Record | None, by_uid: dict) -> int:
+        """The worm that witnesses the eliminations of this event."""
+        if rec is not None:
+            return rec.run.uid
+        if decision.winner is not None:
+            return decision.winner
+        # All-lose tie with no occupant: the arrivals witness each other.
+        return next(iter(by_uid))
+
+    @staticmethod
+    def _other_blocker(decision, rec: _Record | None, by_uid: dict, uid: int) -> int:
+        """A blocker distinct from ``uid`` (for all-lose ties)."""
+        if rec is not None:
+            return rec.run.uid
+        if decision.winner is not None and decision.winner != uid:
+            return decision.winner
+        for other in by_uid:
+            if other != uid:
+                return other
+        raise ProtocolError(f"worm {uid} blocked with no other participant")
+
+    @staticmethod
+    def _finalise(runs: list[_Run]) -> tuple[dict[int, WormOutcome], int | None]:
+        outcomes: dict[int, WormOutcome] = {}
+        makespan: int | None = None
+        for run in runs:
+            if run.dead_at is not None:
+                outcomes[run.uid] = WormOutcome(
+                    worm=run.uid,
+                    delivered=False,
+                    delivered_flits=0,
+                    failure=(
+                        FailureKind.FAULTED
+                        if run.faulted
+                        else FailureKind.ELIMINATED
+                    ),
+                    failed_at_link=run.dead_at,
+                    blockers=tuple(run.blockers),
+                )
+                # The head travelled until the cut; flits moved until then.
+                span = run.delay + run.dead_at
+            elif run.cut_len < run.length:
+                completion = run.delay + run.n_links - 1 + run.cut_len - 1
+                outcomes[run.uid] = WormOutcome(
+                    worm=run.uid,
+                    delivered=False,
+                    delivered_flits=run.cut_len,
+                    failure=FailureKind.TRUNCATED,
+                    completion_time=completion,
+                    blockers=tuple(run.blockers),
+                )
+                span = completion
+            else:
+                completion = run.delay + run.n_links - 1 + run.length - 1
+                outcomes[run.uid] = WormOutcome(
+                    worm=run.uid,
+                    delivered=True,
+                    delivered_flits=run.length,
+                    completion_time=completion,
+                    blockers=tuple(run.blockers),
+                )
+                span = completion
+            makespan = span if makespan is None else max(makespan, span)
+        return outcomes, makespan
+
+
+def run_round(
+    worms: Sequence[Worm],
+    launches: Sequence[Launch],
+    rule: CollisionRule,
+    tie_rule: TieRule = TieRule.ALL_LOSE,
+    collect_collisions: bool = True,
+    dead_links: Sequence[tuple] | None = None,
+) -> RoundResult:
+    """One-shot convenience wrapper around :class:`RoutingEngine`."""
+    return RoutingEngine(worms, rule, tie_rule).run_round(
+        launches, collect_collisions=collect_collisions, dead_links=dead_links
+    )

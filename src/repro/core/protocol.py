@@ -1,0 +1,300 @@
+"""The trial-and-failure protocol (Section 1.3).
+
+    all n worms are declared active
+    for t = 1 to T:
+        each active worm launches with a random startup delay in
+        [Delta_t] and a random wavelength in [B];
+        every completely delivered worm is acknowledged immediately;
+        acknowledged worms become inactive.
+
+Round ``t`` costs ``Delta_t + 2(D + L)`` steps -- long enough for either a
+successful worm's acknowledgement to return or for the worm (or its ack)
+to have been discarded. Acknowledgements default to the paper's analytical
+simplification (``ack_mode="ideal"``: a delivered worm is always
+acknowledged, the ack band being reserved and its congestion folded into
+C̃); ``ack_mode="simulated"`` actually routes length-``ack_length`` worms
+back along reversed paths on a separate engine (the reserved band), so a
+lost ack leaves the worm active and produces a duplicate delivery --
+ablation E-AB3 measures how rare that is.
+
+Priorities (for priority routers) are drawn as a fresh uniform random
+permutation of the active worms each round, satisfying the hypothesis of
+Claim 2.6 that no two colliding worms tie; deterministic modes are
+available since the upper bound of Main Theorem 1.3 holds "for any
+assignment of priorities ... whether these priorities are changed from
+round to round, chosen randomly, or deterministically".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_generator, spawn_generator
+from repro.core.engine import RoutingEngine
+from repro.core.records import ProtocolResult, RoundRecord
+from repro.core.schedule import DelaySchedule, GeometricSchedule, ScheduleContext
+from repro.errors import ProtocolError
+from repro.optics.coupler import CollisionRule, TieRule
+from repro.paths.collection import PathCollection
+from repro.worms.worm import FailureKind, Launch, make_worms
+from repro.worms.ack import ack_worms
+
+__all__ = ["ProtocolConfig", "TrialAndFailureProtocol", "route_collection"]
+
+_PRIORITY_MODES = ("random", "uid", "reverse_uid")
+_ACK_MODES = ("ideal", "simulated")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Static configuration of one protocol instance.
+
+    ``track_congestion`` re-measures the path congestion of the surviving
+    worms at the start of every round (the Lemma 2.4 observable); adaptive
+    schedules consume it, at some bookkeeping cost on huge collections.
+    ``collect_collisions`` retains per-round collision logs, which witness
+    trees (Section 2.1) are built from.
+    """
+
+    bandwidth: int
+    rule: CollisionRule = CollisionRule.SERVE_FIRST
+    worm_length: int = 4
+    schedule: DelaySchedule = field(default_factory=GeometricSchedule)
+    max_rounds: int = 500
+    tie_rule: TieRule = TieRule.ALL_LOSE
+    ack_mode: str = "ideal"
+    ack_length: int = 1
+    priority_mode: str = "random"
+    track_congestion: bool = True
+    collect_collisions: bool = False
+    fault_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise ProtocolError(
+                f"fault_rate must be in [0, 1), got {self.fault_rate}"
+            )
+        if self.bandwidth <= 0:
+            raise ProtocolError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.worm_length <= 0:
+            raise ProtocolError(f"worm length must be positive, got {self.worm_length}")
+        if self.max_rounds <= 0:
+            raise ProtocolError(f"max_rounds must be positive, got {self.max_rounds}")
+        if self.ack_mode not in _ACK_MODES:
+            raise ProtocolError(f"ack_mode must be one of {_ACK_MODES}, got {self.ack_mode!r}")
+        if self.ack_length <= 0:
+            raise ProtocolError(f"ack length must be positive, got {self.ack_length}")
+        if self.priority_mode not in _PRIORITY_MODES:
+            raise ProtocolError(
+                f"priority_mode must be one of {_PRIORITY_MODES}, got {self.priority_mode!r}"
+            )
+
+
+class TrialAndFailureProtocol:
+    """Drives the round loop over a fixed path collection."""
+
+    def __init__(self, collection: PathCollection, config: ProtocolConfig) -> None:
+        self.collection = collection
+        self.config = config
+        self.worms = make_worms(collection.paths, config.worm_length)
+        self.engine = RoutingEngine(self.worms, config.rule, config.tie_rule)
+        self._ack_engine: RoutingEngine | None = None
+        if config.ack_mode == "simulated":
+            # Reversed paths on a dedicated engine: the reserved ack band
+            # never contends with forward messages.
+            self._ack_engine = RoutingEngine(
+                ack_worms(self.worms, ack_length=config.ack_length),
+                config.rule,
+                config.tie_rule,
+            )
+        self._base_ctx = ScheduleContext(
+            n=collection.n,
+            bandwidth=config.bandwidth,
+            worm_length=config.worm_length,
+            dilation=collection.dilation,
+            congestion=collection.path_congestion,
+        )
+
+    # -- round internals -----------------------------------------------------
+
+    def _draw_launches(
+        self, active: list[int], delta: int, rng: np.random.Generator
+    ) -> list[Launch]:
+        k = len(active)
+        delays = rng.integers(0, delta, size=k)
+        wavelengths = rng.integers(0, self.config.bandwidth, size=k)
+        if self.config.rule is CollisionRule.PRIORITY:
+            mode = self.config.priority_mode
+            if mode == "random":
+                priorities = rng.permutation(k)
+            elif mode == "uid":
+                priorities = np.array(active)
+            else:  # reverse_uid
+                priorities = -np.array(active)
+        else:
+            priorities = np.zeros(k, dtype=np.int64)
+        return [
+            Launch(
+                worm=uid,
+                delay=int(delays[i]),
+                wavelength=int(wavelengths[i]),
+                priority=int(priorities[i]),
+            )
+            for i, uid in enumerate(active)
+        ]
+
+    def _route_acks(
+        self, delivered: list[int], fwd_outcomes, rng: np.random.Generator
+    ) -> tuple[set[int], int]:
+        """Simulated acks: returns (acked uids, ack makespan)."""
+        assert self._ack_engine is not None
+        if not delivered:
+            return set(), 0
+        offset = len(self.worms)
+        launches = []
+        ranks = rng.permutation(len(delivered))
+        for i, uid in enumerate(delivered):
+            completion = fwd_outcomes[uid].completion_time
+            launches.append(
+                Launch(
+                    worm=uid + offset,
+                    delay=completion + 1,
+                    wavelength=int(rng.integers(0, self.config.bandwidth)),
+                    priority=int(ranks[i]),
+                )
+            )
+        result = self._ack_engine.run_round(launches, collect_collisions=False)
+        acked = {uid - offset for uid in result.delivered}
+        return acked, (result.makespan or 0)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, rng=None) -> ProtocolResult:
+        """Execute rounds until every worm is acknowledged (or max_rounds)."""
+        cfg = self.config
+        rng = as_generator(rng)
+        active: list[int] = [w.uid for w in self.worms]
+        delivered_round: dict[int, int] = {}
+        delivered_ever: set[int] = set()
+        duplicates = 0
+        records: list[RoundRecord] = []
+        collisions_per_round: list[tuple] = []
+        total_time = 0
+        observed_time = 0
+        dl = self.collection.dilation + cfg.worm_length
+
+        completed = False
+        rounds_used = 0
+        for t in range(1, cfg.max_rounds + 1):
+            rounds_used = t
+            current_congestion = None
+            if cfg.track_congestion:
+                current_congestion = self.collection.subset(active).path_congestion
+            ctx = dataclasses.replace(
+                self._base_ctx, current_congestion=current_congestion
+            )
+            delta = cfg.schedule.delay_range(t, ctx)
+
+            round_rng = spawn_generator(rng)
+            launches = self._draw_launches(active, delta, round_rng)
+            dead_links = None
+            if cfg.fault_rate > 0.0:
+                # Transient per-round faults: each directed link in use is
+                # independently dark this round.
+                links = self.collection.links
+                mask = round_rng.random(len(links)) < cfg.fault_rate
+                dead_links = [lk for lk, dead in zip(links, mask) if dead]
+            result = self.engine.run_round(
+                launches,
+                collect_collisions=cfg.collect_collisions,
+                dead_links=dead_links,
+            )
+            if cfg.collect_collisions:
+                collisions_per_round.append(result.collisions)
+
+            delivered = result.delivered
+            duplicates += sum(1 for uid in delivered if uid in delivered_ever)
+            delivered_ever.update(delivered)
+
+            if cfg.ack_mode == "ideal":
+                acked = set(delivered)
+                ack_span = 0
+            else:
+                acked, ack_span = self._route_acks(
+                    delivered, result.outcomes, round_rng
+                )
+
+            for uid in acked:
+                delivered_round.setdefault(uid, t)
+            active = [uid for uid in active if uid not in acked]
+
+            eliminated = sum(
+                1
+                for o in result.outcomes.values()
+                if o.failure is FailureKind.ELIMINATED
+            )
+            truncated = sum(
+                1
+                for o in result.outcomes.values()
+                if o.failure is FailureKind.TRUNCATED
+            )
+            faulted = sum(
+                1
+                for o in result.outcomes.values()
+                if o.failure is FailureKind.FAULTED
+            )
+            duration = delta + 2 * dl
+            observed = max(result.makespan or 0, ack_span) + 1
+            total_time += duration
+            observed_time += observed
+            records.append(
+                RoundRecord(
+                    index=t,
+                    delay_range=delta,
+                    active_before=len(result.outcomes),
+                    delivered=len(delivered),
+                    eliminated=eliminated,
+                    truncated=truncated,
+                    acked=len(acked),
+                    duration=duration,
+                    observed_span=observed,
+                    active_congestion=current_congestion,
+                    faulted=faulted,
+                )
+            )
+            if not active:
+                completed = True
+                break
+
+        return ProtocolResult(
+            completed=completed,
+            rounds=rounds_used,
+            total_time=total_time,
+            observed_time=observed_time,
+            records=tuple(records),
+            delivered_round=delivered_round,
+            collisions_per_round=tuple(collisions_per_round),
+            duplicate_deliveries=duplicates,
+        )
+
+
+def route_collection(
+    collection: PathCollection,
+    bandwidth: int,
+    rule: CollisionRule = CollisionRule.SERVE_FIRST,
+    worm_length: int = 4,
+    rng=None,
+    **config_kwargs,
+) -> ProtocolResult:
+    """Route a collection with default trial-and-failure configuration.
+
+    Convenience entry point: builds a :class:`ProtocolConfig` from the
+    keyword arguments and runs one execution.
+    """
+    config = ProtocolConfig(
+        bandwidth=bandwidth, rule=rule, worm_length=worm_length, **config_kwargs
+    )
+    return TrialAndFailureProtocol(collection, config).run(rng)

@@ -1,0 +1,135 @@
+"""Result records for rounds and full protocol executions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.worms.worm import WormOutcome
+
+__all__ = [
+    "CollisionKind",
+    "CollisionEvent",
+    "RoundResult",
+    "RoundRecord",
+    "ProtocolResult",
+]
+
+
+class CollisionKind(enum.Enum):
+    """What a collision did to the blocked worm."""
+
+    ELIMINATED = "eliminated"  # arriving head cut; worm gone from here on
+    TRUNCATED = "truncated"  # mid-transmission tail dumped (priority rule)
+
+
+@dataclass(frozen=True)
+class CollisionEvent:
+    """One worm losing a coupler conflict to another.
+
+    ``blocked`` lost to ``blocker`` on the directed ``link`` at
+    ``wavelength`` during step ``time``; ``link_pos`` is the 0-based index
+    of the link on the blocked worm's path. These events are the raw
+    material of the witness-tree construction.
+    """
+
+    time: int
+    link: tuple
+    wavelength: int
+    blocked: int
+    blocker: int
+    link_pos: int
+    kind: CollisionKind
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Engine output for one forward pass of launched worms.
+
+    ``outcomes`` maps worm uid to its :class:`WormOutcome`;
+    ``collisions`` lists every losing conflict in time order;
+    ``makespan`` is the last step during which any flit moved (``None``
+    for a round in which nothing survived long enough to matter).
+    """
+
+    outcomes: dict[int, WormOutcome]
+    collisions: tuple[CollisionEvent, ...]
+    makespan: int | None
+
+    @property
+    def delivered(self) -> list[int]:
+        """Uids delivered completely this round."""
+        return [uid for uid, o in self.outcomes.items() if o.delivered]
+
+    @property
+    def failed(self) -> list[int]:
+        """Uids that failed this round."""
+        return [uid for uid, o in self.outcomes.items() if not o.delivered]
+
+    @property
+    def n_delivered(self) -> int:
+        """Number of complete deliveries."""
+        return sum(1 for o in self.outcomes.values() if o.delivered)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of failures."""
+        return len(self.outcomes) - self.n_delivered
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Protocol-level bookkeeping for one round ``t``.
+
+    ``duration`` is the paper's nominal round budget
+    ``Delta_t + 2(D + L)``; ``observed_span`` is the simulated forward
+    makespan (plus ack span in simulated-ack mode). ``active_congestion``
+    is the path congestion C̃_t of the worms still active at the *start*
+    of the round (the Lemma 2.4 quantity), when tracking is enabled.
+    """
+
+    index: int
+    delay_range: int
+    active_before: int
+    delivered: int
+    eliminated: int
+    truncated: int
+    acked: int
+    duration: int
+    observed_span: int
+    active_congestion: int | None = None
+    faulted: int = 0
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of a full trial-and-failure execution.
+
+    ``delivered_round`` maps worm uid to the round (1-based) in which its
+    delivery was acknowledged; worms missing from it never finished inside
+    ``max_rounds``. ``total_time`` sums the nominal round durations (the
+    quantity the theorems bound); ``observed_time`` sums simulated spans.
+    """
+
+    completed: bool
+    rounds: int
+    total_time: int
+    observed_time: int
+    records: tuple[RoundRecord, ...]
+    delivered_round: dict[int, int]
+    collisions_per_round: tuple[tuple[CollisionEvent, ...], ...] = field(
+        default_factory=tuple
+    )
+    duplicate_deliveries: int = 0
+
+    @property
+    def n_worms_delivered(self) -> int:
+        """How many worms were delivered and acknowledged."""
+        return len(self.delivered_round)
+
+    def rounds_histogram(self) -> dict[int, int]:
+        """Round index -> number of worms first acknowledged that round."""
+        hist: dict[int, int] = {}
+        for r in self.delivered_round.values():
+            hist[r] = hist.get(r, 0) + 1
+        return dict(sorted(hist.items()))

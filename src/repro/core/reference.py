@@ -1,0 +1,278 @@
+"""An independent, brute-force reference simulator for differential tests.
+
+The production engine (:mod:`repro.core.engine`) is event-driven: it sorts
+head arrivals and maintains lazy occupancy records with truncation
+cascades. This module re-implements the *same physical model* in the most
+literal way possible -- one global time step at a time, tracking every
+individual flit -- so the two implementations share no algorithmic
+structure. The test suite runs both on random instances and demands
+bit-identical outcomes; any divergence is a bug in one of them.
+
+Model recap (Section 1.1): at step ``t`` the flit ``j`` of a worm with
+delay ``delta`` is scheduled to cross path link ``delta + ... `` -- here we
+do not even use that closed form. Each worm is a queue of flits; per step,
+every living flit advances one link; couplers watch each (directed link,
+wavelength) pair:
+
+* a head entering a link that carries another signal mid-transmission
+  triggers the rule: serve-first kills the arriving worm from that
+  coupler on, priority compares ranks and either kills the arriver or
+  cuts the occupant's remaining flits at that coupler;
+* simultaneous head entries on one (link, wavelength) follow the tie
+  rule.
+
+Deliberately slow (O(steps * worms * L)); use only for testing and for
+small demonstrations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.records import RoundResult
+from repro.errors import ProtocolError
+from repro.optics.coupler import CollisionRule, TieRule
+from repro.worms.worm import FailureKind, Launch, Worm, WormOutcome
+
+__all__ = ["reference_run_round"]
+
+
+class _RefWorm:
+    """Literal per-worm flit state."""
+
+    def __init__(self, worm: Worm, launch: Launch) -> None:
+        self.worm = worm
+        self.launch = launch
+        self.links = worm.links()
+        # Flit j occupies link (head_pos - j) during the current step, for
+        # flits that have entered and not yet left or been cut. We track,
+        # per flit index, the link index it crosses this step (None if not
+        # in the network this step).
+        self.cut_at: int | None = None  # link index of an elimination
+        self.cut_time: int | None = None
+        # Truncations: flits arriving at link `pos` at time >= `time` are
+        # dumped there. Multiple cuts may accumulate.
+        self.trunc: list[tuple[int, int]] = []  # (pos, time)
+        self.faulted = False
+        self.delivered_flits = 0
+        self.blockers: list[int] = []
+        self.last_arrival: int | None = None
+
+    def flit_link_at(self, flit: int, t: int) -> int | None:
+        """Which link flit ``flit`` crosses during step ``t`` (or None).
+
+        Without interference, flit ``j`` crosses link ``i`` during step
+        ``delay + i + j``. Interference only ever *removes* flits
+        (handled by the cut bookkeeping), never re-times them.
+        """
+        i = t - self.launch.delay - flit
+        if i < 0 or i >= len(self.links):
+            return None
+        return i
+
+    def flit_alive_at(self, flit: int, t: int) -> bool:
+        """Whether flit ``flit`` still exists when crossing at step ``t``.
+
+        A flit is destroyed if (a) the head was eliminated at link ``e``
+        -- flits are dumped when they reach ``e`` -- or (b) a truncation
+        at (pos, time) catches it: it would cross ``pos`` at a step >=
+        time.
+        """
+        i = self.flit_link_at(flit, t)
+        if i is None:
+            return False
+        if self.cut_at is not None and i >= self.cut_at:
+            # This flit would be at/past the elimination coupler: it was
+            # dumped there (the head never proceeded past cut_at).
+            return False
+        for pos, time in self.trunc:
+            # The flit crosses link `pos` during step delay + pos + flit;
+            # cut if that is >= the truncation time.
+            if i >= pos and self.launch.delay + pos + flit >= time:
+                return False
+        return True
+
+    def wavelength_at(self, i: int) -> int:
+        return self.launch.wavelength_at(i)
+
+
+def reference_run_round(
+    worms: Sequence[Worm],
+    launches: Sequence[Launch],
+    rule: CollisionRule,
+    tie_rule: TieRule = TieRule.ALL_LOSE,
+    capture: list | None = None,
+    dead_links: Sequence[tuple] | None = None,
+) -> RoundResult:
+    """Brute-force one forward pass; mirrors ``RoutingEngine.run_round``.
+
+    When ``capture`` is a list, the internal per-worm flit states are
+    appended to it after the run -- the tracing module renders occupancy
+    timelines from them. ``dead_links`` are dark fibers: heads entering
+    them are lost (failure kind ``FAULTED``).
+    """
+    dead = {tuple(link) for link in dead_links} if dead_links else set()
+    by_uid = {w.uid: w for w in worms}
+    refs: dict[int, _RefWorm] = {}
+    for launch in launches:
+        if launch.worm not in by_uid:
+            raise ProtocolError(f"launch names unknown worm uid {launch.worm}")
+        if launch.worm in refs:
+            raise ProtocolError(f"worm uid {launch.worm} launched twice")
+        refs[launch.worm] = _RefWorm(by_uid[launch.worm], launch)
+
+    horizon = max(
+        r.launch.delay + len(r.links) + r.worm.length for r in refs.values()
+    )
+
+    for t in range(horizon + 1):
+        # 1. Collect the heads entering links this step (flit 0 crossing a
+        #    link for the first time = entering it at step t).
+        entries: dict[tuple, list[_RefWorm]] = {}
+        for r in refs.values():
+            if r.cut_at is not None:
+                continue
+            i = r.flit_link_at(0, t)
+            if i is None or t != r.launch.delay + i:
+                continue
+            # The head enters link i now (heads are never truncated; a
+            # truncated worm keeps its head fragment moving).
+            link = r.links[i]
+            if link in dead:
+                r.cut_at = i
+                r.cut_time = t
+                r.faulted = True
+                continue
+            entries.setdefault((link, r.wavelength_at(i)), []).append(r)
+
+        # 2. Resolve each contended (link, wavelength).
+        for (link, wl), arrivers in entries.items():
+            # Occupant: any OTHER worm with a live flit scheduled on this
+            # link+wavelength this step that entered strictly earlier.
+            occupant: _RefWorm | None = None
+            for r in refs.values():
+                for flit in range(r.worm.length):
+                    i = r.flit_link_at(flit, t)
+                    if i is None or r.links[i] != link:
+                        continue
+                    if r.wavelength_at(i) != wl:
+                        continue
+                    if r.launch.delay + i == t:
+                        continue  # entering now: an arriver, not occupant
+                    if r.flit_alive_at(flit, t):
+                        occupant = r
+                        occ_link_pos = i
+                        break
+                if occupant is not None:
+                    break
+
+            def eliminate(victim: _RefWorm, pos: int, blocker: _RefWorm) -> None:
+                victim.cut_at = pos
+                victim.cut_time = t
+                victim.blockers.append(blocker.worm.uid)
+
+            def truncate(victim: _RefWorm, pos: int, blocker: _RefWorm) -> None:
+                victim.trunc.append((pos, t))
+                victim.blockers.append(blocker.worm.uid)
+
+            if rule is CollisionRule.SERVE_FIRST:
+                if occupant is not None:
+                    for a in arrivers:
+                        eliminate(a, a.flit_link_at(0, t), occupant)
+                elif len(arrivers) > 1:
+                    if tie_rule is TieRule.ALL_LOSE:
+                        for a in arrivers:
+                            other = next(x for x in arrivers if x is not a)
+                            eliminate(a, a.flit_link_at(0, t), other)
+                    else:
+                        winner = min(arrivers, key=lambda x: x.worm.uid)
+                        for a in arrivers:
+                            if a is not winner:
+                                eliminate(a, a.flit_link_at(0, t), winner)
+            else:  # PRIORITY
+                best = max(
+                    arrivers, key=lambda x: (x.launch.priority, -x.worm.uid)
+                )
+                top = [
+                    a for a in arrivers if a.launch.priority == best.launch.priority
+                ]
+                if len(top) > 1 and tie_rule is TieRule.ALL_LOSE:
+                    for a in arrivers:
+                        other = next(x for x in arrivers if x is not a)
+                        eliminate(a, a.flit_link_at(0, t), other)
+                    if occupant is not None and occupant.launch.priority <= best.launch.priority:
+                        truncate(occupant, occ_link_pos, best)
+                    continue
+                if len(top) > 1:
+                    best = min(top, key=lambda x: x.worm.uid)
+                # Arrivals below the best lose outright.
+                for a in arrivers:
+                    if a is not best:
+                        eliminate(a, a.flit_link_at(0, t), best)
+                if occupant is None:
+                    continue
+                if best.launch.priority > occupant.launch.priority:
+                    truncate(occupant, occ_link_pos, best)
+                elif best.launch.priority < occupant.launch.priority:
+                    eliminate(best, best.flit_link_at(0, t), occupant)
+                else:  # tie with occupant
+                    if tie_rule is TieRule.ALL_LOSE:
+                        eliminate(best, best.flit_link_at(0, t), occupant)
+                        truncate(occupant, occ_link_pos, best)
+                    elif best.worm.uid < occupant.worm.uid:
+                        truncate(occupant, occ_link_pos, best)
+                    else:
+                        eliminate(best, best.flit_link_at(0, t), occupant)
+
+    # 3. Deliveries: count flits that crossed the final link alive.
+    outcomes: dict[int, WormOutcome] = {}
+    makespan: int | None = None
+    for r in refs.values():
+        L = r.worm.length
+        last = len(r.links) - 1
+        delivered = 0
+        completion = None
+        for flit in range(L):
+            t_cross = r.launch.delay + last + flit
+            if r.flit_link_at(flit, t_cross) == last and r.flit_alive_at(
+                flit, t_cross
+            ):
+                delivered += 1
+                completion = t_cross
+        uid = r.worm.uid
+        if r.cut_at is not None:
+            outcomes[uid] = WormOutcome(
+                worm=uid,
+                delivered=False,
+                delivered_flits=0,
+                failure=(
+                    FailureKind.FAULTED if r.faulted else FailureKind.ELIMINATED
+                ),
+                failed_at_link=r.cut_at,
+                blockers=tuple(r.blockers),
+            )
+            span = r.launch.delay + r.cut_at
+        elif delivered < L:
+            outcomes[uid] = WormOutcome(
+                worm=uid,
+                delivered=False,
+                delivered_flits=delivered,
+                failure=FailureKind.TRUNCATED,
+                completion_time=completion,
+                blockers=tuple(r.blockers),
+            )
+            span = completion if completion is not None else r.launch.delay
+        else:
+            outcomes[uid] = WormOutcome(
+                worm=uid,
+                delivered=True,
+                delivered_flits=L,
+                completion_time=completion,
+                blockers=tuple(r.blockers),
+            )
+            span = completion
+        makespan = span if makespan is None else max(makespan, span)
+
+    if capture is not None:
+        capture.extend(refs.values())
+    return RoundResult(outcomes=outcomes, collisions=(), makespan=makespan)

@@ -1,0 +1,196 @@
+"""Delay-range schedules ``Delta_t`` for the trial-and-failure protocol.
+
+Round ``t`` launches every active worm with a uniform random startup delay
+in ``[Delta_t]``. The paper's analysis (Section 2.1) chooses
+
+    Delta_t = max{ 32*L*C_t/B, 32*L*C/(B*log n), 40*e^2*L*delta*log(n)/B }
+              + D + L,
+
+with ``C_t = max{C/2^(t-1), Theta(log n)}`` the (halving) congestion bound
+of Lemma 2.4; Section 3.1 uses the analogous choice with constants
+``16 / (3e)^3`` and a ``log^(3/2) n`` floor. Those constants guarantee the
+w.h.p. statements but are very conservative at simulatable sizes, so the
+practical :class:`GeometricSchedule` keeps the same *functional form* --
+geometric halving with a logarithmic floor -- behind tunable constants.
+Experiments state which schedule (and scale) they use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro._util import log2_safe
+
+__all__ = [
+    "ScheduleContext",
+    "DelaySchedule",
+    "PaperSchedule",
+    "PaperShortcutSchedule",
+    "GeometricSchedule",
+    "FixedSchedule",
+    "ZeroDelaySchedule",
+]
+
+
+@dataclass(frozen=True)
+class ScheduleContext:
+    """Instance parameters a schedule may consult.
+
+    ``congestion`` is the initial path congestion C̃ of the collection;
+    ``current_congestion``, when provided by the protocol, is the measured
+    path congestion of the still-active worms (C̃_t), letting adaptive
+    schedules react to the actual halving instead of assuming it.
+    """
+
+    n: int
+    bandwidth: int
+    worm_length: int
+    dilation: int
+    congestion: int
+    current_congestion: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("n", "bandwidth", "worm_length", "dilation", "congestion"):
+            if getattr(self, name) <= 0:
+                raise ScheduleError(f"{name} must be positive, got {getattr(self, name)}")
+
+    @property
+    def log_n(self) -> float:
+        """``log2 n`` clamped to >= 1."""
+        return log2_safe(self.n)
+
+    def congestion_at(self, round_index: int) -> float:
+        """The Lemma 2.4 congestion bound ``max{C/2^(t-1), log n}``.
+
+        Uses the measured congestion when the protocol supplies one.
+        """
+        if self.current_congestion is not None:
+            return max(float(self.current_congestion), 1.0)
+        halved = self.congestion / (2.0 ** (round_index - 1))
+        return max(halved, self.log_n)
+
+
+class DelaySchedule:
+    """Base class: map a round index (1-based) to a delay range ``>= 1``."""
+
+    def delay_range(self, round_index: int, ctx: ScheduleContext) -> int:
+        """The ``Delta_t`` for round ``round_index`` under ``ctx``."""
+        if round_index < 1:
+            raise ScheduleError(f"round index must be >= 1, got {round_index}")
+        value = self._delta(round_index, ctx)
+        return max(1, int(math.ceil(value)))
+
+    def _delta(self, round_index: int, ctx: ScheduleContext) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PaperSchedule(DelaySchedule):
+    """Section 2.1's schedule, constants verbatim, with an optional scale.
+
+    ``delta_const`` is the paper's free constant ``delta`` in the
+    ``40 e^2 L delta log n / B`` floor term. ``scale`` multiplies the
+    congestion/floor part (not the additive ``D + L``), so experiments can
+    keep the paper's shape while taming its constants; ``scale=1`` is
+    verbatim.
+    """
+
+    scale: float = 1.0
+    delta_const: float = 1.0
+    include_dl: bool = True
+
+    def _delta(self, t: int, ctx: ScheduleContext) -> float:
+        if self.scale <= 0:
+            raise ScheduleError(f"scale must be positive, got {self.scale}")
+        L, B, C = ctx.worm_length, ctx.bandwidth, ctx.congestion
+        log_n = ctx.log_n
+        core = max(
+            32.0 * L * ctx.congestion_at(t) / B,
+            32.0 * L * C / (B * log_n),
+            40.0 * math.e**2 * L * self.delta_const * log_n / B,
+        )
+        extra = (ctx.dilation + L) if self.include_dl else 0
+        return self.scale * core + extra
+
+
+@dataclass(frozen=True)
+class PaperShortcutSchedule(DelaySchedule):
+    """Section 3.1's schedule for short-cut-free collections.
+
+    ``Delta_t = max{16 L C_t / B, 16 L C/(B log n),
+    (3e)^3 L delta log^{3/2} n / B} + D + L``.
+    """
+
+    scale: float = 1.0
+    delta_const: float = 1.0
+    include_dl: bool = True
+
+    def _delta(self, t: int, ctx: ScheduleContext) -> float:
+        if self.scale <= 0:
+            raise ScheduleError(f"scale must be positive, got {self.scale}")
+        L, B, C = ctx.worm_length, ctx.bandwidth, ctx.congestion
+        log_n = ctx.log_n
+        core = max(
+            16.0 * L * ctx.congestion_at(t) / B,
+            16.0 * L * C / (B * log_n),
+            (3.0 * math.e) ** 3 * L * self.delta_const * log_n**1.5 / B,
+        )
+        extra = (ctx.dilation + L) if self.include_dl else 0
+        return self.scale * core + extra
+
+
+@dataclass(frozen=True)
+class GeometricSchedule(DelaySchedule):
+    """The practical schedule: geometric halving over a logarithmic floor.
+
+    ``Delta_t = max{c_congestion * L * C_t / B,
+    c_floor * L * log n / B, 1}`` (+ ``D + L`` when ``include_dl``).
+    ``c_congestion`` around 4 makes the per-worm failure probability about
+    1/2 per contender window, enough for the halving dynamics of
+    Lemma 2.4 to show at laptop sizes.
+    """
+
+    c_congestion: float = 4.0
+    c_floor: float = 1.0
+    include_dl: bool = False
+
+    def _delta(self, t: int, ctx: ScheduleContext) -> float:
+        if self.c_congestion <= 0:
+            raise ScheduleError(
+                f"c_congestion must be positive, got {self.c_congestion}"
+            )
+        if self.c_floor < 0:
+            raise ScheduleError(f"c_floor must be >= 0, got {self.c_floor}")
+        L, B = ctx.worm_length, ctx.bandwidth
+        core = max(
+            self.c_congestion * L * ctx.congestion_at(t) / B,
+            self.c_floor * L * ctx.log_n / B,
+        )
+        extra = (ctx.dilation + L) if self.include_dl else 0
+        return core + extra
+
+
+@dataclass(frozen=True)
+class FixedSchedule(DelaySchedule):
+    """A constant delay range, every round."""
+
+    delta: int = 1
+
+    def _delta(self, t: int, ctx: ScheduleContext) -> float:
+        if self.delta < 1:
+            raise ScheduleError(f"delta must be >= 1, got {self.delta}")
+        return float(self.delta)
+
+
+@dataclass(frozen=True)
+class ZeroDelaySchedule(DelaySchedule):
+    """Delay range 1, i.e. every worm launches immediately (delay 0).
+
+    The degenerate baseline for ablation E-AB1: randomness comes only from
+    wavelengths, so heavy collisions persist round after round.
+    """
+
+    def _delta(self, t: int, ctx: ScheduleContext) -> float:
+        return 1.0

@@ -1,0 +1,82 @@
+"""Observables over protocol executions.
+
+Lemma 2.4 is a statement about the *trajectory* of the active worms' path
+congestion; Lemma 2.10 about the *survivor counts* in a bundle. These
+helpers pull exactly those trajectories out of a
+:class:`~repro.core.records.ProtocolResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import ProtocolResult
+
+__all__ = [
+    "congestion_history",
+    "survivor_history",
+    "failure_breakdown",
+    "rounds_to_completion",
+    "group_completion_rounds",
+]
+
+
+def congestion_history(result: ProtocolResult) -> list[int | None]:
+    """Path congestion C̃_t of the active worms at the start of each round.
+
+    Entries are ``None`` when the protocol ran with
+    ``track_congestion=False``.
+    """
+    return [r.active_congestion for r in result.records]
+
+
+def survivor_history(result: ProtocolResult) -> list[int]:
+    """Number of active worms at the start of each round (index 0 = round 1)."""
+    return [r.active_before for r in result.records]
+
+
+def failure_breakdown(result: ProtocolResult) -> dict[str, int]:
+    """Total eliminations / truncations / faults over the execution."""
+    return {
+        "eliminated": sum(r.eliminated for r in result.records),
+        "truncated": sum(r.truncated for r in result.records),
+        "faulted": sum(r.faulted for r in result.records),
+    }
+
+
+def rounds_to_completion(result: ProtocolResult) -> int:
+    """Rounds used; raises if the protocol hit its round limit.
+
+    Use ``result.rounds`` directly when truncated executions are
+    acceptable.
+    """
+    if not result.completed:
+        raise ValueError(
+            f"protocol did not complete within {result.rounds} rounds; "
+            "raise max_rounds or inspect result.records"
+        )
+    return result.rounds
+
+
+def group_completion_rounds(
+    result: ProtocolResult, groups: dict
+) -> dict[object, int | None]:
+    """Per-group completion round (max over the group's worms).
+
+    ``groups`` maps a label to a list of worm uids (the
+    :class:`~repro.paths.gadgets.GadgetInstance` convention). A group maps
+    to ``None`` if any of its worms never finished.
+    """
+    out: dict[object, int | None] = {}
+    for label, uids in groups.items():
+        rounds = [result.delivered_round.get(uid) for uid in uids]
+        out[label] = None if any(r is None for r in rounds) else max(rounds)
+    return out
+
+
+def quantiles(values, qs=(0.5, 0.9, 1.0)) -> dict[float, float]:
+    """Named quantiles of a sample (the experiments' summary statistic)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take quantiles of an empty sample")
+    return {q: float(np.quantile(arr, q)) for q in qs}

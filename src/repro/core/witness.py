@@ -1,0 +1,275 @@
+"""Witness trees (Figure 4) extracted from real protocol executions.
+
+Section 2.1's delay-tree argument: if a worm is still active after ``t``
+rounds, a binary *witness tree* of depth ``t`` exists whose nodes are
+worms and whose sibling pairs are collision events -- the left son repeats
+the father's worm, the right son is the worm that prevented it from moving
+forward in the corresponding round. This module rebuilds those trees from
+the collision logs of an actual run (so the embedding is *active* by
+construction) and validates the structural facts the proof rests on:
+
+* Definition 2.1's validity conditions for the embedding;
+* Definition 2.3's per-level blocking graphs ``G_i``;
+* Claim 2.6: in leveled collections under serve-first, or short-cut-free
+  collections under priority, every ``G_i`` is a forest of directed trees
+  rooted at new worms. (Under serve-first with cyclic gadgets the claim
+  genuinely fails -- blocking cycles appear -- which is exactly the gap
+  between Main Theorems 1.1/1.3 and 1.2; experiment E-F4 demonstrates
+  both.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.records import CollisionEvent, ProtocolResult
+from repro.errors import WitnessError
+from repro.paths.collection import PathCollection
+
+__all__ = [
+    "WitnessNode",
+    "build_witness_tree",
+    "blocked_by_maps",
+    "blocking_graphs",
+    "validate_witness_tree",
+    "check_blocking_forest",
+    "ForestCheck",
+]
+
+_MAX_TREE_NODES = 1 << 20
+
+
+@dataclass
+class WitnessNode:
+    """One node of a witness tree: a worm at a level of W(t)."""
+
+    worm: int
+    level: int
+    left: "WitnessNode | None" = None
+    right: "WitnessNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children (level == tree depth)."""
+        return self.left is None and self.right is None
+
+    def iter_nodes(self):
+        """Depth-first iteration over the subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+
+def blocked_by_maps(
+    collisions_per_round: tuple[tuple[CollisionEvent, ...], ...],
+) -> list[dict[int, int]]:
+    """Per-round maps: blocked worm -> its first blocker that round.
+
+    The first failure event is the one that "prevented the worm from
+    moving forward"; later events against the same worm (draining-tail
+    truncations) do not change the witness.
+    """
+    maps: list[dict[int, int]] = []
+    for events in collisions_per_round:
+        m: dict[int, int] = {}
+        for ev in events:
+            if ev.blocked not in m:
+                m[ev.blocked] = ev.blocker
+        maps.append(m)
+    return maps
+
+
+def build_witness_tree(
+    result: ProtocolResult, worm: int, depth: int | None = None
+) -> WitnessNode:
+    """The witness tree W(depth) for a worm, from a run's collision logs.
+
+    Requires the protocol to have run with ``collect_collisions=True`` and
+    ``ack_mode="ideal"`` (so "active" and "failed every earlier round"
+    coincide). ``depth`` defaults to the number of rounds the worm stayed
+    failing; it must satisfy Lemma 2.2's hypothesis that the worm is still
+    active after ``depth`` rounds.
+    """
+    if not result.collisions_per_round:
+        raise WitnessError(
+            "no collision logs; run the protocol with collect_collisions=True"
+        )
+    maps = blocked_by_maps(result.collisions_per_round)
+    acked_round = result.delivered_round.get(worm)
+    failed_rounds = (acked_round - 1) if acked_round is not None else len(maps)
+    if depth is None:
+        depth = failed_rounds
+    if depth < 1:
+        raise WitnessError(
+            f"worm {worm} succeeded in round 1; no witness tree exists"
+        )
+    if depth > failed_rounds:
+        raise WitnessError(
+            f"worm {worm} only failed {failed_rounds} rounds; cannot witness depth {depth}"
+        )
+    if 2 ** (depth + 1) > _MAX_TREE_NODES:
+        raise WitnessError(
+            f"depth {depth} would create ~2^{depth + 1} nodes; pass a smaller depth"
+        )
+
+    def grow(w: int, level: int) -> WitnessNode:
+        node = WitnessNode(worm=w, level=level)
+        if level == depth:
+            return node
+        round_index = depth - level  # 1-based round whose collision we cite
+        blocker = maps[round_index - 1].get(w)
+        if blocker is None:
+            raise WitnessError(
+                f"worm {w} has no recorded blocker in round {round_index}; "
+                "witness trees need ideal acks (a delivered-but-unacked worm "
+                "fails a round without colliding)"
+            )
+        node.left = grow(w, level + 1)
+        node.right = grow(blocker, level + 1)
+        return node
+
+    return grow(worm, 0)
+
+
+@dataclass(frozen=True)
+class ForestCheck:
+    """Result of the Claim 2.6 structure check on one blocking graph."""
+
+    is_forest: bool
+    roots_are_new: bool
+    cycle: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the graph satisfies Claim 2.6 in full."""
+        return self.is_forest and self.roots_are_new
+
+
+def blocking_graphs(tree: WitnessNode) -> list[dict]:
+    """The per-level blocking graphs ``G_i`` of Definition 2.3.
+
+    Entry ``i - 1`` describes level ``i >= 1``: keys ``nodes`` (worms
+    embedded at level ``i``), ``edges`` (collision pairs ``(w, w')``: ``w``
+    blocked by ``w'``), and ``new`` (worms at level ``i`` absent from
+    level ``i - 1``).
+    """
+    depth = max(n.level for n in tree.iter_nodes())
+    level_nodes: list[set[int]] = [set() for _ in range(depth + 1)]
+    level_edges: list[set[tuple[int, int]]] = [set() for _ in range(depth + 1)]
+    for node in tree.iter_nodes():
+        level_nodes[node.level].add(node.worm)
+        if node.left is not None and node.right is not None:
+            level_edges[node.level + 1].add((node.left.worm, node.right.worm))
+    graphs = []
+    for i in range(1, depth + 1):
+        graphs.append(
+            {
+                "level": i,
+                "nodes": set(level_nodes[i]),
+                "edges": set(level_edges[i]),
+                "new": set(level_nodes[i]) - set(level_nodes[i - 1]),
+            }
+        )
+    return graphs
+
+
+def check_blocking_forest(graph: dict) -> ForestCheck:
+    """Check one ``G_i`` against Claim 2.6.
+
+    The claim: connected components are directed trees whose roots
+    (out-degree zero nodes) are exactly the new worms. Each blocked worm
+    has one witness, so out-degree <= 1 holds by construction; the real
+    content is acyclicity plus the root/new correspondence.
+    """
+    out_edge: dict[int, int] = {}
+    for w, w2 in graph["edges"]:
+        if w in out_edge and out_edge[w] != w2:
+            # Two witnesses for one worm: not a valid embedding at all.
+            return ForestCheck(is_forest=False, roots_are_new=False)
+        out_edge[w] = w2
+
+    # Follow witness chains; a repeat inside the current chain is a cycle.
+    visited: set[int] = set()
+    for start in graph["nodes"]:
+        if start in visited:
+            continue
+        chain: list[int] = []
+        on_chain: set[int] = set()
+        w = start
+        while True:
+            if w in on_chain:
+                cycle_start = chain.index(w)
+                return ForestCheck(
+                    is_forest=False,
+                    roots_are_new=False,
+                    cycle=tuple(chain[cycle_start:]),
+                )
+            if w in visited:
+                break
+            chain.append(w)
+            on_chain.add(w)
+            visited.add(w)
+            nxt = out_edge.get(w)
+            if nxt is None:
+                break
+            w = nxt
+
+    roots = {w for w in graph["nodes"] if w not in out_edge}
+    return ForestCheck(is_forest=True, roots_are_new=(roots == graph["new"]))
+
+
+def validate_witness_tree(
+    tree: WitnessNode, collection: PathCollection | None = None
+) -> None:
+    """Check Definition 2.1's validity conditions; raise on violation.
+
+    * every collision pair has distinct worms;
+    * the blocked worm is also embedded in the father;
+    * each worm has at most one witness per level;
+    * (when ``collection`` is given) the two paths share a directed link.
+    """
+    link_sets: dict[int, set] = {}
+
+    def links_of(uid: int) -> set:
+        got = link_sets.get(uid)
+        if got is None:
+            path = collection[uid]
+            got = set(zip(path, path[1:]))
+            link_sets[uid] = got
+        return got
+
+    witness_at_level: dict[tuple[int, int], int] = {}
+    for node in tree.iter_nodes():
+        left, right = node.left, node.right
+        if (left is None) != (right is None):
+            raise WitnessError(f"node for worm {node.worm} has exactly one child")
+        if left is None:
+            continue
+        if left.worm != node.worm:
+            raise WitnessError(
+                f"left son ({left.worm}) must repeat the father ({node.worm})"
+            )
+        if left.worm == right.worm:
+            raise WitnessError(
+                f"collision pair at level {left.level} has identical worms {left.worm}"
+            )
+        key = (left.level, left.worm)
+        prev = witness_at_level.get(key)
+        if prev is None:
+            witness_at_level[key] = right.worm
+        elif prev != right.worm:
+            raise WitnessError(
+                f"worm {left.worm} has two witnesses at level {left.level}: "
+                f"{prev} and {right.worm}"
+            )
+        if collection is not None and links_of(left.worm).isdisjoint(
+            links_of(right.worm)
+        ):
+            raise WitnessError(
+                f"paths of colliding worms {left.worm} and {right.worm} share no link"
+            )

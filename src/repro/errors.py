@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology was constructed or queried inconsistently."""
+
+
+class PathError(ReproError):
+    """A path or path collection violates a structural requirement."""
+
+
+class ProtocolError(ReproError):
+    """The routing protocol was configured or driven incorrectly."""
+
+
+class ScheduleError(ReproError):
+    """A delay-range schedule received invalid parameters."""
+
+
+class WitnessError(ReproError):
+    """A witness-tree structure failed validation."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or sweep was configured incorrectly."""

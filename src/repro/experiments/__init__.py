@@ -1,0 +1,81 @@
+"""The experiment harness: regenerate every theorem's predicted behaviour.
+
+The paper is a theory paper -- its "tables and figures" are theorem
+statements, lemma-level dynamics, and the gadget constructions of the
+lower-bound proofs. Each experiment module reproduces one of them as a
+measured table next to the paper's predicted shape (see DESIGN.md's
+experiment index and EXPERIMENTS.md for recorded outcomes):
+
+========  ==========================================  =========================
+Exp id    Paper reference                             Module
+========  ==========================================  =========================
+E-F4      Fig. 4 / Defs 2.1-2.3 / Claim 2.6           exp_witness
+E-T11     Main Theorem 1.1 (leveled, serve-first)     exp_mt11
+E-T12/13  Main Theorems 1.2/1.3 (cyclic gadgets)      exp_mt12_13
+E-LB1     Section 2.2 lower bound (staircases)        exp_lower_bounds
+E-LB2     Section 2.2 / Lemma 2.10 (bundles)          exp_lower_bounds
+E-L24     Lemma 2.4 (congestion halving)              exp_lemma24
+E-T15     Theorem 1.5 (node-symmetric networks)       exp_thm15
+E-T16     Theorem 1.6 (d-dimensional meshes)          exp_thm16
+E-T17     Theorem 1.7 (butterflies, q-functions)      exp_thm17
+E-CMP     Section 1.2 comparisons ([11], TDM)         exp_baselines
+E-AB1..3  model/schedule ablations                    exp_ablations
+E-EXT1-3  Section 4 open problems                     exp_extensions
+E-PRED    mean-field model vs simulation              exp_predictor
+E-RWA     static wavelength assignment (Sec 1.2)      exp_rwa
+E-FAULT   transient link-fault resilience             exp_resilience
+E-ADV     assembled S2.2/S3.2 adversaries             exp_adversary
+E-HARD    worst-case permutations + Valiant's trick   exp_hard_permutations
+========  ==========================================  =========================
+
+Every ``run(...)`` returns a :class:`~repro.experiments.tables.Table`
+whose text rendering is what the benchmark harness prints.
+"""
+
+from repro.experiments.tables import Table, fit_constant, shape_correlation
+from repro.experiments.runner import trial_values, trial_mean, spawn_seeds
+from repro.experiments import workloads
+from repro.experiments import (
+    exp_mt11,
+    exp_mt12_13,
+    exp_lower_bounds,
+    exp_lemma24,
+    exp_thm15,
+    exp_thm16,
+    exp_thm17,
+    exp_baselines,
+    exp_ablations,
+    exp_witness,
+    exp_extensions,
+    exp_predictor,
+    exp_rwa,
+    exp_resilience,
+    exp_adversary,
+    exp_hard_permutations,
+)
+
+__all__ = [
+    "Table",
+    "fit_constant",
+    "shape_correlation",
+    "trial_values",
+    "trial_mean",
+    "spawn_seeds",
+    "workloads",
+    "exp_mt11",
+    "exp_mt12_13",
+    "exp_lower_bounds",
+    "exp_lemma24",
+    "exp_thm15",
+    "exp_thm16",
+    "exp_thm17",
+    "exp_baselines",
+    "exp_ablations",
+    "exp_witness",
+    "exp_extensions",
+    "exp_predictor",
+    "exp_rwa",
+    "exp_resilience",
+    "exp_adversary",
+    "exp_hard_permutations",
+]

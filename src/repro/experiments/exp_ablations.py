@@ -1,0 +1,258 @@
+"""E-AB1/2/3 -- ablations of the protocol's design choices.
+
+* **E-AB1 schedule**: the geometric delay schedule vs a fixed range vs no
+  delays at all. The paper's schedule shape (halving over a log floor)
+  should dominate: zero delays leave only wavelength randomness and stall
+  at high congestion; an untuned fixed range wastes time per round.
+* **E-AB2 bandwidth**: total time across B, isolating the ``L C̃ / B``
+  congestion term.
+* **E-AB3 model knobs**: worm length sweep, tie rule, and simulated vs
+  ideal acknowledgements (round inflation and duplicate deliveries).
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import route_collection
+from repro.core.schedule import (
+    FixedSchedule,
+    GeometricSchedule,
+    PaperSchedule,
+    ZeroDelaySchedule,
+)
+from repro.experiments.runner import trial_mean, trial_values
+from repro.experiments.tables import Table
+from repro.experiments.workloads import bundle_instance, mesh_random_function
+from repro.optics.coupler import TieRule
+
+__all__ = [
+    "run_schedule_ablation",
+    "run_bandwidth_sweep",
+    "run_length_sweep",
+    "run_tie_rule",
+    "run_ack_modes",
+    "run_priority_modes",
+    "run",
+]
+
+
+def run_schedule_ablation(
+    congestion=64, D=8, worm_length=4, bandwidth=1, trials=5, seed=0
+) -> Table:
+    """E-AB1: rounds and time under different delay schedules."""
+    coll = bundle_instance(congestion, D).collection
+    schedules = {
+        "geometric(c=2)": GeometricSchedule(c_congestion=2.0, c_floor=0.5),
+        "geometric(c=8)": GeometricSchedule(c_congestion=8.0, c_floor=0.5),
+        "paper(verbatim)": PaperSchedule(),
+        "fixed(Delta=L*C/B)": FixedSchedule(delta=worm_length * congestion // bandwidth),
+        "fixed(Delta=16)": FixedSchedule(delta=16),
+        "zero-delay": ZeroDelaySchedule(),
+    }
+    table = Table(
+        title=f"E-AB1: delay-schedule ablation on bundle(C={congestion}, D={D}), "
+        f"B={bandwidth}, L={worm_length}",
+        columns=["schedule", "rounds(mean)", "time(mean)", "completed"],
+    )
+    for name, schedule in schedules.items():
+        def one(s, schedule=schedule):
+            res = route_collection(
+                coll,
+                bandwidth=bandwidth,
+                worm_length=worm_length,
+                schedule=schedule,
+                max_rounds=1000,
+                track_congestion=False,
+                rng=s,
+            )
+            return res.rounds, res.total_time, res.completed
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            name,
+            sum(r for r, _, _ in outs) / len(outs),
+            sum(t for _, t, _ in outs) / len(outs),
+            all(c for _, _, c in outs),
+        )
+    table.notes = (
+        "zero-delay wastes rounds (only wavelength randomness); the paper's "
+        "verbatim constants are safe but slow; tuned geometric wins"
+    )
+    return table
+
+
+def run_bandwidth_sweep(
+    congestion=64, D=8, worm_length=4, bandwidths=(1, 2, 4, 8), trials=5, seed=0
+) -> Table:
+    """E-AB2: the L*C~/B congestion term in isolation."""
+    coll = bundle_instance(congestion, D).collection
+    table = Table(
+        title=f"E-AB2: bandwidth sweep on bundle(C={congestion}, D={D}), "
+        f"L={worm_length}",
+        columns=["B", "time(mean)", "time*B"],
+    )
+    for B in bandwidths:
+        t = trial_mean(
+            lambda s, B=B: route_collection(
+                coll,
+                bandwidth=B,
+                worm_length=worm_length,
+                schedule=GeometricSchedule(c_congestion=2.0),
+                rng=s,
+            ).total_time,
+            trials,
+            seed,
+        )
+        table.add(B, t, t * B)
+    table.notes = (
+        "time*B flattening out = the congestion term scales as 1/B until "
+        "the (D+L)-per-round floor dominates"
+    )
+    return table
+
+
+def run_length_sweep(
+    congestion=32, D=8, lengths=(1, 2, 4, 8, 16), bandwidth=2, trials=5, seed=0
+) -> Table:
+    """E-AB3a: worm length sweep (the L factor in every term)."""
+    coll = bundle_instance(congestion, D).collection
+    table = Table(
+        title=f"E-AB3a: worm-length sweep on bundle(C={congestion}, D={D}), "
+        f"B={bandwidth}",
+        columns=["L", "rounds(mean)", "time(mean)", "time/L"],
+    )
+    for L in lengths:
+        def one(s, L=L):
+            res = route_collection(
+                coll,
+                bandwidth=bandwidth,
+                worm_length=L,
+                schedule=GeometricSchedule(c_congestion=2.0),
+                rng=s,
+            )
+            return res.rounds, res.total_time
+
+        outs = trial_values(one, trials, seed)
+        t = sum(tt for _, tt in outs) / len(outs)
+        table.add(L, sum(r for r, _ in outs) / len(outs), t, t / L)
+    table.notes = "total time grows ~linearly in L once L dominates D"
+    return table
+
+
+def run_tie_rule(congestion=48, D=8, worm_length=4, trials=10, seed=0) -> Table:
+    """E-AB3b: the unspecified simultaneous-arrival rule barely matters."""
+    coll = bundle_instance(congestion, D).collection
+    table = Table(
+        title=f"E-AB3b: tie-rule ablation on bundle(C={congestion}, D={D})",
+        columns=["tie rule", "rounds(mean)", "time(mean)"],
+    )
+    for tie in (TieRule.ALL_LOSE, TieRule.LOWEST_ID_WINS):
+        def one(s, tie=tie):
+            res = route_collection(
+                coll,
+                bandwidth=1,
+                worm_length=worm_length,
+                tie_rule=tie,
+                schedule=GeometricSchedule(c_congestion=2.0),
+                rng=s,
+            )
+            return res.rounds, res.total_time
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            tie.value,
+            sum(r for r, _ in outs) / len(outs),
+            sum(t for _, t in outs) / len(outs),
+        )
+    table.notes = (
+        "exact simultaneous arrivals are rare under random delays, so the "
+        "paper leaving the case unspecified is harmless"
+    )
+    return table
+
+
+def run_ack_modes(congestion=48, D=8, worm_length=4, trials=5, seed=0) -> Table:
+    """E-AB3c: the paper's ideal-ack simplification vs simulated acks."""
+    coll = bundle_instance(congestion, D).collection
+    table = Table(
+        title=f"E-AB3c: acknowledgement ablation on bundle(C={congestion}, D={D})",
+        columns=["ack mode", "rounds(mean)", "duplicates(mean)"],
+    )
+    for mode, ack_len in (("ideal", 1), ("simulated", 1), ("simulated", worm_length)):
+        def one(s, mode=mode, ack_len=ack_len):
+            res = route_collection(
+                coll,
+                bandwidth=2,
+                worm_length=worm_length,
+                ack_mode=mode,
+                ack_length=ack_len,
+                schedule=GeometricSchedule(c_congestion=2.0),
+                max_rounds=1000,
+                rng=s,
+            )
+            assert res.completed
+            return res.rounds, res.duplicate_deliveries
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            f"{mode}(ack_len={ack_len})",
+            sum(r for r, _ in outs) / len(outs),
+            sum(d for _, d in outs) / len(outs),
+        )
+    table.notes = (
+        "reserved ack band keeps simulated acks cheap; duplicates appear "
+        "only when acks are long relative to their spacing"
+    )
+    return table
+
+
+def run_priority_modes(n_structures=32, D=8, worm_length=4, trials=10, seed=0) -> Table:
+    """E-AB3d: MT 1.3 holds "for any assignment of priorities ... whether
+    these priorities are changed from round to round, chosen randomly, or
+    deterministically" -- as long as colliding worms never tie. Measured:
+    cyclic triangle fields under fresh-random, uid-order and reverse-uid
+    priorities."""
+    from repro.core.schedule import FixedSchedule
+    from repro.experiments.workloads import triangle_field
+    from repro.optics.coupler import CollisionRule
+
+    coll = triangle_field(n_structures, D=D, L=worm_length).collection
+    table = Table(
+        title=f"E-AB3d: priority-assignment ablation on {n_structures} "
+        f"triangles (L={worm_length})",
+        columns=["priority mode", "rounds(mean)", "rounds(max)"],
+    )
+    for mode in ("random", "uid", "reverse_uid"):
+        def one(s, mode=mode):
+            res = route_collection(
+                coll,
+                bandwidth=1,
+                rule=CollisionRule.PRIORITY,
+                worm_length=worm_length,
+                priority_mode=mode,
+                schedule=FixedSchedule(delta=4),
+                max_rounds=2000,
+                track_congestion=False,
+                rng=s,
+            )
+            assert res.completed
+            return res.rounds
+
+        rounds = trial_values(one, trials, seed)
+        table.add(mode, sum(rounds) / len(rounds), max(rounds))
+    table.notes = (
+        "round counts agree across assignments -- the upper bound's "
+        "indifference to how priorities are chosen, observed"
+    )
+    return table
+
+
+def run(trials=5, seed=0) -> list[Table]:
+    """All ablation tables at default sizes."""
+    return [
+        run_schedule_ablation(trials=trials, seed=seed),
+        run_bandwidth_sweep(trials=trials, seed=seed),
+        run_length_sweep(trials=trials, seed=seed),
+        run_tie_rule(trials=2 * trials, seed=seed),
+        run_ack_modes(trials=trials, seed=seed),
+        run_priority_modes(trials=2 * trials, seed=seed),
+    ]

@@ -1,0 +1,106 @@
+"""E-ADV -- the fully assembled lower-bound constructions.
+
+Sections 2.2 and 3.2 build their lower bounds from *combined* collections:
+half the worms in chained type-1 structures (staircases, or cyclic
+triangles), half in type-2 bundles. This experiment routes the assembled
+instances exactly as constructed and breaks completion down per structure
+family, exhibiting both terms of the lower bound at once: the bundles
+drain in loglog-ish rounds while the type-1 structures supply the
+slow tail (sqrt(log n) for staircases, log n for triangles under
+serve-first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import ProtocolConfig, TrialAndFailureProtocol
+from repro.core.schedule import FixedSchedule
+from repro.core.stats import group_completion_rounds
+from repro.experiments.runner import spawn_seeds
+from repro.experiments.tables import Table
+from repro.experiments.workloads import leveled_adversary, shortcut_adversary
+from repro.optics.coupler import CollisionRule
+
+__all__ = ["run_assembled", "run"]
+
+
+def _route_grouped(inst, rule, bandwidth, worm_length, delta, trials, seed,
+                   max_rounds=4000):
+    """Mean completion round per structure family + overall."""
+    config = ProtocolConfig(
+        bandwidth=bandwidth,
+        rule=rule,
+        worm_length=worm_length,
+        schedule=FixedSchedule(delta=delta),
+        max_rounds=max_rounds,
+        track_congestion=False,
+    )
+    proto = TrialAndFailureProtocol(inst.collection, config)
+    family_rounds: dict[str, list[float]] = {}
+    totals = []
+    for s in spawn_seeds(seed, trials):
+        result = proto.run(s)
+        assert result.completed
+        totals.append(result.rounds)
+        per_group = group_completion_rounds(result, inst.groups)
+        per_family: dict[str, list[int]] = {}
+        for (family, _tag), rounds in per_group.items():
+            per_family.setdefault(family, []).append(rounds)
+        for family, vals in per_family.items():
+            family_rounds.setdefault(family, []).append(max(vals))
+    out = {f: float(np.mean(v)) for f, v in family_rounds.items()}
+    out["overall"] = float(np.mean(totals))
+    return out
+
+
+def run_assembled(
+    n=192, D=10, worm_length=4, congestion=16, bandwidth=1, delta=6,
+    trials=5, seed=0,
+) -> Table:
+    """Both assembled constructions, per-family completion rounds."""
+    table = Table(
+        title=f"E-ADV: assembled lower-bound instances "
+        f"(n~{n}, D={D}, L={worm_length}, C={congestion}, B={bandwidth}, "
+        f"Delta={delta})",
+        columns=["construction", "rule", "type-1 family rounds",
+                 "bundle rounds", "overall rounds"],
+    )
+    leveled = leveled_adversary(n=n, D=D, L=worm_length, congestion=congestion)
+    res = _route_grouped(
+        leveled, CollisionRule.SERVE_FIRST, bandwidth, worm_length, delta,
+        trials, seed,
+    )
+    table.add(
+        "S2.2 (staircases+bundles)", "serve-first",
+        res.get("staircase", float("nan")), res.get("bundle", float("nan")),
+        res["overall"],
+    )
+    cyclic = shortcut_adversary(n=n, D=D, L=worm_length, congestion=congestion)
+    for rule, label in (
+        (CollisionRule.SERVE_FIRST, "serve-first"),
+        (CollisionRule.PRIORITY, "priority"),
+    ):
+        res = _route_grouped(
+            cyclic, rule, bandwidth, worm_length, delta, trials, seed
+        )
+        table.add(
+            "S3.2 (triangles+bundles)", label,
+            res.get("triangle", float("nan")), res.get("bundle", float("nan")),
+            res["overall"],
+        )
+    table.notes = (
+        "at a tight fixed delay range the bundle (congestion, L*C~/B) term "
+        "dominates the overall round count -- the regime of the lower "
+        "bound's loglog term; the rule-dependence shows exactly where the "
+        "paper predicts: the cyclic triangles' tail shrinks under priority "
+        "(MT 1.2 vs 1.3), and bundles also drain somewhat faster since "
+        "every conflict then has a winner instead of occasional mutual "
+        "destruction"
+    )
+    return table
+
+
+def run(trials=5, seed=0) -> list[Table]:
+    """The assembled-adversary table at default sizes."""
+    return [run_assembled(trials=trials, seed=seed)]

@@ -1,0 +1,153 @@
+"""E-HARD -- adversarial permutations and Valiant's two-phase fix.
+
+The paper's application theorems are for *random* functions; oblivious
+path selection on worst-case permutations is famously bad -- matrix
+transpose on a mesh funnels everything through the diagonal (edge
+congestion Theta(side)), bit reversal does the analogue on hypercubes.
+Valiant's trick (route via a uniformly random intermediate,
+:func:`~repro.paths.selection.valiant_intermediate_pairs`) converts any
+permutation into two random-function-like phases, trading a doubled
+dilation for flattened congestion.
+
+Measured: C̃ and routing time of the direct oblivious collection vs the
+two Valiant phases, across instance sizes -- the crossover where the
+randomised detour wins.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import route_collection
+from repro.core.schedule import GeometricSchedule
+from repro.experiments.runner import trial_values
+from repro.experiments.tables import Table
+from repro.network.hypercube import Hypercube
+from repro.network.mesh import Mesh
+from repro.paths.problems import bit_reversal_permutation, transpose_permutation
+from repro.paths.selection import (
+    hypercube_path_collection,
+    mesh_path_collection,
+    valiant_intermediate_pairs,
+)
+
+__all__ = ["run_mesh_transpose", "run_hypercube_bit_reversal", "run"]
+
+_SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+
+def _route_time(coll, bandwidth, worm_length, s):
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        worm_length=worm_length,
+        schedule=_SCHEDULE,
+        max_rounds=2000,
+        rng=s,
+    )
+    assert res.completed
+    return res.total_time
+
+
+def run_mesh_transpose(
+    sides=(6, 10, 14), bandwidth=2, worm_length=4, trials=5, seed=0
+) -> Table:
+    """Transpose on 2-d meshes: direct dimension-order vs Valiant."""
+    table = Table(
+        title=f"E-HARDa: matrix transpose on meshes "
+        f"(B={bandwidth}, L={worm_length})",
+        columns=["side", "n", "direct C~", "valiant C~(max phase)",
+                 "direct time", "valiant time (2 phases)"],
+    )
+    for side in sides:
+        m = Mesh((side, side))
+        pairs = transpose_permutation(side)
+        direct = mesh_path_collection(m, pairs)
+
+        def valiant_phases(s, m=m, pairs=pairs):
+            two_leg = valiant_intermediate_pairs(pairs, m.nodes, rng=s)
+            phase1 = [p for p in two_leg[0::2] if p[0] != p[1]]
+            phase2 = [p for p in two_leg[1::2] if p[0] != p[1]]
+            return (
+                mesh_path_collection(m, phase1),
+                mesh_path_collection(m, phase2),
+            )
+
+        def one(s):
+            t_direct = _route_time(direct, bandwidth, worm_length, s)
+            p1, p2 = valiant_phases(s)
+            t_val = _route_time(p1, bandwidth, worm_length, s) + _route_time(
+                p2, bandwidth, worm_length, s
+            )
+            c_val = max(p1.path_congestion, p2.path_congestion)
+            return t_direct, t_val, c_val
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            side,
+            direct.n,
+            direct.path_congestion,
+            sum(o[2] for o in outs) / len(outs),
+            sum(o[0] for o in outs) / len(outs),
+            sum(o[1] for o in outs) / len(outs),
+        )
+    table.notes = (
+        "negative control: on meshes dimension-order already spreads "
+        "transpose traffic as well as a random function (both have "
+        "Theta(side) congestion), so Valiant only pays its doubled "
+        "dilation here -- the hypercube table is where the trick matters"
+    )
+    return table
+
+
+def run_hypercube_bit_reversal(
+    dims=(4, 6, 8, 10), bandwidth=2, worm_length=4, trials=5, seed=0
+) -> Table:
+    """Bit reversal on hypercubes: direct bit-fixing vs Valiant."""
+    table = Table(
+        title=f"E-HARDb: bit reversal on hypercubes "
+        f"(B={bandwidth}, L={worm_length})",
+        columns=["dim", "n", "direct C~", "valiant C~(max phase)",
+                 "direct time", "valiant time (2 phases)"],
+    )
+    for dim in dims:
+        h = Hypercube(dim)
+        pairs = bit_reversal_permutation(dim)
+        direct = hypercube_path_collection(h, pairs)
+
+        def one(s, h=h, pairs=pairs):
+            two_leg = valiant_intermediate_pairs(pairs, h.nodes, rng=s)
+            phase1 = [p for p in two_leg[0::2] if p[0] != p[1]]
+            phase2 = [p for p in two_leg[1::2] if p[0] != p[1]]
+            p1 = hypercube_path_collection(h, phase1)
+            p2 = hypercube_path_collection(h, phase2)
+            t_direct = _route_time(direct, bandwidth, worm_length, s)
+            t_val = _route_time(p1, bandwidth, worm_length, s) + _route_time(
+                p2, bandwidth, worm_length, s
+            )
+            return t_direct, t_val, max(p1.path_congestion, p2.path_congestion)
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            dim,
+            direct.n,
+            direct.path_congestion,
+            sum(o[2] for o in outs) / len(outs),
+            sum(o[0] for o in outs) / len(outs),
+            sum(o[1] for o in outs) / len(outs),
+        )
+    table.notes = (
+        "direct bit-fixing congestion doubles per dimension (= sqrt(n)) "
+        "while Valiant's per-phase congestion stays nearly flat; at these "
+        "sizes the doubled dilation still keeps direct ahead on time -- "
+        "the asymptotic crossover (congestion term ~ L*sqrt(n)/B "
+        "overtaking D ~ log n) lies just beyond laptop scale, and the "
+        "C~ columns show it coming"
+    )
+    return table
+
+
+def run(trials=5, seed=0) -> list[Table]:
+    """Both hard-permutation tables at default sizes."""
+    return [
+        run_mesh_transpose(trials=trials, seed=seed),
+        run_hypercube_bit_reversal(trials=trials, seed=seed),
+    ]

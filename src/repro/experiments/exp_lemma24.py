@@ -1,0 +1,96 @@
+"""E-L24 -- Lemma 2.4: the congestion-halving dynamic.
+
+With delay ranges ``Delta_t >= 8e L C / (B 2^(t-1))`` the path congestion
+of the still-active worms after round ``t`` is at most
+``max{C / 2^(t-1), O(log n)}`` w.h.p. We run the paper's schedule on a
+congested workload, record the measured congestion trajectory C̃_t, and
+compare it per round against the lemma's envelope.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import route_collection
+from repro.core.schedule import PaperSchedule
+from repro.experiments.runner import trial_values
+from repro.experiments.tables import Table
+from repro.experiments.workloads import bundle_instance, mesh_random_function
+from repro._util import log2_safe
+
+__all__ = ["run_bundle", "run_mesh", "run"]
+
+
+def _trajectories(coll, bandwidth, worm_length, trials, seed, schedule):
+    def one(s):
+        res = route_collection(
+            coll,
+            bandwidth=bandwidth,
+            worm_length=worm_length,
+            schedule=schedule,
+            max_rounds=300,
+            track_congestion=True,
+            rng=s,
+        )
+        assert res.completed
+        return [r.active_congestion for r in res.records]
+
+    return trial_values(one, trials, seed)
+
+
+def _decay_table(title, trajs, C, n) -> Table:
+    table = Table(
+        title=title,
+        columns=["round", "C~_t measured(mean)", "C~_t measured(max)",
+                 "lemma2.4 envelope C/2^(t-1)", "log2 n floor"],
+    )
+    depth = max(len(t) for t in trajs)
+    for t in range(1, depth + 1):
+        vals = [traj[t - 1] for traj in trajs if t - 1 < len(traj)]
+        table.add(
+            t,
+            sum(vals) / len(vals),
+            max(vals),
+            C / 2 ** (t - 1),
+            log2_safe(n),
+        )
+    table.notes = (
+        "Lemma 2.4: measured C~_t should sit below max(envelope, O(log n)) "
+        "once the paper's schedule constants are in force"
+    )
+    return table
+
+
+def run_bundle(
+    congestion=128, D=8, worm_length=4, bandwidth=2, trials=5, seed=0
+) -> Table:
+    """Halving on a type-2 bundle under the verbatim paper schedule."""
+    coll = bundle_instance(congestion=congestion, D=D).collection
+    trajs = _trajectories(
+        coll, bandwidth, worm_length, trials, seed, PaperSchedule()
+    )
+    return _decay_table(
+        f"E-L24a: congestion halving on a bundle (C={congestion}, "
+        f"B={bandwidth}, L={worm_length}, paper schedule)",
+        trajs,
+        congestion,
+        coll.n,
+    )
+
+
+def run_mesh(side=8, d=2, worm_length=4, bandwidth=2, trials=5, seed=0) -> Table:
+    """Halving on a mesh random function (a 'real' workload)."""
+    coll = mesh_random_function(side, d, rng=seed)
+    trajs = _trajectories(
+        coll, bandwidth, worm_length, trials, seed, PaperSchedule()
+    )
+    return _decay_table(
+        f"E-L24b: congestion halving on mesh{(side,) * d} random function "
+        f"(B={bandwidth}, L={worm_length}, paper schedule)",
+        trajs,
+        coll.path_congestion,
+        coll.n,
+    )
+
+
+def run(trials=5, seed=0) -> list[Table]:
+    """Both Lemma 2.4 tables at default sizes."""
+    return [run_bundle(trials=trials, seed=seed), run_mesh(trials=trials, seed=seed)]

@@ -1,0 +1,76 @@
+"""E-FAULT -- resilience of trial-and-failure to transient link faults.
+
+Not a paper experiment but a property a practical deployment cares about
+and that the protocol gets *for free*: a worm lost to a dark fiber is
+indistinguishable from a collision loss, so the existing retry loop heals
+transient faults without any added mechanism. We inject per-round
+independent link failures and measure the round/time overhead and the
+failure mix.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import route_collection
+from repro.core.schedule import GeometricSchedule
+from repro.core.stats import failure_breakdown
+from repro.experiments.runner import trial_values
+from repro.experiments.tables import Table
+from repro.experiments.workloads import mesh_random_function
+
+__all__ = ["run_fault_sweep", "run"]
+
+_SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+
+def run_fault_sweep(
+    rates=(0.0, 0.02, 0.05, 0.1, 0.2), side=8, d=2, bandwidth=2, worm_length=4,
+    trials=5, seed=0,
+) -> Table:
+    """Rounds/time vs per-round link fault probability on a mesh."""
+    coll = mesh_random_function(side, d, rng=seed)
+    table = Table(
+        title=f"E-FAULT: transient link faults on mesh{(side,) * d} "
+        f"(B={bandwidth}, L={worm_length})",
+        columns=["fault rate", "rounds(mean)", "time(mean)",
+                 "collision losses", "fault losses", "completed"],
+    )
+    for rate in rates:
+        def one(s, rate=rate):
+            res = route_collection(
+                coll,
+                bandwidth=bandwidth,
+                worm_length=worm_length,
+                schedule=_SCHEDULE,
+                fault_rate=rate,
+                max_rounds=1000,
+                rng=s,
+            )
+            fb = failure_breakdown(res)
+            return (
+                res.rounds,
+                res.total_time,
+                fb["eliminated"] + fb["truncated"],
+                fb["faulted"],
+                res.completed,
+            )
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            rate,
+            sum(o[0] for o in outs) / len(outs),
+            sum(o[1] for o in outs) / len(outs),
+            sum(o[2] for o in outs) / len(outs),
+            sum(o[3] for o in outs) / len(outs),
+            all(o[4] for o in outs),
+        )
+    table.notes = (
+        "the retry loop heals transient faults with graceful round/time "
+        "degradation; no extra mechanism needed -- losses just shift from "
+        "collisions to faults"
+    )
+    return table
+
+
+def run(trials=5, seed=0) -> list[Table]:
+    """The fault-resilience sweep at default sizes."""
+    return [run_fault_sweep(trials=trials, seed=seed)]

@@ -1,0 +1,118 @@
+"""E-T16 -- Theorem 1.6: random functions on d-dimensional meshes.
+
+Serve-first routers suffice on meshes: the dimension-order strategy cannot
+create mutual-elimination cycles, and the protocol routes a random
+function in ``O(L d n/B + (sqrt(d) + loglog n)(d n + L + L d log n / B))``.
+The punchline the paper highlights: the number of *rounds* is
+``O(sqrt(d) + loglog n)`` -- an exponential improvement over the
+``O(log n)`` rounds of Cypher et al. [11] without priorities.
+
+Measured here: round counts across side lengths (should stay nearly flat)
+and across dimensions (should grow like sqrt(d)), plus the total-time
+comparison against [11]'s B = 1 bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import bounds
+from repro.core.protocol import route_collection
+from repro.core.schedule import GeometricSchedule
+from repro.experiments.runner import trial_values
+from repro.experiments.tables import Table, shape_correlation
+from repro.experiments.workloads import mesh_random_function
+from repro._util import loglog
+from repro.optics.coupler import CollisionRule
+
+__all__ = ["run_side_sweep", "run_dimension_sweep", "run"]
+
+_SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+
+def run_side_sweep(
+    sides=(4, 8, 12, 16), d=2, bandwidth=2, worm_length=4, trials=5, seed=0
+) -> Table:
+    """Rounds and time vs mesh side length (rounds should stay ~flat)."""
+    table = Table(
+        title=f"E-T16a: random functions on {d}-dim meshes, serve-first "
+        f"(B={bandwidth}, L={worm_length})",
+        columns=["side", "n", "C~(mean)", "rounds(mean)", "rounds(max)",
+                 "time(mean)", "thm1.6 bound", "cypher[11] B=1"],
+    )
+    for side in sides:
+        def one(s, side=side):
+            coll = mesh_random_function(side, d, rng=s)
+            res = route_collection(
+                coll,
+                bandwidth=bandwidth,
+                rule=CollisionRule.SERVE_FIRST,
+                worm_length=worm_length,
+                schedule=_SCHEDULE,
+                rng=s,
+            )
+            assert res.completed
+            return coll.path_congestion, res.rounds, res.total_time
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            side,
+            side**d,
+            sum(c for c, _, _ in outs) / len(outs),
+            sum(r for _, r, _ in outs) / len(outs),
+            max(r for _, r, _ in outs),
+            sum(t for _, _, t in outs) / len(outs),
+            bounds.theorem16_time(side, d, bandwidth, worm_length),
+            bounds.cypher_mesh_time(side, d, worm_length),
+        )
+    rounds = table.column("rounds(mean)")
+    table.notes = (
+        f"rounds stay nearly flat in n (paper: sqrt(d)+loglog n): "
+        f"{[round(r, 2) for r in rounds]}; time shape corr vs thm1.6 = "
+        f"{shape_correlation(table.column('thm1.6 bound'), table.column('time(mean)')):.3f}"
+    )
+    return table
+
+
+def run_dimension_sweep(
+    dims=(1, 2, 3), side=8, bandwidth=2, worm_length=4, trials=5, seed=0
+) -> Table:
+    """Rounds vs dimension d at (roughly) fixed side length."""
+    table = Table(
+        title=f"E-T16b: dimension sweep at side={side}, serve-first "
+        f"(B={bandwidth}, L={worm_length})",
+        columns=["d", "n", "rounds(mean)", "pred sqrt(d)+loglog n"],
+    )
+    for d in dims:
+        def one(s, d=d):
+            coll = mesh_random_function(side, d, rng=s)
+            res = route_collection(
+                coll,
+                bandwidth=bandwidth,
+                worm_length=worm_length,
+                schedule=_SCHEDULE,
+                rng=s,
+            )
+            assert res.completed
+            return res.rounds
+
+        rounds = trial_values(one, trials, seed)
+        table.add(
+            d,
+            side**d,
+            sum(rounds) / len(rounds),
+            math.sqrt(d) + loglog(side**d),
+        )
+    table.notes = (
+        "shape corr = "
+        f"{shape_correlation(table.column('pred sqrt(d)+loglog n'), table.column('rounds(mean)')):.3f}"
+    )
+    return table
+
+
+def run(trials=5, seed=0) -> list[Table]:
+    """Both Theorem 1.6 tables at default sizes."""
+    return [
+        run_side_sweep(trials=trials, seed=seed),
+        run_dimension_sweep(trials=trials, seed=seed),
+    ]

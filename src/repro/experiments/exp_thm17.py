@@ -1,0 +1,147 @@
+"""E-T17 -- Theorem 1.7: random q-functions on butterflies.
+
+The leveled path system is the butterfly's unique input-to-output paths;
+a random q-function is routed from the inputs to the outputs in
+``O(L q log n / B + sqrt(log n / log(q log n)) (L + log n + L log n / B))``
+w.h.p. Measured: rounds and time across butterfly dimensions and q.
+"""
+
+from __future__ import annotations
+
+from repro.core import bounds
+from repro.core.protocol import route_collection
+from repro.core.schedule import GeometricSchedule
+from repro.experiments.runner import trial_values
+from repro.experiments.tables import Table, shape_correlation
+from repro.experiments.workloads import butterfly_q_function
+from repro.optics.coupler import CollisionRule
+
+__all__ = ["run_q_sweep", "run_dim_sweep", "run_congestion_remark", "run"]
+
+_SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+
+def run_q_sweep(dim=5, qs=(1, 2, 4), bandwidth=2, worm_length=4, trials=5, seed=0) -> Table:
+    """Rounds/time vs q at fixed butterfly dimension."""
+    table = Table(
+        title=f"E-T17a: random q-functions on the {dim}-dim butterfly, "
+        f"serve-first (B={bandwidth}, L={worm_length})",
+        columns=["q", "n", "C~(mean)", "rounds(mean)", "time(mean)", "thm1.7 bound"],
+    )
+    for q in qs:
+        def one(s, q=q):
+            coll = butterfly_q_function(dim, q, rng=s)
+            res = route_collection(
+                coll,
+                bandwidth=bandwidth,
+                rule=CollisionRule.SERVE_FIRST,
+                worm_length=worm_length,
+                schedule=_SCHEDULE,
+                rng=s,
+            )
+            assert res.completed
+            return coll.n, coll.path_congestion, res.rounds, res.total_time
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            q,
+            round(sum(n for n, _, _, _ in outs) / len(outs)),
+            sum(c for _, c, _, _ in outs) / len(outs),
+            sum(r for _, _, r, _ in outs) / len(outs),
+            sum(t for _, _, _, t in outs) / len(outs),
+            bounds.theorem17_time(2**dim, q, bandwidth, worm_length),
+        )
+    table.notes = (
+        "time shape corr vs thm1.7 = "
+        f"{shape_correlation(table.column('thm1.7 bound'), table.column('time(mean)')):.3f}"
+    )
+    return table
+
+
+def run_dim_sweep(
+    dims=(4, 5, 6, 7), q=1, bandwidth=2, worm_length=4, trials=5, seed=0
+) -> Table:
+    """Rounds/time vs butterfly dimension at fixed q."""
+    table = Table(
+        title=f"E-T17b: dimension sweep at q={q}, serve-first "
+        f"(B={bandwidth}, L={worm_length})",
+        columns=["dim", "n", "rounds(mean)", "time(mean)", "thm1.7 bound"],
+    )
+    for dim in dims:
+        def one(s, dim=dim):
+            coll = butterfly_q_function(dim, q, rng=s)
+            res = route_collection(
+                coll,
+                bandwidth=bandwidth,
+                worm_length=worm_length,
+                schedule=_SCHEDULE,
+                rng=s,
+            )
+            assert res.completed
+            return res.rounds, res.total_time
+
+        outs = trial_values(one, trials, seed)
+        table.add(
+            dim,
+            2**dim,
+            sum(r for r, _ in outs) / len(outs),
+            sum(t for _, t in outs) / len(outs),
+            bounds.theorem17_time(2**dim, q, bandwidth, worm_length),
+        )
+    table.notes = (
+        "time shape corr vs thm1.7 = "
+        f"{shape_correlation(table.column('thm1.7 bound'), table.column('time(mean)')):.3f}"
+    )
+    return table
+
+
+def run_congestion_remark(dims=(3, 4, 5), trials=5, seed=0) -> Table:
+    """Section 1.3's remark: "for the butterfly network of size N the
+    average path congestion of permutation routing problems is
+    Theta(log^2 N), whereas its diameter is O(log N)".
+
+    Permutations here are over *all* N = (d+1) 2^d butterfly nodes with
+    shortest paths: the Theta(log N)-long paths cross edges each loaded
+    Theta(log N), so path congestion lands at Theta(log^2 N) -- the
+    regime where the protocol's L*C~/B term dominates and its runtime is
+    asymptotically optimal.
+    """
+    from repro.network.butterfly import Butterfly
+    from repro.paths.collection import PathCollection
+    from repro.paths.problems import random_permutation
+    from repro.paths.selection import shortest_path_system
+    from repro._util import log2_safe
+    from repro.experiments.runner import trial_mean
+
+    table = Table(
+        title="E-T17c: all-node butterfly permutations vs the "
+        "Theta(log^2 N) congestion remark",
+        columns=["dim", "N nodes", "avg C~(mean)", "log2(N)^2", "diameter"],
+    )
+    for dim in dims:
+        bf = Butterfly(dim)
+        system = shortest_path_system(bf)
+
+        def one(s, bf=bf, system=system):
+            pairs = random_permutation(bf.nodes, rng=s)
+            coll = PathCollection(
+                [system[p] for p in pairs], require_simple=False
+            )
+            return coll.mean_path_congestion
+
+        avg_c = trial_mean(one, trials, seed)
+        table.add(dim, bf.n, avg_c, log2_safe(bf.n) ** 2, bf.diameter)
+    table.notes = (
+        "average path congestion grows like log^2 N (one fitted constant "
+        "away) while the diameter grows only like log N"
+    )
+    return table
+
+
+def run(trials=5, seed=0) -> list[Table]:
+    """All Theorem 1.7 tables at default sizes."""
+    return [
+        run_q_sweep(trials=trials, seed=seed),
+        run_dim_sweep(trials=trials, seed=seed),
+        run_congestion_remark(trials=trials, seed=seed),
+    ]

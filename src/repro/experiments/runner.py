@@ -1,0 +1,45 @@
+"""Trial replication helpers.
+
+"W.h.p." statements become replicated trials: every trial gets an
+independent child seed derived from the experiment seed, so adding trials
+never perturbs earlier ones and every number in EXPERIMENTS.md is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._util import as_generator
+
+__all__ = ["spawn_seeds", "trial_values", "trial_mean"]
+
+
+def spawn_seeds(seed, n: int) -> list[int]:
+    """``n`` independent child seeds derived from ``seed``."""
+    rng = as_generator(seed)
+    return [int(s) for s in rng.integers(0, 2**63 - 1, size=n)]
+
+
+def trial_values(fn: Callable, trials: int, seed=0) -> list:
+    """Run ``fn(child_seed)`` for ``trials`` independent seeds."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    return [fn(s) for s in spawn_seeds(seed, trials)]
+
+
+def trial_mean(fn: Callable, trials: int, seed=0) -> float:
+    """Mean of ``fn(child_seed)`` over independent trials."""
+    return float(np.mean(trial_values(fn, trials, seed)))
+
+
+def trial_stats(fn: Callable, trials: int, seed=0) -> dict:
+    """Mean / max / std of ``fn(child_seed)`` over independent trials."""
+    vals = np.asarray(trial_values(fn, trials, seed), dtype=float)
+    return {
+        "mean": float(vals.mean()),
+        "max": float(vals.max()),
+        "std": float(vals.std()),
+    }

@@ -1,0 +1,110 @@
+"""Result tables and shape-comparison helpers.
+
+Asymptotic bounds carry unknown constants, so "reproducing" a theorem
+means checking the *shape*: measured values against the paper's formula
+after fitting one multiplicative constant (:func:`fit_constant`), or the
+rank agreement between the two series (:func:`shape_correlation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["Table", "fit_constant", "shape_correlation"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, column-aligned result table with free-form notes."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values) -> None:
+        """Append a row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        try:
+            i = self.columns.index(name)
+        except ValueError:
+            raise ExperimentError(f"no column {name!r} in {self.columns}") from None
+        return [row[i] for row in self.rows]
+
+    def format(self) -> str:
+        """Render as aligned monospace text."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendering (benchmark harness hook)."""
+        print()
+        print(self.format())
+
+
+def fit_constant(predicted: Sequence[float], measured: Sequence[float]) -> float:
+    """Least-squares multiplicative constant ``c`` minimising
+    ``sum((c * predicted - measured)^2)``."""
+    p = np.asarray(list(predicted), dtype=float)
+    m = np.asarray(list(measured), dtype=float)
+    if p.shape != m.shape or p.size == 0:
+        raise ExperimentError("predicted and measured series must match and be non-empty")
+    denom = float(p @ p)
+    if denom == 0:
+        raise ExperimentError("predicted series is identically zero")
+    return float(p @ m) / denom
+
+
+def shape_correlation(predicted: Sequence[float], measured: Sequence[float]) -> float:
+    """Pearson correlation between the two series (1.0 = same shape).
+
+    Degenerate (constant) series correlate as 1.0 if both are constant,
+    0.0 otherwise -- a constant prediction matches a constant measurement.
+    """
+    p = np.asarray(list(predicted), dtype=float)
+    m = np.asarray(list(measured), dtype=float)
+    if p.shape != m.shape or p.size == 0:
+        raise ExperimentError("predicted and measured series must match and be non-empty")
+    if p.size == 1:
+        return 1.0
+    sp, sm = p.std(), m.std()
+    if sp == 0 or sm == 0:
+        return 1.0 if sp == sm == 0 else 0.0
+    return float(np.corrcoef(p, m)[0, 1])

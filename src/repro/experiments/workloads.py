@@ -1,0 +1,132 @@
+"""Workload builders shared by experiments, benchmarks and examples.
+
+Each builder returns a ready :class:`~repro.paths.collection.PathCollection`
+(or gadget instance) for one of the scenarios the paper's theorems are
+about. Randomised builders take a seed/generator so experiments can
+replicate trials independently.
+"""
+
+from __future__ import annotations
+
+from repro._util import as_generator
+from repro.network.butterfly import Butterfly
+from repro.network.hypercube import Hypercube
+from repro.network.mesh import Mesh, Torus
+from repro.paths.collection import PathCollection
+from repro.paths.gadgets import (
+    GadgetInstance,
+    leveled_lower_bound_instance,
+    shortcut_lower_bound_instance,
+    type1_staircase,
+    type1_triangle,
+    type2_bundle,
+)
+from repro.paths.problems import random_function, random_permutation, random_q_function
+from repro.paths.selection import (
+    butterfly_path_collection,
+    hypercube_path_collection,
+    mesh_path_collection,
+    torus_path_collection,
+)
+
+__all__ = [
+    "butterfly_permutation",
+    "butterfly_q_function",
+    "mesh_random_function",
+    "torus_random_function",
+    "hypercube_random_function",
+    "staircase_field",
+    "triangle_field",
+    "bundle_instance",
+    "leveled_adversary",
+    "shortcut_adversary",
+]
+
+
+def butterfly_permutation(dim: int, rng=None) -> PathCollection:
+    """Random permutation on a dim-dimensional butterfly (Thm 1.7 setting,
+    q = 1): leveled, unique paths input -> output."""
+    bf = Butterfly(dim)
+    pairs = random_permutation(range(bf.rows), rng=as_generator(rng))
+    return butterfly_path_collection(bf, pairs)
+
+
+def butterfly_q_function(dim: int, q: int, rng=None) -> PathCollection:
+    """Random q-function on a butterfly: every input sources q messages."""
+    bf = Butterfly(dim)
+    pairs = random_q_function(range(bf.rows), q=q, rng=as_generator(rng))
+    return butterfly_path_collection(bf, pairs)
+
+
+def mesh_random_function(side: int, d: int, rng=None) -> PathCollection:
+    """Random function on a d-dimensional mesh, dimension-order paths
+    (Theorem 1.6's workload)."""
+    m = Mesh((side,) * d)
+    pairs = random_function(m.nodes, rng=as_generator(rng))
+    return mesh_path_collection(m, pairs)
+
+
+def torus_random_function(side: int, d: int, rng=None) -> PathCollection:
+    """Random function on a d-dimensional torus with the
+    translation-invariant path system (Theorem 1.5's workload)."""
+    t = Torus((side,) * d)
+    pairs = random_function(t.nodes, rng=as_generator(rng))
+    return torus_path_collection(t, pairs)
+
+
+def hypercube_random_function(dim: int, rng=None) -> PathCollection:
+    """Random function on a hypercube with bit-fixing paths."""
+    h = Hypercube(dim)
+    pairs = random_function(h.nodes, rng=as_generator(rng))
+    return hypercube_path_collection(h, pairs)
+
+
+def staircase_field(n_structures: int, k: int, D: int, L: int) -> GadgetInstance:
+    """Many independent staircases (the E-LB1 workload)."""
+    from repro.paths.gadgets import staircase_paths, _paths_to_instance  # noqa: PLC2701
+
+    paths: list[list] = []
+    groups: dict = {}
+    for t in range(n_structures):
+        start = len(paths)
+        paths.extend(staircase_paths(k, D, L, tag=t))
+        groups[("staircase", t)] = list(range(start, start + k))
+    return _paths_to_instance(
+        paths,
+        kind="staircase-field",
+        params={"n_structures": n_structures, "k": k, "D": D, "L": L},
+        groups=groups,
+    )
+
+
+def triangle_field(n_structures: int, D: int, L: int) -> GadgetInstance:
+    """Many independent cyclic triangles (the E-T12/13 workload)."""
+    from repro.paths.gadgets import triangle_paths, _paths_to_instance  # noqa: PLC2701
+
+    paths: list[list] = []
+    groups: dict = {}
+    for t in range(n_structures):
+        start = len(paths)
+        paths.extend(triangle_paths(D, L, tag=t))
+        groups[("triangle", t)] = list(range(start, start + 3))
+    return _paths_to_instance(
+        paths,
+        kind="triangle-field",
+        params={"n_structures": n_structures, "D": D, "L": L},
+        groups=groups,
+    )
+
+
+def bundle_instance(congestion: int, D: int) -> GadgetInstance:
+    """One type-2 bundle (the E-LB2 / Lemma 2.10 workload)."""
+    return type2_bundle(congestion=congestion, D=D)
+
+
+def leveled_adversary(n: int, D: int, L: int, congestion: int) -> GadgetInstance:
+    """The full Section-2.2 lower-bound construction."""
+    return leveled_lower_bound_instance(n=n, D=D, L=L, congestion=congestion)
+
+
+def shortcut_adversary(n: int, D: int, L: int, congestion: int) -> GadgetInstance:
+    """The full Section-3.2 lower-bound construction."""
+    return shortcut_lower_bound_instance(n=n, D=D, L=L, congestion=congestion)

@@ -1,0 +1,50 @@
+"""The paper's Section-4 open problems, made executable.
+
+The paper closes with three directions; each gets a working
+implementation plus an experiment:
+
+* **sparse wavelength conversion** ("cases in which only a few routers
+  can convert wavelengths", citing Lee & Li [23]) --
+  :mod:`repro.extensions.sparse_conversion`: worms re-randomise their
+  channel only at designated converter routers;
+* **bounded hops** ("worms are allowed a bounded number of hops (i.e.,
+  conversions to and from electrical form)") --
+  :mod:`repro.extensions.multihop`: paths are split at up to ``h`` hop
+  stations with electrical buffering, each segment routed by
+  trial-and-failure in its own phase;
+* **arbitrary simple path collections** ("how do the bounds change if
+  arbitrary simple (i.e., loop free) path collections are allowed?") --
+  :mod:`repro.extensions.simple_collections`: generators for loop-free
+  collections *with* shortcuts, so the open question can be probed
+  empirically.
+"""
+
+from repro.extensions.sparse_conversion import (
+    SparseConversionProtocol,
+    route_with_sparse_conversion,
+    converter_nodes_every,
+    random_converter_nodes,
+)
+from repro.extensions.multihop import (
+    MultihopResult,
+    split_path,
+    hop_segments,
+    route_multihop,
+)
+from repro.extensions.simple_collections import (
+    random_simple_collection,
+    detour_collection,
+)
+
+__all__ = [
+    "SparseConversionProtocol",
+    "route_with_sparse_conversion",
+    "converter_nodes_every",
+    "random_converter_nodes",
+    "MultihopResult",
+    "split_path",
+    "hop_segments",
+    "route_multihop",
+    "random_simple_collection",
+    "detour_collection",
+]

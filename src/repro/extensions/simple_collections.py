@@ -1,0 +1,94 @@
+"""Arbitrary simple (loop-free) path collections -- open problem 1.
+
+"How do the bounds change if arbitrary simple (i.e., loop free) path
+collections are allowed?" (Section 4). The analysis machinery of the
+paper needs shortcut-freeness; these generators produce loop-free
+collections that *violate* it -- paths that meet, separate via detours of
+different lengths, and meet again -- so experiment E-EXT3 can probe the
+open question empirically: does the protocol degrade beyond the
+short-cut-free bounds when shortcuts exist?
+"""
+
+from __future__ import annotations
+
+from repro._util import as_generator
+from repro.errors import PathError
+from repro.network.topology import Topology
+from repro.paths.collection import PathCollection
+
+__all__ = ["random_simple_collection", "detour_collection"]
+
+
+def random_simple_collection(
+    topology: Topology,
+    n_paths: int,
+    max_length: int,
+    rng=None,
+    max_tries: int = 200,
+) -> PathCollection:
+    """Random loop-free walks on a topology (no structural guarantees).
+
+    Each path is a self-avoiding random walk of up to ``max_length``
+    links from a random source. The result is generally *not*
+    shortcut-free and not leveled -- the open-problem regime.
+    """
+    if n_paths <= 0:
+        raise PathError(f"n_paths must be positive, got {n_paths}")
+    if max_length < 1:
+        raise PathError(f"max_length must be >= 1, got {max_length}")
+    rng = as_generator(rng)
+    nodes = topology.nodes
+    paths: list[tuple] = []
+    tries = 0
+    while len(paths) < n_paths:
+        tries += 1
+        if tries > max_tries * n_paths:
+            raise PathError("could not grow enough simple walks; graph too small?")
+        cur = nodes[int(rng.integers(len(nodes)))]
+        walk = [cur]
+        seen = {cur}
+        for _ in range(max_length):
+            nbrs = [v for v in topology.neighbors(cur) if v not in seen]
+            if not nbrs:
+                break
+            cur = nbrs[int(rng.integers(len(nbrs)))]
+            walk.append(cur)
+            seen.add(cur)
+        if len(walk) >= 2:
+            paths.append(tuple(walk))
+    return PathCollection(paths, topology=topology)
+
+
+def detour_collection(
+    trunk_length: int, n_detours: int, detour_extra: int = 2
+) -> PathCollection:
+    """A synthetic worst-case-style family *with* shortcuts.
+
+    One trunk path runs straight down a chain. Each detour path follows
+    the trunk, leaves it for a private detour ``detour_extra`` links
+    longer than the segment it bypasses, and rejoins -- so the trunk
+    short-cuts every detour (meeting, separating, re-meeting with
+    mismatched distances). Violates shortcut-freeness by construction
+    while every path stays simple.
+    """
+    if trunk_length < 4:
+        raise PathError(f"trunk must have >= 4 links, got {trunk_length}")
+    if n_detours < 1:
+        raise PathError(f"need >= 1 detour, got {n_detours}")
+    if detour_extra < 1:
+        raise PathError(f"detour_extra must be >= 1, got {detour_extra}")
+    trunk = [("trunk", i) for i in range(trunk_length + 1)]
+    paths: list[tuple] = [tuple(trunk)]
+    for d in range(n_detours):
+        # Leave after the first link, rejoin before the last.
+        leave, rejoin = 1, trunk_length - 1
+        bypass_links = rejoin - leave
+        detour_len = bypass_links + detour_extra
+        detour_nodes = [("detour", d, j) for j in range(detour_len - 1)]
+        path = (
+            trunk[: leave + 1]
+            + detour_nodes
+            + trunk[rejoin:]
+        )
+        paths.append(tuple(path))
+    return PathCollection(paths)

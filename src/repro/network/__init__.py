@@ -1,0 +1,63 @@
+"""Network topologies.
+
+The paper models an optical network as an undirected graph whose nodes are
+routers and whose edges are pairs of directed optical links (Section 1.1).
+:class:`~repro.network.topology.Topology` wraps a :mod:`networkx` graph
+with the directed-link view the routing engine needs; the concrete builders
+cover every network the paper names: d-dimensional meshes and tori
+(Theorem 1.6), butterflies plain and wrap-around (Theorem 1.7), hypercubes,
+de Bruijn and shuffle-exchange networks (Section 1.2's related work), rings
+and chains, plus node-symmetry certification for Theorem 1.5.
+"""
+
+from repro.network.topology import Topology
+from repro.network.mesh import Mesh, Torus, mesh, torus
+from repro.network.butterfly import Butterfly, WrapButterfly, butterfly, wrap_butterfly
+from repro.network.hypercube import Hypercube, hypercube
+from repro.network.debruijn import DeBruijn, debruijn
+from repro.network.shuffle import ShuffleExchange, shuffle_exchange
+from repro.network.ring import Ring, Chain, ring, chain
+from repro.network.ccc import CubeConnectedCycles, ccc
+from repro.network.circulant import Circulant, circulant, power_of_two_circulant
+from repro.network.tree import BinaryTree, Star, binary_tree, star
+from repro.network.symmetric import (
+    is_node_symmetric,
+    certify_node_symmetric,
+    torus_translations,
+    hypercube_translations,
+)
+
+__all__ = [
+    "Topology",
+    "Mesh",
+    "Torus",
+    "mesh",
+    "torus",
+    "Butterfly",
+    "WrapButterfly",
+    "butterfly",
+    "wrap_butterfly",
+    "Hypercube",
+    "hypercube",
+    "DeBruijn",
+    "debruijn",
+    "ShuffleExchange",
+    "shuffle_exchange",
+    "Ring",
+    "Chain",
+    "ring",
+    "chain",
+    "CubeConnectedCycles",
+    "ccc",
+    "Circulant",
+    "circulant",
+    "power_of_two_circulant",
+    "BinaryTree",
+    "Star",
+    "binary_tree",
+    "star",
+    "is_node_symmetric",
+    "certify_node_symmetric",
+    "torus_translations",
+    "hypercube_translations",
+]

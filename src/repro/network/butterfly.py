@@ -1,0 +1,119 @@
+"""Butterfly networks (Theorem 1.7 substrate).
+
+The ``d``-dimensional butterfly has nodes ``(level, row)`` with
+``0 <= level <= d`` and ``row`` a ``d``-bit integer. Node ``(l, r)`` links
+to ``(l+1, r)`` (straight edge) and ``(l+1, r XOR 2^l)`` (cross edge).
+Level 0 holds the ``2^d`` inputs, level ``d`` the outputs; every
+input/output pair is joined by a unique path of length exactly ``d``, which
+makes butterfly path collections *leveled* -- the setting of Main
+Theorem 1.1 and Theorem 1.7.
+
+The wrap-around butterfly identifies levels 0 and ``d``; it is
+node-symmetric and included for the Theorem 1.5 family.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["Butterfly", "WrapButterfly", "butterfly", "wrap_butterfly"]
+
+
+def _check_dim(dim: int) -> int:
+    dim = int(dim)
+    if dim < 1:
+        raise TopologyError(f"butterfly dimension must be >= 1, got {dim}")
+    return dim
+
+
+class Butterfly(Topology):
+    """The plain (non-wrapped) d-dimensional butterfly."""
+
+    def __init__(self, dim: int) -> None:
+        dim = _check_dim(dim)
+        g = nx.Graph()
+        rows = 1 << dim
+        for level in range(dim + 1):
+            for row in range(rows):
+                g.add_node((level, row))
+        for level in range(dim):
+            bit = 1 << level
+            for row in range(rows):
+                g.add_edge((level, row), (level + 1, row))
+                g.add_edge((level, row), (level + 1, row ^ bit))
+        super().__init__(g, name=f"butterfly(d={dim})")
+        self.dim = dim
+        self.rows = rows
+
+    @property
+    def inputs(self) -> list[tuple[int, int]]:
+        """The level-0 nodes."""
+        return [(0, r) for r in range(self.rows)]
+
+    @property
+    def outputs(self) -> list[tuple[int, int]]:
+        """The level-``dim`` nodes."""
+        return [(self.dim, r) for r in range(self.rows)]
+
+    def route(self, in_row: int, out_row: int) -> list[tuple[int, int]]:
+        """The unique input-to-output path (bit-fixing, one level per bit).
+
+        At level ``l`` the path takes the cross edge iff bit ``l`` of
+        ``in_row`` and ``out_row`` differ, so the row morphs from
+        ``in_row`` into ``out_row`` as the levels advance.
+        """
+        if not 0 <= in_row < self.rows or not 0 <= out_row < self.rows:
+            raise TopologyError(
+                f"rows must be in [0, {self.rows}), got {in_row}, {out_row}"
+            )
+        path = [(0, in_row)]
+        row = in_row
+        for level in range(self.dim):
+            bit = 1 << level
+            if (row ^ out_row) & bit:
+                row ^= bit
+            path.append((level + 1, row))
+        return path
+
+    def level_of(self, node: tuple[int, int]) -> int:
+        """The level coordinate of a node (the canonical leveling)."""
+        return node[0]
+
+
+class WrapButterfly(Topology):
+    """The wrap-around butterfly: levels 0..d-1 with level arithmetic mod d.
+
+    Node ``(l, r)`` links to ``((l+1) mod d, r)`` and
+    ``((l+1) mod d, r XOR 2^l)``. Node-symmetric for every ``d``; for
+    ``d >= 3`` all four neighbour links are distinct.
+    """
+
+    def __init__(self, dim: int) -> None:
+        dim = _check_dim(dim)
+        g = nx.Graph()
+        rows = 1 << dim
+        for level in range(dim):
+            for row in range(rows):
+                g.add_node((level, row))
+        for level in range(dim):
+            bit = 1 << level
+            nxt = (level + 1) % dim
+            for row in range(rows):
+                g.add_edge((level, row), (nxt, row))
+                g.add_edge((level, row), (nxt, row ^ bit))
+        super().__init__(g, name=f"wrap-butterfly(d={dim})")
+        self.dim = dim
+        self.rows = rows
+
+
+def butterfly(dim: int) -> Butterfly:
+    """The plain d-dimensional butterfly."""
+    return Butterfly(dim)
+
+
+def wrap_butterfly(dim: int) -> WrapButterfly:
+    """The wrap-around d-dimensional butterfly."""
+    return WrapButterfly(dim)

@@ -1,0 +1,71 @@
+"""Cube-connected cycles: the canonical bounded-degree node-symmetric net.
+
+Theorem 1.5 applies to *bounded degree* node-symmetric networks; the
+hypercube is node-symmetric but its degree grows with dimension. The
+cube-connected cycles network CCC(d) replaces each hypercube corner with a
+``d``-cycle: nodes are pairs ``(corner, position)``; each node links to
+its two cycle neighbours and, across the cube dimension ``position``, to
+``(corner XOR 2^position, position)``. Degree 3 everywhere, diameter
+``Theta(d)``, vertex-transitive -- exactly Theorem 1.5's hypothesis class.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["CubeConnectedCycles", "ccc"]
+
+
+class CubeConnectedCycles(Topology):
+    """CCC(d): ``d * 2^d`` nodes ``(corner, position)``. Node-symmetric."""
+
+    def __init__(self, dim: int) -> None:
+        dim = int(dim)
+        if dim < 3:
+            # dim <= 2 degenerates (cycle of length < 3 collapses edges).
+            raise TopologyError(f"CCC needs dimension >= 3, got {dim}")
+        g = nx.Graph()
+        corners = 1 << dim
+        for corner in range(corners):
+            for pos in range(dim):
+                g.add_node((corner, pos))
+        for corner in range(corners):
+            for pos in range(dim):
+                g.add_edge((corner, pos), (corner, (pos + 1) % dim))  # cycle
+                g.add_edge((corner, pos), (corner ^ (1 << pos), pos))  # cube
+        super().__init__(g, name=f"ccc(d={dim})")
+        self.dim = dim
+
+    def cycle_neighbors(self, node: tuple[int, int]) -> tuple[tuple, tuple]:
+        """The two neighbours around the node's local cycle."""
+        corner, pos = node
+        return (corner, (pos - 1) % self.dim), (corner, (pos + 1) % self.dim)
+
+    def cube_neighbor(self, node: tuple[int, int]) -> tuple[int, int]:
+        """The neighbour across the cube dimension ``pos``."""
+        corner, pos = node
+        return (corner ^ (1 << pos), pos)
+
+    def translate(self, node: tuple[int, int], offset: tuple[int, int]) -> tuple[int, int]:
+        """A transitive automorphism family: XOR the corner, rotate the cycle.
+
+        Rotating positions by ``r`` must also rotate the corner's bits
+        (cube edges at position ``p`` map to position ``p + r``), so the
+        pair (bit-rotation, cycle-rotation) is an automorphism; together
+        with corner-XOR translations the family acts transitively.
+        """
+        corner, pos = node
+        xor, rot = offset
+        d = self.dim
+        rot %= d
+        mask = (1 << d) - 1
+        rotated = ((corner << rot) | (corner >> (d - rot))) & mask
+        return (rotated ^ xor, (pos + rot) % d)
+
+
+def ccc(dim: int) -> CubeConnectedCycles:
+    """The cube-connected cycles network CCC(dim)."""
+    return CubeConnectedCycles(dim)

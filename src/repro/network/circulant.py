@@ -1,0 +1,100 @@
+"""Circulant graphs: explicit node-symmetric (expander-style) networks.
+
+Section 1.4 notes that "the best expanders that have an explicit
+construction are all node-symmetric". Circulant graphs are the simplest
+such family: nodes ``0..n-1`` with node ``i`` adjacent to ``i +- o`` for
+every offset ``o`` in a fixed set. Rotations are automorphisms acting
+transitively, so every circulant is node-symmetric; with well-chosen
+offsets (e.g. powers of two) the diameter is logarithmic at constant
+degree, giving a cheap stand-in for the Ramanujan-style expanders the
+paper cites ([24, 25, 28]) in Theorem 1.5 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["Circulant", "circulant", "power_of_two_circulant"]
+
+
+class Circulant(Topology):
+    """The circulant graph C(n; offsets). Node-symmetric by rotation."""
+
+    def __init__(self, n: int, offsets: Sequence[int]) -> None:
+        n = int(n)
+        if n < 3:
+            raise TopologyError(f"circulant needs >= 3 nodes, got {n}")
+        offs = sorted({int(o) % n for o in offsets} - {0})
+        if not offs:
+            raise TopologyError("need at least one non-zero offset")
+        # Offsets o and n-o generate the same undirected edges; keep the
+        # canonical half.
+        canonical = sorted({min(o, n - o) for o in offs})
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for node in range(n):
+            for o in canonical:
+                g.add_edge(node, (node + o) % n)
+        super().__init__(g, name=f"circulant(n={n}, offsets={tuple(canonical)})")
+        self.n_nodes = n
+        self.offsets = tuple(canonical)
+
+    def translate(self, node: int, shift: int) -> int:
+        """Rotation automorphism: add ``shift`` modulo n."""
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"node {node} outside 0..{self.n_nodes - 1}")
+        return (node + shift) % self.n_nodes
+
+    def greedy_path(self, src: int, dst: int) -> list[int]:
+        """A translation-invariant path: greedily take the largest useful
+        offset toward the clockwise distance.
+
+        Works on the clockwise gap ``(dst - src) mod n`` only, so the
+        path from ``u`` to ``v`` is the rotation of the canonical path
+        from ``0`` to ``(v - u) mod n`` -- the property Theorem 1.5's
+        path systems need. Falls back to +-1 steps if 1 is an offset;
+        otherwise requires the offsets to reach every residue greedily.
+        """
+        if not 0 <= src < self.n_nodes or not 0 <= dst < self.n_nodes:
+            raise TopologyError("endpoints outside the node range")
+        n = self.n_nodes
+        gap = (dst - src) % n
+        path = [src]
+        cur = src
+        guard = 0
+        while gap != 0:
+            guard += 1
+            if guard > 4 * n:
+                raise TopologyError(
+                    f"offsets {self.offsets} cannot greedily bridge gap {gap}"
+                )
+            step = max((o for o in self.offsets if o <= gap), default=None)
+            if step is None:
+                step = min(self.offsets)
+                cur = (cur - step) % n
+                gap = (gap + step) % n
+            else:
+                cur = (cur + step) % n
+                gap -= step
+            path.append(cur)
+        return path
+
+
+def circulant(n: int, offsets: Sequence[int]) -> Circulant:
+    """The circulant graph C(n; offsets)."""
+    return Circulant(n, offsets)
+
+
+def power_of_two_circulant(n: int) -> Circulant:
+    """C(n; 1, 2, 4, ...): logarithmic diameter at logarithmic degree."""
+    offsets = []
+    o = 1
+    while o <= n // 2:
+        offsets.append(o)
+        o *= 2
+    return Circulant(n, offsets)

@@ -1,0 +1,65 @@
+"""Binary de Bruijn networks.
+
+The ``d``-dimensional de Bruijn graph has the ``2^d`` binary strings as
+nodes; node ``x`` connects to its left-shifts ``2x mod 2^d`` and
+``2x+1 mod 2^d`` (undirected here, per the paper's model). De Bruijn
+networks appear in the paper's related-work discussion (Pankaj's
+permutation-routing results, Section 1.2) and give a constant-degree,
+logarithmic-diameter test topology.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["DeBruijn", "debruijn"]
+
+
+class DeBruijn(Topology):
+    """The binary de Bruijn graph on ``2^d`` nodes (self-loops dropped)."""
+
+    def __init__(self, dim: int) -> None:
+        dim = int(dim)
+        if dim < 2:
+            raise TopologyError(f"de Bruijn dimension must be >= 2, got {dim}")
+        size = 1 << dim
+        mask = size - 1
+        g = nx.Graph()
+        for node in range(size):
+            g.add_node(node)
+        for node in range(size):
+            for bit in (0, 1):
+                nbr = ((node << 1) | bit) & mask
+                if nbr != node:
+                    g.add_edge(node, nbr)
+        super().__init__(g, name=f"debruijn(d={dim})")
+        self.dim = dim
+
+    def shift_path(self, src: int, dst: int) -> list[int]:
+        """The canonical length-``d`` shift path from ``src`` to ``dst``.
+
+        Shift in the bits of ``dst`` one at a time (most significant
+        first); consecutive nodes differ by one shift, i.e. are adjacent.
+        Repeated nodes are collapsed so the result is a walk without
+        immediate repeats.
+        """
+        size = 1 << self.dim
+        if not 0 <= src < size or not 0 <= dst < size:
+            raise TopologyError(f"nodes must be in [0, {size}), got {src}, {dst}")
+        mask = size - 1
+        path = [src]
+        cur = src
+        for i in range(self.dim - 1, -1, -1):
+            bit = (dst >> i) & 1
+            cur = ((cur << 1) | bit) & mask
+            if cur != path[-1]:
+                path.append(cur)
+        return path
+
+
+def debruijn(dim: int) -> DeBruijn:
+    """The binary de Bruijn network on ``2^d`` nodes."""
+    return DeBruijn(dim)

@@ -1,0 +1,65 @@
+"""Hypercubes.
+
+The ``d``-dimensional hypercube has the ``2^d`` binary strings as nodes and
+links strings at Hamming distance one. It is node-symmetric (XOR
+translations are automorphisms) and supports the classic bit-fixing path
+selection used throughout the routing literature the paper builds on.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["Hypercube", "hypercube"]
+
+
+class Hypercube(Topology):
+    """The d-dimensional hypercube over integer node labels ``0..2^d - 1``."""
+
+    def __init__(self, dim: int) -> None:
+        dim = int(dim)
+        if dim < 1:
+            raise TopologyError(f"hypercube dimension must be >= 1, got {dim}")
+        g = nx.Graph()
+        size = 1 << dim
+        for node in range(size):
+            g.add_node(node)
+            for axis in range(dim):
+                nbr = node ^ (1 << axis)
+                if nbr > node:
+                    g.add_edge(node, nbr)
+        super().__init__(g, name=f"hypercube(d={dim})")
+        self.dim = dim
+
+    def bit_fixing_path(self, src: int, dst: int) -> list[int]:
+        """The left-to-right bit-fixing path from ``src`` to ``dst``.
+
+        Correct each differing bit in increasing bit order; length equals
+        the Hamming distance, so the path is shortest.
+        """
+        size = 1 << self.dim
+        if not 0 <= src < size or not 0 <= dst < size:
+            raise TopologyError(f"nodes must be in [0, {size}), got {src}, {dst}")
+        path = [src]
+        cur = src
+        for axis in range(self.dim):
+            bit = 1 << axis
+            if (cur ^ dst) & bit:
+                cur ^= bit
+                path.append(cur)
+        return path
+
+    def translate(self, node: int, offset: int) -> int:
+        """XOR translation (an automorphism of the hypercube)."""
+        size = 1 << self.dim
+        if not 0 <= node < size or not 0 <= offset < size:
+            raise TopologyError("node/offset outside the cube")
+        return node ^ offset
+
+
+def hypercube(dim: int) -> Hypercube:
+    """The d-dimensional hypercube."""
+    return Hypercube(dim)

@@ -1,0 +1,100 @@
+"""d-dimensional meshes and tori (Theorem 1.6 substrate).
+
+Nodes are coordinate tuples ``(x_0, ..., x_{d-1})`` with ``0 <= x_i <
+side_i``. A mesh links coordinates differing by one in a single dimension;
+a torus additionally wraps each dimension around. The torus is
+node-symmetric (translations are automorphisms), which is what Theorem 1.5
+exploits; the mesh is not, but admits the dimension-order path collections
+Theorem 1.6 builds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["Mesh", "Torus", "mesh", "torus"]
+
+
+def _check_dims(dims: Sequence[int], *, min_side: int) -> tuple[int, ...]:
+    dims = tuple(int(s) for s in dims)
+    if len(dims) == 0:
+        raise TopologyError("at least one dimension required")
+    for s in dims:
+        if s < min_side:
+            raise TopologyError(f"side length {s} below minimum {min_side}")
+    return dims
+
+
+class _Grid(Topology):
+    """Shared coordinate helpers for meshes and tori."""
+
+    def __init__(self, graph: nx.Graph, dims: tuple[int, ...], name: str) -> None:
+        super().__init__(graph, name=name)
+        self.dims = dims
+
+    @property
+    def d(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    def check_coordinate(self, coord: tuple) -> None:
+        """Raise unless ``coord`` lies inside the grid."""
+        if len(coord) != self.d:
+            raise TopologyError(f"coordinate {coord} has wrong dimensionality")
+        for x, s in zip(coord, self.dims):
+            if not 0 <= x < s:
+                raise TopologyError(f"coordinate {coord} outside sides {self.dims}")
+
+
+class Mesh(_Grid):
+    """A d-dimensional mesh of given side lengths."""
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        dims = _check_dims(dims, min_side=1)
+        g = nx.Graph()
+        for coord in itertools.product(*(range(s) for s in dims)):
+            g.add_node(coord)
+            for axis, side in enumerate(dims):
+                if coord[axis] + 1 < side:
+                    nbr = coord[:axis] + (coord[axis] + 1,) + coord[axis + 1 :]
+                    g.add_edge(coord, nbr)
+        super().__init__(g, dims, name=f"mesh{dims}")
+
+
+class Torus(_Grid):
+    """A d-dimensional torus (wrap-around mesh). Node-symmetric."""
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        # Side 2 would create parallel edges under wrap-around; networkx
+        # collapses them, which silently halves capacity -- require >= 3.
+        dims = _check_dims(dims, min_side=3)
+        g = nx.Graph()
+        for coord in itertools.product(*(range(s) for s in dims)):
+            g.add_node(coord)
+            for axis, side in enumerate(dims):
+                nbr = coord[:axis] + ((coord[axis] + 1) % side,) + coord[axis + 1 :]
+                g.add_edge(coord, nbr)
+        super().__init__(g, dims, name=f"torus{dims}")
+
+    def translate(self, coord: tuple, offset: tuple) -> tuple:
+        """Coordinate-wise translation modulo the side lengths."""
+        self.check_coordinate(coord)
+        if len(offset) != self.d:
+            raise TopologyError(f"offset {offset} has wrong dimensionality")
+        return tuple((x + o) % s for x, o, s in zip(coord, offset, self.dims))
+
+
+def mesh(side: int, d: int = 2) -> Mesh:
+    """A d-dimensional mesh with equal side lengths (paper's notation)."""
+    return Mesh((side,) * d)
+
+
+def torus(side: int, d: int = 2) -> Torus:
+    """A d-dimensional torus with equal side lengths."""
+    return Torus((side,) * d)

@@ -1,0 +1,64 @@
+"""Rings and chains.
+
+Chains and rings are the simplest substrates -- Gerstel/Zaks and Kranakis
+et al. study wavelength layouts on them (Section 1.2) -- and the type-2
+lower-bound gadget (Section 2.2) is exactly "many worms down one chain".
+The ring is node-symmetric; the chain is not.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["Ring", "Chain", "ring", "chain"]
+
+
+class Chain(Topology):
+    """The path graph on nodes ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        n = int(n)
+        if n < 2:
+            raise TopologyError(f"chain needs >= 2 nodes, got {n}")
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from((i, i + 1) for i in range(n - 1))
+        super().__init__(g, name=f"chain(n={n})")
+
+    def segment(self, start: int, end: int) -> list[int]:
+        """The subpath from ``start`` to ``end`` (either direction)."""
+        step = 1 if end >= start else -1
+        return list(range(start, end + step, step))
+
+
+class Ring(Topology):
+    """The cycle graph on nodes ``0..n-1``. Node-symmetric."""
+
+    def __init__(self, n: int) -> None:
+        n = int(n)
+        if n < 3:
+            raise TopologyError(f"ring needs >= 3 nodes, got {n}")
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from((i, (i + 1) % n) for i in range(n))
+        super().__init__(g, name=f"ring(n={n})")
+        self._n = n
+
+    def clockwise(self, start: int, hops: int) -> list[int]:
+        """The clockwise walk of ``hops`` links starting at ``start``."""
+        if hops < 0:
+            raise TopologyError("hops must be >= 0")
+        return [(start + i) % self._n for i in range(hops + 1)]
+
+
+def ring(n: int) -> Ring:
+    """The n-node ring."""
+    return Ring(n)
+
+
+def chain(n: int) -> Chain:
+    """The n-node chain."""
+    return Chain(n)

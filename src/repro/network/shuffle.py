@@ -1,0 +1,58 @@
+"""Shuffle-exchange networks.
+
+The ``d``-dimensional shuffle-exchange graph has the ``2^d`` binary strings
+as nodes. Node ``x`` has an *exchange* edge to ``x XOR 1`` (flip the low
+bit) and *shuffle* edges to its cyclic rotations. Named in Section 1.2
+alongside de Bruijn networks as a standard interconnection topology for
+permutation routing.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["ShuffleExchange", "shuffle_exchange"]
+
+
+def _rotl(x: int, dim: int) -> int:
+    """Rotate the ``dim``-bit value ``x`` left by one bit."""
+    mask = (1 << dim) - 1
+    return ((x << 1) | (x >> (dim - 1))) & mask
+
+
+class ShuffleExchange(Topology):
+    """The shuffle-exchange graph on ``2^d`` nodes (self-loops dropped)."""
+
+    def __init__(self, dim: int) -> None:
+        dim = int(dim)
+        if dim < 2:
+            raise TopologyError(
+                f"shuffle-exchange dimension must be >= 2, got {dim}"
+            )
+        size = 1 << dim
+        g = nx.Graph()
+        for node in range(size):
+            g.add_node(node)
+        for node in range(size):
+            g.add_edge(node, node ^ 1)  # exchange
+            shuffled = _rotl(node, dim)
+            if shuffled != node:
+                g.add_edge(node, shuffled)  # shuffle
+        super().__init__(g, name=f"shuffle-exchange(d={dim})")
+        self.dim = dim
+
+    def shuffle(self, node: int) -> int:
+        """The shuffle neighbour (cyclic left rotation)."""
+        return _rotl(node, self.dim)
+
+    def exchange(self, node: int) -> int:
+        """The exchange neighbour (low bit flipped)."""
+        return node ^ 1
+
+
+def shuffle_exchange(dim: int) -> ShuffleExchange:
+    """The shuffle-exchange network on ``2^d`` nodes."""
+    return ShuffleExchange(dim)

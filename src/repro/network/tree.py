@@ -1,0 +1,103 @@
+"""Trees and stars.
+
+Gerstel & Zaks study wavelength layouts "for chains, rings, meshes and
+trees" (Section 1.2); complete binary trees and stars complete the
+substrate set. Trees are the worst case for the congestion measures --
+all cross-traffic funnels through the root -- which makes them a useful
+stress topology for the congestion-dominated regime of the bounds.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+__all__ = ["BinaryTree", "Star", "binary_tree", "star"]
+
+
+class BinaryTree(Topology):
+    """The complete binary tree of given height (root = node 1).
+
+    Nodes are heap-indexed integers ``1 .. 2^(h+1) - 1``; node ``i``'s
+    children are ``2i`` and ``2i + 1``.
+    """
+
+    def __init__(self, height: int) -> None:
+        height = int(height)
+        if height < 1:
+            raise TopologyError(f"tree height must be >= 1, got {height}")
+        g = nx.Graph()
+        size = (1 << (height + 1)) - 1
+        for node in range(1, size + 1):
+            g.add_node(node)
+            if node > 1:
+                g.add_edge(node, node // 2)
+        super().__init__(g, name=f"binary-tree(h={height})")
+        self.height = height
+
+    @property
+    def root(self) -> int:
+        """The root node."""
+        return 1
+
+    @property
+    def leaves(self) -> list[int]:
+        """The bottom-level nodes, left to right."""
+        lo = 1 << self.height
+        return list(range(lo, 2 * lo))
+
+    def tree_path(self, src: int, dst: int) -> list[int]:
+        """The unique tree path: up to the lowest common ancestor, down."""
+        size = (1 << (self.height + 1)) - 1
+        if not 1 <= src <= size or not 1 <= dst <= size:
+            raise TopologyError(f"nodes must be in 1..{size}")
+        up_src, up_dst = [], []
+        a, b = src, dst
+        while a != b:
+            if a >= b:
+                up_src.append(a)
+                a //= 2
+            else:
+                up_dst.append(b)
+                b //= 2
+        return up_src + [a] + list(reversed(up_dst))
+
+
+class Star(Topology):
+    """The star: hub node 0 joined to leaves ``1 .. n_leaves``."""
+
+    def __init__(self, n_leaves: int) -> None:
+        n_leaves = int(n_leaves)
+        if n_leaves < 2:
+            raise TopologyError(f"star needs >= 2 leaves, got {n_leaves}")
+        g = nx.Graph()
+        g.add_node(0)
+        for leaf in range(1, n_leaves + 1):
+            g.add_edge(0, leaf)
+        super().__init__(g, name=f"star(leaves={n_leaves})")
+        self.n_leaves = n_leaves
+
+    @property
+    def hub(self) -> int:
+        """The center node."""
+        return 0
+
+    def leaf_path(self, src: int, dst: int) -> list[int]:
+        """The two-hop path between leaves through the hub."""
+        if not 1 <= src <= self.n_leaves or not 1 <= dst <= self.n_leaves:
+            raise TopologyError(f"leaves must be in 1..{self.n_leaves}")
+        if src == dst:
+            raise TopologyError("a leaf has no path to itself")
+        return [src, 0, dst]
+
+
+def binary_tree(height: int) -> BinaryTree:
+    """The complete binary tree of the given height."""
+    return BinaryTree(height)
+
+
+def star(n_leaves: int) -> Star:
+    """The star with the given number of leaves."""
+    return Star(n_leaves)

@@ -1,0 +1,51 @@
+"""Optical substrate: wavelengths, signals, couplers, switches, routers.
+
+This subpackage models the *hardware* layer of the paper (Section 1 and
+Figures 1-3): WDM wavelength bands, optical signals travelling as worms of
+flits, and the two contention-resolution rules implemented by couplers --
+**serve-first** (arriving signal on a busy wavelength is eliminated) and
+**priority** (higher-priority signal wins; a lower-priority signal that is
+mid-transmission gets truncated).
+
+The coupler kernels in :mod:`repro.optics.coupler` are the single source of
+truth for collision semantics; the discrete-event engine in
+:mod:`repro.core.engine` delegates every conflict decision to them.
+"""
+
+from repro.optics.wavelength import Band, WavelengthAllocation, split_band
+from repro.optics.signal import Occupancy, Arrival
+from repro.optics.coupler import (
+    CollisionRule,
+    TieRule,
+    Decision,
+    resolve,
+    serve_first_resolve,
+    priority_resolve,
+)
+from repro.optics.switch import (
+    SwitchKind,
+    ElementarySwitch,
+    GeneralizedSwitch,
+    make_switch,
+)
+from repro.optics.router import Router, RouterPortEvent
+
+__all__ = [
+    "Band",
+    "WavelengthAllocation",
+    "split_band",
+    "Occupancy",
+    "Arrival",
+    "CollisionRule",
+    "TieRule",
+    "Decision",
+    "resolve",
+    "serve_first_resolve",
+    "priority_resolve",
+    "SwitchKind",
+    "ElementarySwitch",
+    "GeneralizedSwitch",
+    "make_switch",
+    "Router",
+    "RouterPortEvent",
+]

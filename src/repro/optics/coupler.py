@@ -1,0 +1,185 @@
+"""Coupler contention kernels: the serve-first and priority rules.
+
+A coupler combines the signals of many incoming fibers onto one outgoing
+fiber (paper, Section 1). Collisions happen per (directed link, wavelength)
+pair; these kernels decide them:
+
+* **serve-first** -- "if a message that arrives at a coupler uses a
+  wavelength already used by another message traversing the coupler, the
+  new message is eliminated";
+* **priority** -- "the message with higher priority is forwarded and the
+  other suspended". An arriving loser is eliminated whole (its head is the
+  first flit to reach the coupler); a mid-transmission loser is *truncated*:
+  the fragment already forwarded keeps travelling, the rest is dumped.
+
+The kernels are pure functions of small records so the exact semantics can
+be unit-tested exhaustively; the discrete-event engine defers every
+conflict to them.
+
+Contract: all arrivals handed to a kernel share one (link, wavelength,
+time); an ``occupant`` must have started strictly before ``now`` and must
+still be active at ``now`` (the engine drops stale records). Simultaneous
+arrivals are broken by the :class:`TieRule` -- the paper leaves this case
+unspecified, see DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.optics.signal import Arrival, Occupancy
+
+__all__ = [
+    "CollisionRule",
+    "TieRule",
+    "Decision",
+    "resolve",
+    "serve_first_resolve",
+    "priority_resolve",
+]
+
+
+class CollisionRule(enum.Enum):
+    """Which contention-resolution rule the routers implement."""
+
+    SERVE_FIRST = "serve_first"
+    PRIORITY = "priority"
+
+
+class TieRule(enum.Enum):
+    """How simultaneous same-wavelength head arrivals are broken.
+
+    ``ALL_LOSE`` models photodetectors seeing a garbled burst (every tied
+    signal is eliminated, and under the priority rule an equal-priority
+    occupant is truncated as well). ``LOWEST_ID_WINS`` is the deterministic
+    alternative used in ablation E-AB3.
+    """
+
+    ALL_LOSE = "all_lose"
+    LOWEST_ID_WINS = "lowest_id_wins"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one contention event.
+
+    ``winner`` is the arrival that proceeds onto the link (``None`` if no
+    arrival survives), ``eliminated`` lists the arrival worms whose heads
+    were cut here, and ``truncate_occupant`` says whether the occupant's
+    tail must be dumped at this coupler from ``now`` on.
+    """
+
+    winner: int | None
+    eliminated: tuple[int, ...]
+    truncate_occupant: bool = False
+
+    def __post_init__(self) -> None:
+        if self.winner is not None and self.winner in self.eliminated:
+            raise ValueError("winner cannot also be eliminated")
+
+
+def _check_contract(occupant: Occupancy | None, arrivals: Sequence[Arrival], now: int) -> None:
+    if not arrivals:
+        raise ValueError("a contention event needs at least one arrival")
+    if occupant is not None and not occupant.mid_transmission_at(now):
+        raise ValueError(
+            f"occupant {occupant} is not mid-transmission at t={now}; "
+            "the engine must drop stale occupancies and batch same-time arrivals"
+        )
+    seen = set()
+    for a in arrivals:
+        if a.worm in seen:
+            raise ValueError(f"worm {a.worm} arrives twice in one event")
+        seen.add(a.worm)
+
+
+def serve_first_resolve(
+    occupant: Occupancy | None,
+    arrivals: Sequence[Arrival],
+    now: int,
+    tie_rule: TieRule = TieRule.ALL_LOSE,
+) -> Decision:
+    """Decide a contention event under the serve-first rule.
+
+    The occupant is never harmed. If the link is busy, every arrival is
+    eliminated; on an idle link a single arrival wins, and simultaneous
+    arrivals are broken by ``tie_rule``.
+    """
+    _check_contract(occupant, arrivals, now)
+    if occupant is not None:
+        return Decision(winner=None, eliminated=tuple(a.worm for a in arrivals))
+    if len(arrivals) == 1:
+        return Decision(winner=arrivals[0].worm, eliminated=())
+    if tie_rule is TieRule.ALL_LOSE:
+        return Decision(winner=None, eliminated=tuple(a.worm for a in arrivals))
+    winner = min(arrivals, key=lambda a: a.worm)
+    losers = tuple(a.worm for a in arrivals if a.worm != winner.worm)
+    return Decision(winner=winner.worm, eliminated=losers)
+
+
+def priority_resolve(
+    occupant: Occupancy | None,
+    arrivals: Sequence[Arrival],
+    now: int,
+    tie_rule: TieRule = TieRule.ALL_LOSE,
+) -> Decision:
+    """Decide a contention event under the priority rule.
+
+    The highest-priority arrival is the only candidate; everything it beats
+    loses. Beating the occupant truncates it (the occupant's forwarded
+    fragment keeps travelling); losing to the occupant eliminates the
+    candidate like every other arrival. Priority ties between distinct
+    worms "cannot happen" in the paper's protocol (fresh random priorities
+    per round); when they do occur they fall back to ``tie_rule``.
+    """
+    _check_contract(occupant, arrivals, now)
+    best = max(arrivals, key=lambda a: (a.priority, -a.worm))
+    top = [a for a in arrivals if a.priority == best.priority]
+
+    if len(top) > 1:
+        # Tied arrivals garble each other; the occupant survives only if it
+        # outranks the garbled burst.
+        if tie_rule is TieRule.ALL_LOSE:
+            truncate = occupant is not None and occupant.priority <= best.priority
+            return Decision(
+                winner=None,
+                eliminated=tuple(a.worm for a in arrivals),
+                truncate_occupant=truncate,
+            )
+        best = min(top, key=lambda a: a.worm)
+
+    losers = tuple(a.worm for a in arrivals if a.worm != best.worm)
+    if occupant is None:
+        return Decision(winner=best.worm, eliminated=losers)
+    if best.priority > occupant.priority:
+        return Decision(winner=best.worm, eliminated=losers, truncate_occupant=True)
+    if best.priority < occupant.priority:
+        return Decision(winner=None, eliminated=tuple(a.worm for a in arrivals))
+    # Arrival ties the occupant: unspecified in the paper, broken like
+    # simultaneous arrivals.
+    if tie_rule is TieRule.ALL_LOSE:
+        return Decision(
+            winner=None,
+            eliminated=tuple(a.worm for a in arrivals),
+            truncate_occupant=True,
+        )
+    if best.worm < occupant.worm:
+        return Decision(winner=best.worm, eliminated=losers, truncate_occupant=True)
+    return Decision(winner=None, eliminated=tuple(a.worm for a in arrivals))
+
+
+def resolve(
+    rule: CollisionRule,
+    occupant: Occupancy | None,
+    arrivals: Sequence[Arrival],
+    now: int,
+    tie_rule: TieRule = TieRule.ALL_LOSE,
+) -> Decision:
+    """Dispatch to the kernel for ``rule``."""
+    if rule is CollisionRule.SERVE_FIRST:
+        return serve_first_resolve(occupant, arrivals, now, tie_rule)
+    if rule is CollisionRule.PRIORITY:
+        return priority_resolve(occupant, arrivals, now, tie_rule)
+    raise ValueError(f"unknown collision rule: {rule!r}")

@@ -1,0 +1,121 @@
+"""The Figure-1 router: generalized switches feeding per-output couplers.
+
+A bandwidth-``B`` router with ``p`` ports (Figure 1 shows ``p = 2``) is
+built from one generalized switch per input fiber (demultiplexing each of
+the ``B`` wavelengths toward its output) and one coupler per output fiber
+(recombining the signals and resolving wavelength collisions by the
+serve-first or priority rule).
+
+The discrete-event engine operates directly on (link, wavelength) couplers
+for speed; :class:`Router` provides the explicit hardware composition so
+that tests can cross-validate engine decisions against the component-level
+model, and so the library exposes the paper's architecture faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optics.coupler import CollisionRule, Decision, TieRule, resolve
+from repro.optics.signal import Arrival, Occupancy
+from repro.optics.switch import GeneralizedSwitch
+
+__all__ = ["RouterPortEvent", "Router"]
+
+
+@dataclass(frozen=True)
+class RouterPortEvent:
+    """A worm head arriving at a router input, destined for an output port."""
+
+    in_port: int
+    out_port: int
+    arrival: Arrival
+    wavelength: int
+
+
+class Router:
+    """A ``p``-port, bandwidth-``B`` optical router (Fig. 1 composition).
+
+    The router is stateless between time steps except for the output-link
+    occupancies handed in by the caller: the engine owns global link state,
+    the router owns the *decision* of one node-local time step.
+    """
+
+    def __init__(
+        self,
+        n_ports: int,
+        bandwidth: int,
+        rule: CollisionRule,
+        tie_rule: TieRule = TieRule.ALL_LOSE,
+    ) -> None:
+        if n_ports <= 0:
+            raise ValueError("router needs at least one port")
+        if bandwidth <= 0:
+            raise ValueError("router bandwidth must be positive")
+        self.n_ports = n_ports
+        self.bandwidth = bandwidth
+        self.rule = rule
+        self.tie_rule = tie_rule
+        # One demultiplexing switch per input fiber, as in Figure 1.
+        self._switches = [
+            GeneralizedSwitch(n_inputs=1, n_outputs=n_ports, bandwidth=bandwidth)
+            for _ in range(n_ports)
+        ]
+
+    def step(
+        self,
+        events: list[RouterPortEvent],
+        occupancies: dict[tuple[int, int], Occupancy],
+        now: int,
+    ) -> dict[tuple[int, int], Decision]:
+        """Resolve one time step of head arrivals at this router.
+
+        ``events`` are the heads arriving now; ``occupancies`` maps
+        (out_port, wavelength) to the transmission currently using that
+        output link, if any (the caller must already have dropped stale
+        records). Returns the coupler decision per contended
+        (out_port, wavelength).
+        """
+        self._validate_events(events)
+        self._program_switches(events)
+
+        grouped: dict[tuple[int, int], list[Arrival]] = {}
+        for ev in events:
+            # Route through the input's demux switch: the switch must agree
+            # with the requested output port -- this is what "programming"
+            # the generalized switch achieves.
+            out = self._switches[ev.in_port].route(0, ev.wavelength)
+            grouped.setdefault((out, ev.wavelength), []).append(ev.arrival)
+
+        decisions: dict[tuple[int, int], Decision] = {}
+        for key, arrivals in grouped.items():
+            occupant = occupancies.get(key)
+            if occupant is not None and not occupant.mid_transmission_at(now):
+                occupant = None
+            decisions[key] = resolve(self.rule, occupant, arrivals, now, self.tie_rule)
+        return decisions
+
+    def _validate_events(self, events: list[RouterPortEvent]) -> None:
+        seen: dict[tuple[int, int], int] = {}
+        for ev in events:
+            if not 0 <= ev.in_port < self.n_ports:
+                raise ValueError(f"input port {ev.in_port} out of range")
+            if not 0 <= ev.out_port < self.n_ports:
+                raise ValueError(f"output port {ev.out_port} out of range")
+            if not 0 <= ev.wavelength < self.bandwidth:
+                raise ValueError(f"wavelength {ev.wavelength} out of range")
+            key = (ev.in_port, ev.wavelength)
+            if key in seen:
+                # Two heads cannot share one input fiber on one wavelength
+                # in the same step: the upstream coupler would have decided
+                # that collision already.
+                raise ValueError(
+                    f"two arrivals on input {ev.in_port} wavelength "
+                    f"{ev.wavelength} in one step (worms {seen[key]} and "
+                    f"{ev.arrival.worm})"
+                )
+            seen[key] = ev.arrival.worm
+
+    def _program_switches(self, events: list[RouterPortEvent]) -> None:
+        for ev in events:
+            self._switches[ev.in_port].set_route(0, ev.wavelength, ev.out_port)

@@ -1,0 +1,66 @@
+"""Signal-level records used by the coupler kernels.
+
+The engine reduces every potential conflict to two small records:
+
+* :class:`Occupancy` -- "worm ``worm`` started transmitting on this
+  (link, wavelength) at ``start`` and its last flit crosses at ``end``";
+* :class:`Arrival` -- "worm ``worm`` wants to start transmitting on this
+  (link, wavelength) right now with the given priority".
+
+Keeping these as plain frozen dataclasses lets the contention rules be
+tested exhaustively in isolation from the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Occupancy", "Arrival"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """An in-progress transmission on one directed link and wavelength.
+
+    ``start``/``end`` are inclusive time steps: the signal's flits cross
+    the link during every step ``t`` with ``start <= t <= end``. ``end``
+    reflects the fragment length at the time the record was built; the
+    engine recomputes it lazily after truncations.
+    """
+
+    worm: int
+    start: int
+    end: int
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"Occupancy end ({self.end}) precedes start ({self.start})"
+            )
+
+    def active_at(self, t: int) -> bool:
+        """Whether a flit of this signal crosses the link during step ``t``."""
+        return self.start <= t <= self.end
+
+    def mid_transmission_at(self, t: int) -> bool:
+        """Whether the signal started strictly earlier and is still crossing.
+
+        This is the paper's "already used by another message traversing the
+        coupler" condition: the occupant entered before ``t`` and its tail
+        has not cleared yet.
+        """
+        return self.start < t <= self.end
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """A worm head reaching a coupler, asking to enter the outgoing link."""
+
+    worm: int
+    length: int
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"Arrival length must be positive, got {self.length}")

@@ -1,0 +1,139 @@
+"""Optical switch models: elementary vs generalized switches (Fig. 2-3).
+
+An *elementary* switch switches whole fibers: every wavelength arriving on
+an input must leave through the same output (only the "straight"/"cross"
+style configurations of Figure 2a/2b and their analogues). A *generalized*
+switch switches wavelengths: each (input, wavelength) pair can be directed
+to its own output (all four configurations of Figure 2).
+
+The trial-and-failure protocol requires generalized switches -- routers
+must be "capable of directing messages at different wavelengths to
+different destinations" (Section 1). The elementary model is included for
+the structural comparison the paper draws with the reconfigurable-network
+literature, and so tests can demonstrate exactly which configurations each
+kind admits.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+__all__ = ["SwitchKind", "ElementarySwitch", "GeneralizedSwitch", "make_switch"]
+
+
+class SwitchKind(enum.Enum):
+    """The two reconfigurable switch families of the paper."""
+
+    ELEMENTARY = "elementary"
+    GENERALIZED = "generalized"
+
+
+class _SwitchBase:
+    """Shared port/wavelength bookkeeping for both switch kinds."""
+
+    kind: SwitchKind
+
+    def __init__(self, n_inputs: int, n_outputs: int, bandwidth: int) -> None:
+        if n_inputs <= 0 or n_outputs <= 0:
+            raise ValueError("switch needs at least one input and one output")
+        if bandwidth <= 0:
+            raise ValueError("switch bandwidth must be positive")
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.bandwidth = bandwidth
+
+    def _check_ports(self, inp: int, out: int) -> None:
+        if not 0 <= inp < self.n_inputs:
+            raise ValueError(f"input port {inp} out of range 0..{self.n_inputs - 1}")
+        if not 0 <= out < self.n_outputs:
+            raise ValueError(f"output port {out} out of range 0..{self.n_outputs - 1}")
+
+    def _check_wavelength(self, wavelength: int) -> None:
+        if not 0 <= wavelength < self.bandwidth:
+            raise ValueError(
+                f"wavelength {wavelength} out of range 0..{self.bandwidth - 1}"
+            )
+
+
+class ElementarySwitch(_SwitchBase):
+    """A wire switch: all wavelengths of an input exit through one output."""
+
+    kind = SwitchKind.ELEMENTARY
+
+    def __init__(self, n_inputs: int, n_outputs: int, bandwidth: int) -> None:
+        super().__init__(n_inputs, n_outputs, bandwidth)
+        self._map: dict[int, int] = {}
+
+    def configure(self, mapping: Mapping[int, int]) -> None:
+        """Set the input -> output wiring for every input port."""
+        for inp, out in mapping.items():
+            self._check_ports(inp, out)
+        self._map = dict(mapping)
+
+    def route(self, inp: int, wavelength: int) -> int:
+        """Output port for a signal at ``wavelength`` arriving on ``inp``."""
+        self._check_ports(inp, 0)
+        self._check_wavelength(wavelength)
+        if inp not in self._map:
+            raise ValueError(f"input {inp} is not configured")
+        return self._map[inp]
+
+    def can_separate_wavelengths(self) -> bool:
+        """Elementary switches can never split an input by wavelength."""
+        return False
+
+    @staticmethod
+    def configuration_count(n_inputs: int, n_outputs: int) -> int:
+        """Number of distinct full configurations (an output per input)."""
+        return n_outputs**n_inputs
+
+
+class GeneralizedSwitch(_SwitchBase):
+    """A wavelength switch: each (input, wavelength) gets its own output."""
+
+    kind = SwitchKind.GENERALIZED
+
+    def __init__(self, n_inputs: int, n_outputs: int, bandwidth: int) -> None:
+        super().__init__(n_inputs, n_outputs, bandwidth)
+        self._map: dict[tuple[int, int], int] = {}
+
+    def configure(self, mapping: Mapping[tuple[int, int], int]) -> None:
+        """Set the (input, wavelength) -> output routing table."""
+        for (inp, wl), out in mapping.items():
+            self._check_ports(inp, out)
+            self._check_wavelength(wl)
+        self._map = dict(mapping)
+
+    def set_route(self, inp: int, wavelength: int, out: int) -> None:
+        """Point one (input, wavelength) pair at ``out``."""
+        self._check_ports(inp, out)
+        self._check_wavelength(wavelength)
+        self._map[(inp, wavelength)] = out
+
+    def route(self, inp: int, wavelength: int) -> int:
+        """Output port for a signal at ``wavelength`` arriving on ``inp``."""
+        self._check_ports(inp, 0)
+        self._check_wavelength(wavelength)
+        key = (inp, wavelength)
+        if key not in self._map:
+            raise ValueError(f"(input={inp}, wavelength={wavelength}) is not configured")
+        return self._map[key]
+
+    def can_separate_wavelengths(self) -> bool:
+        """Generalized switches can split an input by wavelength."""
+        return True
+
+    @staticmethod
+    def configuration_count(n_inputs: int, n_outputs: int, bandwidth: int) -> int:
+        """Number of distinct full routing tables."""
+        return n_outputs ** (n_inputs * bandwidth)
+
+
+def make_switch(kind: SwitchKind, n_inputs: int, n_outputs: int, bandwidth: int):
+    """Factory for either switch kind."""
+    if kind is SwitchKind.ELEMENTARY:
+        return ElementarySwitch(n_inputs, n_outputs, bandwidth)
+    if kind is SwitchKind.GENERALIZED:
+        return GeneralizedSwitch(n_inputs, n_outputs, bandwidth)
+    raise ValueError(f"unknown switch kind: {kind!r}")

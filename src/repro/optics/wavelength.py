@@ -1,0 +1,93 @@
+"""Wavelength bands and allocations.
+
+A router's *bandwidth* ``B`` is the number of distinct wavelengths it can
+handle (paper, Section 1.1). The trial-and-failure analysis assumes ``2B``
+wavelengths are physically available, with ``B`` reserved for messages and
+``B`` for acknowledgements so that the two never contend (Section 2,
+opening paragraph). :func:`split_band` implements exactly that reservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_generator
+
+__all__ = ["Band", "WavelengthAllocation", "split_band"]
+
+
+@dataclass(frozen=True)
+class Band:
+    """A contiguous set of wavelength indices ``offset .. offset+size-1``.
+
+    Wavelengths are abstract integer channel indices; the physical carrier
+    frequency never matters to the protocol, only distinctness does.
+    """
+
+    size: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"Band size must be positive, got {self.size}")
+        if self.offset < 0:
+            raise ValueError(f"Band offset must be >= 0, got {self.offset}")
+
+    def __contains__(self, wavelength: int) -> bool:
+        return self.offset <= wavelength < self.offset + self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(range(self.offset, self.offset + self.size))
+
+    def sample(self, rng, n: int | None = None):
+        """Draw uniform random wavelength(s) from this band.
+
+        Returns a scalar ``int`` when ``n is None`` and a numpy array of
+        ``n`` samples otherwise.
+        """
+        rng = as_generator(rng)
+        if n is None:
+            return int(rng.integers(self.offset, self.offset + self.size))
+        return rng.integers(self.offset, self.offset + self.size, size=n)
+
+    def overlaps(self, other: "Band") -> bool:
+        """Whether any channel index lies in both bands."""
+        return not (
+            self.offset + self.size <= other.offset
+            or other.offset + other.size <= self.offset
+        )
+
+
+@dataclass(frozen=True)
+class WavelengthAllocation:
+    """The paper's message/acknowledgement split of a ``2B`` channel space."""
+
+    message: Band
+    ack: Band = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.ack is not None and self.message.overlaps(self.ack):
+            raise ValueError("message and ack bands must be disjoint")
+
+    @property
+    def bandwidth(self) -> int:
+        """The protocol-visible bandwidth ``B`` (message channels only)."""
+        return self.message.size
+
+
+def split_band(total: int) -> WavelengthAllocation:
+    """Split ``total`` channels into equal message and ack bands.
+
+    ``total`` must be even and positive; the low half carries messages and
+    the high half carries acknowledgements, mirroring the reservation in
+    Section 2 of the paper.
+    """
+    if total <= 0 or total % 2 != 0:
+        raise ValueError(f"total channel count must be even and positive, got {total}")
+    half = total // 2
+    return WavelengthAllocation(message=Band(half, 0), ack=Band(half, half))

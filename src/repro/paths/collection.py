@@ -1,0 +1,179 @@
+"""Path collections and the paper's congestion measures.
+
+A :class:`PathCollection` is a *multiset* of directed paths (node
+sequences). Its three performance measures (Section 1.1):
+
+* ``n`` -- the number of paths (one worm each);
+* ``dilation`` ``D`` -- the length (in links) of the longest path;
+* ``path_congestion`` ``C̃`` -- the maximum over paths ``p`` of the number
+  of collection paths sharing a directed link with ``p``. Following the
+  paper's type-2 gadget ("structures each consisting of C̃ identical
+  paths"), a path counts itself, so ``C̃ >= 1`` always.
+
+``edge_congestion`` is the conventional congestion (max paths over one
+directed link), included because the related work (Section 1.2) is stated
+in terms of it. Note collisions happen per *directed* link: opposite
+traversals of one fiber pair never contend.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import PathError
+from repro.network.topology import Topology
+
+__all__ = ["PathCollection"]
+
+
+class PathCollection:
+    """An immutable multiset of directed paths with cached metrics."""
+
+    def __init__(
+        self,
+        paths: Iterable[Sequence],
+        topology: Topology | None = None,
+        require_simple: bool = True,
+    ) -> None:
+        self._paths: tuple[tuple, ...] = tuple(tuple(p) for p in paths)
+        if not self._paths:
+            raise PathError("a path collection needs at least one path")
+        for i, p in enumerate(self._paths):
+            if len(p) < 2:
+                raise PathError(f"path {i} has fewer than two nodes: {p!r}")
+            if require_simple and len(set(p)) != len(p):
+                raise PathError(f"path {i} repeats a node: {p!r}")
+        self.topology = topology
+        if topology is not None:
+            topology.validate_paths(self._paths)
+
+    # -- container protocol ------------------------------------------------
+
+    @property
+    def paths(self) -> tuple[tuple, ...]:
+        """The paths, in collection order (worm ``uid`` order)."""
+        return self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self):
+        return iter(self._paths)
+
+    def __getitem__(self, i: int) -> tuple:
+        return self._paths[i]
+
+    @property
+    def n(self) -> int:
+        """Collection size ``n`` (number of paths/worms)."""
+        return len(self._paths)
+
+    # -- link bookkeeping ----------------------------------------------------
+
+    @cached_property
+    def link_paths(self) -> dict[tuple, list[int]]:
+        """Directed link -> sorted list of path ids using it."""
+        index: dict[tuple, list[int]] = {}
+        for pid, path in enumerate(self._paths):
+            for a, b in zip(path, path[1:]):
+                index.setdefault((a, b), []).append(pid)
+        return index
+
+    @cached_property
+    def links(self) -> list[tuple]:
+        """All directed links used by at least one path."""
+        return list(self.link_paths.keys())
+
+    def paths_on_link(self, link: tuple) -> list[int]:
+        """Path ids crossing the directed link (empty if unused)."""
+        return list(self.link_paths.get(link, ()))
+
+    # -- the paper's measures -----------------------------------------------
+
+    @cached_property
+    def dilation(self) -> int:
+        """``D``: the number of links of the longest path."""
+        return max(len(p) - 1 for p in self._paths)
+
+    @cached_property
+    def min_length(self) -> int:
+        """Number of links of the shortest path."""
+        return min(len(p) - 1 for p in self._paths)
+
+    @cached_property
+    def edge_congestion(self) -> int:
+        """Conventional congestion: max paths over one directed link."""
+        return max(len(pids) for pids in self.link_paths.values())
+
+    @cached_property
+    def per_path_congestion(self) -> np.ndarray:
+        """For each path, the number of paths sharing a link with it.
+
+        A path counts itself (see module docstring). Identical paths share
+        one computation via memoisation, which makes the type-2 gadgets
+        (thousands of identical paths) cheap.
+        """
+        link_paths = self.link_paths
+        cache: dict[tuple, int] = {}
+        out = np.empty(len(self._paths), dtype=np.int64)
+        for pid, path in enumerate(self._paths):
+            cached = cache.get(path)
+            if cached is None:
+                sharing: set[int] = set()
+                for a, b in zip(path, path[1:]):
+                    sharing.update(link_paths[(a, b)])
+                cached = len(sharing)
+                cache[path] = cached
+            out[pid] = cached
+        return out
+
+    @cached_property
+    def path_congestion(self) -> int:
+        """``C̃``: the paper's path congestion (max of per-path values)."""
+        return int(self.per_path_congestion.max())
+
+    @cached_property
+    def mean_path_congestion(self) -> float:
+        """Average per-path congestion (used by the application theorems)."""
+        return float(self.per_path_congestion.mean())
+
+    # -- derived views ---------------------------------------------------------
+
+    def sources(self) -> list:
+        """Per-path injection nodes."""
+        return [p[0] for p in self._paths]
+
+    def destinations(self) -> list:
+        """Per-path delivery nodes."""
+        return [p[-1] for p in self._paths]
+
+    def subset(self, path_ids: Sequence[int]) -> "PathCollection":
+        """A new collection containing only ``path_ids`` (order preserved).
+
+        Used by the protocol to re-measure the congestion of the surviving
+        worms between rounds (Lemma 2.4's quantity).
+        """
+        ids = list(path_ids)
+        if not ids:
+            raise PathError("subset of a path collection cannot be empty")
+        return PathCollection(
+            [self._paths[i] for i in ids],
+            topology=self.topology,
+            require_simple=False,
+        )
+
+    def merged_with(self, other: "PathCollection") -> "PathCollection":
+        """Concatenate two collections (topology kept only if shared)."""
+        topo = self.topology if self.topology is other.topology else None
+        return PathCollection(
+            self._paths + other.paths, topology=topo, require_simple=False
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<PathCollection n={self.n} D={self.dilation} "
+            f"C~={self.path_congestion} C_edge={self.edge_congestion}>"
+        )

@@ -1,0 +1,276 @@
+"""The paper's lower-bound gadget collections (Sections 2.2 and 3.2).
+
+Three building blocks:
+
+* :func:`type1_staircase` -- Figure 5: ``k`` paths of length ``D``; path
+  ``i`` starts ``d = floor((L-1)/2) + 1`` levels after path ``i-1`` and
+  shares exactly one edge with each neighbour. A chain of worms can block
+  one another in sequence (Lemma 2.8), which drives the
+  ``sqrt(log_alpha n)`` term of Main Theorems 1.1/1.3.
+* :func:`type1_triangle` -- Section 3.2's cyclic gadget: three paths of
+  length ``D`` pairwise sharing one edge, arranged so all three worms can
+  block each other *cyclically* (probability ``(floor(L/2)/(B*Delta))^2``
+  per round). Under serve-first routers this sustains the ``log_alpha n``
+  round count of Main Theorem 1.2; the priority rule breaks such cycles.
+* :func:`type2_bundle` -- ``C̃`` identical paths of length ``D`` down one
+  chain; survivor counts collapse doubly exponentially (Lemma 2.10),
+  giving the ``loglog_beta n`` terms.
+
+:func:`leveled_lower_bound_instance` and
+:func:`shortcut_lower_bound_instance` assemble the full constructions used
+by the lower-bound proofs (many independent copies sharing no nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import PathError
+from repro.network.topology import Topology
+from repro.paths.collection import PathCollection
+from repro._util import log2_safe
+
+__all__ = [
+    "GadgetInstance",
+    "type1_staircase",
+    "type1_triangle",
+    "type2_bundle",
+    "leveled_lower_bound_instance",
+    "shortcut_lower_bound_instance",
+]
+
+
+@dataclass(frozen=True)
+class GadgetInstance:
+    """A gadget (or union of gadgets) with its topology and paths.
+
+    ``groups`` maps a structure label (e.g. ``("staircase", 3)``) to the
+    worm/path ids belonging to that structure, so experiments can measure
+    per-structure survival.
+    """
+
+    topology: Topology
+    collection: PathCollection
+    kind: str
+    params: dict = field(default_factory=dict)
+    groups: dict = field(default_factory=dict)
+
+
+def _paths_to_instance(paths: list[list], kind: str, params: dict, groups: dict) -> GadgetInstance:
+    g = nx.Graph()
+    for p in paths:
+        g.add_nodes_from(p)
+        g.add_edges_from(zip(p, p[1:]))
+    topo = Topology(g, name=kind)
+    coll = PathCollection(paths, topology=topo, require_simple=False)
+    return GadgetInstance(topology=topo, collection=coll, kind=kind, params=params, groups=groups)
+
+
+# ---------------------------------------------------------------------------
+# Type-1, Section 2.2 (Figure 5): the staircase
+# ---------------------------------------------------------------------------
+
+
+def staircase_paths(k: int, D: int, L: int, tag=0) -> list[list]:
+    """Raw node paths of one staircase (see :func:`type1_staircase`).
+
+    Path ``i`` (1-based) occupies global levels ``(i-1)*d .. (i-1)*d + D``
+    with ``d = floor((L-1)/2) + 1``; paths ``i`` and ``i+1`` share the
+    single edge from level ``i*d`` to ``i*d + 1``. Shared nodes are named
+    by global level so the ``d = 1`` overlap (L <= 2) collapses naturally.
+    """
+    d = (L - 1) // 2 + 1
+    if k < 1:
+        raise PathError(f"staircase needs k >= 1 paths, got {k}")
+    if D < d + 1:
+        raise PathError(
+            f"staircase needs D >= d+1 = {d + 1} so neighbours share an edge; got D={D}"
+        )
+
+    def node(i: int, j: int):
+        level = (i - 1) * d + j
+        shared = (j in (0, 1) and i >= 2) or (j in (d, d + 1) and i <= k - 1)
+        if shared:
+            return ("s1s", tag, level)
+        return ("s1p", tag, i, j)
+
+    return [[node(i, j) for j in range(D + 1)] for i in range(1, k + 1)]
+
+
+def type1_staircase(k: int, D: int, L: int, tag=0) -> GadgetInstance:
+    """One Figure-5 staircase of ``k`` length-``D`` paths for length-``L`` worms.
+
+    The collection is leveled (levels = global levels) and short-cut free
+    (each pair of paths shares at most one edge).
+    """
+    paths = staircase_paths(k, D, L, tag)
+    return _paths_to_instance(
+        paths,
+        kind="type1-staircase",
+        params={"k": k, "D": D, "L": L},
+        groups={("staircase", tag): list(range(k))},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Type-1, Section 3.2: the cyclic triangle
+# ---------------------------------------------------------------------------
+
+
+def triangle_paths(D: int, L: int, tag=0, s: int = 0) -> list[list]:
+    """Raw node paths of one cyclic triangle (see :func:`type1_triangle`).
+
+    Path ``i`` traverses its "early" shared edge ``e_i = (A_i, B_i)`` at
+    positions ``s, s+1`` and the "late" shared edge ``e_{i-1}`` at
+    positions ``s+g, s+g+1`` with ``g = floor(L/2)``, so worm ``i``
+    (mid-transmission on ``e_i``) blocks the arriving worm ``i+1``
+    whenever the delays land within a ``g``-window -- cyclically for all
+    three at once. With ``g = 1`` the construction forces ``B_i = A_{i-1}``
+    (shared nodes collapse onto a 3-cycle), handled by canonical naming.
+    """
+    g = L // 2
+    if L < 2:
+        raise PathError(f"the cyclic triangle needs worm length L >= 2, got {L}")
+    if s < 0:
+        raise PathError(f"edge position s must be >= 0, got {s}")
+    if D < s + g + 1:
+        raise PathError(
+            f"triangle needs D >= s+g+1 = {s + g + 1} to fit both shared edges; got D={D}"
+        )
+
+    def A(i: int):
+        return ("t1A", tag, i % 3)
+
+    def B(i: int):
+        # With g == 1 position s+1 is simultaneously B_i and A_{i-1}.
+        if g == 1:
+            return A(i - 1)
+        return ("t1B", tag, i % 3)
+
+    def node(i: int, j: int):
+        if j == s:
+            return A(i)
+        if j == s + 1:
+            return B(i)
+        if j == s + g:
+            return A(i - 1)
+        if j == s + g + 1:
+            return B(i - 1)
+        return ("t1p", tag, i, j)
+
+    return [[node(i, j) for j in range(D + 1)] for i in range(3)]
+
+
+def type1_triangle(D: int, L: int, tag=0, s: int = 0) -> GadgetInstance:
+    """One Section-3.2 cyclic triangle: three mutually blockable paths.
+
+    Short-cut free (each pair shares one edge / ordered distances agree)
+    but *not* leveled once ``g >= 1`` wraps the shared edges into a cycle
+    of blocking -- exactly the situation that separates Main Theorem 1.2
+    from 1.1/1.3.
+    """
+    paths = triangle_paths(D, L, tag, s)
+    return _paths_to_instance(
+        paths,
+        kind="type1-triangle",
+        params={"D": D, "L": L, "s": s},
+        groups={("triangle", tag): [0, 1, 2]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Type-2: identical-path bundles
+# ---------------------------------------------------------------------------
+
+
+def bundle_paths(congestion: int, D: int, tag=0) -> list[list]:
+    """``congestion`` identical copies of one length-``D`` chain path."""
+    if congestion < 1:
+        raise PathError(f"bundle needs congestion >= 1, got {congestion}")
+    if D < 1:
+        raise PathError(f"bundle needs path length D >= 1, got {D}")
+    chain = [("t2", tag, j) for j in range(D + 1)]
+    return [list(chain) for _ in range(congestion)]
+
+
+def type2_bundle(congestion: int, D: int, tag=0) -> GadgetInstance:
+    """One type-2 structure: ``congestion`` identical length-``D`` paths."""
+    paths = bundle_paths(congestion, D, tag)
+    return _paths_to_instance(
+        paths,
+        kind="type2-bundle",
+        params={"congestion": congestion, "D": D},
+        groups={("bundle", tag): list(range(congestion))},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full lower-bound instances
+# ---------------------------------------------------------------------------
+
+
+def _assemble(
+    structures: list[tuple[str, list[list]]], kind: str, params: dict
+) -> GadgetInstance:
+    all_paths: list[list] = []
+    groups: dict = {}
+    for label_tag, paths in structures:
+        start = len(all_paths)
+        all_paths.extend(paths)
+        groups[label_tag] = list(range(start, start + len(paths)))
+    return _paths_to_instance(all_paths, kind=kind, params=params, groups=groups)
+
+
+def leveled_lower_bound_instance(
+    n: int, D: int, L: int, congestion: int
+) -> GadgetInstance:
+    """The Section-2.2 lower-bound collection at target size ``n``.
+
+    Roughly ``n/2`` worms in staircases of ``k = round(sqrt(log2 n))``
+    paths (the ``sqrt(log_alpha n)`` term) and ``n/2`` worms in bundles of
+    ``congestion`` identical paths (the ``loglog_beta n`` term). The
+    realised size can fall slightly below ``n`` due to rounding; at least
+    one structure of each type is always built.
+    """
+    if n < 2:
+        raise PathError(f"need n >= 2 worms, got {n}")
+    k = max(2, round(log2_safe(n) ** 0.5))
+    n_stairs = max(1, n // (2 * k))
+    n_bundles = max(1, n // (2 * congestion))
+    structures: list[tuple[str, list[list]]] = []
+    for t in range(n_stairs):
+        structures.append((("staircase", t), staircase_paths(k, D, L, tag=("st", t))))
+    for t in range(n_bundles):
+        structures.append((("bundle", t), bundle_paths(congestion, D, tag=("bu", t))))
+    return _assemble(
+        structures,
+        kind="leveled-lower-bound",
+        params={"n": n, "D": D, "L": L, "congestion": congestion, "k": k},
+    )
+
+
+def shortcut_lower_bound_instance(
+    n: int, D: int, L: int, congestion: int
+) -> GadgetInstance:
+    """The Section-3.2 lower-bound collection at target size ``n``.
+
+    Roughly ``n/2`` worms in cyclic triangles (three worms each, the
+    ``log_alpha n`` term under serve-first) and ``n/2`` worms in type-2
+    bundles (the ``loglog_beta n`` term).
+    """
+    if n < 2:
+        raise PathError(f"need n >= 2 worms, got {n}")
+    n_triangles = max(1, n // 6)
+    n_bundles = max(1, n // (2 * congestion))
+    structures: list[tuple[str, list[list]]] = []
+    for t in range(n_triangles):
+        structures.append((("triangle", t), triangle_paths(D, L, tag=("tr", t))))
+    for t in range(n_bundles):
+        structures.append((("bundle", t), bundle_paths(congestion, D, tag=("bu", t))))
+    return _assemble(
+        structures,
+        kind="shortcut-lower-bound",
+        params={"n": n, "D": D, "L": L, "congestion": congestion},
+    )

@@ -1,0 +1,108 @@
+"""Routing-problem generators: functions, q-functions, permutations.
+
+Terminology from Section 1.4: "routing a function" sends one message from
+node ``i`` to node ``f(i)`` for every node; "routing a q-function" makes
+every node the source of ``q`` messages; "random" means the function is
+drawn uniformly from all such functions. Fixed points ``f(i) = i`` need no
+message (there is no link to traverse), so pair generators drop them --
+the protocol would deliver them in zero steps anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro._util import as_generator
+from repro.paths.collection import PathCollection
+
+__all__ = [
+    "random_function",
+    "random_q_function",
+    "random_permutation",
+    "transpose_permutation",
+    "bit_reversal_permutation",
+    "pairs_to_paths",
+]
+
+
+def random_function(nodes: Sequence, rng=None, keep_fixed_points: bool = False) -> list[tuple]:
+    """Pairs ``(i, f(i))`` for a uniformly random function ``f``."""
+    rng = as_generator(rng)
+    nodes = list(nodes)
+    targets = rng.integers(0, len(nodes), size=len(nodes))
+    pairs = [(src, nodes[int(t)]) for src, t in zip(nodes, targets)]
+    if keep_fixed_points:
+        return pairs
+    return [(s, t) for s, t in pairs if s != t]
+
+
+def random_q_function(
+    nodes: Sequence, q: int, rng=None, keep_fixed_points: bool = False
+) -> list[tuple]:
+    """Pairs for a random q-function: every node sources ``q`` messages."""
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    rng = as_generator(rng)
+    nodes = list(nodes)
+    pairs: list[tuple] = []
+    for _ in range(q):
+        pairs.extend(random_function(nodes, rng, keep_fixed_points))
+    return pairs
+
+
+def random_permutation(nodes: Sequence, rng=None, keep_fixed_points: bool = False) -> list[tuple]:
+    """Pairs ``(i, pi(i))`` for a uniformly random permutation ``pi``."""
+    rng = as_generator(rng)
+    nodes = list(nodes)
+    perm = rng.permutation(len(nodes))
+    pairs = [(src, nodes[int(t)]) for src, t in zip(nodes, perm)]
+    if keep_fixed_points:
+        return pairs
+    return [(s, t) for s, t in pairs if s != t]
+
+
+def transpose_permutation(side: int) -> list[tuple]:
+    """The matrix-transpose permutation on a ``side x side`` grid.
+
+    ``(i, j) -> (j, i)``: the classic adversarial permutation for
+    dimension-order routing -- all traffic between the two triangles
+    funnels through the diagonal, giving edge congestion ``Theta(side)``
+    where a random function sees ``O(1)`` per edge on average. Fixed
+    points (the diagonal) are dropped.
+    """
+    if side < 2:
+        raise ValueError(f"side must be >= 2, got {side}")
+    return [
+        ((i, j), (j, i))
+        for i in range(side)
+        for j in range(side)
+        if i != j
+    ]
+
+
+def bit_reversal_permutation(dim: int) -> list[tuple[int, int]]:
+    """The bit-reversal permutation on ``2^dim`` integers.
+
+    ``x -> reverse of x's dim-bit representation``: the classic hard
+    input for oblivious routing on butterflies and hypercubes. Fixed
+    points (palindromic indices) are dropped.
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    pairs = []
+    for x in range(1 << dim):
+        y = int(format(x, f"0{dim}b")[::-1], 2)
+        if x != y:
+            pairs.append((x, y))
+    return pairs
+
+
+def pairs_to_paths(
+    pairs: Sequence[tuple], path_fn: Callable, topology=None
+) -> PathCollection:
+    """Apply a path-selection function to every (src, dst) pair.
+
+    ``path_fn(src, dst)`` must return a node sequence. Convenience glue
+    between problem generators and selection strategies.
+    """
+    return PathCollection([path_fn(s, t) for s, t in pairs], topology=topology)

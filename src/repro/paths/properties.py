@@ -1,0 +1,223 @@
+"""Structural properties of path collections: leveled, short-cut free.
+
+Definitions from Section 1.1:
+
+* a collection is **leveled** if levels can be assigned to the nodes so
+  that every path edge leads from a node in level ``i`` to one in level
+  ``i + 1``;
+* a collection is **short-cut free** if no subpath of one path is
+  short-cut by a subpath of another -- formalised here as: whenever nodes
+  ``u`` then ``v`` occur on two paths in the same order, the two
+  ``u -> v`` subpaths have the same length;
+* the sufficient condition "no two paths meet, separate and meet again"
+  is exposed separately, since the paper notes it covers most cases in
+  theory and practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PathError
+from repro.paths.collection import PathCollection
+
+__all__ = [
+    "LevelingResult",
+    "compute_leveling",
+    "is_leveled",
+    "is_short_cut_free",
+    "shortcut_violations",
+    "ShortcutViolation",
+    "meets_separates_remeets",
+    "all_pairs_meet_once",
+]
+
+
+# ---------------------------------------------------------------------------
+# Leveling
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LevelingResult:
+    """Outcome of a leveling attempt.
+
+    ``levels`` maps every node that occurs in the collection to its level
+    (shifted so each connected component starts at 0); it is ``None`` iff
+    the constraints are inconsistent, in which case ``conflict`` names an
+    offending directed link.
+    """
+
+    levels: dict | None
+    conflict: tuple | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether a consistent leveling exists."""
+        return self.levels is not None
+
+
+def compute_leveling(collection: PathCollection) -> LevelingResult:
+    """Try to assign levels to the nodes of ``collection``.
+
+    Every path edge ``u -> v`` imposes ``level(v) = level(u) + 1``. The
+    constraints form difference equations over the union of path edges;
+    a BFS per connected component either satisfies them all or finds a
+    contradictory link. Runs in time linear in total path length.
+    """
+    # Adjacency over the *undirected* constraint graph with +-1 offsets.
+    adj: dict[object, list[tuple[object, int]]] = {}
+    for path in collection:
+        for u, v in zip(path, path[1:]):
+            adj.setdefault(u, []).append((v, +1))
+            adj.setdefault(v, []).append((u, -1))
+
+    levels: dict = {}
+    for start in adj:
+        if start in levels:
+            continue
+        levels[start] = 0
+        component = [start]
+        queue = [start]
+        while queue:
+            u = queue.pop()
+            lu = levels[u]
+            for v, off in adj[u]:
+                want = lu + off
+                seen = levels.get(v)
+                if seen is None:
+                    levels[v] = want
+                    component.append(v)
+                    queue.append(v)
+                elif seen != want:
+                    return LevelingResult(
+                        levels=None, conflict=(u, v) if off == +1 else (v, u)
+                    )
+        # Normalise the component so its minimum level is zero.
+        lo = min(levels[v] for v in component)
+        if lo:
+            for v in component:
+                levels[v] -= lo
+    return LevelingResult(levels=levels)
+
+
+def is_leveled(collection: PathCollection) -> bool:
+    """Whether the collection admits a consistent leveling."""
+    return compute_leveling(collection).ok
+
+
+# ---------------------------------------------------------------------------
+# Short-cut freeness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShortcutViolation:
+    """A witnessed shortcut: two paths disagree on a ``u -> v`` distance."""
+
+    path_a: int
+    path_b: int
+    u: object
+    v: object
+    length_a: int
+    length_b: int
+
+
+def _sharing_pairs(collection: PathCollection) -> Iterator[tuple[int, int]]:
+    """Pairs of distinct path ids that share at least one node."""
+    node_paths: dict[object, list[int]] = {}
+    for pid, path in enumerate(collection):
+        for node in set(path):
+            node_paths.setdefault(node, []).append(pid)
+    seen: set[tuple[int, int]] = set()
+    for pids in node_paths.values():
+        for i in range(len(pids)):
+            for j in range(i + 1, len(pids)):
+                pair = (pids[i], pids[j])
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+
+
+def shortcut_violations(
+    collection: PathCollection, max_violations: int | None = 1
+) -> list[ShortcutViolation]:
+    """Find shortcut witnesses (at most ``max_violations``; None = all).
+
+    For each pair of node-sharing paths, the common nodes that appear in
+    the same order on both must sit at a constant position offset;
+    otherwise one path's subpath between two common nodes is shorter than
+    the other's, i.e. a shortcut.
+    """
+    violations: list[ShortcutViolation] = []
+    pos_cache: dict[int, dict] = {}
+
+    def positions(pid: int) -> dict:
+        got = pos_cache.get(pid)
+        if got is None:
+            path = collection[pid]
+            got = {node: i for i, node in enumerate(path)}
+            if len(got) != len(path):
+                raise PathError(
+                    f"path {pid} is not simple; shortcut analysis needs simple paths"
+                )
+            pos_cache[pid] = got
+        return got
+
+    for a, b in _sharing_pairs(collection):
+        pa, pb = positions(a), positions(b)
+        common = [n for n in collection[a] if n in pb]
+        # Walk common nodes in a's order; every pair ordered the same way
+        # in b must keep the same distance in both paths.
+        for i in range(len(common)):
+            for j in range(i + 1, len(common)):
+                u, v = common[i], common[j]
+                da = pa[v] - pa[u]  # > 0 by construction
+                db = pb[v] - pb[u]
+                if db > 0 and da != db:
+                    violations.append(
+                        ShortcutViolation(a, b, u, v, da, db)
+                    )
+                    if max_violations is not None and len(violations) >= max_violations:
+                        return violations
+    return violations
+
+
+def is_short_cut_free(collection: PathCollection) -> bool:
+    """Whether no path's subpath is short-cut by another's."""
+    return not shortcut_violations(collection, max_violations=1)
+
+
+# ---------------------------------------------------------------------------
+# Meet-once condition
+# ---------------------------------------------------------------------------
+
+
+def meets_separates_remeets(path_a, path_b) -> bool:
+    """Whether two paths meet, separate, and meet again.
+
+    The paper notes a collection is always short-cut free when no two
+    paths do this. "Meeting" is sharing nodes; the test checks whether
+    the common nodes form one contiguous block on path ``a``.
+    """
+    set_b = set(path_b)
+    flags = [node in set_b for node in path_a]
+    # Count maximal runs of True.
+    runs = 0
+    prev = False
+    for f in flags:
+        if f and not prev:
+            runs += 1
+        prev = f
+    return runs > 1
+
+
+def all_pairs_meet_once(collection: PathCollection) -> bool:
+    """The sufficient condition: no pair meets, separates and meets again."""
+    for a, b in _sharing_pairs(collection):
+        if meets_separates_remeets(collection[a], collection[b]):
+            return False
+        if meets_separates_remeets(collection[b], collection[a]):
+            return False
+    return True

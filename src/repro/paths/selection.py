@@ -1,0 +1,200 @@
+"""Path selection strategies for the application networks.
+
+The framework assumes "some suitable strategy for the path selection is
+given" (Section 1.1); this module provides the concrete strategies the
+application theorems rely on:
+
+* **dimension-order** paths on meshes and tori (Theorem 1.6's collections
+  -- short-cut free, and with the no-mutual-elimination property on
+  meshes);
+* the **unique butterfly paths** from inputs to outputs (Theorem 1.7's
+  leveled collections);
+* **bit-fixing** paths on hypercubes;
+* **translation-invariant path systems** on node-symmetric networks --
+  the constructive counterpart to the existence result of [27] used by
+  Theorem 1.5: a path from a canonical root to every offset, transported
+  to every source by an automorphism, giving expected edge congestion
+  ``<= D`` under a random function;
+* **Valiant's trick** (route via a random intermediate) as a generic
+  congestion-flattening preprocessor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import PathError
+from repro._util import as_generator
+from repro.network.butterfly import Butterfly
+from repro.network.hypercube import Hypercube
+from repro.network.mesh import Mesh, Torus
+from repro.network.topology import Topology
+from repro.paths.collection import PathCollection
+
+__all__ = [
+    "dimension_order_path",
+    "torus_dimension_order_path",
+    "mesh_path_collection",
+    "torus_path_collection",
+    "butterfly_path_collection",
+    "hypercube_path_collection",
+    "valiant_intermediate_pairs",
+    "shortest_path_system",
+    "translated_path",
+]
+
+
+# ---------------------------------------------------------------------------
+# Meshes and tori
+# ---------------------------------------------------------------------------
+
+
+def dimension_order_path(src: tuple, dst: tuple, order: Sequence[int] | None = None) -> list[tuple]:
+    """The dimension-order (e-cube) mesh path from ``src`` to ``dst``.
+
+    Corrects coordinates one dimension at a time in ``order`` (default
+    ``0, 1, ...``), moving monotonically within each dimension. Any two
+    such paths (same order) share at most one contiguous segment, so the
+    resulting collections are short-cut free.
+    """
+    if len(src) != len(dst):
+        raise PathError(f"dimensionality mismatch: {src} vs {dst}")
+    d = len(src)
+    axes = list(order) if order is not None else list(range(d))
+    if sorted(axes) != list(range(d)):
+        raise PathError(f"order must be a permutation of 0..{d - 1}, got {order}")
+    path = [tuple(src)]
+    cur = list(src)
+    for axis in axes:
+        step = 1 if dst[axis] > cur[axis] else -1
+        while cur[axis] != dst[axis]:
+            cur[axis] += step
+            path.append(tuple(cur))
+    return path
+
+
+def torus_dimension_order_path(
+    t: Torus, src: tuple, dst: tuple, order: Sequence[int] | None = None
+) -> list[tuple]:
+    """Dimension-order on a torus, taking the shorter wrap per dimension.
+
+    Ties (opposite directions equally long) break toward increasing
+    coordinates so the path system stays translation-invariant:
+    the path from ``u`` to ``v`` is the canonical 0-to-(v-u) path shifted
+    by ``u``, which is what makes the system node-symmetric.
+    """
+    t.check_coordinate(tuple(src))
+    t.check_coordinate(tuple(dst))
+    d = t.d
+    axes = list(order) if order is not None else list(range(d))
+    if sorted(axes) != list(range(d)):
+        raise PathError(f"order must be a permutation of 0..{d - 1}, got {order}")
+    path = [tuple(src)]
+    cur = list(src)
+    for axis in axes:
+        side = t.dims[axis]
+        fwd = (dst[axis] - cur[axis]) % side  # steps moving +1
+        if fwd <= side - fwd:  # forward is shorter (ties forward)
+            steps, step = fwd, +1
+        else:
+            steps, step = side - fwd, -1
+        for _ in range(steps):
+            cur[axis] = (cur[axis] + step) % side
+            path.append(tuple(cur))
+    return path
+
+
+def mesh_path_collection(
+    m: Mesh, pairs: Sequence[tuple], order: Sequence[int] | None = None
+) -> PathCollection:
+    """Dimension-order collection for (src, dst) pairs on a mesh."""
+    paths = [dimension_order_path(s, t, order) for s, t in pairs]
+    return PathCollection(paths, topology=m)
+
+
+def torus_path_collection(
+    t: Torus, pairs: Sequence[tuple], order: Sequence[int] | None = None
+) -> PathCollection:
+    """Translation-invariant dimension-order collection on a torus."""
+    paths = [torus_dimension_order_path(t, s, d, order) for s, d in pairs]
+    return PathCollection(paths, topology=t)
+
+
+# ---------------------------------------------------------------------------
+# Butterflies and hypercubes
+# ---------------------------------------------------------------------------
+
+
+def butterfly_path_collection(
+    bf: Butterfly, row_pairs: Sequence[tuple[int, int]]
+) -> PathCollection:
+    """Unique input-to-output butterfly paths for row pairs.
+
+    The result is leveled by construction (every link advances one
+    level), the setting of Theorem 1.7.
+    """
+    paths = [bf.route(a, b) for a, b in row_pairs]
+    return PathCollection(paths, topology=bf)
+
+
+def hypercube_path_collection(
+    h: Hypercube, pairs: Sequence[tuple[int, int]]
+) -> PathCollection:
+    """Bit-fixing paths on the hypercube (self-pairs rejected)."""
+    for s, t in pairs:
+        if s == t:
+            raise PathError(f"self-pair {s} has no links to traverse")
+    paths = [h.bit_fixing_path(s, t) for s, t in pairs]
+    return PathCollection(paths, topology=h)
+
+
+# ---------------------------------------------------------------------------
+# Generic strategies
+# ---------------------------------------------------------------------------
+
+
+def valiant_intermediate_pairs(
+    pairs: Sequence[tuple], nodes: Sequence, rng=None
+) -> list[tuple]:
+    """Valiant's trick: split each (s, t) into (s, m) and (m, t).
+
+    ``m`` is a uniform random node. Routing both halves flattens worst
+    case permutations into random-function-like load. The two halves are
+    returned consecutively.
+    """
+    rng = as_generator(rng)
+    out: list[tuple] = []
+    nodes = list(nodes)
+    for s, t in pairs:
+        m = nodes[int(rng.integers(len(nodes)))]
+        out.append((s, m))
+        out.append((m, t))
+    return out
+
+
+def shortest_path_system(topology: Topology) -> dict[tuple, list]:
+    """One shortest path per ordered node pair (small networks only).
+
+    A *path system* in the paper's sense: a path for every pair of nodes.
+    Deterministic (networkx BFS order), so repeat calls agree.
+    """
+    system: dict[tuple, list] = {}
+    import networkx as nx
+
+    for src, targets in nx.all_pairs_shortest_path(topology.graph):
+        for dst, path in targets.items():
+            if src != dst:
+                system[(src, dst)] = list(path)
+    return system
+
+
+def translated_path(
+    canonical: Sequence, translate: Callable, offset
+) -> list:
+    """Transport a canonical root path through an automorphism.
+
+    ``canonical`` is a path out of the root; ``translate(node, offset)``
+    applies the automorphism taking the root to the desired source. The
+    workhorse of the node-symmetric path systems of Theorem 1.5.
+    """
+    return [translate(node, offset) for node in canonical]

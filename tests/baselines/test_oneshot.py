@@ -1,0 +1,68 @@
+"""Tests for the single-shot baseline."""
+
+import pytest
+
+from repro.baselines.oneshot import one_shot_delivery
+from repro.optics.coupler import CollisionRule
+from repro.paths.collection import PathCollection
+from repro.paths.gadgets import type2_bundle
+
+
+class TestOneShot:
+    def test_disjoint_paths_full_delivery(self):
+        coll = PathCollection([["a", "b"], ["x", "y"]])
+        frac, result = one_shot_delivery(
+            coll, bandwidth=1, worm_length=2, delay_range=4, rng=0
+        )
+        assert frac == 1.0
+        assert result.n_delivered == 2
+
+    def test_tight_bundle_partial_delivery(self):
+        coll = type2_bundle(congestion=32, D=6).collection
+        frac, _ = one_shot_delivery(
+            coll, bandwidth=1, worm_length=4, delay_range=8, rng=0
+        )
+        assert 0 < frac < 1
+
+    def test_delivery_improves_with_delay_range(self):
+        coll = type2_bundle(congestion=32, D=6).collection
+
+        def mean_frac(delta):
+            return sum(
+                one_shot_delivery(
+                    coll, bandwidth=1, worm_length=4, delay_range=delta, rng=s
+                )[0]
+                for s in range(10)
+            ) / 10
+
+        assert mean_frac(512) > mean_frac(8)
+
+    def test_delivery_improves_with_bandwidth(self):
+        coll = type2_bundle(congestion=32, D=6).collection
+
+        def mean_frac(B):
+            return sum(
+                one_shot_delivery(
+                    coll, bandwidth=B, worm_length=4, delay_range=32, rng=s
+                )[0]
+                for s in range(10)
+            ) / 10
+
+        assert mean_frac(8) > mean_frac(1)
+
+    def test_priority_rule_supported(self):
+        coll = type2_bundle(congestion=16, D=6).collection
+        frac, _ = one_shot_delivery(
+            coll,
+            bandwidth=1,
+            worm_length=4,
+            delay_range=8,
+            rule=CollisionRule.PRIORITY,
+            rng=0,
+        )
+        assert 0 <= frac <= 1
+
+    def test_bad_delay_range_rejected(self):
+        coll = PathCollection([["a", "b"]])
+        with pytest.raises(ValueError):
+            one_shot_delivery(coll, bandwidth=1, worm_length=2, delay_range=0)

@@ -1,0 +1,74 @@
+"""Tests for the static RWA baseline."""
+
+import pytest
+
+from repro.baselines.rwa import (
+    rwa_assignment,
+    verify_rwa,
+    wavelengths_needed,
+)
+from repro.errors import ProtocolError
+from repro.network.butterfly import Butterfly
+from repro.paths.collection import PathCollection
+from repro.paths.gadgets import type2_bundle
+from repro.paths.problems import random_permutation
+from repro.paths.selection import butterfly_path_collection
+
+
+class TestWavelengthsNeeded:
+    def test_bundle_needs_C_channels(self):
+        coll = type2_bundle(congestion=9, D=5).collection
+        assert wavelengths_needed(coll) == 9
+
+    def test_disjoint_paths_need_one(self):
+        coll = PathCollection([["a", "b"], ["x", "y"], ["p", "q"]])
+        assert wavelengths_needed(coll) == 1
+
+    def test_bounded_by_path_congestion(self):
+        bf = Butterfly(4)
+        coll = butterfly_path_collection(
+            bf, random_permutation(range(bf.rows), rng=0)
+        )
+        assert wavelengths_needed(coll) <= coll.path_congestion
+
+    def test_at_least_edge_congestion(self):
+        bf = Butterfly(4)
+        coll = butterfly_path_collection(
+            bf, random_permutation(range(bf.rows), rng=1)
+        )
+        assert wavelengths_needed(coll) >= coll.edge_congestion
+
+
+class TestAssignment:
+    def test_assignment_is_conflict_free(self):
+        coll = type2_bundle(congestion=6, D=5).collection
+        a = rwa_assignment(coll)
+        # Identical paths must all get distinct channels.
+        assert len(set(a.wavelengths.values())) == 6
+
+    def test_verify_through_engine(self):
+        bf = Butterfly(4)
+        coll = butterfly_path_collection(
+            bf, random_permutation(range(bf.rows), rng=2)
+        )
+        a = rwa_assignment(coll)
+        assert verify_rwa(coll, a, worm_length=4)
+
+    def test_verify_detects_bad_assignment(self):
+        from repro.baselines.rwa import RwaAssignment
+
+        coll = type2_bundle(congestion=3, D=5).collection
+        bad = RwaAssignment(wavelengths={0: 0, 1: 0, 2: 0}, n_wavelengths=1)
+        assert not verify_rwa(coll, bad, worm_length=4)
+
+    def test_launches_sorted_and_zero_delay(self):
+        coll = type2_bundle(congestion=4, D=5).collection
+        a = rwa_assignment(coll)
+        launches = a.launches()
+        assert [l.worm for l in launches] == [0, 1, 2, 3]
+        assert all(l.delay == 0 for l in launches)
+
+    def test_bad_length_rejected(self):
+        coll = type2_bundle(congestion=2, D=4).collection
+        with pytest.raises(ProtocolError):
+            verify_rwa(coll, rwa_assignment(coll), worm_length=0)

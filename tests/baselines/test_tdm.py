@@ -1,0 +1,69 @@
+"""Tests for the TDM offline baseline."""
+
+import pytest
+
+from repro.baselines.tdm import tdm_schedule, verify_tdm_schedule
+from repro.errors import ProtocolError
+from repro.network.butterfly import Butterfly
+from repro.paths.collection import PathCollection
+from repro.paths.gadgets import type2_bundle
+from repro.paths.problems import random_permutation
+from repro.paths.selection import butterfly_path_collection
+
+
+class TestTdmSchedule:
+    def test_bundle_needs_C_colors(self):
+        coll = type2_bundle(congestion=10, D=5).collection
+        sched = tdm_schedule(coll, bandwidth=1, worm_length=4)
+        assert sched.n_colors == 10
+        assert sched.n_slots == 10
+        assert sched.makespan == 10 * (5 + 4)
+
+    def test_bandwidth_packs_colors(self):
+        coll = type2_bundle(congestion=10, D=5).collection
+        sched = tdm_schedule(coll, bandwidth=4, worm_length=4)
+        assert sched.n_slots == 3  # ceil(10/4)
+
+    def test_disjoint_paths_one_slot(self):
+        coll = PathCollection([["a", "b"], ["x", "y"], ["p", "q"]])
+        sched = tdm_schedule(coll, bandwidth=1, worm_length=2)
+        assert sched.n_slots == 1
+
+    def test_schedule_is_collision_free(self):
+        coll = type2_bundle(congestion=10, D=5).collection
+        sched = tdm_schedule(coll, bandwidth=3, worm_length=4)
+        assert verify_tdm_schedule(coll, sched, worm_length=4)
+
+    def test_butterfly_permutation_schedule_verifies(self):
+        bf = Butterfly(4)
+        pairs = random_permutation(range(bf.rows), rng=0)
+        coll = butterfly_path_collection(bf, pairs)
+        sched = tdm_schedule(coll, bandwidth=2, worm_length=4)
+        assert verify_tdm_schedule(coll, sched, worm_length=4)
+
+    def test_colors_bounded_by_path_congestion(self):
+        bf = Butterfly(4)
+        pairs = random_permutation(range(bf.rows), rng=1)
+        coll = butterfly_path_collection(bf, pairs)
+        sched = tdm_schedule(coll, bandwidth=1, worm_length=4)
+        assert sched.n_colors <= coll.path_congestion
+
+    def test_validation(self):
+        coll = type2_bundle(congestion=4, D=4).collection
+        with pytest.raises(ProtocolError):
+            tdm_schedule(coll, bandwidth=0, worm_length=4)
+        with pytest.raises(ProtocolError):
+            tdm_schedule(coll, bandwidth=2, worm_length=0)
+
+    def test_broken_schedule_fails_verification(self):
+        from repro.baselines.tdm import TdmSchedule
+
+        coll = type2_bundle(congestion=3, D=4).collection
+        # Everyone in slot 0 on wavelength 0: guaranteed collisions.
+        bad = TdmSchedule(
+            assignment={0: (0, 0), 1: (0, 0), 2: (0, 0)},
+            n_slots=1,
+            n_colors=1,
+            slot_length=8,
+        )
+        assert not verify_tdm_schedule(coll, bad, worm_length=4)

@@ -1,0 +1,167 @@
+"""Tests for the exact pairwise collision geometry."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.collisions import (
+    blocking_windows,
+    interaction_windows,
+    pair_blocking_probability,
+    pair_collision_probability,
+)
+from repro.core.engine import run_round
+from repro.errors import PathError
+from repro.optics.coupler import CollisionRule
+from repro.worms.worm import Launch, Worm
+
+
+class TestWindows:
+    def test_identical_paths(self):
+        p = tuple(range(6))
+        w = blocking_windows(p, p, length=4)
+        assert w["w2_blocked"] == [(1, 3)]
+        assert w["w1_blocked"] == [(-3, -1)]
+        assert w["tie"] == [(0, 0)]
+
+    def test_offset_overlap(self):
+        # Path 2 reaches the shared link 2 positions later: offset a-b = 2.
+        p1 = ("a", "s", "t", "b")  # shared link at a=1
+        p2 = ("x", "y", "z", "s", "t")  # shared link at b=3
+        w = blocking_windows(p1, p2, length=3)
+        assert w["w2_blocked"] == [(-1, 0)]  # a-b = -2: [-1, 0]
+        assert w["w1_blocked"] == [(-4, -3)]
+        assert w["tie"] == [(-2, -2)]
+
+    def test_disjoint_paths_no_windows(self):
+        assert interaction_windows(("a", "b"), ("x", "y"), 4) == []
+
+    def test_union_is_contiguous_for_single_link(self):
+        p = tuple(range(5))
+        assert interaction_windows(p, p, 4) == [(-3, 3)]
+
+    def test_length_one_only_ties(self):
+        p = tuple(range(5))
+        w = blocking_windows(p, p, length=1)
+        assert w["w2_blocked"] == [] and w["w1_blocked"] == []
+        assert w["tie"] == [(0, 0)]
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(PathError):
+            blocking_windows(("a", "b"), ("a", "b"), 0)
+
+
+class TestExactnessAgainstEngine:
+    """For isolated shortcut-free pairs the windows are exact: sweep every
+    delay difference and compare against the simulator."""
+
+    @pytest.mark.parametrize(
+        "p1,p2,L",
+        [
+            (tuple(range(6)), tuple(range(6)), 4),  # identical
+            (("a", "s", "t", "b"), ("x", "s", "t", "y"), 3),  # one shared seg
+            (("a", "s", "t", "u", "b"), ("x", "y", "s", "t", "u"), 5),  # offset
+            (("a", "s", "b"), ("x", "s", "y"), 4),  # node-only crossing
+        ],
+    )
+    def test_windows_match_simulation(self, p1, p2, L):
+        worms = [Worm(uid=0, path=p1, length=L), Worm(uid=1, path=p2, length=L)]
+        windows = interaction_windows(p1, p2, L)
+
+        def in_windows(d):
+            return any(lo <= d <= hi for lo, hi in windows)
+
+        for d1, d2 in itertools.product(range(12), repeat=2):
+            res = run_round(
+                worms,
+                [
+                    Launch(worm=0, delay=d1, wavelength=0),
+                    Launch(worm=1, delay=d2, wavelength=0),
+                ],
+                CollisionRule.SERVE_FIRST,
+                collect_collisions=False,
+            )
+            interacted = res.n_failed > 0
+            assert interacted == in_windows(d2 - d1), (d1, d2)
+
+    def test_directional_windows_match_simulation(self):
+        p = tuple(range(8))
+        L = 4
+        worms = [Worm(uid=0, path=p, length=L), Worm(uid=1, path=p, length=L)]
+        w = blocking_windows(p, p, L)
+
+        def inside(d, key):
+            return any(lo <= d <= hi for lo, hi in w[key])
+
+        for d1, d2 in itertools.product(range(10), repeat=2):
+            res = run_round(
+                worms,
+                [
+                    Launch(worm=0, delay=d1, wavelength=0),
+                    Launch(worm=1, delay=d2, wavelength=0),
+                ],
+                CollisionRule.SERVE_FIRST,
+                collect_collisions=False,
+            )
+            d = d2 - d1
+            if inside(d, "tie"):
+                assert res.n_failed == 2
+            elif inside(d, "w1_blocked"):
+                assert not res.outcomes[0].delivered
+                assert res.outcomes[1].delivered
+            elif inside(d, "w2_blocked"):
+                assert res.outcomes[0].delivered
+                assert not res.outcomes[1].delivered
+            else:
+                assert res.n_delivered == 2
+
+
+class TestProbabilities:
+    def test_brute_force_probability(self):
+        p = tuple(range(6))
+        L, B, delta = 3, 2, 6
+        worms = [Worm(uid=0, path=p, length=L), Worm(uid=1, path=p, length=L)]
+        hits = 0
+        total = 0
+        for d1, d2, l1, l2 in itertools.product(
+            range(delta), range(delta), range(B), range(B)
+        ):
+            total += 1
+            res = run_round(
+                worms,
+                [
+                    Launch(worm=0, delay=d1, wavelength=l1),
+                    Launch(worm=1, delay=d2, wavelength=l2),
+                ],
+                CollisionRule.SERVE_FIRST,
+                collect_collisions=False,
+            )
+            if res.n_failed:
+                hits += 1
+        exact = pair_collision_probability(p, p, L, B, delta)
+        assert hits / total == pytest.approx(exact)
+
+    def test_paper_2L_over_Bdelta_dominates(self):
+        # Section 2.1: P[meet] <= 2L/(B*Delta) for shortcut-free pairs.
+        p = tuple(range(10))
+        for L in (2, 4, 8):
+            for delta in (16, 64):
+                exact = pair_collision_probability(p, p, L, 2, delta)
+                assert exact <= 2 * L / (2 * delta)
+
+    def test_directional_halves_symmetric_for_identical_paths(self):
+        p = tuple(range(6))
+        sym = pair_collision_probability(p, p, 4, 1, 32)
+        one = pair_blocking_probability(p, p, 4, 1, 32)
+        # Directional = blocked half + tie; symmetric = both halves + tie.
+        assert one < sym
+        assert 2 * one > sym
+
+    def test_disjoint_paths_zero(self):
+        assert pair_collision_probability(("a", "b"), ("x", "y"), 4, 1, 8) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PathError):
+            pair_collision_probability(("a", "b"), ("a", "b"), 4, 0, 8)
+        with pytest.raises(PathError):
+            pair_blocking_probability(("a", "b"), ("a", "b"), 4, 1, 0)

@@ -1,0 +1,150 @@
+"""Tests for expected-congestion analysis and Chernoff bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import chernoff_lower, chernoff_upper, whp_threshold
+from repro.analysis.expected import (
+    expected_edge_load,
+    link_usage,
+    max_expected_edge_load,
+    verifies_meyer_scheideler_property,
+)
+from repro.errors import PathError
+from repro.network.mesh import Torus
+from repro.network.ring import Ring
+from repro.paths.selection import shortest_path_system, torus_dimension_order_path
+
+
+class TestLinkUsage:
+    def test_counts_pairs(self):
+        system = {(0, 2): [0, 1, 2], (1, 2): [1, 2]}
+        usage = link_usage(system)
+        assert usage[(1, 2)] == 2
+        assert usage[(0, 1)] == 1
+
+    def test_expected_load_divides_by_n(self):
+        system = {(0, 2): [0, 1, 2], (1, 2): [1, 2]}
+        loads = expected_edge_load(system, n=4)
+        assert loads[(1, 2)] == pytest.approx(0.5)
+
+    def test_n_validated(self):
+        with pytest.raises(PathError):
+            expected_edge_load({}, n=0)
+
+
+class TestMeyerScheidelerProperty:
+    """The [27] statement Theorem 1.5 quotes: expected congestion <= D."""
+
+    def test_ring_shortest_paths(self):
+        r = Ring(9)  # odd: shortest paths unique, no tie concentration
+        system = shortest_path_system(r)
+        assert verifies_meyer_scheideler_property(system, r.n, r.diameter)
+
+    def test_torus_translation_invariant_system(self):
+        t = Torus((5, 5))
+        system = {
+            (u, v): torus_dimension_order_path(t, u, v)
+            for u in t.nodes
+            for v in t.nodes
+            if u != v
+        }
+        assert verifies_meyer_scheideler_property(system, t.n, t.diameter)
+
+    def test_translation_invariance_makes_loads_uniform(self):
+        # On the torus system the expected load is identical on every link
+        # traversed in a given dimension/direction class.
+        t = Torus((4, 4))
+        system = {
+            (u, v): torus_dimension_order_path(t, u, v)
+            for u in t.nodes
+            for v in t.nodes
+            if u != v
+        }
+        loads = expected_edge_load(system, t.n)
+        # Group by direction vector.
+        groups: dict[tuple, set] = {}
+        for (u, v), load in loads.items():
+            d = tuple((b - a) % 4 for a, b in zip(u, v))
+            groups.setdefault(d, set()).add(round(load, 9))
+        for d, vals in groups.items():
+            assert len(vals) == 1, (d, vals)
+
+    def test_sampled_congestion_matches_expectation(self):
+        from repro.paths.problems import random_function
+        from repro.paths.collection import PathCollection
+
+        t = Torus((4, 4))
+        system = {
+            (u, v): torus_dimension_order_path(t, u, v)
+            for u in t.nodes
+            for v in t.nodes
+            if u != v
+        }
+        expected = max_expected_edge_load(system, t.n)
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(200):
+            pairs = random_function(t.nodes, rng=rng)
+            coll = PathCollection([system[p] for p in pairs], require_simple=False)
+            hottest = max(len(v) for v in coll.link_paths.values())
+            samples.append(hottest)
+        # Mean of the max is above the max of the means, but within the
+        # Chernoff envelope at n = 16.
+        mean_max = float(np.mean(samples))
+        assert mean_max >= expected * 0.8
+        assert mean_max <= whp_threshold(expected, t.n, k=1.0) + 3
+
+    def test_dilation_validated(self):
+        with pytest.raises(PathError):
+            verifies_meyer_scheideler_property({}, 4, 0)
+
+
+class TestChernoff:
+    def test_upper_bound_decreasing_in_eps(self):
+        assert chernoff_upper(10, 0.5) > chernoff_upper(10, 1.0)
+
+    def test_upper_bound_decreasing_in_mu(self):
+        assert chernoff_upper(5, 1.0) > chernoff_upper(50, 1.0)
+
+    def test_upper_capped_at_one(self):
+        assert chernoff_upper(0.001, 0.001) <= 1.0
+
+    def test_zero_mean(self):
+        assert chernoff_upper(0, 1.0) == 0.0
+
+    def test_paper_instantiation(self):
+        # Lemma 2.4: eps = 2e - 1 gives (1/2)^(2e mu) exactly.
+        mu = 8.0
+        eps = 2 * math.e - 1
+        bound = chernoff_upper(mu, eps)
+        assert bound == pytest.approx(0.5 ** (2 * math.e * mu), rel=1e-9)
+
+    def test_lower_bound_formula(self):
+        assert chernoff_lower(50, 0.5) == pytest.approx(math.exp(-0.125 * 50))
+
+    def test_lower_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_lower(10, 0)
+        with pytest.raises(ValueError):
+            chernoff_upper(-1, 0.5)
+
+    def test_empirical_tail_never_violates_bound(self):
+        # Binomial(40, 0.2): empirical upper tails under the bound.
+        rng = np.random.default_rng(1)
+        mu = 8.0
+        xs = rng.binomial(40, 0.2, size=20000)
+        for eps in (0.5, 1.0, 2.0):
+            empirical = float(np.mean(xs >= (1 + eps) * mu))
+            assert empirical <= chernoff_upper(mu, eps) * 1.05 + 1e-4
+
+    def test_whp_threshold_meets_target(self):
+        mu, n = 10.0, 1024.0
+        x = whp_threshold(mu, n, k=1.0)
+        eps = x / mu - 1.0
+        assert chernoff_upper(mu, eps) <= 1 / n * 1.01
+
+    def test_whp_threshold_zero_mean_gives_log(self):
+        assert whp_threshold(0.0, 1024.0) == pytest.approx(math.log(1024.0))

@@ -1,0 +1,88 @@
+"""Tests for the mean-field round predictor."""
+
+import pytest
+
+from repro.analysis.predictor import predict_rounds, survival_trajectory
+from repro.core.protocol import route_collection
+from repro.core.schedule import GeometricSchedule
+from repro.errors import ExperimentError
+from repro.experiments.runner import trial_mean
+from repro.paths.collection import PathCollection
+from repro.paths.gadgets import type2_bundle
+
+SCHED = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+
+class TestTrajectory:
+    def test_disjoint_paths_drain_in_one_round(self):
+        coll = PathCollection([["a", "b"], ["x", "y"]])
+        pred = survival_trajectory(coll, bandwidth=1, worm_length=4, schedule=SCHED)
+        assert pred.completed
+        assert pred.rounds == 1
+        assert pred.survivors[0] == 2
+        assert pred.survivors[1] == 0
+
+    def test_survivors_monotone_decreasing(self):
+        coll = type2_bundle(64, 8).collection
+        pred = survival_trajectory(coll, bandwidth=1, worm_length=4, schedule=SCHED)
+        surv = pred.survivors
+        assert all(a >= b for a, b in zip(surv, surv[1:]))
+
+    def test_identical_path_grouping(self):
+        # Grouping must not change the answer vs an explicitly mixed
+        # collection of the same multiset.
+        paths = [tuple(("c", i) for i in range(7))] * 10
+        coll = PathCollection(paths, require_simple=False)
+        pred = survival_trajectory(coll, bandwidth=1, worm_length=4, schedule=SCHED)
+        assert pred.survivors[0] == 10
+
+    def test_max_rounds_guard(self):
+        coll = type2_bundle(8, 4).collection
+        with pytest.raises(ExperimentError):
+            survival_trajectory(coll, 1, 4, SCHED, max_rounds=0)
+
+
+class TestAgreementWithSimulation:
+    @pytest.mark.parametrize("C", [16, 64])
+    def test_rounds_within_two_of_simulation(self, C):
+        coll = type2_bundle(C, 8).collection
+        predicted = predict_rounds(coll, bandwidth=1, worm_length=4, schedule=SCHED)
+        simulated = trial_mean(
+            lambda s: route_collection(
+                coll, bandwidth=1, worm_length=4, schedule=SCHED, rng=s
+            ).rounds,
+            trials=8,
+            seed=0,
+        )
+        assert abs(predicted - simulated) <= 2
+
+    def test_round1_survivors_close(self):
+        coll = type2_bundle(64, 8).collection
+        pred = survival_trajectory(coll, bandwidth=1, worm_length=4, schedule=SCHED)
+        sim = trial_mean(
+            lambda s: route_collection(
+                coll, bandwidth=1, worm_length=4, schedule=SCHED, rng=s
+            ).records[0].delivered,
+            trials=10,
+            seed=1,
+        )
+        predicted_deliveries = pred.survivors[0] - pred.survivors[1]
+        assert predicted_deliveries == pytest.approx(sim, rel=0.3)
+
+    def test_bandwidth_speeds_up_prediction(self):
+        coll = type2_bundle(64, 8).collection
+        r1 = predict_rounds(coll, bandwidth=1, worm_length=4, schedule=SCHED)
+        r8 = predict_rounds(coll, bandwidth=8, worm_length=4, schedule=SCHED)
+        assert r8 <= r1
+
+
+class TestPredictRounds:
+    def test_raises_when_not_draining(self):
+        from repro.core.schedule import ZeroDelaySchedule
+
+        coll = type2_bundle(32, 8).collection
+        with pytest.raises(ExperimentError):
+            predict_rounds(
+                coll, bandwidth=1, worm_length=4,
+                schedule=ZeroDelaySchedule(), max_rounds=10,
+            )

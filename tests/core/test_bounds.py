@@ -1,0 +1,155 @@
+"""Tests for the paper's bound formulas (internal consistency)."""
+
+import math
+
+import pytest
+
+from repro.core import bounds
+
+
+class TestAlphaBeta:
+    def test_alpha_formula(self):
+        assert bounds.alpha(C=10, B=2, D=8, L=4) == 10 + 2 * (2 + 1) + 2
+
+    def test_beta_formula(self):
+        a = bounds.alpha(10, 2, 8, 4)
+        assert bounds.beta(10, 2, 8, 4) == a / 10 + 2
+
+    def test_alpha_grows_with_congestion_and_bandwidth(self):
+        assert bounds.alpha(20, 2, 8, 4) > bounds.alpha(10, 2, 8, 4)
+        assert bounds.alpha(10, 4, 8, 4) > bounds.alpha(10, 2, 8, 4)
+
+
+class TestRoundCounts:
+    def test_leveled_below_shortcut(self):
+        # sqrt(log) < log: the priority/leveled advantage.
+        args = dict(n=2**20, C=8, B=1, D=16, L=4)
+        assert bounds.rounds_leveled(**args) < bounds.rounds_shortcut(**args)
+
+    def test_gap_widens_with_n(self):
+        small = bounds.rounds_shortcut(2**10, 8, 1, 16, 4) - bounds.rounds_leveled(
+            2**10, 8, 1, 16, 4
+        )
+        large = bounds.rounds_shortcut(2**40, 8, 1, 16, 4) - bounds.rounds_leveled(
+            2**40, 8, 1, 16, 4
+        )
+        assert large > small
+
+    def test_rounds_monotone_in_n(self):
+        prev = 0.0
+        for k in (8, 12, 16, 24, 32):
+            cur = bounds.rounds_leveled(2**k, 8, 1, 16, 4)
+            assert cur >= prev
+            prev = cur
+
+    def test_rounds_decrease_with_alpha(self):
+        # Bigger congestion -> bigger alpha -> fewer rounds needed.
+        lo = bounds.rounds_leveled(2**20, C=1024, B=1, D=16, L=4)
+        hi = bounds.rounds_leveled(2**20, C=4, B=1, D=16, L=4)
+        assert lo < hi
+
+
+class TestTimeBounds:
+    def test_congestion_term_scales_inverse_bandwidth(self):
+        t1 = bounds.time_leveled_upper(2**10, C=10_000, B=1, D=4, L=4)
+        t4 = bounds.time_leveled_upper(2**10, C=10_000, B=4, D=4, L=4)
+        assert t1 / t4 == pytest.approx(4, rel=0.35)
+
+    def test_upper_dominates_lower(self):
+        for n in (2**8, 2**16):
+            for C in (4, 256):
+                args = (n, C, 2, 16, 4)
+                assert bounds.time_leveled_upper(*args) >= bounds.time_leveled_lower(*args)
+                assert bounds.time_shortcut_upper(*args) >= bounds.time_shortcut_lower(*args)
+
+    def test_priority_matches_leveled_form(self):
+        args = (2**16, 64, 2, 16, 4)
+        assert bounds.time_priority_upper(*args) == bounds.time_leveled_upper(*args)
+
+    def test_shortcut_pays_extra_log_factor(self):
+        args = (2**20, 4, 1, 4, 4)
+        assert bounds.time_shortcut_upper(*args) > bounds.time_leveled_upper(*args)
+
+
+class TestPaperBudgets:
+    def test_T_formulas_finite_and_positive(self):
+        for fn in (bounds.paper_T_leveled, bounds.paper_T_shortcut):
+            v = fn(2**16, 64, 2, 16, 4)
+            assert math.isfinite(v) and v > 0
+
+    def test_k0_grows_with_n(self):
+        assert bounds.paper_k0_leveled(2**30, 64, 2, 16, 4) > bounds.paper_k0_leveled(
+            2**10, 64, 2, 16, 4
+        )
+
+    def test_leveled_T_below_shortcut_T_at_scale(self):
+        args = (2**40, 16, 1, 16, 4)
+        assert bounds.paper_T_leveled(*args) < bounds.paper_T_shortcut(*args)
+
+
+class TestApplications:
+    def test_theorem16_rounds_beat_cypher(self):
+        # sqrt(d) + loglog n rounds vs log n rounds: the exponential
+        # improvement claimed after Theorem 1.6, visible in total time for
+        # dominant round terms.
+        side, d, L = 1024, 2, 4
+        ours = bounds.theorem16_time(side, d, B=1, L=L)
+        theirs = bounds.cypher_mesh_time(side, d, L=L)
+        assert ours < theirs
+
+    def test_theorem15_shape(self):
+        v = bounds.theorem15_time(n=2**12, D=32, B=2, L=4)
+        assert math.isfinite(v) and v > 0
+
+    def test_theorem17_decreases_with_bandwidth(self):
+        assert bounds.theorem17_time(2**10, q=2, B=8, L=4) < bounds.theorem17_time(
+            2**10, q=2, B=1, L=4
+        )
+
+    def test_cypher_conversion_improves_with_bandwidth(self):
+        args = dict(n=2**12, C=256, D=16, L=4)
+        assert bounds.cypher_conversion_time(B=4, **args) < bounds.cypher_conversion_time(
+            B=1, **args
+        )
+
+
+class TestLemmaPredictions:
+    def test_lemma24_halving_then_floor(self):
+        n = 2**16
+        assert bounds.lemma24_congestion(1024, 1, n) == 1024
+        assert bounds.lemma24_congestion(1024, 2, n) == 512
+        # Deep rounds bottom out at the log floor.
+        assert bounds.lemma24_congestion(1024, 30, n) == 16.0
+
+    def test_lemma210_doubly_exponential(self):
+        C, B, L = 4096, 1, 4
+        delta = L * (C / B + 2)
+        s = [bounds.lemma210_survivors(C, t, B, delta, L) for t in (1, 2, 3)]
+        assert s[0] == C
+        # Each round squares the decay factor.
+        ratio1 = s[0] / s[1]
+        ratio2 = s[1] / s[2]
+        assert ratio2 == pytest.approx(ratio1**2, rel=1e-6)
+
+    def test_lemma210_needs_L_at_least_2(self):
+        with pytest.raises(ValueError):
+            bounds.lemma210_survivors(64, 1, 1, 100, L=1)
+
+    def test_triangle_probability(self):
+        p = bounds.triangle_cycle_probability(L=8, B=2, delta=16)
+        assert p == ((8 // 2) / (2 * 16)) ** 2
+
+    def test_triangle_probability_needs_delta_ge_L(self):
+        with pytest.raises(ValueError):
+            bounds.triangle_cycle_probability(L=8, B=1, delta=4)
+
+    def test_staircase_probability_decays_geometrically(self):
+        p1 = bounds.staircase_chain_probability(1, L=8, B=1, delta=16)
+        p2 = bounds.staircase_chain_probability(2, L=8, B=1, delta=16)
+        assert p2 == pytest.approx(p1**2)
+
+    def test_staircase_probability_validation(self):
+        with pytest.raises(ValueError):
+            bounds.staircase_chain_probability(-1, L=4, B=1, delta=8)
+        with pytest.raises(ValueError):
+            bounds.staircase_chain_probability(1, L=9, B=1, delta=8)

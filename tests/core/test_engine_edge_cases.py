@@ -1,0 +1,142 @@
+"""Edge-case tests of the engine: boundary lengths, rule interplay."""
+
+from repro.core.engine import RoutingEngine, run_round
+from repro.optics.coupler import CollisionRule, TieRule
+from repro.worms.worm import FailureKind, Launch, Worm
+
+
+class TestSingleFlitWorms:
+    def test_l1_back_to_back(self):
+        # Single-flit worms occupy a link for exactly one step.
+        worms = [Worm(uid=i, path=("x", "y"), length=1) for i in range(3)]
+        res = run_round(
+            worms,
+            [Launch(worm=i, delay=i, wavelength=0) for i in range(3)],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.n_delivered == 3
+
+    def test_l1_simultaneous_tie(self):
+        worms = [Worm(uid=i, path=("x", "y"), length=1) for i in range(2)]
+        res = run_round(
+            worms,
+            [Launch(worm=i, delay=0, wavelength=0) for i in range(2)],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.n_failed == 2
+
+    def test_l1_priority_never_truncates(self):
+        # A 1-flit occupant cannot be mid-transmission (start == end),
+        # so the priority rule only ever sees idle links or ties.
+        worms = [Worm(uid=i, path=tuple("xyzw"), length=1) for i in range(4)]
+        res = run_round(
+            worms,
+            [Launch(worm=i, delay=i, wavelength=0, priority=i) for i in range(4)],
+            CollisionRule.PRIORITY,
+        )
+        for o in res.outcomes.values():
+            assert o.failure is not FailureKind.TRUNCATED
+
+
+class TestFaultRuleInterplay:
+    def test_priority_fragment_hits_dead_link(self):
+        # A truncated fragment whose head later enters a dark fiber is
+        # FAULTED (the fault outranks everything).
+        worms = [
+            Worm(uid=0, path=("a", "b", "c", "d", "e"), length=6),
+            Worm(uid=1, path=("x", "b", "c"), length=6),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=1),
+                Launch(worm=1, delay=2, wavelength=0, priority=2),
+            ],
+            CollisionRule.PRIORITY,
+            dead_links=[("d", "e")],
+        )
+        o0 = res.outcomes[0]
+        # Truncated at (b,c) at t=3 AND head lost at (d,e): the head cut
+        # dominates the outcome kind.
+        assert o0.failure is FailureKind.FAULTED
+        assert o0.failed_at_link == 3
+
+    def test_dead_link_beats_contention(self):
+        # Two worms racing into a dark fiber: both are FAULTED, no
+        # collision is recorded.
+        worms = [Worm(uid=i, path=("x", "y"), length=3) for i in range(2)]
+        res = run_round(
+            worms,
+            [Launch(worm=i, delay=i, wavelength=0) for i in range(2)],
+            CollisionRule.SERVE_FIRST,
+            dead_links=[("x", "y")],
+        )
+        for o in res.outcomes.values():
+            assert o.failure is FailureKind.FAULTED
+            assert o.blockers == ()
+        assert res.collisions == ()
+
+
+class TestTupleWavelengthInterplay:
+    def test_truncation_with_per_link_channels(self):
+        # The occupant uses different channels per link; the truncation
+        # at one link must not disturb its other-channel segments' timing.
+        worms = [
+            Worm(uid=0, path=("a", "b", "c", "d"), length=4),
+            Worm(uid=1, path=("x", "b", "c"), length=4),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=(0, 1, 0), priority=1),
+                Launch(worm=1, delay=1, wavelength=(0, 1), priority=2),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        # Worm 1 arrives at (b,c) on channel 1 at t=2; worm 0 holds (b,c)
+        # on channel 1 since t=1 -> truncated to 1 flit.
+        assert res.outcomes[0].failure is FailureKind.TRUNCATED
+        assert res.outcomes[0].delivered_flits == 1
+        assert res.outcomes[1].delivered
+
+    def test_channel_mismatch_avoids_conflict(self):
+        worms = [
+            Worm(uid=0, path=("a", "b", "c"), length=4),
+            Worm(uid=1, path=("x", "b", "c"), length=4),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=(0, 0)),
+                Launch(worm=1, delay=1, wavelength=(0, 1)),
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.n_delivered == 2
+
+
+class TestStaleOccupancyReuse:
+    def test_many_sequential_reuses_one_engine(self):
+        # Exercises the stale-record replacement path repeatedly.
+        worms = [Worm(uid=i, path=("x", "y", "z"), length=2) for i in range(10)]
+        engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        res = engine.run_round(
+            [Launch(worm=i, delay=2 * i, wavelength=0) for i in range(10)]
+        )
+        assert res.n_delivered == 10
+
+    def test_lowest_id_tie_then_reuse(self):
+        worms = [Worm(uid=i, path=("x", "y"), length=2) for i in range(3)]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0),
+                Launch(worm=1, delay=0, wavelength=0),
+                Launch(worm=2, delay=2, wavelength=0),  # after winner's tail
+            ],
+            CollisionRule.SERVE_FIRST,
+            tie_rule=TieRule.LOWEST_ID_WINS,
+        )
+        assert res.outcomes[0].delivered
+        assert not res.outcomes[1].delivered
+        assert res.outcomes[2].delivered

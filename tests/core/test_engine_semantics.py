@@ -1,0 +1,350 @@
+"""Deep semantic tests of the collision model (Section 1.1).
+
+These pin down the physically subtle behaviours: draining tails of
+eliminated worms, truncation fragments that keep travelling and contending,
+upstream occupancies surviving a downstream cut, and the gadget behaviours
+the lower-bound proofs rely on.
+"""
+
+import pytest
+
+from repro.core.engine import RoutingEngine, run_round
+from repro.optics.coupler import CollisionRule
+from repro.paths.gadgets import type1_staircase, type1_triangle, type2_bundle
+from repro.worms.worm import FailureKind, Launch, Worm, make_worms
+
+
+class TestDrainingTails:
+    def test_eliminated_worm_tail_still_blocks_upstream(self):
+        """An eliminated worm's flits keep draining through earlier links.
+
+        Worm 0 is eliminated at its second link, but its tail still crosses
+        its first link for the full L steps, so worm 2 (arriving at that
+        first link mid-drain) must die too.
+        """
+        worms = [
+            Worm(uid=0, path=("a", "b", "c"), length=4),
+            Worm(uid=1, path=("x", "b", "c"), length=4),  # blocks 0 at (b,c)
+            Worm(uid=2, path=("z", "a", "b"), length=4),  # tests 0's (a,b) tail
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=1, wavelength=0),
+                Launch(worm=1, delay=0, wavelength=0),  # holds (b,c) from t=1
+                Launch(worm=2, delay=2, wavelength=0),  # reaches (a,b) at t=3
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.outcomes[0].failure is FailureKind.ELIMINATED
+        assert res.outcomes[0].failed_at_link == 1
+        assert res.outcomes[1].delivered
+        # Worm 0 occupied (a,b) during [1, 4]; worm 2 arrives at t=3: dead.
+        assert res.outcomes[2].failure is FailureKind.ELIMINATED
+        assert res.outcomes[2].blockers == (0,)
+
+    def test_link_frees_after_drain(self):
+        """Same topology, later arrival: the drained link is free again."""
+        worms = [
+            Worm(uid=0, path=("a", "b", "c"), length=4),
+            Worm(uid=1, path=("x", "b", "c"), length=4),
+            Worm(uid=2, path=("z", "a", "b"), length=4),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=1, wavelength=0),
+                Launch(worm=1, delay=0, wavelength=0),
+                Launch(worm=2, delay=4, wavelength=0),  # (a,b) at t=5 > 4
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.outcomes[2].delivered
+
+
+class TestPriorityTruncation:
+    def _cross(self, L=6):
+        # Worm 0 travels a long chain; worm 1 crosses it at link ("c","d").
+        p0 = ("a", "b", "c", "d", "e", "f", "g")
+        p1 = ("x", "c", "d", "y")
+        return [Worm(uid=0, path=p0, length=L), Worm(uid=1, path=p1, length=L)]
+
+    def test_midstream_truncation_fragment_length(self):
+        worms = self._cross(L=6)
+        # Worm 0 enters (c,d) (pos 2) at t=2; worm 1 arrives there (pos 1)
+        # at delay+1. With delay 4, arrival t=5: worm 0 forwarded 3 flits.
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=1),
+                Launch(worm=1, delay=4, wavelength=0, priority=2),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        o0 = res.outcomes[0]
+        assert o0.failure is FailureKind.TRUNCATED
+        assert o0.delivered_flits == 3  # t - entry = 5 - 2
+        assert res.outcomes[1].delivered
+
+    def test_lower_priority_arrival_eliminated_whole(self):
+        worms = self._cross(L=6)
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=2),
+                Launch(worm=1, delay=4, wavelength=0, priority=1),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        assert res.outcomes[0].delivered
+        assert res.outcomes[1].failure is FailureKind.ELIMINATED
+        assert res.outcomes[1].delivered_flits == 0
+
+    def test_fragment_keeps_contending_downstream(self):
+        """A truncated fragment still occupies links ahead of the cut."""
+        # Worm 0 long chain; worm 1 truncates it at (c,d) at t=5;
+        # worm 2 (lowest priority) arrives at (d,e) at t=5 -- the fragment
+        # is mid-(d,e) (entered t=3, 3 flits => [3,5]), so worm 2 must die.
+        worms = [
+            Worm(uid=0, path=("a", "b", "c", "d", "e", "f", "g"), length=6),
+            Worm(uid=1, path=("x", "c", "d", "y"), length=6),
+            Worm(uid=2, path=("z", "d", "e", "w"), length=6),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=1),
+                Launch(worm=1, delay=4, wavelength=0, priority=3),
+                Launch(worm=2, delay=4, wavelength=0, priority=0),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        assert res.outcomes[0].failure is FailureKind.TRUNCATED
+        assert res.outcomes[2].failure is FailureKind.ELIMINATED
+        assert res.outcomes[2].blockers == (0,)
+
+    def test_fragment_tail_clears_earlier_after_cut(self):
+        """Downstream of the cut, the shortened tail frees links sooner."""
+        # Same as above but worm 2 arrives at (d,e) at t=6: the fragment's
+        # last flit crossed (d,e) during t=5 (entry 3 + 3 flits - 1), so
+        # the link is free -- without the cut, worm 0 would have held it
+        # through t=8.
+        worms = [
+            Worm(uid=0, path=("a", "b", "c", "d", "e", "f", "g"), length=6),
+            Worm(uid=1, path=("x", "c", "d", "y"), length=6),
+            Worm(uid=2, path=("z", "d", "e", "w"), length=6),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=1),
+                Launch(worm=1, delay=4, wavelength=0, priority=3),
+                Launch(worm=2, delay=5, wavelength=0, priority=2),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        assert res.outcomes[2].delivered
+
+    def test_upstream_occupancy_keeps_full_length_after_cut(self):
+        """Strictly upstream of the cut the (dumped) tail still drains."""
+        # Worm 0 cut at (c,d) at t=5. Its link (b,c) (entered t=1) still
+        # carries the full 6 flits [1,6]: worm 2 (lowest priority) arriving
+        # there at t=6 dies.
+        worms = [
+            Worm(uid=0, path=("a", "b", "c", "d", "e", "f", "g"), length=6),
+            Worm(uid=1, path=("x", "c", "d", "y"), length=6),
+            Worm(uid=2, path=("z", "b", "c", "w"), length=6),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=1),
+                Launch(worm=1, delay=4, wavelength=0, priority=3),
+                Launch(worm=2, delay=5, wavelength=0, priority=0),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        assert res.outcomes[0].failure is FailureKind.TRUNCATED
+        assert res.outcomes[2].failure is FailureKind.ELIMINATED
+        assert res.outcomes[2].blockers == (0,)
+
+    def test_double_truncation_takes_minimum(self):
+        """Two cuts compose: the fragment is the shorter prefix."""
+        worms = [
+            Worm(uid=0, path=("a", "b", "c", "d", "e", "f", "g", "h"), length=7),
+            Worm(uid=1, path=("x", "c", "d", "y"), length=7),
+            Worm(uid=2, path=("z", "e", "f", "w"), length=7),
+        ]
+        # First cut at (c,d) (pos 2, entry t=2) at t=6 -> fragment 4.
+        # Second cut at (e,f) (pos 4, entry t=4) at t=7 -> fragment 3.
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=1),
+                Launch(worm=1, delay=5, wavelength=0, priority=3),
+                Launch(worm=2, delay=6, wavelength=0, priority=2),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        o0 = res.outcomes[0]
+        assert o0.failure is FailureKind.TRUNCATED
+        assert o0.delivered_flits == 3
+
+    def test_truncation_after_head_delivery(self):
+        """A cut can land while the tail is still in flight behind a
+        delivered head: delivery is incomplete."""
+        worms = [
+            Worm(uid=0, path=("a", "b", "c"), length=8),
+            Worm(uid=1, path=("x", "b", "c", "y"), length=8),
+        ]
+        # Worm 0 head reaches "c" at t=2 but flits cross (b,c) until t=8.
+        # Worm 1 (higher priority) hits (b,c) at t=4+1=5 -> cut, 4 flits.
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=1),
+                Launch(worm=1, delay=4, wavelength=0, priority=2),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        o0 = res.outcomes[0]
+        assert o0.failure is FailureKind.TRUNCATED
+        assert o0.delivered_flits == 4
+        assert o0.completion_time == 0 + 1 + 4 - 1
+
+    def test_serve_first_never_truncates(self):
+        worms = [
+            Worm(uid=0, path=("a", "b", "c"), length=8),
+            Worm(uid=1, path=("x", "b", "c", "y"), length=8),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0),
+                Launch(worm=1, delay=4, wavelength=0),
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.outcomes[0].delivered
+        assert res.outcomes[1].failure is FailureKind.ELIMINATED
+
+
+class TestGadgetDynamics:
+    """The engine reproduces the lower-bound constructions' behaviours."""
+
+    @pytest.mark.parametrize("L", [2, 3, 4, 8])
+    def test_triangle_cyclic_block_serve_first(self, L):
+        g = type1_triangle(D=12, L=L)
+        worms = make_worms(g.collection.paths, L)
+        eng = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        res = eng.run_round([Launch(worm=i, delay=5, wavelength=0) for i in range(3)])
+        assert res.n_delivered == 0  # all three block each other cyclically
+
+    @pytest.mark.parametrize("L", [2, 3, 4, 8])
+    def test_triangle_priority_breaks_cycle(self, L):
+        g = type1_triangle(D=12, L=L)
+        worms = make_worms(g.collection.paths, L)
+        eng = RoutingEngine(worms, CollisionRule.PRIORITY)
+        res = eng.run_round(
+            [Launch(worm=i, delay=5, wavelength=0, priority=i) for i in range(3)]
+        )
+        assert res.n_delivered >= 1  # Claim 2.6: no priority cycles
+
+    def test_triangle_window_boundary(self):
+        # Delays outside the floor(L/2) window avoid the cyclic block.
+        L = 6
+        g = type1_triangle(D=12, L=L)
+        worms = make_worms(g.collection.paths, L)
+        eng = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        res = eng.run_round(
+            [
+                Launch(worm=0, delay=0, wavelength=0),
+                Launch(worm=1, delay=20, wavelength=0),
+                Launch(worm=2, delay=40, wavelength=0),
+            ]
+        )
+        assert res.n_delivered == 3
+
+    @pytest.mark.parametrize("L", [2, 3, 4, 5])
+    def test_staircase_chain_elimination(self, L):
+        # Lemma 2.8's event: with equal delays, worm i+1 discards worm i;
+        # only the last worm survives.
+        k = 5
+        g = type1_staircase(k=k, D=20, L=L)
+        worms = make_worms(g.collection.paths, L)
+        eng = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        res = eng.run_round([Launch(worm=i, delay=0, wavelength=0) for i in range(k)])
+        assert res.delivered == [k - 1]
+
+    def test_staircase_spread_delays_all_deliver(self):
+        L, k = 4, 5
+        g = type1_staircase(k=k, D=20, L=L)
+        worms = make_worms(g.collection.paths, L)
+        eng = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        # Spacing delays by > 2L clears every pairwise window.
+        res = eng.run_round(
+            [Launch(worm=i, delay=10 * i, wavelength=0) for i in range(k)]
+        )
+        assert res.n_delivered == k
+
+    def test_bundle_head_of_line(self):
+        # On one shared chain, the earliest launcher wins; anything
+        # arriving during its L-step window dies.
+        g = type2_bundle(congestion=8, D=10)
+        worms = make_worms(g.collection.paths, 4)
+        eng = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        res = eng.run_round([Launch(worm=i, delay=i, wavelength=0) for i in range(8)])
+        assert sorted(res.delivered) == [0, 4]
+
+    def test_bundle_perfect_spacing(self):
+        g = type2_bundle(congestion=8, D=10)
+        worms = make_worms(g.collection.paths, 4)
+        eng = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        res = eng.run_round(
+            [Launch(worm=i, delay=4 * i, wavelength=0) for i in range(8)]
+        )
+        assert res.n_delivered == 8
+
+    def test_bundle_wavelengths_multiply_throughput(self):
+        g = type2_bundle(congestion=4, D=10)
+        worms = make_worms(g.collection.paths, 4)
+        eng = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        res = eng.run_round(
+            [Launch(worm=i, delay=0, wavelength=i) for i in range(4)]
+        )
+        assert res.n_delivered == 4
+
+
+class TestPerLinkWavelengths:
+    def test_conversion_avoids_static_collision(self):
+        # Two worms overlap on (m, n); with per-link channels they can
+        # pick different channels exactly there and both deliver.
+        worms = [
+            Worm(uid=0, path=("a", "m", "n", "b"), length=4),
+            Worm(uid=1, path=("c", "m", "n", "d"), length=4),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=(0, 0, 0)),
+                Launch(worm=1, delay=0, wavelength=(0, 1, 0)),
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.n_delivered == 2
+
+    def test_conversion_collides_when_channels_match(self):
+        worms = [
+            Worm(uid=0, path=("a", "m", "n", "b"), length=4),
+            Worm(uid=1, path=("c", "m", "n", "d"), length=4),
+        ]
+        res = run_round(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=(0, 1, 0)),
+                Launch(worm=1, delay=1, wavelength=(0, 1, 0)),
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.outcomes[0].delivered
+        assert not res.outcomes[1].delivered

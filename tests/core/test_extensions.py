@@ -1,0 +1,237 @@
+"""Tests for the Section-4 extensions."""
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, route_collection
+from repro.core.schedule import GeometricSchedule, ZeroDelaySchedule
+from repro.errors import PathError, ProtocolError
+from repro.extensions.multihop import (
+    hop_segments,
+    route_multihop,
+    split_path,
+)
+from repro.extensions.simple_collections import (
+    detour_collection,
+    random_simple_collection,
+)
+from repro.extensions.sparse_conversion import (
+    SparseConversionProtocol,
+    converter_nodes_every,
+    random_converter_nodes,
+    route_with_sparse_conversion,
+)
+from repro.network.mesh import Mesh
+from repro.paths.collection import PathCollection
+from repro.paths.gadgets import type2_bundle
+from repro.paths.properties import is_short_cut_free
+
+SCHED = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+
+class TestConverterPlacement:
+    def test_every_stride(self):
+        coll = PathCollection([[("p", i) for i in range(9)]])
+        nodes = converter_nodes_every(coll, stride=3)
+        assert nodes == {("p", 3), ("p", 6)}
+
+    def test_stride_beyond_path(self):
+        coll = PathCollection([["a", "b", "c"]])
+        assert converter_nodes_every(coll, stride=10) == set()
+
+    def test_stride_validation(self):
+        coll = PathCollection([["a", "b"]])
+        with pytest.raises(ProtocolError):
+            converter_nodes_every(coll, stride=0)
+
+    def test_random_fraction(self):
+        coll = type2_bundle(4, 10).collection
+        all_nodes = {n for p in coll for n in p}
+        half = random_converter_nodes(coll, 0.5, rng=0)
+        assert half <= all_nodes
+        assert len(half) == round(0.5 * len(all_nodes))
+
+    def test_random_fraction_extremes(self):
+        coll = type2_bundle(4, 10).collection
+        assert random_converter_nodes(coll, 0.0, rng=0) == set()
+        full = random_converter_nodes(coll, 1.0, rng=0)
+        assert full == {n for p in coll for n in p}
+
+    def test_fraction_validation(self):
+        coll = PathCollection([["a", "b"]])
+        with pytest.raises(ProtocolError):
+            random_converter_nodes(coll, 1.5)
+
+
+class TestSparseConversionProtocol:
+    def test_no_converters_matches_static_wavelengths(self):
+        import numpy as np
+
+        coll = type2_bundle(6, 8).collection
+        proto = SparseConversionProtocol(
+            coll, ProtocolConfig(bandwidth=3), converters=set()
+        )
+        launches = proto._draw_launches(
+            list(range(6)), delta=4, rng=np.random.default_rng(0)
+        )
+        assert all(isinstance(l.wavelength, int) for l in launches)
+
+    def test_converters_split_channels(self):
+        import numpy as np
+
+        coll = PathCollection([[("p", i) for i in range(9)]])
+        converters = {("p", 4)}
+        proto = SparseConversionProtocol(
+            coll, ProtocolConfig(bandwidth=8), converters=converters
+        )
+        # With B=8, segments almost surely differ across a few draws.
+        saw_change = False
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            (launch,) = proto._draw_launches([0], delta=4, rng=rng)
+            wl = launch.wavelength
+            assert isinstance(wl, tuple) and len(wl) == 8
+            assert len(set(wl[:4])) == 1 and len(set(wl[4:])) == 1
+            if wl[0] != wl[4]:
+                saw_change = True
+        assert saw_change
+
+    def test_routing_completes(self):
+        coll = type2_bundle(12, 8).collection
+        converters = converter_nodes_every(coll, stride=4)
+        result = route_with_sparse_conversion(
+            coll, bandwidth=2, converters=converters, schedule=SCHED, rng=0
+        )
+        assert result.completed
+
+    def test_density_interpolates_static_and_full(self):
+        """Under zero delays and B=2, crossing worms survive iff their
+        channels differ on the shared stretch; more converters = more
+        independent stretches."""
+        coll = type2_bundle(8, 8).collection
+        for frac in (0.0, 0.5, 1.0):
+            converters = random_converter_nodes(coll, frac, rng=0)
+            result = route_with_sparse_conversion(
+                coll,
+                bandwidth=4,
+                converters=converters,
+                schedule=ZeroDelaySchedule(),
+                max_rounds=500,
+                rng=1,
+            )
+            assert result.completed
+
+
+class TestSplitPath:
+    def test_even_split(self):
+        path = tuple(range(9))  # 8 links
+        segs = split_path(path, hops=1)
+        assert len(segs) == 2
+        assert segs[0] == (0, 1, 2, 3, 4)
+        assert segs[1] == (4, 5, 6, 7, 8)
+
+    def test_segments_chain_up(self):
+        path = tuple(range(12))
+        segs = split_path(path, hops=3)
+        assert segs[0][0] == 0 and segs[-1][-1] == 11
+        for a, b in zip(segs, segs[1:]):
+            assert a[-1] == b[0]
+        assert sum(len(s) - 1 for s in segs) == 11
+
+    def test_zero_hops_identity(self):
+        path = ("a", "b", "c")
+        assert split_path(path, hops=0) == [path]
+
+    def test_short_path_fewer_segments(self):
+        segs = split_path(("a", "b"), hops=5)
+        assert segs == [("a", "b")]
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ProtocolError):
+            split_path(("a", "b"), hops=-1)
+
+    def test_hop_segments_phases(self):
+        coll = PathCollection([tuple(range(9)), ("x", "y")])
+        phases = hop_segments(coll, hops=1)
+        assert len(phases) == 2
+        assert phases[0][1] == ("x", "y")
+        assert phases[1][1] is None  # the short path has one segment only
+
+
+class TestMultihopRouting:
+    def test_completes_and_accounts(self):
+        coll = type2_bundle(16, 12).collection
+        res = route_multihop(
+            coll, bandwidth=2, hops=2, worm_length=4, schedule=SCHED, rng=0
+        )
+        assert res.completed
+        assert res.hops == 2
+        assert len(res.phase_results) == 3
+        assert res.total_time == sum(r.total_time for r in res.phase_results)
+        assert res.segment_dilation == 4  # 12 links / 3 segments
+
+    def test_hops_shorten_optical_dilation(self):
+        coll = type2_bundle(8, 12).collection
+        r0 = route_multihop(coll, bandwidth=2, hops=0, worm_length=4,
+                            schedule=SCHED, rng=1)
+        r3 = route_multihop(coll, bandwidth=2, hops=3, worm_length=4,
+                            schedule=SCHED, rng=1)
+        assert r0.segment_dilation == 12
+        assert r3.segment_dilation == 3
+
+    def test_zero_hops_equals_plain_protocol_shape(self):
+        coll = type2_bundle(8, 8).collection
+        res = route_multihop(coll, bandwidth=2, hops=0, worm_length=4,
+                             schedule=SCHED, rng=5)
+        assert res.completed
+        assert len(res.phase_results) == 1
+
+
+class TestSimpleCollections:
+    def test_random_walks_are_simple_and_valid(self):
+        m = Mesh((5, 5))
+        coll = random_simple_collection(m, n_paths=10, max_length=8, rng=0)
+        assert coll.n == 10
+        for p in coll:
+            assert len(set(p)) == len(p)
+        m.validate_paths(coll.paths)
+
+    def test_random_walk_determinism(self):
+        m = Mesh((4, 4))
+        a = random_simple_collection(m, 5, 6, rng=3)
+        b = random_simple_collection(m, 5, 6, rng=3)
+        assert a.paths == b.paths
+
+    def test_validation(self):
+        m = Mesh((3, 3))
+        with pytest.raises(PathError):
+            random_simple_collection(m, 0, 5)
+        with pytest.raises(PathError):
+            random_simple_collection(m, 2, 0)
+
+    def test_detour_collection_has_shortcuts(self):
+        coll = detour_collection(trunk_length=8, n_detours=3)
+        assert coll.n == 4
+        assert not is_short_cut_free(coll)
+        for p in coll:
+            assert len(set(p)) == len(p)  # still simple
+
+    def test_detour_lengths(self):
+        coll = detour_collection(trunk_length=8, n_detours=1, detour_extra=2)
+        trunk, detour = coll[0], coll[1]
+        assert len(trunk) - 1 == 8
+        assert len(detour) - 1 == 10
+
+    def test_detours_route_to_completion(self):
+        coll = detour_collection(trunk_length=10, n_detours=6)
+        result = route_collection(
+            coll, bandwidth=2, worm_length=4, schedule=SCHED, rng=0
+        )
+        assert result.completed
+
+    def test_detour_validation(self):
+        with pytest.raises(PathError):
+            detour_collection(trunk_length=3, n_detours=1)
+        with pytest.raises(PathError):
+            detour_collection(trunk_length=8, n_detours=0)
+        with pytest.raises(PathError):
+            detour_collection(trunk_length=8, n_detours=1, detour_extra=0)

@@ -1,0 +1,142 @@
+"""Direct unit tests of the brute-force reference simulator.
+
+The differential suite (tests/property) compares it against the event
+engine on random instances; these tests pin its behaviour on hand-worked
+scenarios so a simultaneous bug in both implementations cannot hide.
+"""
+
+import pytest
+
+from repro.core.reference import reference_run_round
+from repro.errors import ProtocolError
+from repro.optics.coupler import CollisionRule, TieRule
+from repro.worms.worm import FailureKind, Launch, Worm
+
+
+class TestReferenceBasics:
+    def test_solo_delivery_timing(self):
+        w = Worm(uid=0, path=("a", "b", "c"), length=3)
+        res = reference_run_round(
+            [w], [Launch(worm=0, delay=2, wavelength=0)], CollisionRule.SERVE_FIRST
+        )
+        o = res.outcomes[0]
+        assert o.delivered and o.delivered_flits == 3
+        assert o.completion_time == 2 + 1 + 2  # delay + last link + L-1
+
+    def test_unknown_worm_rejected(self):
+        w = Worm(uid=0, path=("a", "b"), length=1)
+        with pytest.raises(ProtocolError):
+            reference_run_round(
+                [w], [Launch(worm=9, delay=0, wavelength=0)],
+                CollisionRule.SERVE_FIRST,
+            )
+
+    def test_double_launch_rejected(self):
+        w = Worm(uid=0, path=("a", "b"), length=1)
+        with pytest.raises(ProtocolError):
+            reference_run_round(
+                [w],
+                [Launch(worm=0, delay=0, wavelength=0),
+                 Launch(worm=0, delay=1, wavelength=0)],
+                CollisionRule.SERVE_FIRST,
+            )
+
+    def test_capture_exposes_states(self):
+        w = Worm(uid=0, path=("a", "b"), length=2)
+        states: list = []
+        reference_run_round(
+            [w], [Launch(worm=0, delay=0, wavelength=0)],
+            CollisionRule.SERVE_FIRST, capture=states,
+        )
+        assert len(states) == 1
+        assert states[0].worm.uid == 0
+
+
+class TestReferenceHandWorked:
+    def test_serve_first_mid_transmission_kill(self):
+        # Worm 0 holds (m, n) during [0, 3]; worm 1's head arrives at t=2.
+        worms = [
+            Worm(uid=0, path=("m", "n"), length=4),
+            Worm(uid=1, path=("x", "m", "n"), length=4),
+        ]
+        res = reference_run_round(
+            worms,
+            [Launch(worm=0, delay=0, wavelength=0),
+             Launch(worm=1, delay=1, wavelength=0)],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.outcomes[0].delivered
+        o1 = res.outcomes[1]
+        assert o1.failure is FailureKind.ELIMINATED
+        assert o1.failed_at_link == 1
+        assert o1.blockers == (0,)
+
+    def test_priority_truncation_flit_accounting(self):
+        # Worm 0 enters (b,c) at t=1; cut there at t=3 -> 2 flits pass.
+        worms = [
+            Worm(uid=0, path=("a", "b", "c", "d"), length=5),
+            Worm(uid=1, path=("x", "b", "c"), length=5),
+        ]
+        res = reference_run_round(
+            worms,
+            [Launch(worm=0, delay=0, wavelength=0, priority=1),
+             Launch(worm=1, delay=2, wavelength=0, priority=2)],
+            CollisionRule.PRIORITY,
+        )
+        o0 = res.outcomes[0]
+        assert o0.failure is FailureKind.TRUNCATED
+        assert o0.delivered_flits == 2
+        assert res.outcomes[1].delivered
+
+    def test_tie_all_lose_mutual_blockers(self):
+        worms = [Worm(uid=i, path=("p", "q"), length=2) for i in range(2)]
+        res = reference_run_round(
+            worms,
+            [Launch(worm=i, delay=0, wavelength=0) for i in range(2)],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.n_failed == 2
+        assert res.outcomes[0].blockers == (1,)
+        assert res.outcomes[1].blockers == (0,)
+
+    def test_tie_lowest_id_wins(self):
+        worms = [Worm(uid=i, path=("p", "q"), length=2) for i in (7, 2)]
+        res = reference_run_round(
+            worms,
+            [Launch(worm=i, delay=0, wavelength=0) for i in (7, 2)],
+            CollisionRule.SERVE_FIRST,
+            tie_rule=TieRule.LOWEST_ID_WINS,
+        )
+        assert res.outcomes[2].delivered
+        assert not res.outcomes[7].delivered
+
+    def test_draining_tail_occupies_upstream(self):
+        # Eliminated at its second link, worm 0's tail still blocks its
+        # first link for the full length.
+        worms = [
+            Worm(uid=0, path=("a", "b", "c"), length=4),
+            Worm(uid=1, path=("x", "b", "c"), length=4),
+            Worm(uid=2, path=("z", "a", "b"), length=4),
+        ]
+        res = reference_run_round(
+            worms,
+            [
+                Launch(worm=0, delay=1, wavelength=0),
+                Launch(worm=1, delay=0, wavelength=0),
+                Launch(worm=2, delay=2, wavelength=0),
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert res.outcomes[2].failure is FailureKind.ELIMINATED
+        assert res.outcomes[2].blockers == (0,)
+
+    def test_flit_geometry_helpers(self):
+        from repro.core.reference import _RefWorm
+
+        w = Worm(uid=0, path=("a", "b", "c"), length=3)
+        ref = _RefWorm(w, Launch(worm=0, delay=2, wavelength=0))
+        # Flit 1 crosses link 0 during step 3 and link 1 during step 4.
+        assert ref.flit_link_at(1, 3) == 0
+        assert ref.flit_link_at(1, 4) == 1
+        assert ref.flit_link_at(1, 2) is None
+        assert ref.flit_link_at(1, 5) is None

@@ -1,0 +1,142 @@
+"""Tests for the delay-range schedules."""
+
+import pytest
+
+from repro.core.schedule import (
+    FixedSchedule,
+    GeometricSchedule,
+    PaperSchedule,
+    PaperShortcutSchedule,
+    ScheduleContext,
+    ZeroDelaySchedule,
+)
+from repro.errors import ScheduleError
+
+
+def ctx(n=1024, B=4, L=4, D=16, C=64, current=None):
+    return ScheduleContext(
+        n=n,
+        bandwidth=B,
+        worm_length=L,
+        dilation=D,
+        congestion=C,
+        current_congestion=current,
+    )
+
+
+class TestContext:
+    def test_rejects_non_positive_fields(self):
+        with pytest.raises(ScheduleError):
+            ScheduleContext(n=0, bandwidth=1, worm_length=1, dilation=1, congestion=1)
+        with pytest.raises(ScheduleError):
+            ScheduleContext(n=8, bandwidth=0, worm_length=1, dilation=1, congestion=1)
+
+    def test_congestion_at_halves(self):
+        c = ctx(C=64, n=4)  # tiny n so log-floor is small
+        assert c.congestion_at(1) == 64
+        assert c.congestion_at(2) == 32
+        assert c.congestion_at(4) == 8
+
+    def test_congestion_at_log_floor(self):
+        c = ctx(C=64, n=2**20)
+        assert c.congestion_at(30) == pytest.approx(20.0)  # log2(2^20)
+
+    def test_measured_congestion_overrides(self):
+        c = ctx(C=64, current=5)
+        assert c.congestion_at(1) == 5
+        assert c.congestion_at(10) == 5
+
+
+class TestPaperSchedule:
+    def test_rounds_shrink_geometrically(self):
+        s = PaperSchedule()
+        c = ctx(C=1024, n=16)
+        deltas = [s.delay_range(t, c) for t in range(1, 8)]
+        assert all(a >= b for a, b in zip(deltas, deltas[1:]))
+        assert deltas[0] > 2 * deltas[3]
+
+    def test_includes_dilation_term(self):
+        with_dl = PaperSchedule(include_dl=True)
+        without = PaperSchedule(include_dl=False)
+        c = ctx(D=1000)
+        assert with_dl.delay_range(1, c) - without.delay_range(1, c) == 1000 + 4
+
+    def test_scale_multiplies_core_only(self):
+        c = ctx()
+        big = PaperSchedule(scale=2.0, include_dl=False).delay_range(1, c)
+        small = PaperSchedule(scale=1.0, include_dl=False).delay_range(1, c)
+        assert big == pytest.approx(2 * small, abs=1)
+
+    def test_lemma24_premise(self):
+        # The schedule must satisfy Delta_t >= 8e L C / (B 2^(t-1)).
+        import math
+
+        s = PaperSchedule()
+        c = ctx(C=4096, n=2**12)
+        for t in range(1, 10):
+            assert s.delay_range(t, c) >= 8 * math.e * 4 * 4096 / (4 * 2 ** (t - 1))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ScheduleError):
+            PaperSchedule(scale=0).delay_range(1, ctx())
+
+    def test_bad_round_rejected(self):
+        with pytest.raises(ScheduleError):
+            PaperSchedule().delay_range(0, ctx())
+
+
+class TestPaperShortcutSchedule:
+    def test_has_three_halves_log_floor(self):
+        # For huge n the log^{3/2} floor dominates the plain-log one.
+        sc = PaperShortcutSchedule(include_dl=False)
+        lv = PaperSchedule(include_dl=False)
+        c = ctx(n=2**30, C=2, L=4, B=1, D=2)
+        assert sc.delay_range(20, c) > lv.delay_range(20, c)
+
+    def test_monotone_in_rounds(self):
+        s = PaperShortcutSchedule()
+        c = ctx(C=2048)
+        deltas = [s.delay_range(t, c) for t in range(1, 8)]
+        assert all(a >= b for a, b in zip(deltas, deltas[1:]))
+
+
+class TestGeometricSchedule:
+    def test_halving_with_floor(self):
+        s = GeometricSchedule(c_congestion=4.0, c_floor=1.0)
+        c = ctx(C=256, B=1, L=4, n=16)
+        d1 = s.delay_range(1, c)
+        d2 = s.delay_range(2, c)
+        assert d1 == pytest.approx(4 * 4 * 256, abs=1)
+        assert d2 == pytest.approx(d1 / 2, abs=1)
+
+    def test_floor_kicks_in(self):
+        s = GeometricSchedule(c_congestion=4.0, c_floor=10.0)
+        c = ctx(C=4, n=2**16, B=1, L=1)
+        # log floor: 10 * 1 * 16 / 1 = 160 > 4*4
+        assert s.delay_range(1, c) == 160
+
+    def test_never_below_one(self):
+        s = GeometricSchedule(c_congestion=0.001, c_floor=0.0)
+        assert s.delay_range(50, ctx(C=1)) == 1
+
+    def test_bad_constants_rejected(self):
+        with pytest.raises(ScheduleError):
+            GeometricSchedule(c_congestion=0).delay_range(1, ctx())
+        with pytest.raises(ScheduleError):
+            GeometricSchedule(c_floor=-1).delay_range(1, ctx())
+
+
+class TestSimpleSchedules:
+    def test_fixed(self):
+        s = FixedSchedule(delta=17)
+        assert s.delay_range(1, ctx()) == 17
+        assert s.delay_range(99, ctx()) == 17
+
+    def test_fixed_rejects_below_one(self):
+        with pytest.raises(ScheduleError):
+            FixedSchedule(delta=0).delay_range(1, ctx())
+
+    def test_zero_delay(self):
+        s = ZeroDelaySchedule()
+        assert s.delay_range(1, ctx()) == 1
+        assert s.delay_range(10, ctx()) == 1

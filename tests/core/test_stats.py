@@ -1,0 +1,96 @@
+"""Tests for protocol observables."""
+
+import pytest
+
+from repro.core.protocol import route_collection
+from repro.core.stats import (
+    congestion_history,
+    failure_breakdown,
+    group_completion_rounds,
+    quantiles,
+    rounds_to_completion,
+    survivor_history,
+)
+from repro.optics.coupler import CollisionRule
+from repro.paths.gadgets import type2_bundle
+
+
+@pytest.fixture
+def bundle_run():
+    from repro.core.schedule import GeometricSchedule
+
+    g = type2_bundle(congestion=16, D=6)
+    # A tight delay range guarantees collisions, so the run spans rounds.
+    result = route_collection(
+        g.collection,
+        bandwidth=1,
+        schedule=GeometricSchedule(c_congestion=1.0),
+        rng=3,
+    )
+    assert result.rounds > 1
+    return g, result
+
+
+class TestHistories:
+    def test_congestion_history(self, bundle_run):
+        _, result = bundle_run
+        hist = congestion_history(result)
+        assert hist[0] == 16
+        assert len(hist) == result.rounds
+
+    def test_survivor_history_monotone(self, bundle_run):
+        _, result = bundle_run
+        surv = survivor_history(result)
+        assert surv[0] == 16
+        assert all(a >= b for a, b in zip(surv, surv[1:]))
+
+    def test_failure_breakdown_serve_first(self, bundle_run):
+        _, result = bundle_run
+        fb = failure_breakdown(result)
+        assert fb["truncated"] == 0  # serve-first never truncates
+        assert fb["eliminated"] > 0
+
+    def test_failure_breakdown_priority_truncates(self):
+        g = type2_bundle(congestion=24, D=6)
+        total = 0
+        for seed in range(5):
+            result = route_collection(
+                g.collection, bandwidth=1, rule=CollisionRule.PRIORITY, rng=seed
+            )
+            total += failure_breakdown(result)["truncated"]
+        assert total > 0
+
+
+class TestCompletion:
+    def test_rounds_to_completion(self, bundle_run):
+        _, result = bundle_run
+        assert rounds_to_completion(result) == result.rounds
+
+    def test_rounds_to_completion_raises_on_truncated_run(self):
+        g = type2_bundle(congestion=64, D=6)
+        result = route_collection(g.collection, bandwidth=1, max_rounds=1, rng=0)
+        assert not result.completed
+        with pytest.raises(ValueError):
+            rounds_to_completion(result)
+
+    def test_group_completion_rounds(self, bundle_run):
+        g, result = bundle_run
+        rounds = group_completion_rounds(result, g.groups)
+        (label,) = rounds
+        assert rounds[label] == result.rounds
+
+    def test_group_completion_none_for_unfinished(self):
+        g = type2_bundle(congestion=64, D=6)
+        result = route_collection(g.collection, bandwidth=1, max_rounds=1, rng=0)
+        rounds = group_completion_rounds(result, g.groups)
+        assert list(rounds.values()) == [None]
+
+
+class TestQuantiles:
+    def test_basic(self):
+        q = quantiles([1, 2, 3, 4, 5], qs=(0.5, 1.0))
+        assert q[0.5] == 3 and q[1.0] == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantiles([])

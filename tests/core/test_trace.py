@@ -1,0 +1,90 @@
+"""Tests for the occupancy tracer."""
+
+from repro.core.trace import occupancy_trace, render_trace
+from repro.optics.coupler import CollisionRule
+from repro.worms.worm import Launch, Worm
+
+
+class TestOccupancyTrace:
+    def test_solo_worm_cells(self):
+        w = Worm(uid=3, path=("a", "b", "c"), length=2)
+        cells, horizon, result = occupancy_trace(
+            [w], [Launch(worm=3, delay=1, wavelength=0)], CollisionRule.SERVE_FIRST
+        )
+        assert result.outcomes[3].delivered
+        # Link (a,b): flits at steps 1 and 2; link (b,c): steps 2 and 3.
+        assert cells[(("a", "b"), 0, 1)] == 3
+        assert cells[(("a", "b"), 0, 2)] == 3
+        assert cells[(("b", "c"), 0, 2)] == 3
+        assert cells[(("b", "c"), 0, 3)] == 3
+        assert (("a", "b"), 0, 0) not in cells
+
+    def test_lost_head_marked(self):
+        worms = [
+            Worm(uid=0, path=("x", "y"), length=3),
+            Worm(uid=1, path=("z", "x", "y"), length=3),
+        ]
+        cells, _, result = occupancy_trace(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0),
+                Launch(worm=1, delay=0, wavelength=0),  # reaches (x,y) at t=1
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert not result.outcomes[1].delivered
+        assert cells[(("x", "y"), 0, 1)] == ("lost", 1)
+
+    def test_truncation_shortens_downstream_occupancy(self):
+        worms = [
+            Worm(uid=0, path=("a", "b", "c", "d"), length=4),
+            Worm(uid=1, path=("x", "b", "c", "y"), length=4),
+        ]
+        cells, _, result = occupancy_trace(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0, priority=1),
+                Launch(worm=1, delay=2, wavelength=0, priority=2),
+            ],
+            CollisionRule.PRIORITY,
+        )
+        assert result.outcomes[0].delivered_flits == 2  # cut at t=3 on (b,c)
+        # Fragment of 2 flits crosses (c,d) during steps 2-3 only.
+        assert cells[(("c", "d"), 0, 2)] == 0
+        assert cells[(("c", "d"), 0, 3)] == 0
+        assert (("c", "d"), 0, 4) not in cells or cells[(("c", "d"), 0, 4)] != 0
+
+
+class TestRenderTrace:
+    def test_render_contains_rows_and_idle(self):
+        w = Worm(uid=0, path=("a", "b"), length=2)
+        out = render_trace(
+            [w], [Launch(worm=0, delay=1, wavelength=0)], CollisionRule.SERVE_FIRST
+        )
+        assert "('a', 'b')" in out
+        assert ".00" in out
+
+    def test_render_marks_collision(self):
+        worms = [Worm(uid=i, path=("x", "y"), length=2) for i in range(2)]
+        out = render_trace(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0),
+                Launch(worm=1, delay=1, wavelength=0),
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert "X" in out
+
+    def test_wavelengths_render_separately(self):
+        worms = [Worm(uid=i, path=("x", "y"), length=1) for i in range(2)]
+        out = render_trace(
+            worms,
+            [
+                Launch(worm=0, delay=0, wavelength=0),
+                Launch(worm=1, delay=0, wavelength=1),
+            ],
+            CollisionRule.SERVE_FIRST,
+        )
+        assert out.count("('x', 'y')") == 2
+        assert "wl=0" in out and "wl=1" in out

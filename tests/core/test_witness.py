@@ -1,0 +1,225 @@
+"""Tests for witness-tree extraction and validation (Section 2.1)."""
+
+import pytest
+
+from repro.core.protocol import route_collection
+from repro.core.witness import (
+    blocked_by_maps,
+    blocking_graphs,
+    build_witness_tree,
+    check_blocking_forest,
+    validate_witness_tree,
+)
+from repro.core.records import CollisionEvent, CollisionKind
+from repro.core.schedule import FixedSchedule
+from repro.errors import WitnessError
+from repro.optics.coupler import CollisionRule
+from repro.paths.gadgets import type1_triangle, type2_bundle
+
+
+def _run_bundle(congestion=24, rounds_min=2, seed_start=0, **kwargs):
+    """A bundle run with collision logs and at least `rounds_min` rounds."""
+    coll = type2_bundle(congestion=congestion, D=6).collection
+    for seed in range(seed_start, seed_start + 50):
+        result = route_collection(
+            coll,
+            bandwidth=1,
+            collect_collisions=True,
+            rng=seed,
+            **kwargs,
+        )
+        if result.completed and result.rounds >= rounds_min:
+            return coll, result
+    raise AssertionError("could not produce a multi-round bundle run")
+
+
+class TestBlockedByMaps:
+    def test_first_event_wins(self):
+        events = (
+            CollisionEvent(3, ("a", "b"), 0, blocked=1, blocker=2, link_pos=0,
+                           kind=CollisionKind.ELIMINATED),
+            CollisionEvent(5, ("b", "c"), 0, blocked=1, blocker=9, link_pos=1,
+                           kind=CollisionKind.TRUNCATED),
+        )
+        maps = blocked_by_maps((events,))
+        assert maps == [{1: 2}]
+
+    def test_empty_rounds(self):
+        assert blocked_by_maps(((), ())) == [{}, {}]
+
+
+class TestBuildTree:
+    def test_tree_from_real_run(self):
+        coll, result = _run_bundle()
+        # Pick a worm acknowledged last.
+        worm = max(result.delivered_round, key=result.delivered_round.get)
+        depth = result.delivered_round[worm] - 1
+        assert depth >= 1
+        tree = build_witness_tree(result, worm)
+        assert tree.worm == worm
+        assert max(n.level for n in tree.iter_nodes()) == depth
+        validate_witness_tree(tree, coll)
+
+    def test_tree_has_binary_structure(self):
+        coll, result = _run_bundle()
+        worm = max(result.delivered_round, key=result.delivered_round.get)
+        tree = build_witness_tree(result, worm)
+        for node in tree.iter_nodes():
+            assert (node.left is None) == (node.right is None)
+            if node.left is not None:
+                assert node.left.worm == node.worm
+
+    def test_round1_success_has_no_tree(self):
+        coll, result = _run_bundle()
+        lucky = min(result.delivered_round, key=result.delivered_round.get)
+        if result.delivered_round[lucky] == 1:
+            with pytest.raises(WitnessError):
+                build_witness_tree(result, lucky)
+
+    def test_depth_capped_by_failed_rounds(self):
+        coll, result = _run_bundle()
+        worm = max(result.delivered_round, key=result.delivered_round.get)
+        failed = result.delivered_round[worm] - 1
+        with pytest.raises(WitnessError):
+            build_witness_tree(result, worm, depth=failed + 1)
+
+    def test_requires_collision_logs(self):
+        coll = type2_bundle(congestion=4, D=4).collection
+        result = route_collection(coll, bandwidth=1, rng=0)
+        with pytest.raises(WitnessError):
+            build_witness_tree(result, 0)
+
+    def test_huge_depth_rejected(self):
+        coll, result = _run_bundle()
+        worm = max(result.delivered_round, key=result.delivered_round.get)
+        with pytest.raises(WitnessError):
+            build_witness_tree(result, worm, depth=40)
+
+
+class TestBlockingGraphs:
+    def test_graphs_match_levels(self):
+        coll, result = _run_bundle()
+        worm = max(result.delivered_round, key=result.delivered_round.get)
+        tree = build_witness_tree(result, worm)
+        graphs = blocking_graphs(tree)
+        depth = max(n.level for n in tree.iter_nodes())
+        assert len(graphs) == depth
+        assert graphs[0]["level"] == 1
+        # Level 1 has the root worm plus its final-round blocker.
+        assert worm in graphs[0]["nodes"]
+
+    def test_forest_property_on_bundle(self):
+        # Bundles are leveled; under serve-first Claim 2.6 must hold.
+        coll, result = _run_bundle()
+        worm = max(result.delivered_round, key=result.delivered_round.get)
+        tree = build_witness_tree(result, worm)
+        for g in blocking_graphs(tree):
+            chk = check_blocking_forest(g)
+            assert chk.ok, (g, chk)
+
+    def test_cycle_detection(self):
+        g = {
+            "level": 1,
+            "nodes": {1, 2, 3},
+            "edges": {(1, 2), (2, 3), (3, 1)},
+            "new": set(),
+        }
+        chk = check_blocking_forest(g)
+        assert not chk.is_forest
+        assert set(chk.cycle) == {1, 2, 3}
+
+    def test_roots_must_be_new(self):
+        g = {
+            "level": 1,
+            "nodes": {1, 2},
+            "edges": {(1, 2)},
+            "new": {1},  # wrong: the root is 2
+        }
+        chk = check_blocking_forest(g)
+        assert chk.is_forest and not chk.roots_are_new
+
+    def test_valid_forest_accepted(self):
+        g = {
+            "level": 1,
+            "nodes": {1, 2, 3},
+            "edges": {(1, 3), (2, 3)},
+            "new": {3},
+        }
+        assert check_blocking_forest(g).ok
+
+    def test_double_witness_rejected(self):
+        g = {
+            "level": 1,
+            "nodes": {1, 2, 3},
+            "edges": {(1, 2), (1, 3)},
+            "new": {2, 3},
+        }
+        assert not check_blocking_forest(g).is_forest
+
+
+class TestValidateTree:
+    def test_detects_left_son_mismatch(self):
+        from repro.core.witness import WitnessNode
+
+        root = WitnessNode(worm=0, level=0)
+        root.left = WitnessNode(worm=5, level=1)  # must repeat worm 0
+        root.right = WitnessNode(worm=1, level=1)
+        with pytest.raises(WitnessError):
+            validate_witness_tree(root)
+
+    def test_detects_self_collision(self):
+        from repro.core.witness import WitnessNode
+
+        root = WitnessNode(worm=0, level=0)
+        root.left = WitnessNode(worm=0, level=1)
+        root.right = WitnessNode(worm=0, level=1)
+        with pytest.raises(WitnessError):
+            validate_witness_tree(root)
+
+    def test_detects_disjoint_paths(self):
+        from repro.core.witness import WitnessNode
+        from repro.paths.collection import PathCollection
+
+        coll = PathCollection([["a", "b"], ["x", "y"]])
+        root = WitnessNode(worm=0, level=0)
+        root.left = WitnessNode(worm=0, level=1)
+        root.right = WitnessNode(worm=1, level=1)
+        with pytest.raises(WitnessError):
+            validate_witness_tree(root, coll)
+
+
+class TestCyclicBlockingAppears:
+    def test_triangle_serve_first_can_cycle(self):
+        """With serve-first routers on the cyclic gadget, some round's
+        blocking graph contains a cycle (the Claim 2.6 failure mode)."""
+        coll = type1_triangle(D=8, L=4).collection
+        found_cycle = False
+        for seed in range(200):
+            result = route_collection(
+                coll,
+                bandwidth=1,
+                collect_collisions=True,
+                schedule=FixedSchedule(delta=2),
+                max_rounds=30,
+                rng=seed,
+            )
+            for events in result.collisions_per_round:
+                m = {}
+                for ev in events:
+                    m.setdefault(ev.blocked, ev.blocker)
+                # Look for a 3-cycle among the blocking edges.
+                if all(w in m for w in (0, 1, 2)):
+                    if m[0] != m[1] or m[1] != m[2]:
+                        chain = {w: m[w] for w in (0, 1, 2)}
+                        w = 0
+                        seen = set()
+                        while w not in seen:
+                            seen.add(w)
+                            w = chain.get(w)
+                            if w is None:
+                                break
+                        if w is not None:
+                            found_cycle = True
+            if found_cycle:
+                break
+        assert found_cycle

@@ -1,0 +1,18 @@
+"""Smoke test for the assembled-adversary experiment."""
+
+from repro.experiments import exp_adversary
+
+
+class TestAdversaryExperiment:
+    def test_runs_three_rows(self):
+        t = exp_adversary.run_assembled(n=96, trials=2, seed=0)
+        assert len(t.rows) == 3
+        constructions = {r[0] for r in t.rows}
+        assert len(constructions) == 2
+
+    def test_priority_no_worse_on_cyclic_instance(self):
+        t = exp_adversary.run_assembled(n=96, trials=3, seed=1)
+        rows = {(r[0], r[1]): r for r in t.rows}
+        sf = rows[("S3.2 (triangles+bundles)", "serve-first")]
+        pr = rows[("S3.2 (triangles+bundles)", "priority")]
+        assert pr[4] <= sf[4] + 1

@@ -1,0 +1,36 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _registry, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e_t16" in out and "all" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "completed in" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "e_pred", "--trials", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "E-PRED" in out
+        assert "done in" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_registry_ids_are_kebab_free(self):
+        for key in _registry():
+            assert key.replace("_", "").isalnum()

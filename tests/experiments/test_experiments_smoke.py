@@ -1,0 +1,182 @@
+"""Smoke tests: every experiment runs at tiny sizes and reproduces the
+paper's qualitative claims (the real sizes run in the benchmark harness).
+"""
+
+import pytest
+
+from repro.experiments import (
+    exp_ablations,
+    exp_baselines,
+    exp_lemma24,
+    exp_lower_bounds,
+    exp_mt11,
+    exp_mt12_13,
+    exp_thm15,
+    exp_thm16,
+    exp_thm17,
+    exp_witness,
+)
+
+
+class TestMT11:
+    def test_butterfly_runs_and_correlates(self):
+        t = exp_mt11.run_butterfly(dims=(3, 4, 5), trials=2, seed=0)
+        assert len(t.rows) == 3
+        # Rounds stay tiny even as n quadruples (the sub-log growth claim).
+        assert max(t.column("rounds(max)")) <= 6
+
+    def test_staircases_run(self):
+        t = exp_mt11.run_staircases(structure_counts=(2, 8), trials=2, seed=0)
+        assert len(t.rows) == 2
+
+
+class TestMT1213:
+    def test_priority_beats_serve_first_and_gap_grows(self):
+        t = exp_mt12_13.run_rule_comparison(
+            structure_counts=(2, 16, 64), trials=3, seed=0
+        )
+        ratios = t.column("sf/pr")
+        assert ratios[-1] > 1.0  # priority wins at scale
+        assert ratios[-1] > ratios[0]  # and the gap grows with n
+        sf = t.column("rounds_sf(mean)")
+        assert sf[-1] > sf[0]  # serve-first rounds grow with n
+        pr = t.column("rounds_pr(mean)")
+        assert pr[-1] <= sf[-1]
+
+
+class TestLowerBounds:
+    def test_staircase_rounds_grow(self):
+        t = exp_lower_bounds.run_staircase_rounds(
+            structure_counts=(2, 32), trials=3, seed=0
+        )
+        rounds = t.column("rounds(mean)")
+        assert rounds[-1] >= rounds[0]
+
+    def test_chain_probability_dominates_bound(self):
+        t = exp_lower_bounds.run_chain_probability(trials=600, seed=0)
+        measured = t.column("P[first i discarded] measured")
+        lower = t.column("lower bound ((L-1)/2BD)^i")
+        # The analytic bound is a lower bound; allow tiny-sample slack on
+        # the deepest chain.
+        for m, lb in zip(measured[:-1], lower[:-1]):
+            assert m >= lb * 0.8
+
+    def test_bundle_decay_doubly_exponential(self):
+        t = exp_lower_bounds.run_bundle_decay(
+            congestion=128, trials=3, seed=0, rounds_to_show=4
+        )
+        surv = t.column("survivors(mean)")
+        # Fractions die faster each round (log-scale acceleration).
+        assert surv[0] == 128
+        assert surv[1] < surv[0]
+        floors = t.column("lemma2.10 floor")
+        for s, f in zip(surv, floors):
+            assert s >= f * 0.9  # survivors stay above the floor
+
+
+class TestLemma24:
+    def test_congestion_below_envelope(self):
+        t = exp_lemma24.run_bundle(congestion=64, trials=3, seed=0)
+        meas = t.column("C~_t measured(max)")
+        env = t.column("lemma2.4 envelope C/2^(t-1)")
+        logf = t.column("log2 n floor")
+        for m, e, lf in zip(meas, env, logf):
+            assert m <= max(e, 4 * lf)
+
+    def test_mesh_variant_runs(self):
+        t = exp_lemma24.run_mesh(side=6, trials=2, seed=0)
+        assert t.rows
+
+
+class TestApplications:
+    def test_thm15_congestion_shape(self):
+        t = exp_thm15.run_congestion(sides=(4, 6), trials=3, seed=0)
+        meas = t.column("C~(max)")
+        pred = t.column("D^2 + log n")
+        for m, p in zip(meas, pred):
+            assert m <= p  # the O(D^2 + log n) claim with constant 1
+
+    def test_thm15_time_runs(self):
+        t = exp_thm15.run_time(sides=(4, 6), trials=2, seed=0)
+        assert len(t.rows) == 2
+
+    def test_thm16_rounds_nearly_flat(self):
+        t = exp_thm16.run_side_sweep(sides=(4, 8), trials=3, seed=0)
+        rounds = t.column("rounds(mean)")
+        # Quadrupling n adds at most a couple of rounds.
+        assert rounds[-1] - rounds[0] <= 3
+
+    def test_thm16_dimension_sweep(self):
+        t = exp_thm16.run_dimension_sweep(dims=(1, 2), side=6, trials=2, seed=0)
+        assert len(t.rows) == 2
+
+    def test_thm17_q_sweep(self):
+        t = exp_thm17.run_q_sweep(dim=4, qs=(1, 2), trials=2, seed=0)
+        times = t.column("time(mean)")
+        assert times[1] > times[0]  # more messages, more time
+
+    def test_thm17_dim_sweep(self):
+        t = exp_thm17.run_dim_sweep(dims=(3, 4), trials=2, seed=0)
+        assert len(t.rows) == 2
+
+
+class TestBaselines:
+    def test_three_way_tdm_fastest(self):
+        t = exp_baselines.run_three_way(trials=2, seed=0)
+        for row in t.rows:
+            tdm = row[t.columns.index("tdm makespan")]
+            tf = row[t.columns.index("t&f time")]
+            assert tdm <= tf  # offline coordination is the floor
+
+    def test_bandwidth_crossover(self):
+        t = exp_baselines.run_bandwidth_crossover(bandwidths=(1, 4), trials=2, seed=0)
+        times = t.column("t&f time")
+        assert times[-1] < times[0]  # bandwidth helps
+
+    def test_one_shot_pressure_monotone(self):
+        t = exp_baselines.run_one_shot_pressure(
+            delay_ranges=(8, 512), trials=6, seed=0
+        )
+        fracs = t.column("delivered fraction(mean)")
+        assert fracs[-1] > fracs[0]
+
+
+class TestAblations:
+    def test_schedule_ablation_zero_delay_worst(self):
+        t = exp_ablations.run_schedule_ablation(congestion=32, trials=2, seed=0)
+        rounds = dict(zip(t.column("schedule"), t.column("rounds(mean)")))
+        assert rounds["zero-delay"] > rounds["geometric(c=2)"]
+
+    def test_bandwidth_sweep(self):
+        t = exp_ablations.run_bandwidth_sweep(congestion=32, bandwidths=(1, 4), trials=2)
+        times = t.column("time(mean)")
+        assert times[-1] < times[0]
+
+    def test_length_sweep(self):
+        t = exp_ablations.run_length_sweep(lengths=(1, 8), trials=2)
+        times = t.column("time(mean)")
+        assert times[-1] > times[0]
+
+    def test_tie_rule_close(self):
+        t = exp_ablations.run_tie_rule(congestion=24, trials=4)
+        times = t.column("time(mean)")
+        assert max(times) < 3 * min(times)
+
+    def test_ack_modes(self):
+        t = exp_ablations.run_ack_modes(congestion=24, trials=2)
+        assert len(t.rows) == 3
+
+
+class TestWitness:
+    def test_forest_validity_clean_under_winner_ties(self):
+        t = exp_witness.run_forest_validity(congestion=24, trials=8, seed=0)
+        row = dict(zip(t.columns, t.rows[0]))  # lowest_id_wins row
+        assert row["tie rule"] == "lowest_id_wins"
+        assert row["forests (Claim 2.6)"] == row["blocking graphs"]
+        assert row["valid (Def 2.1)"] == row["trees built"]
+
+    def test_cycles_only_under_serve_first(self):
+        t = exp_witness.run_cycle_incidence(n_structures=16, trials=5, seed=0)
+        rows = {r[0]: r for r in t.rows}
+        assert rows["serve-first"][2] > 0
+        assert rows["priority"][2] == 0

@@ -1,0 +1,35 @@
+"""Smoke tests of the extension and predictor experiments."""
+
+from repro.experiments import exp_extensions, exp_predictor
+
+
+class TestExtensionExperiments:
+    def test_sparse_conversion_runs(self):
+        t = exp_extensions.run_sparse_conversion(
+            fractions=(0.0, 1.0), trials=2, seed=0
+        )
+        assert len(t.rows) == 4  # two workloads x two fractions
+
+    def test_multihop_runs(self):
+        t = exp_extensions.run_multihop(hop_counts=(0, 2), trials=2, seed=0)
+        segs = t.column("optical D per segment")
+        assert segs[0] > segs[1]
+
+    def test_simple_paths_runs(self):
+        t = exp_extensions.run_simple_paths(detour_counts=(2, 8), trials=2, seed=0)
+        assert len(t.rows) == 2
+
+
+class TestPredictorExperiments:
+    def test_bundle_agreement_runs(self):
+        t = exp_predictor.run_bundle_agreement(
+            congestions=(16,), trials=3, seed=0
+        )
+        # Round-1 row: both series start at C.
+        first = t.rows[0]
+        assert first[2] == 16.0 and first[3] == 16.0
+
+    def test_mesh_agreement_runs(self):
+        t = exp_predictor.run_mesh_agreement(sides=(6,), trials=3, seed=0)
+        (row,) = t.rows
+        assert abs(row[2] - row[3]) <= 2

@@ -1,0 +1,61 @@
+"""Smoke tests for the RWA, resilience and families experiments."""
+
+from repro.experiments import exp_resilience, exp_rwa, exp_thm15
+
+
+class TestRwaExperiment:
+    def test_runs_and_trade_holds(self):
+        t = exp_rwa.run_channels_vs_rounds(trials=2, seed=0)
+        assert len(t.rows) == 3
+        # RWA's one-pass time is always below trial-and-failure's at small B.
+        one_pass = t.column("RWA one-pass time")
+        tf = t.column("t&f time @B=2")
+        for a, b in zip(one_pass, tf):
+            assert a < b
+
+
+class TestResilienceExperiment:
+    def test_runs_and_degrades_gracefully(self):
+        t = exp_resilience.run_fault_sweep(rates=(0.0, 0.1), trials=2, seed=0)
+        assert all(t.column("completed"))
+        faults = t.column("fault losses")
+        assert faults[0] == 0 and faults[1] > 0
+
+
+class TestFamiliesExperiment:
+    def test_all_four_families_route(self):
+        t = exp_thm15.run_families(trials=2, seed=0)
+        assert len(t.rows) == 4
+        assert max(t.column("rounds(mean)")) <= 8
+
+
+class TestPriorityModesExperiment:
+    def test_all_modes_agree(self):
+        from repro.experiments import exp_ablations
+
+        t = exp_ablations.run_priority_modes(n_structures=16, trials=4, seed=0)
+        rounds = t.column("rounds(mean)")
+        assert max(rounds) - min(rounds) <= 1.0
+
+
+class TestPaperBudgetExperiment:
+    def test_budget_never_exceeded(self):
+        from repro.experiments import exp_mt11
+
+        t = exp_mt11.run_paper_budget(dims=(4, 5), trials=6, seed=0)
+        for row in t.rows:
+            measured = row[t.columns.index("rounds(max over runs)")]
+            budget = row[t.columns.index("paper budget T")]
+            assert measured <= budget
+
+
+class TestCongestionRemarkExperiment:
+    def test_ratio_stable(self):
+        from repro.experiments import exp_thm17
+
+        t = exp_thm17.run_congestion_remark(dims=(3, 4), trials=3, seed=0)
+        ratios = [
+            row[2] / row[3] for row in t.rows  # avg C~ / log^2 N
+        ]
+        assert 0.05 < min(ratios) and max(ratios) < 0.5
+        assert max(ratios) / min(ratios) < 1.8  # ~constant across sizes

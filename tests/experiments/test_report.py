@@ -1,0 +1,70 @@
+"""Tests for the report aggregator."""
+
+import pathlib
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import RESULT_SECTIONS, build_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "e_t11.txt").write_text("E-T11 table\n====\nrow\n")
+    (d / "e_custom.txt").write_text("custom table\n")
+    return d
+
+
+class TestBuildReport:
+    def test_includes_known_and_extra_sections(self, results_dir):
+        text = build_report(results_dir)
+        assert RESULT_SECTIONS["e_t11"] in text
+        assert "e_custom" in text
+        assert "E-T11 table" in text
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            build_report(tmp_path / "nope")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(ExperimentError):
+            build_report(d)
+
+    def test_write_report_counts_sections(self, results_dir, tmp_path):
+        out = tmp_path / "report.md"
+        n = write_report(results_dir, out)
+        assert n == 2
+        assert out.exists()
+
+    def test_real_results_if_present(self):
+        real = pathlib.Path(__file__).parents[2] / "benchmarks" / "results"
+        if not real.is_dir() or not list(real.glob("*.txt")):
+            pytest.skip("benchmarks not yet run")
+        text = build_report(real)
+        assert "Main Theorem 1.1" in text
+
+
+class TestCliReport:
+    def test_report_command(self, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        code = main(
+            ["report", "--results", str(results_dir), "--out", str(out)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_report_command_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["report", "--results", str(tmp_path / "none"), "--out",
+             str(tmp_path / "r.md")]
+        )
+        assert code == 2

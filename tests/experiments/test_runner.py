@@ -1,0 +1,36 @@
+"""Tests for trial replication helpers."""
+
+import pytest
+
+from repro.experiments.runner import spawn_seeds, trial_mean, trial_stats, trial_values
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_prefix_stability(self):
+        # Adding trials never changes earlier seeds.
+        assert spawn_seeds(3, 10)[:5] == spawn_seeds(3, 5)
+
+
+class TestTrials:
+    def test_trial_values_passes_seeds(self):
+        vals = trial_values(lambda s: s, trials=3, seed=0)
+        assert vals == spawn_seeds(0, 3)
+
+    def test_trial_mean(self):
+        assert trial_mean(lambda s: 2.0, trials=4, seed=0) == 2.0
+
+    def test_trial_stats(self):
+        stats = trial_stats(lambda s: s % 2, trials=10, seed=0)
+        assert set(stats) == {"mean", "max", "std"}
+        assert 0 <= stats["mean"] <= 1
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            trial_values(lambda s: s, trials=0)

@@ -1,0 +1,88 @@
+"""Tests for result tables and shape comparison."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.tables import Table, fit_constant, shape_correlation
+
+
+class TestTable:
+    def test_add_and_column(self):
+        t = Table(title="t", columns=["a", "b"])
+        t.add(1, 2)
+        t.add(3, 4)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2, 4]
+
+    def test_add_wrong_arity(self):
+        t = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ExperimentError):
+            t.add(1)
+
+    def test_unknown_column(self):
+        t = Table(title="t", columns=["a"])
+        with pytest.raises(ExperimentError):
+            t.column("zz")
+
+    def test_format_contains_everything(self):
+        t = Table(title="My Title", columns=["x", "value"], notes="a note")
+        t.add(1, 3.14159)
+        out = t.format()
+        assert "My Title" in out
+        assert "value" in out
+        assert "3.14" in out
+        assert "a note" in out
+
+    def test_format_aligns_columns(self):
+        t = Table(title="t", columns=["looooong", "b"])
+        t.add(1, 2)
+        lines = t.format().splitlines()
+        header = [ln for ln in lines if "looooong" in ln][0]
+        row = lines[lines.index(header) + 2]
+        assert row.index("2") == header.index("b")
+
+    def test_float_formatting(self):
+        t = Table(title="t", columns=["v"])
+        t.add(123456.0)
+        t.add(0.00001)
+        t.add(0.0)
+        out = t.format()
+        assert "1.23e+05" in out and "1e-05" in out
+
+    def test_empty_table_formats(self):
+        t = Table(title="t", columns=["a"])
+        assert "t" in t.format()
+
+
+class TestFitConstant:
+    def test_exact_multiple(self):
+        assert fit_constant([1, 2, 3], [2, 4, 6]) == pytest.approx(2.0)
+
+    def test_least_squares(self):
+        c = fit_constant([1, 1], [1, 3])
+        assert c == pytest.approx(2.0)
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ExperimentError):
+            fit_constant([1, 2], [1])
+
+    def test_zero_prediction_rejected(self):
+        with pytest.raises(ExperimentError):
+            fit_constant([0, 0], [1, 2])
+
+
+class TestShapeCorrelation:
+    def test_identical_shape(self):
+        assert shape_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_opposite_shape(self):
+        assert shape_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_both_constant(self):
+        assert shape_correlation([5, 5], [2, 2]) == 1.0
+
+    def test_one_constant(self):
+        assert shape_correlation([5, 5], [1, 2]) == 0.0
+
+    def test_single_point(self):
+        assert shape_correlation([1], [9]) == 1.0

@@ -1,0 +1,77 @@
+"""Tests for the shared workload builders."""
+
+from repro.experiments.workloads import (
+    bundle_instance,
+    butterfly_permutation,
+    butterfly_q_function,
+    hypercube_random_function,
+    leveled_adversary,
+    mesh_random_function,
+    shortcut_adversary,
+    staircase_field,
+    torus_random_function,
+    triangle_field,
+)
+from repro.paths.properties import is_leveled, is_short_cut_free
+
+
+class TestNetworkWorkloads:
+    def test_butterfly_permutation_leveled(self):
+        coll = butterfly_permutation(4, rng=0)
+        assert is_leveled(coll)
+        assert coll.dilation == 4
+
+    def test_butterfly_q_function_size(self):
+        coll = butterfly_q_function(4, q=3, rng=0)
+        # q * 16 minus dropped fixed points.
+        assert 3 * 16 - 10 <= coll.n <= 3 * 16
+
+    def test_mesh_random_function_short_cut_free(self):
+        coll = mesh_random_function(4, 2, rng=0)
+        assert is_short_cut_free(coll)
+
+    def test_torus_random_function_valid(self):
+        coll = torus_random_function(4, 2, rng=0)
+        assert coll.n > 0
+        assert coll.dilation <= 4  # torus diameter
+
+    def test_hypercube_random_function(self):
+        coll = hypercube_random_function(4, rng=0)
+        assert coll.dilation <= 4
+
+    def test_workloads_deterministic(self):
+        a = mesh_random_function(4, 2, rng=9)
+        b = mesh_random_function(4, 2, rng=9)
+        assert a.paths == b.paths
+
+
+class TestGadgetWorkloads:
+    def test_staircase_field_groups(self):
+        inst = staircase_field(4, k=3, D=10, L=4)
+        assert inst.collection.n == 12
+        assert len(inst.groups) == 4
+        assert is_leveled(inst.collection)
+
+    def test_triangle_field_groups(self):
+        inst = triangle_field(5, D=8, L=4)
+        assert inst.collection.n == 15
+        assert len(inst.groups) == 5
+        assert is_short_cut_free(inst.collection)
+
+    def test_field_structures_disjoint(self):
+        inst = triangle_field(3, D=8, L=4)
+        seen_nodes: dict = {}
+        for label, uids in inst.groups.items():
+            for uid in uids:
+                for node in inst.collection[uid]:
+                    assert seen_nodes.setdefault(node, label) == label
+
+    def test_bundle_instance(self):
+        inst = bundle_instance(6, 5)
+        assert inst.collection.path_congestion == 6
+
+    def test_adversary_wrappers(self):
+        lv = leveled_adversary(n=32, D=10, L=4, congestion=8)
+        sc = shortcut_adversary(n=32, D=10, L=4, congestion=8)
+        assert is_leveled(lv.collection)
+        assert not is_leveled(sc.collection)

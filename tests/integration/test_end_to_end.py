@@ -1,0 +1,145 @@
+"""End-to-end integration: topology -> problem -> paths -> protocol."""
+
+import pytest
+
+from repro.core.protocol import route_collection
+from repro.core.schedule import GeometricSchedule
+from repro.network.butterfly import Butterfly
+from repro.network.debruijn import DeBruijn
+from repro.network.hypercube import Hypercube
+from repro.network.mesh import Mesh, Torus
+from repro.network.ring import Ring
+from repro.network.shuffle import ShuffleExchange
+from repro.optics.coupler import CollisionRule
+from repro.paths.collection import PathCollection
+from repro.paths.problems import random_function, random_permutation
+from repro.paths.properties import is_leveled, is_short_cut_free
+from repro.paths.selection import (
+    butterfly_path_collection,
+    hypercube_path_collection,
+    mesh_path_collection,
+    shortest_path_system,
+    torus_path_collection,
+)
+
+SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
+
+
+class TestButterflyPipeline:
+    def test_permutation_end_to_end(self):
+        bf = Butterfly(5)
+        pairs = random_permutation(range(bf.rows), rng=0)
+        coll = butterfly_path_collection(bf, pairs)
+        assert is_leveled(coll)
+        result = route_collection(
+            coll, bandwidth=2, worm_length=4, schedule=SCHEDULE, rng=0
+        )
+        assert result.completed
+        assert set(result.delivered_round) == set(range(coll.n))
+
+    def test_both_rules_complete(self):
+        bf = Butterfly(4)
+        pairs = random_permutation(range(bf.rows), rng=1)
+        coll = butterfly_path_collection(bf, pairs)
+        for rule in (CollisionRule.SERVE_FIRST, CollisionRule.PRIORITY):
+            result = route_collection(
+                coll, bandwidth=2, rule=rule, schedule=SCHEDULE, rng=1
+            )
+            assert result.completed
+
+
+class TestMeshPipeline:
+    def test_random_function_end_to_end(self):
+        m = Mesh((6, 6))
+        pairs = random_function(m.nodes, rng=2)
+        coll = mesh_path_collection(m, pairs)
+        assert is_short_cut_free(coll)
+        result = route_collection(
+            coll, bandwidth=2, worm_length=4, schedule=SCHEDULE, rng=2
+        )
+        assert result.completed
+
+    def test_3d_mesh(self):
+        m = Mesh((4, 4, 4))
+        pairs = random_function(m.nodes, rng=3)
+        coll = mesh_path_collection(m, pairs)
+        result = route_collection(
+            coll, bandwidth=4, worm_length=4, schedule=SCHEDULE, rng=3
+        )
+        assert result.completed
+
+
+class TestTorusPipeline:
+    def test_random_function_priority(self):
+        t = Torus((5, 5))
+        pairs = random_function(t.nodes, rng=4)
+        coll = torus_path_collection(t, pairs)
+        result = route_collection(
+            coll,
+            bandwidth=2,
+            rule=CollisionRule.PRIORITY,
+            worm_length=4,
+            schedule=SCHEDULE,
+            rng=4,
+        )
+        assert result.completed
+
+
+class TestHypercubePipeline:
+    def test_permutation(self):
+        h = Hypercube(5)
+        pairs = random_permutation(h.nodes, rng=5)
+        coll = hypercube_path_collection(h, pairs)
+        result = route_collection(
+            coll, bandwidth=2, worm_length=4, schedule=SCHEDULE, rng=5
+        )
+        assert result.completed
+
+
+class TestExoticTopologies:
+    @pytest.mark.parametrize(
+        "topo_cls,dim", [(DeBruijn, 4), (ShuffleExchange, 4)]
+    )
+    def test_shortest_path_system_routes(self, topo_cls, dim):
+        topo = topo_cls(dim)
+        system = shortest_path_system(topo)
+        pairs = random_permutation(topo.nodes, rng=6)
+        coll = PathCollection(
+            [system[(s, t)] for s, t in pairs], topology=topo, require_simple=False
+        )
+        result = route_collection(
+            coll, bandwidth=4, worm_length=2, schedule=SCHEDULE, rng=6
+        )
+        assert result.completed
+
+    def test_ring_all_pairs(self):
+        r = Ring(12)
+        system = shortest_path_system(r)
+        coll = PathCollection(
+            [system[(s, (s + 3) % 12)] for s in range(12)], topology=r
+        )
+        result = route_collection(
+            coll, bandwidth=1, worm_length=3, schedule=SCHEDULE, rng=7
+        )
+        assert result.completed
+
+
+class TestScaleSmoke:
+    def test_thousand_worm_collection(self):
+        # A mid-size instance exercising the engine's event batching.
+        bf = Butterfly(7)
+        from repro.paths.problems import random_q_function
+
+        pairs = random_q_function(range(bf.rows), q=8, rng=8)
+        coll = butterfly_path_collection(bf, pairs)
+        assert coll.n > 900
+        result = route_collection(
+            coll,
+            bandwidth=4,
+            worm_length=4,
+            schedule=SCHEDULE,
+            track_congestion=False,
+            rng=8,
+        )
+        assert result.completed
+        assert result.rounds < 20

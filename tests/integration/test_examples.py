@@ -1,0 +1,99 @@
+"""The example scripts must run end to end.
+
+Fast scripts run inline; the slower provisioning studies are exercised at
+reduced scope by importing their main building blocks (running them whole
+would dominate the suite's wall-clock).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parents[2] / "examples"
+
+
+def _run(script: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "completed in" in out
+        assert "Main Theorem 1.1" in out
+
+    def test_trace_debugging(self):
+        out = _run("trace_debugging.py")
+        assert "X" in out
+        assert "priority rule" in out
+
+    def test_adversarial_gadgets(self):
+        out = _run("adversarial_gadgets.py")
+        assert "witness tree" in out
+        assert "forest rooted at new worms: True" in out
+
+
+class TestSlowExampleComponents:
+    """Reduced-scope versions of the provisioning studies."""
+
+    def test_video_conference_component(self):
+        import numpy as np
+
+        from repro import GeometricSchedule, Torus, route_collection
+        from repro.paths.selection import torus_path_collection
+
+        t = Torus((5, 5))
+        rng = np.random.default_rng(11)
+        nodes = t.nodes
+        pairs = []
+        for src in nodes:
+            dst = nodes[int(rng.integers(len(nodes)))]
+            if dst != src:
+                pairs.append((src, dst))
+        coll = torus_path_collection(t, pairs)
+        res = route_collection(
+            coll,
+            bandwidth=4,
+            worm_length=8,
+            schedule=GeometricSchedule(c_congestion=2.0, c_floor=0.5),
+            rng=0,
+        )
+        assert res.completed
+
+    def test_supercomputer_mesh_component(self):
+        from repro import GeometricSchedule, route_collection, tdm_schedule
+        from repro.experiments.workloads import mesh_random_function
+
+        coll = mesh_random_function(4, 3, rng=0)
+        res = route_collection(
+            coll,
+            bandwidth=4,
+            worm_length=4,
+            schedule=GeometricSchedule(c_congestion=2.0, c_floor=0.5),
+            rng=0,
+        )
+        assert res.completed
+        tdm = tdm_schedule(coll, bandwidth=4, worm_length=4)
+        assert tdm.makespan <= res.total_time
+
+    def test_upgrade_study_component(self):
+        from repro import predict_rounds, GeometricSchedule
+        from repro.paths.gadgets import type2_bundle
+
+        coll = type2_bundle(congestion=16, D=10).collection
+        r = predict_rounds(
+            coll,
+            bandwidth=4,
+            worm_length=6,
+            schedule=GeometricSchedule(c_congestion=2.0, c_floor=0.5),
+        )
+        assert 1 <= r <= 20

@@ -1,0 +1,67 @@
+"""Scale stress tests: the engine and protocol at thousands of worms."""
+
+import numpy as np
+
+from repro.core.engine import RoutingEngine
+from repro.core.protocol import route_collection
+from repro.core.schedule import GeometricSchedule
+from repro.experiments.workloads import butterfly_q_function
+from repro.optics.coupler import CollisionRule
+from repro.paths.gadgets import type2_bundle
+from repro.worms.worm import Launch, make_worms
+
+
+class TestEngineScale:
+    def test_eight_thousand_worm_round(self):
+        coll = butterfly_q_function(9, q=16, rng=0)
+        assert coll.n > 7000
+        worms = make_worms(coll.paths, 4)
+        rng = np.random.default_rng(0)
+        launches = [
+            Launch(worm=i, delay=int(d), wavelength=int(w))
+            for i, (d, w) in enumerate(
+                zip(rng.integers(0, 128, coll.n), rng.integers(0, 4, coll.n))
+            )
+        ]
+        engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        res = engine.run_round(launches, collect_collisions=False)
+        assert res.n_delivered + res.n_failed == coll.n
+        assert res.n_delivered > coll.n // 2
+
+    def test_dense_bundle_priority_round(self):
+        coll = type2_bundle(congestion=2000, D=12).collection
+        worms = make_worms(coll.paths, 4)
+        rng = np.random.default_rng(1)
+        ranks = rng.permutation(coll.n)
+        launches = [
+            Launch(
+                worm=i,
+                delay=int(rng.integers(0, 4000)),
+                wavelength=int(rng.integers(0, 4)),
+                priority=int(ranks[i]),
+            )
+            for i in range(coll.n)
+        ]
+        engine = RoutingEngine(worms, CollisionRule.PRIORITY)
+        res = engine.run_round(launches, collect_collisions=False)
+        # The top-ranked worm always survives; accounting holds at scale.
+        top = int(np.argmax(ranks))
+        assert res.outcomes[top].delivered
+        assert len(res.outcomes) == coll.n
+
+
+class TestProtocolScale:
+    def test_two_thousand_worm_protocol(self):
+        coll = butterfly_q_function(8, q=8, rng=2)
+        assert coll.n > 1800
+        result = route_collection(
+            coll,
+            bandwidth=4,
+            worm_length=4,
+            schedule=GeometricSchedule(c_congestion=2.0, c_floor=0.5),
+            track_congestion=False,
+            rng=2,
+        )
+        assert result.completed
+        assert result.rounds <= 15
+        assert set(result.delivered_round) == set(range(coll.n))

@@ -1,0 +1,133 @@
+"""Integration checks of the paper's headline qualitative claims.
+
+These are the reproduction's acceptance tests: each asserts one "who wins
+/ how does it grow" statement from the paper, at sizes small enough for
+CI but large enough for the effect to be unambiguous.
+"""
+
+import pytest
+
+from repro.core.protocol import route_collection
+from repro.core.schedule import FixedSchedule, GeometricSchedule
+from repro.experiments.runner import trial_mean
+from repro.experiments.workloads import (
+    bundle_instance,
+    mesh_random_function,
+    triangle_field,
+)
+from repro.optics.coupler import CollisionRule
+
+
+class TestPriorityBeatsServeFirstOnCycles:
+    """Main Theorems 1.2 vs 1.3: the quadratic gap on cyclic gadgets."""
+
+    def test_gap_exists_and_grows(self):
+        results = {}
+        for count in (4, 64):
+            coll = triangle_field(count, D=8, L=4).collection
+
+            def rounds(rule):
+                return trial_mean(
+                    lambda s: route_collection(
+                        coll,
+                        bandwidth=1,
+                        rule=rule,
+                        worm_length=4,
+                        schedule=FixedSchedule(delta=4),
+                        max_rounds=4000,
+                        track_congestion=False,
+                        rng=s,
+                    ).rounds,
+                    trials=4,
+                    seed=0,
+                )
+
+            results[count] = (
+                rounds(CollisionRule.SERVE_FIRST),
+                rounds(CollisionRule.PRIORITY),
+            )
+        sf_small, pr_small = results[4]
+        sf_big, pr_big = results[64]
+        assert sf_big > pr_big  # priority wins at scale
+        assert sf_big / pr_big > sf_small / pr_small * 0.9  # gap does not shrink
+        assert sf_big > sf_small  # serve-first degrades with n
+        assert pr_big <= pr_small + 2  # priority stays ~flat
+
+
+class TestCongestionCollapse:
+    """Lemma 2.4 / 2.10: congestion plummets round over round."""
+
+    def test_halving_or_better(self):
+        coll = bundle_instance(128, 8).collection
+        result = route_collection(
+            coll,
+            bandwidth=1,
+            worm_length=4,
+            schedule=GeometricSchedule(c_congestion=4.0),
+            rng=0,
+        )
+        assert result.completed
+        cong = [r.active_congestion for r in result.records]
+        for before, after in zip(cong, cong[1:]):
+            assert after <= max(before / 2, 16)
+
+    def test_loglog_round_count_on_bundles(self):
+        # 128 worms on one chain drain in very few rounds.
+        coll = bundle_instance(128, 8).collection
+        rounds = trial_mean(
+            lambda s: route_collection(
+                coll,
+                bandwidth=1,
+                worm_length=4,
+                schedule=GeometricSchedule(c_congestion=4.0),
+                rng=s,
+            ).rounds,
+            trials=5,
+            seed=1,
+        )
+        assert rounds <= 8
+
+
+class TestBandwidthTerm:
+    """All bounds: the L*C~/B congestion term."""
+
+    def test_time_scales_inverse_bandwidth(self):
+        coll = bundle_instance(64, 8).collection
+
+        def time(B):
+            return trial_mean(
+                lambda s: route_collection(
+                    coll,
+                    bandwidth=B,
+                    worm_length=4,
+                    schedule=GeometricSchedule(c_congestion=2.0),
+                    rng=s,
+                ).total_time,
+                trials=4,
+                seed=2,
+            )
+
+        t1, t4 = time(1), time(4)
+        assert t1 / t4 == pytest.approx(4.0, rel=0.5)
+
+
+class TestMeshExponentialImprovement:
+    """Theorem 1.6's punchline: rounds ~ sqrt(d) + loglog n, not log n."""
+
+    def test_rounds_flat_as_mesh_grows(self):
+        def rounds(side):
+            return trial_mean(
+                lambda s: route_collection(
+                    mesh_random_function(side, 2, rng=s),
+                    bandwidth=2,
+                    worm_length=4,
+                    schedule=GeometricSchedule(c_congestion=2.0, c_floor=0.5),
+                    rng=s,
+                ).rounds,
+                trials=4,
+                seed=3,
+            )
+
+        r_small, r_big = rounds(4), rounds(12)
+        # n grows 9x; rounds may tick up but nowhere near log(n) growth.
+        assert r_big <= r_small + 2.5

@@ -1,0 +1,106 @@
+"""Tests for butterfly networks."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.butterfly import Butterfly, WrapButterfly, butterfly, wrap_butterfly
+
+
+class TestButterfly:
+    def test_node_count(self):
+        bf = Butterfly(3)
+        assert bf.n == (3 + 1) * 8
+
+    def test_edge_count(self):
+        # Each of the d levels contributes 2 * 2^d edges.
+        bf = Butterfly(3)
+        assert bf.n_edges == 3 * 2 * 8
+
+    def test_inputs_outputs(self):
+        bf = Butterfly(2)
+        assert bf.inputs == [(0, 0), (0, 1), (0, 2), (0, 3)]
+        assert bf.outputs == [(2, 0), (2, 1), (2, 2), (2, 3)]
+
+    def test_straight_and_cross_edges(self):
+        bf = Butterfly(3)
+        assert bf.has_link((0, 5), (1, 5))  # straight
+        assert bf.has_link((0, 5), (1, 5 ^ 1))  # cross on bit 0
+        assert bf.has_link((1, 5), (2, 5 ^ 2))  # cross on bit 1
+
+    def test_route_length_is_dim(self):
+        bf = Butterfly(4)
+        path = bf.route(3, 12)
+        assert len(path) == 5
+        assert path[0] == (0, 3)
+        assert path[-1] == (4, 12)
+
+    def test_route_is_valid_walk(self):
+        bf = Butterfly(4)
+        for a, b in [(0, 15), (7, 7), (5, 10)]:
+            bf.validate_path(bf.route(a, b))
+
+    def test_route_fixes_bits_in_level_order(self):
+        bf = Butterfly(3)
+        path = bf.route(0b000, 0b101)
+        rows = [r for _, r in path]
+        assert rows == [0b000, 0b001, 0b001, 0b101]
+
+    def test_route_identity(self):
+        bf = Butterfly(3)
+        path = bf.route(6, 6)
+        assert [r for _, r in path] == [6, 6, 6, 6]
+
+    def test_route_rejects_out_of_range(self):
+        bf = Butterfly(3)
+        with pytest.raises(TopologyError):
+            bf.route(8, 0)
+        with pytest.raises(TopologyError):
+            bf.route(0, -1)
+
+    def test_route_uniqueness_brute_force(self):
+        # The butterfly's defining property: a unique input-output path.
+        import networkx as nx
+
+        bf = Butterfly(3)
+        dg = nx.DiGraph()
+        for (u, v) in bf.graph.edges:
+            lo, hi = (u, v) if u[0] < v[0] else (v, u)
+            dg.add_edge(lo, hi)
+        for out_row in range(8):
+            n_paths = len(
+                list(nx.all_simple_paths(dg, (0, 3), (3, out_row)))
+            )
+            assert n_paths == 1
+
+    def test_level_of(self):
+        assert Butterfly(3).level_of((2, 5)) == 2
+
+    def test_rejects_dim_zero(self):
+        with pytest.raises(TopologyError):
+            Butterfly(0)
+
+    def test_factory(self):
+        assert butterfly(2).dim == 2
+
+
+class TestWrapButterfly:
+    def test_node_count(self):
+        wb = WrapButterfly(3)
+        assert wb.n == 3 * 8
+
+    def test_regular_degree_for_dim_at_least_3(self):
+        wb = WrapButterfly(3)
+        assert all(wb.degree(v) == 4 for v in wb.nodes)
+
+    def test_wrap_edges(self):
+        wb = WrapButterfly(3)
+        assert wb.has_link((2, 0), (0, 0))
+        assert wb.has_link((2, 0), (0, 4))  # cross on bit 2
+
+    def test_connected(self):
+        import networkx as nx
+
+        assert nx.is_connected(WrapButterfly(3).graph)
+
+    def test_factory(self):
+        assert wrap_butterfly(2).dim == 2

@@ -1,0 +1,70 @@
+"""Tests for cube-connected cycles."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.ccc import CubeConnectedCycles, ccc
+from repro.network.symmetric import certify_node_symmetric, is_node_symmetric
+
+
+class TestCCC:
+    def test_size(self):
+        c = CubeConnectedCycles(3)
+        assert c.n == 3 * 8
+
+    def test_degree_three_everywhere(self):
+        c = CubeConnectedCycles(4)
+        assert all(c.degree(v) == 3 for v in c.nodes)
+
+    def test_connected(self):
+        assert nx.is_connected(CubeConnectedCycles(3).graph)
+
+    def test_cycle_neighbors(self):
+        c = CubeConnectedCycles(3)
+        prev, nxt = c.cycle_neighbors((5, 1))
+        assert prev == (5, 0) and nxt == (5, 2)
+        assert c.has_link((5, 1), prev) and c.has_link((5, 1), nxt)
+
+    def test_cube_neighbor(self):
+        c = CubeConnectedCycles(3)
+        assert c.cube_neighbor((0b101, 1)) == (0b111, 1)
+        assert c.has_link((0b101, 1), (0b111, 1))
+
+    def test_translate_is_automorphism(self):
+        c = CubeConnectedCycles(3)
+        for offset in [(0b011, 1), (0b100, 2), (0, 0)]:
+            for u, v in c.graph.edges:
+                assert c.has_link(c.translate(u, offset), c.translate(v, offset)), (
+                    offset,
+                    u,
+                    v,
+                )
+
+    def test_translate_acts_transitively(self):
+        c = CubeConnectedCycles(3)
+        root = (0, 0)
+        images = set()
+        for xor in range(8):
+            for rot in range(3):
+                images.add(c.translate(root, (xor, rot)))
+        assert images == set(c.nodes)
+
+    def test_node_symmetric_by_construction(self):
+        assert is_node_symmetric(CubeConnectedCycles(3))
+        assert certify_node_symmetric(CubeConnectedCycles(4), samples=2, rng=0)
+
+    def test_node_symmetry_verified_by_search(self):
+        # Cross-check the construction shortcut against the generic search
+        # on a fresh Topology wrapper of the same graph.
+        from repro.network.topology import Topology
+
+        c = CubeConnectedCycles(3)
+        assert is_node_symmetric(Topology(c.graph.copy()), exhaustive_limit=24)
+
+    def test_rejects_small_dim(self):
+        with pytest.raises(TopologyError):
+            CubeConnectedCycles(2)
+
+    def test_factory(self):
+        assert ccc(3).dim == 3

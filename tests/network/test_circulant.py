@@ -1,0 +1,90 @@
+"""Tests for circulant graphs."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.circulant import Circulant, circulant, power_of_two_circulant
+from repro.network.symmetric import is_node_symmetric
+
+
+class TestCirculant:
+    def test_ring_as_circulant(self):
+        c = Circulant(8, [1])
+        assert c.n == 8 and c.n_edges == 8
+
+    def test_offsets_canonicalised(self):
+        # Offset 7 on 8 nodes is the same undirected edge set as offset 1.
+        a = Circulant(8, [1])
+        b = Circulant(8, [7])
+        assert a.offsets == b.offsets == (1,)
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+    def test_regular_degree(self):
+        c = Circulant(11, [1, 3])
+        assert all(c.degree(v) == 4 for v in c.nodes)
+
+    def test_node_symmetric_by_construction(self):
+        assert is_node_symmetric(Circulant(10, [1, 2]))
+
+    def test_translate(self):
+        c = Circulant(10, [1, 2])
+        assert c.translate(8, 5) == 3
+
+    def test_translate_is_automorphism(self):
+        c = Circulant(9, [1, 3])
+        for u, v in c.graph.edges:
+            assert c.has_link(c.translate(u, 4), c.translate(v, 4))
+
+    def test_rejects_empty_offsets(self):
+        with pytest.raises(TopologyError):
+            Circulant(8, [0])
+        with pytest.raises(TopologyError):
+            Circulant(8, [8])  # 8 mod 8 == 0
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            Circulant(2, [1])
+
+    def test_factory(self):
+        assert circulant(7, [1, 2]).n == 7
+
+
+class TestGreedyPath:
+    def test_endpoints_and_validity(self):
+        c = power_of_two_circulant(32)
+        for src, dst in [(0, 21), (5, 5 + 17), (30, 3)]:
+            dst %= 32
+            p = c.greedy_path(src, dst)
+            assert p[0] == src and p[-1] == dst
+            c.validate_path(p)
+
+    def test_logarithmic_length(self):
+        c = power_of_two_circulant(64)
+        for dst in range(1, 64):
+            p = c.greedy_path(0, dst)
+            assert len(p) - 1 <= 7  # popcount-ish bound
+
+    def test_translation_invariance(self):
+        c = power_of_two_circulant(32)
+        base = c.greedy_path(0, 13)
+        shifted = c.greedy_path(7, (13 + 7) % 32)
+        assert shifted == [(v + 7) % 32 for v in base]
+
+    def test_identity(self):
+        c = Circulant(8, [1, 2])
+        assert c.greedy_path(3, 3) == [3]
+
+    def test_range_checked(self):
+        c = Circulant(8, [1])
+        with pytest.raises(TopologyError):
+            c.greedy_path(0, 9)
+
+
+class TestPowerOfTwo:
+    def test_diameter_logarithmic(self):
+        c = power_of_two_circulant(64)
+        assert c.diameter <= 7
+
+    def test_connected(self):
+        assert nx.is_connected(power_of_two_circulant(30).graph)

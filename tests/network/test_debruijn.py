@@ -1,0 +1,57 @@
+"""Tests for de Bruijn networks."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.debruijn import DeBruijn, debruijn
+
+
+class TestDeBruijn:
+    def test_size(self):
+        assert DeBruijn(4).n == 16
+
+    def test_connected(self):
+        assert nx.is_connected(DeBruijn(4).graph)
+
+    def test_shift_neighbours(self):
+        db = DeBruijn(4)
+        node = 0b0110
+        assert db.has_link(node, (node << 1) & 0b1111)
+        assert db.has_link(node, ((node << 1) | 1) & 0b1111)
+
+    def test_bounded_degree(self):
+        # In-shifts and out-shifts: at most 4 distinct neighbours.
+        db = DeBruijn(5)
+        assert db.max_degree <= 4
+
+    def test_logarithmic_diameter(self):
+        assert DeBruijn(5).diameter <= 5
+
+    def test_shift_path_endpoints(self):
+        db = DeBruijn(4)
+        p = db.shift_path(0b0011, 0b1100)
+        assert p[0] == 0b0011 and p[-1] == 0b1100
+
+    def test_shift_path_is_valid_walk(self):
+        db = DeBruijn(4)
+        for src, dst in [(0, 15), (5, 10), (3, 3)]:
+            p = db.shift_path(src, dst)
+            if len(p) > 1:
+                db.validate_path(p)
+
+    def test_shift_path_length_at_most_dim(self):
+        db = DeBruijn(5)
+        for src, dst in [(0, 31), (7, 19), (12, 1)]:
+            assert len(db.shift_path(src, dst)) - 1 <= 5
+
+    def test_shift_path_rejects_out_of_range(self):
+        with pytest.raises(TopologyError):
+            DeBruijn(3).shift_path(8, 0)
+
+    def test_rejects_dim_one(self):
+        with pytest.raises(TopologyError):
+            DeBruijn(1)
+
+    def test_factory(self):
+        assert debruijn(3).dim == 3

@@ -1,0 +1,72 @@
+"""Tests for hypercubes."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.hypercube import Hypercube, hypercube
+
+
+class TestHypercube:
+    def test_size_and_regularity(self):
+        h = Hypercube(4)
+        assert h.n == 16
+        assert all(h.degree(v) == 4 for v in h.nodes)
+
+    def test_edge_count(self):
+        h = Hypercube(4)
+        assert h.n_edges == 4 * 16 // 2
+
+    def test_neighbours_at_hamming_distance_one(self):
+        h = Hypercube(4)
+        for nbr in h.neighbors(0b1010):
+            assert bin(nbr ^ 0b1010).count("1") == 1
+
+    def test_diameter_is_dim(self):
+        assert Hypercube(4).diameter == 4
+
+    def test_bit_fixing_path_endpoints(self):
+        h = Hypercube(4)
+        p = h.bit_fixing_path(0b0000, 0b1011)
+        assert p[0] == 0b0000 and p[-1] == 0b1011
+
+    def test_bit_fixing_path_is_shortest(self):
+        h = Hypercube(5)
+        src, dst = 0b00110, 0b11001
+        p = h.bit_fixing_path(src, dst)
+        assert len(p) - 1 == bin(src ^ dst).count("1")
+
+    def test_bit_fixing_path_valid_walk(self):
+        h = Hypercube(4)
+        h.validate_path(h.bit_fixing_path(3, 12))
+
+    def test_bit_fixing_fixes_low_bits_first(self):
+        h = Hypercube(3)
+        p = h.bit_fixing_path(0b000, 0b111)
+        assert p == [0b000, 0b001, 0b011, 0b111]
+
+    def test_bit_fixing_identity(self):
+        assert Hypercube(3).bit_fixing_path(5, 5) == [5]
+
+    def test_bit_fixing_rejects_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).bit_fixing_path(8, 0)
+
+    def test_translate_is_xor(self):
+        h = Hypercube(4)
+        assert h.translate(0b1010, 0b0110) == 0b1100
+
+    def test_translate_is_automorphism(self):
+        h = Hypercube(3)
+        for u, v in h.graph.edges:
+            assert h.has_link(u ^ 5, v ^ 5)
+
+    def test_translate_rejects_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).translate(0, 8)
+
+    def test_rejects_dim_zero(self):
+        with pytest.raises(TopologyError):
+            Hypercube(0)
+
+    def test_factory(self):
+        assert hypercube(3).dim == 3

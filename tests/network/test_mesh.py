@@ -1,0 +1,109 @@
+"""Tests for meshes and tori."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.mesh import Mesh, Torus, mesh, torus
+
+
+class TestMesh:
+    def test_size(self):
+        m = Mesh((3, 4))
+        assert m.n == 12
+        assert m.d == 2
+
+    def test_edge_count_2d(self):
+        # A 3x3 mesh has 2*3*2 = 12 edges.
+        assert Mesh((3, 3)).n_edges == 12
+
+    def test_edge_count_formula(self):
+        # d-dim mesh edges: sum over axes of (side-1) * prod(other sides).
+        m = Mesh((3, 4, 2))
+        expected = (2 * 4 * 2) + (3 * 3 * 2) + (3 * 4 * 1)
+        assert m.n_edges == expected
+
+    def test_neighbours_differ_in_one_axis(self):
+        m = Mesh((4, 4))
+        for nbr in m.neighbors((1, 2)):
+            diffs = [abs(a - b) for a, b in zip((1, 2), nbr)]
+            assert sorted(diffs) == [0, 1]
+
+    def test_corner_degree(self):
+        m = Mesh((4, 4))
+        assert m.degree((0, 0)) == 2
+        assert m.degree((1, 1)) == 4
+
+    def test_diameter(self):
+        assert Mesh((4, 4)).diameter == 6  # (side-1)*d
+
+    def test_one_dimensional_mesh_is_chain(self):
+        m = Mesh((5,))
+        assert m.n == 5 and m.n_edges == 4
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(TopologyError):
+            Mesh(())
+
+    def test_rejects_zero_side(self):
+        with pytest.raises(TopologyError):
+            Mesh((3, 0))
+
+    def test_check_coordinate(self):
+        m = Mesh((3, 3))
+        m.check_coordinate((2, 2))
+        with pytest.raises(TopologyError):
+            m.check_coordinate((3, 0))
+        with pytest.raises(TopologyError):
+            m.check_coordinate((0,))
+
+    def test_factory(self):
+        m = mesh(3, d=3)
+        assert m.dims == (3, 3, 3)
+        assert m.n == 27
+
+
+class TestTorus:
+    def test_regular_degree(self):
+        t = Torus((4, 4))
+        assert all(t.degree(v) == 4 for v in t.nodes)
+
+    def test_edge_count(self):
+        # Every node contributes d edges (wrap-around), no double counting.
+        t = Torus((4, 4))
+        assert t.n_edges == 2 * 16
+
+    def test_wraparound_adjacency(self):
+        t = Torus((4, 4))
+        assert t.has_link((0, 0), (3, 0))
+        assert t.has_link((0, 0), (0, 3))
+
+    def test_diameter(self):
+        assert Torus((4, 4)).diameter == 4  # floor(side/2)*d
+
+    def test_rejects_side_two(self):
+        # Side 2 would create parallel wrap edges that nx collapses.
+        with pytest.raises(TopologyError):
+            Torus((2, 4))
+
+    def test_translate(self):
+        t = Torus((4, 4))
+        assert t.translate((3, 2), (2, 3)) == (1, 1)
+
+    def test_translate_identity(self):
+        t = Torus((5, 5))
+        assert t.translate((2, 3), (0, 0)) == (2, 3)
+
+    def test_translate_is_automorphism(self):
+        t = Torus((3, 4))
+        off = (1, 2)
+        for u, v in t.graph.edges:
+            assert t.has_link(t.translate(u, off), t.translate(v, off))
+
+    def test_translate_rejects_bad_dims(self):
+        t = Torus((3, 3))
+        with pytest.raises(TopologyError):
+            t.translate((0, 0), (1,))
+
+    def test_factory(self):
+        t = torus(3, d=2)
+        assert t.n == 9

@@ -1,0 +1,61 @@
+"""Tests for rings and chains."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.ring import Chain, Ring, chain, ring
+
+
+class TestChain:
+    def test_size_and_edges(self):
+        c = Chain(5)
+        assert c.n == 5 and c.n_edges == 4
+
+    def test_diameter(self):
+        assert Chain(6).diameter == 5
+
+    def test_segment_forward(self):
+        assert Chain(6).segment(1, 4) == [1, 2, 3, 4]
+
+    def test_segment_backward(self):
+        assert Chain(6).segment(4, 1) == [4, 3, 2, 1]
+
+    def test_segment_single(self):
+        assert Chain(6).segment(2, 2) == [2]
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            Chain(1)
+
+    def test_factory(self):
+        assert chain(4).n == 4
+
+
+class TestRing:
+    def test_size_and_edges(self):
+        r = Ring(6)
+        assert r.n == 6 and r.n_edges == 6
+
+    def test_regular_degree(self):
+        r = Ring(5)
+        assert all(r.degree(v) == 2 for v in r.nodes)
+
+    def test_diameter(self):
+        assert Ring(6).diameter == 3
+
+    def test_clockwise_wraps(self):
+        assert Ring(5).clockwise(3, 4) == [3, 4, 0, 1, 2]
+
+    def test_clockwise_zero_hops(self):
+        assert Ring(5).clockwise(2, 0) == [2]
+
+    def test_clockwise_rejects_negative(self):
+        with pytest.raises(TopologyError):
+            Ring(5).clockwise(0, -1)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            Ring(2)
+
+    def test_factory(self):
+        assert ring(7).n == 7

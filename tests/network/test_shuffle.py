@@ -1,0 +1,44 @@
+"""Tests for shuffle-exchange networks."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.shuffle import ShuffleExchange, shuffle_exchange
+
+
+class TestShuffleExchange:
+    def test_size(self):
+        assert ShuffleExchange(4).n == 16
+
+    def test_connected(self):
+        assert nx.is_connected(ShuffleExchange(4).graph)
+
+    def test_exchange_neighbour(self):
+        se = ShuffleExchange(4)
+        assert se.exchange(0b1010) == 0b1011
+        assert se.has_link(0b1010, 0b1011)
+
+    def test_shuffle_neighbour_is_rotation(self):
+        se = ShuffleExchange(4)
+        assert se.shuffle(0b1001) == 0b0011
+        assert se.has_link(0b1001, 0b0011)
+
+    def test_shuffle_of_all_ones_is_self(self):
+        se = ShuffleExchange(3)
+        assert se.shuffle(0b111) == 0b111  # fixed point: no self-loop edge
+
+    def test_bounded_degree(self):
+        assert ShuffleExchange(5).max_degree <= 3
+
+    def test_rejects_dim_one(self):
+        with pytest.raises(TopologyError):
+            ShuffleExchange(1)
+
+    def test_factory(self):
+        assert shuffle_exchange(3).dim == 3
+
+    def test_shuffle_is_bijective(self):
+        se = ShuffleExchange(4)
+        images = {se.shuffle(v) for v in range(16)}
+        assert images == set(range(16))

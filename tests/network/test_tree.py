@@ -1,0 +1,107 @@
+"""Tests for trees and stars."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.tree import BinaryTree, Star, binary_tree, star
+
+
+class TestBinaryTree:
+    def test_size(self):
+        t = BinaryTree(3)
+        assert t.n == 15
+        assert t.n_edges == 14
+
+    def test_root_and_leaves(self):
+        t = BinaryTree(2)
+        assert t.root == 1
+        assert t.leaves == [4, 5, 6, 7]
+
+    def test_diameter(self):
+        assert BinaryTree(3).diameter == 6  # leaf -> root -> leaf
+
+    def test_tree_path_through_lca(self):
+        t = BinaryTree(3)
+        assert t.tree_path(8, 9) == [8, 4, 9]
+        assert t.tree_path(8, 15) == [8, 4, 2, 1, 3, 7, 15]
+
+    def test_tree_path_is_valid(self):
+        t = BinaryTree(3)
+        for src, dst in [(8, 13), (4, 11), (1, 10), (9, 9)]:
+            t.validate_path(t.tree_path(src, dst))
+
+    def test_tree_path_endpoints(self):
+        t = BinaryTree(4)
+        p = t.tree_path(17, 30)
+        assert p[0] == 17 and p[-1] == 30
+
+    def test_tree_path_identity(self):
+        assert BinaryTree(2).tree_path(5, 5) == [5]
+
+    def test_ancestor_descendant_path(self):
+        t = BinaryTree(3)
+        assert t.tree_path(2, 9) == [2, 4, 9]
+        assert t.tree_path(9, 2) == [9, 4, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            BinaryTree(2).tree_path(0, 3)
+
+    def test_height_validated(self):
+        with pytest.raises(TopologyError):
+            BinaryTree(0)
+
+    def test_factory(self):
+        assert binary_tree(2).height == 2
+
+    def test_root_funnels_cross_traffic(self):
+        """The worst-case property: left-right leaf traffic shares the
+        root's two edges, so congestion is Theta(#pairs)."""
+        from repro.paths.collection import PathCollection
+
+        t = BinaryTree(3)
+        left = [l for l in t.leaves if l < 12]
+        right = [l for l in t.leaves if l >= 12]
+        coll = PathCollection(
+            [t.tree_path(a, b) for a, b in zip(left, right)], topology=t
+        )
+        assert coll.edge_congestion == len(left)
+
+
+class TestStar:
+    def test_size(self):
+        s = Star(5)
+        assert s.n == 6
+        assert s.degree(0) == 5
+
+    def test_leaf_path(self):
+        assert Star(4).leaf_path(2, 3) == [2, 0, 3]
+
+    def test_leaf_path_validation(self):
+        s = Star(4)
+        with pytest.raises(TopologyError):
+            s.leaf_path(2, 2)
+        with pytest.raises(TopologyError):
+            s.leaf_path(0, 1)
+
+    def test_diameter(self):
+        assert Star(6).diameter == 2
+
+    def test_size_validated(self):
+        with pytest.raises(TopologyError):
+            Star(1)
+
+    def test_factory(self):
+        assert star(3).n_leaves == 3
+
+    def test_permutation_routing_on_star(self):
+        """Leaf permutations on a star route to completion: the hub's
+        directed links serialise traffic per wavelength."""
+        from repro.core.protocol import route_collection
+        from repro.paths.collection import PathCollection
+
+        s = Star(8)
+        pairs = [(i, (i % 8) + 1) for i in range(1, 9) if i != (i % 8) + 1]
+        coll = PathCollection([s.leaf_path(a, b) for a, b in pairs], topology=s)
+        result = route_collection(coll, bandwidth=2, worm_length=3, rng=0)
+        assert result.completed

@@ -1,0 +1,222 @@
+"""Exhaustive tests of the serve-first / priority contention kernels."""
+
+import pytest
+
+from repro.optics.coupler import (
+    CollisionRule,
+    TieRule,
+    priority_resolve,
+    resolve,
+    serve_first_resolve,
+)
+from repro.optics.signal import Arrival, Occupancy
+
+
+def occ(worm=0, start=0, end=5, priority=0):
+    return Occupancy(worm=worm, start=start, end=end, priority=priority)
+
+
+def arr(worm, length=4, priority=0):
+    return Arrival(worm=worm, length=length, priority=priority)
+
+
+class TestContract:
+    def test_no_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            serve_first_resolve(None, [], now=3)
+
+    def test_stale_occupant_rejected(self):
+        with pytest.raises(ValueError):
+            serve_first_resolve(occ(end=2), [arr(1)], now=5)
+
+    def test_same_time_occupant_rejected(self):
+        # Same-time entries must come in as arrivals, not occupants.
+        with pytest.raises(ValueError):
+            serve_first_resolve(occ(start=5, end=9), [arr(1)], now=5)
+
+    def test_duplicate_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            serve_first_resolve(None, [arr(1), arr(1)], now=3)
+
+    def test_priority_kernel_shares_contract(self):
+        with pytest.raises(ValueError):
+            priority_resolve(occ(end=2), [arr(1)], now=5)
+
+
+class TestServeFirst:
+    def test_idle_single_arrival_wins(self):
+        d = serve_first_resolve(None, [arr(1)], now=3)
+        assert d.winner == 1
+        assert d.eliminated == ()
+        assert not d.truncate_occupant
+
+    def test_busy_link_eliminates_arrival(self):
+        d = serve_first_resolve(occ(worm=9, start=0, end=5), [arr(1)], now=3)
+        assert d.winner is None
+        assert d.eliminated == (1,)
+        assert not d.truncate_occupant
+
+    def test_busy_link_eliminates_all_arrivals(self):
+        d = serve_first_resolve(occ(worm=9, start=0, end=5), [arr(1), arr(2)], now=3)
+        assert d.winner is None
+        assert set(d.eliminated) == {1, 2}
+
+    def test_occupant_never_truncated(self):
+        d = serve_first_resolve(
+            occ(worm=9, start=0, end=5), [arr(1, priority=100)], now=3
+        )
+        assert not d.truncate_occupant
+
+    def test_tie_all_lose(self):
+        d = serve_first_resolve(None, [arr(1), arr(2), arr(3)], now=0)
+        assert d.winner is None
+        assert set(d.eliminated) == {1, 2, 3}
+
+    def test_tie_lowest_id_wins(self):
+        d = serve_first_resolve(
+            None, [arr(5), arr(2), arr(9)], now=0, tie_rule=TieRule.LOWEST_ID_WINS
+        )
+        assert d.winner == 2
+        assert set(d.eliminated) == {5, 9}
+
+    def test_last_occupied_step_still_blocks(self):
+        # The tail crosses during `end`; an arrival at that exact step dies.
+        d = serve_first_resolve(occ(start=0, end=3), [arr(1)], now=3)
+        assert d.eliminated == (1,)
+
+    def test_priorities_ignored(self):
+        d = serve_first_resolve(
+            occ(worm=9, start=0, end=5, priority=0), [arr(1, priority=10)], now=2
+        )
+        assert d.winner is None and d.eliminated == (1,)
+
+
+class TestPriority:
+    def test_idle_single_arrival_wins(self):
+        d = priority_resolve(None, [arr(1, priority=3)], now=2)
+        assert d.winner == 1 and not d.truncate_occupant
+
+    def test_higher_arrival_truncates_occupant(self):
+        d = priority_resolve(
+            occ(worm=9, start=0, end=5, priority=1), [arr(1, priority=2)], now=3
+        )
+        assert d.winner == 1
+        assert d.truncate_occupant
+        assert d.eliminated == ()
+
+    def test_lower_arrival_eliminated(self):
+        d = priority_resolve(
+            occ(worm=9, start=0, end=5, priority=5), [arr(1, priority=2)], now=3
+        )
+        assert d.winner is None
+        assert d.eliminated == (1,)
+        assert not d.truncate_occupant
+
+    def test_best_of_many_arrivals_wins_idle(self):
+        d = priority_resolve(
+            None, [arr(1, priority=1), arr(2, priority=7), arr(3, priority=3)], now=0
+        )
+        assert d.winner == 2
+        assert set(d.eliminated) == {1, 3}
+
+    def test_best_arrival_beats_occupant_others_die(self):
+        d = priority_resolve(
+            occ(worm=9, start=0, end=9, priority=4),
+            [arr(1, priority=1), arr(2, priority=7)],
+            now=3,
+        )
+        assert d.winner == 2
+        assert d.truncate_occupant
+        assert d.eliminated == (1,)
+
+    def test_best_arrival_loses_to_occupant_all_die(self):
+        d = priority_resolve(
+            occ(worm=9, start=0, end=9, priority=8),
+            [arr(1, priority=1), arr(2, priority=7)],
+            now=3,
+        )
+        assert d.winner is None
+        assert set(d.eliminated) == {1, 2}
+        assert not d.truncate_occupant
+
+    def test_arrival_tie_all_lose(self):
+        d = priority_resolve(None, [arr(1, priority=3), arr(2, priority=3)], now=0)
+        assert d.winner is None
+        assert set(d.eliminated) == {1, 2}
+
+    def test_arrival_tie_garbles_weaker_occupant(self):
+        d = priority_resolve(
+            occ(worm=9, start=0, end=9, priority=2),
+            [arr(1, priority=3), arr(2, priority=3)],
+            now=4,
+        )
+        assert d.winner is None
+        assert d.truncate_occupant
+
+    def test_arrival_tie_spares_stronger_occupant(self):
+        d = priority_resolve(
+            occ(worm=9, start=0, end=9, priority=5),
+            [arr(1, priority=3), arr(2, priority=3)],
+            now=4,
+        )
+        assert d.winner is None
+        assert not d.truncate_occupant
+
+    def test_arrival_tie_lowest_id_wins_mode(self):
+        d = priority_resolve(
+            None,
+            [arr(5, priority=3), arr(2, priority=3)],
+            now=0,
+            tie_rule=TieRule.LOWEST_ID_WINS,
+        )
+        assert d.winner == 2
+
+    def test_occupant_tie_all_lose_truncates(self):
+        d = priority_resolve(
+            occ(worm=9, start=0, end=9, priority=3), [arr(1, priority=3)], now=4
+        )
+        assert d.winner is None
+        assert d.eliminated == (1,)
+        assert d.truncate_occupant
+
+    def test_occupant_tie_lowest_id_arrival_wins(self):
+        d = priority_resolve(
+            occ(worm=9, start=0, end=9, priority=3),
+            [arr(1, priority=3)],
+            now=4,
+            tie_rule=TieRule.LOWEST_ID_WINS,
+        )
+        assert d.winner == 1
+        assert d.truncate_occupant
+
+    def test_occupant_tie_lowest_id_occupant_wins(self):
+        d = priority_resolve(
+            occ(worm=0, start=0, end=9, priority=3),
+            [arr(1, priority=3)],
+            now=4,
+            tie_rule=TieRule.LOWEST_ID_WINS,
+        )
+        assert d.winner is None
+        assert d.eliminated == (1,)
+        assert not d.truncate_occupant
+
+
+class TestDispatch:
+    def test_resolve_serve_first(self):
+        d = resolve(CollisionRule.SERVE_FIRST, None, [arr(1)], now=0)
+        assert d.winner == 1
+
+    def test_resolve_priority(self):
+        d = resolve(
+            CollisionRule.PRIORITY,
+            occ(worm=9, priority=0, start=0, end=9),
+            [arr(1, priority=5)],
+            now=3,
+        )
+        assert d.winner == 1 and d.truncate_occupant
+
+    def test_decision_rejects_winner_in_eliminated(self):
+        from repro.optics.coupler import Decision
+
+        with pytest.raises(ValueError):
+            Decision(winner=1, eliminated=(1, 2))

@@ -1,0 +1,44 @@
+"""Tests for occupancy/arrival records."""
+
+import pytest
+
+from repro.optics.signal import Arrival, Occupancy
+
+
+class TestOccupancy:
+    def test_active_window_inclusive(self):
+        occ = Occupancy(worm=1, start=5, end=8)
+        assert not occ.active_at(4)
+        assert occ.active_at(5)
+        assert occ.active_at(8)
+        assert not occ.active_at(9)
+
+    def test_mid_transmission_excludes_start(self):
+        # "Already traversing" requires strictly earlier entry.
+        occ = Occupancy(worm=1, start=5, end=8)
+        assert not occ.mid_transmission_at(5)
+        assert occ.mid_transmission_at(6)
+        assert occ.mid_transmission_at(8)
+        assert not occ.mid_transmission_at(9)
+
+    def test_single_flit_occupancy(self):
+        occ = Occupancy(worm=0, start=3, end=3)
+        assert occ.active_at(3)
+        assert not occ.mid_transmission_at(3)
+        assert not occ.mid_transmission_at(4)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            Occupancy(worm=0, start=5, end=4)
+
+
+class TestArrival:
+    def test_positive_length_required(self):
+        with pytest.raises(ValueError):
+            Arrival(worm=0, length=0)
+        with pytest.raises(ValueError):
+            Arrival(worm=0, length=-3)
+
+    def test_defaults(self):
+        a = Arrival(worm=7, length=4)
+        assert a.priority == 0

@@ -1,0 +1,103 @@
+"""Tests for elementary vs generalized switch models (Fig. 2-3)."""
+
+import pytest
+
+from repro.optics.switch import (
+    ElementarySwitch,
+    GeneralizedSwitch,
+    SwitchKind,
+    make_switch,
+)
+
+
+class TestElementary:
+    def test_all_wavelengths_follow_input(self):
+        sw = ElementarySwitch(2, 2, bandwidth=4)
+        sw.configure({0: 1, 1: 0})
+        assert all(sw.route(0, wl) == 1 for wl in range(4))
+        assert all(sw.route(1, wl) == 0 for wl in range(4))
+
+    def test_cannot_separate_wavelengths(self):
+        assert not ElementarySwitch(2, 2, 4).can_separate_wavelengths()
+
+    def test_unconfigured_input_rejected(self):
+        sw = ElementarySwitch(2, 2, 2)
+        sw.configure({0: 0})
+        with pytest.raises(ValueError):
+            sw.route(1, 0)
+
+    def test_out_of_range_ports_rejected(self):
+        sw = ElementarySwitch(2, 2, 2)
+        with pytest.raises(ValueError):
+            sw.configure({0: 5})
+        with pytest.raises(ValueError):
+            sw.configure({9: 0})
+
+    def test_out_of_range_wavelength_rejected(self):
+        sw = ElementarySwitch(2, 2, 2)
+        sw.configure({0: 0})
+        with pytest.raises(ValueError):
+            sw.route(0, 2)
+
+    def test_two_by_two_has_four_configurations(self):
+        # Figure 2: straight, cross, and the two broadcastless fan-ins.
+        assert ElementarySwitch.configuration_count(2, 2) == 4
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ElementarySwitch(0, 2, 2)
+        with pytest.raises(ValueError):
+            ElementarySwitch(2, 2, 0)
+
+
+class TestGeneralized:
+    def test_wavelengths_can_diverge(self):
+        sw = GeneralizedSwitch(1, 2, bandwidth=2)
+        sw.configure({(0, 0): 0, (0, 1): 1})
+        assert sw.route(0, 0) == 0
+        assert sw.route(0, 1) == 1
+
+    def test_can_separate_wavelengths(self):
+        assert GeneralizedSwitch(2, 2, 2).can_separate_wavelengths()
+
+    def test_set_route_overrides(self):
+        sw = GeneralizedSwitch(1, 2, 2)
+        sw.set_route(0, 0, 0)
+        sw.set_route(0, 0, 1)
+        assert sw.route(0, 0) == 1
+
+    def test_unconfigured_pair_rejected(self):
+        sw = GeneralizedSwitch(1, 2, 2)
+        sw.set_route(0, 0, 1)
+        with pytest.raises(ValueError):
+            sw.route(0, 1)
+
+    def test_configuration_count_dominates_elementary(self):
+        # A generalized switch strictly contains the elementary behaviour.
+        ge = GeneralizedSwitch.configuration_count(2, 2, bandwidth=3)
+        el = ElementarySwitch.configuration_count(2, 2)
+        assert ge == 2 ** (2 * 3)
+        assert ge > el
+
+    def test_bad_wavelength_in_configure(self):
+        sw = GeneralizedSwitch(1, 2, 2)
+        with pytest.raises(ValueError):
+            sw.configure({(0, 5): 1})
+
+
+class TestFactory:
+    def test_make_elementary(self):
+        assert isinstance(
+            make_switch(SwitchKind.ELEMENTARY, 2, 2, 2), ElementarySwitch
+        )
+
+    def test_make_generalized(self):
+        assert isinstance(
+            make_switch(SwitchKind.GENERALIZED, 2, 2, 2), GeneralizedSwitch
+        )
+
+    def test_kind_attributes(self):
+        assert make_switch(SwitchKind.ELEMENTARY, 1, 1, 1).kind is SwitchKind.ELEMENTARY
+        assert (
+            make_switch(SwitchKind.GENERALIZED, 1, 1, 1).kind is SwitchKind.GENERALIZED
+        )

@@ -1,0 +1,89 @@
+"""Tests for wavelength bands and the message/ack split."""
+
+import numpy as np
+import pytest
+
+from repro.optics.wavelength import Band, WavelengthAllocation, split_band
+
+
+class TestBand:
+    def test_contains_range(self):
+        b = Band(4, offset=2)
+        assert 2 in b and 5 in b
+        assert 1 not in b and 6 not in b
+
+    def test_len_and_iter(self):
+        b = Band(3, offset=5)
+        assert len(b) == 3
+        assert list(b) == [5, 6, 7]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Band(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Band(-2)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            Band(3, offset=-1)
+
+    def test_sample_scalar_in_band(self):
+        b = Band(5, offset=10)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert b.sample(rng) in b
+
+    def test_sample_vector_in_band(self):
+        b = Band(5, offset=10)
+        samples = b.sample(np.random.default_rng(0), n=200)
+        assert samples.shape == (200,)
+        assert ((samples >= 10) & (samples < 15)).all()
+
+    def test_sample_covers_all_channels(self):
+        b = Band(4)
+        samples = b.sample(np.random.default_rng(1), n=400)
+        assert set(samples.tolist()) == {0, 1, 2, 3}
+
+    def test_sample_accepts_int_seed(self):
+        assert Band(8).sample(7) in Band(8)
+
+    def test_overlap_detection(self):
+        assert Band(4, 0).overlaps(Band(4, 3))
+        assert not Band(4, 0).overlaps(Band(4, 4))
+        assert Band(10, 0).overlaps(Band(2, 5))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Band(4, 0), Band(4, 2)
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestAllocation:
+    def test_split_band_halves(self):
+        alloc = split_band(8)
+        assert alloc.message == Band(4, 0)
+        assert alloc.ack == Band(4, 4)
+        assert alloc.bandwidth == 4
+
+    def test_split_band_disjoint(self):
+        alloc = split_band(6)
+        assert not alloc.message.overlaps(alloc.ack)
+
+    def test_split_band_rejects_odd(self):
+        with pytest.raises(ValueError):
+            split_band(5)
+
+    def test_split_band_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            split_band(0)
+        with pytest.raises(ValueError):
+            split_band(-4)
+
+    def test_overlapping_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            WavelengthAllocation(message=Band(4, 0), ack=Band(4, 2))
+
+    def test_allocation_bandwidth_is_message_size(self):
+        alloc = WavelengthAllocation(message=Band(3, 0), ack=Band(5, 3))
+        assert alloc.bandwidth == 3

@@ -1,0 +1,168 @@
+"""Tests for the lower-bound gadget constructions (Sections 2.2 / 3.2)."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.paths.gadgets import (
+    leveled_lower_bound_instance,
+    shortcut_lower_bound_instance,
+    type1_staircase,
+    type1_triangle,
+    type2_bundle,
+)
+from repro.paths.properties import is_leveled, is_short_cut_free
+
+
+class TestStaircase:
+    @pytest.mark.parametrize("L", [2, 3, 4, 5, 7])
+    def test_leveled_and_short_cut_free(self, L):
+        g = type1_staircase(k=4, D=16, L=L)
+        assert is_leveled(g.collection)
+        assert is_short_cut_free(g.collection)
+
+    def test_path_count_and_length(self):
+        g = type1_staircase(k=5, D=12, L=4)
+        assert g.collection.n == 5
+        assert g.collection.dilation == 12
+        assert g.collection.min_length == 12
+
+    def test_neighbours_share_exactly_one_link(self):
+        g = type1_staircase(k=4, D=16, L=4)
+        for i in range(3):
+            a = set(zip(g.collection[i], g.collection[i][1:]))
+            b = set(zip(g.collection[i + 1], g.collection[i + 1][1:]))
+            assert len(a & b) == 1
+
+    def test_non_neighbours_share_no_link(self):
+        g = type1_staircase(k=5, D=20, L=4)
+        for i in range(5):
+            for j in range(i + 2, 5):
+                a = set(zip(g.collection[i], g.collection[i][1:]))
+                b = set(zip(g.collection[j], g.collection[j][1:]))
+                assert not (a & b), (i, j)
+
+    def test_shared_edge_positions_follow_stagger(self):
+        # The paper: shared edge sits at position d on path i, 0 on path i+1.
+        L = 5
+        d = (L - 1) // 2 + 1
+        g = type1_staircase(k=3, D=12, L=L)
+        p1, p2 = g.collection[0], g.collection[1]
+        shared = set(zip(p1, p1[1:])) & set(zip(p2, p2[1:]))
+        (edge,) = shared
+        assert p1.index(edge[0]) == d
+        assert p2.index(edge[0]) == 0
+
+    def test_path_congestion(self):
+        g = type1_staircase(k=5, D=20, L=4)
+        # Middle paths touch both neighbours: congestion 3 (incl. self).
+        assert g.collection.path_congestion == 3
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PathError):
+            type1_staircase(k=3, D=1, L=5)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(PathError):
+            type1_staircase(k=0, D=10, L=4)
+
+    def test_L2_degenerate_chain_still_valid(self):
+        g = type1_staircase(k=4, D=10, L=2)
+        assert is_leveled(g.collection)
+        assert is_short_cut_free(g.collection)
+
+
+class TestTriangle:
+    @pytest.mark.parametrize("L", [2, 3, 4, 5, 8])
+    def test_short_cut_free_not_leveled(self, L):
+        g = type1_triangle(D=12, L=L)
+        assert is_short_cut_free(g.collection)
+        assert not is_leveled(g.collection)
+
+    def test_three_paths_of_length_D(self):
+        g = type1_triangle(D=10, L=4)
+        assert g.collection.n == 3
+        assert g.collection.dilation == 10
+        assert g.collection.min_length == 10
+
+    def test_pairwise_one_shared_link(self):
+        g = type1_triangle(D=12, L=6)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                a = set(zip(g.collection[i], g.collection[i][1:]))
+                b = set(zip(g.collection[j], g.collection[j][1:]))
+                assert len(a & b) == 1
+
+    def test_shared_edge_offsets(self):
+        # Early at s, late at s + floor(L/2): the blocking-window geometry.
+        L, s = 6, 2
+        g = type1_triangle(D=14, L=L, s=s)
+        p0, p1 = g.collection[0], g.collection[1]
+        shared = set(zip(p0, p0[1:])) & set(zip(p1, p1[1:]))
+        (edge,) = shared
+        assert p0.index(edge[0]) == s
+        assert p1.index(edge[0]) == s + L // 2
+
+    def test_worm_length_one_rejected(self):
+        with pytest.raises(PathError):
+            type1_triangle(D=10, L=1)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PathError):
+            type1_triangle(D=2, L=8)
+
+    def test_negative_s_rejected(self):
+        with pytest.raises(PathError):
+            type1_triangle(D=10, L=4, s=-1)
+
+
+class TestBundle:
+    def test_identical_paths(self):
+        g = type2_bundle(congestion=6, D=8)
+        assert g.collection.n == 6
+        assert len(set(g.collection.paths)) == 1
+
+    def test_congestion_equals_bundle_size(self):
+        g = type2_bundle(congestion=9, D=5)
+        assert g.collection.path_congestion == 9
+        assert g.collection.edge_congestion == 9
+
+    def test_leveled_and_short_cut_free(self):
+        g = type2_bundle(congestion=4, D=6)
+        assert is_leveled(g.collection)
+        assert is_short_cut_free(g.collection)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(PathError):
+            type2_bundle(congestion=0, D=5)
+        with pytest.raises(PathError):
+            type2_bundle(congestion=3, D=0)
+
+
+class TestAssembledInstances:
+    def test_leveled_instance_structure(self):
+        inst = leveled_lower_bound_instance(n=64, D=12, L=4, congestion=8)
+        assert is_leveled(inst.collection)
+        assert is_short_cut_free(inst.collection)
+        assert inst.groups  # per-structure worm ids present
+
+    def test_leveled_instance_groups_partition(self):
+        inst = leveled_lower_bound_instance(n=64, D=12, L=4, congestion=8)
+        seen = sorted(uid for uids in inst.groups.values() for uid in uids)
+        assert seen == list(range(inst.collection.n))
+
+    def test_shortcut_instance_structure(self):
+        inst = shortcut_lower_bound_instance(n=36, D=12, L=4, congestion=6)
+        assert is_short_cut_free(inst.collection)
+        assert not is_leveled(inst.collection)
+
+    def test_structures_are_node_disjoint(self):
+        inst = shortcut_lower_bound_instance(n=24, D=10, L=4, congestion=4)
+        node_owner: dict = {}
+        for label, uids in inst.groups.items():
+            for uid in uids:
+                for node in inst.collection[uid]:
+                    assert node_owner.setdefault(node, label) == label
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(PathError):
+            leveled_lower_bound_instance(n=1, D=10, L=4, congestion=4)

@@ -1,0 +1,73 @@
+"""Tests for the adversarial permutation generators."""
+
+import pytest
+
+from repro.paths.problems import bit_reversal_permutation, transpose_permutation
+
+
+class TestTranspose:
+    def test_is_involution(self):
+        pairs = dict(transpose_permutation(5))
+        for src, dst in pairs.items():
+            assert pairs.get(dst, src[::-1]) == src or dst[::-1] == src
+
+    def test_diagonal_dropped(self):
+        pairs = transpose_permutation(4)
+        assert all(s != t for s, t in pairs)
+        assert len(pairs) == 16 - 4
+
+    def test_maps_coordinates(self):
+        pairs = dict(transpose_permutation(3))
+        assert pairs[(0, 2)] == (2, 0)
+        assert pairs[(1, 0)] == (0, 1)
+
+    def test_side_validated(self):
+        with pytest.raises(ValueError):
+            transpose_permutation(1)
+
+    def test_dimension_order_congestion_grows_with_side(self):
+        from repro.network.mesh import Mesh
+        from repro.paths.selection import mesh_path_collection
+
+        def congestion(side):
+            m = Mesh((side, side))
+            return mesh_path_collection(m, transpose_permutation(side)).path_congestion
+
+        assert congestion(10) > congestion(5)
+
+
+class TestBitReversal:
+    def test_is_involution(self):
+        pairs = dict(bit_reversal_permutation(5))
+        for x, y in pairs.items():
+            assert pairs[y] == x
+
+    def test_palindromes_dropped(self):
+        pairs = bit_reversal_permutation(3)
+        srcs = {s for s, _ in pairs}
+        assert 0b000 not in srcs  # palindrome
+        assert 0b010 not in srcs
+        assert 0b101 not in srcs
+        assert 0b111 not in srcs
+
+    def test_reverses_bits(self):
+        pairs = dict(bit_reversal_permutation(4))
+        assert pairs[0b0001] == 0b1000
+        assert pairs[0b0011] == 0b1100
+
+    def test_dim_validated(self):
+        with pytest.raises(ValueError):
+            bit_reversal_permutation(0)
+
+    def test_bit_fixing_congestion_doubles_per_dim(self):
+        from repro.network.hypercube import Hypercube
+        from repro.paths.selection import hypercube_path_collection
+
+        def congestion(dim):
+            h = Hypercube(dim)
+            return hypercube_path_collection(
+                h, bit_reversal_permutation(dim)
+            ).path_congestion
+
+        # The classic sqrt(n) growth: C~ doubles every added dimension.
+        assert congestion(8) == 2 * congestion(6) == 4 * congestion(4)

@@ -1,0 +1,66 @@
+"""Tests for routing-problem generators."""
+
+import pytest
+
+from repro.network.ring import Ring
+from repro.paths.problems import (
+    pairs_to_paths,
+    random_function,
+    random_permutation,
+    random_q_function,
+)
+
+
+class TestRandomFunction:
+    def test_sources_cover_nodes(self):
+        nodes = list(range(20))
+        pairs = random_function(nodes, rng=0, keep_fixed_points=True)
+        assert [s for s, _ in pairs] == nodes
+
+    def test_fixed_points_dropped_by_default(self):
+        pairs = random_function(list(range(50)), rng=0)
+        assert all(s != t for s, t in pairs)
+
+    def test_targets_in_node_set(self):
+        nodes = ["a", "b", "c", "d"]
+        pairs = random_function(nodes, rng=1)
+        assert all(t in nodes for _, t in pairs)
+
+    def test_deterministic_given_seed(self):
+        nodes = list(range(30))
+        assert random_function(nodes, rng=7) == random_function(nodes, rng=7)
+
+
+class TestRandomQFunction:
+    def test_q_messages_per_node(self):
+        nodes = list(range(10))
+        pairs = random_q_function(nodes, q=3, rng=0, keep_fixed_points=True)
+        assert len(pairs) == 30
+        counts = {n: 0 for n in nodes}
+        for s, _ in pairs:
+            counts[s] += 1
+        assert all(c == 3 for c in counts.values())
+
+    def test_rejects_non_positive_q(self):
+        with pytest.raises(ValueError):
+            random_q_function([1, 2], q=0)
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        nodes = list(range(25))
+        pairs = random_permutation(nodes, rng=0, keep_fixed_points=True)
+        assert sorted(t for _, t in pairs) == nodes
+
+    def test_fixed_points_dropped_by_default(self):
+        pairs = random_permutation(list(range(40)), rng=0)
+        assert all(s != t for s, t in pairs)
+
+
+class TestPairsToPaths:
+    def test_glues_generator_and_selector(self):
+        r = Ring(6)
+        pairs = [(0, 2), (3, 5)]
+        pc = pairs_to_paths(pairs, lambda s, t: r.shortest_path(s, t), topology=r)
+        assert pc.n == 2
+        assert pc.sources() == [0, 3]

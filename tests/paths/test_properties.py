@@ -1,0 +1,123 @@
+"""Tests for leveled / short-cut-free / meet-once checkers."""
+
+import pytest
+
+from repro.paths.collection import PathCollection
+from repro.paths.properties import (
+    all_pairs_meet_once,
+    compute_leveling,
+    is_leveled,
+    is_short_cut_free,
+    meets_separates_remeets,
+    shortcut_violations,
+)
+
+
+class TestLeveling:
+    def test_single_path_is_leveled(self):
+        pc = PathCollection([["a", "b", "c"]])
+        res = compute_leveling(pc)
+        assert res.ok
+        assert [res.levels[x] for x in "abc"] == [0, 1, 2]
+
+    def test_parallel_paths_leveled_independently(self):
+        pc = PathCollection([["a", "b"], ["x", "y", "z"]])
+        res = compute_leveling(pc)
+        assert res.ok
+        assert res.levels["a"] == 0 and res.levels["x"] == 0
+
+    def test_staggered_overlap_leveled(self):
+        # Second path joins the first mid-way: consistent offsets exist.
+        pc = PathCollection([["a", "b", "c", "d"], ["x", "b", "c", "y"]])
+        res = compute_leveling(pc)
+        assert res.ok
+        assert res.levels["x"] == 0 and res.levels["b"] == 1
+
+    def test_conflicting_offsets_not_leveled(self):
+        # Path 2 reaches b->c with a different relative offset via shared d.
+        pc = PathCollection(
+            [["a", "b", "c", "d"], ["b", "x", "y", "c"]]  # b->c dist 1 vs 3
+        )
+        res = compute_leveling(pc)
+        assert not res.ok
+        assert res.conflict is not None
+
+    def test_opposite_traversal_not_leveled(self):
+        pc = PathCollection([["a", "b"], ["b", "a"]])
+        assert not is_leveled(pc)
+
+    def test_levels_normalised_to_zero(self):
+        pc = PathCollection([["a", "b", "c"]])
+        levels = compute_leveling(pc).levels
+        assert min(levels.values()) == 0
+
+    def test_triangle_cycle_not_leveled(self):
+        pc = PathCollection([["a", "b"], ["b", "c"], ["c", "a"]])
+        assert not is_leveled(pc)
+
+
+class TestShortcutFree:
+    def test_disjoint_paths_free(self):
+        pc = PathCollection([["a", "b"], ["x", "y"]])
+        assert is_short_cut_free(pc)
+
+    def test_identical_paths_free(self):
+        pc = PathCollection([["a", "b", "c"]] * 3)
+        assert is_short_cut_free(pc)
+
+    def test_contiguous_overlap_free(self):
+        pc = PathCollection([["a", "b", "c", "d"], ["x", "b", "c", "y"]])
+        assert is_short_cut_free(pc)
+
+    def test_actual_shortcut_detected(self):
+        # Path 1 goes u..v in 3 hops, path 2 shortcuts u->v in 1 hop.
+        pc = PathCollection([["u", "p", "q", "v"], ["u", "v", "w"]])
+        assert not is_short_cut_free(pc)
+        v = shortcut_violations(pc)[0]
+        assert {v.u, v.v} == {"u", "v"}
+        assert {v.length_a, v.length_b} == {1, 3}
+
+    def test_opposite_order_is_not_a_shortcut(self):
+        # Common nodes in opposite orders cannot shortcut each other.
+        pc = PathCollection([["u", "m", "v"], ["v", "n", "u"]])
+        assert is_short_cut_free(pc)
+
+    def test_max_violations_limits_output(self):
+        paths = [["u", "p", "q", "v"], ["u", "v", "w"], ["u", "r", "v"]]
+        pc = PathCollection(paths)
+        assert len(shortcut_violations(pc, max_violations=1)) == 1
+        assert len(shortcut_violations(pc, max_violations=None)) >= 2
+
+    def test_non_simple_path_raises(self):
+        pc = PathCollection([["a", "b", "a"], ["a", "b"]], require_simple=False)
+        with pytest.raises(Exception):
+            shortcut_violations(pc)
+
+
+class TestMeetOnce:
+    def test_contiguous_meeting(self):
+        assert not meets_separates_remeets(
+            ("a", "b", "c", "d"), ("x", "b", "c", "y")
+        )
+
+    def test_meet_separate_remeet(self):
+        assert meets_separates_remeets(
+            ("a", "b", "x", "c", "d"), ("b", "y", "c")
+        )
+
+    def test_no_meeting_at_all(self):
+        assert not meets_separates_remeets(("a", "b"), ("x", "y"))
+
+    def test_all_pairs_meet_once_positive(self):
+        pc = PathCollection([["a", "b", "c"], ["x", "b", "y"], ["p", "q"]])
+        assert all_pairs_meet_once(pc)
+
+    def test_all_pairs_meet_once_negative(self):
+        pc = PathCollection([["a", "b", "x", "c"], ["b", "y", "c"]])
+        assert not all_pairs_meet_once(pc)
+
+    def test_meet_once_implies_short_cut_free(self):
+        # The paper's sufficient condition, spot-checked.
+        pc = PathCollection([["a", "b", "c", "d"], ["x", "b", "c", "y"]])
+        assert all_pairs_meet_once(pc)
+        assert is_short_cut_free(pc)

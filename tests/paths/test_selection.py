@@ -1,0 +1,158 @@
+"""Tests for path selection strategies."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.network.butterfly import Butterfly
+from repro.network.hypercube import Hypercube
+from repro.network.mesh import Mesh, Torus
+from repro.paths.properties import is_leveled, is_short_cut_free
+from repro.paths.selection import (
+    butterfly_path_collection,
+    dimension_order_path,
+    hypercube_path_collection,
+    mesh_path_collection,
+    shortest_path_system,
+    torus_dimension_order_path,
+    torus_path_collection,
+    translated_path,
+    valiant_intermediate_pairs,
+)
+
+
+class TestDimensionOrder:
+    def test_endpoints(self):
+        p = dimension_order_path((0, 0), (2, 3))
+        assert p[0] == (0, 0) and p[-1] == (2, 3)
+
+    def test_length_is_l1_distance(self):
+        p = dimension_order_path((1, 4), (3, 1))
+        assert len(p) - 1 == 2 + 3
+
+    def test_order_respected(self):
+        p = dimension_order_path((0, 0), (2, 2), order=(1, 0))
+        # Axis 1 first: (0,0)->(0,1)->(0,2)->(1,2)->(2,2)
+        assert p[1] == (0, 1)
+
+    def test_identity(self):
+        assert dimension_order_path((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_decreasing_coordinates(self):
+        p = dimension_order_path((3,), (0,))
+        assert p == [(3,), (2,), (1,), (0,)]
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(PathError):
+            dimension_order_path((0, 0), (1,))
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(PathError):
+            dimension_order_path((0, 0), (1, 1), order=(0, 0))
+
+    def test_collection_valid_on_mesh(self):
+        m = Mesh((4, 4))
+        pairs = [((0, 0), (3, 3)), ((3, 0), (0, 3))]
+        pc = mesh_path_collection(m, pairs)
+        assert pc.n == 2
+        assert is_short_cut_free(pc)
+
+    def test_mesh_collection_is_short_cut_free_many(self):
+        m = Mesh((3, 3))
+        pairs = [(s, t) for s in m.nodes for t in m.nodes if s != t]
+        pc = mesh_path_collection(m, pairs[:30])
+        assert is_short_cut_free(pc)
+
+
+class TestTorusDimensionOrder:
+    def test_takes_short_way_around(self):
+        t = Torus((8, 8))
+        p = torus_dimension_order_path(t, (0, 0), (7, 0))
+        assert len(p) - 1 == 1  # wraps instead of 7 steps
+
+    def test_endpoints(self):
+        t = Torus((5, 5))
+        p = torus_dimension_order_path(t, (1, 2), (4, 0))
+        assert p[0] == (1, 2) and p[-1] == (4, 0)
+
+    def test_translation_invariance(self):
+        # The system property behind Theorem 1.5: shifting source and
+        # destination shifts the path pointwise.
+        t = Torus((5, 5))
+        base = torus_dimension_order_path(t, (0, 0), (2, 3))
+        shifted = torus_dimension_order_path(t, (1, 4), (3, 2))
+        assert shifted == [t.translate(v, (1, 4)) for v in base]
+
+    def test_path_length_at_most_diameter(self):
+        t = Torus((6, 6))
+        for dst in [(3, 3), (5, 1), (2, 4)]:
+            p = torus_dimension_order_path(t, (0, 0), dst)
+            assert len(p) - 1 <= t.diameter
+
+    def test_collection_short_cut_free(self):
+        t = Torus((4, 4))
+        pairs = [((0, 0), (2, 2)), ((1, 0), (3, 2)), ((0, 1), (2, 3))]
+        pc = torus_path_collection(t, pairs)
+        assert is_short_cut_free(pc)
+
+
+class TestButterflyPaths:
+    def test_collection_is_leveled(self):
+        bf = Butterfly(3)
+        pc = butterfly_path_collection(bf, [(0, 5), (3, 3), (7, 1)])
+        assert is_leveled(pc)
+
+    def test_all_lengths_equal_dim(self):
+        bf = Butterfly(4)
+        pc = butterfly_path_collection(bf, [(0, 9), (5, 5)])
+        assert pc.dilation == 4 and pc.min_length == 4
+
+    def test_collection_short_cut_free(self):
+        bf = Butterfly(3)
+        pairs = [(i, (i * 3 + 1) % 8) for i in range(8)]
+        pc = butterfly_path_collection(bf, pairs)
+        assert is_short_cut_free(pc)
+
+
+class TestHypercubePaths:
+    def test_collection(self):
+        h = Hypercube(4)
+        pc = hypercube_path_collection(h, [(0, 15), (3, 12)])
+        assert pc.n == 2
+
+    def test_self_pair_rejected(self):
+        h = Hypercube(3)
+        with pytest.raises(PathError):
+            hypercube_path_collection(h, [(2, 2)])
+
+
+class TestValiant:
+    def test_splits_pairs(self):
+        nodes = list(range(10))
+        out = valiant_intermediate_pairs([(0, 9), (1, 8)], nodes, rng=0)
+        assert len(out) == 4
+        assert out[0][0] == 0 and out[1][1] == 9
+        assert out[0][1] == out[1][0]  # shared intermediate
+
+    def test_intermediates_vary(self):
+        nodes = list(range(100))
+        out = valiant_intermediate_pairs([(0, 1)] * 50, nodes, rng=0)
+        mids = {out[2 * i][1] for i in range(50)}
+        assert len(mids) > 10
+
+
+class TestPathSystem:
+    def test_shortest_path_system_complete(self):
+        from repro.network.ring import Ring
+
+        r = Ring(5)
+        system = shortest_path_system(r)
+        assert len(system) == 5 * 4
+        for (s, t), path in system.items():
+            assert path[0] == s and path[-1] == t
+            r.validate_path(path)
+
+    def test_translated_path(self):
+        t = Torus((4, 4))
+        canonical = [(0, 0), (1, 0), (1, 1)]
+        out = translated_path(canonical, t.translate, (2, 2))
+        assert out == [(2, 2), (3, 2), (3, 3)]

@@ -1,0 +1,70 @@
+"""Differential tests with dead links (fault injection)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import RoutingEngine
+from repro.core.reference import reference_run_round
+from repro.optics.coupler import CollisionRule, TieRule
+from repro.worms.worm import Launch, Worm
+
+NODES = 5
+
+
+@st.composite
+def fault_instances(draw):
+    n_worms = draw(st.integers(1, 4))
+    L = draw(st.integers(1, 4))
+    worms, launches = [], []
+    ranks = draw(st.permutations(range(n_worms)))
+    all_links: set[tuple] = set()
+    for uid in range(n_worms):
+        path = draw(
+            st.lists(st.integers(0, NODES - 1), min_size=2, max_size=NODES,
+                     unique=True)
+        )
+        worms.append(Worm(uid=uid, path=tuple(path), length=L))
+        all_links.update(zip(path, path[1:]))
+        launches.append(
+            Launch(
+                worm=uid,
+                delay=draw(st.integers(0, 4)),
+                wavelength=draw(st.integers(0, 1)),
+                priority=int(ranks[uid]),
+            )
+        )
+    links = sorted(all_links)
+    n_dead = draw(st.integers(0, len(links)))
+    dead = draw(st.permutations(links))[:n_dead]
+    return worms, launches, list(dead)
+
+
+class TestDifferentialFaults:
+    @given(fault_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_engines_agree_with_dead_links(self, inst):
+        worms, launches, dead = inst
+        for rule in (CollisionRule.SERVE_FIRST, CollisionRule.PRIORITY):
+            fast = RoutingEngine(worms, rule, TieRule.ALL_LOSE).run_round(
+                launches, collect_collisions=False, dead_links=dead
+            )
+            slow = reference_run_round(
+                worms, launches, rule, TieRule.ALL_LOSE, dead_links=dead
+            )
+            for uid in fast.outcomes:
+                f, s = fast.outcomes[uid], slow.outcomes[uid]
+                assert f.delivered == s.delivered, (uid, f, s)
+                assert f.failure == s.failure, (uid, f, s)
+                assert f.failed_at_link == s.failed_at_link, (uid, f, s)
+                assert f.delivered_flits == s.delivered_flits, (uid, f, s)
+
+    @given(fault_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_all_links_dead_means_no_deliveries(self, inst):
+        worms, launches, _ = inst
+        every_link = sorted({lk for w in worms for lk in w.links()})
+        res = RoutingEngine(worms, CollisionRule.SERVE_FIRST).run_round(
+            launches, dead_links=every_link
+        )
+        assert res.n_delivered == 0
+        for o in res.outcomes.values():
+            assert o.failed_at_link == 0  # lost at the very first coupler

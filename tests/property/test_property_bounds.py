@@ -1,0 +1,128 @@
+"""Property-based tests of the bound formulas and schedules."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import bounds
+from repro.core.schedule import (
+    FixedSchedule,
+    GeometricSchedule,
+    PaperSchedule,
+    PaperShortcutSchedule,
+    ScheduleContext,
+    ZeroDelaySchedule,
+)
+
+params = st.tuples(
+    st.integers(4, 2**30),  # n
+    st.integers(1, 10_000),  # C
+    st.integers(1, 64),  # B
+    st.integers(1, 1000),  # D
+    st.integers(1, 64),  # L
+)
+
+
+class TestBoundProperties:
+    @given(params)
+    @settings(max_examples=300, deadline=None)
+    def test_everything_finite_and_positive(self, p):
+        n, C, B, D, L = p
+        for fn in (
+            bounds.rounds_leveled,
+            bounds.rounds_shortcut,
+            bounds.time_leveled_upper,
+            bounds.time_shortcut_upper,
+            bounds.time_leveled_lower,
+            bounds.time_shortcut_lower,
+            bounds.paper_T_leveled,
+            bounds.paper_T_shortcut,
+        ):
+            v = fn(n, C, B, D, L)
+            assert math.isfinite(v) and v > 0, (fn.__name__, p, v)
+
+    @given(params)
+    @settings(max_examples=300, deadline=None)
+    def test_leveled_never_exceeds_shortcut(self, p):
+        # sqrt(x) <= x needs x >= 1, i.e. n >= alpha: the asymptotic
+        # regime. Below it, the clamped formulas legitimately cross.
+        n, C, B, D, L = p
+        if n < bounds.alpha(C, B, D, L):
+            return
+        assert bounds.rounds_leveled(n, C, B, D, L) <= bounds.rounds_shortcut(
+            n, C, B, D, L
+        ) + 1e-9
+        assert bounds.time_leveled_upper(n, C, B, D, L) <= bounds.time_shortcut_upper(
+            n, C, B, D, L
+        ) + 1e-9
+
+    @given(params)
+    @settings(max_examples=300, deadline=None)
+    def test_upper_dominates_lower(self, p):
+        n, C, B, D, L = p
+        assert bounds.time_leveled_upper(n, C, B, D, L) >= bounds.time_leveled_lower(
+            n, C, B, D, L
+        ) - 1e-9
+
+    @given(params)
+    @settings(max_examples=200, deadline=None)
+    def test_alpha_beta_relations(self, p):
+        n, C, B, D, L = p
+        a = bounds.alpha(C, B, D, L)
+        b = bounds.beta(C, B, D, L)
+        assert a > C
+        assert b > 2
+        assert b == a / C + 2
+
+    @given(params, st.integers(2, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_rounds_monotone_in_n(self, p, factor):
+        n, C, B, D, L = p
+        big = min(n * factor, 2**62)
+        assert bounds.rounds_leveled(big, C, B, D, L) >= bounds.rounds_leveled(
+            n, C, B, D, L
+        ) - 1e-9
+
+
+schedules = st.sampled_from(
+    [
+        PaperSchedule(),
+        PaperShortcutSchedule(),
+        GeometricSchedule(),
+        GeometricSchedule(c_congestion=1.0, c_floor=0.0),
+        FixedSchedule(delta=7),
+        ZeroDelaySchedule(),
+    ]
+)
+
+contexts = st.tuples(
+    st.integers(2, 2**20),  # n
+    st.integers(1, 32),  # B
+    st.integers(1, 32),  # L
+    st.integers(1, 256),  # D
+    st.integers(1, 4096),  # C
+).map(
+    lambda t: ScheduleContext(
+        n=t[0], bandwidth=t[1], worm_length=t[2], dilation=t[3], congestion=t[4]
+    )
+)
+
+
+class TestScheduleProperties:
+    @given(schedules, contexts, st.integers(1, 40))
+    @settings(max_examples=400, deadline=None)
+    def test_delta_always_at_least_one(self, schedule, ctx, t):
+        assert schedule.delay_range(t, ctx) >= 1
+
+    @given(contexts, st.integers(1, 30))
+    @settings(max_examples=300, deadline=None)
+    def test_paper_schedules_non_increasing(self, ctx, t):
+        for schedule in (PaperSchedule(), PaperShortcutSchedule(), GeometricSchedule()):
+            assert schedule.delay_range(t, ctx) >= schedule.delay_range(t + 1, ctx)
+
+    @given(contexts)
+    @settings(max_examples=200, deadline=None)
+    def test_geometric_floor_respected(self, ctx):
+        s = GeometricSchedule(c_congestion=2.0, c_floor=1.0)
+        floor = ctx.worm_length * ctx.log_n / ctx.bandwidth
+        assert s.delay_range(50, ctx) >= math.floor(floor)

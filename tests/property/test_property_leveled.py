@@ -1,0 +1,87 @@
+"""Properties specific to leveled collections.
+
+On a leveled collection every worm sits at level ``level(source) +
+(t - delay)`` at step ``t``, so two worms can only collide when their
+*level-adjusted delays* differ by less than the worm length -- the fact
+behind the paper's Section 2 analysis. These tests build random leveled
+collections and check that the simulator's collisions respect the
+geometry, and that Claim 2.6 blocking forests hold under winner ties.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import RoutingEngine
+from repro.optics.coupler import CollisionRule, TieRule
+from repro.paths.collection import PathCollection
+from repro.paths.properties import compute_leveling
+from repro.worms.worm import Launch, make_worms
+
+
+@st.composite
+def leveled_instances(draw):
+    """Random butterfly-path collections (leveled by construction)."""
+    from repro.network.butterfly import Butterfly
+
+    dim = draw(st.integers(2, 4))
+    bf = Butterfly(dim)
+    n = draw(st.integers(2, 8))
+    pairs = [
+        (draw(st.integers(0, bf.rows - 1)), draw(st.integers(0, bf.rows - 1)))
+        for _ in range(n)
+    ]
+    paths = [bf.route(a, b) for a, b in pairs]
+    coll = PathCollection(paths, require_simple=False)
+    L = draw(st.integers(1, 4))
+    delays = [draw(st.integers(0, 6)) for _ in range(n)]
+    wavelengths = [draw(st.integers(0, 1)) for _ in range(n)]
+    return coll, L, delays, wavelengths
+
+
+class TestLeveledCollisionGeometry:
+    @given(leveled_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_collisions_need_close_adjusted_delays(self, inst):
+        coll, L, delays, wavelengths = inst
+        leveling = compute_leveling(coll)
+        assert leveling.ok  # butterfly paths are leveled by construction
+        worms = make_worms(coll.paths, L)
+        launches = [
+            Launch(worm=i, delay=delays[i], wavelength=wavelengths[i])
+            for i in range(coll.n)
+        ]
+        res = RoutingEngine(worms, CollisionRule.SERVE_FIRST).run_round(launches)
+        levels = leveling.levels
+        # Adjusted delay: when the worm's head crosses level 0's plane.
+        adj = [delays[i] - levels[coll[i][0]] for i in range(coll.n)]
+        for ev in res.collisions:
+            a, b = ev.blocked, ev.blocker
+            assert wavelengths[a] == wavelengths[b]
+            # Heads meet on a common link only if adjusted delays are
+            # within the occupancy window.
+            assert abs(adj[a] - adj[b]) <= L - 1 or adj[a] == adj[b]
+
+    @given(leveled_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_blocking_is_acyclic_under_winner_ties(self, inst):
+        """Claim 2.6's core on arbitrary leveled instances: the
+        blocked-by relation of a round has no cycles when every conflict
+        has a strict winner."""
+        coll, L, delays, wavelengths = inst
+        worms = make_worms(coll.paths, L)
+        launches = [
+            Launch(worm=i, delay=delays[i], wavelength=wavelengths[i])
+            for i in range(coll.n)
+        ]
+        res = RoutingEngine(
+            worms, CollisionRule.SERVE_FIRST, TieRule.LOWEST_ID_WINS
+        ).run_round(launches)
+        blocked_by = {}
+        for ev in res.collisions:
+            blocked_by.setdefault(ev.blocked, ev.blocker)
+        for start in blocked_by:
+            seen = set()
+            w = start
+            while w in blocked_by:
+                assert w not in seen, f"blocking cycle through {w}"
+                seen.add(w)
+                w = blocked_by[w]

@@ -1,0 +1,149 @@
+"""Property-based tests of path-collection machinery and gadgets."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.paths.collection import PathCollection
+from repro.paths.gadgets import type1_staircase, type1_triangle, type2_bundle
+from repro.paths.properties import (
+    compute_leveling,
+    is_leveled,
+    is_short_cut_free,
+)
+from repro.paths.selection import dimension_order_path
+
+
+@st.composite
+def simple_paths(draw, nodes=8, min_paths=1, max_paths=6):
+    n = draw(st.integers(min_paths, max_paths))
+    paths = []
+    for _ in range(n):
+        paths.append(
+            tuple(
+                draw(
+                    st.lists(
+                        st.integers(0, nodes - 1), min_size=2, max_size=nodes,
+                        unique=True,
+                    )
+                )
+            )
+        )
+    return PathCollection(paths)
+
+
+class TestCollectionInvariants:
+    @given(simple_paths())
+    @settings(max_examples=150, deadline=None)
+    def test_measure_sanity(self, pc):
+        assert 1 <= pc.min_length <= pc.dilation
+        assert 1 <= pc.edge_congestion <= pc.n
+        assert 1 <= pc.path_congestion <= pc.n
+        assert pc.edge_congestion <= pc.path_congestion
+
+    @given(simple_paths())
+    @settings(max_examples=100, deadline=None)
+    def test_per_path_congestion_bounds(self, pc):
+        vec = pc.per_path_congestion
+        assert (vec >= 1).all() and (vec <= pc.n).all()
+        assert vec.max() == pc.path_congestion
+
+    @given(simple_paths())
+    @settings(max_examples=100, deadline=None)
+    def test_subset_congestion_never_grows(self, pc):
+        if pc.n < 2:
+            return
+        sub = pc.subset(list(range(pc.n - 1)))
+        assert sub.path_congestion <= pc.path_congestion
+        assert sub.dilation <= pc.dilation
+
+    @given(simple_paths())
+    @settings(max_examples=100, deadline=None)
+    def test_link_paths_partition_total_length(self, pc):
+        total_links = sum(len(p) - 1 for p in pc)
+        assert sum(len(v) for v in pc.link_paths.values()) == total_links
+
+
+class TestLevelingProperties:
+    @given(simple_paths(max_paths=4))
+    @settings(max_examples=150, deadline=None)
+    def test_leveling_certificate_is_sound(self, pc):
+        res = compute_leveling(pc)
+        if res.ok:
+            for path in pc:
+                for u, v in zip(path, path[1:]):
+                    assert res.levels[v] == res.levels[u] + 1
+        else:
+            u, v = res.conflict
+            # The conflicting link appears in some path.
+            assert any(
+                (path[i], path[i + 1]) == (u, v)
+                for path in pc
+                for i in range(len(path) - 1)
+            )
+
+    @given(st.integers(2, 6), st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_single_path_always_leveled(self, n_nodes, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        path = tuple(int(x) for x in rng.permutation(10)[:n_nodes])
+        assert is_leveled(PathCollection([path]))
+
+
+class TestGadgetProperties:
+    @given(st.integers(1, 6), st.integers(2, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_staircase_always_valid(self, k, L):
+        d = (L - 1) // 2 + 1
+        D = d + 1 + (L % 3)  # minimal-ish D
+        g = type1_staircase(k=k, D=D, L=L)
+        assert g.collection.n == k
+        assert is_leveled(g.collection)
+        assert is_short_cut_free(g.collection)
+
+    @given(st.integers(2, 12), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_always_valid(self, L, s):
+        D = s + L // 2 + 2
+        g = type1_triangle(D=D, L=L, s=s)
+        assert g.collection.n == 3
+        assert is_short_cut_free(g.collection)
+        assert not is_leveled(g.collection)
+
+    @given(st.integers(1, 20), st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_bundle_congestion_exact(self, C, D):
+        g = type2_bundle(congestion=C, D=D)
+        assert g.collection.path_congestion == C
+        assert g.collection.dilation == D
+
+
+class TestDimensionOrderProperties:
+    @given(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_path_length_is_l1(self, src, dst):
+        p = dimension_order_path(src, dst)
+        l1 = sum(abs(a - b) for a, b in zip(src, dst))
+        assert len(p) - 1 == l1
+        assert p[0] == tuple(src) and p[-1] == tuple(dst)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            ),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dimension_order_collections_short_cut_free(self, pairs):
+        pairs = [(s, t) for s, t in pairs if s != t]
+        if not pairs:
+            return
+        pc = PathCollection([dimension_order_path(s, t) for s, t in pairs])
+        assert is_short_cut_free(pc)

@@ -1,0 +1,90 @@
+"""Property-based tests of the full protocol loop."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.protocol import route_collection
+from repro.core.schedule import GeometricSchedule
+from repro.optics.coupler import CollisionRule
+from repro.paths.collection import PathCollection
+from repro.paths.gadgets import type2_bundle
+
+
+@st.composite
+def small_collections(draw):
+    kind = draw(st.sampled_from(["bundle", "random"]))
+    if kind == "bundle":
+        C = draw(st.integers(2, 16))
+        D = draw(st.integers(2, 8))
+        return type2_bundle(congestion=C, D=D).collection
+    n = draw(st.integers(1, 8))
+    paths = []
+    for _ in range(n):
+        path = draw(
+            st.lists(st.integers(0, 6), min_size=2, max_size=6, unique=True)
+        )
+        paths.append(tuple(path))
+    return PathCollection(paths)
+
+
+class TestProtocolProperties:
+    @given(
+        small_collections(),
+        st.integers(1, 4),
+        st.integers(1, 6),
+        st.sampled_from([CollisionRule.SERVE_FIRST, CollisionRule.PRIORITY]),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_eventual_completion_and_accounting(self, coll, B, L, rule, seed):
+        result = route_collection(
+            coll,
+            bandwidth=B,
+            rule=rule,
+            worm_length=L,
+            schedule=GeometricSchedule(c_congestion=3.0, c_floor=1.0),
+            max_rounds=300,
+            rng=seed,
+        )
+        assert result.completed
+        # Every worm acknowledged exactly once, in a round within range.
+        assert set(result.delivered_round) == set(range(coll.n))
+        assert all(1 <= r <= result.rounds for r in result.delivered_round.values())
+        # Round records consistent with the delivery map.
+        assert sum(r.acked for r in result.records) == coll.n
+        assert result.total_time == sum(r.duration for r in result.records)
+        assert result.duplicate_deliveries == 0  # ideal acks
+
+    @given(small_collections(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_active_counts_shrink_by_acks(self, coll, seed):
+        result = route_collection(
+            coll,
+            bandwidth=2,
+            worm_length=3,
+            max_rounds=300,
+            rng=seed,
+        )
+        assert result.completed
+        prev = coll.n
+        for rec in result.records:
+            assert rec.active_before == prev
+            assert rec.delivered == rec.acked  # ideal acks
+            assert rec.active_before - rec.eliminated - rec.truncated >= rec.delivered
+            prev = rec.active_before - rec.acked
+        assert prev == 0
+
+    @given(small_collections(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_priority_never_slower_than_max_rounds_budget(self, coll, seed):
+        # Priority delivers at least one worm per round (the top rank),
+        # so it always finishes within n rounds.
+        result = route_collection(
+            coll,
+            bandwidth=1,
+            rule=CollisionRule.PRIORITY,
+            worm_length=2,
+            max_rounds=coll.n + 1,
+            rng=seed,
+        )
+        assert result.completed
+        assert result.rounds <= coll.n

@@ -1,0 +1,84 @@
+"""Library-wide API quality gates.
+
+Every public module, class, function and method in :mod:`repro` must
+carry a docstring, and the top-level ``__all__`` must resolve. These
+tests walk the package so the gate holds automatically for new code.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # executable shim, not API
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(obj):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        yield name, obj
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            m.__name__ for m in _walk_modules() if not (m.__doc__ or "").strip()
+        ]
+        assert not undocumented, undocumented
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in _walk_modules():
+            for name, obj in _public_members(module):
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not (obj.__doc__ or "").strip():
+                        missing.append(f"{module.__name__}.{name}")
+        assert not missing, missing
+
+    def test_every_public_method_documented(self):
+        missing = []
+        for module in _walk_modules():
+            for cls_name, cls in _public_members(module):
+                if not inspect.isclass(cls):
+                    continue
+                for meth_name, meth in vars(cls).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if isinstance(meth, property):
+                        target = meth.fget
+                    elif inspect.isfunction(meth) or isinstance(
+                        meth, (staticmethod, classmethod)
+                    ):
+                        target = (
+                            meth.__func__
+                            if isinstance(meth, (staticmethod, classmethod))
+                            else meth
+                        )
+                    else:
+                        continue
+                    if not (target.__doc__ or "").strip():
+                        missing.append(f"{module.__name__}.{cls_name}.{meth_name}")
+        assert not missing, missing
+
+
+class TestAllExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_resolves(self):
+        for module in _walk_modules():
+            for name in getattr(module, "__all__", ()):
+                assert hasattr(module, name), f"{module.__name__}.{name}"

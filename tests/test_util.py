@@ -1,0 +1,96 @@
+"""Tests for the shared helpers in repro._util."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_generator,
+    ceil_div,
+    check_non_negative,
+    check_positive,
+    log2_safe,
+    log_base,
+    loglog,
+    pairwise,
+    spawn_generator,
+)
+
+
+class TestGenerators:
+    def test_as_generator_from_int(self):
+        g = as_generator(7)
+        assert isinstance(g, np.random.Generator)
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_as_generator_none_gives_entropy(self):
+        a = as_generator(None).integers(0, 2**32)
+        b = as_generator(None).integers(0, 2**32)
+        # Not guaranteed distinct, but the call must work.
+        assert isinstance(a, np.int64) or isinstance(a, int) or True
+
+    def test_same_seed_same_stream(self):
+        assert as_generator(5).integers(0, 1000, 10).tolist() == as_generator(
+            5
+        ).integers(0, 1000, 10).tolist()
+
+    def test_spawn_generator_independent(self):
+        root = as_generator(9)
+        child1 = spawn_generator(root)
+        child2 = spawn_generator(root)
+        s1 = child1.integers(0, 1000, 10).tolist()
+        s2 = child2.integers(0, 1000, 10).tolist()
+        assert s1 != s2
+
+    def test_spawn_deterministic_given_root(self):
+        a = spawn_generator(as_generator(3)).integers(0, 10**6)
+        b = spawn_generator(as_generator(3)).integers(0, 10**6)
+        assert a == b
+
+
+class TestLogs:
+    def test_log2_safe_clamps(self):
+        assert log2_safe(0) == 1.0
+        assert log2_safe(1.5) == 1.0
+        assert log2_safe(2) == 1.0
+        assert log2_safe(1024) == 10.0
+
+    def test_log_base(self):
+        assert log_base(8, 2) == pytest.approx(3.0)
+        assert log_base(100, 10) == pytest.approx(2.0)
+
+    def test_log_base_clamps(self):
+        # Degenerate inputs are clamped, never raise or diverge.
+        assert math.isfinite(log_base(0, 0))
+        assert log_base(1, 100) == pytest.approx(math.log(2) / math.log(100))
+
+    def test_loglog_clamps(self):
+        assert loglog(2) == 1.0
+        assert loglog(2**16) == 4.0
+
+
+class TestSmallHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.5)
+
+    def test_pairwise(self):
+        assert list(pairwise([1, 2, 3, 4])) == [(1, 2), (2, 3), (3, 4)]
+        assert list(pairwise([1])) == []
