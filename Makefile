@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench report examples all clean
+.PHONY: install test bench bench-engine report examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-engine:
+	PYTHONPATH=src $(PY) benchmarks/engine_baseline.py
 
 report: bench
 	$(PY) -m repro report

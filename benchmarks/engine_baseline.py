@@ -1,0 +1,131 @@
+"""Emit ``BENCH_engine.json``: the engine/runner performance baseline.
+
+Measures, on an E-T16-sized workload (a random function on the 16x16
+mesh, ~256 worms):
+
+* **round throughput** -- wall time and events/second of one batched
+  ``RoutingEngine.run_round`` (an event is one head-arrival, i.e. one
+  link of one worm), plus the round's makespan;
+* **trial throughput** -- full trial-and-failure protocol executions per
+  second through :func:`repro.runners.route_collection_trials`, serially
+  and with a process pool (``jobs=4``).
+
+Results go to ``benchmarks/results/BENCH_engine.json`` together with the
+host's CPU count: process-pool speedups are bounded by physical cores, so
+the speedup number is only meaningful next to ``cpu_count``. Run via
+``make bench-engine`` or ``python benchmarks/engine_baseline.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+import numpy as np
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+SIDE = 16
+DIM = 2
+BANDWIDTH = 2
+WORM_LENGTH = 4
+ROUND_REPEATS = 20
+TRIALS = 16
+POOL_JOBS = 4
+
+
+def _round_metrics():
+    """Time one batched engine round on the mesh workload."""
+    from repro.core.engine import RoutingEngine
+    from repro.experiments.workloads import mesh_random_function
+    from repro.optics.coupler import CollisionRule
+    from repro.worms.worm import Launch, make_worms
+
+    coll = mesh_random_function(SIDE, DIM, rng=0)
+    worms = make_worms(coll.paths, WORM_LENGTH)
+    rng = np.random.default_rng(0)
+    delays = rng.integers(0, 4 * coll.path_congestion, size=coll.n)
+    wls = rng.integers(0, BANDWIDTH, size=coll.n)
+    launches = [
+        Launch(worm=i, delay=int(delays[i]), wavelength=int(wls[i]))
+        for i in range(coll.n)
+    ]
+    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+    events = sum(w.n_links for w in worms)
+
+    engine.run_round(launches, collect_collisions=False)  # warm-up
+    timings = []
+    makespan = None
+    for _ in range(ROUND_REPEATS):
+        t0 = time.perf_counter()
+        result = engine.run_round(launches, collect_collisions=False)
+        timings.append(time.perf_counter() - t0)
+        makespan = result.makespan
+    best = min(timings)
+    return {
+        "workload": f"mesh_random_function({SIDE}, {DIM})",
+        "worms": coll.n,
+        "events_per_round": events,
+        "round_makespan": makespan,
+        "round_seconds_best": best,
+        "round_seconds_median": statistics.median(timings),
+        "events_per_second": events / best,
+    }
+
+
+def _trial_metrics():
+    """Time full protocol trials, serial vs. process pool."""
+    from repro.experiments.workloads import mesh_random_function
+    from repro.runners import route_collection_trials
+
+    coll = mesh_random_function(SIDE, DIM, rng=0)
+
+    def timed(jobs):
+        t0 = time.perf_counter()
+        results = route_collection_trials(
+            coll, bandwidth=BANDWIDTH, trials=TRIALS,
+            worm_length=WORM_LENGTH, seed=0, jobs=jobs,
+        )
+        return results, time.perf_counter() - t0
+
+    serial, t_serial = timed(1)
+    # Warm-up pool run first so fork/import cost is not billed to the
+    # steady-state number, then the measured run.
+    timed(POOL_JOBS)
+    pooled, t_pool = timed(POOL_JOBS)
+    assert [r.rounds for r in serial] == [r.rounds for r in pooled]
+    return {
+        "trials": TRIALS,
+        "trials_per_second_serial": TRIALS / t_serial,
+        f"trials_per_second_jobs{POOL_JOBS}": TRIALS / t_pool,
+        "pool_jobs": POOL_JOBS,
+        "pool_speedup": t_serial / t_pool,
+        "parallel_matches_serial": True,
+    }
+
+
+def main() -> int:
+    """Generate the baseline and write it to the results directory."""
+    payload = {
+        "benchmark": "BENCH_engine",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "round": _round_metrics(),
+        "trials": _trial_metrics(),
+        "note": "pool_speedup is bounded above by cpu_count; on a "
+        "single-core host jobs>1 cannot beat serial.",
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_engine.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from repro.errors import (
     ScheduleError,
     WitnessError,
     ExperimentError,
+    TrialError,
 )
 from repro.optics import (
     Band,
@@ -116,6 +117,11 @@ from repro.extensions import (
     random_simple_collection,
     detour_collection,
 )
+from repro.runners import (
+    TrialProgress,
+    TrialRunner,
+    route_collection_trials,
+)
 
 __version__ = "1.0.0"
 
@@ -127,6 +133,7 @@ __all__ = [
     "ScheduleError",
     "WitnessError",
     "ExperimentError",
+    "TrialError",
     "Band",
     "WavelengthAllocation",
     "split_band",
@@ -202,5 +209,8 @@ __all__ = [
     "route_multihop",
     "random_simple_collection",
     "detour_collection",
+    "TrialProgress",
+    "TrialRunner",
+    "route_collection_trials",
     "__version__",
 ]

@@ -14,11 +14,12 @@ tables the benchmark harness saves under ``benchmarks/results/``.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Callable
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReproError
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -91,11 +92,17 @@ def _cmd_run(args) -> int:
         raise ExperimentError(
             f"unknown experiment {args.experiment!r}; try 'python -m repro list'"
         )
+    jobs = getattr(args, "jobs", 1)
     for key in targets:
         desc, runner = registry[key]
+        kwargs = {"trials": args.trials, "seed": args.seed}
+        # Only parallel-ready experiments (module-level trial callables)
+        # advertise a ``jobs`` parameter; the rest stay serial.
+        if jobs != 1 and "jobs" in inspect.signature(runner).parameters:
+            kwargs["jobs"] = jobs
         print(f"\n### {key}: {desc} (trials={args.trials}, seed={args.seed})")
         t0 = time.perf_counter()
-        tables = runner(trials=args.trials, seed=args.seed)
+        tables = runner(**kwargs)
         elapsed = time.perf_counter() - t0
         if not isinstance(tables, (list, tuple)):
             tables = [tables]
@@ -160,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run.add_argument("--trials", type=int, default=5, help="trials per data point")
     run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per sweep (results are seed-identical to "
+        "--jobs 1; experiments without parallel support run serially)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     sub.add_parser("demo", help="a 30-second protocol demo").set_defaults(
@@ -185,7 +199,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except ExperimentError as exc:
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.records import CollisionEvent, CollisionKind, RoundResult
 from repro.errors import ProtocolError
 from repro.optics.coupler import CollisionRule, TieRule, resolve
@@ -108,8 +110,10 @@ class RoutingEngine:
         self.tie_rule = tie_rule
         self._worms: dict[int, Worm] = {}
         self._link_ids: dict[int, list[int]] = {}
-        link_index: dict[tuple, int] = {}
+        self._link_index: dict[tuple, int] = {}
         self._links: list[tuple] = []
+        self._lid_arrays: dict[int, np.ndarray] = {}
+        self._pos_arrays: dict[int, np.ndarray] = {}
         for w in worms:
             if w.uid in self._worms:
                 raise ProtocolError(f"duplicate worm uid {w.uid}")
@@ -117,13 +121,15 @@ class RoutingEngine:
             ids = []
             for a, b in zip(w.path, w.path[1:]):
                 link = (a, b)
-                lid = link_index.get(link)
+                lid = self._link_index.get(link)
                 if lid is None:
-                    lid = len(link_index)
-                    link_index[link] = lid
+                    lid = len(self._link_index)
+                    self._link_index[link] = lid
                     self._links.append(link)
                 ids.append(lid)
             self._link_ids[w.uid] = ids
+            self._lid_arrays[w.uid] = np.asarray(ids, dtype=np.int64)
+            self._pos_arrays[w.uid] = np.arange(len(ids), dtype=np.int64)
 
     @property
     def worms(self) -> dict[int, Worm]:
@@ -146,6 +152,10 @@ class RoutingEngine:
         Returns the per-worm outcomes and, when requested, every losing
         collision.
         """
+        if not launches:
+            # Nothing launched: no flit ever moves, so there is no makespan.
+            return RoundResult(outcomes={}, collisions=(), makespan=None)
+
         runs: list[_Run] = []
         seen: set[int] = set()
         for launch in launches:
@@ -157,19 +167,7 @@ class RoutingEngine:
             seen.add(launch.worm)
             runs.append(_Run(worm, launch, self._link_ids[launch.worm]))
 
-        # Head-arrival events: (time, link_id, wavelength, pos, run_index).
-        events: list[tuple[int, int, int, int, int]] = []
-        for ri, run in enumerate(runs):
-            t0 = run.delay
-            wl = run.wavelength
-            append = events.append
-            if isinstance(wl, tuple):
-                for pos, lid in enumerate(run.link_ids):
-                    append((t0 + pos, lid, wl[pos], pos, ri))
-            else:
-                for pos, lid in enumerate(run.link_ids):
-                    append((t0 + pos, lid, wl, pos, ri))
-        events.sort()
+        events = self._build_events(runs)
 
         collisions: list[CollisionEvent] = []
         occupancy: dict[tuple[int, int], _Record] = {}
@@ -178,7 +176,7 @@ class RoutingEngine:
         links = self._links
         dead_lids: set[int] = set()
         if dead_links:
-            index = {link: lid for lid, link in enumerate(links)}
+            index = self._link_index
             for link in dead_links:
                 lid = index.get(tuple(link))
                 if lid is not None:
@@ -299,6 +297,51 @@ class RoutingEngine:
 
     # -- helpers ---------------------------------------------------------------
 
+    def _build_events(
+        self, runs: list[_Run]
+    ) -> list[tuple[int, int, int, int, int]]:
+        """Head-arrival events ``(time, link_id, wavelength, pos, run_index)``.
+
+        Batched with numpy: per-worm link-id/position arrays are precomputed
+        at construction, so a round only concatenates, shifts by the launch
+        delays, and lexsorts. The sort key (time, link, wavelength, pos,
+        run) is unique per event, so the order is exactly that of sorting
+        the equivalent python tuples.
+        """
+        t_parts: list[np.ndarray] = []
+        lid_parts: list[np.ndarray] = []
+        wl_parts: list[np.ndarray] = []
+        pos_parts: list[np.ndarray] = []
+        ri_parts: list[np.ndarray] = []
+        for ri, run in enumerate(runs):
+            lids = self._lid_arrays[run.uid]
+            pos = self._pos_arrays[run.uid]
+            n = len(lids)
+            lid_parts.append(lids)
+            pos_parts.append(pos)
+            t_parts.append(pos + run.delay)
+            wl = run.wavelength
+            if isinstance(wl, tuple):
+                wl_parts.append(np.asarray(wl, dtype=np.int64))
+            else:
+                wl_parts.append(np.full(n, wl, dtype=np.int64))
+            ri_parts.append(np.full(n, ri, dtype=np.int64))
+        t = np.concatenate(t_parts)
+        lid = np.concatenate(lid_parts)
+        wl = np.concatenate(wl_parts)
+        pos = np.concatenate(pos_parts)
+        ri = np.concatenate(ri_parts)
+        order = np.lexsort((ri, pos, wl, lid, t))
+        return list(
+            zip(
+                t[order].tolist(),
+                lid[order].tolist(),
+                wl[order].tolist(),
+                pos[order].tolist(),
+                ri[order].tolist(),
+            )
+        )
+
     @staticmethod
     def _install(
         occupancy: dict, key: tuple[int, int], run: _Run, pos: int, t: int
@@ -347,8 +390,6 @@ class RoutingEngine:
                     failed_at_link=run.dead_at,
                     blockers=tuple(run.blockers),
                 )
-                # The head travelled until the cut; flits moved until then.
-                span = run.delay + run.dead_at
             elif run.cut_len < run.length:
                 completion = run.delay + run.n_links - 1 + run.cut_len - 1
                 outcomes[run.uid] = WormOutcome(
@@ -359,7 +400,6 @@ class RoutingEngine:
                     completion_time=completion,
                     blockers=tuple(run.blockers),
                 )
-                span = completion
             else:
                 completion = run.delay + run.n_links - 1 + run.length - 1
                 outcomes[run.uid] = WormOutcome(
@@ -369,8 +409,14 @@ class RoutingEngine:
                     completion_time=completion,
                     blockers=tuple(run.blockers),
                 )
-                span = completion
-            makespan = span if makespan is None else max(makespan, span)
+            # The last step any of this worm's flits moved: every flit
+            # crossing lives inside some occupancy record, and each record
+            # end is achieved by the last surviving flit through that link
+            # (truncation caps included). A worm cut at its very first link
+            # never moved a flit and contributes nothing.
+            for rec in run.records:
+                if makespan is None or rec.end > makespan:
+                    makespan = rec.end
         return outcomes, makespan
 
 

@@ -48,8 +48,11 @@ class RoundResult:
 
     ``outcomes`` maps worm uid to its :class:`WormOutcome`;
     ``collisions`` lists every losing conflict in time order;
-    ``makespan`` is the last step during which any flit moved (``None``
-    for a round in which nothing survived long enough to matter).
+    ``makespan`` is the last step during which any flit moved --
+    including the dumped tails of eliminated and truncated worms, which
+    keep draining through the links upstream of their cut. It is ``None``
+    exactly when no flit moved at all: either nothing was launched, or
+    every launched worm lost its head entering its very first link.
     """
 
     outcomes: dict[int, WormOutcome]
@@ -83,7 +86,8 @@ class RoundRecord:
 
     ``duration`` is the paper's nominal round budget
     ``Delta_t + 2(D + L)``; ``observed_span`` is the simulated forward
-    makespan (plus ack span in simulated-ack mode). ``active_congestion``
+    makespan -- the last step any flit moved, draining tails included --
+    (plus ack span in simulated-ack mode). ``active_congestion``
     is the path congestion C̃_t of the worms still active at the *start*
     of the round (the Lemma 2.4 quantity), when tracking is enabled.
     """

@@ -96,6 +96,18 @@ class _RefWorm:
         return self.launch.wavelength_at(i)
 
 
+def _last_movement(r: _RefWorm) -> int | None:
+    """The last step during which any flit of ``r`` crossed a link."""
+    span: int | None = None
+    for flit in range(r.worm.length):
+        for i in range(len(r.links)):
+            t_cross = r.launch.delay + i + flit
+            if r.flit_alive_at(flit, t_cross):
+                if span is None or t_cross > span:
+                    span = t_cross
+    return span
+
+
 def reference_run_round(
     worms: Sequence[Worm],
     launches: Sequence[Launch],
@@ -120,6 +132,10 @@ def reference_run_round(
         if launch.worm in refs:
             raise ProtocolError(f"worm uid {launch.worm} launched twice")
         refs[launch.worm] = _RefWorm(by_uid[launch.worm], launch)
+
+    if not refs:
+        # Mirror the engine's empty-launch guard: no flit ever moves.
+        return RoundResult(outcomes={}, collisions=(), makespan=None)
 
     horizon = max(
         r.launch.delay + len(r.links) + r.worm.length for r in refs.values()
@@ -251,7 +267,6 @@ def reference_run_round(
                 failed_at_link=r.cut_at,
                 blockers=tuple(r.blockers),
             )
-            span = r.launch.delay + r.cut_at
         elif delivered < L:
             outcomes[uid] = WormOutcome(
                 worm=uid,
@@ -261,7 +276,6 @@ def reference_run_round(
                 completion_time=completion,
                 blockers=tuple(r.blockers),
             )
-            span = completion if completion is not None else r.launch.delay
         else:
             outcomes[uid] = WormOutcome(
                 worm=uid,
@@ -270,8 +284,13 @@ def reference_run_round(
                 completion_time=completion,
                 blockers=tuple(r.blockers),
             )
-            span = completion
-        makespan = span if makespan is None else max(makespan, span)
+        # The last step any of this worm's flits moved, brute force: a
+        # flit dumped mid-path still crossed every upstream link first, so
+        # the dumped tails of eliminated and truncated worms count too. A
+        # worm whose head was cut entering its first link never moved.
+        span = _last_movement(r)
+        if span is not None:
+            makespan = span if makespan is None else max(makespan, span)
 
     if capture is not None:
         capture.extend(refs.values())

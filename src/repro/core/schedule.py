@@ -62,14 +62,20 @@ class ScheduleContext:
         return log2_safe(self.n)
 
     def congestion_at(self, round_index: int) -> float:
-        """The Lemma 2.4 congestion bound ``max{C/2^(t-1), log n}``.
+        """The Lemma 2.4 congestion bound ``max{C_t, log n}``.
 
-        Uses the measured congestion when the protocol supplies one.
+        ``C_t`` is the measured congestion C̃_t when the protocol supplies
+        one, and the halving envelope ``C/2^(t-1)`` otherwise. The lemma's
+        ``log n`` floor applies in both cases: the halving only holds
+        w.h.p. down to Theta(log n), so adaptive schedules must not let a
+        lucky low measurement collapse the late-round delay ranges.
         """
-        if self.current_congestion is not None:
-            return max(float(self.current_congestion), 1.0)
-        halved = self.congestion / (2.0 ** (round_index - 1))
-        return max(halved, self.log_n)
+        measured = (
+            float(self.current_congestion)
+            if self.current_congestion is not None
+            else self.congestion / (2.0 ** (round_index - 1))
+        )
+        return max(measured, self.log_n)
 
 
 class DelaySchedule:

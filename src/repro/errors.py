@@ -34,3 +34,11 @@ class WitnessError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or sweep was configured incorrectly."""
+
+
+class TrialError(ReproError, ValueError):
+    """A replicated-trial batch was misconfigured or a trial gave out.
+
+    Also a :class:`ValueError`, so callers validating trial counts or
+    worker settings the usual way keep working.
+    """

@@ -9,6 +9,8 @@ compare it per round against the lemma's envelope.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.core.protocol import route_collection
 from repro.core.schedule import PaperSchedule
 from repro.experiments.runner import trial_values
@@ -19,21 +21,27 @@ from repro._util import log2_safe
 __all__ = ["run_bundle", "run_mesh", "run"]
 
 
-def _trajectories(coll, bandwidth, worm_length, trials, seed, schedule):
-    def one(s):
-        res = route_collection(
-            coll,
-            bandwidth=bandwidth,
-            worm_length=worm_length,
-            schedule=schedule,
-            max_rounds=300,
-            track_congestion=True,
-            rng=s,
-        )
-        assert res.completed
-        return [r.active_congestion for r in res.records]
+def _trajectory_trial(s, coll, bandwidth, worm_length, schedule):
+    """One trial: the per-round active-congestion trajectory C~_t."""
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        worm_length=worm_length,
+        schedule=schedule,
+        max_rounds=300,
+        track_congestion=True,
+        rng=s,
+    )
+    assert res.completed
+    return [r.active_congestion for r in res.records]
 
-    return trial_values(one, trials, seed)
+
+def _trajectories(coll, bandwidth, worm_length, trials, seed, schedule, jobs=1):
+    one = partial(
+        _trajectory_trial, coll=coll, bandwidth=bandwidth,
+        worm_length=worm_length, schedule=schedule,
+    )
+    return trial_values(one, trials, seed, jobs=jobs)
 
 
 def _decay_table(title, trajs, C, n) -> Table:
@@ -60,12 +68,12 @@ def _decay_table(title, trajs, C, n) -> Table:
 
 
 def run_bundle(
-    congestion=128, D=8, worm_length=4, bandwidth=2, trials=5, seed=0
+    congestion=128, D=8, worm_length=4, bandwidth=2, trials=5, seed=0, jobs=1
 ) -> Table:
     """Halving on a type-2 bundle under the verbatim paper schedule."""
     coll = bundle_instance(congestion=congestion, D=D).collection
     trajs = _trajectories(
-        coll, bandwidth, worm_length, trials, seed, PaperSchedule()
+        coll, bandwidth, worm_length, trials, seed, PaperSchedule(), jobs=jobs
     )
     return _decay_table(
         f"E-L24a: congestion halving on a bundle (C={congestion}, "
@@ -76,11 +84,13 @@ def run_bundle(
     )
 
 
-def run_mesh(side=8, d=2, worm_length=4, bandwidth=2, trials=5, seed=0) -> Table:
+def run_mesh(
+    side=8, d=2, worm_length=4, bandwidth=2, trials=5, seed=0, jobs=1
+) -> Table:
     """Halving on a mesh random function (a 'real' workload)."""
     coll = mesh_random_function(side, d, rng=seed)
     trajs = _trajectories(
-        coll, bandwidth, worm_length, trials, seed, PaperSchedule()
+        coll, bandwidth, worm_length, trials, seed, PaperSchedule(), jobs=jobs
     )
     return _decay_table(
         f"E-L24b: congestion halving on mesh{(side,) * d} random function "
@@ -91,6 +101,9 @@ def run_mesh(side=8, d=2, worm_length=4, bandwidth=2, trials=5, seed=0) -> Table
     )
 
 
-def run(trials=5, seed=0) -> list[Table]:
+def run(trials=5, seed=0, jobs=1) -> list[Table]:
     """Both Lemma 2.4 tables at default sizes."""
-    return [run_bundle(trials=trials, seed=seed), run_mesh(trials=trials, seed=seed)]
+    return [
+        run_bundle(trials=trials, seed=seed, jobs=jobs),
+        run_mesh(trials=trials, seed=seed, jobs=jobs),
+    ]

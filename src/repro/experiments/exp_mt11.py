@@ -9,14 +9,20 @@ across a size sweep, next to the paper's predicted round count
 Expected shape: measured rounds grow extremely slowly with n (a handful
 of rounds even at thousands of worms) and track the predicted series up
 to one fitted constant.
+
+Trial callables are module-level (picklable) and carry their own workload
+statistics back in the return value, so every sweep accepts ``jobs`` and
+fans trials out across processes.
 """
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.core import bounds
 from repro.core.protocol import route_collection
 from repro.core.schedule import GeometricSchedule
-from repro.experiments.runner import trial_values
+from repro.experiments.runner import spawn_seeds, trial_values
 from repro.experiments.tables import Table, fit_constant, shape_correlation
 from repro.experiments.workloads import butterfly_permutation, staircase_field
 from repro.optics.coupler import CollisionRule
@@ -26,8 +32,50 @@ __all__ = ["run_butterfly", "run_staircases", "run_paper_budget", "run"]
 _SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
 
 
+def _butterfly_trial(s, dim, bandwidth, worm_length):
+    """One butterfly trial: (n, dilation, congestion, rounds, time)."""
+    coll = butterfly_permutation(dim, rng=s)
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        rule=CollisionRule.SERVE_FIRST,
+        worm_length=worm_length,
+        schedule=_SCHEDULE,
+        rng=s,
+    )
+    assert res.completed
+    return coll.n, coll.dilation, coll.path_congestion, res.rounds, res.total_time
+
+
+def _staircase_trial(s, coll, bandwidth, worm_length):
+    """One staircase-field trial: rounds to completion."""
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        worm_length=worm_length,
+        schedule=_SCHEDULE,
+        rng=s,
+    )
+    assert res.completed
+    return res.rounds
+
+
+def _budget_trial(s, dim, bandwidth, worm_length, schedule):
+    """One verbatim-schedule trial: rounds to completion."""
+    coll = butterfly_permutation(dim, rng=s)
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        worm_length=worm_length,
+        schedule=schedule,
+        rng=s,
+    )
+    assert res.completed
+    return res.rounds
+
+
 def run_butterfly(
-    dims=(4, 5, 6, 7), bandwidth=2, worm_length=4, trials=5, seed=0
+    dims=(4, 5, 6, 7), bandwidth=2, worm_length=4, trials=5, seed=0, jobs=1
 ) -> Table:
     """Round/time scaling on butterfly permutations."""
     table = Table(
@@ -37,28 +85,16 @@ def run_butterfly(
                  "time(mean)", "predicted_T", "predicted_time"],
     )
     for dim in dims:
-        colls = []
-
-        def one(s, dim=dim, colls=colls):
-            coll = butterfly_permutation(dim, rng=s)
-            colls.append(coll)
-            res = route_collection(
-                coll,
-                bandwidth=bandwidth,
-                rule=CollisionRule.SERVE_FIRST,
-                worm_length=worm_length,
-                schedule=_SCHEDULE,
-                rng=s,
-            )
-            assert res.completed
-            return res.rounds, res.total_time
-
-        outcomes = trial_values(one, trials, seed)
-        rounds = [r for r, _ in outcomes]
-        times = [t for _, t in outcomes]
-        n = sum(c.n for c in colls) / len(colls)
-        D = max(c.dilation for c in colls)
-        C = sum(c.path_congestion for c in colls) / len(colls)
+        one = partial(
+            _butterfly_trial, dim=dim, bandwidth=bandwidth,
+            worm_length=worm_length,
+        )
+        outcomes = trial_values(one, trials, seed, jobs=jobs)
+        rounds = [r for _, _, _, r, _ in outcomes]
+        times = [t for _, _, _, _, t in outcomes]
+        n = sum(nn for nn, _, _, _, _ in outcomes) / len(outcomes)
+        D = max(dd for _, dd, _, _, _ in outcomes)
+        C = sum(c for _, _, c, _, _ in outcomes) / len(outcomes)
         table.add(
             dim,
             round(n),
@@ -81,7 +117,7 @@ def run_butterfly(
 
 def run_staircases(
     structure_counts=(4, 16, 64), k=4, D=16, worm_length=4, bandwidth=1,
-    trials=5, seed=0,
+    trials=5, seed=0, jobs=1,
 ) -> Table:
     """Round scaling on fields of staircases (the MT 1.1 gadget family)."""
     table = Table(
@@ -92,19 +128,11 @@ def run_staircases(
     for count in structure_counts:
         inst = staircase_field(count, k=k, D=D, L=worm_length)
         coll = inst.collection
-
-        def one(s, coll=coll):
-            res = route_collection(
-                coll,
-                bandwidth=bandwidth,
-                worm_length=worm_length,
-                schedule=_SCHEDULE,
-                rng=s,
-            )
-            assert res.completed
-            return res.rounds
-
-        rounds = trial_values(one, trials, seed)
+        one = partial(
+            _staircase_trial, coll=coll, bandwidth=bandwidth,
+            worm_length=worm_length,
+        )
+        rounds = trial_values(one, trials, seed, jobs=jobs)
         table.add(
             count,
             coll.n,
@@ -124,7 +152,7 @@ def run_staircases(
 
 
 def run_paper_budget(
-    dims=(4, 5, 6), bandwidth=2, worm_length=4, trials=20, seed=0
+    dims=(4, 5, 6), bandwidth=2, worm_length=4, trials=20, seed=0, jobs=1
 ) -> Table:
     """The literal w.h.p. statement: with the verbatim Section-2.1
     schedule, the round count never exceeds the paper's budget ``T``.
@@ -143,23 +171,14 @@ def run_paper_budget(
     )
     schedule = PaperSchedule()
     for dim in dims:
-        colls = []
-
-        def one(s, dim=dim, colls=colls):
-            coll = butterfly_permutation(dim, rng=s)
-            colls.append(coll)
-            res = route_collection(
-                coll,
-                bandwidth=bandwidth,
-                worm_length=worm_length,
-                schedule=schedule,
-                rng=s,
-            )
-            assert res.completed
-            return res.rounds
-
-        rounds = trial_values(one, trials, seed)
-        coll = colls[0]
+        one = partial(
+            _budget_trial, dim=dim, bandwidth=bandwidth,
+            worm_length=worm_length, schedule=schedule,
+        )
+        rounds = trial_values(one, trials, seed, jobs=jobs)
+        # Workload stats come from the first trial's collection, which is
+        # a pure function of its child seed.
+        coll = butterfly_permutation(dim, rng=spawn_seeds(seed, 1)[0])
         budget = bounds.paper_T_leveled(
             coll.n, coll.path_congestion, bandwidth, coll.dilation, worm_length
         )
@@ -173,10 +192,10 @@ def run_paper_budget(
     return table
 
 
-def run(trials=5, seed=0) -> list[Table]:
+def run(trials=5, seed=0, jobs=1) -> list[Table]:
     """All MT 1.1 tables at default sizes."""
     return [
-        run_butterfly(trials=trials, seed=seed),
-        run_staircases(trials=trials, seed=seed),
-        run_paper_budget(trials=4 * trials, seed=seed),
+        run_butterfly(trials=trials, seed=seed, jobs=jobs),
+        run_staircases(trials=trials, seed=seed, jobs=jobs),
+        run_paper_budget(trials=4 * trials, seed=seed, jobs=jobs),
     ]

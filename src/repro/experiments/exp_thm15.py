@@ -8,9 +8,14 @@ The theorem has two ingredients we verify separately:
    plus Chernoff). Measured: C̃ of torus random functions vs D^2 + log n.
 2. **Routing time**: with priority routers of bandwidth B the protocol
    finishes in ``O(L D^2/B + (sqrt(log_D n) + loglog n)(D + L))``.
+
+Trial callables are module-level (picklable), so every sweep accepts
+``jobs`` and fans trials out across processes.
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 from repro.core import bounds
 from repro.core.protocol import route_collection
@@ -24,8 +29,77 @@ from repro.optics.coupler import CollisionRule
 
 __all__ = ["run_congestion", "run_time", "run_families", "run"]
 
+_SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
 
-def run_congestion(sides=(4, 6, 8, 10), d=2, trials=5, seed=0) -> Table:
+
+def _congestion_trial(s, side, d):
+    """One congestion trial: path congestion of a torus random function."""
+    return torus_random_function(side, d, rng=s).path_congestion
+
+
+def _time_trial(s, side, d, bandwidth, worm_length):
+    """One timing trial: (rounds, total time) under priority routers."""
+    coll = torus_random_function(side, d, rng=s)
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        rule=CollisionRule.PRIORITY,
+        worm_length=worm_length,
+        schedule=_SCHEDULE,
+        rng=s,
+    )
+    assert res.completed
+    return res.rounds, res.total_time
+
+
+def _family_collection(s, name):
+    """Build the named node-symmetric workload for child seed ``s``."""
+    from repro.network.butterfly import WrapButterfly
+    from repro.network.ccc import CubeConnectedCycles
+    from repro.network.circulant import power_of_two_circulant
+    from repro.paths.collection import PathCollection
+    from repro.paths.problems import random_function
+    from repro.paths.selection import shortest_path_system
+    from repro.paths.selection import torus_path_collection
+
+    if name == "torus(6,6)":
+        t = Torus((6, 6))
+        return t, torus_path_collection(t, random_function(t.nodes, rng=s))
+    if name == "circulant-2^k(48)":
+        c = power_of_two_circulant(48)
+        pairs = random_function(c.nodes, rng=s)
+        return c, PathCollection(
+            [c.greedy_path(a, b) for a, b in pairs], topology=c
+        )
+    topo = {
+        "wrap-butterfly(4)": WrapButterfly(4),
+        "ccc(4)": CubeConnectedCycles(4),
+    }[name]
+    system = shortest_path_system(topo)
+    pairs = random_function(topo.nodes, rng=s)
+    return topo, PathCollection(
+        [system[(a, b)] for a, b in pairs],
+        topology=topo,
+        require_simple=False,
+    )
+
+
+def _family_trial(s, name, bandwidth, worm_length):
+    """One family trial: (congestion, rounds, total time)."""
+    _, coll = _family_collection(s, name)
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        rule=CollisionRule.PRIORITY,
+        worm_length=worm_length,
+        schedule=_SCHEDULE,
+        rng=s,
+    )
+    assert res.completed
+    return coll.path_congestion, res.rounds, res.total_time
+
+
+def run_congestion(sides=(4, 6, 8, 10), d=2, trials=5, seed=0, jobs=1) -> Table:
     """Path congestion of torus random functions vs the D^2 + log n claim."""
     table = Table(
         title=f"E-T15a: path congestion of random functions on {d}-dim tori "
@@ -35,11 +109,9 @@ def run_congestion(sides=(4, 6, 8, 10), d=2, trials=5, seed=0) -> Table:
     for side in sides:
         t = Torus((side,) * d)
         D = t.diameter
-
-        def one(s, side=side):
-            return torus_random_function(side, d, rng=s).path_congestion
-
-        cs = trial_values(one, trials, seed)
+        cs = trial_values(
+            partial(_congestion_trial, side=side, d=d), trials, seed, jobs=jobs
+        )
         table.add(
             side,
             side**d,
@@ -56,7 +128,8 @@ def run_congestion(sides=(4, 6, 8, 10), d=2, trials=5, seed=0) -> Table:
 
 
 def run_time(
-    sides=(4, 6, 8), d=2, bandwidth=2, worm_length=4, trials=5, seed=0
+    sides=(4, 6, 8), d=2, bandwidth=2, worm_length=4, trials=5, seed=0,
+    jobs=1,
 ) -> Table:
     """Routing time under priority routers vs the Theorem 1.5 bound."""
     table = Table(
@@ -64,25 +137,14 @@ def run_time(
         f"routers (B={bandwidth}, L={worm_length})",
         columns=["side", "n", "D", "rounds(mean)", "time(mean)", "thm1.5 bound"],
     )
-    schedule = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
     for side in sides:
         t = Torus((side,) * d)
         D = t.diameter
-
-        def one(s, side=side):
-            coll = torus_random_function(side, d, rng=s)
-            res = route_collection(
-                coll,
-                bandwidth=bandwidth,
-                rule=CollisionRule.PRIORITY,
-                worm_length=worm_length,
-                schedule=schedule,
-                rng=s,
-            )
-            assert res.completed
-            return res.rounds, res.total_time
-
-        outs = trial_values(one, trials, seed)
+        one = partial(
+            _time_trial, side=side, d=d, bandwidth=bandwidth,
+            worm_length=worm_length,
+        )
+        outs = trial_values(one, trials, seed, jobs=jobs)
         table.add(
             side,
             side**d,
@@ -98,7 +160,7 @@ def run_time(
     return table
 
 
-def run_families(bandwidth=2, worm_length=4, trials=5, seed=0) -> Table:
+def run_families(bandwidth=2, worm_length=4, trials=5, seed=0, jobs=1) -> Table:
     """Theorem 1.5 across four node-symmetric families.
 
     Torus (translation-invariant dimension-order paths), wrap-around
@@ -107,70 +169,23 @@ def run_families(bandwidth=2, worm_length=4, trials=5, seed=0) -> Table:
     invariant greedy paths). Every family is certified node-symmetric and
     routed with priority routers, the theorem's setting.
     """
-    from repro.network.butterfly import WrapButterfly
-    from repro.network.ccc import CubeConnectedCycles
-    from repro.network.circulant import power_of_two_circulant
     from repro.network.symmetric import is_node_symmetric
-    from repro.paths.collection import PathCollection
-    from repro.paths.problems import random_function
-    from repro.paths.selection import shortest_path_system
-    from repro.paths.selection import torus_path_collection
 
-    def torus_maker(s):
-        t = Torus((6, 6))
-        return t, torus_path_collection(t, random_function(t.nodes, rng=s))
-
-    def system_maker(topo):
-        system = shortest_path_system(topo)
-
-        def make(s, topo=topo, system=system):
-            pairs = random_function(topo.nodes, rng=s)
-            return topo, PathCollection(
-                [system[(a, b)] for a, b in pairs],
-                topology=topo,
-                require_simple=False,
-            )
-
-        return make
-
-    def circulant_maker(s):
-        c = power_of_two_circulant(48)
-        pairs = random_function(c.nodes, rng=s)
-        return c, PathCollection(
-            [c.greedy_path(a, b) for a, b in pairs], topology=c
-        )
-
-    families = {
-        "torus(6,6)": torus_maker,
-        "wrap-butterfly(4)": system_maker(WrapButterfly(4)),
-        "ccc(4)": system_maker(CubeConnectedCycles(4)),
-        "circulant-2^k(48)": circulant_maker,
-    }
+    families = ["torus(6,6)", "wrap-butterfly(4)", "ccc(4)", "circulant-2^k(48)"]
     table = Table(
         title=f"E-T15c: Theorem 1.5 across node-symmetric families "
         f"(priority routers, B={bandwidth}, L={worm_length})",
         columns=["family", "n", "D", "degree", "C~(mean)",
                  "rounds(mean)", "time(mean)", "thm1.5 bound"],
     )
-    schedule = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
-    for name, make in families.items():
-        topo, _ = make(seed)
+    for name in families:
+        topo, _ = _family_collection(seed, name)
         assert is_node_symmetric(topo, exhaustive_limit=200)
-
-        def one(s, make=make):
-            topo, coll = make(s)
-            res = route_collection(
-                coll,
-                bandwidth=bandwidth,
-                rule=CollisionRule.PRIORITY,
-                worm_length=worm_length,
-                schedule=schedule,
-                rng=s,
-            )
-            assert res.completed
-            return coll.path_congestion, res.rounds, res.total_time
-
-        outs = trial_values(one, trials, seed)
+        one = partial(
+            _family_trial, name=name, bandwidth=bandwidth,
+            worm_length=worm_length,
+        )
+        outs = trial_values(one, trials, seed, jobs=jobs)
         table.add(
             name,
             topo.n,
@@ -189,10 +204,10 @@ def run_families(bandwidth=2, worm_length=4, trials=5, seed=0) -> Table:
     return table
 
 
-def run(trials=5, seed=0) -> list[Table]:
+def run(trials=5, seed=0, jobs=1) -> list[Table]:
     """All Theorem 1.5 tables at default sizes."""
     return [
-        run_congestion(trials=trials, seed=seed),
-        run_time(trials=trials, seed=seed),
-        run_families(trials=trials, seed=seed),
+        run_congestion(trials=trials, seed=seed, jobs=jobs),
+        run_time(trials=trials, seed=seed, jobs=jobs),
+        run_families(trials=trials, seed=seed, jobs=jobs),
     ]

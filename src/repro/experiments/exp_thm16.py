@@ -10,11 +10,16 @@ The punchline the paper highlights: the number of *rounds* is
 Measured here: round counts across side lengths (should stay nearly flat)
 and across dimensions (should grow like sqrt(d)), plus the total-time
 comparison against [11]'s B = 1 bound.
+
+Trial callables are module-level (picklable), so both sweeps accept
+``jobs`` and fan trials out across processes via
+:class:`repro.runners.TrialRunner`.
 """
 
 from __future__ import annotations
 
 import math
+from functools import partial
 
 from repro.core import bounds
 from repro.core.protocol import route_collection
@@ -30,8 +35,38 @@ __all__ = ["run_side_sweep", "run_dimension_sweep", "run"]
 _SCHEDULE = GeometricSchedule(c_congestion=2.0, c_floor=0.5)
 
 
+def _side_trial(s, side, d, bandwidth, worm_length):
+    """One side-sweep trial: (congestion, rounds, total time)."""
+    coll = mesh_random_function(side, d, rng=s)
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        rule=CollisionRule.SERVE_FIRST,
+        worm_length=worm_length,
+        schedule=_SCHEDULE,
+        rng=s,
+    )
+    assert res.completed
+    return coll.path_congestion, res.rounds, res.total_time
+
+
+def _dimension_trial(s, side, d, bandwidth, worm_length):
+    """One dimension-sweep trial: rounds to completion."""
+    coll = mesh_random_function(side, d, rng=s)
+    res = route_collection(
+        coll,
+        bandwidth=bandwidth,
+        worm_length=worm_length,
+        schedule=_SCHEDULE,
+        rng=s,
+    )
+    assert res.completed
+    return res.rounds
+
+
 def run_side_sweep(
-    sides=(4, 8, 12, 16), d=2, bandwidth=2, worm_length=4, trials=5, seed=0
+    sides=(4, 8, 12, 16), d=2, bandwidth=2, worm_length=4, trials=5, seed=0,
+    jobs=1,
 ) -> Table:
     """Rounds and time vs mesh side length (rounds should stay ~flat)."""
     table = Table(
@@ -41,20 +76,11 @@ def run_side_sweep(
                  "time(mean)", "thm1.6 bound", "cypher[11] B=1"],
     )
     for side in sides:
-        def one(s, side=side):
-            coll = mesh_random_function(side, d, rng=s)
-            res = route_collection(
-                coll,
-                bandwidth=bandwidth,
-                rule=CollisionRule.SERVE_FIRST,
-                worm_length=worm_length,
-                schedule=_SCHEDULE,
-                rng=s,
-            )
-            assert res.completed
-            return coll.path_congestion, res.rounds, res.total_time
-
-        outs = trial_values(one, trials, seed)
+        one = partial(
+            _side_trial, side=side, d=d, bandwidth=bandwidth,
+            worm_length=worm_length,
+        )
+        outs = trial_values(one, trials, seed, jobs=jobs)
         table.add(
             side,
             side**d,
@@ -75,7 +101,8 @@ def run_side_sweep(
 
 
 def run_dimension_sweep(
-    dims=(1, 2, 3), side=8, bandwidth=2, worm_length=4, trials=5, seed=0
+    dims=(1, 2, 3), side=8, bandwidth=2, worm_length=4, trials=5, seed=0,
+    jobs=1,
 ) -> Table:
     """Rounds vs dimension d at (roughly) fixed side length."""
     table = Table(
@@ -84,19 +111,11 @@ def run_dimension_sweep(
         columns=["d", "n", "rounds(mean)", "pred sqrt(d)+loglog n"],
     )
     for d in dims:
-        def one(s, d=d):
-            coll = mesh_random_function(side, d, rng=s)
-            res = route_collection(
-                coll,
-                bandwidth=bandwidth,
-                worm_length=worm_length,
-                schedule=_SCHEDULE,
-                rng=s,
-            )
-            assert res.completed
-            return res.rounds
-
-        rounds = trial_values(one, trials, seed)
+        one = partial(
+            _dimension_trial, side=side, d=d, bandwidth=bandwidth,
+            worm_length=worm_length,
+        )
+        rounds = trial_values(one, trials, seed, jobs=jobs)
         table.add(
             d,
             side**d,
@@ -110,9 +129,9 @@ def run_dimension_sweep(
     return table
 
 
-def run(trials=5, seed=0) -> list[Table]:
+def run(trials=5, seed=0, jobs=1) -> list[Table]:
     """Both Theorem 1.6 tables at default sizes."""
     return [
-        run_side_sweep(trials=trials, seed=seed),
-        run_dimension_sweep(trials=trials, seed=seed),
+        run_side_sweep(trials=trials, seed=seed, jobs=jobs),
+        run_dimension_sweep(trials=trials, seed=seed, jobs=jobs),
     ]

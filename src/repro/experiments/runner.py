@@ -1,43 +1,55 @@
-"""Trial replication helpers.
+"""Trial replication helpers, backed by :mod:`repro.runners`.
 
 "W.h.p." statements become replicated trials: every trial gets an
 independent child seed derived from the experiment seed, so adding trials
 never perturbs earlier ones and every number in EXPERIMENTS.md is exactly
-reproducible.
+reproducible. All replication now routes through
+:class:`repro.runners.TrialRunner`, so any sweep gains ``jobs``-way
+process parallelism (plus per-trial timeout/retry) for free -- provided
+its trial callable is picklable (a module-level function or a
+:func:`functools.partial` over one; closures fall back to serial with a
+warning).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
-from repro._util import as_generator
+from repro.runners.trial import TrialRunner, spawn_seeds
 
-__all__ = ["spawn_seeds", "trial_values", "trial_mean"]
-
-
-def spawn_seeds(seed, n: int) -> list[int]:
-    """``n`` independent child seeds derived from ``seed``."""
-    rng = as_generator(seed)
-    return [int(s) for s in rng.integers(0, 2**63 - 1, size=n)]
+__all__ = ["spawn_seeds", "trial_values", "trial_mean", "trial_stats"]
 
 
-def trial_values(fn: Callable, trials: int, seed=0) -> list:
-    """Run ``fn(child_seed)`` for ``trials`` independent seeds."""
-    if trials <= 0:
-        raise ValueError(f"trials must be positive, got {trials}")
-    return [fn(s) for s in spawn_seeds(seed, trials)]
+def trial_values(
+    fn: Callable,
+    trials: int,
+    seed=0,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    progress=None,
+) -> list:
+    """Run ``fn(child_seed)`` for ``trials`` independent seeds.
+
+    ``jobs > 1`` fans the trials out over worker processes; results are
+    bit-identical to the serial run for the same seed.
+    """
+    runner = TrialRunner(
+        fn, jobs=jobs, timeout=timeout, retries=retries, progress=progress
+    )
+    return runner.run(trials, seed)
 
 
-def trial_mean(fn: Callable, trials: int, seed=0) -> float:
+def trial_mean(fn: Callable, trials: int, seed=0, jobs: int = 1) -> float:
     """Mean of ``fn(child_seed)`` over independent trials."""
-    return float(np.mean(trial_values(fn, trials, seed)))
+    return float(np.mean(trial_values(fn, trials, seed, jobs=jobs)))
 
 
-def trial_stats(fn: Callable, trials: int, seed=0) -> dict:
+def trial_stats(fn: Callable, trials: int, seed=0, jobs: int = 1) -> dict:
     """Mean / max / std of ``fn(child_seed)`` over independent trials."""
-    vals = np.asarray(trial_values(fn, trials, seed), dtype=float)
+    vals = np.asarray(trial_values(fn, trials, seed, jobs=jobs), dtype=float)
     return {
         "mean": float(vals.mean()),
         "max": float(vals.max()),

@@ -1,0 +1,62 @@
+"""Picklable protocol trials: route one collection many times, in parallel.
+
+The protocol layer's :func:`repro.core.protocol.route_collection` is a
+pure function of ``(collection, config, seed)``, which makes a full
+protocol execution the natural unit of parallel work. This module
+provides the module-level trial callable the
+:class:`~repro.runners.trial.TrialRunner` needs (closures cannot cross a
+process boundary) plus the convenience entry point experiments, the CLI
+and the benchmark harness share.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable
+
+from repro.core.protocol import ProtocolConfig, TrialAndFailureProtocol
+from repro.core.records import ProtocolResult
+from repro.optics.coupler import CollisionRule
+from repro.paths.collection import PathCollection
+from repro.runners.trial import TrialProgress, TrialRunner
+
+__all__ = ["protocol_trial", "route_collection_trials"]
+
+
+def protocol_trial(
+    seed: int, collection: PathCollection, config: ProtocolConfig
+) -> ProtocolResult:
+    """One full trial-and-failure execution; picklable by construction."""
+    return TrialAndFailureProtocol(collection, config).run(seed)
+
+
+def route_collection_trials(
+    collection: PathCollection,
+    bandwidth: int,
+    trials: int,
+    *,
+    rule: CollisionRule = CollisionRule.SERVE_FIRST,
+    worm_length: int = 4,
+    seed=0,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    progress: Callable[[TrialProgress], None] | None = None,
+    **config_kwargs,
+) -> list[ProtocolResult]:
+    """Route ``collection`` over ``trials`` independent seeds.
+
+    Bit-identical to calling :func:`repro.core.protocol.route_collection`
+    serially on each child seed of ``seed``, for any ``jobs``.
+    """
+    config = ProtocolConfig(
+        bandwidth=bandwidth, rule=rule, worm_length=worm_length, **config_kwargs
+    )
+    runner = TrialRunner(
+        partial(protocol_trial, collection=collection, config=config),
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+    )
+    return runner.run(trials, seed)

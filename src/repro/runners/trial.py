@@ -1,0 +1,224 @@
+"""Parallel, batched execution of independent Monte-Carlo trials.
+
+Every "w.h.p." statement in the reproduction becomes replicated trials,
+and until now every one of them ran strictly serially through the pure
+Python round loop. :class:`TrialRunner` executes many independent trials
+across a :class:`concurrent.futures.ProcessPoolExecutor` while keeping
+the *numbers* untouchable:
+
+* each trial is seeded with its own child seed from :func:`spawn_seeds`
+  (independent streams, prefix-stable in the trial count), so a trial's
+  result depends only on its seed -- never on which worker ran it or in
+  which order trials finished;
+* results are returned in trial order, making ``jobs=N`` bit-identical
+  to serial execution for the same root seed;
+* per-trial ``timeout`` and ``retries`` bound a stuck or flaky trial
+  (a timed-out attempt is abandoned and resubmitted; the abandoned
+  worker finishes in the background);
+* a structured :class:`TrialProgress` callback reports completions as
+  they happen, for long sweeps that want live feedback.
+
+The trial callable must be picklable for ``jobs > 1`` (a module-level
+function, or :func:`functools.partial` over one). Unpicklable callables
+-- the closures older experiment code builds -- transparently fall back
+to serial execution with a :class:`RuntimeWarning`, so ``--jobs`` is
+always safe to pass.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro._util import as_generator
+from repro.errors import TrialError
+
+__all__ = ["TrialProgress", "TrialRunner", "spawn_seeds"]
+
+
+def spawn_seeds(seed, n: int) -> list[int]:
+    """``n`` independent child seeds derived from ``seed``.
+
+    Prefix-stable: growing ``n`` never changes earlier seeds, so adding
+    trials to a sweep cannot perturb already published numbers.
+    """
+    rng = as_generator(seed)
+    return [int(s) for s in rng.integers(0, 2**63 - 1, size=n)]
+
+
+@dataclass(frozen=True)
+class TrialProgress:
+    """One completed (or finally failed) trial, reported as it lands.
+
+    ``index`` is the trial's position in the batch (0-based), ``seed``
+    its child seed, ``attempts`` how many submissions it took (1 =
+    first try), ``done``/``total`` the batch completion counters and
+    ``elapsed`` the seconds since the batch started. ``error`` carries
+    the failure description when the trial exhausted its retries.
+    """
+
+    index: int
+    seed: int
+    attempts: int
+    done: int
+    total: int
+    elapsed: float
+    error: str | None = None
+
+
+class TrialRunner:
+    """Run ``fn(seed)`` over many independent seeds, optionally in parallel.
+
+    ``jobs`` is the worker-process count (1 = in-process serial);
+    ``timeout`` bounds one attempt of one trial in seconds (enforced only
+    when ``jobs > 1``: a single process cannot preempt its own trial);
+    ``retries`` is how many *extra* attempts a failed or timed-out trial
+    gets before :class:`TrialError` is raised; ``progress`` is called
+    with a :class:`TrialProgress` after every trial settles.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        jobs: int = 1,
+        timeout: float | None = None,
+        retries: int = 0,
+        progress: Callable[[TrialProgress], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise TrialError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise TrialError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise TrialError(f"retries must be >= 0, got {retries}")
+        self.fn = fn
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, trials: int, seed=0) -> list:
+        """Execute ``trials`` independent trials derived from ``seed``."""
+        if trials <= 0:
+            raise TrialError(f"trials must be positive, got {trials}")
+        return self.run_seeds(spawn_seeds(seed, trials))
+
+    def run_seeds(self, seeds: Sequence[int]) -> list:
+        """Execute one trial per seed; results in seed order."""
+        seeds = list(seeds)
+        if not seeds:
+            return []
+        if self.jobs == 1 or len(seeds) == 1:
+            return self._run_serial(seeds)
+        if not self._picklable():
+            warnings.warn(
+                "trial function is not picklable; running serially "
+                "(define it at module level, or wrap module-level "
+                "functions with functools.partial, to parallelize)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._run_serial(seeds)
+        return self._run_pool(seeds)
+
+    # -- internals -----------------------------------------------------------
+
+    def _picklable(self) -> bool:
+        try:
+            pickle.dumps(self.fn)
+            return True
+        except Exception:
+            return False
+
+    def _report(
+        self, index, seed, attempts, done, total, t0, error=None
+    ) -> None:
+        if self.progress is not None:
+            self.progress(
+                TrialProgress(
+                    index=index,
+                    seed=seed,
+                    attempts=attempts,
+                    done=done,
+                    total=total,
+                    elapsed=time.perf_counter() - t0,
+                    error=error,
+                )
+            )
+
+    def _run_serial(self, seeds: list[int]) -> list:
+        t0 = time.perf_counter()
+        results = []
+        for i, seed in enumerate(seeds):
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    results.append(self.fn(seed))
+                    break
+                except Exception as exc:
+                    if attempts > self.retries:
+                        self._report(
+                            i, seed, attempts, i, len(seeds), t0, error=str(exc)
+                        )
+                        raise TrialError(
+                            f"trial {i} (seed {seed}) failed after "
+                            f"{attempts} attempt(s): {exc}"
+                        ) from exc
+            self._report(i, seed, attempts, i + 1, len(seeds), t0)
+        return results
+
+    def _run_pool(self, seeds: list[int]) -> list:
+        t0 = time.perf_counter()
+        total = len(seeds)
+        results: list = [None] * total
+        done = 0
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {i: pool.submit(self.fn, seed) for i, seed in enumerate(seeds)}
+            attempts = {i: 1 for i in futures}
+            # Settle trials in index order: per-trial timeouts compose and
+            # the progress stream matches the (deterministic) result order.
+            for i, seed in enumerate(seeds):
+                while True:
+                    try:
+                        results[i] = futures[i].result(timeout=self.timeout)
+                        break
+                    except (FutureTimeout, BrokenProcessPool) as exc:
+                        futures[i].cancel()
+                        if attempts[i] > self.retries:
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            self._report(
+                                i, seed, attempts[i], done, total, t0,
+                                error=repr(exc),
+                            )
+                            raise TrialError(
+                                f"trial {i} (seed {seed}) "
+                                f"{'timed out' if isinstance(exc, FutureTimeout) else 'lost its worker'}"
+                                f" after {attempts[i]} attempt(s)"
+                            ) from exc
+                        attempts[i] += 1
+                        futures[i] = pool.submit(self.fn, seed)
+                    except Exception as exc:
+                        if attempts[i] > self.retries:
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            self._report(
+                                i, seed, attempts[i], done, total, t0,
+                                error=str(exc),
+                            )
+                            raise TrialError(
+                                f"trial {i} (seed {seed}) failed after "
+                                f"{attempts[i]} attempt(s): {exc}"
+                            ) from exc
+                        attempts[i] += 1
+                        futures[i] = pool.submit(self.fn, seed)
+                done += 1
+                self._report(i, seed, attempts[i], done, total, t0)
+        return results

@@ -1,0 +1,83 @@
+"""The RoundResult.makespan contract: last flit movement, None if none."""
+
+import pytest
+
+from repro.core.engine import RoutingEngine
+from repro.core.reference import reference_run_round
+from repro.optics.coupler import CollisionRule
+from repro.worms.worm import Launch, Worm
+
+
+def _engine(worms):
+    return RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+
+
+class TestEmptyRound:
+    def test_engine_empty_launch_list(self):
+        worms = [Worm(uid=0, path=(0, 1), length=2)]
+        result = _engine(worms).run_round([])
+        assert result.outcomes == {}
+        assert result.collisions == ()
+        assert result.makespan is None
+
+    def test_reference_empty_launch_list(self):
+        worms = [Worm(uid=0, path=(0, 1), length=2)]
+        result = reference_run_round(
+            worms, [], CollisionRule.SERVE_FIRST
+        )
+        assert result.outcomes == {}
+        assert result.makespan is None
+
+    def test_engine_no_worms_at_all_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            _engine([])
+
+
+class TestMakespanValues:
+    def test_single_worm_full_delivery(self):
+        # Flit j crosses link i during step delay + i + j: the last of
+        # L=3 flits crosses the last of 2 links at 1 + 1 + 2 = 4.
+        worms = [Worm(uid=0, path=(0, 1, 2), length=3)]
+        launches = [Launch(worm=0, delay=1, wavelength=0)]
+        result = _engine(worms).run_round(launches)
+        assert result.outcomes[0].delivered
+        assert result.makespan == 4
+
+    def test_makespan_counts_eliminated_tails(self):
+        # Two heads tie on (1, 2) at step 1 and die; both L=5 tails
+        # keep draining their first links until step 4.
+        worms = [
+            Worm(uid=0, path=(0, 1, 2), length=5),
+            Worm(uid=1, path=(3, 1, 2), length=5),
+        ]
+        launches = [
+            Launch(worm=0, delay=0, wavelength=0),
+            Launch(worm=1, delay=0, wavelength=0),
+        ]
+        result = _engine(worms).run_round(launches)
+        assert all(not o.delivered for o in result.outcomes.values())
+        assert result.makespan == 4
+
+    def test_none_when_every_head_dies_at_first_link(self):
+        worms = [
+            Worm(uid=0, path=(0, 1, 2), length=4),
+            Worm(uid=1, path=(0, 1, 3), length=4),
+        ]
+        launches = [
+            Launch(worm=0, delay=0, wavelength=0),
+            Launch(worm=1, delay=0, wavelength=0),
+        ]
+        result = _engine(worms).run_round(launches)
+        assert all(
+            o.failed_at_link == 0 for o in result.outcomes.values()
+        )
+        assert result.makespan is None
+
+    @pytest.mark.parametrize("delay", [0, 3])
+    def test_delay_shifts_makespan(self, delay):
+        worms = [Worm(uid=0, path=(0, 1), length=2)]
+        launches = [Launch(worm=0, delay=delay, wavelength=0)]
+        result = _engine(worms).run_round(launches)
+        assert result.makespan == delay + 1

@@ -42,9 +42,16 @@ class TestContext:
         assert c.congestion_at(30) == pytest.approx(20.0)  # log2(2^20)
 
     def test_measured_congestion_overrides(self):
-        c = ctx(C=64, current=5)
-        assert c.congestion_at(1) == 5
-        assert c.congestion_at(10) == 5
+        c = ctx(C=64, current=30, n=4)  # tiny n: floor stays below C~_t
+        assert c.congestion_at(1) == 30
+        assert c.congestion_at(10) == 30
+
+    def test_measured_congestion_keeps_log_floor(self):
+        # Lemma 2.4's halving only holds down to Theta(log n): a measured
+        # C~_t below the floor must not collapse the delay range.
+        c = ctx(C=64, current=5, n=2**20)
+        assert c.congestion_at(1) == pytest.approx(20.0)
+        assert c.congestion_at(10) == pytest.approx(20.0)
 
 
 class TestPaperSchedule:

@@ -1,0 +1,136 @@
+"""Makespan triple-check: engine vs reference vs time-major oracle.
+
+``RoundResult.makespan`` is "the last step during which any flit crossed
+a link". Three computations must agree on it:
+
+1. the event engine (max over lazy occupancy-record ends),
+2. the reference simulator (per-worm, per-flit closed-form scan),
+3. a time-major oracle here: walk every step of the horizon and ask
+   "did any flit of any worm cross a link during step t?", keeping the
+   max such t.
+
+The oracle shares the reference's flit-aliveness predicate but none of
+its scan structure, so it guards against coincidentally-matching loop
+bugs; the engine comparison is fully independent. Eliminated and
+truncated worms matter most: their dumped tails keep draining upstream
+links after the cut, and that movement counts.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.engine import RoutingEngine
+from repro.core.reference import _RefWorm, reference_run_round
+from repro.optics.coupler import CollisionRule, TieRule
+from repro.worms.worm import Launch, Worm
+
+from tests.property.test_differential_engine import instances
+
+
+def _oracle_makespan(captured: list[_RefWorm]) -> int | None:
+    """Time-major brute force: max step at which any flit crosses."""
+    if not captured:
+        return None
+    horizon = max(
+        r.launch.delay + len(r.links) + r.worm.length for r in captured
+    )
+    makespan = None
+    for t in range(horizon + 1):
+        moved = any(
+            r.flit_alive_at(flit, t)
+            for r in captured
+            for flit in range(r.worm.length)
+        )
+        if moved:
+            makespan = t
+    return makespan
+
+
+def _check(worms, launches, rule, tie_rule=TieRule.ALL_LOSE):
+    fast = RoutingEngine(worms, rule, tie_rule).run_round(
+        launches, collect_collisions=False
+    )
+    captured: list[_RefWorm] = []
+    slow = reference_run_round(worms, launches, rule, tie_rule, capture=captured)
+    oracle = _oracle_makespan(captured)
+    assert fast.makespan == slow.makespan == oracle, (
+        fast.makespan, slow.makespan, oracle,
+    )
+    return fast
+
+
+class TestMakespanOracle:
+    @given(instances())
+    @settings(max_examples=200, deadline=None)
+    def test_serve_first(self, inst):
+        _check(*inst, CollisionRule.SERVE_FIRST)
+
+    @given(instances())
+    @settings(max_examples=200, deadline=None)
+    def test_priority(self, inst):
+        _check(*inst, CollisionRule.PRIORITY)
+
+    @given(instances(max_worms=3, max_len=6, max_delay=3))
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_heavy(self, inst):
+        # Long worms + tight delays maximise dumped-tail drains.
+        _check(*inst, CollisionRule.PRIORITY)
+
+
+class TestMakespanGadgets:
+    """Hand-built scenarios where the old accounting under-counted."""
+
+    def test_eliminated_tail_drains_past_cut_time(self):
+        # Both worms' heads tie on link (1, 2) at step 1 and die there
+        # (serve-first, all-lose). The L=4 tails keep crossing the first
+        # link until step 3, so makespan is 3, not the cut step 1.
+        worms = [
+            Worm(uid=0, path=(0, 1, 2), length=4),
+            Worm(uid=1, path=(3, 1, 2), length=4),
+        ]
+        launches = [
+            Launch(worm=0, delay=0, wavelength=0),
+            Launch(worm=1, delay=0, wavelength=0),
+        ]
+        result = _check(worms, launches, CollisionRule.SERVE_FIRST)
+        assert all(not o.delivered for o in result.outcomes.values())
+        assert result.makespan == 3
+
+    def test_all_cut_at_first_link_means_no_movement(self):
+        # Heads collide entering their very first link: no flit ever
+        # crosses anything, so there is no makespan.
+        worms = [
+            Worm(uid=0, path=(0, 1, 2), length=3),
+            Worm(uid=1, path=(0, 1, 3), length=3),
+        ]
+        launches = [
+            Launch(worm=0, delay=0, wavelength=0),
+            Launch(worm=1, delay=0, wavelength=0),
+        ]
+        result = _check(worms, launches, CollisionRule.SERVE_FIRST)
+        assert all(not o.delivered for o in result.outcomes.values())
+        assert result.makespan is None
+
+    def test_truncated_tail_outlives_fragment_completion(self):
+        # A high-priority arriver truncates the occupant mid-path; the
+        # occupant's dumped tail still drains its upstream links after
+        # the surviving fragment has been delivered.
+        worms = [
+            Worm(uid=0, path=(0, 1, 2, 3), length=6),   # occupant
+            Worm(uid=1, path=(4, 2, 3, 5), length=2),   # arriver
+        ]
+        launches = [
+            Launch(worm=0, delay=0, wavelength=0, priority=0),
+            Launch(worm=1, delay=2, wavelength=0, priority=1),
+        ]
+        result = _check(worms, launches, CollisionRule.PRIORITY)
+        occupant = result.outcomes[0]
+        assert occupant.failure is not None
+        # Tail flits of the occupant keep crossing links 0/1 until
+        # delay + pos + flit exhausts: the makespan exceeds both
+        # completion times.
+        completions = [
+            o.completion_time
+            for o in result.outcomes.values()
+            if o.completion_time is not None
+        ]
+        assert completions and result.makespan >= max(completions)

@@ -1,0 +1,68 @@
+"""Parallel protocol trials must be bit-identical to serial execution."""
+
+import pytest
+
+from repro.experiments.workloads import mesh_random_function
+from repro.optics.coupler import CollisionRule
+from repro.runners import protocol_trial, route_collection_trials, spawn_seeds
+
+
+def _fingerprint(result):
+    """Everything observable about one ProtocolResult, ordered."""
+    return (
+        result.completed,
+        result.rounds,
+        result.total_time,
+        tuple(
+            (r.index, r.delay_range, r.active_before, r.delivered,
+             r.observed_span)
+            for r in result.records
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return mesh_random_function(4, 2, rng=0)
+
+
+class TestSeedForSeedDeterminism:
+    def test_pool_matches_serial_fingerprints(self, collection):
+        serial = route_collection_trials(
+            collection, bandwidth=2, trials=4, seed=11, jobs=1
+        )
+        pooled = route_collection_trials(
+            collection, bandwidth=2, trials=4, seed=11, jobs=2
+        )
+        assert [_fingerprint(r) for r in serial] == [
+            _fingerprint(r) for r in pooled
+        ]
+
+    def test_matches_direct_protocol_runs(self, collection):
+        from repro.core.protocol import ProtocolConfig
+
+        config = ProtocolConfig(bandwidth=2, worm_length=4)
+        seeds = spawn_seeds(11, 3)
+        direct = [
+            _fingerprint(protocol_trial(s, collection, config)) for s in seeds
+        ]
+        batched = [
+            _fingerprint(r)
+            for r in route_collection_trials(
+                collection, bandwidth=2, trials=3, seed=11, jobs=2
+            )
+        ]
+        assert direct == batched
+
+    def test_priority_rule_passthrough(self, collection):
+        serial = route_collection_trials(
+            collection, bandwidth=2, trials=2, seed=3,
+            rule=CollisionRule.PRIORITY, jobs=1,
+        )
+        pooled = route_collection_trials(
+            collection, bandwidth=2, trials=2, seed=3,
+            rule=CollisionRule.PRIORITY, jobs=2,
+        )
+        assert [_fingerprint(r) for r in serial] == [
+            _fingerprint(r) for r in pooled
+        ]

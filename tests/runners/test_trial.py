@@ -1,0 +1,122 @@
+"""Unit tests for the TrialRunner execution substrate."""
+
+import time
+
+import pytest
+
+from repro.errors import TrialError
+from repro.runners import TrialProgress, TrialRunner, spawn_seeds
+
+_FAIL_UNTIL = {}
+
+
+def _double(seed):
+    """Picklable trial: a pure function of the seed."""
+    return seed * 2
+
+
+def _sleepy(seed):
+    """Picklable trial that outlives any reasonable per-trial timeout."""
+    time.sleep(2.0)
+    return seed
+
+
+def _always_raises(seed):
+    raise RuntimeError(f"boom for {seed}")
+
+
+def _flaky(seed):
+    """Fails once per seed, then succeeds (serial retry path only)."""
+    if _FAIL_UNTIL.get(seed, 0) < 1:
+        _FAIL_UNTIL[seed] = _FAIL_UNTIL.get(seed, 0) + 1
+        raise RuntimeError("transient")
+    return seed
+
+
+class TestSpawnSeeds:
+    def test_prefix_stable(self):
+        assert spawn_seeds(7, 3) == spawn_seeds(7, 10)[:3]
+
+    def test_distinct_roots_distinct_streams(self):
+        assert spawn_seeds(0, 4) != spawn_seeds(1, 4)
+
+
+class TestValidation:
+    def test_bad_jobs(self):
+        with pytest.raises(TrialError):
+            TrialRunner(_double, jobs=0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(TrialError):
+            TrialRunner(_double, timeout=0)
+
+    def test_bad_retries(self):
+        with pytest.raises(TrialError):
+            TrialRunner(_double, retries=-1)
+
+    def test_bad_trials_is_also_value_error(self):
+        with pytest.raises(ValueError):
+            TrialRunner(_double).run(0)
+
+    def test_empty_seed_list(self):
+        assert TrialRunner(_double).run_seeds([]) == []
+
+
+class TestDeterminism:
+    def test_pool_matches_serial(self):
+        serial = TrialRunner(_double, jobs=1).run(6, seed=3)
+        pooled = TrialRunner(_double, jobs=3).run(6, seed=3)
+        assert serial == pooled == [s * 2 for s in spawn_seeds(3, 6)]
+
+    def test_results_in_seed_order(self):
+        seeds = [9, 1, 5, 5, 2]
+        assert TrialRunner(_double, jobs=2).run_seeds(seeds) == [
+            s * 2 for s in seeds
+        ]
+
+
+class TestFallbacks:
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        captured = []
+        fn = lambda s: captured.append(s) or s  # noqa: E731 - deliberately unpicklable
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            out = TrialRunner(fn, jobs=4).run(3, seed=0)
+        assert out == spawn_seeds(0, 3)
+        assert captured == spawn_seeds(0, 3)  # ran in this process
+
+
+class TestFailureHandling:
+    def test_serial_retry_then_success(self):
+        _FAIL_UNTIL.clear()
+        out = TrialRunner(_flaky, retries=1).run(3, seed=5)
+        assert out == spawn_seeds(5, 3)
+
+    def test_serial_exhausted_retries_raise(self):
+        with pytest.raises(TrialError, match="failed after 2 attempt"):
+            TrialRunner(_always_raises, retries=1).run(2, seed=0)
+
+    def test_pool_exception_raises_trial_error(self):
+        with pytest.raises(TrialError, match="failed after 1 attempt"):
+            TrialRunner(_always_raises, jobs=2).run(2, seed=0)
+
+    def test_pool_timeout_raises_trial_error(self):
+        runner = TrialRunner(_sleepy, jobs=2, timeout=0.2)
+        with pytest.raises(TrialError, match="timed out"):
+            runner.run(2, seed=0)
+
+
+class TestProgress:
+    def test_progress_stream(self):
+        events: list[TrialProgress] = []
+        out = TrialRunner(_double, progress=events.append).run(3, seed=1)
+        assert len(out) == 3
+        assert [e.index for e in events] == [0, 1, 2]
+        assert [e.done for e in events] == [1, 2, 3]
+        assert all(e.total == 3 and e.error is None for e in events)
+        assert events[0].seed == spawn_seeds(1, 3)[0]
+
+    def test_progress_reports_final_failure(self):
+        events: list[TrialProgress] = []
+        with pytest.raises(TrialError):
+            TrialRunner(_always_raises, progress=events.append).run(1, seed=0)
+        assert events and events[-1].error is not None
