@@ -6,13 +6,23 @@ mesh, ~256 worms):
 * **round throughput** -- wall time and events/second of one batched
   ``RoutingEngine.run_round`` (an event is one head-arrival, i.e. one
   link of one worm), plus the round's makespan;
+* **stage breakdown** -- per-stage wall-clock of the same rounds,
+  attributed through the engine's own instrumentation
+  (``engine_stage_seconds``): event generation vs. contention
+  resolution vs. outcome finalisation -- plus the simulated-ack routing
+  stage (``protocol_ack_seconds``) from a full protocol execution, so
+  regressions point at a stage instead of "the engine got slower";
 * **trial throughput** -- full trial-and-failure protocol executions per
   second through :func:`repro.runners.route_collection_trials`, serially
   and with a process pool (``jobs=4``).
 
-Results go to ``benchmarks/results/BENCH_engine.json`` together with the
-host's CPU count: process-pool speedups are bounded by physical cores, so
-the speedup number is only meaningful next to ``cpu_count``. Run via
+All timings flow through one
+:class:`repro.observability.metrics.MetricsRegistry`; its full snapshot
+is embedded in the payload under ``"metrics"``, so the benchmark's JSON
+uses the same schema as every other metrics consumer. Results go to
+``benchmarks/results/BENCH_engine.json`` together with the host's CPU
+count: process-pool speedups are bounded by physical cores, so the
+speedup number is only meaningful next to ``cpu_count``. Run via
 ``make bench-engine`` or ``python benchmarks/engine_baseline.py``.
 """
 
@@ -38,26 +48,34 @@ TRIALS = 16
 POOL_JOBS = 4
 
 
-def _round_metrics():
-    """Time one batched engine round on the mesh workload."""
-    from repro.core.engine import RoutingEngine
-    from repro.experiments.workloads import mesh_random_function
-    from repro.optics.coupler import CollisionRule
-    from repro.worms.worm import Launch, make_worms
+def _mesh_launches(coll):
+    """Deterministic launches for the benchmark round."""
+    from repro.worms.worm import Launch
 
-    coll = mesh_random_function(SIDE, DIM, rng=0)
-    worms = make_worms(coll.paths, WORM_LENGTH)
     rng = np.random.default_rng(0)
     delays = rng.integers(0, 4 * coll.path_congestion, size=coll.n)
     wls = rng.integers(0, BANDWIDTH, size=coll.n)
-    launches = [
+    return [
         Launch(worm=i, delay=int(delays[i]), wavelength=int(wls[i]))
         for i in range(coll.n)
     ]
-    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+
+
+def _round_metrics(registry):
+    """Time one batched engine round; stages come from the instrumentation."""
+    from repro.core.engine import RoutingEngine
+    from repro.experiments.workloads import mesh_random_function
+    from repro.optics.coupler import CollisionRule
+    from repro.worms.worm import make_worms
+
+    coll = mesh_random_function(SIDE, DIM, rng=0)
+    worms = make_worms(coll.paths, WORM_LENGTH)
+    launches = _mesh_launches(coll)
+    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST, metrics=registry)
     events = sum(w.n_links for w in worms)
 
     engine.run_round(launches, collect_collisions=False)  # warm-up
+    registry.reset()  # keep the warm-up out of the stage histograms
     timings = []
     makespan = None
     for _ in range(ROUND_REPEATS):
@@ -66,6 +84,15 @@ def _round_metrics():
         timings.append(time.perf_counter() - t0)
         makespan = result.makespan
     best = min(timings)
+
+    stages = {}
+    for stage in ("build_events", "resolve", "finalise"):
+        hist = registry.value("engine_stage_seconds", stage=stage)
+        stages[stage] = {
+            "seconds_best": hist["min"],
+            "seconds_mean": hist["sum"] / hist["count"],
+            "share_of_round": hist["sum"] / sum(timings),
+        }
     return {
         "workload": f"mesh_random_function({SIDE}, {DIM})",
         "worms": coll.n,
@@ -74,10 +101,37 @@ def _round_metrics():
         "round_seconds_best": best,
         "round_seconds_median": statistics.median(timings),
         "events_per_second": events / best,
+        "contended_couplers_per_round": (
+            registry.value(
+                "engine_contended_couplers_total", rule="serve_first"
+            )
+            / ROUND_REPEATS
+        ),
+        "stages": stages,
     }
 
 
-def _trial_metrics():
+def _ack_stage_metrics(registry):
+    """Time the simulated-ack routing stage of one protocol execution."""
+    from repro.core.protocol import ProtocolConfig, TrialAndFailureProtocol
+    from repro.experiments.workloads import mesh_random_function
+
+    coll = mesh_random_function(SIDE, DIM, rng=0)
+    config = ProtocolConfig(
+        bandwidth=BANDWIDTH, worm_length=WORM_LENGTH, ack_mode="simulated"
+    )
+    protocol = TrialAndFailureProtocol(coll, config, metrics=registry)
+    result = protocol.run(0)
+    hist = registry.value("protocol_ack_seconds")
+    return {
+        "rounds": result.rounds,
+        "ack_seconds_total": hist["sum"],
+        "ack_seconds_mean": hist["sum"] / hist["count"],
+        "duplicate_deliveries": result.duplicate_deliveries,
+    }
+
+
+def _trial_metrics(registry):
     """Time full protocol trials, serial vs. process pool."""
     from repro.experiments.workloads import mesh_random_function
     from repro.runners import route_collection_trials
@@ -93,10 +147,12 @@ def _trial_metrics():
         return results, time.perf_counter() - t0
 
     serial, t_serial = timed(1)
+    registry.observe("bench_section_seconds", t_serial, section="trials_serial")
     # Warm-up pool run first so fork/import cost is not billed to the
     # steady-state number, then the measured run.
     timed(POOL_JOBS)
     pooled, t_pool = timed(POOL_JOBS)
+    registry.observe("bench_section_seconds", t_pool, section="trials_pool")
     assert [r.rounds for r in serial] == [r.rounds for r in pooled]
     return {
         "trials": TRIALS,
@@ -110,14 +166,25 @@ def _trial_metrics():
 
 def main() -> int:
     """Generate the baseline and write it to the results directory."""
+    from repro.observability import MetricsRegistry
+
+    registry = MetricsRegistry()
+    with registry.timer("bench_section_seconds", section="round"):
+        round_payload = _round_metrics(registry)
+    with registry.timer("bench_section_seconds", section="acks"):
+        ack_payload = _ack_stage_metrics(registry)
+    trials_payload = _trial_metrics(registry)
     payload = {
         "benchmark": "BENCH_engine",
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
-        "round": _round_metrics(),
-        "trials": _trial_metrics(),
+        "round": round_payload,
+        "acks": ack_payload,
+        "trials": trials_payload,
+        "metrics": registry.snapshot(),
         "note": "pool_speedup is bounded above by cpu_count; on a "
-        "single-core host jobs>1 cannot beat serial.",
+        "single-core host jobs>1 cannot beat serial. Stage timings come "
+        "from engine_stage_seconds/protocol_ack_seconds in 'metrics'.",
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "BENCH_engine.json"

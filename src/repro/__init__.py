@@ -23,6 +23,13 @@ Quickstart::
     print(result.rounds, result.total_time)
 """
 
+import logging as _logging
+
+# Library-standard logging: a silent root handler, so applications that
+# never configure logging see nothing, and `configure_logging` (or the
+# CLI's --log-level) is the single opt-in.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.errors import (
     ReproError,
     TopologyError,
@@ -122,6 +129,15 @@ from repro.runners import (
     TrialRunner,
     route_collection_trials,
 )
+from repro.observability import (
+    MetricsRegistry,
+    TraceWriter,
+    configure_logging,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    read_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -212,5 +228,12 @@ __all__ = [
     "TrialProgress",
     "TrialRunner",
     "route_collection_trials",
+    "MetricsRegistry",
+    "TraceWriter",
+    "configure_logging",
+    "disable_metrics",
+    "enable_metrics",
+    "get_metrics",
+    "read_trace",
     "__version__",
 ]

@@ -9,12 +9,20 @@
 
 Each experiment id matches DESIGN.md's index; ``run`` prints the same
 tables the benchmark harness saves under ``benchmarks/results/``.
+
+Observability: ``--log-level`` (before the subcommand) opts into library
+logging; ``run``/``demo`` accept ``--metrics-out PATH`` (enable the
+process metrics registry, write its JSON snapshot at exit) and
+``--trace-out PATH`` (emit a JSONL run trace: manifest + records +
+summary; ``demo`` traces every protocol round). See
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 from typing import Callable
@@ -72,6 +80,36 @@ def EXPERIMENTS() -> dict[str, tuple[str, Callable]]:
     return _registry()
 
 
+def _open_sinks(args):
+    """The (registry, trace writer) pair requested by the CLI flags.
+
+    Enabling the process-default registry is what routes the in-process
+    engine/protocol/runner instrumentation into ``--metrics-out``.
+    """
+    from repro.observability import TraceWriter, enable_metrics
+
+    registry = enable_metrics() if getattr(args, "metrics_out", None) else None
+    writer = (
+        TraceWriter(args.trace_out) if getattr(args, "trace_out", None) else None
+    )
+    return registry, writer
+
+
+def _close_sinks(args, registry, writer) -> None:
+    """Write the metrics snapshot, close the trace, restore the default."""
+    from repro.observability import disable_metrics
+
+    if writer is not None:
+        writer.close()
+        print(f"wrote trace to {args.trace_out}")
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        disable_metrics()
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+
+
 def _cmd_list(_args) -> int:
     registry = _registry()
     width = max(len(k) for k in registry)
@@ -93,27 +131,43 @@ def _cmd_run(args) -> int:
             f"unknown experiment {args.experiment!r}; try 'python -m repro list'"
         )
     jobs = getattr(args, "jobs", 1)
-    for key in targets:
-        desc, runner = registry[key]
-        kwargs = {"trials": args.trials, "seed": args.seed}
-        # Only parallel-ready experiments (module-level trial callables)
-        # advertise a ``jobs`` parameter; the rest stay serial.
-        if jobs != 1 and "jobs" in inspect.signature(runner).parameters:
-            kwargs["jobs"] = jobs
-        print(f"\n### {key}: {desc} (trials={args.trials}, seed={args.seed})")
-        t0 = time.perf_counter()
-        tables = runner(**kwargs)
-        elapsed = time.perf_counter() - t0
-        if not isinstance(tables, (list, tuple)):
-            tables = [tables]
-        for table in tables:
-            print()
-            print(table.format())
-        print(f"\n[{key} done in {elapsed:.1f}s]")
+    metrics, writer = _open_sinks(args)
+    if writer is not None:
+        writer.write_manifest(
+            command="run",
+            experiments=targets,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=jobs,
+        )
+    try:
+        for key in targets:
+            desc, runner = registry[key]
+            kwargs = {"trials": args.trials, "seed": args.seed}
+            # Only parallel-ready experiments (module-level trial callables)
+            # advertise a ``jobs`` parameter; the rest stay serial.
+            if jobs != 1 and "jobs" in inspect.signature(runner).parameters:
+                kwargs["jobs"] = jobs
+            print(f"\n### {key}: {desc} (trials={args.trials}, seed={args.seed})")
+            t0 = time.perf_counter()
+            tables = runner(**kwargs)
+            elapsed = time.perf_counter() - t0
+            if not isinstance(tables, (list, tuple)):
+                tables = [tables]
+            for table in tables:
+                print()
+                print(table.format())
+            print(f"\n[{key} done in {elapsed:.1f}s]")
+            if writer is not None:
+                writer.write("experiment", id=key, seconds=elapsed)
+        if writer is not None:
+            writer.write_summary(experiments=len(targets))
+    finally:
+        _close_sinks(args, metrics, writer)
     return 0
 
 
-def _cmd_demo(_args) -> int:
+def _cmd_demo(args) -> int:
     from repro import (
         Butterfly,
         GeometricSchedule,
@@ -126,13 +180,25 @@ def _cmd_demo(_args) -> int:
     pairs = random_permutation(range(bf.rows), rng=0)
     coll = butterfly_path_collection(bf, pairs)
     print(f"routing a random permutation on {bf.name}: {coll!r}")
-    result = route_collection(
-        coll,
-        bandwidth=4,
-        worm_length=4,
-        schedule=GeometricSchedule(c_congestion=2.0, c_floor=0.5),
-        rng=0,
-    )
+    metrics, writer = _open_sinks(args)
+    if writer is not None:
+        writer.write_manifest(
+            command="demo", seed=0, network=bf.name, worms=coll.n, bandwidth=4
+        )
+    try:
+        result = route_collection(
+            coll,
+            bandwidth=4,
+            worm_length=4,
+            schedule=GeometricSchedule(c_congestion=2.0, c_floor=0.5),
+            rng=0,
+            metrics=metrics,
+            trace=writer,
+        )
+        if writer is not None:
+            writer.write_summary(rounds=result.rounds)
+    finally:
+        _close_sinks(args, metrics, writer)
     print(f"completed in {result.rounds} rounds / {result.total_time} steps")
     for rec in result.records:
         print(
@@ -157,11 +223,31 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of Flammini & Scheideler (SPAA 1997): "
         "trial-and-failure routing for all-optical networks.",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="opt into library logging on stderr at this level",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments").set_defaults(
         fn=_cmd_list
     )
+
+    def _add_observability_flags(p) -> None:
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="enable the metrics registry and write its JSON snapshot here",
+        )
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help="write a structured JSONL run trace here",
+        )
 
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id from 'list', or 'all'")
@@ -174,11 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per sweep (results are seed-identical to "
         "--jobs 1; experiments without parallel support run serially)",
     )
+    _add_observability_flags(run)
     run.set_defaults(fn=_cmd_run)
 
-    sub.add_parser("demo", help="a 30-second protocol demo").set_defaults(
-        fn=_cmd_demo
-    )
+    demo = sub.add_parser("demo", help="a 30-second protocol demo")
+    _add_observability_flags(demo)
+    demo.set_defaults(fn=_cmd_demo)
 
     report = sub.add_parser(
         "report", help="aggregate benchmarks/results into one markdown report"
@@ -197,6 +284,10 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        from repro.observability import configure_logging
+
+        configure_logging(args.log_level)
     try:
         return args.fn(args)
     except ReproError as exc:

@@ -56,6 +56,7 @@ from repro.core.stats import (
     survivor_history,
     failure_breakdown,
     rounds_to_completion,
+    result_from_trace_file,
 )
 
 __all__ = [
@@ -86,4 +87,5 @@ __all__ = [
     "survivor_history",
     "failure_breakdown",
     "rounds_to_completion",
+    "result_from_trace_file",
 ]

@@ -25,12 +25,14 @@ arrivals take an inlined fast path.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.records import CollisionEvent, CollisionKind, RoundResult
 from repro.errors import ProtocolError
+from repro.observability.metrics import MetricsRegistry, get_metrics
 from repro.optics.coupler import CollisionRule, TieRule, resolve
 from repro.optics.signal import Arrival, Occupancy
 from repro.worms.worm import FailureKind, Launch, Worm, WormOutcome
@@ -96,6 +98,13 @@ class RoutingEngine:
     Construction precomputes each worm's directed-link ids once; each
     :meth:`run_round` call takes fresh launches (delays, wavelengths,
     priorities) for any subset of the worms.
+
+    ``metrics`` optionally names the registry that receives per-round
+    instrumentation (events generated, contended couplers, outcome
+    tallies by rule, per-stage wall time); None defers to the process
+    default, which is a no-op unless
+    :func:`repro.observability.enable_metrics` has been called, so an
+    uninstrumented engine pays only one enabled-check per round.
     """
 
     def __init__(
@@ -103,11 +112,15 @@ class RoutingEngine:
         worms: Sequence[Worm],
         rule: CollisionRule,
         tie_rule: TieRule = TieRule.ALL_LOSE,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not worms:
             raise ProtocolError("the engine needs at least one worm")
         self.rule = rule
         self.tie_rule = tie_rule
+        # None means "the process default at call time" (a no-op registry
+        # unless repro.observability.enable_metrics installed a real one).
+        self._metrics = metrics
         self._worms: dict[int, Worm] = {}
         self._link_ids: dict[int, list[int]] = {}
         self._link_index: dict[tuple, int] = {}
@@ -156,6 +169,10 @@ class RoutingEngine:
             # Nothing launched: no flit ever moves, so there is no makespan.
             return RoundResult(outcomes={}, collisions=(), makespan=None)
 
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        observe = metrics.enabled
+        t_round = time.perf_counter() if observe else 0.0
+
         runs: list[_Run] = []
         seen: set[int] = set()
         for launch in launches:
@@ -167,8 +184,13 @@ class RoutingEngine:
             seen.add(launch.worm)
             runs.append(_Run(worm, launch, self._link_ids[launch.worm]))
 
+        t_stage = time.perf_counter() if observe else 0.0
         events = self._build_events(runs)
+        if observe:
+            t_events = time.perf_counter() - t_stage
+            t_stage = time.perf_counter()
 
+        contended = 0
         collisions: list[CollisionEvent] = []
         occupancy: dict[tuple[int, int], _Record] = {}
         rule = self.rule
@@ -219,6 +241,7 @@ class RoutingEngine:
                 self._install(occupancy, key, run, p, t)
                 continue
 
+            contended += 1
             occ_obj = None
             if rec is not None:
                 occ_obj = Occupancy(
@@ -290,12 +313,63 @@ class RoutingEngine:
                 p, run = by_uid[decision.winner]
                 self._install(occupancy, key, run, p, t)
 
+        if observe:
+            t_resolve = time.perf_counter() - t_stage
+            t_stage = time.perf_counter()
         outcomes, makespan = self._finalise(runs)
+        if observe:
+            self._record_metrics(
+                metrics,
+                outcomes,
+                n_events=n_events,
+                contended=contended,
+                t_events=t_events,
+                t_resolve=t_resolve,
+                t_finalise=time.perf_counter() - t_stage,
+                t_round=time.perf_counter() - t_round,
+            )
         return RoundResult(
             outcomes=outcomes, collisions=tuple(collisions), makespan=makespan
         )
 
     # -- helpers ---------------------------------------------------------------
+
+    def _record_metrics(
+        self,
+        metrics: MetricsRegistry,
+        outcomes: dict[int, WormOutcome],
+        *,
+        n_events: int,
+        contended: int,
+        t_events: float,
+        t_resolve: float,
+        t_finalise: float,
+        t_round: float,
+    ) -> None:
+        """Ship one round's tallies into the registry (enabled path only)."""
+        rule = self.rule.name.lower()
+        delivered = eliminated = truncated = faulted = 0
+        for o in outcomes.values():
+            if o.delivered:
+                delivered += 1
+            elif o.failure is FailureKind.ELIMINATED:
+                eliminated += 1
+            elif o.failure is FailureKind.TRUNCATED:
+                truncated += 1
+            elif o.failure is FailureKind.FAULTED:
+                faulted += 1
+        metrics.inc("engine_rounds_total", rule=rule)
+        metrics.inc("engine_events_total", n_events, rule=rule)
+        metrics.inc("engine_contended_couplers_total", contended, rule=rule)
+        metrics.inc("engine_worms_launched_total", len(outcomes), rule=rule)
+        metrics.inc("engine_delivered_total", delivered, rule=rule)
+        metrics.inc("engine_eliminated_total", eliminated, rule=rule)
+        metrics.inc("engine_truncated_total", truncated, rule=rule)
+        metrics.inc("engine_faulted_total", faulted, rule=rule)
+        metrics.observe("engine_round_seconds", t_round, rule=rule)
+        metrics.observe("engine_stage_seconds", t_events, stage="build_events")
+        metrics.observe("engine_stage_seconds", t_resolve, stage="resolve")
+        metrics.observe("engine_stage_seconds", t_finalise, stage="finalise")
 
     def _build_events(
         self, runs: list[_Run]

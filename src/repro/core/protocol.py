@@ -28,7 +28,9 @@ round to round, chosen randomly, or deterministically".
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,10 +39,14 @@ from repro.core.engine import RoutingEngine
 from repro.core.records import ProtocolResult, RoundRecord
 from repro.core.schedule import DelaySchedule, GeometricSchedule, ScheduleContext
 from repro.errors import ProtocolError
+from repro.observability.metrics import MetricsRegistry, get_metrics
 from repro.optics.coupler import CollisionRule, TieRule
 from repro.paths.collection import PathCollection
 from repro.worms.worm import FailureKind, Launch, make_worms
 from repro.worms.ack import ack_worms
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.observability.trace import TraceWriter
 
 __all__ = ["ProtocolConfig", "TrialAndFailureProtocol", "route_collection"]
 
@@ -94,13 +100,36 @@ class ProtocolConfig:
 
 
 class TrialAndFailureProtocol:
-    """Drives the round loop over a fixed path collection."""
+    """Drives the round loop over a fixed path collection.
 
-    def __init__(self, collection: PathCollection, config: ProtocolConfig) -> None:
+    ``metrics`` optionally names the registry receiving per-round
+    instrumentation (active worms, deliveries, failure tallies, ack
+    timings); None defers to the process default, a no-op until
+    :func:`repro.observability.enable_metrics` opts in. ``trace``
+    optionally takes a :class:`~repro.observability.trace.TraceWriter`
+    to which the run emits one ``round`` record per round and one
+    ``trial`` summary record, tagged with ``trace_trial`` when several
+    executions share one trace file.
+    """
+
+    def __init__(
+        self,
+        collection: PathCollection,
+        config: ProtocolConfig,
+        *,
+        metrics: MetricsRegistry | None = None,
+        trace: "TraceWriter | None" = None,
+        trace_trial: int = 0,
+    ) -> None:
         self.collection = collection
         self.config = config
+        self._metrics = metrics
+        self._trace = trace
+        self._trace_trial = trace_trial
         self.worms = make_worms(collection.paths, config.worm_length)
-        self.engine = RoutingEngine(self.worms, config.rule, config.tie_rule)
+        self.engine = RoutingEngine(
+            self.worms, config.rule, config.tie_rule, metrics=metrics
+        )
         self._ack_engine: RoutingEngine | None = None
         if config.ack_mode == "simulated":
             # Reversed paths on a dedicated engine: the reserved ack band
@@ -109,6 +138,7 @@ class TrialAndFailureProtocol:
                 ack_worms(self.worms, ack_length=config.ack_length),
                 config.rule,
                 config.tie_rule,
+                metrics=metrics,
             )
         self._base_ctx = ScheduleContext(
             n=collection.n,
@@ -176,6 +206,9 @@ class TrialAndFailureProtocol:
         """Execute rounds until every worm is acknowledged (or max_rounds)."""
         cfg = self.config
         rng = as_generator(rng)
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        observe = metrics.enabled
+        t_run = time.perf_counter() if observe else 0.0
         active: list[int] = [w.uid for w in self.worms]
         delivered_round: dict[int, int] = {}
         delivered_ever: set[int] = set()
@@ -223,9 +256,14 @@ class TrialAndFailureProtocol:
                 acked = set(delivered)
                 ack_span = 0
             else:
+                t_ack = time.perf_counter() if observe else 0.0
                 acked, ack_span = self._route_acks(
                     delivered, result.outcomes, round_rng
                 )
+                if observe:
+                    metrics.observe(
+                        "protocol_ack_seconds", time.perf_counter() - t_ack
+                    )
 
             for uid in acked:
                 delivered_round.setdefault(uid, t)
@@ -250,25 +288,55 @@ class TrialAndFailureProtocol:
             observed = max(result.makespan or 0, ack_span) + 1
             total_time += duration
             observed_time += observed
-            records.append(
-                RoundRecord(
-                    index=t,
-                    delay_range=delta,
-                    active_before=len(result.outcomes),
-                    delivered=len(delivered),
-                    eliminated=eliminated,
-                    truncated=truncated,
-                    acked=len(acked),
-                    duration=duration,
-                    observed_span=observed,
-                    active_congestion=current_congestion,
-                    faulted=faulted,
-                )
+            record = RoundRecord(
+                index=t,
+                delay_range=delta,
+                active_before=len(result.outcomes),
+                delivered=len(delivered),
+                eliminated=eliminated,
+                truncated=truncated,
+                acked=len(acked),
+                duration=duration,
+                observed_span=observed,
+                active_congestion=current_congestion,
+                faulted=faulted,
             )
+            records.append(record)
+            if observe:
+                metrics.inc("protocol_rounds_total")
+                metrics.inc("protocol_delivered_total", len(delivered))
+                metrics.inc("protocol_eliminated_total", eliminated)
+                metrics.inc("protocol_truncated_total", truncated)
+                metrics.inc("protocol_faulted_total", faulted)
+                metrics.inc("protocol_acked_total", len(acked))
+                metrics.gauge("protocol_active_worms", len(active))
+                if current_congestion is not None:
+                    metrics.gauge("protocol_congestion", current_congestion)
+            if self._trace is not None:
+                self._trace.write(
+                    "round", trial=self._trace_trial, **dataclasses.asdict(record)
+                )
             if not active:
                 completed = True
                 break
 
+        if observe:
+            metrics.inc("protocol_runs_total")
+            if completed:
+                metrics.inc("protocol_completed_total")
+            metrics.inc("protocol_duplicates_total", duplicates)
+            metrics.observe("protocol_run_seconds", time.perf_counter() - t_run)
+        if self._trace is not None:
+            self._trace.write(
+                "trial",
+                trial=self._trace_trial,
+                completed=completed,
+                rounds=rounds_used,
+                total_time=total_time,
+                observed_time=observed_time,
+                delivered_round=delivered_round,
+                duplicate_deliveries=duplicates,
+            )
         return ProtocolResult(
             completed=completed,
             rounds=rounds_used,
@@ -287,14 +355,19 @@ def route_collection(
     rule: CollisionRule = CollisionRule.SERVE_FIRST,
     worm_length: int = 4,
     rng=None,
+    metrics: MetricsRegistry | None = None,
+    trace: "TraceWriter | None" = None,
     **config_kwargs,
 ) -> ProtocolResult:
     """Route a collection with default trial-and-failure configuration.
 
     Convenience entry point: builds a :class:`ProtocolConfig` from the
-    keyword arguments and runs one execution.
+    keyword arguments and runs one execution. ``metrics`` and ``trace``
+    pass straight through to :class:`TrialAndFailureProtocol`.
     """
     config = ProtocolConfig(
         bandwidth=bandwidth, rule=rule, worm_length=worm_length, **config_kwargs
     )
-    return TrialAndFailureProtocol(collection, config).run(rng)
+    return TrialAndFailureProtocol(
+        collection, config, metrics=metrics, trace=trace
+    ).run(rng)

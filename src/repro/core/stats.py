@@ -3,7 +3,9 @@
 Lemma 2.4 is a statement about the *trajectory* of the active worms' path
 congestion; Lemma 2.10 about the *survivor counts* in a bundle. These
 helpers pull exactly those trajectories out of a
-:class:`~repro.core.records.ProtocolResult`.
+:class:`~repro.core.records.ProtocolResult` -- live, or reconstructed
+from a persisted JSONL run trace via :func:`result_from_trace_file`, so
+trajectories survive the process that produced them.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ __all__ = [
     "failure_breakdown",
     "rounds_to_completion",
     "group_completion_rounds",
+    "result_from_trace_file",
 ]
 
 
@@ -72,6 +75,18 @@ def group_completion_rounds(
         rounds = [result.delivered_round.get(uid) for uid in uids]
         out[label] = None if any(r is None for r in rounds) else max(rounds)
     return out
+
+
+def result_from_trace_file(path, trial: int = 0) -> ProtocolResult:
+    """Load one execution back out of a JSONL run trace.
+
+    Every helper in this module applies to the reconstruction exactly as
+    it would to the live result (collision logs are never traced, so
+    witness machinery does not).
+    """
+    from repro.observability.trace import protocol_result_from_trace, read_trace
+
+    return protocol_result_from_trace(read_trace(path), trial=trial)
 
 
 def quantiles(values, qs=(0.5, 0.9, 1.0)) -> dict[float, float]:

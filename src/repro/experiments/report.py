@@ -4,11 +4,15 @@ The benchmark harness writes each experiment's regenerated tables to
 ``benchmarks/results/<id>.txt``. :func:`build_report` stitches them into
 a single markdown document (with the DESIGN.md experiment descriptions as
 section headers), so ``python -m repro report`` produces the full
-reproduction artifact in one file.
+reproduction artifact in one file. Observability artifacts found next to
+the tables join the report too: ``BENCH_engine.json`` (engine baseline
+with its per-stage breakdown) and any ``*.jsonl`` run traces, which are
+summarised through the :mod:`repro.observability.trace` reader.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from datetime import date
 
@@ -45,6 +49,63 @@ RESULT_SECTIONS: dict[str, str] = {
     "e_adv": "E-ADV — assembled S2.2/S3.2 lower-bound instances",
     "e_hard": "E-HARD — worst-case permutations and Valiant's trick",
 }
+
+
+def _bench_section(path: pathlib.Path) -> list[str]:
+    """Markdown lines summarising a BENCH_engine.json baseline."""
+    payload = json.loads(path.read_text())
+    lines = ["", "## Engine baseline (BENCH_engine)", ""]
+    rnd = payload.get("round", {})
+    lines.append(
+        f"- workload: {rnd.get('workload')} ({rnd.get('worms')} worms, "
+        f"{rnd.get('events_per_round')} events/round)"
+    )
+    if rnd.get("events_per_second"):
+        lines.append(f"- events/second (best round): {rnd['events_per_second']:,.0f}")
+    for stage, data in rnd.get("stages", {}).items():
+        lines.append(
+            f"- stage `{stage}`: {data['seconds_mean'] * 1e3:.2f} ms mean "
+            f"({data['share_of_round']:.0%} of round)"
+        )
+    trials = payload.get("trials", {})
+    if trials:
+        lines.append(
+            f"- trial throughput: {trials.get('trials_per_second_serial', 0):.1f}/s "
+            f"serial, pool speedup {trials.get('pool_speedup', 0):.2f}x "
+            f"on {payload.get('cpu_count')} CPU(s)"
+        )
+    return lines
+
+
+def _trace_section(path: pathlib.Path) -> list[str]:
+    """Markdown lines summarising one JSONL run trace."""
+    from repro.observability.trace import read_trace
+
+    trace = read_trace(path)
+    manifest = trace.manifest or {}
+    lines = ["", f"## Run trace — {path.name}", ""]
+    lines.append(
+        f"- command: {manifest.get('command', '?')}; seed "
+        f"{manifest.get('seed', '?')}; git {manifest.get('git_rev') or 'n/a'}"
+    )
+    lines.append(f"- records: {len(trace.records)}")
+    for trial in trace.trials():
+        rounds = [
+            r for r in trace.of_kind("round") if int(r.get("trial", 0)) == trial
+        ]
+        summary = next(
+            (t for t in trace.of_kind("trial") if int(t.get("trial", 0)) == trial),
+            None,
+        )
+        if summary is not None:
+            lines.append(
+                f"- trial {trial}: {summary['rounds']} round(s), "
+                f"{len(summary['delivered_round'])} delivered, "
+                f"total time {summary['total_time']} steps"
+            )
+        elif rounds:
+            lines.append(f"- trial {trial}: {len(rounds)} round record(s), no summary")
+    return lines
 
 
 def build_report(results_dir: pathlib.Path | str) -> str:
@@ -84,6 +145,13 @@ def build_report(results_dir: pathlib.Path | str) -> str:
         lines.append("```")
         lines.append((results_dir / f"{stem}.txt").read_text().rstrip())
         lines.append("```")
+    bench = results_dir / "BENCH_engine.json"
+    if bench.exists():
+        found += 1
+        lines.extend(_bench_section(bench))
+    for trace_path in sorted(results_dir.glob("*.jsonl")):
+        found += 1
+        lines.extend(_trace_section(trace_path))
     if found == 0:
         raise ExperimentError(
             f"{results_dir} holds no result tables; run the benchmarks first"

@@ -1,0 +1,64 @@
+"""Observability: metrics registry, structured run traces, logging.
+
+The paper's bounds are statements about trajectories -- congestion decay,
+survivor counts, rounds to completion -- and every performance PR needs
+numbers. This package is the cross-cutting layer that produces them:
+
+* :mod:`repro.observability.metrics` -- labelled counters / gauges /
+  histograms with deterministic snapshot-and-merge aggregation, so
+  process-pool trial sweeps report bit-identical counts to serial runs.
+  Disabled by default via a no-op registry (:func:`enable_metrics` opts
+  in), so the instrumented hot paths stay benchmark-neutral;
+* :mod:`repro.observability.trace` -- JSONL run traces (manifest +
+  per-round + per-trial records) with a reader that round-trips back
+  into :class:`~repro.core.records.ProtocolResult`, feeding
+  :mod:`repro.core.stats` and the report layer;
+* :mod:`repro.observability.logconf` -- stdlib ``logging`` wiring (the
+  package root ships a ``NullHandler``; :func:`configure_logging` is the
+  application opt-in, surfaced as the CLI's ``--log-level``).
+
+The instrumented layers are :class:`~repro.core.engine.RoutingEngine`,
+:class:`~repro.core.protocol.TrialAndFailureProtocol` and
+:class:`~repro.runners.trial.TrialRunner`; see docs/OBSERVABILITY.md for
+the metric names, label conventions and the trace schema.
+"""
+
+from repro.observability.logconf import LOG_FORMAT, configure_logging, get_logger
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+)
+from repro.observability.trace import (
+    TRACE_SCHEMA_VERSION,
+    RunTrace,
+    TraceWriter,
+    git_revision,
+    iter_trace,
+    protocol_result_from_trace,
+    read_trace,
+)
+
+__all__ = [
+    "LOG_FORMAT",
+    "configure_logging",
+    "get_logger",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "disable_metrics",
+    "enable_metrics",
+    "get_metrics",
+    "TRACE_SCHEMA_VERSION",
+    "RunTrace",
+    "TraceWriter",
+    "git_revision",
+    "iter_trace",
+    "protocol_result_from_trace",
+    "read_trace",
+]

@@ -1,0 +1,55 @@
+"""Library-standard logging plumbing.
+
+The package root installs a ``NullHandler`` on the ``repro`` logger (the
+library never configures global logging behind an application's back);
+:func:`configure_logging` is the opt-in that applications and the CLI's
+``--log-level`` flag use to actually see the records. It is idempotent:
+reconfiguring replaces the handler it installed earlier instead of
+stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["LOG_FORMAT", "configure_logging", "get_logger"]
+
+#: Default record format: time, level, logger, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_ROOT = "repro"
+# Marker attribute so reconfiguration replaces only our own handler.
+_MARKER = "_repro_configured_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The library root logger, or the ``repro.<name>`` child."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def configure_logging(
+    level: int | str = "info",
+    stream: TextIO | None = None,
+    fmt: str = LOG_FORMAT,
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger at ``level``.
+
+    ``level`` accepts logging constants or their lower/upper-case names;
+    ``stream`` defaults to stderr. Returns the configured root logger.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger(_ROOT)
+    for handler in list(logger.handlers):
+        if getattr(handler, _MARKER, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _MARKER, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

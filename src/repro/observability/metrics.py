@@ -1,0 +1,313 @@
+"""A lightweight, zero-dependency metrics registry.
+
+Three metric kinds, all labelled:
+
+* **counter** -- a monotonically increasing total (``inc``);
+* **gauge** -- a last-write-wins level (``gauge``);
+* **histogram** -- a distribution summary (``observe``/``timer``):
+  count, sum, min, max and non-cumulative bucket counts over fixed,
+  log-spaced upper bounds (seconds-oriented by default).
+
+Every mutation takes the registry lock, so one registry can be shared
+across threads. Cross-*process* aggregation goes through
+:meth:`MetricsRegistry.snapshot` (a plain, JSON-ready, deterministically
+ordered dict) and :meth:`MetricsRegistry.merge`: each
+:class:`~repro.runners.trial.TrialRunner` worker runs against its own
+private registry, ships the snapshot back with its result, and the
+parent merges snapshots in trial order -- so counters and gauges
+aggregate bit-identically for any ``jobs`` (wall-clock histogram *sums*
+are machine- and run-dependent by nature; their *counts* are
+deterministic).
+
+The process-global default registry is :data:`NULL_REGISTRY`, a
+:class:`NullRegistry` whose mutators are no-ops, so instrumented code
+paths cost essentially nothing until :func:`enable_metrics` swaps in a
+real registry (the CLI's ``--metrics-out`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_metrics",
+    "enable_metrics",
+    "disable_metrics",
+]
+
+# Log-spaced upper bounds (seconds-oriented); the final +inf bucket is
+# implicit. Chosen to resolve everything from a fast engine round (~100us)
+# to a long protocol sweep (minutes).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0, 600.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_key(labels: Mapping[str, object]) -> str:
+    """Canonical ``k=v,k2=v2`` string (sorted by key; '' when unlabelled)."""
+    if not labels:
+        return ""
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def parse_label_key(key: str) -> dict[str, str]:
+    """Invert :func:`_label_key`: ``'a=1,b=x'`` back to a dict."""
+    if not key:
+        return {}
+    out: dict[str, str] = {}
+    for part in key.split(","):
+        k, _, v = part.partition("=")
+        out[k] = v
+    return out
+
+
+class _Histogram:
+    """Mutable distribution summary (internal; snapshots are plain dicts)."""
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets = {str(b): 0 for b in bounds}
+        self.buckets["inf"] = 0
+
+    def observe(self, value: float, bounds: Sequence[float]) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for b in bounds:
+            if value <= b:
+                self.buckets[str(b)] += 1
+                return
+        self.buckets["inf"] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+    def merge_dict(self, other: Mapping) -> None:
+        self.count += other["count"]
+        self.sum += other["sum"]
+        for bound in ("min", "max"):
+            theirs = other[bound]
+            if theirs is None:
+                continue
+            mine = getattr(self, bound)
+            if mine is None:
+                setattr(self, bound, theirs)
+            else:
+                setattr(
+                    self, bound, min(mine, theirs) if bound == "min" else max(mine, theirs)
+                )
+        for key, n in other["buckets"].items():
+            self.buckets[key] = self.buckets.get(key, 0) + n
+
+
+class MetricsRegistry:
+    """Thread-safe registry of labelled counters, gauges and histograms.
+
+    A metric is identified by its name; the first mutation fixes its
+    kind, and reusing a name with a different kind raises ``ValueError``
+    (mixed-kind aggregation is always a bug). Labels are free-form
+    keyword arguments; each distinct label combination is its own time
+    series under the metric.
+    """
+
+    #: False only on :class:`NullRegistry`; instrumented code uses this
+    #: to skip wall-clock reads and bookkeeping entirely when disabled.
+    enabled = True
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self._lock = threading.Lock()
+        self._buckets = tuple(sorted(float(b) for b in buckets))
+        # name -> (kind, {label_key: float | _Histogram})
+        self._metrics: dict[str, tuple[str, dict]] = {}
+
+    # -- mutation ------------------------------------------------------------
+
+    def _series(self, name: str, kind: str) -> dict:
+        entry = self._metrics.get(name)
+        if entry is None:
+            entry = (kind, {})
+            self._metrics[name] = entry
+        elif entry[0] != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {entry[0]}, not a {kind}"
+            )
+        return entry[1]
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` (default 1) to the counter ``name``."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series(name, "counter")
+            series[key] = series.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._series(name, "gauge")[key] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one observation into the histogram ``name``."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series(name, "histogram")
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = _Histogram(self._buckets)
+            hist.observe(value, self._buckets)
+
+    @contextlib.contextmanager
+    def timer(self, name: str, **labels) -> Iterator[None]:
+        """Context manager observing the body's wall time into ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0, **labels)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def snapshot(self, kinds: Sequence[str] | None = None) -> dict:
+        """A plain, JSON-ready dict of every series, deterministically ordered.
+
+        ``kinds`` optionally restricts the output (e.g. ``("counter",)``
+        for the subset whose aggregation is bit-deterministic across
+        process pools).
+        """
+        out: dict = {}
+        with self._lock:
+            for name in sorted(self._metrics):
+                kind, series = self._metrics[name]
+                if kinds is not None and kind not in kinds:
+                    continue
+                values = {}
+                for key in sorted(series):
+                    v = series[key]
+                    values[key] = v.to_dict() if isinstance(v, _Histogram) else v
+                out[name] = {"kind": kind, "values": values}
+        return out
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram components add; gauges take the incoming
+        value. Merging the same snapshots in the same order always yields
+        the same registry state, which is what makes pooled trial metrics
+        reproducible.
+        """
+        for name, entry in snapshot.items():
+            kind, values = entry["kind"], entry["values"]
+            if kind not in _KINDS:
+                raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+            with self._lock:
+                series = self._series(name, kind)
+                for key, value in values.items():
+                    if kind == "counter":
+                        series[key] = series.get(key, 0) + value
+                    elif kind == "gauge":
+                        series[key] = value
+                    else:
+                        hist = series.get(key)
+                        if hist is None:
+                            hist = series[key] = _Histogram(self._buckets)
+                        hist.merge_dict(value)
+
+    # -- inspection ----------------------------------------------------------
+
+    def value(self, name: str, **labels):
+        """The current value of one series (histograms as a dict); None if unset."""
+        key = _label_key(labels)
+        with self._lock:
+            entry = self._metrics.get(name)
+            if entry is None:
+                return None
+            v = entry[1].get(key)
+            return v.to_dict() if isinstance(v, _Histogram) else v
+
+    def reset(self) -> None:
+        """Drop every series (the registry stays installed and enabled)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every mutator is a no-op.
+
+    Installed as the process default so that instrumented code can call
+    through unconditionally at near-zero cost; ``enabled`` is False so
+    hot paths can skip even the wall-clock reads that would feed it.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Discard the increment."""
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Discard the gauge write."""
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Discard the observation."""
+
+    def timer(self, name: str, **labels):
+        """A no-op context manager (no clock is read)."""
+        return contextlib.nullcontext()
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Discard the snapshot."""
+
+
+#: The shared disabled registry (also the process default until
+#: :func:`enable_metrics` is called).
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+_default_lock = threading.Lock()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-default registry (:data:`NULL_REGISTRY` unless enabled)."""
+    return _default_registry
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the process default.
+
+    Returns the installed registry so callers can snapshot it later.
+    """
+    global _default_registry
+    with _default_lock:
+        if registry is None:
+            registry = MetricsRegistry()
+        _default_registry = registry
+    return registry
+
+
+def disable_metrics() -> None:
+    """Restore the no-op default registry."""
+    global _default_registry
+    with _default_lock:
+        _default_registry = NULL_REGISTRY

@@ -1,0 +1,234 @@
+"""Structured run traces: JSONL writer, run manifest and reader API.
+
+A *run trace* is a JSON-Lines file: one JSON object per line, each with a
+``kind`` field. The conventional kinds are:
+
+* ``manifest`` -- first line; identifies the run (schema version, seed,
+  config, command, git revision, python version, start timestamp);
+* ``round`` -- one protocol round, mirroring
+  :class:`~repro.core.records.RoundRecord` field for field (plus the
+  0-based ``trial`` index when several executions share a trace);
+* ``trial`` -- one full protocol execution's summary, mirroring the
+  scalar fields of :class:`~repro.core.records.ProtocolResult` plus its
+  ``delivered_round`` map;
+* ``experiment`` -- one CLI experiment's id and wall time;
+* ``summary`` -- last line; total elapsed seconds and free-form totals.
+
+Producers hold a :class:`TraceWriter` (the protocol layer emits ``round``
+and ``trial`` records when given one); consumers call :func:`read_trace`
+and either inspect the raw records or round-trip protocol executions back
+into :class:`~repro.core.records.ProtocolResult` objects via
+:func:`protocol_result_from_trace`, after which every helper in
+:mod:`repro.core.stats` applies unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import IO, Iterator
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceWriter",
+    "RunTrace",
+    "git_revision",
+    "iter_trace",
+    "read_trace",
+    "protocol_result_from_trace",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def git_revision(cwd: str | pathlib.Path | None = None) -> str | None:
+    """The current git commit hash, or None outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+class TraceWriter:
+    """Append-only JSONL trace emitter.
+
+    Records are written with sorted keys, so byte-identical runs produce
+    byte-identical traces (timestamps aside). Usable as a context
+    manager; :meth:`close` appends nothing, so a writer abandoned
+    mid-run still leaves a readable prefix.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self._t0 = time.perf_counter()
+        self._records = 0
+
+    # -- emission ------------------------------------------------------------
+
+    def write(self, kind: str, **fields) -> None:
+        """Append one record of the given ``kind``."""
+        if self._fh is None:
+            raise ValueError(f"trace writer for {self.path} is closed")
+        record = {"kind": kind, **fields}
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._records += 1
+
+    def write_manifest(self, **fields) -> None:
+        """Append the run manifest (schema, git rev, python, start time).
+
+        Callers add run identity on top: seed, command, config, argv.
+        """
+        self.write(
+            "manifest",
+            schema=TRACE_SCHEMA_VERSION,
+            git_rev=git_revision(),
+            python=sys.version.split()[0],
+            started_unix=time.time(),
+            **fields,
+        )
+
+    def write_summary(self, **fields) -> None:
+        """Append the closing summary (records written, elapsed seconds)."""
+        self.write(
+            "summary",
+            records=self._records,
+            elapsed_seconds=time.perf_counter() - self._t0,
+            **fields,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        """Context-manager entry: the writer itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: close the file."""
+        self.close()
+
+
+@dataclass(frozen=True)
+class RunTrace:
+    """A fully read trace: the record tuple plus typed accessors."""
+
+    path: pathlib.Path
+    records: tuple[dict, ...]
+
+    @property
+    def manifest(self) -> dict | None:
+        """The manifest record, or None for manifest-less traces."""
+        for r in self.records:
+            if r["kind"] == "manifest":
+                return r
+        return None
+
+    @property
+    def summary(self) -> dict | None:
+        """The closing summary record, if the run finished cleanly."""
+        for r in reversed(self.records):
+            if r["kind"] == "summary":
+                return r
+        return None
+
+    def of_kind(self, kind: str) -> list[dict]:
+        """All records of one ``kind``, in file order."""
+        return [r for r in self.records if r["kind"] == kind]
+
+    def trials(self) -> list[int]:
+        """The distinct trial indices carrying protocol records."""
+        seen: dict[int, None] = {}
+        for r in self.records:
+            if r["kind"] in ("round", "trial"):
+                seen.setdefault(int(r.get("trial", 0)), None)
+        return list(seen)
+
+
+def iter_trace(path: str | pathlib.Path) -> Iterator[dict]:
+    """Stream a JSONL trace record by record (validating as it goes)."""
+    with pathlib.Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError(
+                    f"{path}:{lineno}: trace records must be objects with a 'kind'"
+                )
+            yield record
+
+
+def read_trace(path: str | pathlib.Path) -> RunTrace:
+    """Read and validate a whole JSONL trace."""
+    return RunTrace(path=pathlib.Path(path), records=tuple(iter_trace(path)))
+
+
+def protocol_result_from_trace(trace: RunTrace, trial: int = 0):
+    """Reconstruct a :class:`~repro.core.records.ProtocolResult` from a trace.
+
+    Only what the trace records carry comes back: round records and the
+    execution summary. Per-collision logs are never traced, so
+    ``collisions_per_round`` is empty. Raises ``ValueError`` when the
+    trace holds no ``trial`` summary for the requested index.
+    """
+    from repro.core.records import ProtocolResult, RoundRecord
+
+    rounds = []
+    for r in trace.of_kind("round"):
+        if int(r.get("trial", 0)) != trial:
+            continue
+        rounds.append(
+            RoundRecord(
+                index=r["index"],
+                delay_range=r["delay_range"],
+                active_before=r["active_before"],
+                delivered=r["delivered"],
+                eliminated=r["eliminated"],
+                truncated=r["truncated"],
+                acked=r["acked"],
+                duration=r["duration"],
+                observed_span=r["observed_span"],
+                active_congestion=r.get("active_congestion"),
+                faulted=r.get("faulted", 0),
+            )
+        )
+    summary = None
+    for r in trace.of_kind("trial"):
+        if int(r.get("trial", 0)) == trial:
+            summary = r
+            break
+    if summary is None:
+        raise ValueError(f"trace {trace.path} holds no trial record for trial {trial}")
+    return ProtocolResult(
+        completed=summary["completed"],
+        rounds=summary["rounds"],
+        total_time=summary["total_time"],
+        observed_time=summary["observed_time"],
+        records=tuple(rounds),
+        delivered_round={
+            int(uid): rnd for uid, rnd in summary["delivered_round"].items()
+        },
+        duplicate_deliveries=summary.get("duplicate_deliveries", 0),
+    )

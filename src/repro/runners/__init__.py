@@ -10,7 +10,11 @@ bit-identical to serial ones and adding trials never perturbs earlier
 results.
 """
 
-from repro.runners.protocol_trials import protocol_trial, route_collection_trials
+from repro.runners.protocol_trials import (
+    instrumented_protocol_trial,
+    protocol_trial,
+    route_collection_trials,
+)
 from repro.runners.trial import TrialProgress, TrialRunner, spawn_seeds
 
 __all__ = [
@@ -18,5 +22,6 @@ __all__ = [
     "TrialRunner",
     "spawn_seeds",
     "protocol_trial",
+    "instrumented_protocol_trial",
     "route_collection_trials",
 ]

@@ -16,11 +16,16 @@ from typing import Callable
 
 from repro.core.protocol import ProtocolConfig, TrialAndFailureProtocol
 from repro.core.records import ProtocolResult
+from repro.observability.metrics import MetricsRegistry
 from repro.optics.coupler import CollisionRule
 from repro.paths.collection import PathCollection
 from repro.runners.trial import TrialProgress, TrialRunner
 
-__all__ = ["protocol_trial", "route_collection_trials"]
+__all__ = [
+    "protocol_trial",
+    "instrumented_protocol_trial",
+    "route_collection_trials",
+]
 
 
 def protocol_trial(
@@ -28,6 +33,21 @@ def protocol_trial(
 ) -> ProtocolResult:
     """One full trial-and-failure execution; picklable by construction."""
     return TrialAndFailureProtocol(collection, config).run(seed)
+
+
+def instrumented_protocol_trial(
+    seed: int, collection: PathCollection, config: ProtocolConfig
+) -> tuple[ProtocolResult, dict]:
+    """One execution against a private registry; returns (result, snapshot).
+
+    The private-registry-per-trial shape is what makes pooled metric
+    aggregation deterministic: each worker ships its snapshot back with
+    its result, and the parent merges them in trial order, so counters
+    and gauges are bit-identical for any ``jobs``.
+    """
+    registry = MetricsRegistry()
+    result = TrialAndFailureProtocol(collection, config, metrics=registry).run(seed)
+    return result, registry.snapshot()
 
 
 def route_collection_trials(
@@ -42,21 +62,42 @@ def route_collection_trials(
     timeout: float | None = None,
     retries: int = 0,
     progress: Callable[[TrialProgress], None] | None = None,
+    metrics: MetricsRegistry | None = None,
     **config_kwargs,
 ) -> list[ProtocolResult]:
     """Route ``collection`` over ``trials`` independent seeds.
 
     Bit-identical to calling :func:`repro.core.protocol.route_collection`
     serially on each child seed of ``seed``, for any ``jobs``.
+
+    When ``metrics`` is given, every trial runs instrumented against its
+    own private registry (in the worker process for ``jobs > 1``) and the
+    snapshots are merged into ``metrics`` in trial order -- so counter
+    and gauge aggregation is bit-identical for any ``jobs`` (wall-clock
+    histogram sums are run-dependent by nature). The runner's own batch
+    metrics land in the same registry.
     """
     config = ProtocolConfig(
         bandwidth=bandwidth, rule=rule, worm_length=worm_length, **config_kwargs
     )
+    trial_fn = (
+        partial(protocol_trial, collection=collection, config=config)
+        if metrics is None
+        else partial(instrumented_protocol_trial, collection=collection, config=config)
+    )
     runner = TrialRunner(
-        partial(protocol_trial, collection=collection, config=config),
+        trial_fn,
         jobs=jobs,
         timeout=timeout,
         retries=retries,
         progress=progress,
+        metrics=metrics,
     )
-    return runner.run(trials, seed)
+    outputs = runner.run(trials, seed)
+    if metrics is None:
+        return outputs
+    results = []
+    for result, snapshot in outputs:
+        results.append(result)
+        metrics.merge(snapshot)
+    return results

@@ -21,15 +21,20 @@ the *numbers* untouchable:
 The trial callable must be picklable for ``jobs > 1`` (a module-level
 function, or :func:`functools.partial` over one). Unpicklable callables
 -- the closures older experiment code builds -- transparently fall back
-to serial execution with a :class:`RuntimeWarning`, so ``--jobs`` is
-always safe to pass.
+to serial execution with a logged warning (logger
+``repro.runners.trial``), so ``--jobs`` is always safe to pass.
+
+Batch mechanics (trial counts, per-trial latency, retries, timeouts,
+pool occupancy) are instrumented through
+:mod:`repro.observability.metrics`; pass ``metrics=`` or enable the
+process default registry to collect them.
 """
 
 from __future__ import annotations
 
+import logging
 import pickle
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -37,8 +42,11 @@ from typing import Callable, Sequence
 
 from repro._util import as_generator
 from repro.errors import TrialError
+from repro.observability.metrics import MetricsRegistry, get_metrics
 
 __all__ = ["TrialProgress", "TrialRunner", "spawn_seeds"]
+
+_log = logging.getLogger(__name__)
 
 
 def spawn_seeds(seed, n: int) -> list[int]:
@@ -79,7 +87,9 @@ class TrialRunner:
     when ``jobs > 1``: a single process cannot preempt its own trial);
     ``retries`` is how many *extra* attempts a failed or timed-out trial
     gets before :class:`TrialError` is raised; ``progress`` is called
-    with a :class:`TrialProgress` after every trial settles.
+    with a :class:`TrialProgress` after every trial settles; ``metrics``
+    optionally names the registry receiving batch instrumentation (None
+    defers to the process default, a no-op unless enabled).
     """
 
     def __init__(
@@ -90,6 +100,7 @@ class TrialRunner:
         timeout: float | None = None,
         retries: int = 0,
         progress: Callable[[TrialProgress], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if jobs < 1:
             raise TrialError(f"jobs must be >= 1, got {jobs}")
@@ -102,6 +113,7 @@ class TrialRunner:
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
+        self.metrics = metrics
 
     # -- public API ----------------------------------------------------------
 
@@ -116,18 +128,22 @@ class TrialRunner:
         seeds = list(seeds)
         if not seeds:
             return []
+        metrics = self.metrics if self.metrics is not None else get_metrics()
         if self.jobs == 1 or len(seeds) == 1:
-            return self._run_serial(seeds)
+            return self._run_serial(seeds, metrics)
         if not self._picklable():
-            warnings.warn(
-                "trial function is not picklable; running serially "
-                "(define it at module level, or wrap module-level "
-                "functions with functools.partial, to parallelize)",
-                RuntimeWarning,
-                stacklevel=2,
+            _log.warning(
+                "trial function %r is not picklable; running %d trial(s) "
+                "serially although jobs=%d were requested (define it at "
+                "module level, or wrap module-level functions with "
+                "functools.partial, to parallelize)",
+                self.fn,
+                len(seeds),
+                self.jobs,
             )
-            return self._run_serial(seeds)
-        return self._run_pool(seeds)
+            metrics.inc("runner_serial_fallbacks_total")
+            return self._run_serial(seeds, metrics)
+        return self._run_pool(seeds, metrics)
 
     # -- internals -----------------------------------------------------------
 
@@ -154,18 +170,27 @@ class TrialRunner:
                 )
             )
 
-    def _run_serial(self, seeds: list[int]) -> list:
+    def _run_serial(self, seeds: list[int], metrics: MetricsRegistry) -> list:
         t0 = time.perf_counter()
+        observe = metrics.enabled
         results = []
         for i, seed in enumerate(seeds):
             attempts = 0
             while True:
                 attempts += 1
                 try:
+                    t_trial = time.perf_counter() if observe else 0.0
                     results.append(self.fn(seed))
+                    if observe:
+                        metrics.observe(
+                            "runner_trial_seconds",
+                            time.perf_counter() - t_trial,
+                            mode="serial",
+                        )
                     break
                 except Exception as exc:
                     if attempts > self.retries:
+                        metrics.inc("runner_trials_failed_total", mode="serial")
                         self._report(
                             i, seed, attempts, i, len(seeds), t0, error=str(exc)
                         )
@@ -173,14 +198,21 @@ class TrialRunner:
                             f"trial {i} (seed {seed}) failed after "
                             f"{attempts} attempt(s): {exc}"
                         ) from exc
+                    metrics.inc("runner_retries_total", mode="serial")
             self._report(i, seed, attempts, i + 1, len(seeds), t0)
+        metrics.inc("runner_trials_total", len(results), mode="serial")
+        if observe:
+            metrics.observe(
+                "runner_batch_seconds", time.perf_counter() - t0, mode="serial"
+            )
         return results
 
-    def _run_pool(self, seeds: list[int]) -> list:
+    def _run_pool(self, seeds: list[int], metrics: MetricsRegistry) -> list:
         t0 = time.perf_counter()
         total = len(seeds)
         results: list = [None] * total
         done = 0
+        metrics.gauge("runner_pool_jobs", self.jobs)
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {i: pool.submit(self.fn, seed) for i, seed in enumerate(seeds)}
             attempts = {i: 1 for i in futures}
@@ -193,8 +225,11 @@ class TrialRunner:
                         break
                     except (FutureTimeout, BrokenProcessPool) as exc:
                         futures[i].cancel()
+                        if isinstance(exc, FutureTimeout):
+                            metrics.inc("runner_timeouts_total")
                         if attempts[i] > self.retries:
                             pool.shutdown(wait=False, cancel_futures=True)
+                            metrics.inc("runner_trials_failed_total", mode="pool")
                             self._report(
                                 i, seed, attempts[i], done, total, t0,
                                 error=repr(exc),
@@ -205,10 +240,12 @@ class TrialRunner:
                                 f" after {attempts[i]} attempt(s)"
                             ) from exc
                         attempts[i] += 1
+                        metrics.inc("runner_retries_total", mode="pool")
                         futures[i] = pool.submit(self.fn, seed)
                     except Exception as exc:
                         if attempts[i] > self.retries:
                             pool.shutdown(wait=False, cancel_futures=True)
+                            metrics.inc("runner_trials_failed_total", mode="pool")
                             self._report(
                                 i, seed, attempts[i], done, total, t0,
                                 error=str(exc),
@@ -218,7 +255,13 @@ class TrialRunner:
                                 f"{attempts[i]} attempt(s): {exc}"
                             ) from exc
                         attempts[i] += 1
+                        metrics.inc("runner_retries_total", mode="pool")
                         futures[i] = pool.submit(self.fn, seed)
                 done += 1
                 self._report(i, seed, attempts[i], done, total, t0)
+        metrics.inc("runner_trials_total", total, mode="pool")
+        if metrics.enabled:
+            metrics.observe(
+                "runner_batch_seconds", time.perf_counter() - t0, mode="pool"
+            )
         return results

@@ -76,6 +76,30 @@ class TestRenderTrace:
         )
         assert "X" in out
 
+    def test_two_worm_collision_golden(self):
+        """Full golden output: digits, '.' idle cells, 'X' head-loss marker.
+
+        Worm 1 (delay 0) occupies (b,c) during steps 1-3; worm 2
+        (delay 1) arrives there at step 2 mid-transmission and is
+        eliminated under serve-first, so the loss marker paints over
+        worm 1's flit at exactly that cell while its upstream tail
+        keeps draining over (d,b).
+        """
+        worms = [
+            Worm(uid=1, path=("a", "b", "c"), length=3),
+            Worm(uid=2, path=("d", "b", "c"), length=3),
+        ]
+        launches = [
+            Launch(worm=1, delay=0, wavelength=0),
+            Launch(worm=2, delay=1, wavelength=0),
+        ]
+        out = render_trace(worms, launches, CollisionRule.SERVE_FIRST)
+        assert out == (
+            "link ('a', 'b') wl=0 | 111....\n"
+            "link ('b', 'c') wl=0 | .1X1...\n"
+            "link ('d', 'b') wl=0 | .222..."
+        )
+
     def test_wavelengths_render_separately(self):
         worms = [Worm(uid=i, path=("x", "y"), length=1) for i in range(2)]
         out = render_trace(

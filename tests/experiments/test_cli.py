@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import _registry, build_parser, main
@@ -34,3 +37,90 @@ class TestParser:
     def test_registry_ids_are_kebab_free(self):
         for key in _registry():
             assert key.replace("_", "").isalnum()
+
+
+class TestObservabilityFlags:
+    def test_demo_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.core.stats import result_from_trace_file, survivor_history
+        from repro.observability import read_trace
+
+        trace_path = tmp_path / "demo.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "demo",
+                    "--trace-out",
+                    str(trace_path),
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote trace to" in out
+        assert "wrote metrics snapshot to" in out
+
+        # The trace is valid JSONL, round-trips through the reader API,
+        # and feeds the stats helpers.
+        trace = read_trace(trace_path)
+        assert trace.manifest["command"] == "demo"
+        assert trace.summary is not None
+        result = result_from_trace_file(trace_path)
+        assert result.completed
+        assert len(survivor_history(result)) == result.rounds
+
+        # The metrics snapshot is valid JSON in the registry schema and
+        # agrees with the traced execution.
+        snap = json.loads(metrics_path.read_text())
+        assert snap["protocol_runs_total"]["values"][""] == 1
+        assert snap["protocol_rounds_total"]["values"][""] == result.rounds
+
+    def test_run_writes_experiment_records(self, tmp_path):
+        from repro.observability import read_trace
+
+        trace_path = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "e_pred",
+                    "--trials",
+                    "2",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        trace = read_trace(trace_path)
+        assert trace.manifest["experiments"] == ["e_pred"]
+        assert [r["id"] for r in trace.of_kind("experiment")] == ["e_pred"]
+        assert trace.summary["experiments"] == 1
+
+    def test_metrics_flag_restores_null_default(self, tmp_path):
+        from repro.observability import NULL_REGISTRY, get_metrics
+
+        assert main(["demo", "--metrics-out", str(tmp_path / "m.json")]) == 0
+        assert get_metrics() is NULL_REGISTRY
+
+    def test_demo_without_flags_writes_nothing(self, tmp_path, capsys):
+        assert main(["demo"]) == 0
+        assert "wrote" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_log_level_flag_configures_logging(self):
+        try:
+            assert main(["--log-level", "debug", "list"]) == 0
+            logger = logging.getLogger("repro")
+            assert logger.level == logging.DEBUG
+            assert any(
+                getattr(h, "_repro_configured_handler", False)
+                for h in logger.handlers
+            )
+        finally:
+            for h in list(logging.getLogger("repro").handlers):
+                if getattr(h, "_repro_configured_handler", False):
+                    logging.getLogger("repro").removeHandler(h)
+            logging.getLogger("repro").setLevel(logging.NOTSET)

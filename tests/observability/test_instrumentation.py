@@ -1,0 +1,178 @@
+"""Instrumentation tests: engine/protocol/runner metrics and overhead.
+
+These pin down the observability contract: instrumented runs produce the
+same results as uninstrumented ones, counters agree with the returned
+records, pooled aggregation is bit-identical to serial, and the disabled
+(no-op) path stays within noise of an enabled round.
+"""
+
+import time
+
+import pytest
+
+from repro.core.engine import RoutingEngine
+from repro.core.protocol import route_collection
+from repro.observability.metrics import MetricsRegistry
+from repro.optics.coupler import CollisionRule
+from repro.paths.gadgets import type2_bundle
+from repro.runners import route_collection_trials
+from repro.worms.worm import Launch, Worm
+
+
+def _two_worm_setup():
+    """The golden two-worm collision: worm 1 delivered, worm 2 eliminated."""
+    worms = [
+        Worm(uid=1, path=("a", "b", "c"), length=3),
+        Worm(uid=2, path=("d", "b", "c"), length=3),
+    ]
+    launches = [
+        Launch(worm=1, delay=0, wavelength=0),
+        Launch(worm=2, delay=1, wavelength=0),
+    ]
+    return worms, launches
+
+
+class TestEngineMetrics:
+    def test_round_counters_match_known_scenario(self):
+        worms, launches = _two_worm_setup()
+        reg = MetricsRegistry()
+        engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST, metrics=reg)
+        engine.run_round(launches)
+        rule = {"rule": "serve_first"}
+        assert reg.value("engine_rounds_total", **rule) == 1
+        # All head-arrival events are built upfront: one per worm link.
+        assert reg.value("engine_events_total", **rule) == sum(
+            w.n_links for w in worms
+        )
+        assert reg.value("engine_worms_launched_total", **rule) == 2
+        assert reg.value("engine_delivered_total", **rule) == 1
+        assert reg.value("engine_eliminated_total", **rule) == 1
+        assert reg.value("engine_truncated_total", **rule) == 0
+        assert reg.value("engine_faulted_total", **rule) == 0
+        # Worm 2's head meets worm 1's occupancy on (b, c): one contended
+        # coupler group went through the slow path.
+        assert reg.value("engine_contended_couplers_total", **rule) >= 1
+
+    def test_stage_timings_one_per_round(self):
+        worms, launches = _two_worm_setup()
+        reg = MetricsRegistry()
+        engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST, metrics=reg)
+        engine.run_round(launches)
+        engine.run_round(launches)
+        for stage in ("build_events", "resolve", "finalise"):
+            hist = reg.value("engine_stage_seconds", stage=stage)
+            assert hist["count"] == 2
+        assert reg.value("engine_round_seconds", rule="serve_first")["count"] == 2
+
+    def test_counters_accumulate_across_rounds(self):
+        worms, launches = _two_worm_setup()
+        reg = MetricsRegistry()
+        engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST, metrics=reg)
+        for _ in range(3):
+            engine.run_round(launches)
+        assert reg.value("engine_rounds_total", rule="serve_first") == 3
+        assert reg.value("engine_worms_launched_total", rule="serve_first") == 6
+
+
+class TestProtocolMetrics:
+    def test_counters_agree_with_result(self):
+        coll = type2_bundle(congestion=6, D=5).collection
+        reg = MetricsRegistry()
+        result = route_collection(coll, bandwidth=2, rng=0, metrics=reg)
+        assert reg.value("protocol_runs_total") == 1
+        assert reg.value("protocol_rounds_total") == result.rounds
+        assert reg.value("protocol_delivered_total") == len(result.delivered_round)
+        assert reg.value("protocol_completed_total") == (
+            1 if result.completed else None
+        )
+        assert reg.value("protocol_run_seconds")["count"] == 1
+        if result.completed:
+            assert reg.value("protocol_active_worms") == 0
+
+    def test_instrumentation_does_not_change_results(self):
+        coll = type2_bundle(congestion=6, D=5).collection
+        plain = route_collection(coll, bandwidth=2, rng=4)
+        traced = route_collection(
+            coll, bandwidth=2, rng=4, metrics=MetricsRegistry()
+        )
+        assert traced.records == plain.records
+        assert traced.delivered_round == plain.delivered_round
+        assert traced.total_time == plain.total_time
+
+
+def _deterministic_subset(registry):
+    """Counters and gauges except the runner's own (mode-labelled) series.
+
+    The runner's batch metrics legitimately differ between serial and
+    pooled execution (``mode=serial`` vs ``mode=pool`` labels); everything
+    the trials themselves emit must be bit-identical.
+    """
+    snap = registry.snapshot(kinds=("counter", "gauge"))
+    return {k: v for k, v in snap.items() if not k.startswith("runner_")}
+
+
+class TestPooledAggregation:
+    def test_jobs2_counters_bit_identical_to_serial(self):
+        coll = type2_bundle(congestion=6, D=5).collection
+        reg_serial, reg_pool = MetricsRegistry(), MetricsRegistry()
+        serial = route_collection_trials(
+            coll, bandwidth=2, trials=4, seed=0, jobs=1, metrics=reg_serial
+        )
+        pooled = route_collection_trials(
+            coll, bandwidth=2, trials=4, seed=0, jobs=2, metrics=reg_pool
+        )
+        assert [r.records for r in serial] == [r.records for r in pooled]
+        assert _deterministic_subset(reg_serial) == _deterministic_subset(reg_pool)
+
+    def test_trial_metrics_cover_all_trials(self):
+        coll = type2_bundle(congestion=4, D=5).collection
+        reg = MetricsRegistry()
+        results = route_collection_trials(
+            coll, bandwidth=2, trials=3, seed=1, metrics=reg
+        )
+        assert reg.value("protocol_runs_total") == 3
+        assert reg.value("protocol_rounds_total") == sum(r.rounds for r in results)
+        assert reg.value("runner_trials_total", mode="serial") == 3
+
+
+class TestNoOpOverhead:
+    def test_disabled_metrics_under_five_percent(self):
+        """The no-op path must not slow an engine round by more than 5%.
+
+        Compares best-of-N round timings with the default (disabled)
+        registry against an enabled one. Wall-clock comparisons are
+        noisy, so the check retries a few times and only fails when the
+        disabled path is consistently slower than enabled + 5% -- a
+        regression tripwire for accidental work on the disabled path.
+        """
+        coll = type2_bundle(congestion=16, D=12).collection
+        from repro.worms.worm import make_worms
+
+        worms = make_worms(coll.paths, 4)
+        launches = [
+            Launch(worm=i, delay=i % 7, wavelength=i % 2) for i in range(coll.n)
+        ]
+
+        def best_round_time(engine, repeats=30):
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                engine.run_round(launches)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        disabled_engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        enabled_engine = RoutingEngine(
+            worms, CollisionRule.SERVE_FIRST, metrics=MetricsRegistry()
+        )
+        best_round_time(disabled_engine, repeats=5)  # warm-up
+        best_round_time(enabled_engine, repeats=5)
+        for attempt in range(5):
+            t_disabled = best_round_time(disabled_engine)
+            t_enabled = best_round_time(enabled_engine)
+            if t_disabled <= t_enabled * 1.05:
+                return
+        pytest.fail(
+            f"disabled-metrics round consistently slower than enabled + 5%: "
+            f"{t_disabled:.6f}s vs {t_enabled:.6f}s"
+        )

@@ -1,0 +1,77 @@
+"""Tests for the library logging plumbing."""
+
+import io
+import logging
+
+import pytest
+
+from repro.observability.logconf import LOG_FORMAT, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    """Strip any handler configure_logging installed, after each test."""
+    yield
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_configured_handler", False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+
+
+class TestNullHandler:
+    def test_package_import_installs_null_handler(self):
+        import repro  # noqa: F401 - the import is the behaviour under test
+
+        logger = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in logger.handlers)
+
+    def test_get_logger_names(self):
+        assert get_logger().name == "repro"
+        assert get_logger("runners.trial").name == "repro.runners.trial"
+
+
+class TestConfigureLogging:
+    def test_records_reach_the_stream(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("test").info("hello %s", "world")
+        out = stream.getvalue()
+        assert "hello world" in out
+        assert "repro.test" in out
+        assert "INFO" in out
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("test").info("quiet")
+        get_logger("test").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_reconfigure_replaces_not_stacks(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging("info", stream=first)
+        configure_logging("info", stream=second)
+        get_logger("test").info("once")
+        assert "once" not in first.getvalue()
+        assert second.getvalue().count("once") == 1
+        marked = [
+            h
+            for h in logging.getLogger("repro").handlers
+            if getattr(h, "_repro_configured_handler", False)
+        ]
+        assert len(marked) == 1
+
+    def test_accepts_int_level(self):
+        stream = io.StringIO()
+        logger = configure_logging(logging.DEBUG, stream=stream)
+        assert logger.level == logging.DEBUG
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("blaring")
+
+    def test_default_format_has_level_and_name(self):
+        assert "%(levelname)" in LOG_FORMAT
+        assert "%(name)" in LOG_FORMAT

@@ -1,0 +1,226 @@
+"""Unit tests for the metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    parse_label_key,
+)
+
+
+class TestCounters:
+    def test_inc_default_and_explicit(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits")
+        reg.inc("hits", 5)
+        assert reg.value("hits") == 7
+
+    def test_labels_are_separate_series(self):
+        reg = MetricsRegistry()
+        reg.inc("worms", 3, rule="serve_first")
+        reg.inc("worms", 2, rule="priority")
+        assert reg.value("worms", rule="serve_first") == 3
+        assert reg.value("worms", rule="priority") == 2
+        assert reg.value("worms") is None  # unlabelled series never touched
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("x", a=1, b=2)
+        reg.inc("x", b=2, a=1)
+        assert reg.value("x", a=1, b=2) == 2
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("active", 10)
+        reg.gauge("active", 4)
+        assert reg.value("active") == 4
+
+
+class TestHistograms:
+    def test_observe_summary_fields(self):
+        reg = MetricsRegistry()
+        for v in (0.5, 1.5, 2.5):
+            reg.observe("lat", v)
+        hist = reg.value("lat")
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(4.5)
+        assert hist["min"] == 0.5
+        assert hist["max"] == 2.5
+
+    def test_bucket_assignment_non_cumulative(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.5)  # -> bucket 1.0
+        reg.observe("lat", 0.5)
+        reg.observe("lat", 1e6)  # -> inf
+        buckets = reg.value("lat")["buckets"]
+        assert buckets["1.0"] == 2
+        assert buckets["inf"] == 1
+        assert sum(buckets.values()) == 3
+
+    def test_timer_records_one_observation(self):
+        reg = MetricsRegistry()
+        with reg.timer("t", stage="x"):
+            pass
+        hist = reg.value("t", stage="x")
+        assert hist["count"] == 1
+        assert hist["sum"] >= 0
+
+
+class TestKindConflicts:
+    def test_counter_then_gauge_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("m")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            reg.gauge("m", 1)
+
+    def test_histogram_then_counter_raises(self):
+        reg = MetricsRegistry()
+        reg.observe("m", 1.0)
+        with pytest.raises(ValueError):
+            reg.inc("m")
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z_total", 1, rule="b")
+        reg.inc("z_total", 1, rule="a")
+        reg.gauge("a_level", 2.0)
+        reg.observe("m_seconds", 0.1)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap) == sorted(snap)
+        assert list(snap["z_total"]["values"]) == ["rule=a", "rule=b"]
+        assert snap["a_level"]["kind"] == "gauge"
+        assert snap["m_seconds"]["kind"] == "histogram"
+
+    def test_snapshot_kind_filter(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.gauge("g", 1)
+        reg.observe("h", 1.0)
+        snap = reg.snapshot(kinds=("counter", "gauge"))
+        assert set(snap) == {"c", "g"}
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.value("c") is None
+
+
+class TestMerge:
+    def test_merge_adds_counters_overwrites_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2, k="x")
+        a.gauge("g", 1)
+        b.inc("c", 3, k="x")
+        b.gauge("g", 9)
+        a.merge(b.snapshot())
+        assert a.value("c", k="x") == 5
+        assert a.value("g") == 9
+
+    def test_merge_combines_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 0.5)
+        b.observe("h", 2.0)
+        b.observe("h", 3.0)
+        a.merge(b.snapshot())
+        hist = a.value("h")
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(5.5)
+        assert hist["min"] == 0.5
+        assert hist["max"] == 3.0
+
+    def test_merge_into_empty_equals_source(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.inc("c", 7, mode="serial")
+        src.observe("h", 0.25)
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_order_determinism(self):
+        snaps = []
+        for n in (1, 2, 3):
+            r = MetricsRegistry()
+            r.inc("c", n)
+            r.gauge("g", n)
+            snaps.append(r.snapshot())
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for s in snaps:
+            a.merge(s)
+        for s in snaps:
+            b.merge(s)
+        assert a.snapshot() == b.snapshot()
+
+    def test_merge_unknown_kind_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown kind"):
+            reg.merge({"m": {"kind": "mystery", "values": {"": 1}}})
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_sum_exactly(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.value("n") == 4000
+
+
+class TestNullRegistry:
+    def test_mutators_are_noops(self):
+        null = NullRegistry()
+        null.inc("c", 5)
+        null.gauge("g", 1)
+        null.observe("h", 1.0)
+        with null.timer("t"):
+            pass
+        null.merge({"c": {"kind": "counter", "values": {"": 1}}})
+        assert null.snapshot() == {}
+        assert null.enabled is False
+
+    def test_default_registry_is_null(self):
+        disable_metrics()
+        assert get_metrics() is NULL_REGISTRY
+
+    def test_enable_disable_cycle(self):
+        try:
+            installed = enable_metrics()
+            assert get_metrics() is installed
+            assert installed.enabled
+            mine = MetricsRegistry()
+            assert enable_metrics(mine) is mine
+            assert get_metrics() is mine
+        finally:
+            disable_metrics()
+        assert get_metrics() is NULL_REGISTRY
+
+
+class TestLabelKeys:
+    def test_parse_round_trip(self):
+        assert parse_label_key("") == {}
+        assert parse_label_key("a=1,b=x") == {"a": "1", "b": "x"}
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -1,0 +1,148 @@
+"""Tests for the JSONL trace writer/reader and the protocol round-trip."""
+
+import json
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, TrialAndFailureProtocol
+from repro.observability.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceWriter,
+    git_revision,
+    iter_trace,
+    protocol_result_from_trace,
+    read_trace,
+)
+from repro.paths.gadgets import type2_bundle
+
+
+class TestTraceWriter:
+    def test_write_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            writer.write_manifest(command="test", seed=7)
+            writer.write("round", trial=0, index=1, delivered=2)
+            writer.write_summary(rounds=1)
+        trace = read_trace(path)
+        assert [r["kind"] for r in trace.records] == ["manifest", "round", "summary"]
+        assert trace.manifest["command"] == "test"
+        assert trace.manifest["seed"] == 7
+        assert trace.manifest["schema"] == TRACE_SCHEMA_VERSION
+        assert trace.summary["rounds"] == 1
+        # The summary counts the records written before it.
+        assert trace.summary["records"] == 2
+
+    def test_records_use_sorted_keys(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            writer.write("round", zebra=1, alpha=2)
+        line = path.read_text().strip()
+        assert line == '{"alpha": 2, "kind": "round", "zebra": 1}'
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.jsonl")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            writer.write("round")
+
+    def test_of_kind_and_trials(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            writer.write("round", trial=0, index=1)
+            writer.write("round", trial=1, index=1)
+            writer.write("trial", trial=0)
+        trace = read_trace(path)
+        assert len(trace.of_kind("round")) == 2
+        assert trace.trials() == [0, 1]
+        assert trace.manifest is None
+        assert trace.summary is None
+
+
+class TestReaderValidation:
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "manifest"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            list(iter_trace(path))
+
+    def test_record_without_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no_kind": 1}\n')
+        with pytest.raises(ValueError, match="'kind'"):
+            list(iter_trace(path))
+
+    def test_non_object_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="objects"):
+            list(iter_trace(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text('{"kind": "round"}\n\n{"kind": "trial"}\n')
+        assert len(list(iter_trace(path))) == 2
+
+
+class TestProtocolRoundTrip:
+    def test_traced_execution_reconstructs_exactly(self, tmp_path):
+        coll = type2_bundle(congestion=6, D=5).collection
+        config = ProtocolConfig(bandwidth=2, worm_length=4)
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            writer.write_manifest(command="test", seed=3)
+            direct = TrialAndFailureProtocol(coll, config, trace=writer).run(3)
+        rebuilt = protocol_result_from_trace(read_trace(path))
+        assert rebuilt.records == direct.records
+        assert rebuilt.delivered_round == direct.delivered_round
+        assert rebuilt.completed == direct.completed
+        assert rebuilt.rounds == direct.rounds
+        assert rebuilt.total_time == direct.total_time
+        assert rebuilt.observed_time == direct.observed_time
+        assert rebuilt.duplicate_deliveries == direct.duplicate_deliveries
+
+    def test_delivered_round_keys_back_to_int(self, tmp_path):
+        coll = type2_bundle(congestion=4, D=5).collection
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            TrialAndFailureProtocol(
+                coll, ProtocolConfig(bandwidth=2), trace=writer
+            ).run(0)
+        rebuilt = protocol_result_from_trace(read_trace(path))
+        assert all(isinstance(uid, int) for uid in rebuilt.delivered_round)
+
+    def test_missing_trial_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            writer.write("round", trial=0, index=1)
+        with pytest.raises(ValueError, match="no trial record"):
+            protocol_result_from_trace(read_trace(path), trial=5)
+
+    def test_stats_reader_applies(self, tmp_path):
+        from repro.core.stats import result_from_trace_file, survivor_history
+
+        coll = type2_bundle(congestion=6, D=5).collection
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            direct = TrialAndFailureProtocol(
+                coll, ProtocolConfig(bandwidth=2), trace=writer
+            ).run(1)
+        rebuilt = result_from_trace_file(path)
+        assert survivor_history(rebuilt) == survivor_history(direct)
+
+
+class TestGitRevision:
+    def test_inside_repo_returns_hash(self):
+        rev = git_revision(cwd=".")
+        assert rev is None or (len(rev) == 40 and set(rev) <= set("0123456789abcdef"))
+
+    def test_outside_repo_returns_none(self, tmp_path):
+        assert git_revision(cwd=tmp_path) is None
+
+    def test_manifest_json_serialisable(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with TraceWriter(path) as writer:
+            writer.write_manifest(command="x")
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["kind"] == "manifest"
+        assert "git_rev" in record and "python" in record

@@ -76,13 +76,28 @@ class TestDeterminism:
 
 
 class TestFallbacks:
-    def test_unpicklable_fn_falls_back_to_serial(self):
+    def test_unpicklable_fn_falls_back_to_serial(self, caplog):
         captured = []
         fn = lambda s: captured.append(s) or s  # noqa: E731 - deliberately unpicklable
-        with pytest.warns(RuntimeWarning, match="not picklable"):
+        with caplog.at_level("WARNING", logger="repro.runners.trial"):
             out = TrialRunner(fn, jobs=4).run(3, seed=0)
         assert out == spawn_seeds(0, 3)
         assert captured == spawn_seeds(0, 3)  # ran in this process
+        record = next(
+            r for r in caplog.records if "not picklable" in r.getMessage()
+        )
+        # Structured context: how many trials, and the jobs requested.
+        assert "3 trial(s)" in record.getMessage()
+        assert "jobs=4" in record.getMessage()
+
+    def test_fallback_counted_in_metrics(self):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        fn = lambda s: s  # noqa: E731 - deliberately unpicklable
+        TrialRunner(fn, jobs=4, metrics=reg).run(2, seed=0)
+        assert reg.value("runner_serial_fallbacks_total") == 1
+        assert reg.value("runner_trials_total", mode="serial") == 2
 
 
 class TestFailureHandling:
