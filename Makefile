@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-engine report examples all clean
+.PHONY: install test bench bench-engine bench-series report examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -15,6 +15,9 @@ bench:
 
 bench-engine:
 	PYTHONPATH=src $(PY) benchmarks/engine_baseline.py
+
+bench-series:
+	PYTHONPATH=src $(PY) benchmarks/bench_series.py
 
 report: bench
 	$(PY) -m repro report

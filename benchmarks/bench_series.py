@@ -1,0 +1,207 @@
+"""Append one sample to ``BENCH_engine.json``: the engine perf time-series.
+
+Where :mod:`benchmarks.engine_baseline` writes a full one-off snapshot
+under ``benchmarks/results/``, this script maintains a *time series* at
+the repository root: every invocation measures the same E-T16-sized
+workload (random function on the 16x16 mesh) and appends one
+schema-versioned sample::
+
+    {
+      "benchmark": "engine_series",
+      "schema": 1,
+      "samples": [
+        {"schema": 1, "taken_unix": ..., "git_rev": ..., "python": ...,
+         "cpu_count": ..., "workload": ..., "worms": ...,
+         "events_per_round": ..., "round_seconds_median": ...,
+         "round_seconds_best": ..., "events_per_second": ...,
+         "stages": {"build_events": ..., "resolve": ..., "finalise": ...},
+         "trials_per_second_serial": ...},
+        ...
+      ]
+    }
+
+Stage means come from the engine's own ``engine_stage_seconds``
+instrumentation, so a slowdown points at a stage instead of "the engine
+got slower". After appending, the script compares the new
+``round_seconds_median`` against the previous sample's and exits
+non-zero on a >25% slowdown (the CI gate); the sample is appended either
+way, so the series keeps recording even across regressions. Run via
+``make bench-series`` or ``python benchmarks/bench_series.py``; tune
+with ``--threshold`` or skip the gate with ``--no-check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+SERIES_SCHEMA = 1
+DEFAULT_SERIES = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+DEFAULT_THRESHOLD = 1.25
+
+SIDE = 16
+DIM = 2
+BANDWIDTH = 2
+WORM_LENGTH = 4
+ROUND_REPEATS = 15
+TRIALS = 8
+
+
+def collect_sample() -> dict:
+    """Measure one series sample on the canonical workload."""
+    import numpy as np
+
+    from repro.core.engine import RoutingEngine
+    from repro.experiments.workloads import mesh_random_function
+    from repro.observability import MetricsRegistry, git_revision
+    from repro.optics.coupler import CollisionRule
+    from repro.runners import route_collection_trials
+    from repro.worms.worm import Launch, make_worms
+
+    registry = MetricsRegistry()
+    coll = mesh_random_function(SIDE, DIM, rng=0)
+    worms = make_worms(coll.paths, WORM_LENGTH)
+    rng = np.random.default_rng(0)
+    delays = rng.integers(0, 4 * coll.path_congestion, size=coll.n)
+    wls = rng.integers(0, BANDWIDTH, size=coll.n)
+    launches = [
+        Launch(worm=i, delay=int(delays[i]), wavelength=int(wls[i]))
+        for i in range(coll.n)
+    ]
+    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST, metrics=registry)
+    events = sum(w.n_links for w in worms)
+
+    engine.run_round(launches, collect_collisions=False)  # warm-up
+    registry.reset()
+    timings = []
+    for _ in range(ROUND_REPEATS):
+        t0 = time.perf_counter()
+        engine.run_round(launches, collect_collisions=False)
+        timings.append(time.perf_counter() - t0)
+
+    stages = {}
+    for stage in ("build_events", "resolve", "finalise"):
+        hist = registry.value("engine_stage_seconds", stage=stage)
+        stages[stage] = hist["sum"] / hist["count"]
+
+    t0 = time.perf_counter()
+    route_collection_trials(
+        coll, bandwidth=BANDWIDTH, trials=TRIALS,
+        worm_length=WORM_LENGTH, seed=0, jobs=1,
+    )
+    t_serial = time.perf_counter() - t0
+
+    best = min(timings)
+    return {
+        "schema": SERIES_SCHEMA,
+        "taken_unix": time.time(),
+        "git_rev": git_revision(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "workload": f"mesh_random_function({SIDE}, {DIM})",
+        "worms": coll.n,
+        "events_per_round": events,
+        "round_seconds_median": statistics.median(timings),
+        "round_seconds_best": best,
+        "events_per_second": events / best,
+        "stages": stages,
+        "trials_per_second_serial": TRIALS / t_serial,
+    }
+
+
+def load_series(path: str | pathlib.Path) -> dict:
+    """Read the series file, or a fresh empty series when absent."""
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return {"benchmark": "engine_series", "schema": SERIES_SCHEMA, "samples": []}
+    series = json.loads(path.read_text(encoding="utf-8"))
+    if series.get("benchmark") != "engine_series":
+        raise ValueError(f"{path} is not an engine_series file")
+    if series.get("schema") != SERIES_SCHEMA:
+        raise ValueError(
+            f"{path}: series schema {series.get('schema')} != "
+            f"supported {SERIES_SCHEMA}"
+        )
+    return series
+
+
+def check_regression(
+    series: dict, sample: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Gate failures for ``sample`` against the series' last sample.
+
+    Compares ``round_seconds_median`` (the stable aggregate; ``best`` is
+    too noisy on shared CI hosts). An empty series passes trivially.
+    """
+    samples = series.get("samples", [])
+    if not samples:
+        return []
+    previous = samples[-1]
+    before = previous["round_seconds_median"]
+    now = sample["round_seconds_median"]
+    if before > 0 and now > threshold * before:
+        return [
+            f"round_seconds_median regressed {now / before:.2f}x "
+            f"({before:.6f}s -> {now:.6f}s, threshold {threshold:.2f}x, "
+            f"previous git_rev {previous.get('git_rev')})"
+        ]
+    return []
+
+
+def append_sample(path: str | pathlib.Path, sample: dict) -> dict:
+    """Append ``sample`` to the series at ``path`` and rewrite the file."""
+    path = pathlib.Path(path)
+    series = load_series(path)
+    series["samples"].append(sample)
+    path.write_text(json.dumps(series, indent=2) + "\n", encoding="utf-8")
+    return series
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Measure, append, gate; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--out", default=str(DEFAULT_SERIES), help="series JSON path"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fail when median round time exceeds this multiple of the "
+        "previous sample's (default 1.25)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="append the sample without enforcing the regression gate",
+    )
+    args = parser.parse_args(argv)
+
+    sample = collect_sample()
+    series_before = load_series(args.out)
+    failures = (
+        []
+        if args.no_check
+        else check_regression(series_before, sample, threshold=args.threshold)
+    )
+    series = append_sample(args.out, sample)
+    print(
+        f"sample {len(series['samples'])}: median round "
+        f"{sample['round_seconds_median'] * 1e3:.2f}ms, "
+        f"{sample['events_per_second']:.0f} events/s, "
+        f"{sample['trials_per_second_serial']:.2f} trials/s "
+        f"(git {sample['git_rev'] or 'n/a'})"
+    )
+    print(f"appended to {args.out}")
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,12 @@ Each experiment id matches DESIGN.md's index; ``run`` prints the same
 tables the benchmark harness saves under ``benchmarks/results/``.
 
 Observability: ``--log-level`` (before the subcommand) opts into library
-logging; ``run``/``demo`` accept ``--metrics-out PATH`` (enable the
-process metrics registry, write its JSON snapshot at exit) and
-``--trace-out PATH`` (emit a JSONL run trace: manifest + records +
-summary; ``demo`` traces every protocol round). See
+logging; every work-executing subcommand (``run``/``demo``/``report``)
+accepts ``--metrics-out PATH`` (enable the process metrics registry,
+write its JSON snapshot at exit) and ``--trace-out PATH`` (emit a JSONL
+run trace: manifest + records + summary; ``demo`` traces every protocol
+round, and ``demo --flight`` adds per-worm flight-recorder events).
+``repro trace {summary,timeline,links,diff}`` analyses saved traces. See
 docs/OBSERVABILITY.md.
 """
 
@@ -23,6 +25,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 import time
 from typing import Callable
@@ -167,6 +170,23 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _read_trace_arg(path: str, *, strict: bool = False):
+    """Read a CLI-supplied trace path, with a clear error when missing.
+
+    Analysis subcommands read with ``strict=False`` so crash-truncated
+    traces still render a partial view.
+    """
+    import pathlib
+
+    from repro.errors import ObservabilityError
+    from repro.observability import read_trace
+
+    p = pathlib.Path(path)
+    if not p.is_file():
+        raise ObservabilityError(f"trace file not found: {p}")
+    return read_trace(p, strict=strict)
+
+
 def _cmd_demo(args) -> int:
     from repro import (
         Butterfly,
@@ -180,6 +200,13 @@ def _cmd_demo(args) -> int:
     pairs = random_permutation(range(bf.rows), rng=0)
     coll = butterfly_path_collection(bf, pairs)
     print(f"routing a random permutation on {bf.name}: {coll!r}")
+    flight = getattr(args, "flight", False)
+    if flight and not getattr(args, "trace_out", None):
+        from repro.errors import ObservabilityError
+
+        raise ObservabilityError(
+            "--flight records through the run trace; pass --trace-out PATH too"
+        )
     metrics, writer = _open_sinks(args)
     if writer is not None:
         writer.write_manifest(
@@ -194,6 +221,7 @@ def _cmd_demo(args) -> int:
             rng=0,
             metrics=metrics,
             trace=writer,
+            flight=flight,
         )
         if writer is not None:
             writer.write_summary(rounds=result.rounds)
@@ -211,9 +239,76 @@ def _cmd_demo(args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.report import write_report
 
-    sections = write_report(args.results, args.out)
+    metrics, writer = _open_sinks(args)
+    if writer is not None:
+        writer.write_manifest(command="report", results=args.results, out=args.out)
+    try:
+        t0 = time.perf_counter()
+        sections = write_report(args.results, args.out)
+        if writer is not None:
+            writer.write_summary(
+                sections=sections, elapsed=time.perf_counter() - t0
+            )
+    finally:
+        _close_sinks(args, metrics, writer)
     print(f"wrote {args.out} with {sections} sections")
     return 0
+
+
+def _cmd_trace_summary(args) -> int:
+    from repro.observability import summarize_trace
+
+    print(summarize_trace(_read_trace_arg(args.trace)))
+    return 0
+
+
+def _cmd_trace_timeline(args) -> int:
+    from repro.errors import ObservabilityError
+    from repro.observability import render_timeline, replay_rounds
+
+    rounds = replay_rounds(_read_trace_arg(args.trace), trial=args.trial)
+    if args.round is not None:
+        rounds = [rr for rr in rounds if rr.round == args.round]
+    if not rounds:
+        raise ObservabilityError(
+            f"{args.trace}: no flight-recorder rounds match "
+            f"(trial={args.trial}, round={args.round}); record with "
+            "'repro demo --flight --trace-out PATH' or flight=True"
+        )
+    print(
+        "\n\n".join(
+            render_timeline(rr, width=args.width, max_worms=args.max_worms)
+            for rr in rounds
+        )
+    )
+    return 0
+
+
+def _cmd_trace_links(args) -> int:
+    from repro.errors import ObservabilityError
+    from repro.observability import link_stats, render_links, replay_rounds
+
+    rounds = replay_rounds(_read_trace_arg(args.trace), trial=args.trial)
+    if not rounds:
+        raise ObservabilityError(
+            f"{args.trace}: no flight-recorder rounds found; record with "
+            "'repro demo --flight --trace-out PATH' or flight=True"
+        )
+    print(render_links(link_stats(rounds), top=args.top))
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.observability import diff_traces
+
+    diffs = diff_traces(_read_trace_arg(args.a), _read_trace_arg(args.b))
+    if not diffs:
+        print("traces are equivalent")
+        return 0
+    for line in diffs:
+        print(line)
+    print(f"\n{len(diffs)} difference(s)")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,6 +360,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="a 30-second protocol demo")
     _add_observability_flags(demo)
+    demo.add_argument(
+        "--flight",
+        action="store_true",
+        help="record per-worm flight events into --trace-out "
+        "(analyse with 'repro trace')",
+    )
     demo.set_defaults(fn=_cmd_demo)
 
     report = sub.add_parser(
@@ -276,7 +377,57 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--out", default="REPRODUCTION_REPORT.md", help="output markdown path"
     )
+    _add_observability_flags(report)
     report.set_defaults(fn=_cmd_report)
+
+    trace = sub.add_parser(
+        "trace", help="analyse a saved JSONL run trace (.jsonl or .jsonl.gz)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    t_summary = trace_sub.add_parser(
+        "summary",
+        help="overview: manifest, record counts, replay verification, hot-spots",
+    )
+    t_summary.add_argument("trace", help="trace path")
+    t_summary.set_defaults(fn=_cmd_trace_summary)
+
+    t_timeline = trace_sub.add_parser(
+        "timeline", help="ASCII per-worm timeline of replayed round(s)"
+    )
+    t_timeline.add_argument("trace", help="trace path (needs flight events)")
+    t_timeline.add_argument(
+        "--trial", type=int, default=None, help="restrict to one trial"
+    )
+    t_timeline.add_argument(
+        "--round", type=int, default=None, help="restrict to one round index"
+    )
+    t_timeline.add_argument(
+        "--width", type=int, default=72, help="timeline width in columns"
+    )
+    t_timeline.add_argument(
+        "--max-worms", type=int, default=32, help="rows per round before eliding"
+    )
+    t_timeline.set_defaults(fn=_cmd_trace_timeline)
+
+    t_links = trace_sub.add_parser(
+        "links", help="per-link utilization heatmap and contention ranking"
+    )
+    t_links.add_argument("trace", help="trace path (needs flight events)")
+    t_links.add_argument(
+        "--trial", type=int, default=None, help="restrict to one trial"
+    )
+    t_links.add_argument(
+        "--top", type=int, default=20, help="links shown, busiest first"
+    )
+    t_links.set_defaults(fn=_cmd_trace_links)
+
+    t_diff = trace_sub.add_parser(
+        "diff", help="material differences between two traces (exit 1 if any)"
+    )
+    t_diff.add_argument("a", help="first trace path")
+    t_diff.add_argument("b", help="second trace path")
+    t_diff.set_defaults(fn=_cmd_trace_diff)
     return parser
 
 
@@ -293,6 +444,11 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

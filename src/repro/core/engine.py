@@ -26,7 +26,7 @@ arrivals take an inlined fast path.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.observability.metrics import MetricsRegistry, get_metrics
 from repro.optics.coupler import CollisionRule, TieRule, resolve
 from repro.optics.signal import Arrival, Occupancy
 from repro.worms.worm import FailureKind, Launch, Worm, WormOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.observability.flightrec import FlightRecorder
 
 __all__ = ["RoutingEngine", "run_round"]
 
@@ -154,6 +157,7 @@ class RoutingEngine:
         launches: Sequence[Launch],
         collect_collisions: bool = True,
         dead_links: Sequence[tuple] | None = None,
+        recorder: "FlightRecorder | None" = None,
     ) -> RoundResult:
         """Simulate one forward pass for the launched worms.
 
@@ -162,8 +166,12 @@ class RoutingEngine:
         are directed links that are down for the whole round (fault
         injection): any head reaching one is lost there -- the signal
         enters a dark fiber -- and the worm fails with kind ``FAULTED``.
-        Returns the per-worm outcomes and, when requested, every losing
-        collision.
+        ``recorder`` optionally takes a
+        :class:`~repro.observability.flightrec.FlightRecorder` that
+        receives one structured event per worm state change (launch,
+        head advance, truncation, elimination, fault); the disabled path
+        costs one ``is not None`` check per event. Returns the per-worm
+        outcomes and, when requested, every losing collision.
         """
         if not launches:
             # Nothing launched: no flit ever moves, so there is no makespan.
@@ -183,6 +191,9 @@ class RoutingEngine:
                 raise ProtocolError(f"worm uid {launch.worm} launched twice")
             seen.add(launch.worm)
             runs.append(_Run(worm, launch, self._link_ids[launch.worm]))
+        if recorder is not None:
+            for run in runs:
+                recorder.launch(run)
 
         t_stage = time.perf_counter() if observe else 0.0
         events = self._build_events(runs)
@@ -228,6 +239,8 @@ class RoutingEngine:
                 for p, run in live:
                     run.dead_at = p
                     run.faulted = True
+                    if recorder is not None:
+                        recorder.fault(run, t, p, links[lid], wl)
                 continue
 
             key = (lid, wl)
@@ -239,6 +252,8 @@ class RoutingEngine:
                 # Fast path: idle link, single head -- no conflict to decide.
                 p, run = live[0]
                 self._install(occupancy, key, run, p, t)
+                if recorder is not None:
+                    recorder.advance(run, t, p, links[lid], wl)
                 continue
 
             contended += 1
@@ -266,6 +281,8 @@ class RoutingEngine:
                         decision, rec, by_uid, uid
                     )
                     run.blockers.append(b)
+                    if recorder is not None:
+                        recorder.eliminate(run, t, p, links[lid], wl, b)
                     if collect_collisions:
                         collisions.append(
                             CollisionEvent(
@@ -297,6 +314,10 @@ class RoutingEngine:
                     else arrivals[0].worm
                 )
                 occ_run.blockers.append(b)
+                if recorder is not None:
+                    recorder.truncate(
+                        occ_run, t, rec.pos, links[lid], wl, b, new_len
+                    )
                 if collect_collisions:
                     collisions.append(
                         CollisionEvent(
@@ -312,6 +333,8 @@ class RoutingEngine:
             if decision.winner is not None:
                 p, run = by_uid[decision.winner]
                 self._install(occupancy, key, run, p, t)
+                if recorder is not None:
+                    recorder.advance(run, t, p, links[lid], wl)
 
         if observe:
             t_resolve = time.perf_counter() - t_stage

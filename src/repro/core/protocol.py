@@ -46,6 +46,7 @@ from repro.worms.worm import FailureKind, Launch, make_worms
 from repro.worms.ack import ack_worms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.observability.flightrec import FlightRecorder
     from repro.observability.trace import TraceWriter
 
 __all__ = ["ProtocolConfig", "TrialAndFailureProtocol", "route_collection"]
@@ -109,7 +110,11 @@ class TrialAndFailureProtocol:
     optionally takes a :class:`~repro.observability.trace.TraceWriter`
     to which the run emits one ``round`` record per round and one
     ``trial`` summary record, tagged with ``trace_trial`` when several
-    executions share one trace file.
+    executions share one trace file. ``flight`` opts into the worm-level
+    flight recorder on top of the trace: pass True (requires ``trace``)
+    or a pre-built :class:`~repro.observability.flightrec.FlightRecorder`
+    to emit one structured event per worm state change, replayable via
+    :mod:`repro.observability.analysis`.
     """
 
     def __init__(
@@ -120,6 +125,7 @@ class TrialAndFailureProtocol:
         metrics: MetricsRegistry | None = None,
         trace: "TraceWriter | None" = None,
         trace_trial: int = 0,
+        flight: "bool | FlightRecorder" = False,
     ) -> None:
         self.collection = collection
         self.config = config
@@ -127,6 +133,20 @@ class TrialAndFailureProtocol:
         self._trace = trace
         self._trace_trial = trace_trial
         self.worms = make_worms(collection.paths, config.worm_length)
+        self._flight: "FlightRecorder | None" = None
+        if flight:
+            from repro.observability.flightrec import FlightRecorder
+
+            if isinstance(flight, FlightRecorder):
+                self._flight = flight
+            elif trace is None:
+                raise ProtocolError(
+                    "flight recording writes through the run trace; "
+                    "pass trace= alongside flight=True"
+                )
+            else:
+                self._flight = FlightRecorder(trace, trial=trace_trial)
+            self._flight.describe_worms(self.worms)
         self.engine = RoutingEngine(
             self.worms, config.rule, config.tie_rule, metrics=metrics
         )
@@ -233,6 +253,8 @@ class TrialAndFailureProtocol:
 
             round_rng = spawn_generator(rng)
             launches = self._draw_launches(active, delta, round_rng)
+            if self._flight is not None:
+                self._flight.begin_round(t)
             dead_links = None
             if cfg.fault_rate > 0.0:
                 # Transient per-round faults: each directed link in use is
@@ -244,6 +266,7 @@ class TrialAndFailureProtocol:
                 launches,
                 collect_collisions=cfg.collect_collisions,
                 dead_links=dead_links,
+                recorder=self._flight,
             )
             if cfg.collect_collisions:
                 collisions_per_round.append(result.collisions)
@@ -264,6 +287,11 @@ class TrialAndFailureProtocol:
                     metrics.observe(
                         "protocol_ack_seconds", time.perf_counter() - t_ack
                     )
+
+            if self._flight is not None:
+                self._flight.end_round(
+                    result.makespan, ack_span=ack_span, acked=sorted(acked)
+                )
 
             for uid in acked:
                 delivered_round.setdefault(uid, t)
@@ -357,17 +385,18 @@ def route_collection(
     rng=None,
     metrics: MetricsRegistry | None = None,
     trace: "TraceWriter | None" = None,
+    flight: "bool | FlightRecorder" = False,
     **config_kwargs,
 ) -> ProtocolResult:
     """Route a collection with default trial-and-failure configuration.
 
     Convenience entry point: builds a :class:`ProtocolConfig` from the
-    keyword arguments and runs one execution. ``metrics`` and ``trace``
-    pass straight through to :class:`TrialAndFailureProtocol`.
+    keyword arguments and runs one execution. ``metrics``, ``trace`` and
+    ``flight`` pass straight through to :class:`TrialAndFailureProtocol`.
     """
     config = ProtocolConfig(
         bandwidth=bandwidth, rule=rule, worm_length=worm_length, **config_kwargs
     )
     return TrialAndFailureProtocol(
-        collection, config, metrics=metrics, trace=trace
+        collection, config, metrics=metrics, trace=trace, flight=flight
     ).run(rng)

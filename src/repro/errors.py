@@ -42,3 +42,11 @@ class TrialError(ReproError, ValueError):
     Also a :class:`ValueError`, so callers validating trial counts or
     worker settings the usual way keep working.
     """
+
+
+class ObservabilityError(ReproError, ValueError):
+    """A metrics/trace sink was misconfigured or a trace is unreadable.
+
+    Also a :class:`ValueError`, so callers treating bad trace paths or
+    corrupt trace files as value errors keep working.
+    """

@@ -15,7 +15,16 @@ numbers. This package is the cross-cutting layer that produces them:
   :mod:`repro.core.stats` and the report layer;
 * :mod:`repro.observability.logconf` -- stdlib ``logging`` wiring (the
   package root ships a ``NullHandler``; :func:`configure_logging` is the
-  application opt-in, surfaced as the CLI's ``--log-level``).
+  application opt-in, surfaced as the CLI's ``--log-level``);
+* :mod:`repro.observability.flightrec` -- the opt-in worm-level flight
+  recorder: one structured trace event per worm state change (launch,
+  head advance, truncation, elimination, fault, ack);
+* :mod:`repro.observability.analysis` -- flight-recording analytics:
+  replay-verification (outcomes re-derived from events alone,
+  bit-identical to the engine's), per-link utilization and contention
+  hot-spots, measured congestion C̃ per wavelength, ASCII timelines and
+  link heatmaps, trace diffing -- surfaced as the ``repro trace`` CLI
+  subcommands.
 
 The instrumented layers are :class:`~repro.core.engine.RoutingEngine`,
 :class:`~repro.core.protocol.TrialAndFailureProtocol` and
@@ -23,6 +32,23 @@ The instrumented layers are :class:`~repro.core.engine.RoutingEngine`,
 the metric names, label conventions and the trace schema.
 """
 
+from repro.observability.analysis import (
+    LinkStats,
+    Occupation,
+    ReplayReport,
+    ReplayedRound,
+    diff_traces,
+    hotspots,
+    link_stats,
+    measured_congestion,
+    render_links,
+    render_timeline,
+    replay_rounds,
+    summarize_trace,
+    verify_replay,
+    worm_history,
+)
+from repro.observability.flightrec import FLIGHT_KINDS, FlightRecorder
 from repro.observability.logconf import LOG_FORMAT, configure_logging, get_logger
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
@@ -47,6 +73,22 @@ __all__ = [
     "LOG_FORMAT",
     "configure_logging",
     "get_logger",
+    "FLIGHT_KINDS",
+    "FlightRecorder",
+    "LinkStats",
+    "Occupation",
+    "ReplayReport",
+    "ReplayedRound",
+    "diff_traces",
+    "hotspots",
+    "link_stats",
+    "measured_congestion",
+    "render_links",
+    "render_timeline",
+    "replay_rounds",
+    "summarize_trace",
+    "verify_replay",
+    "worm_history",
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
     "NullRegistry",

@@ -1,0 +1,226 @@
+"""The worm-level flight recorder: one structured event per state change.
+
+PR 2's run traces record *aggregates* (one ``round`` record per round);
+the flight recorder captures the microstructure underneath them -- which
+coupler killed a worm, on which wavelength, in which round -- as new
+JSONL record kinds written through the existing
+:class:`~repro.observability.trace.TraceWriter`, so every PR-2 reader
+keeps working unchanged.
+
+Record kinds (all tagged with the 0-based ``trial`` index):
+
+* ``worm_def`` -- static identity, once per worm: ``worm``, ``path``
+  (node sequence), ``length``;
+* ``worm_launch`` -- one per launched worm per round: ``round``,
+  ``delay``, ``wavelength`` (channel index, or per-link list for
+  conversion-capable launches), ``priority``, ``length``, ``n_links``;
+* ``worm_advance`` -- the head entered directed link ``link`` (path
+  position ``pos``) at step ``t`` on ``wavelength``; ``surviving`` is
+  the fragment length occupying the link from there on;
+* ``worm_truncate`` -- the occupant lost its tail at ``link``: ``cut``
+  is the fragment length the cut would leave (truncations compose via
+  ``min``), ``surviving`` the resulting length, ``blocker`` the worm
+  that outranked it;
+* ``worm_eliminate`` -- the head was cut arriving at ``link`` (position
+  ``pos``) at step ``t``; ``blocker`` witnessed the loss;
+* ``worm_fault`` -- the head entered a dark fiber (fault injection);
+* ``worm_ack`` -- the protocol acknowledged the worm this ``round``;
+* ``flight_round`` -- closes a round: the engine's claimed ``makespan``
+  and the simulated-ack span ``ack_span`` (0 under ideal acks).
+
+The recorder is strictly opt-in: :meth:`RoutingEngine.run_round
+<repro.core.engine.RoutingEngine.run_round>` takes ``recorder=None`` by
+default and pays one ``is not None`` check per event when disabled, so
+the <5% no-op overhead tripwire is unaffected.
+:mod:`repro.observability.analysis` replays these events back into
+bit-identical :class:`~repro.worms.worm.WormOutcome` objects and
+computes link utilization, contention hot-spots and measured congestion
+from them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import _Run
+    from repro.observability.trace import TraceWriter
+    from repro.worms.worm import Worm
+
+__all__ = ["FLIGHT_KINDS", "FlightRecorder"]
+
+#: Every record kind the flight recorder emits.
+FLIGHT_KINDS: tuple[str, ...] = (
+    "worm_def",
+    "worm_launch",
+    "worm_advance",
+    "worm_truncate",
+    "worm_eliminate",
+    "worm_fault",
+    "worm_ack",
+    "flight_round",
+)
+
+
+class FlightRecorder:
+    """Emits per-worm flight events through a trace writer.
+
+    ``writer`` is any object with a ``write(kind, **fields)`` method --
+    normally a :class:`~repro.observability.trace.TraceWriter`, but an
+    in-memory collector works too (tests use one). ``trial`` tags every
+    record; :meth:`begin_round` sets the round index the engine events
+    are tagged with.
+    """
+
+    __slots__ = ("writer", "trial", "round", "_described")
+
+    def __init__(self, writer: "TraceWriter", trial: int = 0) -> None:
+        self.writer = writer
+        self.trial = trial
+        self.round = 0
+        self._described: set[int] = set()
+
+    # -- static identity -----------------------------------------------------
+
+    def describe_worms(self, worms: Iterable["Worm"]) -> None:
+        """Emit one ``worm_def`` per worm (idempotent per uid)."""
+        for w in worms:
+            if w.uid in self._described:
+                continue
+            self._described.add(w.uid)
+            self.writer.write(
+                "worm_def",
+                trial=self.trial,
+                worm=w.uid,
+                path=list(w.path),
+                length=w.length,
+            )
+
+    # -- round lifecycle -----------------------------------------------------
+
+    def begin_round(self, index: int) -> None:
+        """Tag subsequent engine events with round ``index``."""
+        self.round = index
+
+    def end_round(
+        self,
+        makespan: int | None,
+        ack_span: int = 0,
+        acked: Sequence[int] = (),
+    ) -> None:
+        """Close the round: ack events plus the ``flight_round`` record.
+
+        ``makespan`` is the engine's claim -- the replay verifier
+        re-derives it from the events alone and asserts bit-identity.
+        """
+        for uid in acked:
+            self.writer.write(
+                "worm_ack", trial=self.trial, round=self.round, worm=int(uid)
+            )
+        self.writer.write(
+            "flight_round",
+            trial=self.trial,
+            round=self.round,
+            makespan=makespan,
+            ack_span=ack_span,
+        )
+
+    # -- engine-facing events ------------------------------------------------
+
+    def launch(self, run: "_Run") -> None:
+        """The worm entered the round with its drawn randomness."""
+        wl = run.wavelength
+        self.writer.write(
+            "worm_launch",
+            trial=self.trial,
+            round=self.round,
+            worm=run.uid,
+            delay=run.delay,
+            wavelength=list(wl) if isinstance(wl, tuple) else wl,
+            priority=run.priority,
+            length=run.length,
+            n_links=run.n_links,
+        )
+
+    def advance(
+        self, run: "_Run", t: int, pos: int, link: tuple, wavelength: int
+    ) -> None:
+        """The head entered path link ``pos`` at step ``t``."""
+        self.writer.write(
+            "worm_advance",
+            trial=self.trial,
+            round=self.round,
+            worm=run.uid,
+            t=t,
+            pos=pos,
+            link=list(link),
+            wavelength=wavelength,
+            priority=run.priority,
+            surviving=run.cut_len,
+        )
+
+    def truncate(
+        self,
+        run: "_Run",
+        t: int,
+        pos: int,
+        link: tuple,
+        wavelength: int,
+        blocker: int,
+        cut: int,
+    ) -> None:
+        """The occupant's tail was dumped at ``link`` from step ``t`` on."""
+        self.writer.write(
+            "worm_truncate",
+            trial=self.trial,
+            round=self.round,
+            worm=run.uid,
+            t=t,
+            pos=pos,
+            link=list(link),
+            wavelength=wavelength,
+            priority=run.priority,
+            blocker=blocker,
+            cut=cut,
+            surviving=run.cut_len,
+        )
+
+    def eliminate(
+        self,
+        run: "_Run",
+        t: int,
+        pos: int,
+        link: tuple,
+        wavelength: int,
+        blocker: int,
+    ) -> None:
+        """The head was cut arriving at ``link`` at step ``t``."""
+        self.writer.write(
+            "worm_eliminate",
+            trial=self.trial,
+            round=self.round,
+            worm=run.uid,
+            t=t,
+            pos=pos,
+            link=list(link),
+            wavelength=wavelength,
+            priority=run.priority,
+            blocker=blocker,
+            surviving=run.cut_len,
+        )
+
+    def fault(
+        self, run: "_Run", t: int, pos: int, link: tuple, wavelength: int
+    ) -> None:
+        """The head entered a dark fiber (the link is down this round)."""
+        self.writer.write(
+            "worm_fault",
+            trial=self.trial,
+            round=self.round,
+            worm=run.uid,
+            t=t,
+            pos=pos,
+            link=list(link),
+            wavelength=wavelength,
+            priority=run.priority,
+        )

@@ -6,7 +6,9 @@ Three metric kinds, all labelled:
 * **gauge** -- a last-write-wins level (``gauge``);
 * **histogram** -- a distribution summary (``observe``/``timer``):
   count, sum, min, max and non-cumulative bucket counts over fixed,
-  log-spaced upper bounds (seconds-oriented by default).
+  log-spaced upper bounds (seconds-oriented by default), plus
+  interpolated p50/p95/p99 estimates in snapshots and an on-demand
+  :meth:`MetricsRegistry.quantile` estimator.
 
 Every mutation takes the registry lock, so one registry can be shared
 across threads. Cross-*process* aggregation goes through
@@ -28,6 +30,7 @@ real registry (the CLI's ``--metrics-out`` does exactly that).
 from __future__ import annotations
 
 import contextlib
+import math
 import threading
 import time
 from typing import Iterator, Mapping, Sequence
@@ -73,13 +76,14 @@ def parse_label_key(key: str) -> dict[str, str]:
 class _Histogram:
     """Mutable distribution summary (internal; snapshots are plain dicts)."""
 
-    __slots__ = ("count", "sum", "min", "max", "buckets")
+    __slots__ = ("count", "sum", "min", "max", "buckets", "bounds")
 
     def __init__(self, bounds: Sequence[float]) -> None:
         self.count = 0
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self.bounds = tuple(bounds)
         self.buckets = {str(b): 0 for b in bounds}
         self.buckets["inf"] = 0
 
@@ -96,12 +100,53 @@ class _Histogram:
                 return
         self.buckets["inf"] += 1
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the containing bucket; the first
+        bucket's lower edge and the ``inf`` bucket's upper edge are the
+        exact observed ``min``/``max``, and the estimate is clamped into
+        ``[min, max]`` -- so a single-valued distribution reports that
+        value exactly at every ``q``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * self.count
+        cum = 0
+        prev_bound: float | None = None
+        for bound in (*self.bounds, math.inf):
+            key = "inf" if bound == math.inf else str(bound)
+            n = self.buckets[key]
+            if n and cum + n >= rank:
+                lower = (
+                    self.min
+                    if prev_bound is None
+                    else max(prev_bound, self.min)
+                )
+                upper = self.max if bound == math.inf else min(bound, self.max)
+                if upper < lower:
+                    upper = lower
+                value = lower + (rank - cum) / n * (upper - lower)
+                return min(max(value, self.min), self.max)
+            cum += n
+            prev_bound = bound
+        return self.max  # unreachable unless counts drifted
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": dict(self.buckets),
         }
 
@@ -236,6 +281,30 @@ class MetricsRegistry:
                         hist.merge_dict(value)
 
     # -- inspection ----------------------------------------------------------
+
+    def quantile(self, name: str, q: float, **labels) -> float | None:
+        """Estimate the ``q``-quantile of the histogram ``name``.
+
+        Linear interpolation within the containing bucket, with exact
+        ``min``/``max`` clamping at the edges (see
+        :meth:`_Histogram.quantile`). Returns None when the series does
+        not exist; raises ``ValueError`` for a non-histogram metric or a
+        ``q`` outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        key = _label_key(labels)
+        with self._lock:
+            entry = self._metrics.get(name)
+            if entry is None:
+                return None
+            kind, series = entry
+            if kind != "histogram":
+                raise ValueError(
+                    f"metric {name!r} is a {kind}; quantiles need a histogram"
+                )
+            hist = series.get(key)
+            return None if hist is None else hist.quantile(q)
 
     def value(self, name: str, **labels):
         """The current value of one series (histograms as a dict); None if unset."""

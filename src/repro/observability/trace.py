@@ -12,7 +12,10 @@ A *run trace* is a JSON-Lines file: one JSON object per line, each with a
   scalar fields of :class:`~repro.core.records.ProtocolResult` plus its
   ``delivered_round`` map;
 * ``experiment`` -- one CLI experiment's id and wall time;
-* ``summary`` -- last line; total elapsed seconds and free-form totals.
+* ``summary`` -- last line; total elapsed seconds and free-form totals;
+* ``worm_*`` / ``flight_round`` -- opt-in worm-level flight-recorder
+  events (:mod:`repro.observability.flightrec`), replayable via
+  :mod:`repro.observability.analysis`.
 
 Producers hold a :class:`TraceWriter` (the protocol layer emits ``round``
 and ``trial`` records when given one); consumers call :func:`read_trace`
@@ -24,6 +27,7 @@ into :class:`~repro.core.records.ProtocolResult` objects via
 
 from __future__ import annotations
 
+import gzip
 import json
 import pathlib
 import subprocess
@@ -31,6 +35,9 @@ import sys
 import time
 from dataclasses import dataclass
 from typing import IO, Iterator
+
+from repro.errors import ObservabilityError
+from repro.observability.logconf import get_logger
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
@@ -43,6 +50,15 @@ __all__ = [
 ]
 
 TRACE_SCHEMA_VERSION = 1
+
+_log = get_logger("observability.trace")
+
+
+def _open_trace(path: pathlib.Path, mode: str) -> IO[str]:
+    """Open a trace file as text, transparently gzipped for ``*.gz`` paths."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
 
 
 def git_revision(cwd: str | pathlib.Path | None = None) -> str | None:
@@ -65,14 +81,21 @@ class TraceWriter:
     """Append-only JSONL trace emitter.
 
     Records are written with sorted keys, so byte-identical runs produce
-    byte-identical traces (timestamps aside). Usable as a context
-    manager; :meth:`close` appends nothing, so a writer abandoned
-    mid-run still leaves a readable prefix.
+    byte-identical traces (timestamps aside). Paths ending in ``.gz``
+    are gzip-compressed transparently. Usable as a context manager;
+    :meth:`close` appends nothing, so a writer abandoned mid-run still
+    leaves a readable prefix (read it back with ``strict=False``).
     """
 
     def __init__(self, path: str | pathlib.Path) -> None:
         self.path = pathlib.Path(path)
-        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        parent = self.path.parent
+        if not parent.is_dir():
+            raise ObservabilityError(
+                f"cannot write trace {self.path}: parent directory "
+                f"{parent} does not exist"
+            )
+        self._fh: IO[str] | None = _open_trace(self.path, "w")
         self._t0 = time.perf_counter()
         self._records = 0
 
@@ -162,27 +185,71 @@ class RunTrace:
         return list(seen)
 
 
-def iter_trace(path: str | pathlib.Path) -> Iterator[dict]:
-    """Stream a JSONL trace record by record (validating as it goes)."""
-    with pathlib.Path(path).open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
+def iter_trace(path: str | pathlib.Path, strict: bool = True) -> Iterator[dict]:
+    """Stream a JSONL trace record by record (validating as it goes).
+
+    Accepts plain ``.jsonl`` and gzipped ``.jsonl.gz`` files alike. With
+    ``strict=False``, truncated or corrupt lines (the signature of a
+    crash-interrupted run) are skipped with a structured log warning
+    instead of aborting the whole read, and a truncated gzip stream ends
+    the iteration cleanly.
+    """
+    path = pathlib.Path(path)
+    with _open_trace(path, "r") as fh:
+        lineno = 0
+        while True:
+            try:
+                line = fh.readline()
+            except (EOFError, OSError) as exc:
+                # A truncated gzip stream raises mid-read.
+                if strict:
+                    raise ValueError(
+                        f"{path}: truncated or corrupt stream after line "
+                        f"{lineno}: {exc}"
+                    ) from exc
+                _log.warning(
+                    "trace %s: truncated stream after line %d (%s); "
+                    "stopping early",
+                    path,
+                    lineno,
+                    exc,
+                )
+                return
+            if not line:
+                return
+            lineno += 1
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
-            if not isinstance(record, dict) or "kind" not in record:
-                raise ValueError(
-                    f"{path}:{lineno}: trace records must be objects with a 'kind'"
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid JSON: {exc}"
+                    ) from exc
+                _log.warning(
+                    "trace %s:%d: skipping corrupt line (%s)", path, lineno, exc
                 )
+                continue
+            if not isinstance(record, dict) or "kind" not in record:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: trace records must be objects "
+                        "with a 'kind'"
+                    )
+                _log.warning(
+                    "trace %s:%d: skipping record without a 'kind'", path, lineno
+                )
+                continue
             yield record
 
 
-def read_trace(path: str | pathlib.Path) -> RunTrace:
-    """Read and validate a whole JSONL trace."""
-    return RunTrace(path=pathlib.Path(path), records=tuple(iter_trace(path)))
+def read_trace(path: str | pathlib.Path, strict: bool = True) -> RunTrace:
+    """Read and validate a whole JSONL (or ``.jsonl.gz``) trace."""
+    return RunTrace(
+        path=pathlib.Path(path), records=tuple(iter_trace(path, strict=strict))
+    )
 
 
 def protocol_result_from_trace(trace: RunTrace, trial: int = 0):

@@ -124,3 +124,124 @@ class TestObservabilityFlags:
                 if getattr(h, "_repro_configured_handler", False):
                     logging.getLogger("repro").removeHandler(h)
             logging.getLogger("repro").setLevel(logging.NOTSET)
+
+
+@pytest.fixture(scope="module")
+def flight_trace(tmp_path_factory):
+    """One recorded demo run, gzipped, shared by the trace-CLI tests."""
+    path = tmp_path_factory.mktemp("traces") / "demo.jsonl.gz"
+    assert main(["demo", "--flight", "--trace-out", str(path)]) == 0
+    return path
+
+
+class TestFlightFlag:
+    def test_flight_requires_trace_out(self, capsys):
+        assert main(["demo", "--flight"]) == 2
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_flight_records_worm_events(self, flight_trace):
+        from repro.observability import read_trace
+
+        kinds = {r["kind"] for r in read_trace(flight_trace).records}
+        assert {"worm_def", "worm_launch", "worm_advance", "flight_round"} <= kinds
+
+
+class TestTraceSubcommands:
+    def test_summary_reports_verified_replay(self, flight_trace, capsys):
+        assert main(["trace", "summary", str(flight_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "replay verification OK (bit-identical)" in out
+        assert "contention hot-spots" in out or "measured congestion" in out
+
+    def test_timeline_renders_rows(self, flight_trace, capsys):
+        assert (
+            main(
+                ["trace", "timeline", str(flight_trace), "--round", "1",
+                 "--max-worms", "4"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "round 1" in out and "|" in out
+
+    def test_timeline_empty_selection_fails_cleanly(self, flight_trace, capsys):
+        assert (
+            main(["trace", "timeline", str(flight_trace), "--round", "99"]) == 2
+        )
+        assert "no flight-recorder rounds" in capsys.readouterr().err
+
+    def test_links_renders_heatmap(self, flight_trace, capsys):
+        assert main(["trace", "links", str(flight_trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "heat" in out and "#" in out
+
+    def test_diff_equal_traces(self, flight_trace, capsys):
+        assert main(["trace", "diff", str(flight_trace), str(flight_trace)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_diff_different_traces_exits_one(self, flight_trace, tmp_path, capsys):
+        from repro.core.protocol import route_collection
+        from repro.experiments.workloads import butterfly_permutation
+        from repro.observability import TraceWriter
+
+        other = tmp_path / "other.jsonl"
+        with TraceWriter(other) as writer:
+            writer.write_manifest(command="demo", seed=5)
+            route_collection(
+                butterfly_permutation(3, rng=1), bandwidth=2, rng=5,
+                trace=writer, flight=True,
+            )
+        assert main(["trace", "diff", str(flight_trace), str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "difference(s)" in out
+
+    def test_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "trace file not found" in capsys.readouterr().err
+
+    def test_lenient_read_tolerates_truncated_trace(self, tmp_path, capsys):
+        # A crash-truncated trace must still summarize (strict=False path).
+        from repro.core.protocol import route_collection
+        from repro.experiments.workloads import butterfly_permutation
+        from repro.observability import TraceWriter
+
+        path = tmp_path / "crashy.jsonl"
+        with TraceWriter(path) as writer:
+            writer.write_manifest(command="demo", seed=0)
+            route_collection(
+                butterfly_permutation(3, rng=1), bandwidth=2, rng=0,
+                trace=writer, flight=True,
+            )
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"kind": "worm_adv')  # crash mid-record
+        assert main(["trace", "summary", str(path)]) == 0
+        assert "replay verification OK" in capsys.readouterr().out
+
+
+class TestReportObservability:
+    def test_report_accepts_sink_flags(self, tmp_path, capsys):
+        from repro.observability import read_trace
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "e_t11.txt").write_text("E-T11 table\n====\nrow\n")
+        out = tmp_path / "r.md"
+        trace_path = tmp_path / "report.jsonl"
+        metrics_path = tmp_path / "report_metrics.json"
+        code = main(
+            ["report", "--results", str(results), "--out", str(out),
+             "--trace-out", str(trace_path), "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        assert out.exists()
+        trace = read_trace(trace_path)
+        assert trace.manifest["command"] == "report"
+        assert trace.summary["sections"] == 1
+        assert json.loads(metrics_path.read_text()) is not None
+
+    def test_trace_out_missing_parent_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["demo", "--trace-out", str(tmp_path / "no" / "dir" / "t.jsonl")]
+        )
+        assert code == 2
+        assert "parent directory" in capsys.readouterr().err

@@ -1,0 +1,215 @@
+"""Tests for flight-recording analytics: stats, congestion, rendering, diff."""
+
+import pytest
+
+from repro.core.engine import RoutingEngine
+from repro.core.protocol import route_collection
+from repro.experiments.workloads import butterfly_permutation, mesh_random_function
+from repro.observability.analysis import (
+    diff_traces,
+    hotspots,
+    link_stats,
+    measured_congestion,
+    render_links,
+    render_timeline,
+    replay_rounds,
+    summarize_trace,
+    worm_history,
+)
+from repro.observability.flightrec import FlightRecorder
+from repro.observability.trace import TraceWriter, read_trace
+from repro.optics.coupler import CollisionRule
+from repro.worms.worm import Launch, Worm
+
+
+class ListWriter:
+    def __init__(self):
+        self.records = []
+
+    def write(self, kind, **fields):
+        self.records.append({"kind": kind, **fields})
+
+
+def _golden_records():
+    """The two-worm collision, recorded: worm 1 wins (b, c), worm 2 dies."""
+    worms = [
+        Worm(uid=1, path=("a", "b", "c"), length=3),
+        Worm(uid=2, path=("d", "b", "c"), length=3),
+    ]
+    launches = [
+        Launch(worm=1, delay=0, wavelength=0),
+        Launch(worm=2, delay=1, wavelength=0),
+    ]
+    writer = ListWriter()
+    recorder = FlightRecorder(writer)
+    recorder.describe_worms(worms)
+    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+    result = engine.run_round(launches, recorder=recorder)
+    recorder.end_round(result.makespan)
+    return writer.records, result
+
+
+def _protocol_trace(tmp_path, name, seed=0, **kwargs):
+    coll = butterfly_permutation(3, rng=1)
+    path = tmp_path / name
+    with TraceWriter(path) as writer:
+        writer.write_manifest(command="test", seed=seed)
+        route_collection(
+            coll, bandwidth=2, worm_length=4, rng=seed,
+            trace=writer, flight=True, **kwargs,
+        )
+    return path
+
+
+class TestLinkStats:
+    def test_golden_counts(self):
+        records, _ = _golden_records()
+        stats = link_stats(replay_rounds(records))
+        shared = stats[("b", "c")]
+        # Only worm 1 ever occupies the shared link; worm 2's loss there
+        # counts as the link's one conflict.
+        assert shared.crossings == 1
+        assert shared.worms == {1}
+        assert shared.conflicts == 1
+        assert shared.busy_steps == 3  # length-3 worm, uncut
+        assert shared.by_wavelength == {0: 3}
+        assert stats[("a", "b")].conflicts == 0
+
+    def test_hotspots_rank_conflicts_first(self):
+        records, _ = _golden_records()
+        ranked = hotspots(link_stats(replay_rounds(records)), top=2)
+        assert ranked[0].link == ("b", "c")
+
+
+class TestMeasuredCongestion:
+    def test_golden_congestion_is_two_on_shared_link(self):
+        records, _ = _golden_records()
+        congestion = measured_congestion(records)
+        assert congestion[(0, 0)]["overall"] == 2
+        assert congestion[(0, 0)]["per_wavelength"] == {0: 2}
+
+    def test_missing_worm_def_raises(self):
+        records, _ = _golden_records()
+        stripped = [r for r in records if r["kind"] != "worm_def"]
+        with pytest.raises(ValueError, match="worm_def"):
+            measured_congestion(stripped)
+
+
+class TestWormHistory:
+    def test_eliminated_worm_critical_path(self):
+        records, _ = _golden_records()
+        (entry,) = worm_history(replay_rounds(records), 2)
+        assert "eliminated at link 1" in entry["fate"]
+        assert entry["blockers"] == (1,)
+        assert len(entry["conflicts"]) == 1
+
+    def test_unknown_worm_is_empty(self):
+        records, _ = _golden_records()
+        assert worm_history(replay_rounds(records), 99) == []
+
+
+class TestRenderers:
+    def test_timeline_marks_occupancy_and_elimination(self):
+        records, _ = _golden_records()
+        (rr,) = replay_rounds(records)
+        art = render_timeline(rr)
+        assert "makespan 3" in art
+        assert "w1" in art and "w2" in art
+        assert "X" in art  # worm 2's elimination mark
+        assert "=" in art
+
+    def test_timeline_compresses_long_rounds(self):
+        records, _ = _golden_records()
+        (rr,) = replay_rounds(records)
+        art = render_timeline(rr, width=2)
+        assert "1 col =" in art
+
+    def test_links_heatmap_lists_busiest(self):
+        records, _ = _golden_records()
+        art = render_links(link_stats(replay_rounds(records)))
+        assert "b->c" in art
+        assert "heat" in art
+        assert "#" in art
+
+    def test_links_heatmap_empty(self):
+        assert "no link occupations" in render_links({})
+
+
+class TestSummarize:
+    def test_flight_trace_summary(self, tmp_path):
+        path = _protocol_trace(tmp_path, "a.jsonl")
+        text = summarize_trace(read_trace(path))
+        assert "replay verification OK (bit-identical)" in text
+        assert "measured congestion" in text
+        assert "command=test" in text
+
+    def test_aggregate_only_trace(self, tmp_path):
+        path = tmp_path / "agg.jsonl"
+        with TraceWriter(path) as writer:
+            writer.write_manifest(command="test", seed=0)
+            route_collection(
+                butterfly_permutation(3, rng=1), bandwidth=2, rng=0, trace=writer
+            )
+        assert "flight recording: none" in summarize_trace(read_trace(path))
+
+
+class TestDiff:
+    def test_identical_traces_are_equivalent(self, tmp_path):
+        a = _protocol_trace(tmp_path, "a.jsonl", seed=0)
+        b = _protocol_trace(tmp_path, "b.jsonl", seed=0)
+        assert diff_traces(read_trace(a), read_trace(b)) == []
+
+    def test_different_seeds_diff(self, tmp_path):
+        a = _protocol_trace(tmp_path, "a.jsonl", seed=0)
+        b = _protocol_trace(tmp_path, "b.jsonl", seed=3)
+        diffs = diff_traces(read_trace(a), read_trace(b))
+        assert diffs
+        assert any(d.startswith("manifest.seed") for d in diffs)
+
+    def test_different_worm_lengths_diff_flight_replay(self, tmp_path):
+        coll = butterfly_permutation(3, rng=1)
+        paths = {}
+        for name, length in (("a.jsonl", 4), ("b.jsonl", 8)):
+            path = tmp_path / name
+            with TraceWriter(path) as writer:
+                writer.write_manifest(command="test", seed=0)
+                route_collection(
+                    coll, bandwidth=2, worm_length=length, rng=0,
+                    trace=writer, flight=True,
+                )
+            paths[name] = path
+        diffs = diff_traces(read_trace(paths["a.jsonl"]), read_trace(paths["b.jsonl"]))
+        # Longer worms shift completion times: the trial summary and the
+        # replayed makespans must both register the change.
+        assert any("total_time" in d for d in diffs)
+        assert any("makespan" in d or "outcome" in d for d in diffs)
+
+
+class TestSourcePolymorphism:
+    def test_accepts_path_runtrace_and_records(self, tmp_path):
+        path = _protocol_trace(tmp_path, "a.jsonl")
+        trace = read_trace(path)
+        from_path = replay_rounds(path)
+        from_trace = replay_rounds(trace)
+        from_records = replay_rounds(list(trace.records))
+        assert (
+            [rr.outcomes for rr in from_path]
+            == [rr.outcomes for rr in from_trace]
+            == [rr.outcomes for rr in from_records]
+        )
+
+
+def test_mesh_round_replay_has_occupations():
+    coll = mesh_random_function(4, 2, rng=0)
+    from repro.worms.worm import make_worms
+
+    worms = make_worms(coll.paths, 4)
+    writer = ListWriter()
+    recorder = FlightRecorder(writer)
+    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+    launches = [Launch(worm=i, delay=0, wavelength=0) for i in range(coll.n)]
+    result = engine.run_round(launches, recorder=recorder)
+    recorder.end_round(result.makespan)
+    (rr,) = replay_rounds(writer.records)
+    assert rr.occupations
+    assert rr.outcomes == result.outcomes

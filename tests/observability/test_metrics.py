@@ -224,3 +224,109 @@ class TestLabelKeys:
 
     def test_default_buckets_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestQuantiles:
+    def test_empty_series_is_none(self):
+        reg = MetricsRegistry()
+        assert reg.quantile("lat", 0.5) is None
+        reg.observe("lat", 1.0, op="a")
+        # Labelled series exists; the unlabelled one still does not.
+        assert reg.quantile("lat", 0.5) is None
+        assert reg.quantile("lat", 0.5, op="a") == 1.0
+
+    def test_single_value_is_exact_at_every_q(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            reg.observe("lat", 5.0)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert reg.quantile("lat", q) == 5.0
+
+    def test_edges_are_exact_min_and_max(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.37)
+        reg.observe("lat", 42.0)
+        assert reg.quantile("lat", 0.0) == 0.37
+        assert reg.quantile("lat", 1.0) == 42.0
+
+    def test_linear_interpolation_within_bucket(self):
+        reg = MetricsRegistry(buckets=(10.0, 20.0))
+        for v in (2.0, 4.0, 12.0, 18.0):
+            reg.observe("lat", v)
+        # rank 2 falls at the top of the [min, 10] bucket...
+        assert reg.quantile("lat", 0.5) == pytest.approx(10.0)
+        # ...rank 3 is halfway through the (10, max] bucket.
+        assert reg.quantile("lat", 0.75) == pytest.approx(14.0)
+
+    def test_estimate_clamped_into_observed_range(self):
+        reg = MetricsRegistry(buckets=(10.0, 20.0))
+        for v in (11.0, 12.0, 13.0):
+            reg.observe("lat", v)
+        for q in (0.1, 0.5, 0.9):
+            assert 11.0 <= reg.quantile("lat", q) <= 13.0
+
+    def test_snapshot_and_value_carry_percentiles(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("lat", v)
+        hist = reg.value("lat")
+        assert set(hist) >= {"p50", "p95", "p99"}
+        snap = reg.snapshot()["lat"]["values"][""]
+        assert snap["p50"] == hist["p50"]
+        assert snap["p99"] <= hist["max"]
+
+    def test_invalid_q_raises(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 1.0)
+        with pytest.raises(ValueError, match="quantile q"):
+            reg.quantile("lat", 1.5)
+        with pytest.raises(ValueError, match="quantile q"):
+            reg.quantile("lat", -0.1)
+
+    def test_non_histogram_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        with pytest.raises(ValueError, match="histogram"):
+            reg.quantile("hits", 0.5)
+
+    def test_missing_metric_is_none(self):
+        assert MetricsRegistry().quantile("nothing", 0.9) is None
+
+
+class TestConcurrencyHammer:
+    def test_mixed_workload_totals_are_exact(self):
+        """8+ threads mixing inc/observe/timer; totals must be exact."""
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 400
+
+        def work(tid):
+            for i in range(per_thread):
+                reg.inc("ops")
+                reg.inc("ops_by_thread", tid=tid % 2)
+                reg.observe("size", float(i % 10))
+                with reg.timer("step_seconds", phase="hot"):
+                    pass
+                reg.gauge("last_tid", tid)
+
+        threads = [
+            threading.Thread(target=work, args=(tid,)) for tid in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = threads_n * per_thread
+        assert reg.value("ops") == total
+        assert (
+            reg.value("ops_by_thread", tid=0) + reg.value("ops_by_thread", tid=1)
+            == total
+        )
+        size = reg.value("size")
+        assert size["count"] == total
+        assert size["sum"] == pytest.approx(threads_n * sum(i % 10 for i in range(per_thread)))
+        assert size["min"] == 0.0 and size["max"] == 9.0
+        assert 0.0 <= reg.quantile("size", 0.5) <= 9.0
+        timer = reg.value("step_seconds", phase="hot")
+        assert timer["count"] == total
+        assert reg.value("last_tid") in range(threads_n)

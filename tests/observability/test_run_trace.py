@@ -146,3 +146,95 @@ class TestGitRevision:
         record = json.loads(path.read_text().splitlines()[0])
         assert record["kind"] == "manifest"
         assert "git_rev" in record and "python" in record
+
+
+class TestGzipTransparency:
+    def test_write_and_read_gz_round_trip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "run.jsonl.gz"
+        with TraceWriter(path) as writer:
+            writer.write_manifest(command="test", seed=1)
+            writer.write("round", trial=0, index=0, delivered=3)
+            writer.write_summary(rounds=1)
+        # Actually compressed on disk, not just renamed.
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            assert fh.readline().startswith('{"')
+        trace = read_trace(path)
+        assert [r["kind"] for r in trace.records] == ["manifest", "round", "summary"]
+        assert trace.manifest["seed"] == 1
+
+    def test_iter_trace_streams_gz(self, tmp_path):
+        path = tmp_path / "run.jsonl.gz"
+        with TraceWriter(path) as writer:
+            for i in range(5):
+                writer.write("round", index=i)
+        assert [r["index"] for r in iter_trace(path)] == list(range(5))
+
+    def test_truncated_gz_strict_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl.gz"
+        with TraceWriter(path) as writer:
+            for i in range(200):
+                writer.write("round", index=i)
+        clipped = tmp_path / "clipped.jsonl.gz"
+        clipped.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            list(iter_trace(clipped))
+
+    def test_truncated_gz_lenient_stops_early(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "run.jsonl.gz"
+        with TraceWriter(path) as writer:
+            for i in range(200):
+                writer.write("round", index=i)
+        clipped = tmp_path / "clipped.jsonl.gz"
+        clipped.write_bytes(path.read_bytes()[:-20])
+        with caplog.at_level(logging.WARNING, logger="repro.observability.trace"):
+            records = list(iter_trace(clipped, strict=False))
+        assert 0 < len(records) < 200
+        assert any("truncated" in r.message for r in caplog.records)
+
+
+class TestLenientReads:
+    def test_corrupt_line_skipped_with_warning(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "crashy.jsonl"
+        path.write_text(
+            '{"kind": "manifest", "seed": 0}\n'
+            '{"kind": "round", "index": 0}\n'
+            '{"kind": "round", "ind'  # crash mid-write
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.observability.trace"):
+            trace = read_trace(path, strict=False)
+        assert [r["kind"] for r in trace.records] == ["manifest", "round"]
+        assert any("skipping corrupt line" in r.message for r in caplog.records)
+
+    def test_kindless_record_skipped_lenient(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"no_kind": 1}\n{"kind": "round"}\n')
+        with caplog.at_level(logging.WARNING, logger="repro.observability.trace"):
+            records = list(iter_trace(path, strict=False))
+        assert [r["kind"] for r in records] == ["round"]
+        assert any("'kind'" in r.message for r in caplog.records)
+
+    def test_strict_still_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestWriterPathValidation:
+    def test_missing_parent_dir_raises_clearly(self, tmp_path):
+        from repro.errors import ObservabilityError, ReproError
+
+        target = tmp_path / "no" / "such" / "dir" / "t.jsonl"
+        with pytest.raises(ObservabilityError, match="parent directory"):
+            TraceWriter(target)
+        # Catchable both as a library error and as a ValueError.
+        assert issubclass(ObservabilityError, ReproError)
+        assert issubclass(ObservabilityError, ValueError)
