@@ -36,6 +36,7 @@ from repro.errors import (
     PathError,
     ProtocolError,
     ScheduleError,
+    FaultError,
     WitnessError,
     ExperimentError,
     TrialError,
@@ -129,6 +130,19 @@ from repro.runners import (
     TrialRunner,
     route_collection_trials,
 )
+from repro.faults import (
+    AckLoss,
+    FaultModel,
+    GilbertElliott,
+    LinkHealthMonitor,
+    NodeFailures,
+    NoFaults,
+    PersistentLinkFailures,
+    ScriptedFaults,
+    StallDetector,
+    TransientLinkFaults,
+    parse_fault_spec,
+)
 from repro.observability import (
     MetricsRegistry,
     TraceWriter,
@@ -147,6 +161,7 @@ __all__ = [
     "PathError",
     "ProtocolError",
     "ScheduleError",
+    "FaultError",
     "WitnessError",
     "ExperimentError",
     "TrialError",
@@ -228,6 +243,17 @@ __all__ = [
     "TrialProgress",
     "TrialRunner",
     "route_collection_trials",
+    "AckLoss",
+    "FaultModel",
+    "GilbertElliott",
+    "LinkHealthMonitor",
+    "NodeFailures",
+    "NoFaults",
+    "PersistentLinkFailures",
+    "ScriptedFaults",
+    "StallDetector",
+    "TransientLinkFaults",
+    "parse_fault_spec",
     "MetricsRegistry",
     "TraceWriter",
     "configure_logging",

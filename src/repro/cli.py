@@ -6,6 +6,9 @@
     python -m repro run e_t16            # one experiment, print its tables
     python -m repro run all --trials 5   # the whole battery
     python -m repro demo                 # 30-second protocol demo
+    python -m repro demo --faults gilbert:p01=0.05,p10=0.5
+    python -m repro faults sweep         # fault-model comparison tables
+    python -m repro faults replay F.json # run a scripted fault schedule
 
 Each experiment id matches DESIGN.md's index; ``run`` prints the same
 tables the benchmark harness saves under ``benchmarks/results/``.
@@ -187,6 +190,19 @@ def _read_trace_arg(path: str, *, strict: bool = False):
     return read_trace(p, strict=strict)
 
 
+def _print_fault_outcome(result) -> None:
+    """Repairs and stall diagnostics of a fault-aware execution."""
+    for rep in result.repairs:
+        print(
+            f"  repair: round {rep.round}, worm {rep.worm} rerouted "
+            f"({rep.old_length} -> {rep.new_length} links)"
+        )
+    if not result.completed:
+        print(f"  stalled: {result.stall_reason}")
+        for uid, kind in sorted(result.diagnosis.items()):
+            print(f"    worm {uid}: {kind}")
+
+
 def _cmd_demo(args) -> int:
     from repro import (
         Butterfly,
@@ -200,6 +216,12 @@ def _cmd_demo(args) -> int:
     pairs = random_permutation(range(bf.rows), rng=0)
     coll = butterfly_path_collection(bf, pairs)
     print(f"routing a random permutation on {bf.name}: {coll!r}")
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults import parse_fault_spec
+
+        faults = parse_fault_spec(args.faults)
+        print(f"fault model: {faults!r}, repair={args.repair}")
     flight = getattr(args, "flight", False)
     if flight and not getattr(args, "trace_out", None):
         from repro.errors import ObservabilityError
@@ -222,6 +244,8 @@ def _cmd_demo(args) -> int:
             metrics=metrics,
             trace=writer,
             flight=flight,
+            faults=faults,
+            repair=getattr(args, "repair", "none"),
         )
         if writer is not None:
             writer.write_summary(rounds=result.rounds)
@@ -229,11 +253,106 @@ def _cmd_demo(args) -> int:
         _close_sinks(args, metrics, writer)
     print(f"completed in {result.rounds} rounds / {result.total_time} steps")
     for rec in result.records:
-        print(
+        line = (
             f"  round {rec.index}: Delta={rec.delay_range}, active "
             f"{rec.active_before}, delivered {rec.delivered}"
         )
+        if rec.faulted:
+            line += f", faulted {rec.faulted}"
+        print(line)
+    _print_fault_outcome(result)
     return 0
+
+
+def _cmd_faults_sweep(args) -> int:
+    from repro.experiments import exp_resilience
+
+    metrics, writer = _open_sinks(args)
+    if writer is not None:
+        writer.write_manifest(
+            command="faults sweep",
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+    common = dict(
+        side=args.side,
+        d=args.d,
+        bandwidth=args.bandwidth,
+        worm_length=args.worm_length,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    try:
+        t0 = time.perf_counter()
+        tables = [
+            exp_resilience.run_fault_sweep(**common),
+            exp_resilience.run_model_sweep(
+                max_rounds=args.max_rounds, repair=args.repair, **common
+            ),
+            exp_resilience.run_repair_ablation(
+                max_rounds=args.max_rounds, **common
+            ),
+        ]
+        rendered = "\n\n".join(t.format() for t in tables)
+        print(rendered)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(rendered + "\n")
+            print(f"\nwrote fault-sweep tables to {args.out}")
+        if writer is not None:
+            writer.write_summary(
+                tables=len(tables), elapsed=time.perf_counter() - t0
+            )
+    finally:
+        _close_sinks(args, metrics, writer)
+    return 0
+
+
+def _cmd_faults_replay(args) -> int:
+    from repro.core.protocol import route_collection
+    from repro.experiments.workloads import mesh_random_function
+    from repro.faults import ScriptedFaults
+
+    model = ScriptedFaults.from_json(args.schedule)
+    coll = mesh_random_function(args.side, args.d, rng=args.seed)
+    print(
+        f"replaying scripted faults from {args.schedule} on "
+        f"mesh{(args.side,) * args.d}: {coll!r} (repair={args.repair})"
+    )
+    metrics, writer = _open_sinks(args)
+    if writer is not None:
+        writer.write_manifest(
+            command="faults replay",
+            schedule=args.schedule,
+            seed=args.seed,
+            repair=args.repair,
+        )
+    try:
+        result = route_collection(
+            coll,
+            bandwidth=args.bandwidth,
+            worm_length=args.worm_length,
+            faults=model,
+            repair=args.repair,
+            max_rounds=args.max_rounds,
+            rng=args.seed,
+            metrics=metrics,
+            trace=writer,
+        )
+        if writer is not None:
+            writer.write_summary(rounds=result.rounds)
+    finally:
+        _close_sinks(args, metrics, writer)
+    status = "completed" if result.completed else "STALLED"
+    print(
+        f"{status} in {result.rounds} rounds / {result.total_time} steps; "
+        f"{sum(rec.faulted for rec in result.records)} fault hit(s), "
+        f"{len(result.repairs)} repair(s)"
+    )
+    _print_fault_outcome(result)
+    return 1 if not result.completed else 0
 
 
 def _cmd_report(args) -> int:
@@ -366,7 +485,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-worm flight events into --trace-out "
         "(analyse with 'repro trace')",
     )
+    demo.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject faults: none | transient:rate=R | gilbert:p01=A,p10=B "
+        "| persistent:rate=R | node:rate=R | ackloss:p=P | "
+        "scripted:path=F.json (see docs/FAULTS.md)",
+    )
+    demo.add_argument(
+        "--repair",
+        choices=["none", "reroute"],
+        default="none",
+        help="reroute worms stranded on suspected-dead links",
+    )
     demo.set_defaults(fn=_cmd_demo)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection sweeps and scripted replays"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    def _add_fault_workload_flags(p) -> None:
+        p.add_argument("--side", type=int, default=8, help="mesh side length")
+        p.add_argument("--d", type=int, default=2, help="mesh dimension")
+        p.add_argument("--bandwidth", type=int, default=2, help="wavelengths B")
+        p.add_argument("--worm-length", type=int, default=4, help="worm length L")
+        p.add_argument(
+            "--max-rounds", type=int, default=300, help="round budget per trial"
+        )
+
+    f_sweep = faults_sub.add_parser(
+        "sweep",
+        help="rate sweep + model comparison + repair ablation tables",
+    )
+    _add_fault_workload_flags(f_sweep)
+    f_sweep.add_argument("--trials", type=int, default=5, help="trials per row")
+    f_sweep.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    f_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per sweep"
+    )
+    f_sweep.add_argument(
+        "--repair",
+        choices=["none", "reroute"],
+        default="none",
+        help="repair mode for the model-comparison table",
+    )
+    f_sweep.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the tables here"
+    )
+    _add_observability_flags(f_sweep)
+    f_sweep.set_defaults(fn=_cmd_faults_sweep)
+
+    f_replay = faults_sub.add_parser(
+        "replay",
+        help="run one execution under a scripted fault schedule "
+        "(exit 1 if it stalls)",
+    )
+    f_replay.add_argument(
+        "schedule", help="JSON fault schedule (see ScriptedFaults.from_json)"
+    )
+    _add_fault_workload_flags(f_replay)
+    f_replay.add_argument("--seed", type=int, default=0, help="RNG seed")
+    f_replay.add_argument(
+        "--repair",
+        choices=["none", "reroute"],
+        default="none",
+        help="reroute worms stranded on suspected-dead links",
+    )
+    _add_observability_flags(f_replay)
+    f_replay.set_defaults(fn=_cmd_faults_replay)
 
     report = sub.add_parser(
         "report", help="aggregate benchmarks/results into one markdown report"

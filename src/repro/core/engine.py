@@ -203,6 +203,8 @@ class RoutingEngine:
 
         contended = 0
         collisions: list[CollisionEvent] = []
+        faulted_links: list[tuple] = []
+        faulted_lids: set[int] = set()
         occupancy: dict[tuple[int, int], _Record] = {}
         rule = self.rule
         tie_rule = self.tie_rule
@@ -236,6 +238,9 @@ class RoutingEngine:
 
             if lid in dead_lids:
                 # Dark fiber: every head entering it is lost outright.
+                if lid not in faulted_lids:
+                    faulted_lids.add(lid)
+                    faulted_links.append(links[lid])
                 for p, run in live:
                     run.dead_at = p
                     run.faulted = True
@@ -352,7 +357,10 @@ class RoutingEngine:
                 t_round=time.perf_counter() - t_round,
             )
         return RoundResult(
-            outcomes=outcomes, collisions=tuple(collisions), makespan=makespan
+            outcomes=outcomes,
+            collisions=tuple(collisions),
+            makespan=makespan,
+            faulted_links=tuple(faulted_links),
         )
 
     # -- helpers ---------------------------------------------------------------

@@ -23,12 +23,27 @@ Claim 2.6 that no two colliding worms tie; deterministic modes are
 available since the upper bound of Main Theorem 1.3 holds "for any
 assignment of priorities ... whether these priorities are changed from
 round to round, chosen randomly, or deterministically".
+
+Fault awareness (not part of the paper's model): ``faults`` plugs in a
+:class:`~repro.faults.models.FaultModel` adversary (the deprecated
+``fault_rate=`` is a bit-identical alias for
+:class:`~repro.faults.models.TransientLinkFaults`); a
+:class:`~repro.faults.health.LinkHealthMonitor` accumulates dead-link
+evidence across rounds; ``repair="reroute"`` recomputes stranded worms'
+paths around suspected-dead links; ``backoff_after=K`` escalates the
+delay schedule after K consecutive zero-progress rounds; and on
+``max_rounds`` exhaustion the result carries a per-worm ``diagnosis``
+and a ``stall_reason`` instead of a bare ``completed=False``. See
+docs/FAULTS.md.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
+import warnings
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -36,13 +51,24 @@ import numpy as np
 
 from repro._util import as_generator, spawn_generator
 from repro.core.engine import RoutingEngine
-from repro.core.records import ProtocolResult, RoundRecord
+from repro.core.records import (
+    DIAG_ACK_LOST,
+    DIAG_CONTENTION,
+    DIAG_STRANDED,
+    ProtocolResult,
+    RepairEvent,
+    RoundRecord,
+)
 from repro.core.schedule import DelaySchedule, GeometricSchedule, ScheduleContext
 from repro.errors import ProtocolError
+from repro.faults.health import LinkHealthMonitor, StallDetector
+from repro.faults.models import FaultModel, TransientLinkFaults
+from repro.faults.repair import collection_links, reroute_path, surviving_graph
+from repro.observability.logconf import get_logger
 from repro.observability.metrics import MetricsRegistry, get_metrics
 from repro.optics.coupler import CollisionRule, TieRule
 from repro.paths.collection import PathCollection
-from repro.worms.worm import FailureKind, Launch, make_worms
+from repro.worms.worm import FailureKind, Launch, Worm, make_worms
 from repro.worms.ack import ack_worms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -53,6 +79,9 @@ __all__ = ["ProtocolConfig", "TrialAndFailureProtocol", "route_collection"]
 
 _PRIORITY_MODES = ("random", "uid", "reverse_uid")
 _ACK_MODES = ("ideal", "simulated")
+_REPAIR_MODES = ("none", "reroute")
+
+_log = get_logger("core.protocol")
 
 
 @dataclass(frozen=True)
@@ -64,6 +93,17 @@ class ProtocolConfig:
     schedules consume it, at some bookkeeping cost on huge collections.
     ``collect_collisions`` retains per-round collision logs, which witness
     trees (Section 2.1) are built from.
+
+    Fault handling: ``faults`` names the
+    :class:`~repro.faults.models.FaultModel` adversary (None = fault-free);
+    ``fault_rate`` is the deprecated alias for
+    ``faults=TransientLinkFaults(rate)`` and produces bit-identical
+    results. ``repair`` is ``"none"`` or ``"reroute"`` (reroute stranded
+    worms around suspected-dead links); ``suspect_after`` is how many
+    fault-bearing rounds convict a link; ``backoff_after`` escalates a
+    bounded exponential backoff on ``Delta_t`` after that many
+    consecutive zero-progress rounds (0 disables), capped at
+    ``backoff_cap`` times the schedule's value.
     """
 
     bandwidth: int
@@ -78,11 +118,50 @@ class ProtocolConfig:
     track_congestion: bool = True
     collect_collisions: bool = False
     fault_rate: float = 0.0
+    faults: FaultModel | None = None
+    repair: str = "none"
+    suspect_after: int = 3
+    backoff_after: int = 0
+    backoff_cap: float = 8.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fault_rate < 1.0:
             raise ProtocolError(
                 f"fault_rate must be in [0, 1), got {self.fault_rate}"
+            )
+        if self.fault_rate > 0.0:
+            if self.faults is not None:
+                raise ProtocolError(
+                    "pass either faults= or the deprecated fault_rate=, not both"
+                )
+            warnings.warn(
+                "fault_rate= is deprecated; pass "
+                "faults=TransientLinkFaults(rate) instead (bit-identical)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(
+                self, "faults", TransientLinkFaults(self.fault_rate)
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultModel):
+            raise ProtocolError(
+                f"faults must be a FaultModel, got {type(self.faults).__name__}"
+            )
+        if self.repair not in _REPAIR_MODES:
+            raise ProtocolError(
+                f"repair must be one of {_REPAIR_MODES}, got {self.repair!r}"
+            )
+        if self.suspect_after < 1:
+            raise ProtocolError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
+        if self.backoff_after < 0:
+            raise ProtocolError(
+                f"backoff_after must be >= 0, got {self.backoff_after}"
+            )
+        if self.backoff_cap < 1.0:
+            raise ProtocolError(
+                f"backoff_cap must be >= 1.0, got {self.backoff_cap}"
             )
         if self.bandwidth <= 0:
             raise ProtocolError(f"bandwidth must be positive, got {self.bandwidth}")
@@ -147,19 +226,7 @@ class TrialAndFailureProtocol:
             else:
                 self._flight = FlightRecorder(trace, trial=trace_trial)
             self._flight.describe_worms(self.worms)
-        self.engine = RoutingEngine(
-            self.worms, config.rule, config.tie_rule, metrics=metrics
-        )
-        self._ack_engine: RoutingEngine | None = None
-        if config.ack_mode == "simulated":
-            # Reversed paths on a dedicated engine: the reserved ack band
-            # never contends with forward messages.
-            self._ack_engine = RoutingEngine(
-                ack_worms(self.worms, ack_length=config.ack_length),
-                config.rule,
-                config.tie_rule,
-                metrics=metrics,
-            )
+        self._build_engines(self.worms)
         self._base_ctx = ScheduleContext(
             n=collection.n,
             bandwidth=config.bandwidth,
@@ -167,6 +234,29 @@ class TrialAndFailureProtocol:
             dilation=collection.dilation,
             congestion=collection.path_congestion,
         )
+        self._repaired = False
+
+    def _build_engines(self, worms: list[Worm]) -> None:
+        """(Re)build the forward and ack engines for ``worms``.
+
+        Called at construction and again after a reroute repair replaces
+        stranded worms' paths (uids and lengths are stable; only paths
+        change).
+        """
+        config = self.config
+        self.engine = RoutingEngine(
+            worms, config.rule, config.tie_rule, metrics=self._metrics
+        )
+        self._ack_engine: RoutingEngine | None = None
+        if config.ack_mode == "simulated":
+            # Reversed paths on a dedicated engine: the reserved ack band
+            # never contends with forward messages.
+            self._ack_engine = RoutingEngine(
+                ack_worms(worms, ack_length=config.ack_length),
+                config.rule,
+                config.tie_rule,
+                metrics=self._metrics,
+            )
 
     # -- round internals -----------------------------------------------------
 
@@ -220,6 +310,106 @@ class TrialAndFailureProtocol:
         acked = {uid - offset for uid in result.delivered}
         return acked, (result.makespan or 0)
 
+    # -- fault-awareness helpers ---------------------------------------------
+
+    def _attempt_repairs(
+        self,
+        t: int,
+        active: list[int],
+        live_paths: dict[int, tuple],
+        monitor: LinkHealthMonitor,
+        repairs: list[RepairEvent],
+        metrics: MetricsRegistry,
+        observe: bool,
+    ) -> bool:
+        """Reroute active worms stranded on suspected-dead links.
+
+        Replacement paths are shortest paths on the surviving directed
+        graph (the topology's links when the collection has a topology,
+        else the union of the collection's own links) minus the
+        suspected set. Returns True when any path changed -- the engines
+        are rebuilt and the live collection must be refreshed. Worms
+        whose destination became unreachable stay stranded and are
+        diagnosed at exhaustion.
+        """
+        stranded = [
+            uid for uid in active if monitor.is_suspected_path(live_paths[uid])
+        ]
+        if not stranded:
+            return False
+        adj = surviving_graph(
+            collection_links(self.collection.paths, self.collection.topology),
+            monitor.suspected,
+        )
+        changed = 0
+        for uid in stranded:
+            path = live_paths[uid]
+            new_path = reroute_path(adj, path[0], path[-1])
+            if new_path is None or new_path == path:
+                continue
+            repairs.append(
+                RepairEvent(
+                    round=t,
+                    worm=uid,
+                    old_length=len(path) - 1,
+                    new_length=len(new_path) - 1,
+                )
+            )
+            live_paths[uid] = new_path
+            changed += 1
+            _log.info(
+                "round %d: rerouted worm %d around %d suspected-dead "
+                "link(s) (%d -> %d links)",
+                t,
+                uid,
+                len(monitor.suspected),
+                len(path) - 1,
+                len(new_path) - 1,
+            )
+            if self._trace is not None:
+                self._trace.write(
+                    "repair",
+                    trial=self._trace_trial,
+                    round=t,
+                    worm=uid,
+                    old_length=len(path) - 1,
+                    new_length=len(new_path) - 1,
+                )
+        if not changed:
+            return False
+        self.worms = [
+            Worm(uid=w.uid, path=live_paths[w.uid], length=w.length)
+            for w in self.worms
+        ]
+        self._build_engines(self.worms)
+        self._repaired = True
+        if self._flight is not None:
+            self._flight.describe_worms(
+                [w for w in self.worms if any(r.worm == w.uid for r in repairs)],
+                force=True,
+            )
+        if observe:
+            metrics.inc("protocol_repairs_total", changed)
+        return True
+
+    def _diagnose(
+        self,
+        active: list[int],
+        delivered_ever: set[int],
+        live_paths: dict[int, tuple],
+        monitor: LinkHealthMonitor,
+    ) -> dict[int, str]:
+        """Classify every still-active worm at max_rounds exhaustion."""
+        diagnosis: dict[int, str] = {}
+        for uid in active:
+            if uid in delivered_ever:
+                diagnosis[uid] = DIAG_ACK_LOST
+            elif monitor.is_suspected_path(live_paths[uid]):
+                diagnosis[uid] = DIAG_STRANDED
+            else:
+                diagnosis[uid] = DIAG_CONTENTION
+        return diagnosis
+
     # -- main loop ----------------------------------------------------------------
 
     def run(self, rng=None) -> ProtocolResult:
@@ -229,15 +419,34 @@ class TrialAndFailureProtocol:
         metrics = self._metrics if self._metrics is not None else get_metrics()
         observe = metrics.enabled
         t_run = time.perf_counter() if observe else 0.0
+        if self._repaired:
+            # A previous run on this instance rerouted worms; reset to the
+            # pristine collection so reruns stay seed-deterministic.
+            self.worms = make_worms(self.collection.paths, cfg.worm_length)
+            self._build_engines(self.worms)
+            self._repaired = False
         active: list[int] = [w.uid for w in self.worms]
         delivered_round: dict[int, int] = {}
         delivered_ever: set[int] = set()
         duplicates = 0
+        acks_lost = 0
         records: list[RoundRecord] = []
         collisions_per_round: list[tuple] = []
+        repairs: list[RepairEvent] = []
         total_time = 0
         observed_time = 0
-        dl = self.collection.dilation + cfg.worm_length
+        live_coll = self.collection
+        live_paths: dict[int, tuple] = {w.uid: w.path for w in self.worms}
+        base_ctx = self._base_ctx
+        dl = live_coll.dilation + cfg.worm_length
+
+        fault_run = (
+            cfg.faults.start(self.collection.links, rng)
+            if cfg.faults is not None
+            else None
+        )
+        monitor = LinkHealthMonitor(cfg.suspect_after)
+        stall = StallDetector(cfg.backoff_after, cfg.backoff_cap)
 
         completed = False
         rounds_used = 0
@@ -245,23 +454,25 @@ class TrialAndFailureProtocol:
             rounds_used = t
             current_congestion = None
             if cfg.track_congestion:
-                current_congestion = self.collection.subset(active).path_congestion
+                current_congestion = live_coll.subset(active).path_congestion
             ctx = dataclasses.replace(
-                self._base_ctx, current_congestion=current_congestion
+                base_ctx, current_congestion=current_congestion
             )
             delta = cfg.schedule.delay_range(t, ctx)
+            if stall.multiplier > 1.0:
+                # Stall backoff: widen the launch window beyond what the
+                # schedule believes is enough (bounded exponential).
+                delta = max(1, int(math.ceil(delta * stall.multiplier)))
 
             round_rng = spawn_generator(rng)
             launches = self._draw_launches(active, delta, round_rng)
             if self._flight is not None:
                 self._flight.begin_round(t)
-            dead_links = None
-            if cfg.fault_rate > 0.0:
-                # Transient per-round faults: each directed link in use is
-                # independently dark this round.
-                links = self.collection.links
-                mask = round_rng.random(len(links)) < cfg.fault_rate
-                dead_links = [lk for lk, dead in zip(links, mask) if dead]
+            dead_links = (
+                fault_run.dead_links(t, round_rng)
+                if fault_run is not None
+                else None
+            )
             result = self.engine.run_round(
                 launches,
                 collect_collisions=cfg.collect_collisions,
@@ -287,6 +498,14 @@ class TrialAndFailureProtocol:
                     metrics.observe(
                         "protocol_ack_seconds", time.perf_counter() - t_ack
                     )
+
+            if fault_run is not None and acked:
+                lost = fault_run.lost_acks(t, sorted(acked), round_rng)
+                if lost:
+                    acked -= lost
+                    acks_lost += len(lost)
+                    if observe:
+                        metrics.inc("protocol_acks_lost_total", len(lost))
 
             if self._flight is not None:
                 self._flight.end_round(
@@ -344,9 +563,65 @@ class TrialAndFailureProtocol:
                 self._trace.write(
                     "round", trial=self._trace_trial, **dataclasses.asdict(record)
                 )
+
+            if result.faulted_links:
+                monitor.observe_round(result.faulted_links)
+                if observe:
+                    metrics.gauge(
+                        "protocol_suspected_links", len(monitor.suspected)
+                    )
+            if stall.observe_round(len(acked)) and observe:
+                metrics.inc("protocol_backoff_escalations_total")
+
             if not active:
                 completed = True
                 break
+
+            if (
+                cfg.repair == "reroute"
+                and monitor.suspected
+                and self._attempt_repairs(
+                    t, active, live_paths, monitor, repairs, metrics, observe
+                )
+            ):
+                live_coll = PathCollection(
+                    [live_paths[w.uid] for w in self.worms],
+                    topology=self.collection.topology,
+                    require_simple=False,
+                )
+                dl = live_coll.dilation + cfg.worm_length
+                # Repaired paths void the original invariants; re-anchor
+                # the schedule on the repaired collection's measures.
+                base_ctx = dataclasses.replace(
+                    base_ctx,
+                    dilation=live_coll.dilation,
+                    congestion=live_coll.path_congestion,
+                )
+
+        diagnosis: dict[int, str] = {}
+        stall_reason: str | None = None
+        if not completed:
+            diagnosis = self._diagnose(
+                active, delivered_ever, live_paths, monitor
+            )
+            counts = Counter(diagnosis.values())
+            breakdown = ", ".join(
+                f"{n} {kind}" for kind, n in sorted(counts.items())
+            )
+            stall_reason = (
+                f"max_rounds={cfg.max_rounds} exhausted with "
+                f"{len(active)} active worm(s): {breakdown}"
+            )
+            _log.warning(
+                "protocol exhausted max_rounds=%d with %d active worm(s) "
+                "(%s); suspected dead links: %d; repairs applied: %d",
+                cfg.max_rounds,
+                len(active),
+                breakdown,
+                len(monitor.suspected),
+                len(repairs),
+            )
+            metrics.inc("protocol_exhausted_total")
 
         if observe:
             metrics.inc("protocol_runs_total")
@@ -364,6 +639,9 @@ class TrialAndFailureProtocol:
                 observed_time=observed_time,
                 delivered_round=delivered_round,
                 duplicate_deliveries=duplicates,
+                diagnosis=diagnosis,
+                stall_reason=stall_reason,
+                repairs=[dataclasses.asdict(r) for r in repairs],
             )
         return ProtocolResult(
             completed=completed,
@@ -374,6 +652,9 @@ class TrialAndFailureProtocol:
             delivered_round=delivered_round,
             collisions_per_round=tuple(collisions_per_round),
             duplicate_deliveries=duplicates,
+            diagnosis=diagnosis,
+            stall_reason=stall_reason,
+            repairs=tuple(repairs),
         )
 
 

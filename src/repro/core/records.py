@@ -12,8 +12,20 @@ __all__ = [
     "CollisionEvent",
     "RoundResult",
     "RoundRecord",
+    "RepairEvent",
     "ProtocolResult",
+    "DIAG_STRANDED",
+    "DIAG_ACK_LOST",
+    "DIAG_CONTENTION",
 ]
+
+#: Per-worm diagnoses attached to incomplete executions: the worm's path
+#: crosses a suspected-dead link; the worm was delivered but its
+#: acknowledgement never came back; the worm simply kept losing coupler
+#: conflicts within the round budget.
+DIAG_STRANDED = "stranded-by-dead-link"
+DIAG_ACK_LOST = "ack-lost"
+DIAG_CONTENTION = "contention-starved"
 
 
 class CollisionKind(enum.Enum):
@@ -53,11 +65,15 @@ class RoundResult:
     keep draining through the links upstream of their cut. It is ``None``
     exactly when no flit moved at all: either nothing was launched, or
     every launched worm lost its head entering its very first link.
+    ``faulted_links`` lists the dead directed links that actually ate a
+    head this round (each once, in event order) -- the evidence stream
+    the protocol's link-health monitor accumulates.
     """
 
     outcomes: dict[int, WormOutcome]
     collisions: tuple[CollisionEvent, ...]
     makespan: int | None
+    faulted_links: tuple[tuple, ...] = field(default_factory=tuple)
 
     @property
     def delivered(self) -> list[int]:
@@ -106,6 +122,22 @@ class RoundRecord:
 
 
 @dataclass(frozen=True)
+class RepairEvent:
+    """One worm rerouted around suspected-dead links (``repair="reroute"``).
+
+    ``round`` is the round *after* which the repair was applied; the
+    lengths are in links. Any repair means the routed collection is no
+    longer guaranteed to satisfy the structural invariants (leveled,
+    short-cut-free) the original was built with.
+    """
+
+    round: int
+    worm: int
+    old_length: int
+    new_length: int
+
+
+@dataclass(frozen=True)
 class ProtocolResult:
     """Outcome of a full trial-and-failure execution.
 
@@ -113,6 +145,13 @@ class ProtocolResult:
     delivery was acknowledged; worms missing from it never finished inside
     ``max_rounds``. ``total_time`` sums the nominal round durations (the
     quantity the theorems bound); ``observed_time`` sums simulated spans.
+
+    Incomplete executions degrade gracefully instead of returning a bare
+    ``completed=False``: ``diagnosis`` maps every still-active worm uid
+    to one of :data:`DIAG_STRANDED` / :data:`DIAG_ACK_LOST` /
+    :data:`DIAG_CONTENTION`, and ``stall_reason`` is a one-line human
+    summary. ``repairs`` lists the reroute events a fault-aware run
+    applied (empty for ``repair="none"``).
     """
 
     completed: bool
@@ -125,6 +164,9 @@ class ProtocolResult:
         default_factory=tuple
     )
     duplicate_deliveries: int = 0
+    diagnosis: dict[int, str] = field(default_factory=dict)
+    stall_reason: str | None = None
+    repairs: tuple[RepairEvent, ...] = field(default_factory=tuple)
 
     @property
     def n_worms_delivered(self) -> int:

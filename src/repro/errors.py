@@ -28,6 +28,14 @@ class ScheduleError(ReproError):
     """A delay-range schedule received invalid parameters."""
 
 
+class FaultError(ReproError, ValueError):
+    """A fault model or fault schedule was configured incorrectly.
+
+    Also a :class:`ValueError`, so callers validating fault rates and
+    schedules the usual way keep working.
+    """
+
+
 class WitnessError(ReproError):
     """A witness-tree structure failed validation."""
 

@@ -1,0 +1,44 @@
+"""Fault injection and fault-aware protocol adaptation.
+
+The pluggable fault subsystem: seed-deterministic :class:`FaultModel`
+implementations (transient, Gilbert-Elliott bursty, persistent link,
+node crash, ack loss, scripted), the :class:`LinkHealthMonitor` that
+accumulates dead-link evidence across rounds, the :class:`StallDetector`
+backoff, and the reroute machinery ``repair="reroute"`` uses to route
+stranded worms around suspected-dead links. See docs/FAULTS.md for the
+catalog and semantics.
+"""
+
+from repro.faults.health import LinkHealthMonitor, StallDetector
+from repro.faults.models import (
+    AckLoss,
+    FaultModel,
+    FaultRun,
+    GilbertElliott,
+    NodeFailures,
+    NoFaults,
+    PersistentLinkFailures,
+    ScriptedFaults,
+    TransientLinkFaults,
+)
+from repro.faults.repair import collection_links, reroute_path, surviving_graph
+from repro.faults.spec import FAULT_SPEC_NAMES, parse_fault_spec
+
+__all__ = [
+    "AckLoss",
+    "FaultModel",
+    "FaultRun",
+    "GilbertElliott",
+    "LinkHealthMonitor",
+    "NodeFailures",
+    "NoFaults",
+    "PersistentLinkFailures",
+    "ScriptedFaults",
+    "StallDetector",
+    "TransientLinkFaults",
+    "FAULT_SPEC_NAMES",
+    "parse_fault_spec",
+    "collection_links",
+    "reroute_path",
+    "surviving_graph",
+]

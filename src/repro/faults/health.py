@@ -1,0 +1,123 @@
+"""Link-health monitoring and stall detection for fault-aware routing.
+
+The protocol cannot see *why* a worm was lost -- a dark fiber looks like
+a collision from the source's point of view -- but it does learn, round
+by round, *where* heads vanished into dead links (the engine reports the
+faulted links of each round). :class:`LinkHealthMonitor` accumulates
+that evidence and flags links as *suspected dead* once they have eaten
+heads in enough distinct rounds; ``repair="reroute"`` then routes
+stranded worms around the suspects.
+
+:class:`StallDetector` watches protocol progress instead of links: after
+``after`` consecutive zero-acknowledgement rounds it escalates a bounded
+exponential backoff multiplier on the delay range ``Delta_t``, the
+classic congestion-collapse remedy for workloads whose contention the
+schedule underestimates (or whose faults eat every launch).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["LinkHealthMonitor", "StallDetector"]
+
+
+class LinkHealthMonitor:
+    """Accumulates per-link fault evidence and flags suspected-dead links.
+
+    A link is *suspected* once worms have faulted on it in at least
+    ``suspect_after`` distinct rounds. Transient faults rarely repeat on
+    one link, so small thresholds (the default is 3) separate persistent
+    failures from noise at typical fault rates; ``suspect_after=1``
+    makes the monitor trust every observation (right for scripted
+    adversaries known to be persistent).
+    """
+
+    def __init__(self, suspect_after: int = 3) -> None:
+        if suspect_after < 1:
+            raise ValueError(
+                f"suspect_after must be >= 1, got {suspect_after}"
+            )
+        self.suspect_after = suspect_after
+        self._evidence: dict[tuple, int] = {}
+        self._suspected: set[tuple] = set()
+
+    def observe_round(self, faulted_links: Iterable[tuple]) -> list[tuple]:
+        """Record one round's faulted links; returns newly suspected links.
+
+        ``faulted_links`` is the set of links on which at least one head
+        was lost this round (each counts once per round, so a busy dead
+        link does not accrue evidence faster than a quiet one).
+        """
+        fresh: list[tuple] = []
+        seen: set[tuple] = set()
+        for link in faulted_links:
+            link = tuple(link)
+            if link in seen:
+                continue
+            seen.add(link)
+            count = self._evidence.get(link, 0) + 1
+            self._evidence[link] = count
+            if count >= self.suspect_after and link not in self._suspected:
+                self._suspected.add(link)
+                fresh.append(link)
+        return fresh
+
+    @property
+    def suspected(self) -> frozenset[tuple]:
+        """The directed links currently suspected dead."""
+        return frozenset(self._suspected)
+
+    @property
+    def evidence(self) -> dict[tuple, int]:
+        """Per-link count of rounds with observed faults (a copy)."""
+        return dict(self._evidence)
+
+    def is_suspected_path(self, path: Iterable) -> bool:
+        """Whether a node-sequence path crosses any suspected link."""
+        if not self._suspected:
+            return False
+        nodes = list(path)
+        return any(
+            (a, b) in self._suspected for a, b in zip(nodes, nodes[1:])
+        )
+
+
+class StallDetector:
+    """Bounded exponential backoff on ``Delta_t`` under zero progress.
+
+    ``after`` consecutive rounds without a single acknowledgement count
+    as a stall; each stall doubles the delay-range multiplier, capped at
+    ``cap``. Any progress resets the streak (but not the multiplier:
+    a workload that needed backoff once usually still needs it).
+    ``after=0`` disables the detector (multiplier stays 1).
+    """
+
+    def __init__(self, after: int = 0, cap: float = 8.0) -> None:
+        if after < 0:
+            raise ValueError(f"after must be >= 0, got {after}")
+        if cap < 1.0:
+            raise ValueError(f"cap must be >= 1.0, got {cap}")
+        self.after = after
+        self.cap = cap
+        self.escalations = 0
+        self._streak = 0
+
+    @property
+    def multiplier(self) -> float:
+        """The current delay-range multiplier (1.0 = no backoff)."""
+        return min(float(2**self.escalations), self.cap)
+
+    def observe_round(self, acked: int) -> bool:
+        """Record one round's ack count; True when this round escalated."""
+        if self.after == 0:
+            return False
+        if acked > 0:
+            self._streak = 0
+            return False
+        self._streak += 1
+        if self._streak >= self.after and self.multiplier < self.cap:
+            self.escalations += 1
+            self._streak = 0
+            return True
+        return False

@@ -1,0 +1,119 @@
+"""Textual fault-model specs for the CLI (``demo --faults gilbert:...``).
+
+A spec is ``name`` or ``name:key=value,key=value`` with the model names
+
+* ``none``                                    -- :class:`~repro.faults.models.NoFaults`
+* ``transient:rate=0.05``                     -- :class:`~repro.faults.models.TransientLinkFaults`
+* ``gilbert:p01=0.05,p10=0.5``                -- :class:`~repro.faults.models.GilbertElliott`
+* ``persistent:rate=0.01``                    -- :class:`~repro.faults.models.PersistentLinkFailures`
+* ``node:rate=0.01``                          -- :class:`~repro.faults.models.NodeFailures`
+* ``ackloss:p=0.1``                           -- :class:`~repro.faults.models.AckLoss`
+* ``scripted:path=faults.json[,persistent=1]`` -- :class:`~repro.faults.models.ScriptedFaults.from_json`
+
+Unknown names or keys raise :class:`~repro.errors.FaultError` with the
+accepted inventory, so a CLI typo fails fast with guidance.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultError
+from repro.faults.models import (
+    AckLoss,
+    FaultModel,
+    GilbertElliott,
+    NodeFailures,
+    NoFaults,
+    PersistentLinkFailures,
+    ScriptedFaults,
+    TransientLinkFaults,
+)
+
+__all__ = ["FAULT_SPEC_NAMES", "parse_fault_spec"]
+
+#: The model names a spec may open with.
+FAULT_SPEC_NAMES: tuple[str, ...] = (
+    "none",
+    "transient",
+    "gilbert",
+    "persistent",
+    "node",
+    "ackloss",
+    "scripted",
+)
+
+_FLOAT_KEYS = {
+    "transient": ("rate",),
+    "gilbert": ("p01", "p10"),
+    "persistent": ("rate",),
+    "node": ("rate",),
+    "ackloss": ("p",),
+}
+
+
+def _parse_kwargs(name: str, body: str) -> dict[str, str]:
+    kwargs: dict[str, str] = {}
+    if not body:
+        return kwargs
+    for part in body.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise FaultError(
+                f"fault spec {name!r}: expected key=value, got {part!r}"
+            )
+        kwargs[key] = value.strip()
+    return kwargs
+
+
+def parse_fault_spec(spec: str) -> FaultModel:
+    """Parse ``name:key=value,...`` into a :class:`FaultModel` instance."""
+    name, _, body = spec.strip().partition(":")
+    name = name.strip().lower()
+    if name not in FAULT_SPEC_NAMES:
+        raise FaultError(
+            f"unknown fault model {name!r}; expected one of "
+            f"{', '.join(FAULT_SPEC_NAMES)}"
+        )
+    kwargs = _parse_kwargs(name, body)
+    if name == "none":
+        if kwargs:
+            raise FaultError("fault spec 'none' takes no parameters")
+        return NoFaults()
+    if name == "scripted":
+        path = kwargs.pop("path", None)
+        persistent = kwargs.pop("persistent", None)
+        if kwargs:
+            raise FaultError(
+                f"fault spec 'scripted': unknown keys {sorted(kwargs)}"
+            )
+        if not path:
+            raise FaultError(
+                "fault spec 'scripted' needs path=SCHEDULE.json"
+            )
+        return ScriptedFaults.from_json(
+            path,
+            persistent=None if persistent is None else persistent not in ("0", "false", "no"),
+        )
+    allowed = _FLOAT_KEYS[name]
+    values: dict[str, float] = {}
+    for key, raw in kwargs.items():
+        if key not in allowed:
+            raise FaultError(
+                f"fault spec {name!r}: unknown key {key!r} "
+                f"(accepted: {', '.join(allowed)})"
+            )
+        try:
+            values[key] = float(raw)
+        except ValueError as exc:
+            raise FaultError(
+                f"fault spec {name!r}: {key}={raw!r} is not a number"
+            ) from exc
+    if name == "transient":
+        return TransientLinkFaults(**values)
+    if name == "gilbert":
+        return GilbertElliott(**values)
+    if name == "persistent":
+        return PersistentLinkFailures(**values)
+    if name == "node":
+        return NodeFailures(**values)
+    return AckLoss(**values)

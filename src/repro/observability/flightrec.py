@@ -10,7 +10,9 @@ keeps working unchanged.
 Record kinds (all tagged with the 0-based ``trial`` index):
 
 * ``worm_def`` -- static identity, once per worm: ``worm``, ``path``
-  (node sequence), ``length``;
+  (node sequence), ``length``; re-emitted (``force=True``) when a
+  reroute repair replaces the path mid-run -- the last ``worm_def``
+  per uid is current;
 * ``worm_launch`` -- one per launched worm per round: ``round``,
   ``delay``, ``wavelength`` (channel index, or per-link list for
   conversion-capable launches), ``priority``, ``length``, ``n_links``;
@@ -82,10 +84,17 @@ class FlightRecorder:
 
     # -- static identity -----------------------------------------------------
 
-    def describe_worms(self, worms: Iterable["Worm"]) -> None:
-        """Emit one ``worm_def`` per worm (idempotent per uid)."""
+    def describe_worms(
+        self, worms: Iterable["Worm"], force: bool = False
+    ) -> None:
+        """Emit one ``worm_def`` per worm (idempotent per uid).
+
+        ``force=True`` re-emits even already-described uids -- used after
+        a reroute repair replaces a worm's path mid-run; replayers take
+        the last ``worm_def`` per uid as current.
+        """
         for w in worms:
-            if w.uid in self._described:
+            if not force and w.uid in self._described:
                 continue
             self._described.add(w.uid)
             self.writer.write(

@@ -11,6 +11,9 @@ A *run trace* is a JSON-Lines file: one JSON object per line, each with a
 * ``trial`` -- one full protocol execution's summary, mirroring the
   scalar fields of :class:`~repro.core.records.ProtocolResult` plus its
   ``delivered_round`` map;
+* ``repair`` -- one worm rerouted around suspected-dead links mid-run
+  (``repair="reroute"``), mirroring
+  :class:`~repro.core.records.RepairEvent`;
 * ``experiment`` -- one CLI experiment's id and wall time;
 * ``summary`` -- last line; total elapsed seconds and free-form totals;
 * ``worm_*`` / ``flight_round`` -- opt-in worm-level flight-recorder
@@ -260,7 +263,7 @@ def protocol_result_from_trace(trace: RunTrace, trial: int = 0):
     ``collisions_per_round`` is empty. Raises ``ValueError`` when the
     trace holds no ``trial`` summary for the requested index.
     """
-    from repro.core.records import ProtocolResult, RoundRecord
+    from repro.core.records import ProtocolResult, RepairEvent, RoundRecord
 
     rounds = []
     for r in trace.of_kind("round"):
@@ -298,4 +301,12 @@ def protocol_result_from_trace(trace: RunTrace, trial: int = 0):
             int(uid): rnd for uid, rnd in summary["delivered_round"].items()
         },
         duplicate_deliveries=summary.get("duplicate_deliveries", 0),
+        diagnosis={
+            int(uid): kind
+            for uid, kind in summary.get("diagnosis", {}).items()
+        },
+        stall_reason=summary.get("stall_reason"),
+        repairs=tuple(
+            RepairEvent(**r) for r in summary.get("repairs", ())
+        ),
     )

@@ -63,12 +63,16 @@ def route_collection_trials(
     retries: int = 0,
     progress: Callable[[TrialProgress], None] | None = None,
     metrics: MetricsRegistry | None = None,
+    checkpoint=None,
     **config_kwargs,
 ) -> list[ProtocolResult]:
     """Route ``collection`` over ``trials`` independent seeds.
 
     Bit-identical to calling :func:`repro.core.protocol.route_collection`
     serially on each child seed of ``seed``, for any ``jobs``.
+    ``checkpoint`` passes through to the runner: a killed batch rerun
+    with the same arguments resumes from the journal, skipping the
+    already-completed trials.
 
     When ``metrics`` is given, every trial runs instrumented against its
     own private registry (in the worker process for ``jobs > 1``) and the
@@ -92,6 +96,7 @@ def route_collection_trials(
         retries=retries,
         progress=progress,
         metrics=metrics,
+        checkpoint=checkpoint,
     )
     outputs = runner.run(trials, seed)
     if metrics is None:

@@ -24,15 +24,35 @@ function, or :func:`functools.partial` over one). Unpicklable callables
 to serial execution with a logged warning (logger
 ``repro.runners.trial``), so ``--jobs`` is always safe to pass.
 
+Two robustness layers on top:
+
+* ``checkpoint=PATH`` makes batches crash-safe: every settled trial's
+  result is appended to an atomically rewritten JSON file, and a rerun
+  of the same seed batch skips the already-completed indices -- the
+  resumed batch returns bit-identical results because each trial
+  depends only on its own seed. A checkpoint written for a *different*
+  seed batch is refused (fingerprint mismatch) rather than silently
+  mixing results.
+* a :class:`~concurrent.futures.process.BrokenProcessPool` (a worker
+  killed by the OOM killer, a segfaulting extension, ...) no longer
+  abandons the batch: the pool is rebuilt and every unsettled trial is
+  resubmitted (counted as an attempt), up to a separate rebuild cap so
+  ``retries=0`` batches still survive worker crashes.
+
 Batch mechanics (trial counts, per-trial latency, retries, timeouts,
-pool occupancy) are instrumented through
-:mod:`repro.observability.metrics`; pass ``metrics=`` or enable the
-process default registry to collect them.
+pool occupancy, pool rebuilds, checkpoint traffic) are instrumented
+through :mod:`repro.observability.metrics`; pass ``metrics=`` or enable
+the process default registry to collect them.
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import json
 import logging
+import os
+import pathlib
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
@@ -47,6 +67,78 @@ from repro.observability.metrics import MetricsRegistry, get_metrics
 __all__ = ["TrialProgress", "TrialRunner", "spawn_seeds"]
 
 _log = logging.getLogger(__name__)
+
+_CHECKPOINT_VERSION = 1
+
+#: How many times one batch tolerates the worker pool breaking before
+#: giving up. Deliberately separate from per-trial ``retries`` (a pool
+#: break is an infrastructure failure, not a trial failure).
+_POOL_REBUILD_LIMIT = 3
+
+#: Sentinel distinguishing "not settled yet" from a legal None result.
+_UNSET = object()
+
+
+class _Checkpoint:
+    """Crash-safe journal of settled trial results for one seed batch.
+
+    The file is a single JSON object ``{"version", "fingerprint",
+    "completed": {index: base64(pickle(result))}}`` rewritten atomically
+    (temp file + :func:`os.replace`) after every settled trial, so a
+    kill at any instant leaves either the previous or the next
+    consistent state -- never a torn file. The fingerprint hashes the
+    seed list, binding the checkpoint to its batch: resuming with
+    different seeds raises instead of silently mixing results.
+    """
+
+    def __init__(self, path: str | pathlib.Path, seeds: Sequence[int]) -> None:
+        self.path = pathlib.Path(path)
+        self.fingerprint = hashlib.sha256(
+            json.dumps(list(seeds)).encode("ascii")
+        ).hexdigest()
+        self.completed: dict[int, object] = {}
+
+    def load(self) -> dict[int, object]:
+        """Read previously settled results (empty when no file yet)."""
+        if not self.path.exists():
+            return {}
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise TrialError(
+                f"checkpoint {self.path} is unreadable: {exc}"
+            ) from exc
+        if data.get("version") != _CHECKPOINT_VERSION:
+            raise TrialError(
+                f"checkpoint {self.path} has schema version "
+                f"{data.get('version')!r}, expected {_CHECKPOINT_VERSION}"
+            )
+        if data.get("fingerprint") != self.fingerprint:
+            raise TrialError(
+                f"checkpoint {self.path} was written for a different seed "
+                "batch (fingerprint mismatch); delete it or rerun with the "
+                "original seeds"
+            )
+        self.completed = {
+            int(i): pickle.loads(base64.b64decode(blob))
+            for i, blob in data.get("completed", {}).items()
+        }
+        return dict(self.completed)
+
+    def record(self, index: int, result) -> None:
+        """Persist one settled trial (atomic full rewrite)."""
+        self.completed[index] = result
+        payload = {
+            "version": _CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "completed": {
+                str(i): base64.b64encode(pickle.dumps(r)).decode("ascii")
+                for i, r in sorted(self.completed.items())
+            },
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, self.path)
 
 
 def spawn_seeds(seed, n: int) -> list[int]:
@@ -89,7 +181,10 @@ class TrialRunner:
     gets before :class:`TrialError` is raised; ``progress`` is called
     with a :class:`TrialProgress` after every trial settles; ``metrics``
     optionally names the registry receiving batch instrumentation (None
-    defers to the process default, a no-op unless enabled).
+    defers to the process default, a no-op unless enabled);
+    ``checkpoint`` optionally names a JSON file settled results are
+    journaled to -- rerunning the same batch resumes from it, skipping
+    completed trials and returning bit-identical results.
     """
 
     def __init__(
@@ -101,6 +196,7 @@ class TrialRunner:
         retries: int = 0,
         progress: Callable[[TrialProgress], None] | None = None,
         metrics: MetricsRegistry | None = None,
+        checkpoint: str | pathlib.Path | None = None,
     ) -> None:
         if jobs < 1:
             raise TrialError(f"jobs must be >= 1, got {jobs}")
@@ -114,6 +210,7 @@ class TrialRunner:
         self.retries = retries
         self.progress = progress
         self.metrics = metrics
+        self.checkpoint = checkpoint
 
     # -- public API ----------------------------------------------------------
 
@@ -129,8 +226,28 @@ class TrialRunner:
         if not seeds:
             return []
         metrics = self.metrics if self.metrics is not None else get_metrics()
-        if self.jobs == 1 or len(seeds) == 1:
-            return self._run_serial(seeds, metrics)
+        ckpt: _Checkpoint | None = None
+        preloaded: dict[int, object] = {}
+        if self.checkpoint is not None:
+            ckpt = _Checkpoint(self.checkpoint, seeds)
+            preloaded = ckpt.load()
+            stale = [i for i in preloaded if i >= len(seeds)]
+            if stale:  # can't happen with a matching fingerprint; be safe
+                raise TrialError(
+                    f"checkpoint {ckpt.path} holds trial indices {stale} "
+                    f"beyond the batch size {len(seeds)}"
+                )
+            if preloaded:
+                _log.info(
+                    "checkpoint %s: resuming batch with %d/%d trial(s) "
+                    "already complete",
+                    ckpt.path,
+                    len(preloaded),
+                    len(seeds),
+                )
+                metrics.inc("runner_checkpoint_loaded_total", len(preloaded))
+        if self.jobs == 1 or len(seeds) - len(preloaded) <= 1:
+            return self._run_serial(seeds, metrics, ckpt, preloaded)
         if not self._picklable():
             _log.warning(
                 "trial function %r is not picklable; running %d trial(s) "
@@ -142,8 +259,8 @@ class TrialRunner:
                 self.jobs,
             )
             metrics.inc("runner_serial_fallbacks_total")
-            return self._run_serial(seeds, metrics)
-        return self._run_pool(seeds, metrics)
+            return self._run_serial(seeds, metrics, ckpt, preloaded)
+        return self._run_pool(seeds, metrics, ckpt, preloaded)
 
     # -- internals -----------------------------------------------------------
 
@@ -170,17 +287,30 @@ class TrialRunner:
                 )
             )
 
-    def _run_serial(self, seeds: list[int], metrics: MetricsRegistry) -> list:
+    def _run_serial(
+        self,
+        seeds: list[int],
+        metrics: MetricsRegistry,
+        ckpt: _Checkpoint | None = None,
+        preloaded: dict[int, object] | None = None,
+    ) -> list:
+        preloaded = preloaded or {}
         t0 = time.perf_counter()
         observe = metrics.enabled
         results = []
+        executed = 0
+        done = len(preloaded)
         for i, seed in enumerate(seeds):
+            if i in preloaded:
+                results.append(preloaded[i])
+                continue
             attempts = 0
             while True:
                 attempts += 1
                 try:
                     t_trial = time.perf_counter() if observe else 0.0
                     results.append(self.fn(seed))
+                    executed += 1
                     if observe:
                         metrics.observe(
                             "runner_trial_seconds",
@@ -192,59 +322,114 @@ class TrialRunner:
                     if attempts > self.retries:
                         metrics.inc("runner_trials_failed_total", mode="serial")
                         self._report(
-                            i, seed, attempts, i, len(seeds), t0, error=str(exc)
+                            i, seed, attempts, done, len(seeds), t0,
+                            error=str(exc),
                         )
                         raise TrialError(
                             f"trial {i} (seed {seed}) failed after "
                             f"{attempts} attempt(s): {exc}"
                         ) from exc
                     metrics.inc("runner_retries_total", mode="serial")
-            self._report(i, seed, attempts, i + 1, len(seeds), t0)
-        metrics.inc("runner_trials_total", len(results), mode="serial")
+            if ckpt is not None:
+                ckpt.record(i, results[-1])
+                metrics.inc("runner_checkpoint_writes_total")
+            done += 1
+            self._report(i, seed, attempts, done, len(seeds), t0)
+        metrics.inc("runner_trials_total", executed, mode="serial")
         if observe:
             metrics.observe(
                 "runner_batch_seconds", time.perf_counter() - t0, mode="serial"
             )
         return results
 
-    def _run_pool(self, seeds: list[int], metrics: MetricsRegistry) -> list:
+    def _run_pool(
+        self,
+        seeds: list[int],
+        metrics: MetricsRegistry,
+        ckpt: _Checkpoint | None = None,
+        preloaded: dict[int, object] | None = None,
+    ) -> list:
+        preloaded = preloaded or {}
         t0 = time.perf_counter()
         total = len(seeds)
-        results: list = [None] * total
-        done = 0
+        results: list = [_UNSET] * total
+        for i, r in preloaded.items():
+            results[i] = r
+        done = len(preloaded)
+        executed = 0
+        rebuilds = 0
         metrics.gauge("runner_pool_jobs", self.jobs)
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {i: pool.submit(self.fn, seed) for i, seed in enumerate(seeds)}
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+        def submit_all() -> dict:
+            return {
+                i: pool.submit(self.fn, seed)
+                for i, seed in enumerate(seeds)
+                if i not in preloaded
+            }
+
+        def rebuild_pool(exc: BaseException) -> None:
+            # A worker died hard (OOM kill, segfault): the pool is
+            # unusable and *every* unsettled future is lost, not just the
+            # one we were waiting on. Rebuild and resubmit them all,
+            # counting one attempt each -- capped separately from
+            # per-trial retries so retries=0 batches survive.
+            nonlocal pool, rebuilds
+            rebuilds += 1
+            metrics.inc("runner_pool_rebuilds_total")
+            if rebuilds > _POOL_REBUILD_LIMIT:
+                raise TrialError(
+                    f"worker pool broke {rebuilds} times (limit "
+                    f"{_POOL_REBUILD_LIMIT}); giving up on the batch"
+                ) from exc
+            pending = [j for j in futures if results[j] is _UNSET]
+            _log.warning(
+                "worker pool broke (%r); rebuilding (%d/%d) and "
+                "resubmitting %d unsettled trial(s)",
+                exc,
+                rebuilds,
+                _POOL_REBUILD_LIMIT,
+                len(pending),
+            )
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            for j in pending:
+                attempts[j] += 1
+                futures[j] = pool.submit(self.fn, seeds[j])
+
+        try:
+            futures = submit_all()
             attempts = {i: 1 for i in futures}
             # Settle trials in index order: per-trial timeouts compose and
             # the progress stream matches the (deterministic) result order.
             for i, seed in enumerate(seeds):
+                if i not in futures:
+                    continue
                 while True:
                     try:
                         results[i] = futures[i].result(timeout=self.timeout)
+                        executed += 1
                         break
-                    except (FutureTimeout, BrokenProcessPool) as exc:
+                    except BrokenProcessPool as exc:
+                        rebuild_pool(exc)  # raises TrialError past the cap
+                    except FutureTimeout as exc:
                         futures[i].cancel()
-                        if isinstance(exc, FutureTimeout):
-                            metrics.inc("runner_timeouts_total")
+                        metrics.inc("runner_timeouts_total")
                         if attempts[i] > self.retries:
-                            pool.shutdown(wait=False, cancel_futures=True)
                             metrics.inc("runner_trials_failed_total", mode="pool")
                             self._report(
                                 i, seed, attempts[i], done, total, t0,
                                 error=repr(exc),
                             )
                             raise TrialError(
-                                f"trial {i} (seed {seed}) "
-                                f"{'timed out' if isinstance(exc, FutureTimeout) else 'lost its worker'}"
-                                f" after {attempts[i]} attempt(s)"
+                                f"trial {i} (seed {seed}) timed out after "
+                                f"{attempts[i]} attempt(s)"
                             ) from exc
                         attempts[i] += 1
                         metrics.inc("runner_retries_total", mode="pool")
                         futures[i] = pool.submit(self.fn, seed)
                     except Exception as exc:
                         if attempts[i] > self.retries:
-                            pool.shutdown(wait=False, cancel_futures=True)
                             metrics.inc("runner_trials_failed_total", mode="pool")
                             self._report(
                                 i, seed, attempts[i], done, total, t0,
@@ -257,9 +442,17 @@ class TrialRunner:
                         attempts[i] += 1
                         metrics.inc("runner_retries_total", mode="pool")
                         futures[i] = pool.submit(self.fn, seed)
+                if ckpt is not None:
+                    ckpt.record(i, results[i])
+                    metrics.inc("runner_checkpoint_writes_total")
                 done += 1
                 self._report(i, seed, attempts[i], done, total, t0)
-        metrics.inc("runner_trials_total", total, mode="pool")
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+        metrics.inc("runner_trials_total", executed, mode="pool")
         if metrics.enabled:
             metrics.observe(
                 "runner_batch_seconds", time.perf_counter() - t0, mode="pool"

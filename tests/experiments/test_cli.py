@@ -218,6 +218,75 @@ class TestTraceSubcommands:
         assert "replay verification OK" in capsys.readouterr().out
 
 
+class TestFaultsCLI:
+    def test_demo_with_faults_prints_model(self, capsys):
+        assert main(["demo", "--faults", "transient:rate=0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "fault model:" in out
+        assert "completed in" in out
+
+    def test_demo_bad_fault_spec_fails_cleanly(self, capsys):
+        assert main(["demo", "--faults", "transient:rte=0.1"]) == 2
+        assert "transient" in capsys.readouterr().err
+
+    def test_sweep_prints_and_writes_tables(self, tmp_path, capsys):
+        out_path = tmp_path / "tables.txt"
+        code = main(
+            ["faults", "sweep", "--side", "3", "--d", "2", "--trials", "1",
+             "--max-rounds", "120", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote fault-sweep tables to" in out
+        text = out_path.read_text()
+        # All three tables: rate sweep, model comparison, repair ablation.
+        assert "gilbert" in text
+        assert "reroute" in text
+
+    def _write_stranding_schedule(self, tmp_path, seed):
+        """Scripted schedule killing a link a worm actually crosses."""
+        import json as _json
+
+        from repro.experiments.workloads import mesh_random_function
+
+        coll = mesh_random_function(4, 2, rng=seed)
+        path = max(coll.paths, key=len)
+        mid = len(path) // 2
+        link = [list(path[mid - 1]), list(path[mid])]
+        sched = tmp_path / "sched.json"
+        sched.write_text(
+            _json.dumps({"persistent": True, "schedule": {"1": [link]}})
+        )
+        return sched
+
+    def test_replay_stall_exits_one(self, tmp_path, capsys):
+        sched = self._write_stranding_schedule(tmp_path, seed=0)
+        code = main(
+            ["faults", "replay", str(sched), "--side", "4", "--d", "2",
+             "--max-rounds", "40"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "STALLED" in out
+        assert "stranded-by-dead-link" in out
+
+    def test_replay_reroute_exits_zero(self, tmp_path, capsys):
+        sched = self._write_stranding_schedule(tmp_path, seed=0)
+        code = main(
+            ["faults", "replay", str(sched), "--side", "4", "--d", "2",
+             "--max-rounds", "40", "--repair", "reroute"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "repair: round" in out
+
+    def test_replay_missing_schedule_fails_cleanly(self, tmp_path, capsys):
+        code = main(["faults", "replay", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert capsys.readouterr().err
+
+
 class TestReportObservability:
     def test_report_accepts_sink_flags(self, tmp_path, capsys):
         from repro.observability import read_trace

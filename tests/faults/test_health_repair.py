@@ -1,0 +1,232 @@
+"""Link-health monitoring, stall backoff, reroute repair, diagnosis."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ProtocolConfig, TrialAndFailureProtocol
+from repro.core.records import (
+    DIAG_ACK_LOST,
+    DIAG_CONTENTION,
+    DIAG_STRANDED,
+)
+from repro.experiments.workloads import mesh_random_function
+from repro.faults import (
+    AckLoss,
+    LinkHealthMonitor,
+    PersistentLinkFailures,
+    ScriptedFaults,
+    StallDetector,
+    reroute_path,
+    surviving_graph,
+)
+from repro.observability.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return mesh_random_function(4, 2, rng=7)
+
+
+def _run(collection, seed=123, metrics=None, **cfg_kwargs):
+    cfg_kwargs.setdefault("bandwidth", 2)
+    cfg_kwargs.setdefault("worm_length", 3)
+    cfg_kwargs.setdefault("max_rounds", 200)
+    cfg = ProtocolConfig(**cfg_kwargs)
+    return TrialAndFailureProtocol(collection, cfg, metrics=metrics).run(
+        np.random.default_rng(seed)
+    )
+
+
+class TestLinkHealthMonitor:
+    def test_suspects_after_threshold(self):
+        mon = LinkHealthMonitor(suspect_after=3)
+        lk = ("a", "b")
+        assert mon.observe_round([lk]) == []
+        assert mon.observe_round([lk]) == []
+        assert mon.observe_round([lk]) == [lk]
+        assert mon.suspected == frozenset({lk})
+
+    def test_counts_once_per_round(self):
+        mon = LinkHealthMonitor(suspect_after=2)
+        lk = ("a", "b")
+        # The same link eating several heads in one round is one round
+        # of evidence, not several.
+        assert mon.observe_round([lk, lk, lk]) == []
+        assert mon.evidence[lk] == 1
+
+    def test_is_suspected_path(self):
+        mon = LinkHealthMonitor(suspect_after=1)
+        mon.observe_round([("b", "c")])
+        assert mon.is_suspected_path(("a", "b", "c", "d"))
+        assert not mon.is_suspected_path(("a", "b"))
+
+
+class TestStallDetector:
+    def test_escalates_after_consecutive_stalls(self):
+        stall = StallDetector(after=2, cap=8.0)
+        assert stall.multiplier == 1.0
+        assert not stall.observe_round(0)
+        assert stall.observe_round(0)  # second zero-progress round
+        assert stall.multiplier == 2.0
+
+    def test_cap_bounds_multiplier(self):
+        stall = StallDetector(after=1, cap=4.0)
+        for _ in range(10):
+            stall.observe_round(0)
+        assert stall.multiplier == 4.0
+
+    def test_progress_resets_streak_not_multiplier(self):
+        stall = StallDetector(after=2, cap=8.0)
+        stall.observe_round(0)
+        stall.observe_round(0)
+        assert stall.multiplier == 2.0
+        stall.observe_round(3)
+        assert stall.multiplier == 2.0  # backoff is sticky
+        assert not stall.observe_round(0)  # streak restarted at zero
+
+    def test_disabled_by_default(self):
+        stall = StallDetector(after=0)
+        for _ in range(5):
+            assert not stall.observe_round(0)
+        assert stall.multiplier == 1.0
+
+
+class TestReroute:
+    def test_bfs_finds_shortest_surviving_path(self):
+        links = [
+            ("a", "b"), ("b", "c"),          # direct, 2 hops
+            ("a", "x"), ("x", "y"), ("y", "c"),  # detour, 3 hops
+        ]
+        adj = surviving_graph(links, dead=set())
+        assert reroute_path(adj, "a", "c") == ("a", "b", "c")
+        adj = surviving_graph(links, dead={("a", "b")})
+        assert reroute_path(adj, "a", "c") == ("a", "x", "y", "c")
+
+    def test_unreachable_returns_none(self):
+        adj = surviving_graph([("a", "b")], dead={("a", "b")})
+        assert reroute_path(adj, "a", "b") is None
+
+
+class TestProtocolAdaptation:
+    def test_stranded_diagnosed_without_repair(self, collection):
+        res = _run(collection, faults=PersistentLinkFailures(0.02))
+        assert not res.completed
+        assert res.diagnosis
+        assert set(res.diagnosis.values()) == {DIAG_STRANDED}
+        assert "stranded-by-dead-link" in res.stall_reason
+        assert not res.repairs
+
+    def test_reroute_completes_stranding_scenario(self, collection):
+        res = _run(
+            collection, faults=PersistentLinkFailures(0.02), repair="reroute"
+        )
+        assert res.completed
+        assert res.repairs
+        assert not res.diagnosis
+        for rep in res.repairs:
+            assert rep.new_length >= 1
+
+    def test_repair_is_seed_deterministic(self, collection):
+        a = _run(
+            collection, faults=PersistentLinkFailures(0.02), repair="reroute"
+        )
+        b = _run(
+            collection, faults=PersistentLinkFailures(0.02), repair="reroute"
+        )
+        assert a == b
+
+    def test_contention_diagnosis_without_faults(self, collection):
+        res = _run(collection, max_rounds=1, bandwidth=1)
+        if not res.completed:  # heavy contention, one round: starved
+            assert set(res.diagnosis.values()) == {DIAG_CONTENTION}
+
+    def test_ack_lost_diagnosis(self, collection):
+        res = _run(
+            collection,
+            faults=AckLoss(0.95),
+            ack_mode="simulated",
+            max_rounds=3,
+        )
+        if not res.completed:
+            assert DIAG_ACK_LOST in res.diagnosis.values()
+
+    def test_backoff_widens_delay_range(self, collection):
+        from repro.core.schedule import FixedSchedule
+
+        # A scripted blackout of every link forces zero progress; with a
+        # constant schedule, any delta growth is the backoff's doing.
+        blackout = ScriptedFaults(
+            {1: list(collection.links)}, persistent=True
+        )
+        res = _run(
+            collection,
+            faults=blackout,
+            schedule=FixedSchedule(delta=4),
+            backoff_after=1,
+            backoff_cap=8.0,
+            max_rounds=8,
+        )
+        deltas = [rec.delay_range for rec in res.records]
+        assert deltas[0] == 4  # backoff engages only after a stall
+        assert deltas[1] == 8
+        assert max(deltas) == 32  # capped at 8x
+        # And without backoff the delta never moves.
+        flat = _run(
+            collection,
+            faults=blackout,
+            schedule=FixedSchedule(delta=4),
+            max_rounds=8,
+        )
+        assert {rec.delay_range for rec in flat.records} == {4}
+
+    def test_exhaustion_metric_and_log(self, collection, caplog):
+        registry = MetricsRegistry()
+        with caplog.at_level(logging.WARNING, logger="repro.core.protocol"):
+            res = _run(
+                collection,
+                faults=PersistentLinkFailures(0.02),
+                metrics=registry,
+            )
+        assert not res.completed
+        snap = registry.snapshot()
+        assert "protocol_exhausted_total" in snap
+        assert any("exhausted" in rec.message for rec in caplog.records)
+
+    def test_rerun_of_repaired_protocol_is_pristine(self, collection):
+        cfg = ProtocolConfig(
+            bandwidth=2,
+            worm_length=3,
+            max_rounds=200,
+            faults=PersistentLinkFailures(0.02),
+            repair="reroute",
+        )
+        proto = TrialAndFailureProtocol(collection, cfg)
+        first = proto.run(np.random.default_rng(123))
+        assert first.repairs  # paths were replaced mid-run
+        second = proto.run(np.random.default_rng(123))
+        assert first == second
+
+    def test_trace_round_trips_fault_fields(self, collection, tmp_path):
+        from repro.observability.trace import (
+            TraceWriter,
+            protocol_result_from_trace,
+            read_trace,
+        )
+
+        path = tmp_path / "t.jsonl"
+        cfg = ProtocolConfig(
+            bandwidth=2,
+            worm_length=3,
+            max_rounds=60,
+            faults=PersistentLinkFailures(0.02),
+        )
+        with TraceWriter(path) as writer:
+            res = TrialAndFailureProtocol(
+                collection, cfg, trace=writer
+            ).run(np.random.default_rng(123))
+        back = protocol_result_from_trace(read_trace(path))
+        assert back.diagnosis == res.diagnosis
+        assert back.stall_reason == res.stall_reason
+        assert back.repairs == res.repairs

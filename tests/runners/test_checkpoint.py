@@ -1,0 +1,147 @@
+"""Crash-safe checkpointing: kill/resume round-trips, fingerprint guard."""
+
+import json
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig
+from repro.errors import TrialError
+from repro.experiments.workloads import mesh_random_function
+from repro.observability import MetricsRegistry
+from repro.runners import TrialRunner, route_collection_trials, spawn_seeds
+from repro.runners.protocol_trials import protocol_trial
+
+
+def _double(seed):
+    return seed * 2
+
+
+class _Abort(RuntimeError):
+    """Raised from a progress callback to simulate a mid-batch kill."""
+
+
+def _abort_after(n):
+    events = []
+
+    def progress(event):
+        events.append(event)
+        if len(events) >= n:
+            raise _Abort(f"killed after {n} trial(s)")
+
+    return progress
+
+
+class TestSerialResume:
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        ckpt = tmp_path / "batch.json"
+        seeds = spawn_seeds(7, 8)
+        fresh = TrialRunner(_double).run_seeds(seeds)
+
+        with pytest.raises(_Abort):
+            TrialRunner(
+                _double, checkpoint=ckpt, progress=_abort_after(4)
+            ).run_seeds(seeds)
+        assert ckpt.exists()
+
+        reg = MetricsRegistry()
+        resumed = TrialRunner(_double, checkpoint=ckpt, metrics=reg)
+        assert resumed.run_seeds(seeds) == fresh
+        # Exactly the 4 survivors were loaded, 4 trials actually ran.
+        assert reg.value("runner_checkpoint_loaded_total") == 4
+        assert reg.value("runner_trials_total", mode="serial") == 4
+
+    def test_completed_checkpoint_runs_nothing(self, tmp_path):
+        ckpt = tmp_path / "batch.json"
+        seeds = spawn_seeds(3, 4)
+        TrialRunner(_double, checkpoint=ckpt).run_seeds(seeds)
+
+        reg = MetricsRegistry()
+        out = TrialRunner(
+            _always_raises, checkpoint=ckpt, metrics=reg
+        ).run_seeds(seeds)
+        # The fn never runs (it would raise); every result is preloaded.
+        assert out == [s * 2 for s in seeds]
+        assert reg.value("runner_checkpoint_loaded_total") == 4
+
+    def test_checkpoint_written_per_trial(self, tmp_path):
+        ckpt = tmp_path / "batch.json"
+        seeds = spawn_seeds(0, 3)
+        reg = MetricsRegistry()
+        TrialRunner(_double, checkpoint=ckpt, metrics=reg).run_seeds(seeds)
+        assert reg.value("runner_checkpoint_writes_total") == 3
+        data = json.loads(ckpt.read_text())
+        assert sorted(data["completed"]) == ["0", "1", "2"]
+
+
+def _always_raises(seed):
+    raise RuntimeError("should never run")
+
+
+class TestCheckpointGuards:
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        ckpt = tmp_path / "batch.json"
+        TrialRunner(_double, checkpoint=ckpt).run_seeds([1, 2, 3])
+        with pytest.raises(TrialError, match="different seed batch"):
+            TrialRunner(_double, checkpoint=ckpt).run_seeds([4, 5, 6])
+
+    def test_corrupt_file_refused(self, tmp_path):
+        ckpt = tmp_path / "batch.json"
+        ckpt.write_text("{not json")
+        with pytest.raises(TrialError, match="unreadable"):
+            TrialRunner(_double, checkpoint=ckpt).run_seeds([1, 2])
+
+    def test_wrong_schema_version_refused(self, tmp_path):
+        ckpt = tmp_path / "batch.json"
+        ckpt.write_text(json.dumps({"version": 99, "completed": {}}))
+        with pytest.raises(TrialError, match="schema version"):
+            TrialRunner(_double, checkpoint=ckpt).run_seeds([1, 2])
+
+
+class TestPoolResume:
+    def test_pool_kill_and_resume_is_bit_identical(self, tmp_path):
+        ckpt = tmp_path / "batch.json"
+        seeds = spawn_seeds(11, 6)
+        fresh = TrialRunner(_double, jobs=2).run_seeds(seeds)
+
+        with pytest.raises(_Abort):
+            TrialRunner(
+                _double, jobs=2, checkpoint=ckpt, progress=_abort_after(3)
+            ).run_seeds(seeds)
+
+        resumed = TrialRunner(_double, jobs=2, checkpoint=ckpt)
+        assert resumed.run_seeds(seeds) == fresh
+
+
+class TestProtocolResultRoundTrip:
+    def test_resumed_protocol_results_identical(self, tmp_path):
+        """Real ProtocolResults survive pickling and resume bit-identically."""
+        collection = mesh_random_function(4, 2, rng=7)
+        cfg = ProtocolConfig(bandwidth=2, worm_length=3, max_rounds=200)
+        seeds = spawn_seeds(5, 4)
+        runner_kwargs = dict(collection=collection, config=cfg)
+
+        from functools import partial
+
+        fn = partial(protocol_trial, **runner_kwargs)
+        fresh = TrialRunner(fn).run_seeds(seeds)
+
+        ckpt = tmp_path / "proto.json"
+        with pytest.raises(_Abort):
+            TrialRunner(
+                fn, checkpoint=ckpt, progress=_abort_after(2)
+            ).run_seeds(seeds)
+        resumed = TrialRunner(fn, checkpoint=ckpt).run_seeds(seeds)
+        assert resumed == fresh
+        assert all(r.completed for r in resumed)
+
+    def test_route_collection_trials_checkpoint_passthrough(self, tmp_path):
+        collection = mesh_random_function(4, 2, rng=7)
+        ckpt = tmp_path / "rct.json"
+        first = route_collection_trials(
+            collection, 2, 3, worm_length=3, seed=9, checkpoint=ckpt
+        )
+        assert ckpt.exists()
+        again = route_collection_trials(
+            collection, 2, 3, worm_length=3, seed=9, checkpoint=ckpt
+        )
+        assert first == again
