@@ -2,13 +2,16 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-engine bench-series report examples all clean
+.PHONY: install test lint bench bench-engine bench-series report examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+lint:
+	ruff check .
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -22,12 +22,19 @@ schema-versioned sample::
 
 Stage means come from the engine's own ``engine_stage_seconds``
 instrumentation, so a slowdown points at a stage instead of "the engine
-got slower". After appending, the script compares the new
-``round_seconds_median`` against the previous sample's and exits
-non-zero on a >25% slowdown (the CI gate); the sample is appended either
-way, so the series keeps recording even across regressions. Run via
-``make bench-series`` or ``python benchmarks/bench_series.py``; tune
-with ``--threshold`` or skip the gate with ``--no-check``.
+got slower". Every invocation records one sample per engine backend
+(``"backend": "python" | "vectorized"``; samples predating the field are
+python ones), so the series shows the vectorized speedup and the gate
+covers both kernels independently: each new sample is compared against
+the most recent previous sample *with the same backend* and the script
+exits non-zero on a >25% ``round_seconds_median`` slowdown (the CI
+gate); samples are appended either way, so the series keeps recording
+even across regressions. Absolute numbers are only comparable on the
+same host -- CI runners and laptops differ, and on a single-CPU host the
+pooled-trials figures cannot beat serial -- which is why the gate is
+relative to the previous sample, not to a fixed budget. Run via ``make
+bench-series`` or ``python benchmarks/bench_series.py``; tune with
+``--threshold`` or skip the gate with ``--no-check``.
 """
 
 from __future__ import annotations
@@ -52,7 +59,7 @@ ROUND_REPEATS = 15
 TRIALS = 8
 
 
-def collect_sample() -> dict:
+def collect_sample(backend: str = "python") -> dict:
     """Measure one series sample on the canonical workload."""
     import numpy as np
 
@@ -73,7 +80,9 @@ def collect_sample() -> dict:
         Launch(worm=i, delay=int(delays[i]), wavelength=int(wls[i]))
         for i in range(coll.n)
     ]
-    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST, metrics=registry)
+    engine = RoutingEngine(
+        worms, CollisionRule.SERVE_FIRST, metrics=registry, backend=backend
+    )
     events = sum(w.n_links for w in worms)
 
     engine.run_round(launches, collect_collisions=False)  # warm-up
@@ -92,13 +101,14 @@ def collect_sample() -> dict:
     t0 = time.perf_counter()
     route_collection_trials(
         coll, bandwidth=BANDWIDTH, trials=TRIALS,
-        worm_length=WORM_LENGTH, seed=0, jobs=1,
+        worm_length=WORM_LENGTH, seed=0, jobs=1, backend=backend,
     )
     t_serial = time.perf_counter() - t0
 
     best = min(timings)
     return {
         "schema": SERIES_SCHEMA,
+        "backend": backend,
         "taken_unix": time.time(),
         "git_rev": git_revision(),
         "python": sys.version.split()[0],
@@ -133,15 +143,21 @@ def load_series(path: str | pathlib.Path) -> dict:
 def check_regression(
     series: dict, sample: dict, threshold: float = DEFAULT_THRESHOLD
 ) -> list[str]:
-    """Gate failures for ``sample`` against the series' last sample.
+    """Gate failures for ``sample`` against its backend's last sample.
 
     Compares ``round_seconds_median`` (the stable aggregate; ``best`` is
-    too noisy on shared CI hosts). An empty series passes trivially.
+    too noisy on shared CI hosts) against the most recent previous
+    sample with the same ``backend`` (samples predating the field count
+    as python). No prior sample for the backend passes trivially.
     """
-    samples = series.get("samples", [])
-    if not samples:
+    backend = sample.get("backend", "python")
+    previous = None
+    for candidate in reversed(series.get("samples", [])):
+        if candidate.get("backend", "python") == backend:
+            previous = candidate
+            break
+    if previous is None:
         return []
-    previous = samples[-1]
     before = previous["round_seconds_median"]
     now = sample["round_seconds_median"]
     if before > 0 and now > threshold * before:
@@ -182,21 +198,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    sample = collect_sample()
+    from repro.core.engine import BACKENDS
+
     series_before = load_series(args.out)
-    failures = (
-        []
-        if args.no_check
-        else check_regression(series_before, sample, threshold=args.threshold)
-    )
-    series = append_sample(args.out, sample)
-    print(
-        f"sample {len(series['samples'])}: median round "
-        f"{sample['round_seconds_median'] * 1e3:.2f}ms, "
-        f"{sample['events_per_second']:.0f} events/s, "
-        f"{sample['trials_per_second_serial']:.2f} trials/s "
-        f"(git {sample['git_rev'] or 'n/a'})"
-    )
+    failures: list[str] = []
+    medians: dict[str, float] = {}
+    for backend in BACKENDS:
+        sample = collect_sample(backend)
+        medians[backend] = sample["round_seconds_median"]
+        if not args.no_check:
+            # Each backend gates against ITS previous sample, so the
+            # slower python kernel never masks a vectorized regression.
+            failures += check_regression(
+                series_before, sample, threshold=args.threshold
+            )
+        series = append_sample(args.out, sample)
+        print(
+            f"sample {len(series['samples'])} [{backend}]: median round "
+            f"{sample['round_seconds_median'] * 1e3:.2f}ms, "
+            f"{sample['events_per_second']:.0f} events/s, "
+            f"{sample['trials_per_second_serial']:.2f} trials/s "
+            f"(git {sample['git_rev'] or 'n/a'})"
+        )
+    if medians.get("python") and medians.get("vectorized"):
+        print(
+            f"vectorized/python median round ratio: "
+            f"{medians['vectorized'] / medians['python']:.2f}x "
+            "(single-process; pooled-trial throughput is still bounded "
+            "by cpu_count)"
+        )
     print(f"appended to {args.out}")
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -24,7 +24,6 @@ from repro import (
     GeometricSchedule,
     route_collection,
     type1_staircase,
-    type1_triangle,
     type2_bundle,
 )
 from repro.core.engine import RoutingEngine

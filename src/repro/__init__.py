@@ -95,6 +95,8 @@ from repro.paths import (
 from repro.core import (
     RoutingEngine,
     run_round,
+    set_default_backend,
+    get_default_backend,
     ProtocolConfig,
     TrialAndFailureProtocol,
     route_collection,
@@ -216,6 +218,8 @@ __all__ = [
     "shortcut_lower_bound_instance",
     "RoutingEngine",
     "run_round",
+    "set_default_backend",
+    "get_default_backend",
     "ProtocolConfig",
     "TrialAndFailureProtocol",
     "route_collection",

@@ -24,7 +24,6 @@ possibilities for the delays of two worms such that they meet".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import PathError

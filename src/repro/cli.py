@@ -463,6 +463,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a structured JSONL run trace here",
         )
 
+    def _add_backend_flag(p) -> None:
+        p.add_argument(
+            "--backend",
+            choices=["python", "vectorized"],
+            default=None,
+            help="engine round kernel (bit-identical results; vectorized "
+            "batches uncontended events with numpy -- see docs/PERFORMANCE.md)",
+        )
+
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run.add_argument("--trials", type=int, default=5, help="trials per data point")
@@ -475,10 +484,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs 1; experiments without parallel support run serially)",
     )
     _add_observability_flags(run)
+    _add_backend_flag(run)
     run.set_defaults(fn=_cmd_run)
 
     demo = sub.add_parser("demo", help="a 30-second protocol demo")
     _add_observability_flags(demo)
+    _add_backend_flag(demo)
     demo.add_argument(
         "--flight",
         action="store_true",
@@ -535,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH", help="also write the tables here"
     )
     _add_observability_flags(f_sweep)
+    _add_backend_flag(f_sweep)
     f_sweep.set_defaults(fn=_cmd_faults_sweep)
 
     f_replay = faults_sub.add_parser(
@@ -554,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reroute worms stranded on suspected-dead links",
     )
     _add_observability_flags(f_replay)
+    _add_backend_flag(f_replay)
     f_replay.set_defaults(fn=_cmd_faults_replay)
 
     report = sub.add_parser(
@@ -627,6 +640,13 @@ def main(argv=None) -> int:
         from repro.observability import configure_logging
 
         configure_logging(args.log_level)
+    if getattr(args, "backend", None):
+        # Process default rather than per-call plumbing: every engine the
+        # subcommand builds (and, via the pool initializer, every worker
+        # process) picks it up.
+        from repro.core.engine import set_default_backend
+
+        set_default_backend(args.backend)
     try:
         return args.fn(args)
     except ReproError as exc:

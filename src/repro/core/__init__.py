@@ -28,7 +28,13 @@ from repro.core.records import (
     RoundRecord,
     ProtocolResult,
 )
-from repro.core.engine import RoutingEngine, run_round
+from repro.core.engine import (
+    BACKENDS,
+    RoutingEngine,
+    get_default_backend,
+    run_round,
+    set_default_backend,
+)
 from repro.core.schedule import (
     ScheduleContext,
     DelaySchedule,
@@ -65,8 +71,11 @@ __all__ = [
     "RoundResult",
     "RoundRecord",
     "ProtocolResult",
+    "BACKENDS",
     "RoutingEngine",
+    "get_default_backend",
     "run_round",
+    "set_default_backend",
     "ScheduleContext",
     "DelaySchedule",
     "PaperSchedule",

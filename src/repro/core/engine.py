@@ -21,6 +21,18 @@ The engine processes head-arrival events in global time order and resolves
 each contended (link, wavelength, time) group through the coupler kernels,
 so the collision semantics live in exactly one place. Conflict-free
 arrivals take an inlined fast path.
+
+Two backends share those semantics. ``backend="python"`` (the default)
+walks every event group in the scalar loop above. ``backend="vectorized"``
+first partitions the lexsorted event array with numpy: two events can
+only interact if they share a (link, wavelength) channel *and* are at
+most ``max_worm_length - 1`` steps apart (an occupancy written at ``t``
+expires by ``t + L - 1``), so a single sorted-adjacent-gap test splits
+the round into *free* runs -- resolved in bulk, they advance at every
+link by construction -- and *contended* runs, which fall back to the
+scalar loop over just their events. The partition is conservative
+(over-approximates contention), so outcomes are bit-identical to the
+scalar engine by construction; the differential test suite enforces it.
 """
 
 from __future__ import annotations
@@ -40,7 +52,39 @@ from repro.worms.worm import FailureKind, Launch, Worm, WormOutcome
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.observability.flightrec import FlightRecorder
 
-__all__ = ["RoutingEngine", "run_round"]
+__all__ = [
+    "BACKENDS",
+    "RoutingEngine",
+    "get_default_backend",
+    "run_round",
+    "set_default_backend",
+]
+
+#: The selectable round-kernel implementations.
+BACKENDS = ("python", "vectorized")
+
+_default_backend = "python"
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide default round kernel.
+
+    Engines constructed with ``backend=None`` (the default) resolve to
+    this value at construction time. Worker processes inherit the
+    parent's choice through the trial runner's pool initializer, so one
+    call in the driver covers a whole parallel sweep.
+    """
+    global _default_backend
+    if backend not in BACKENDS:
+        raise ProtocolError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    _default_backend = backend
+
+
+def get_default_backend() -> str:
+    """The process-wide default round kernel (see :func:`set_default_backend`)."""
+    return _default_backend
 
 
 class _Record:
@@ -78,13 +122,25 @@ class _Run:
         self.uid = worm.uid
         self.length = worm.length
         self.n_links = worm.n_links
-        self.delay = launch.delay
-        if isinstance(launch.wavelength, tuple) and len(launch.wavelength) != worm.n_links:
+        if launch.delay < 0:
             raise ProtocolError(
-                f"worm {worm.uid}: {len(launch.wavelength)} per-link wavelengths "
-                f"for {worm.n_links} links"
+                f"worm {worm.uid}: negative launch delay {launch.delay}"
             )
-        self.wavelength = launch.wavelength
+        self.delay = launch.delay
+        wl = launch.wavelength
+        if isinstance(wl, tuple):
+            if len(wl) != worm.n_links:
+                raise ProtocolError(
+                    f"worm {worm.uid}: {len(wl)} per-link wavelengths "
+                    f"for {worm.n_links} links"
+                )
+            if any(w < 0 for w in wl):
+                raise ProtocolError(
+                    f"worm {worm.uid}: negative per-link wavelength in {wl}"
+                )
+        elif wl < 0:
+            raise ProtocolError(f"worm {worm.uid}: negative wavelength {wl}")
+        self.wavelength = wl
         self.priority = launch.priority
         self.link_ids = link_ids
         self.cut_len = worm.length
@@ -93,6 +149,48 @@ class _Run:
         self.truncated = False
         self.blockers: list[int] = []
         self.records: list[_Record] = []
+
+
+class _OrderedRecorder:
+    """Buffers flight-recorder calls tagged with their global event index.
+
+    The vectorized backend emits free-run events and contended-group
+    events from two separate passes; tagging each call with the index of
+    the event that produced it and flushing in sorted order makes the
+    recorder stream bit-identical to the scalar engine's. Recorder
+    methods read ``run.cut_len`` at call time (the ``surviving`` field),
+    and the contended subloop mutates it, so each buffered call snapshots
+    the value and the flush restores it around the real emission.
+    """
+
+    __slots__ = ("calls", "base")
+
+    def __init__(self) -> None:
+        self.calls: list[tuple[int, str, "_Run", tuple, int]] = []
+        self.base = 0
+
+    def _buffer(self, name: str, run: "_Run", args: tuple) -> None:
+        self.calls.append((self.base, name, run, args, run.cut_len))
+
+    def advance(self, run: "_Run", *args) -> None:
+        self._buffer("advance", run, args)
+
+    def truncate(self, run: "_Run", *args) -> None:
+        self._buffer("truncate", run, args)
+
+    def eliminate(self, run: "_Run", *args) -> None:
+        self._buffer("eliminate", run, args)
+
+    def fault(self, run: "_Run", *args) -> None:
+        self._buffer("fault", run, args)
+
+    def flush(self, recorder: "FlightRecorder") -> None:
+        self.calls.sort(key=lambda call: call[0])
+        for _, name, run, args, cut_len in self.calls:
+            final = run.cut_len
+            run.cut_len = cut_len
+            getattr(recorder, name)(run, *args)
+            run.cut_len = final
 
 
 class RoutingEngine:
@@ -108,6 +206,11 @@ class RoutingEngine:
     default, which is a no-op unless
     :func:`repro.observability.enable_metrics` has been called, so an
     uninstrumented engine pays only one enabled-check per round.
+
+    ``backend`` selects the round kernel: ``"python"`` (scalar event
+    loop) or ``"vectorized"`` (numpy conflict partition + scalar
+    fallback for contended groups, bit-identical by construction). None
+    defers to the process default set by :func:`set_default_backend`.
     """
 
     def __init__(
@@ -116,9 +219,17 @@ class RoutingEngine:
         rule: CollisionRule,
         tie_rule: TieRule = TieRule.ALL_LOSE,
         metrics: MetricsRegistry | None = None,
+        backend: str | None = None,
     ) -> None:
         if not worms:
             raise ProtocolError("the engine needs at least one worm")
+        if backend is None:
+            backend = _default_backend
+        if backend not in BACKENDS:
+            raise ProtocolError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
         self.rule = rule
         self.tie_rule = tie_rule
         # None means "the process default at call time" (a no-op registry
@@ -173,13 +284,27 @@ class RoutingEngine:
         costs one ``is not None`` check per event. Returns the per-worm
         outcomes and, when requested, every losing collision.
         """
-        if not launches:
-            # Nothing launched: no flit ever moves, so there is no makespan.
-            return RoundResult(outcomes={}, collisions=(), makespan=None)
-
         metrics = self._metrics if self._metrics is not None else get_metrics()
         observe = metrics.enabled
         t_round = time.perf_counter() if observe else 0.0
+
+        if not launches:
+            # Nothing launched: no flit ever moves, so there is no
+            # makespan -- but the round still happened. Record the (all
+            # zero) tallies so engine_rounds_total matches the caller's
+            # round count instead of silently undercounting.
+            if observe:
+                self._record_metrics(
+                    metrics,
+                    {},
+                    n_events=0,
+                    contended=0,
+                    t_events=0.0,
+                    t_resolve=0.0,
+                    t_finalise=0.0,
+                    t_round=time.perf_counter() - t_round,
+                )
+            return RoundResult(outcomes={}, collisions=(), makespan=None)
 
         runs: list[_Run] = []
         seen: set[int] = set()
@@ -196,19 +321,14 @@ class RoutingEngine:
                 recorder.launch(run)
 
         t_stage = time.perf_counter() if observe else 0.0
-        events = self._build_events(runs)
+        arrays = self._build_event_arrays(runs)
+        n_events = int(arrays[0].shape[0])
         if observe:
             t_events = time.perf_counter() - t_stage
             t_stage = time.perf_counter()
 
-        contended = 0
         collisions: list[CollisionEvent] = []
-        faulted_links: list[tuple] = []
-        faulted_lids: set[int] = set()
-        occupancy: dict[tuple[int, int], _Record] = {}
-        rule = self.rule
-        tie_rule = self.tie_rule
-        links = self._links
+        faulted_at: dict[int, int] = {}
         dead_lids: set[int] = set()
         if dead_links:
             index = self._link_index
@@ -217,10 +337,86 @@ class RoutingEngine:
                 if lid is not None:
                     dead_lids.add(lid)
 
+        free_events = 0
+        if self.backend == "vectorized":
+            contended, free_events = self._run_vectorized(
+                runs, arrays, dead_lids, collect_collisions, recorder,
+                collisions, faulted_at,
+            )
+        else:
+            t_arr, lid_arr, wl_arr, pos_arr, ri_arr = arrays
+            events = list(
+                zip(
+                    t_arr.tolist(),
+                    lid_arr.tolist(),
+                    wl_arr.tolist(),
+                    pos_arr.tolist(),
+                    ri_arr.tolist(),
+                )
+            )
+            contended = self._resolve_scalar(
+                events, runs, dead_lids, collect_collisions, recorder,
+                collisions, faulted_at,
+            )
+
+        if observe:
+            t_resolve = time.perf_counter() - t_stage
+            t_stage = time.perf_counter()
+        outcomes, makespan = self._finalise(runs)
+        faulted_links = tuple(
+            self._links[lid]
+            for lid, _ in sorted(faulted_at.items(), key=lambda kv: kv[1])
+        )
+        if observe:
+            self._record_metrics(
+                metrics,
+                outcomes,
+                n_events=n_events,
+                contended=contended,
+                t_events=t_events,
+                t_resolve=t_resolve,
+                t_finalise=time.perf_counter() - t_stage,
+                t_round=time.perf_counter() - t_round,
+                free_events=free_events if self.backend == "vectorized" else None,
+            )
+        return RoundResult(
+            outcomes=outcomes,
+            collisions=tuple(collisions),
+            makespan=makespan,
+            faulted_links=faulted_links,
+        )
+
+    def _resolve_scalar(
+        self,
+        events: list[tuple[int, int, int, int, int]],
+        runs: list[_Run],
+        dead_lids: set[int],
+        collect_collisions: bool,
+        recorder,
+        collisions: list[CollisionEvent],
+        faulted_at: dict[int, int],
+        order: list[int] | None = None,
+    ) -> int:
+        """Walk ``events`` in order, resolving each (t, link, wl) group.
+
+        This is the one place collision semantics are applied; the
+        vectorized backend reuses it for its contended subset, passing
+        ``order`` -- the events' indices in the full round -- so fault
+        attribution and recorder emission keep global positions. Returns
+        the number of contended coupler groups.
+        """
+        contended = 0
+        occupancy: dict[tuple[int, int], _Record] = {}
+        rule = self.rule
+        tie_rule = self.tie_rule
+        links = self._links
+        track = order is not None and recorder is not None
+
         i = 0
         n_events = len(events)
         while i < n_events:
             t, lid, wl, pos, ri = events[i]
+            start = i
             j = i + 1
             while (
                 j < n_events
@@ -231,6 +427,8 @@ class RoutingEngine:
                 j += 1
             group = events[i:j]
             i = j
+            if track:
+                recorder.base = order[start]
 
             live = [(p, runs[k]) for (_, _, _, p, k) in group if runs[k].dead_at is None]
             if not live:
@@ -238,9 +436,8 @@ class RoutingEngine:
 
             if lid in dead_lids:
                 # Dark fiber: every head entering it is lost outright.
-                if lid not in faulted_lids:
-                    faulted_lids.add(lid)
-                    faulted_links.append(links[lid])
+                if lid not in faulted_at:
+                    faulted_at[lid] = start if order is None else order[start]
                 for p, run in live:
                     run.dead_at = p
                     run.faulted = True
@@ -251,7 +448,10 @@ class RoutingEngine:
             key = (lid, wl)
             rec = occupancy.get(key)
             if rec is not None and rec.end < t:
-                rec = None  # stale record: the previous tail already cleared
+                # Stale record: the previous tail already cleared. Evict
+                # it so long rounds don't accumulate dead _Records.
+                del occupancy[key]
+                rec = None
 
             if rec is None and len(live) == 1:
                 # Fast path: idle link, single head -- no conflict to decide.
@@ -340,28 +540,125 @@ class RoutingEngine:
                 self._install(occupancy, key, run, p, t)
                 if recorder is not None:
                     recorder.advance(run, t, p, links[lid], wl)
+        return contended
 
-        if observe:
-            t_resolve = time.perf_counter() - t_stage
-            t_stage = time.perf_counter()
-        outcomes, makespan = self._finalise(runs)
-        if observe:
-            self._record_metrics(
-                metrics,
-                outcomes,
-                n_events=n_events,
-                contended=contended,
-                t_events=t_events,
-                t_resolve=t_resolve,
-                t_finalise=time.perf_counter() - t_stage,
-                t_round=time.perf_counter() - t_round,
+    def _run_vectorized(
+        self,
+        runs: list[_Run],
+        arrays: tuple[np.ndarray, ...],
+        dead_lids: set[int],
+        collect_collisions: bool,
+        recorder,
+        collisions: list[CollisionEvent],
+        faulted_at: dict[int, int],
+    ) -> tuple[int, int]:
+        """Partition the round into free and contended runs; batch the free.
+
+        Two events can only interact when they share a (link, wavelength)
+        channel and are at most ``max_worm_length - 1`` steps apart: an
+        occupancy written at ``t`` has expired by the time any event past
+        ``t + L - 1`` arrives. Sorting by (channel, time), one adjacent
+        gap test therefore finds every potentially conflicting pair; a
+        worm none of whose events touch such a pair is *free* -- it takes
+        the scalar fast path at every link, so its records can be written
+        in bulk. Everything else replays through ``_resolve_scalar`` over
+        just the contended events, which sees exactly the groups the full
+        scalar walk would have contended on. Returns ``(contended
+        coupler groups, free event count)``.
+        """
+        t, lid, wl, pos, ri = arrays
+        n = t.shape[0]
+        max_len = max(run.length for run in runs)
+
+        # Composite (link, wavelength) channel key; wavelengths are
+        # validated non-negative in _Run.__init__.
+        key = lid * (int(wl.max()) + 1) + wl
+        corder = np.lexsort((t, key))
+        k2 = key[corder]
+        t2 = t[corder]
+        clash = (k2[1:] == k2[:-1]) & (t2[1:] - t2[:-1] <= max_len - 1)
+        clashed = np.zeros(n, dtype=bool)
+        clashed[1:] = clash
+        clashed[:-1] |= clash
+        contended_run = np.zeros(len(runs), dtype=bool)
+        contended_run[ri[corder[clashed]]] = True
+        free_evt = ~contended_run[ri]
+
+        # Dead links: a free worm crossing one dies at its first dead
+        # link; later events of that worm never happen.
+        if dead_lids:
+            dead_arr = np.fromiter(dead_lids, dtype=np.int64, count=len(dead_lids))
+            dead_free = free_evt & np.isin(lid, dead_arr)
+            if dead_free.any():
+                never = np.iinfo(np.int64).max
+                first_dead = np.full(len(runs), never, dtype=np.int64)
+                np.minimum.at(first_dead, ri[dead_free], pos[dead_free])
+                hit = dead_free & (pos == first_dead[ri])
+                for g, dlid in zip(np.nonzero(hit)[0].tolist(), lid[hit].tolist()):
+                    if dlid not in faulted_at:
+                        faulted_at[dlid] = g  # ascending g: first hit wins
+                for k in np.nonzero(first_dead != never)[0].tolist():
+                    run = runs[k]
+                    run.dead_at = int(first_dead[k])
+                    run.faulted = True
+
+        # A free worm advances at every link before its (possible) fault;
+        # its occupancy ends grow with position, so only the last record
+        # matters for the makespan and nothing else ever reads the rest.
+        for k in np.nonzero(~contended_run)[0].tolist():
+            run = runs[k]
+            last = (run.n_links if run.dead_at is None else run.dead_at) - 1
+            if last >= 0:
+                entry = run.delay + last
+                run.records.append(
+                    _Record(run, last, entry, entry + run.cut_len - 1)
+                )
+
+        emitter = _OrderedRecorder() if recorder is not None else None
+        if emitter is not None:
+            links = self._links
+            free_idx = np.nonzero(free_evt)[0].tolist()
+            for g, et, elid, ewl, ep, ek in zip(
+                free_idx,
+                t[free_evt].tolist(),
+                lid[free_evt].tolist(),
+                wl[free_evt].tolist(),
+                pos[free_evt].tolist(),
+                ri[free_evt].tolist(),
+            ):
+                run = runs[ek]
+                emitter.base = g
+                if run.dead_at is None or ep < run.dead_at:
+                    emitter.advance(run, et, ep, links[elid], ewl)
+                elif ep == run.dead_at and run.faulted:
+                    emitter.fault(run, et, ep, links[elid], ewl)
+
+        contended = 0
+        cmask = contended_run[ri]
+        n_contended = int(cmask.sum())
+        if n_contended:
+            events = list(
+                zip(
+                    t[cmask].tolist(),
+                    lid[cmask].tolist(),
+                    wl[cmask].tolist(),
+                    pos[cmask].tolist(),
+                    ri[cmask].tolist(),
+                )
             )
-        return RoundResult(
-            outcomes=outcomes,
-            collisions=tuple(collisions),
-            makespan=makespan,
-            faulted_links=tuple(faulted_links),
-        )
+            order = np.nonzero(cmask)[0].tolist()
+            sub_faults: dict[int, int] = {}
+            contended = self._resolve_scalar(
+                events, runs, dead_lids, collect_collisions, emitter,
+                collisions, sub_faults, order=order,
+            )
+            for dlid, g in sub_faults.items():
+                if dlid not in faulted_at or g < faulted_at[dlid]:
+                    faulted_at[dlid] = g
+
+        if emitter is not None:
+            emitter.flush(recorder)
+        return contended, n - n_contended
 
     # -- helpers ---------------------------------------------------------------
 
@@ -376,6 +673,7 @@ class RoutingEngine:
         t_resolve: float,
         t_finalise: float,
         t_round: float,
+        free_events: int | None = None,
     ) -> None:
         """Ship one round's tallies into the registry (enabled path only)."""
         rule = self.rule.name.lower()
@@ -397,15 +695,17 @@ class RoutingEngine:
         metrics.inc("engine_eliminated_total", eliminated, rule=rule)
         metrics.inc("engine_truncated_total", truncated, rule=rule)
         metrics.inc("engine_faulted_total", faulted, rule=rule)
+        if free_events is not None:
+            metrics.inc("engine_free_events_total", free_events, rule=rule)
         metrics.observe("engine_round_seconds", t_round, rule=rule)
         metrics.observe("engine_stage_seconds", t_events, stage="build_events")
         metrics.observe("engine_stage_seconds", t_resolve, stage="resolve")
         metrics.observe("engine_stage_seconds", t_finalise, stage="finalise")
 
-    def _build_events(
+    def _build_event_arrays(
         self, runs: list[_Run]
-    ) -> list[tuple[int, int, int, int, int]]:
-        """Head-arrival events ``(time, link_id, wavelength, pos, run_index)``.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sorted head-arrival arrays ``(time, link_id, wavelength, pos, run_index)``.
 
         Batched with numpy: per-worm link-id/position arrays are precomputed
         at construction, so a round only concatenates, shifts by the launch
@@ -437,15 +737,7 @@ class RoutingEngine:
         pos = np.concatenate(pos_parts)
         ri = np.concatenate(ri_parts)
         order = np.lexsort((ri, pos, wl, lid, t))
-        return list(
-            zip(
-                t[order].tolist(),
-                lid[order].tolist(),
-                wl[order].tolist(),
-                pos[order].tolist(),
-                ri[order].tolist(),
-            )
-        )
+        return t[order], lid[order], wl[order], pos[order], ri[order]
 
     @staticmethod
     def _install(
@@ -532,8 +824,9 @@ def run_round(
     tie_rule: TieRule = TieRule.ALL_LOSE,
     collect_collisions: bool = True,
     dead_links: Sequence[tuple] | None = None,
+    backend: str | None = None,
 ) -> RoundResult:
     """One-shot convenience wrapper around :class:`RoutingEngine`."""
-    return RoutingEngine(worms, rule, tie_rule).run_round(
+    return RoutingEngine(worms, rule, tie_rule, backend=backend).run_round(
         launches, collect_collisions=collect_collisions, dead_links=dead_links
     )

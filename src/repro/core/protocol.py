@@ -50,7 +50,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro._util import as_generator, spawn_generator
-from repro.core.engine import RoutingEngine
+from repro.core.engine import BACKENDS, RoutingEngine
 from repro.core.records import (
     DIAG_ACK_LOST,
     DIAG_CONTENTION,
@@ -104,6 +104,10 @@ class ProtocolConfig:
     bounded exponential backoff on ``Delta_t`` after that many
     consecutive zero-progress rounds (0 disables), capped at
     ``backoff_cap`` times the schedule's value.
+
+    ``backend`` selects the engine's round kernel (``"python"`` or
+    ``"vectorized"``, bit-identical); None defers to the process default
+    (see :func:`repro.core.engine.set_default_backend`).
     """
 
     bandwidth: int
@@ -123,8 +127,14 @@ class ProtocolConfig:
     suspect_after: int = 3
     backoff_after: int = 0
     backoff_cap: float = 8.0
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ProtocolError(
+                f"backend must be one of {BACKENDS} (or None for the "
+                f"process default), got {self.backend!r}"
+            )
         if not 0.0 <= self.fault_rate < 1.0:
             raise ProtocolError(
                 f"fault_rate must be in [0, 1), got {self.fault_rate}"
@@ -245,7 +255,11 @@ class TrialAndFailureProtocol:
         """
         config = self.config
         self.engine = RoutingEngine(
-            worms, config.rule, config.tie_rule, metrics=self._metrics
+            worms,
+            config.rule,
+            config.tie_rule,
+            metrics=self._metrics,
+            backend=config.backend,
         )
         self._ack_engine: RoutingEngine | None = None
         if config.ack_mode == "simulated":
@@ -256,6 +270,7 @@ class TrialAndFailureProtocol:
                 config.rule,
                 config.tie_rule,
                 metrics=self._metrics,
+                backend=config.backend,
             )
 
     # -- round internals -----------------------------------------------------

@@ -21,7 +21,7 @@ from repro.core.schedule import (
 )
 from repro.experiments.runner import trial_mean, trial_values
 from repro.experiments.tables import Table
-from repro.experiments.workloads import bundle_instance, mesh_random_function
+from repro.experiments.workloads import bundle_instance
 from repro.optics.coupler import TieRule
 
 __all__ = [

@@ -21,7 +21,7 @@ from repro.baselines.oneshot import one_shot_delivery
 from repro.baselines.tdm import tdm_schedule
 from repro.core.protocol import route_collection
 from repro.core.schedule import GeometricSchedule
-from repro.experiments.runner import trial_mean, trial_values
+from repro.experiments.runner import trial_mean
 from repro.experiments.tables import Table
 from repro.experiments.workloads import (
     butterfly_permutation,

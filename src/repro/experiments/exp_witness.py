@@ -159,8 +159,6 @@ def run_depth_distribution(
     distribution should decay fast and its maximum should creep up only
     loglog-ishly with C̃ (the bundle term of Main Theorem 1.1).
     """
-    import numpy as np
-
     from repro._util import loglog
 
     table = Table(

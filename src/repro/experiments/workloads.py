@@ -17,8 +17,6 @@ from repro.paths.gadgets import (
     GadgetInstance,
     leveled_lower_bound_instance,
     shortcut_lower_bound_instance,
-    type1_staircase,
-    type1_triangle,
     type2_bundle,
 )
 from repro.paths.problems import random_function, random_permutation, random_q_function

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro._util import as_generator
 
 __all__ = ["Band", "WavelengthAllocation", "split_band"]

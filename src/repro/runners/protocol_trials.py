@@ -64,6 +64,7 @@ def route_collection_trials(
     progress: Callable[[TrialProgress], None] | None = None,
     metrics: MetricsRegistry | None = None,
     checkpoint=None,
+    backend: str | None = None,
     **config_kwargs,
 ) -> list[ProtocolResult]:
     """Route ``collection`` over ``trials`` independent seeds.
@@ -72,7 +73,10 @@ def route_collection_trials(
     serially on each child seed of ``seed``, for any ``jobs``.
     ``checkpoint`` passes through to the runner: a killed batch rerun
     with the same arguments resumes from the journal, skipping the
-    already-completed trials.
+    already-completed trials. ``backend`` selects the engine's round
+    kernel (``"python"`` or ``"vectorized"``, bit-identical results;
+    None = process default); it travels inside the pickled config, so it
+    applies in worker processes too.
 
     When ``metrics`` is given, every trial runs instrumented against its
     own private registry (in the worker process for ``jobs > 1``) and the
@@ -82,7 +86,11 @@ def route_collection_trials(
     metrics land in the same registry.
     """
     config = ProtocolConfig(
-        bandwidth=bandwidth, rule=rule, worm_length=worm_length, **config_kwargs
+        bandwidth=bandwidth,
+        rule=rule,
+        worm_length=worm_length,
+        backend=backend,
+        **config_kwargs,
     )
     trial_fn = (
         partial(protocol_trial, collection=collection, config=config)

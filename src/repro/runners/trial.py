@@ -78,6 +78,33 @@ _POOL_REBUILD_LIMIT = 3
 #: Sentinel distinguishing "not settled yet" from a legal None result.
 _UNSET = object()
 
+#: Per-worker shared state: the unpickled trial callable. Populated once
+#: per worker process by :func:`_worker_init`; every subsequent submit
+#: ships only a seed instead of re-pickling the whole closure (worms,
+#: topology, engine config) on each trial.
+_WORKER_FN: Callable | None = None
+
+
+def _worker_init(payload: bytes, default_backend: str) -> None:
+    """Pool initializer: unpickle the trial function once per worker.
+
+    Also propagates the parent's default engine backend, so a driver's
+    single ``set_default_backend("vectorized")`` call covers the whole
+    pool (worker processes may be spawned, not forked, and then would
+    not inherit parent module state).
+    """
+    global _WORKER_FN
+    _WORKER_FN = pickle.loads(payload)
+    from repro.core.engine import set_default_backend
+
+    set_default_backend(default_backend)
+
+
+def _worker_run(seed: int):
+    """Invoke the worker's shared trial function on one seed."""
+    assert _WORKER_FN is not None, "worker pool initializer did not run"
+    return _WORKER_FN(seed)
+
 
 class _Checkpoint:
     """Crash-safe journal of settled trial results for one seed batch.
@@ -359,11 +386,25 @@ class TrialRunner:
         executed = 0
         rebuilds = 0
         metrics.gauge("runner_pool_jobs", self.jobs)
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        # The trial function crosses the process boundary exactly once
+        # per worker (pool initializer), not once per submit: each
+        # submit afterwards carries only the seed.
+        from repro.core.engine import get_default_backend
+
+        initargs = (pickle.dumps(self.fn), get_default_backend())
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=initargs,
+            )
+
+        pool = make_pool()
 
         def submit_all() -> dict:
             return {
-                i: pool.submit(self.fn, seed)
+                i: pool.submit(_worker_run, seed)
                 for i, seed in enumerate(seeds)
                 if i not in preloaded
             }
@@ -392,10 +433,10 @@ class TrialRunner:
                 len(pending),
             )
             pool.shutdown(wait=False, cancel_futures=True)
-            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            pool = make_pool()
             for j in pending:
                 attempts[j] += 1
-                futures[j] = pool.submit(self.fn, seeds[j])
+                futures[j] = pool.submit(_worker_run, seeds[j])
 
         try:
             futures = submit_all()
@@ -427,7 +468,7 @@ class TrialRunner:
                             ) from exc
                         attempts[i] += 1
                         metrics.inc("runner_retries_total", mode="pool")
-                        futures[i] = pool.submit(self.fn, seed)
+                        futures[i] = pool.submit(_worker_run, seed)
                     except Exception as exc:
                         if attempts[i] > self.retries:
                             metrics.inc("runner_trials_failed_total", mode="pool")
@@ -441,7 +482,7 @@ class TrialRunner:
                             ) from exc
                         attempts[i] += 1
                         metrics.inc("runner_retries_total", mode="pool")
-                        futures[i] = pool.submit(self.fn, seed)
+                        futures[i] = pool.submit(_worker_run, seed)
                 if ckpt is not None:
                     ckpt.record(i, results[i])
                     metrics.inc("runner_checkpoint_writes_total")

@@ -65,8 +65,8 @@ class TestAssignment:
         coll = type2_bundle(congestion=4, D=5).collection
         a = rwa_assignment(coll)
         launches = a.launches()
-        assert [l.worm for l in launches] == [0, 1, 2, 3]
-        assert all(l.delay == 0 for l in launches)
+        assert [ln.worm for ln in launches] == [0, 1, 2, 3]
+        assert all(ln.delay == 0 for ln in launches)
 
     def test_bad_length_rejected(self):
         coll = type2_bundle(congestion=2, D=4).collection

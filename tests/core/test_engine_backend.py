@@ -1,0 +1,216 @@
+"""Backend selection plus the round of engine correctness fixes.
+
+Covers: the ``backend=`` knob (constructor, process default, unknown
+values), the empty-launch observability fix (rounds are tallied even
+when nothing launches), launch validation at the engine boundary
+(negative delays / wavelengths raise ``ProtocolError`` even from
+launch-shaped objects that bypassed ``Launch``'s own checks), and the
+stale-occupancy eviction (the dict stays bounded across a long round).
+Backend *equivalence* is property-tested in
+``tests/property/test_differential_backend.py``.
+"""
+
+import pytest
+
+from repro.core.engine import (
+    BACKENDS,
+    RoutingEngine,
+    get_default_backend,
+    run_round,
+    set_default_backend,
+)
+from repro.core.records import RoundResult
+from repro.errors import ProtocolError
+from repro.observability.metrics import MetricsRegistry
+from repro.optics.coupler import CollisionRule
+from repro.worms.worm import Launch, Worm
+
+
+def _chain_worms(n, path=(0, 1, 2), length=2):
+    return [Worm(uid=i, path=path, length=length) for i in range(n)]
+
+
+class _RawLaunch:
+    """A launch-shaped object that skips Launch's own validation."""
+
+    def __init__(self, worm, delay, wavelength, priority=0):
+        self.worm = worm
+        self.delay = delay
+        self.wavelength = wavelength
+        self.priority = priority
+
+
+class TestBackendSelection:
+    def test_default_is_python(self):
+        engine = RoutingEngine(_chain_worms(1), CollisionRule.SERVE_FIRST)
+        assert engine.backend == "python"
+
+    def test_explicit_backend(self):
+        for backend in BACKENDS:
+            engine = RoutingEngine(
+                _chain_worms(1), CollisionRule.SERVE_FIRST, backend=backend
+            )
+            assert engine.backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ProtocolError, match="backend"):
+            RoutingEngine(
+                _chain_worms(1), CollisionRule.SERVE_FIRST, backend="cuda"
+            )
+
+    def test_process_default_round_trips(self):
+        assert get_default_backend() == "python"
+        set_default_backend("vectorized")
+        try:
+            assert get_default_backend() == "vectorized"
+            engine = RoutingEngine(_chain_worms(1), CollisionRule.SERVE_FIRST)
+            assert engine.backend == "vectorized"
+        finally:
+            set_default_backend("python")
+
+    def test_set_default_rejects_unknown(self):
+        with pytest.raises(ProtocolError, match="backend"):
+            set_default_backend("fortran")
+        assert get_default_backend() == "python"
+
+    def test_engine_pins_backend_at_construction(self):
+        # Changing the process default later must not retarget live engines.
+        engine = RoutingEngine(_chain_worms(1), CollisionRule.SERVE_FIRST)
+        set_default_backend("vectorized")
+        try:
+            assert engine.backend == "python"
+        finally:
+            set_default_backend("python")
+
+    def test_run_round_wrapper_takes_backend(self):
+        worms = _chain_worms(3)
+        launches = [Launch(worm=i, delay=2 * i, wavelength=0) for i in range(3)]
+        results = [
+            run_round(worms, launches, CollisionRule.SERVE_FIRST, backend=b)
+            for b in BACKENDS
+        ]
+        assert results[0] == results[1]
+
+
+class TestEmptyRoundAccounting:
+    """An empty-launch round must still be visible to observability."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_round_counted(self, backend):
+        registry = MetricsRegistry()
+        engine = RoutingEngine(
+            _chain_worms(2),
+            CollisionRule.SERVE_FIRST,
+            metrics=registry,
+            backend=backend,
+        )
+        result = engine.run_round([])
+        assert result == RoundResult(outcomes={}, collisions=(), makespan=None)
+        assert registry.value("engine_rounds_total", rule="serve_first") == 1
+        assert registry.value("engine_events_total", rule="serve_first") == 0
+        assert registry.value("engine_worms_launched_total", rule="serve_first") == 0
+        # A real round afterwards keeps counting from there.
+        engine.run_round([Launch(worm=0, delay=0, wavelength=0)])
+        assert registry.value("engine_rounds_total", rule="serve_first") == 2
+
+    def test_empty_round_observes_wall_time(self):
+        registry = MetricsRegistry()
+        engine = RoutingEngine(
+            _chain_worms(1), CollisionRule.SERVE_FIRST, metrics=registry
+        )
+        engine.run_round([])
+        hist = registry.value("engine_round_seconds", rule="serve_first")
+        assert hist["count"] == 1
+
+
+class TestLaunchValidationAtEngine:
+    """The engine revalidates launches; garbage must not corrupt a round."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_negative_delay_rejected(self, backend):
+        engine = RoutingEngine(
+            _chain_worms(1), CollisionRule.SERVE_FIRST, backend=backend
+        )
+        with pytest.raises(ProtocolError, match="negative launch delay"):
+            engine.run_round([_RawLaunch(0, delay=-1, wavelength=0)])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_negative_wavelength_rejected(self, backend):
+        engine = RoutingEngine(
+            _chain_worms(1), CollisionRule.SERVE_FIRST, backend=backend
+        )
+        with pytest.raises(ProtocolError, match="negative wavelength"):
+            engine.run_round([_RawLaunch(0, delay=0, wavelength=-2)])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_negative_per_link_wavelength_rejected(self, backend):
+        engine = RoutingEngine(
+            _chain_worms(1), CollisionRule.SERVE_FIRST, backend=backend
+        )
+        with pytest.raises(ProtocolError, match="negative per-link wavelength"):
+            engine.run_round([_RawLaunch(0, delay=0, wavelength=(0, -1))])
+
+    def test_per_link_length_mismatch_still_rejected(self):
+        engine = RoutingEngine(_chain_worms(1), CollisionRule.SERVE_FIRST)
+        with pytest.raises(ProtocolError, match="per-link wavelengths"):
+            engine.run_round([_RawLaunch(0, delay=0, wavelength=(0, 0, 0))])
+
+    def test_valid_raw_launch_passes(self):
+        engine = RoutingEngine(_chain_worms(1), CollisionRule.SERVE_FIRST)
+        result = engine.run_round([_RawLaunch(0, delay=1, wavelength=(1, 0))])
+        assert result.outcomes[0].delivered
+
+
+class TestOccupancyEviction:
+    """Stale records are evicted on detection, not re-checked forever."""
+
+    def _spy_install(self, engine, captured):
+        original = engine._install
+
+        def spy(occupancy, key, run, pos, t):
+            captured.setdefault("occupancy", occupancy)
+            original(occupancy, key, run, pos, t)
+
+        engine._install = spy
+
+    def test_stale_records_evicted(self):
+        # One seed worm delivers; staggered all-lose pairs then arrive at
+        # the first link long after each predecessor's tail cleared. Each
+        # pair finds a stale record (evict) and eliminates itself without
+        # installing, so without eviction the first link's key would pin
+        # a dead record until the end of the round.
+        worms = _chain_worms(8)
+        engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        captured = {}
+        self._spy_install(engine, captured)
+        launches = [Launch(worm=0, delay=0, wavelength=0)]
+        launches += [Launch(worm=1, delay=10, wavelength=0)]
+        for batch, base in enumerate((20, 30, 40)):
+            launches += [
+                Launch(worm=2 + 2 * batch + k, delay=base, wavelength=0)
+                for k in range(2)
+            ]
+        result = engine.run_round(launches)
+        assert result.outcomes[0].delivered and result.outcomes[1].delivered
+        assert sum(not o.delivered for o in result.outcomes.values()) == 6
+        occupancy = captured["occupancy"]
+        # Only the last surviving worm's last-link record may remain; the
+        # contended first-link key was evicted, not left stale.
+        assert len(occupancy) == 1
+        (key, record), = occupancy.items()
+        assert key == (engine._link_index[(1, 2)], 0)
+        assert record.run.uid == 1
+
+    def test_dict_bounded_by_live_keys_not_arrivals(self):
+        # Many far-apart worms over one path: every arrival evicts its
+        # predecessor's stale record, so the dict never exceeds the two
+        # (link, wavelength) keys no matter how many worms pass through.
+        n = 30
+        worms = _chain_worms(n)
+        engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST)
+        captured = {}
+        self._spy_install(engine, captured)
+        launches = [Launch(worm=i, delay=10 * i, wavelength=0) for i in range(n)]
+        result = engine.run_round(launches)
+        assert all(o.delivered for o in result.outcomes.values())
+        assert len(captured["occupancy"]) <= 2

@@ -73,7 +73,7 @@ class TestSparseConversionProtocol:
         launches = proto._draw_launches(
             list(range(6)), delta=4, rng=np.random.default_rng(0)
         )
-        assert all(isinstance(l.wavelength, int) for l in launches)
+        assert all(isinstance(ln.wavelength, int) for ln in launches)
 
     def test_converters_split_channels(self):
         import numpy as np

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.engine import RoutingEngine, run_round
+from repro.core.engine import run_round
 from repro.core.protocol import ProtocolConfig, route_collection
 from repro.core.schedule import GeometricSchedule
 from repro.core.stats import failure_breakdown

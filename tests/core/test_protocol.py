@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.protocol import (
     ProtocolConfig,
-    TrialAndFailureProtocol,
     route_collection,
 )
 from repro.core.schedule import FixedSchedule, GeometricSchedule

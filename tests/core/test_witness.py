@@ -13,7 +13,6 @@ from repro.core.witness import (
 from repro.core.records import CollisionEvent, CollisionKind
 from repro.core.schedule import FixedSchedule
 from repro.errors import WitnessError
-from repro.optics.coupler import CollisionRule
 from repro.paths.gadgets import type1_triangle, type2_bundle
 
 

@@ -2,8 +2,6 @@
 paper's qualitative claims (the real sizes run in the benchmark harness).
 """
 
-import pytest
-
 from repro.experiments import (
     exp_ablations,
     exp_baselines,

@@ -60,8 +60,8 @@ class TestBinaryTree:
         from repro.paths.collection import PathCollection
 
         t = BinaryTree(3)
-        left = [l for l in t.leaves if l < 12]
-        right = [l for l in t.leaves if l >= 12]
+        left = [leaf for leaf in t.leaves if leaf < 12]
+        right = [leaf for leaf in t.leaves if leaf >= 12]
         coll = PathCollection(
             [t.tree_path(a, b) for a, b in zip(left, right)], topology=t
         )

@@ -108,6 +108,41 @@ class TestRegressionGate:
         assert series_mod.check_regression(series, _sample(0.001)) == []
 
 
+class TestBackendAwareGate:
+    def test_gates_against_same_backend_only(self, series_mod):
+        # The newer (faster) vectorized sample must not tighten the bar
+        # for the python kernel: python gates against python.
+        series = {
+            "samples": [
+                _sample(0.010, backend="python"),
+                _sample(0.004, backend="vectorized"),
+            ]
+        }
+        assert not series_mod.check_regression(
+            series, _sample(0.011, backend="python")
+        )
+        assert series_mod.check_regression(
+            series, _sample(0.013, backend="python")
+        )
+        # And symmetrically, the slow python sample must not mask a
+        # vectorized regression.
+        assert series_mod.check_regression(
+            series, _sample(0.009, backend="vectorized")
+        )
+
+    def test_samples_without_backend_count_as_python(self, series_mod):
+        # Samples predating the field gate the python kernel...
+        series = {"samples": [_sample(0.010)]}
+        assert series_mod.check_regression(
+            series, _sample(0.013, backend="python")
+        )
+        # ...and the first vectorized sample has no predecessor, so it
+        # passes trivially.
+        assert not series_mod.check_regression(
+            series, _sample(0.500, backend="vectorized")
+        )
+
+
 class TestRepoSeries:
     def test_checked_in_series_is_valid_and_seeded(self, series_mod):
         """The repo-root series exists with >= 1 schema-versioned sample."""
@@ -124,3 +159,4 @@ class TestRepoSeries:
             }
             assert sample["cpu_count"] >= 1
             assert "git_rev" in sample and "python" in sample
+            assert sample.get("backend", "python") in ("python", "vectorized")

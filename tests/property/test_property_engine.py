@@ -180,7 +180,7 @@ class TestPriorityDominance:
     def test_top_priority_never_eliminated(self, inst):
         worms, launches = inst
         res = RoutingEngine(worms, CollisionRule.PRIORITY).run_round(launches)
-        top = max(launches, key=lambda l: l.priority)
+        top = max(launches, key=lambda ln: ln.priority)
         o = res.outcomes[top.worm]
         # The top worm can never lose an arrival conflict; and no arrival
         # outranks it, so it is never truncated either.
