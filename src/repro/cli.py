@@ -9,6 +9,8 @@
     python -m repro demo --faults gilbert:p01=0.05,p10=0.5
     python -m repro faults sweep         # fault-model comparison tables
     python -m repro faults replay F.json # run a scripted fault schedule
+    python -m repro scenario list        # streaming-scenario catalogue
+    python -m repro scenario run --scenario baseline --seed 1
 
 Each experiment id matches DESIGN.md's index; ``run`` prints the same
 tables the benchmark harness saves under ``benchmarks/results/``.
@@ -52,6 +54,7 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         exp_predictor,
         exp_resilience,
         exp_rwa,
+        exp_streaming,
         exp_thm15,
         exp_thm16,
         exp_thm17,
@@ -78,6 +81,10 @@ def _registry() -> dict[str, tuple[str, Callable]]:
         "e_fault": ("Transient link-fault resilience", exp_resilience.run),
         "e_adv": ("Assembled S2.2/S3.2 lower-bound instances", exp_adversary.run),
         "e_hard": ("Worst-case permutations and Valiant's trick", exp_hard_permutations.run),
+        "e_stream": (
+            "Streaming arrivals: steady-state throughput/latency/drop rate",
+            exp_streaming.run,
+        ),
     }
 
 
@@ -355,6 +362,86 @@ def _cmd_faults_replay(args) -> int:
     return 1 if not result.completed else 0
 
 
+def _cmd_scenario_list(_args) -> int:
+    from repro.scenarios import SCENARIO_REGISTRY, scenario_names
+
+    names = scenario_names()
+    width = max(len(n) for n in names)
+    print("available streaming scenarios (see docs/SCENARIOS.md):\n")
+    for name in names:
+        print(f"  {name.ljust(width)}  {SCENARIO_REGISTRY[name].description}")
+    print(
+        "\nrun one with 'repro scenario run --scenario NAME', or a custom "
+        "JSON spec with '--spec FILE.json'"
+    )
+    return 0
+
+
+def _cmd_scenario_run(args) -> int:
+    from repro.scenarios import ScenarioSpec, get_scenario, run_scenario
+
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            spec = ScenarioSpec.from_json(fh.read())
+    else:
+        spec = get_scenario(args.scenario)
+    metrics, writer = _open_sinks(args)
+    if writer is not None:
+        writer.write_manifest(
+            command="scenario run",
+            scenario=spec.name,
+            seed=args.seed,
+            rounds=args.rounds if args.rounds is not None else spec.rounds,
+        )
+    try:
+        t0 = time.perf_counter()
+        result = run_scenario(
+            spec, seed=args.seed, metrics=metrics, trace=writer,
+            rounds=args.rounds,
+        )
+        elapsed = time.perf_counter() - t0
+        if writer is not None:
+            writer.write_summary(**result.snapshot())
+    finally:
+        _close_sinks(args, metrics, writer)
+    snap = result.snapshot()
+    if args.json:
+        print(json.dumps(snap, sort_keys=True))
+    else:
+        print(
+            f"scenario {spec.name!r}: {snap['rounds']} rounds / "
+            f"{snap['total_time']} steps in {elapsed:.1f}s"
+        )
+        print(
+            f"  offered {snap['offered']}, admitted {snap['admitted']}, "
+            f"acked {snap['acked']}, rejected {snap['rejected']}, "
+            f"expired {snap['expired']}"
+        )
+        print(
+            f"  throughput {snap['throughput']:.4f} worms/step, "
+            f"drop rate {snap['drop_rate']:.3f}, "
+            f"drained: {snap['drained']}"
+        )
+        if snap["latency_p50"] is not None:
+            print(
+                f"  admission latency (rounds): p50 {snap['latency_p50']:.0f}, "
+                f"p95 {snap['latency_p95']:.0f}, p99 {snap['latency_p99']:.0f}"
+            )
+    # Exit code reflects admission health: shedding more than the
+    # allowed fraction of offered load (or acking nothing despite
+    # offers) fails CI smoke runs.
+    healthy = snap["drop_rate"] <= args.max_drop_rate and (
+        snap["acked"] > 0 or snap["offered"] == 0
+    )
+    if not healthy:
+        print(
+            f"UNHEALTHY: drop rate {snap['drop_rate']:.3f} exceeds "
+            f"--max-drop-rate {args.max_drop_rate} (or nothing was acked)",
+            file=sys.stderr,
+        )
+    return 0 if healthy else 1
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report import write_report
 
@@ -568,6 +655,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(f_replay)
     _add_backend_flag(f_replay)
     f_replay.set_defaults(fn=_cmd_faults_replay)
+
+    scenario = sub.add_parser(
+        "scenario", help="streaming-traffic scenarios (see docs/SCENARIOS.md)"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    s_list = scenario_sub.add_parser(
+        "list", help="list the named scenario catalogue"
+    )
+    s_list.set_defaults(fn=_cmd_scenario_list)
+
+    s_run = scenario_sub.add_parser(
+        "run",
+        help="run one streaming scenario (exit 1 if admission is unhealthy)",
+    )
+    s_run.add_argument(
+        "--scenario",
+        default="baseline",
+        metavar="NAME",
+        help="registry name from 'scenario list' (default: baseline)",
+    )
+    s_run.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE.json",
+        help="run a custom ScenarioSpec JSON file instead of a registry name",
+    )
+    s_run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    s_run.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="override the scenario's round horizon (bounds the run)",
+    )
+    s_run.add_argument(
+        "--max-drop-rate",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="health threshold: exit 1 when drop rate exceeds this "
+        "fraction of offered load (default 0.5)",
+    )
+    s_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the metrics snapshot as one JSON object",
+    )
+    _add_observability_flags(s_run)
+    _add_backend_flag(s_run)
+    s_run.set_defaults(fn=_cmd_scenario_run)
 
     report = sub.add_parser(
         "report", help="aggregate benchmarks/results into one markdown report"

@@ -194,11 +194,17 @@ class _OrderedRecorder:
 
 
 class RoutingEngine:
-    """Routes a fixed set of worms; reusable across rounds.
+    """Routes a set of worms; reusable across rounds.
 
     Construction precomputes each worm's directed-link ids once; each
     :meth:`run_round` call takes fresh launches (delays, wavelengths,
-    priorities) for any subset of the worms.
+    priorities) for any subset of the worms. The set is not frozen:
+    streaming callers admit arriving worms with :meth:`add_worms` and
+    drop delivered or expired ones with :meth:`retire_worms` between
+    rounds, without restarting the engine. Link ids are assigned in
+    registration order and retained across retirement, so a static
+    batch and an incrementally grown one that registered the same worms
+    in the same order behave bit-identically on both backends.
 
     ``metrics`` optionally names the registry that receives per-round
     instrumentation (events generated, contended couplers, outcome
@@ -242,26 +248,55 @@ class RoutingEngine:
         self._lid_arrays: dict[int, np.ndarray] = {}
         self._pos_arrays: dict[int, np.ndarray] = {}
         for w in worms:
-            if w.uid in self._worms:
-                raise ProtocolError(f"duplicate worm uid {w.uid}")
-            self._worms[w.uid] = w
-            ids = []
-            for a, b in zip(w.path, w.path[1:]):
-                link = (a, b)
-                lid = self._link_index.get(link)
-                if lid is None:
-                    lid = len(self._link_index)
-                    self._link_index[link] = lid
-                    self._links.append(link)
-                ids.append(lid)
-            self._link_ids[w.uid] = ids
-            self._lid_arrays[w.uid] = np.asarray(ids, dtype=np.int64)
-            self._pos_arrays[w.uid] = np.arange(len(ids), dtype=np.int64)
+            self._register(w)
+
+    def _register(self, w: Worm) -> None:
+        if w.uid in self._worms:
+            raise ProtocolError(f"duplicate worm uid {w.uid}")
+        self._worms[w.uid] = w
+        ids = []
+        for a, b in zip(w.path, w.path[1:]):
+            link = (a, b)
+            lid = self._link_index.get(link)
+            if lid is None:
+                lid = len(self._link_index)
+                self._link_index[link] = lid
+                self._links.append(link)
+            ids.append(lid)
+        self._link_ids[w.uid] = ids
+        self._lid_arrays[w.uid] = np.asarray(ids, dtype=np.int64)
+        self._pos_arrays[w.uid] = np.arange(len(ids), dtype=np.int64)
 
     @property
     def worms(self) -> dict[int, Worm]:
         """The engine's worms by uid."""
         return dict(self._worms)
+
+    def add_worms(self, worms: Sequence[Worm]) -> None:
+        """Admit additional worms between rounds (streaming arrival).
+
+        New worms get link ids appended in registration order; existing
+        ids never move, so rounds before and after an admission see the
+        same per-link identities on both backends.
+        """
+        for w in worms:
+            self._register(w)
+
+    def retire_worms(self, uids: Sequence[int]) -> None:
+        """Drop delivered or expired worms' per-worm state.
+
+        Link ids stay registered (links are shared between worms and the
+        id order is what keeps incremental and static runs
+        bit-identical); only the per-worm arrays are released, so a
+        long-running engine's memory tracks the *active* population.
+        """
+        for uid in uids:
+            if uid not in self._worms:
+                raise ProtocolError(f"cannot retire unknown worm uid {uid}")
+            del self._worms[uid]
+            del self._link_ids[uid]
+            del self._lid_arrays[uid]
+            del self._pos_arrays[uid]
 
     def run_round(
         self,

@@ -103,7 +103,11 @@ class ProtocolConfig:
     fault-bearing rounds convict a link; ``backoff_after`` escalates a
     bounded exponential backoff on ``Delta_t`` after that many
     consecutive zero-progress rounds (0 disables), capped at
-    ``backoff_cap`` times the schedule's value.
+    ``backoff_cap`` times the schedule's value. ``backoff_cooldown=N``
+    (opt-in, default 0 = off) lets the backoff decay: every N
+    consecutive progressing rounds halve the multiplier back toward 1,
+    which streaming runs need so one transient stall does not
+    permanently inflate ``Delta_t``.
 
     ``backend`` selects the engine's round kernel (``"python"`` or
     ``"vectorized"``, bit-identical); None defers to the process default
@@ -127,6 +131,7 @@ class ProtocolConfig:
     suspect_after: int = 3
     backoff_after: int = 0
     backoff_cap: float = 8.0
+    backoff_cooldown: int = 0
     backend: str | None = None
 
     def __post_init__(self) -> None:
@@ -172,6 +177,10 @@ class ProtocolConfig:
         if self.backoff_cap < 1.0:
             raise ProtocolError(
                 f"backoff_cap must be >= 1.0, got {self.backoff_cap}"
+            )
+        if self.backoff_cooldown < 0:
+            raise ProtocolError(
+                f"backoff_cooldown must be >= 0, got {self.backoff_cooldown}"
             )
         if self.bandwidth <= 0:
             raise ProtocolError(f"bandwidth must be positive, got {self.bandwidth}")
@@ -461,7 +470,9 @@ class TrialAndFailureProtocol:
             else None
         )
         monitor = LinkHealthMonitor(cfg.suspect_after)
-        stall = StallDetector(cfg.backoff_after, cfg.backoff_cap)
+        stall = StallDetector(
+            cfg.backoff_after, cfg.backoff_cap, cooldown=cfg.backoff_cooldown
+        )
 
         completed = False
         rounds_used = 0

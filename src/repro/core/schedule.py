@@ -62,20 +62,25 @@ class ScheduleContext:
         return log2_safe(self.n)
 
     def congestion_at(self, round_index: int) -> float:
-        """The Lemma 2.4 congestion bound ``max{C_t, log n}``.
+        """The Lemma 2.4 congestion bound ``max{C_t, log n, 1}``.
 
         ``C_t`` is the measured congestion C̃_t when the protocol supplies
         one, and the halving envelope ``C/2^(t-1)`` otherwise. The lemma's
         ``log n`` floor applies in both cases: the halving only holds
         w.h.p. down to Theta(log n), so adaptive schedules must not let a
-        lucky low measurement collapse the late-round delay ranges.
+        lucky low measurement collapse the late-round delay ranges. The
+        floor is clamped to >= 1 even on trivial instances (n <= 2), so a
+        delay range can never collapse to zero, and the halving envelope
+        is evaluated with :func:`math.ldexp` -- it underflows smoothly to
+        0.0 at the large round indices long-running (streaming) scenarios
+        reach, where ``2.0 ** (t - 1)`` would raise ``OverflowError``.
         """
         measured = (
             float(self.current_congestion)
             if self.current_congestion is not None
-            else self.congestion / (2.0 ** (round_index - 1))
+            else math.ldexp(float(self.congestion), -(round_index - 1))
         )
-        return max(measured, self.log_n)
+        return max(measured, self.log_n, 1.0)
 
 
 class DelaySchedule:

@@ -52,6 +52,14 @@ class TrialError(ReproError, ValueError):
     """
 
 
+class ScenarioError(ReproError, ValueError):
+    """A streaming scenario spec or engine was configured incorrectly.
+
+    Also a :class:`ValueError`, so callers validating arrival rates and
+    scenario JSON the usual way keep working.
+    """
+
+
 class ObservabilityError(ReproError, ValueError):
     """A metrics/trace sink was misconfigured or a trace is unreadable.
 

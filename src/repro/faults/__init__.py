@@ -12,6 +12,7 @@ catalog and semantics.
 from repro.faults.health import LinkHealthMonitor, StallDetector
 from repro.faults.models import (
     AckLoss,
+    ComposedFaults,
     FaultModel,
     FaultRun,
     GilbertElliott,
@@ -20,12 +21,14 @@ from repro.faults.models import (
     PersistentLinkFailures,
     ScriptedFaults,
     TransientLinkFaults,
+    WindowedFaults,
 )
 from repro.faults.repair import collection_links, reroute_path, surviving_graph
 from repro.faults.spec import FAULT_SPEC_NAMES, parse_fault_spec
 
 __all__ = [
     "AckLoss",
+    "ComposedFaults",
     "FaultModel",
     "FaultRun",
     "GilbertElliott",
@@ -36,6 +39,7 @@ __all__ = [
     "ScriptedFaults",
     "StallDetector",
     "TransientLinkFaults",
+    "WindowedFaults",
     "FAULT_SPEC_NAMES",
     "parse_fault_spec",
     "collection_links",

@@ -91,17 +91,30 @@ class StallDetector:
     ``cap``. Any progress resets the streak (but not the multiplier:
     a workload that needed backoff once usually still needs it).
     ``after=0`` disables the detector (multiplier stays 1).
+
+    ``cooldown=N`` (opt-in, default 0 = off) lets the multiplier decay:
+    every ``N`` consecutive *progressing* rounds undo one escalation,
+    halving the multiplier back toward 1. Bounded static runs do not
+    need it, but in a streaming run a sticky multiplier means one
+    transient stall permanently inflates ``Delta_t`` and erodes
+    steady-state throughput.
     """
 
-    def __init__(self, after: int = 0, cap: float = 8.0) -> None:
+    def __init__(
+        self, after: int = 0, cap: float = 8.0, cooldown: int = 0
+    ) -> None:
         if after < 0:
             raise ValueError(f"after must be >= 0, got {after}")
         if cap < 1.0:
             raise ValueError(f"cap must be >= 1.0, got {cap}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
         self.after = after
         self.cap = cap
+        self.cooldown = cooldown
         self.escalations = 0
         self._streak = 0
+        self._progress_streak = 0
 
     @property
     def multiplier(self) -> float:
@@ -114,7 +127,13 @@ class StallDetector:
             return False
         if acked > 0:
             self._streak = 0
+            if self.cooldown > 0 and self.escalations > 0:
+                self._progress_streak += 1
+                if self._progress_streak >= self.cooldown:
+                    self.escalations -= 1
+                    self._progress_streak = 0
             return False
+        self._progress_streak = 0
         self._streak += 1
         if self._streak >= self.after and self.multiplier < self.cap:
             self.escalations += 1

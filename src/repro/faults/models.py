@@ -17,7 +17,11 @@ the single i.i.d. ``fault_rate`` knob into a family of adversaries:
   ``p`` (meaningful mainly under ``ack_mode="simulated"``, where the
   reserved ack band is a real, lossy channel);
 * :class:`ScriptedFaults` -- an explicit ``{round: [links]}`` schedule,
-  loadable from JSON, for regression repro and adversarial scenarios.
+  loadable from JSON, for regression repro and adversarial scenarios;
+* :class:`WindowedFaults` -- any model restricted to a round window
+  (the building block for scenario events such as link-flap storms);
+* :class:`ComposedFaults` -- the union of several models, letting a
+  scenario layer independent adversaries on a baseline.
 
 A model is a *stateless, picklable specification*; the per-execution
 state (Markov chain positions, accumulated dead sets, private RNG
@@ -53,6 +57,8 @@ __all__ = [
     "NodeFailures",
     "AckLoss",
     "ScriptedFaults",
+    "WindowedFaults",
+    "ComposedFaults",
 ]
 
 
@@ -424,3 +430,101 @@ class ScriptedFaults(FaultModel):
     def start(self, links, rng) -> FaultRun:
         """Bind the (randomness-free) schedule to one execution."""
         return _ScriptedRun(dict(self.schedule), self.persistent)
+
+
+class _WindowedRun(FaultRun):
+    def __init__(self, inner: FaultRun, first: int, duration: int) -> None:
+        self.inner = inner
+        self.first = first
+        self.end = first + duration  # exclusive
+
+    def dead_links(self, t, rng):
+        if not (self.first <= t < self.end):
+            return None
+        return self.inner.dead_links(t - self.first + 1, rng)
+
+    def lost_acks(self, t, acked, rng):
+        if not (self.first <= t < self.end):
+            return set()
+        return self.inner.lost_acks(t - self.first + 1, acked, rng)
+
+
+@dataclass(frozen=True)
+class WindowedFaults(FaultModel):
+    """An inner fault model active only inside a round window.
+
+    The inner model applies during rounds ``[start_round, start_round +
+    duration)`` and is a no-op outside; it sees *window-relative* round
+    indices (the window's first round is its round 1), so a bursty model
+    starts its chain fresh when the window opens regardless of where the
+    window sits. This is the scenario orchestrator's building block for
+    scheduled events -- a link-flap storm is a windowed
+    :class:`GilbertElliott`. Randomness delegation: ``start`` passes the
+    protocol's root generator straight to the inner model, so the draw
+    count (zero or one) is exactly the inner's.
+    """
+
+    model: FaultModel = NoFaults()
+    start_round: int = 1
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start_round < 1:
+            raise FaultError(
+                f"start_round must be >= 1, got {self.start_round}"
+            )
+        if self.duration < 1:
+            raise FaultError(f"duration must be >= 1, got {self.duration}")
+
+    def start(self, links, rng) -> FaultRun:
+        """Bind the inner model; it draws as if the window were round 1."""
+        inner = self.model.start(links, rng)
+        return _WindowedRun(inner, self.start_round, self.duration)
+
+
+class _ComposedRun(FaultRun):
+    def __init__(self, inners: Sequence[FaultRun]) -> None:
+        self.inners = list(inners)
+
+    def dead_links(self, t, rng):
+        dead: list[tuple] = []
+        seen: set[tuple] = set()
+        for run in self.inners:
+            links = run.dead_links(t, rng)
+            if not links:
+                continue
+            for lk in links:
+                lk = tuple(lk)
+                if lk not in seen:
+                    seen.add(lk)
+                    dead.append(lk)
+        return dead or None
+
+    def lost_acks(self, t, acked, rng):
+        lost: set[int] = set()
+        for run in self.inners:
+            lost |= run.lost_acks(t, acked, rng)
+        return lost
+
+
+@dataclass(frozen=True)
+class ComposedFaults(FaultModel):
+    """The union of several fault models, applied in spec order.
+
+    Each round's dark links are the deduplicated union of every member's
+    (first-appearance order, so composition is deterministic), and an
+    ack is lost when any member loses it. ``start`` binds members in
+    spec order, so each stateful member consumes its one private
+    ``spawn_generator`` draw at a fixed position in the root stream --
+    a scenario layering a storm on a baseline adversary stays
+    bit-reproducible.
+    """
+
+    models: tuple[FaultModel, ...] = ()
+
+    def __init__(self, models: Sequence[FaultModel] = ()) -> None:
+        object.__setattr__(self, "models", tuple(models))
+
+    def start(self, links, rng) -> FaultRun:
+        """Bind every member model, in spec order."""
+        return _ComposedRun([m.start(links, rng) for m in self.models])

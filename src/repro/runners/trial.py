@@ -31,8 +31,9 @@ Two robustness layers on top:
   of the same seed batch skips the already-completed indices -- the
   resumed batch returns bit-identical results because each trial
   depends only on its own seed. A checkpoint written for a *different*
-  seed batch is refused (fingerprint mismatch) rather than silently
-  mixing results.
+  seed batch (fingerprint mismatch) or by a different trial function,
+  runner config, or engine backend (context mismatch) is refused rather
+  than silently mixing non-comparable results.
 * a :class:`~concurrent.futures.process.BrokenProcessPool` (a worker
   killed by the OOM killer, a segfaulting extension, ...) no longer
   abandons the batch: the pool is rebuilt and every unsettled trial is
@@ -48,12 +49,14 @@ the process default registry to collect them.
 from __future__ import annotations
 
 import base64
+import functools
 import hashlib
 import json
 import logging
 import os
 import pathlib
 import pickle
+import re
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -68,7 +71,40 @@ __all__ = ["TrialProgress", "TrialRunner", "spawn_seeds"]
 
 _log = logging.getLogger(__name__)
 
-_CHECKPOINT_VERSION = 1
+_CHECKPOINT_VERSION = 2
+
+#: Default object reprs embed the instance address; strip it so the
+#: checkpoint context digest is stable across processes.
+_HEX_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def _stable_repr(value) -> str:
+    return _HEX_ADDR.sub("0x", repr(value))
+
+
+def _describe_trial_fn(fn) -> str:
+    """A stable, process-independent description of a trial callable.
+
+    Unwraps :func:`functools.partial` layers (the standard way experiment
+    code binds a collection and config to a module-level trial function)
+    and records the innermost callable's module-qualified name plus the
+    stable repr of every bound argument. Dataclass configs
+    (:class:`~repro.core.protocol.ProtocolConfig` and friends) have full
+    value reprs, so a changed config changes the description; instance
+    addresses are normalised away so mere re-construction does not.
+    """
+    parts = []
+    while isinstance(fn, functools.partial):
+        keywords = dict(sorted((fn.keywords or {}).items()))
+        parts.append(
+            f"partial(args={_stable_repr(fn.args)}, "
+            f"keywords={_stable_repr(keywords)})"
+        )
+        fn = fn.func
+    qualname = getattr(fn, "__qualname__", None) or type(fn).__qualname__
+    module = getattr(fn, "__module__", "") or ""
+    parts.append(f"{module}:{qualname}")
+    return " | ".join(reversed(parts))
 
 #: How many times one batch tolerates the worker pool breaking before
 #: giving up. Deliberately separate from per-trial ``retries`` (a pool
@@ -110,19 +146,28 @@ class _Checkpoint:
     """Crash-safe journal of settled trial results for one seed batch.
 
     The file is a single JSON object ``{"version", "fingerprint",
-    "completed": {index: base64(pickle(result))}}`` rewritten atomically
-    (temp file + :func:`os.replace`) after every settled trial, so a
-    kill at any instant leaves either the previous or the next
-    consistent state -- never a torn file. The fingerprint hashes the
-    seed list, binding the checkpoint to its batch: resuming with
-    different seeds raises instead of silently mixing results.
+    "context", "completed": {index: base64(pickle(result))}}`` rewritten
+    atomically (temp file + :func:`os.replace`) after every settled
+    trial, so a kill at any instant leaves either the previous or the
+    next consistent state -- never a torn file. The fingerprint hashes
+    the seed list and the context digest hashes the trial function's
+    description plus the active engine backend, together binding the
+    checkpoint to its batch: resuming with different seeds, a different
+    trial function/config, or a switched backend raises instead of
+    silently mixing non-comparable results.
     """
 
-    def __init__(self, path: str | pathlib.Path, seeds: Sequence[int]) -> None:
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        seeds: Sequence[int],
+        context: str = "",
+    ) -> None:
         self.path = pathlib.Path(path)
         self.fingerprint = hashlib.sha256(
             json.dumps(list(seeds)).encode("ascii")
         ).hexdigest()
+        self.context = hashlib.sha256(context.encode("utf-8")).hexdigest()
         self.completed: dict[int, object] = {}
 
     def load(self) -> dict[int, object]:
@@ -146,6 +191,13 @@ class _Checkpoint:
                 "batch (fingerprint mismatch); delete it or rerun with the "
                 "original seeds"
             )
+        if data.get("context") != self.context:
+            raise TrialError(
+                f"checkpoint {self.path} was written by a different trial "
+                "function, runner config, or engine backend (context "
+                "mismatch); its results are not comparable -- delete it or "
+                "rerun with the original setup"
+            )
         self.completed = {
             int(i): pickle.loads(base64.b64decode(blob))
             for i, blob in data.get("completed", {}).items()
@@ -158,6 +210,7 @@ class _Checkpoint:
         payload = {
             "version": _CHECKPOINT_VERSION,
             "fingerprint": self.fingerprint,
+            "context": self.context,
             "completed": {
                 str(i): base64.b64encode(pickle.dumps(r)).decode("ascii")
                 for i, r in sorted(self.completed.items())
@@ -256,7 +309,13 @@ class TrialRunner:
         ckpt: _Checkpoint | None = None
         preloaded: dict[int, object] = {}
         if self.checkpoint is not None:
-            ckpt = _Checkpoint(self.checkpoint, seeds)
+            from repro.core.engine import get_default_backend
+
+            context = (
+                f"fn={_describe_trial_fn(self.fn)} "
+                f"backend={get_default_backend()}"
+            )
+            ckpt = _Checkpoint(self.checkpoint, seeds, context)
             preloaded = ckpt.load()
             stale = [i for i in preloaded if i >= len(seeds)]
             if stale:  # can't happen with a matching fingerprint; be safe

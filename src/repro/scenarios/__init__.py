@@ -1,0 +1,68 @@
+"""Streaming traffic engine and scenario orchestrator.
+
+The open-system face of the repro: seed-deterministic arrival processes
+(:mod:`repro.scenarios.arrivals`) and traffic patterns
+(:mod:`repro.scenarios.traffic`) feed the
+:class:`~repro.scenarios.engine.StreamingEngine`, which runs the
+trial-and-failure rounds forever, admitting new worms between rounds and
+reporting steady-state throughput, admission latency and drop rate.
+Named, JSON-configurable scenarios -- baseline, flash crowds, link-flap
+storms -- live in :mod:`repro.scenarios.spec` and run via
+:func:`run_scenario` or ``repro scenario run``. See docs/SCENARIOS.md.
+"""
+
+from repro.scenarios.arrivals import (
+    ArrivalProcess,
+    ArrivalStream,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    arrival_from_dict,
+)
+from repro.scenarios.engine import (
+    StreamingConfig,
+    StreamingEngine,
+    StreamingNetwork,
+    StreamingResult,
+    StreamingRoundRecord,
+)
+from repro.scenarios.spec import (
+    SCENARIO_REGISTRY,
+    ScenarioSpec,
+    build_network,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.traffic import (
+    HotspotTraffic,
+    TrafficPattern,
+    TrafficStream,
+    UniformTraffic,
+    traffic_from_dict,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ArrivalStream",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "HotspotTraffic",
+    "TrafficPattern",
+    "TrafficStream",
+    "UniformTraffic",
+    "StreamingConfig",
+    "StreamingEngine",
+    "StreamingNetwork",
+    "StreamingResult",
+    "StreamingRoundRecord",
+    "SCENARIO_REGISTRY",
+    "ScenarioSpec",
+    "build_network",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+    "arrival_from_dict",
+    "traffic_from_dict",
+]

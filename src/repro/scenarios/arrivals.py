@@ -1,0 +1,214 @@
+"""Seed-deterministic arrival processes for the streaming traffic engine.
+
+An arrival process decides how many new worm requests enter the system
+before each round. Like the fault models, a process is a *stateless,
+picklable specification*; the per-run state (Markov phase, round cursor)
+lives in the :class:`ArrivalStream` returned by
+:meth:`ArrivalProcess.start`. Every draw comes from the generator the
+engine passes to :meth:`ArrivalStream.count` -- the engine's single
+private arrivals stream -- in a fixed per-round order, so one seed fixes
+the whole offered-load realization independently of the routing draws.
+
+The catalogue:
+
+* :class:`PoissonArrivals` -- homogeneous Poisson offered load, the
+  open-system baseline;
+* :class:`BurstyArrivals` -- a two-state MMPP (Markov-modulated Poisson
+  process): quiet/burst phases with geometric sojourns, for temporally
+  correlated load;
+* :class:`DiurnalArrivals` -- a sinusoidally modulated Poisson rate,
+  the classic day/night load curve compressed to round time.
+
+``multiplier`` scales the instantaneous rate and is how scenario events
+(flash crowds) act on a baseline process without changing its identity.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScenarioError
+
+__all__ = [
+    "ArrivalProcess",
+    "ArrivalStream",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "arrival_from_dict",
+]
+
+
+class ArrivalStream:
+    """Per-run arrival state; one instance per engine execution.
+
+    ``count(t, rng, multiplier)`` returns how many new requests arrive
+    before round ``t``; it is called exactly once per round with
+    strictly increasing ``t`` and the engine's private arrivals
+    generator, so the draw sequence is a pure function of the seed.
+    """
+
+    def count(
+        self, t: int, rng: np.random.Generator, multiplier: float = 1.0
+    ) -> int:
+        """New requests arriving before round ``t`` (default: none)."""
+        return 0
+
+
+class ArrivalProcess(ABC):
+    """An offered-load generator: a picklable spec spawning per-run state."""
+
+    @abstractmethod
+    def start(self) -> ArrivalStream:
+        """Fresh per-run state for one engine execution."""
+
+
+class _PoissonStream(ArrivalStream):
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+
+    def count(self, t, rng, multiplier=1.0):
+        lam = self.rate * multiplier
+        if lam <= 0.0:
+            return 0
+        return int(rng.poisson(lam))
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson offered load: ``rate`` requests per round."""
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise ScenarioError(f"rate must be >= 0, got {self.rate}")
+
+    def start(self) -> ArrivalStream:
+        """A memoryless per-round Poisson counter."""
+        return _PoissonStream(self.rate)
+
+
+class _BurstyStream(ArrivalStream):
+    def __init__(self, model: "BurstyArrivals") -> None:
+        self.model = model
+        self._bursting = False
+
+    def count(self, t, rng, multiplier=1.0):
+        # One phase-transition uniform per round, then the Poisson draw:
+        # a fixed two-draw cadence keeps the stream position predictable.
+        u = float(rng.random())
+        if self._bursting:
+            if u < self.model.p_exit:
+                self._bursting = False
+        elif u < self.model.p_enter:
+            self._bursting = True
+        rate = self.model.burst_rate if self._bursting else self.model.base_rate
+        lam = rate * multiplier
+        if lam <= 0.0:
+            return 0
+        return int(rng.poisson(lam))
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """Two-state MMPP: quiet rounds at ``base_rate``, bursts at ``burst_rate``.
+
+    The phase is a Markov chain entered with probability ``p_enter`` per
+    quiet round and left with probability ``p_exit`` per bursting round,
+    so bursts last ``1/p_exit`` rounds in expectation and the stationary
+    bursting fraction is ``p_enter / (p_enter + p_exit)``.
+    """
+
+    base_rate: float = 1.0
+    burst_rate: float = 8.0
+    p_enter: float = 0.05
+    p_exit: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("base_rate", "burst_rate"):
+            if getattr(self, name) < 0.0:
+                raise ScenarioError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        for name in ("p_enter", "p_exit"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ScenarioError(f"{name} must be in [0, 1], got {p}")
+
+    def start(self) -> ArrivalStream:
+        """A fresh chain starting in the quiet phase."""
+        return _BurstyStream(self)
+
+
+class _DiurnalStream(ArrivalStream):
+    def __init__(self, model: "DiurnalArrivals") -> None:
+        self.model = model
+
+    def count(self, t, rng, multiplier=1.0):
+        phase = 2.0 * math.pi * (t - 1) / self.model.period
+        lam = self.model.rate * (1.0 + self.model.amplitude * math.sin(phase))
+        lam = max(0.0, lam) * multiplier
+        if lam <= 0.0:
+            return 0
+        return int(rng.poisson(lam))
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally modulated Poisson load: the day/night curve.
+
+    The instantaneous rate is ``rate * (1 + amplitude * sin(2 pi (t-1) /
+    period))``, clamped at zero, so ``amplitude=1`` swings between 0 and
+    ``2 * rate`` over one ``period``-round cycle.
+    """
+
+    rate: float = 2.0
+    amplitude: float = 0.5
+    period: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise ScenarioError(f"rate must be >= 0, got {self.rate}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ScenarioError(
+                f"amplitude must be in [0, 1], got {self.amplitude}"
+            )
+        if self.period < 2:
+            raise ScenarioError(f"period must be >= 2, got {self.period}")
+
+    def start(self) -> ArrivalStream:
+        """A deterministic-rate, Poisson-count stream."""
+        return _DiurnalStream(self)
+
+
+#: JSON spec kind -> arrival process class.
+ARRIVAL_KINDS = {
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+    "diurnal": DiurnalArrivals,
+}
+
+
+def arrival_from_dict(spec: dict) -> ArrivalProcess:
+    """Build an arrival process from a ``{"kind": ..., **params}`` dict."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ScenarioError(
+            f"an arrival spec needs a 'kind' key, got {spec!r}"
+        )
+    kind = spec["kind"]
+    cls = ARRIVAL_KINDS.get(kind)
+    if cls is None:
+        raise ScenarioError(
+            f"unknown arrival kind {kind!r}; expected one of "
+            f"{sorted(ARRIVAL_KINDS)}"
+        )
+    params = {k: v for k, v in spec.items() if k != "kind"}
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ScenarioError(f"bad {kind} arrival params: {exc}") from exc

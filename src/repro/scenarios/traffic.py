@@ -1,0 +1,175 @@
+"""Seed-deterministic source/destination samplers for streaming scenarios.
+
+A traffic pattern decides *where* newly admitted worms travel, in the
+same spec/state split the arrival processes use: the pattern is a
+stateless picklable dataclass and :meth:`TrafficPattern.start` binds it
+to a concrete node population for one run. All draws come from the
+engine's private arrivals generator, interleaved with the arrival counts
+in a fixed per-round order.
+
+Patterns:
+
+* :class:`UniformTraffic` -- independent uniform src/dst pairs with
+  ``src != dst``, the streaming analogue of the paper's random
+  functions;
+* :class:`HotspotTraffic` -- a tunable fraction of destinations
+  concentrated on a few "hot" nodes, the classic skewed-demand stress
+  for wavelength assignment.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import ScenarioError
+
+__all__ = [
+    "TrafficPattern",
+    "TrafficStream",
+    "UniformTraffic",
+    "HotspotTraffic",
+    "traffic_from_dict",
+]
+
+
+class TrafficStream(ABC):
+    """Per-run traffic state bound to a concrete node population."""
+
+    @abstractmethod
+    def pairs(
+        self, k: int, rng: np.random.Generator
+    ) -> list[tuple[Hashable, Hashable]]:
+        """Draw ``k`` (source, destination) pairs with ``src != dst``."""
+
+
+class TrafficPattern(ABC):
+    """A demand generator: a picklable spec bound to nodes per run."""
+
+    @abstractmethod
+    def start(self, nodes: Sequence[Hashable]) -> TrafficStream:
+        """Bind the pattern to ``nodes`` (deterministic order) for one run."""
+
+
+class _UniformStream(TrafficStream):
+    def __init__(self, nodes: Sequence[Hashable]) -> None:
+        self.nodes = list(nodes)
+
+    def pairs(self, k, rng):
+        n = len(self.nodes)
+        out = []
+        for _ in range(k):
+            src = self.nodes[int(rng.integers(n))]
+            dst = self.nodes[int(rng.integers(n))]
+            while dst == src:
+                dst = self.nodes[int(rng.integers(n))]
+            out.append((src, dst))
+        return out
+
+
+@dataclass(frozen=True)
+class UniformTraffic(TrafficPattern):
+    """Independent uniform (src, dst) pairs with ``src != dst``."""
+
+    def start(self, nodes: Sequence[Hashable]) -> TrafficStream:
+        """Uniform sampling over ``nodes``; needs at least two of them."""
+        if len(nodes) < 2:
+            raise ScenarioError(
+                f"uniform traffic needs >= 2 endpoints, got {len(nodes)}"
+            )
+        return _UniformStream(nodes)
+
+
+class _HotspotStream(TrafficStream):
+    def __init__(
+        self, nodes: Sequence[Hashable], hot: Sequence[Hashable], weight: float
+    ) -> None:
+        self.nodes = list(nodes)
+        self.hot = list(hot)
+        self.weight = weight
+
+    def pairs(self, k, rng):
+        n = len(self.nodes)
+        m = len(self.hot)
+        out = []
+        for _ in range(k):
+            src = self.nodes[int(rng.integers(n))]
+            while True:
+                # One uniform chooses hot-vs-anywhere, one index draw
+                # picks the node; resample the whole pair-tail on
+                # src == dst so hot sources still get hot destinations.
+                if float(rng.random()) < self.weight:
+                    dst = self.hot[int(rng.integers(m))]
+                else:
+                    dst = self.nodes[int(rng.integers(n))]
+                if dst != src:
+                    break
+            out.append((src, dst))
+        return out
+
+
+@dataclass(frozen=True)
+class HotspotTraffic(TrafficPattern):
+    """Uniform sources, destinations skewed toward a few hot nodes.
+
+    With probability ``hot_weight`` a destination is drawn uniformly
+    from the first ``hot_count`` nodes (in the population's
+    deterministic order); otherwise uniformly from all nodes. Hot nodes
+    therefore receive extra demand on top of their uniform share.
+    """
+
+    hot_count: int = 1
+    hot_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.hot_count < 1:
+            raise ScenarioError(
+                f"hot_count must be >= 1, got {self.hot_count}"
+            )
+        if not 0.0 <= self.hot_weight <= 1.0:
+            raise ScenarioError(
+                f"hot_weight must be in [0, 1], got {self.hot_weight}"
+            )
+
+    def start(self, nodes: Sequence[Hashable]) -> TrafficStream:
+        """Mark the first ``hot_count`` nodes hot; needs >= 2 endpoints."""
+        if len(nodes) < 2:
+            raise ScenarioError(
+                f"hotspot traffic needs >= 2 endpoints, got {len(nodes)}"
+            )
+        if self.hot_count > len(nodes):
+            raise ScenarioError(
+                f"hot_count {self.hot_count} exceeds the "
+                f"{len(nodes)}-node population"
+            )
+        return _HotspotStream(nodes, list(nodes)[: self.hot_count], self.hot_weight)
+
+
+#: JSON spec kind -> traffic pattern class.
+TRAFFIC_KINDS = {
+    "uniform": UniformTraffic,
+    "hotspot": HotspotTraffic,
+}
+
+
+def traffic_from_dict(spec: dict) -> TrafficPattern:
+    """Build a traffic pattern from a ``{"kind": ..., **params}`` dict."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ScenarioError(
+            f"a traffic spec needs a 'kind' key, got {spec!r}"
+        )
+    kind = spec["kind"]
+    cls = TRAFFIC_KINDS.get(kind)
+    if cls is None:
+        raise ScenarioError(
+            f"unknown traffic kind {kind!r}; expected one of "
+            f"{sorted(TRAFFIC_KINDS)}"
+        )
+    params = {k: v for k, v in spec.items() if k != "kind"}
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ScenarioError(f"bad {kind} traffic params: {exc}") from exc

@@ -53,6 +53,28 @@ class TestContext:
         assert c.congestion_at(1) == pytest.approx(20.0)
         assert c.congestion_at(10) == pytest.approx(20.0)
 
+    def test_trivial_topology_floor_is_at_least_one(self):
+        # n <= 2 makes log2(n) <= 1; the bound must still be >= 1 so no
+        # schedule's delay range can collapse to zero on trivial inputs.
+        for n in (1, 2):
+            c = ctx(C=1, n=n)
+            assert c.congestion_at(1) >= 1.0
+            assert c.congestion_at(500) >= 1.0
+
+    def test_huge_round_index_does_not_overflow(self):
+        # Streaming runs reach round indices where 2.0 ** (t - 1)
+        # overflows a float (t >~ 1075); the envelope must underflow to
+        # the floor instead of raising OverflowError.
+        c = ctx(C=64, n=2**20)
+        for t in (1_074, 1_076, 10_000, 10**9, 10**18):
+            assert c.congestion_at(t) == pytest.approx(20.0)
+
+    def test_huge_round_index_trivial_topology(self):
+        # Both degenerate axes at once: tiny n and an astronomically
+        # large round index still give a usable (>= 1) bound.
+        c = ctx(C=1, n=2)
+        assert c.congestion_at(10**9) == 1.0
+
 
 class TestPaperSchedule:
     def test_rounds_shrink_geometrically(self):

@@ -92,6 +92,61 @@ class TestStallDetector:
             assert not stall.observe_round(0)
         assert stall.multiplier == 1.0
 
+    def test_cooldown_decays_multiplier(self):
+        stall = StallDetector(after=1, cap=8.0, cooldown=2)
+        for _ in range(3):
+            stall.observe_round(0)
+        assert stall.multiplier == 8.0
+        stall.observe_round(5)
+        assert stall.multiplier == 8.0  # one progressing round: not yet
+        stall.observe_round(5)
+        assert stall.multiplier == 4.0  # two consecutive: one level down
+        for _ in range(4):
+            stall.observe_round(5)
+        assert stall.multiplier == 1.0
+        # Fully decayed: further progress never goes below 1.
+        for _ in range(10):
+            stall.observe_round(5)
+        assert stall.multiplier == 1.0
+
+    def test_cooldown_progress_streak_reset_by_stall(self):
+        stall = StallDetector(after=1, cap=8.0, cooldown=3)
+        stall.observe_round(0)
+        assert stall.multiplier == 2.0
+        stall.observe_round(4)
+        stall.observe_round(4)
+        stall.observe_round(0)  # stall wipes the progress streak...
+        assert stall.multiplier == 4.0  # ...and escalates again
+        stall.observe_round(4)
+        stall.observe_round(4)
+        assert stall.multiplier == 4.0  # the two pre-stall rounds don't count
+        stall.observe_round(4)
+        assert stall.multiplier == 2.0
+
+    def test_cooldown_and_cap_interplay(self):
+        # Escalate to cap, decay below it, then escalate back up to cap.
+        stall = StallDetector(after=1, cap=4.0, cooldown=1)
+        for _ in range(5):
+            stall.observe_round(0)
+        assert stall.multiplier == 4.0
+        stall.observe_round(1)
+        assert stall.multiplier == 2.0
+        stall.observe_round(0)
+        assert stall.multiplier == 4.0
+        stall.observe_round(0)
+        assert stall.multiplier == 4.0  # capped: no phantom escalations
+
+    def test_cooldown_off_is_sticky(self):
+        stall = StallDetector(after=1, cap=8.0)  # default cooldown=0
+        stall.observe_round(0)
+        for _ in range(50):
+            stall.observe_round(9)
+        assert stall.multiplier == 2.0
+
+    def test_cooldown_rejects_negative(self):
+        with pytest.raises(ValueError, match="cooldown"):
+            StallDetector(after=1, cooldown=-1)
+
 
 class TestReroute:
     def test_bfs_finds_shortest_surviving_path(self):

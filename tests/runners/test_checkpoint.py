@@ -57,11 +57,12 @@ class TestSerialResume:
 
         reg = MetricsRegistry()
         out = TrialRunner(
-            _always_raises, checkpoint=ckpt, metrics=reg
+            _double, checkpoint=ckpt, metrics=reg
         ).run_seeds(seeds)
-        # The fn never runs (it would raise); every result is preloaded.
+        # Every result is preloaded; zero trials actually execute.
         assert out == [s * 2 for s in seeds]
         assert reg.value("runner_checkpoint_loaded_total") == 4
+        assert reg.value("runner_trials_total", mode="serial") == 0
 
     def test_checkpoint_written_per_trial(self, tmp_path):
         ckpt = tmp_path / "batch.json"
@@ -75,6 +76,10 @@ class TestSerialResume:
 
 def _always_raises(seed):
     raise RuntimeError("should never run")
+
+
+def _scaled(seed, factor=1):
+    return seed * factor
 
 
 class TestCheckpointGuards:
@@ -95,6 +100,55 @@ class TestCheckpointGuards:
         ckpt.write_text(json.dumps({"version": 99, "completed": {}}))
         with pytest.raises(TrialError, match="schema version"):
             TrialRunner(_double, checkpoint=ckpt).run_seeds([1, 2])
+
+    def test_different_trial_fn_refused(self, tmp_path):
+        ckpt = tmp_path / "batch.json"
+        TrialRunner(_double, checkpoint=ckpt).run_seeds([1, 2, 3])
+        with pytest.raises(TrialError, match="context mismatch"):
+            TrialRunner(_always_raises, checkpoint=ckpt).run_seeds([1, 2, 3])
+
+    def test_different_partial_config_refused(self, tmp_path):
+        from functools import partial
+
+        ckpt = tmp_path / "batch.json"
+        TrialRunner(partial(_scaled, factor=2), checkpoint=ckpt).run_seeds(
+            [1, 2]
+        )
+        # Same fn re-bound with identical arguments resumes fine...
+        TrialRunner(partial(_scaled, factor=2), checkpoint=ckpt).run_seeds(
+            [1, 2]
+        )
+        # ...but a changed bound config is refused.
+        with pytest.raises(TrialError, match="context mismatch"):
+            TrialRunner(
+                partial(_scaled, factor=3), checkpoint=ckpt
+            ).run_seeds([1, 2])
+
+    def test_backend_switch_refused_after_kill(self, tmp_path):
+        """Kill mid-batch, flip the engine backend, attempt resume: refused."""
+        from repro.core.engine import get_default_backend, set_default_backend
+
+        ckpt = tmp_path / "batch.json"
+        seeds = spawn_seeds(21, 6)
+        original = get_default_backend()
+        try:
+            set_default_backend("python")
+            with pytest.raises(_Abort):
+                TrialRunner(
+                    _double, checkpoint=ckpt, progress=_abort_after(3)
+                ).run_seeds(seeds)
+            assert ckpt.exists()
+
+            set_default_backend("vectorized")
+            with pytest.raises(TrialError, match="context mismatch"):
+                TrialRunner(_double, checkpoint=ckpt).run_seeds(seeds)
+
+            # Back on the original backend the resume is bit-identical.
+            set_default_backend("python")
+            resumed = TrialRunner(_double, checkpoint=ckpt).run_seeds(seeds)
+            assert resumed == [s * 2 for s in seeds]
+        finally:
+            set_default_backend(original)
 
 
 class TestPoolResume:

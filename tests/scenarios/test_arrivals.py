@@ -1,0 +1,134 @@
+"""Arrival processes: validation, determinism, and state machines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    arrival_from_dict,
+)
+
+
+def _counts(process, rounds=64, seed=5, multiplier=1.0):
+    rng = np.random.default_rng(seed)
+    stream = process.start()
+    return [stream.count(t, rng, multiplier) for t in range(1, rounds + 1)]
+
+
+class TestPoisson:
+    def test_deterministic_for_seed(self):
+        p = PoissonArrivals(rate=3.0)
+        assert _counts(p, seed=9) == _counts(p, seed=9)
+
+    def test_mean_tracks_rate(self):
+        counts = _counts(PoissonArrivals(rate=4.0), rounds=2000)
+        assert 3.5 < np.mean(counts) < 4.5
+
+    def test_multiplier_scales_rate(self):
+        quiet = _counts(PoissonArrivals(rate=2.0), rounds=500)
+        surged = _counts(PoissonArrivals(rate=2.0), rounds=500, multiplier=4.0)
+        assert sum(surged) > 2 * sum(quiet)
+
+    def test_zero_rate_yields_silence_without_draws(self):
+        rng = np.random.default_rng(0)
+        stream = PoissonArrivals(rate=0.0).start()
+        before = rng.bit_generator.state
+        assert stream.count(1, rng) == 0
+        assert rng.bit_generator.state == before
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ScenarioError, match="rate"):
+            PoissonArrivals(rate=-1.0)
+
+
+class TestBursty:
+    def test_deterministic_for_seed(self):
+        b = BurstyArrivals()
+        assert _counts(b, seed=3) == _counts(b, seed=3)
+
+    def test_starts_quiet(self):
+        # p_enter=0 pins the chain in the quiet phase forever.
+        counts = _counts(
+            BurstyArrivals(base_rate=1.0, burst_rate=50.0, p_enter=0.0),
+            rounds=300,
+        )
+        assert np.mean(counts) < 3.0
+
+    def test_bursts_raise_the_mean(self):
+        quiet = _counts(
+            BurstyArrivals(base_rate=1.0, burst_rate=20.0, p_enter=0.0),
+            rounds=1000,
+        )
+        stormy = _counts(
+            BurstyArrivals(
+                base_rate=1.0, burst_rate=20.0, p_enter=0.5, p_exit=0.1
+            ),
+            rounds=1000,
+        )
+        assert np.mean(stormy) > 3 * np.mean(quiet)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_rate": -0.1},
+            {"burst_rate": -1.0},
+            {"p_enter": 1.5},
+            {"p_exit": -0.01},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            BurstyArrivals(**kwargs)
+
+
+class TestDiurnal:
+    def test_deterministic_for_seed(self):
+        d = DiurnalArrivals()
+        assert _counts(d, seed=4) == _counts(d, seed=4)
+
+    def test_peak_beats_trough(self):
+        d = DiurnalArrivals(rate=8.0, amplitude=1.0, period=64)
+        counts = _counts(d, rounds=64 * 20)
+        by_phase = np.asarray(counts).reshape(-1, 64).mean(axis=0)
+        # sin peaks at t-1 = period/4, troughs at 3*period/4.
+        assert by_phase[16] > by_phase[48] + 2.0
+
+    def test_trough_clamps_at_zero(self):
+        d = DiurnalArrivals(rate=5.0, amplitude=1.0, period=4)
+        counts = _counts(d, rounds=400)
+        assert min(counts) >= 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"rate": -1.0}, {"amplitude": 2.0}, {"period": 1}]
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            DiurnalArrivals(**kwargs)
+
+
+class TestFromDict:
+    def test_round_trips_each_kind(self):
+        assert arrival_from_dict({"kind": "poisson", "rate": 2.5}) == (
+            PoissonArrivals(rate=2.5)
+        )
+        assert arrival_from_dict(
+            {"kind": "bursty", "burst_rate": 9.0}
+        ) == BurstyArrivals(burst_rate=9.0)
+        assert arrival_from_dict(
+            {"kind": "diurnal", "period": 32}
+        ) == DiurnalArrivals(period=32)
+
+    def test_unknown_kind_lists_catalogue(self):
+        with pytest.raises(ScenarioError, match="poisson"):
+            arrival_from_dict({"kind": "fractal"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="kind"):
+            arrival_from_dict({"rate": 1.0})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ScenarioError, match="poisson"):
+            arrival_from_dict({"kind": "poisson", "burstiness": 3})

@@ -1,0 +1,216 @@
+"""Scenario specs: JSON round-trips, event compilation, the registry."""
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.faults.models import ComposedFaults, GilbertElliott, WindowedFaults
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    ScenarioSpec,
+    build_network,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.arrivals import PoissonArrivals
+from repro.scenarios.traffic import HotspotTraffic
+
+
+class TestRegistry:
+    def test_expected_catalogue(self):
+        assert set(scenario_names()) == {
+            "baseline",
+            "bursty",
+            "diurnal",
+            "flash-crowd",
+            "hotspot",
+            "link-flap-storm",
+            "static-drain",
+        }
+
+    def test_every_entry_compiles(self):
+        for name in scenario_names():
+            config = SCENARIO_REGISTRY[name].to_config()
+            assert config.rounds >= 1
+
+    def test_unknown_name_lists_catalogue(self):
+        with pytest.raises(ScenarioError, match="baseline"):
+            get_scenario("rush-hour")
+
+    def test_names_match_keys(self):
+        for name, spec in SCENARIO_REGISTRY.items():
+            assert spec.name == name
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        for name in scenario_names():
+            spec = SCENARIO_REGISTRY[name]
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = get_scenario("flash-crowd")
+        again = ScenarioSpec.from_json(json.dumps(spec.to_dict()))
+        assert again == spec
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ScenarioError, match="wormhole"):
+            ScenarioSpec.from_dict({"name": "x", "wormhole": True})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ScenarioError, match="name"):
+            ScenarioSpec.from_dict({"workload": {"kind": "mesh"}})
+
+    def test_unreadable_json_rejected(self):
+        with pytest.raises(ScenarioError, match="unreadable"):
+            ScenarioSpec.from_json("{not json")
+
+
+class TestEvents:
+    def test_flash_crowd_becomes_rate_window(self):
+        spec = ScenarioSpec(
+            name="x",
+            arrival={"kind": "poisson", "rate": 1.0},
+            events=(
+                {
+                    "kind": "flash_crowd",
+                    "start_round": 10,
+                    "duration": 5,
+                    "rate_multiplier": 3.0,
+                },
+            ),
+        )
+        config = spec.to_config()
+        assert config.rate_windows == ((10, 5, 3.0),)
+        assert config.rate_multiplier(9) == 1.0
+        assert config.rate_multiplier(10) == 3.0
+        assert config.rate_multiplier(14) == 3.0
+        assert config.rate_multiplier(15) == 1.0
+        assert config.protocol.faults is None
+
+    def test_link_flap_becomes_windowed_gilbert(self):
+        spec = ScenarioSpec(
+            name="x",
+            events=(
+                {
+                    "kind": "link_flap",
+                    "start_round": 4,
+                    "duration": 8,
+                    "p01": 0.3,
+                    "p10": 0.4,
+                },
+            ),
+        )
+        faults = spec.to_config().protocol.faults
+        assert faults == WindowedFaults(
+            GilbertElliott(p01=0.3, p10=0.4), start_round=4, duration=8
+        )
+
+    def test_multiple_storms_compose(self):
+        storm = {"kind": "link_flap", "start_round": 1, "duration": 2}
+        spec = ScenarioSpec(name="x", events=(storm, dict(storm, start_round=9)))
+        faults = spec.to_config().protocol.faults
+        assert isinstance(faults, ComposedFaults)
+        assert len(faults.models) == 2
+
+    def test_overlapping_flash_crowds_multiply(self):
+        spec = ScenarioSpec(
+            name="x",
+            arrival={"kind": "poisson", "rate": 1.0},
+            events=(
+                {"kind": "flash_crowd", "start_round": 1, "duration": 10,
+                 "rate_multiplier": 2.0},
+                {"kind": "flash_crowd", "start_round": 5, "duration": 10,
+                 "rate_multiplier": 3.0},
+            ),
+        )
+        config = spec.to_config()
+        assert config.rate_multiplier(3) == 2.0
+        assert config.rate_multiplier(7) == 6.0
+        assert config.rate_multiplier(12) == 3.0
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="earthquake"):
+            ScenarioSpec(
+                name="x",
+                events=({"kind": "earthquake", "start_round": 1,
+                         "duration": 1},),
+            )
+
+    def test_event_without_window_rejected(self):
+        with pytest.raises(ScenarioError, match="start_round"):
+            ScenarioSpec(name="x", events=({"kind": "flash_crowd",
+                                            "duration": 2},))
+
+
+class TestCompilation:
+    def test_arrival_and_traffic_compile(self):
+        spec = ScenarioSpec(
+            name="x",
+            arrival={"kind": "poisson", "rate": 2.0},
+            traffic={"kind": "hotspot", "hot_count": 2},
+        )
+        config = spec.to_config()
+        assert config.arrivals == PoissonArrivals(rate=2.0)
+        assert config.traffic == HotspotTraffic(hot_count=2)
+
+    def test_backoff_dict_reaches_protocol(self):
+        spec = ScenarioSpec(
+            name="x", backoff={"after": 3, "cap": 4.0, "cooldown": 2}
+        )
+        proto = spec.to_config().protocol
+        assert proto.backoff_after == 3
+        assert proto.backoff_cap == 4.0
+        assert proto.backoff_cooldown == 2
+
+    def test_unknown_backoff_key_rejected(self):
+        with pytest.raises(ScenarioError, match="backoff"):
+            ScenarioSpec(name="x", backoff={"delay": 3})
+
+    def test_rounds_override_bounds_the_run(self):
+        result = run_scenario("baseline", seed=1, rounds=10)
+        assert result.rounds <= 10
+
+    def test_bad_arrival_fails_at_spec_time(self):
+        with pytest.raises(ScenarioError, match="rate"):
+            ScenarioSpec(name="x", arrival={"kind": "poisson", "rate": -2.0})
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            {"kind": "mesh", "side": 3, "d": 2},
+            {"kind": "torus", "side": 4, "d": 2},
+            {"kind": "hypercube", "dim": 3},
+            {"kind": "butterfly", "dim": 3},
+        ],
+    )
+    def test_networks_route_their_own_traffic(self, workload):
+        net = build_network(workload)
+        nodes = net.nodes
+        assert len(nodes) >= 2
+        path = tuple(net.path_fn(nodes[0], nodes[1]))
+        assert len(path) >= 2
+        assert path[0] == nodes[0]
+
+    def test_butterfly_traffic_is_input_to_output(self):
+        net = build_network({"kind": "butterfly", "dim": 3})
+        path = tuple(net.path_fn((0, 1), (0, 6)))
+        assert path[0] == (0, 1)
+        assert path[-1] == (3, 6)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="mesh"):
+            build_network({"kind": "clos"})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ScenarioError, match="rows"):
+            build_network({"kind": "mesh", "rows": 4})
+
+    @pytest.mark.parametrize("workload", [{"side": 4}, "mesh", None])
+    def test_missing_kind_rejected(self, workload):
+        with pytest.raises(ScenarioError, match="kind"):
+            build_network(workload)

@@ -1,0 +1,92 @@
+"""Traffic patterns: endpoint validity, skew, and determinism."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.traffic import (
+    HotspotTraffic,
+    UniformTraffic,
+    traffic_from_dict,
+)
+
+NODES = tuple(range(10))
+
+
+def _pairs(pattern, k=500, seed=11, nodes=NODES):
+    rng = np.random.default_rng(seed)
+    return pattern.start(nodes).pairs(k, rng)
+
+
+class TestUniform:
+    def test_no_self_pairs(self):
+        assert all(s != d for s, d in _pairs(UniformTraffic()))
+
+    def test_only_known_endpoints(self):
+        known = set(NODES)
+        for s, d in _pairs(UniformTraffic()):
+            assert s in known and d in known
+
+    def test_deterministic_for_seed(self):
+        assert _pairs(UniformTraffic(), seed=2) == _pairs(
+            UniformTraffic(), seed=2
+        )
+
+    def test_roughly_uniform_destinations(self):
+        counts = Counter(d for _, d in _pairs(UniformTraffic(), k=5000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_needs_two_endpoints(self):
+        with pytest.raises(ScenarioError, match="endpoints"):
+            UniformTraffic().start((0,))
+
+
+class TestHotspot:
+    def test_no_self_pairs(self):
+        pattern = HotspotTraffic(hot_count=2, hot_weight=0.9)
+        assert all(s != d for s, d in _pairs(pattern))
+
+    def test_hot_nodes_absorb_the_skew(self):
+        pattern = HotspotTraffic(hot_count=1, hot_weight=0.8)
+        counts = Counter(d for _, d in _pairs(pattern, k=4000))
+        hot = counts[NODES[0]]
+        coldest = min(counts.get(v, 0) for v in NODES[1:])
+        assert hot > 5 * coldest
+
+    def test_zero_weight_is_uniform(self):
+        pattern = HotspotTraffic(hot_count=1, hot_weight=0.0)
+        counts = Counter(d for _, d in _pairs(pattern, k=5000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_deterministic_for_seed(self):
+        pattern = HotspotTraffic(hot_count=3, hot_weight=0.5)
+        assert _pairs(pattern, seed=7) == _pairs(pattern, seed=7)
+
+    def test_hot_count_bounded_by_population(self):
+        with pytest.raises(ScenarioError, match="hot_count"):
+            HotspotTraffic(hot_count=11).start(NODES)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"hot_count": 0}, {"hot_weight": 1.5}, {"hot_weight": -0.1}]
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            HotspotTraffic(**kwargs)
+
+
+class TestFromDict:
+    def test_round_trips_each_kind(self):
+        assert traffic_from_dict({"kind": "uniform"}) == UniformTraffic()
+        assert traffic_from_dict(
+            {"kind": "hotspot", "hot_count": 2, "hot_weight": 0.7}
+        ) == HotspotTraffic(hot_count=2, hot_weight=0.7)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="uniform"):
+            traffic_from_dict({"kind": "gravity"})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ScenarioError, match="hotspot"):
+            traffic_from_dict({"kind": "hotspot", "heat": 3})
