@@ -20,9 +20,9 @@ schema-versioned sample::
       ]
     }
 
-Stage means come from the engine's own ``engine_stage_seconds``
-instrumentation, so a slowdown points at a stage instead of "the engine
-got slower". Every invocation records one sample per engine backend
+Stage means come from the span profiler
+(:mod:`repro.observability.spans`, paths ``engine.round/engine.*``), so
+a slowdown points at a stage instead of "the engine got slower". Every invocation records one sample per engine backend
 (``"backend": "python" | "vectorized"``; samples predating the field are
 python ones), so the series shows the vectorized speedup and the gate
 covers both kernels independently: each new sample is compared against
@@ -65,12 +65,13 @@ def collect_sample(backend: str = "python") -> dict:
 
     from repro.core.engine import RoutingEngine
     from repro.experiments.workloads import mesh_random_function
-    from repro.observability import MetricsRegistry, git_revision
+    from repro.observability import MetricsRegistry, SpanProfiler, git_revision
     from repro.optics.coupler import CollisionRule
     from repro.runners import route_collection_trials
     from repro.worms.worm import Launch, make_worms
 
     registry = MetricsRegistry()
+    profiler = SpanProfiler()
     coll = mesh_random_function(SIDE, DIM, rng=0)
     worms = make_worms(coll.paths, WORM_LENGTH)
     rng = np.random.default_rng(0)
@@ -81,22 +82,28 @@ def collect_sample(backend: str = "python") -> dict:
         for i in range(coll.n)
     ]
     engine = RoutingEngine(
-        worms, CollisionRule.SERVE_FIRST, metrics=registry, backend=backend
+        worms,
+        CollisionRule.SERVE_FIRST,
+        metrics=registry,
+        backend=backend,
+        profiler=profiler,
     )
     events = sum(w.n_links for w in worms)
 
     engine.run_round(launches, collect_collisions=False)  # warm-up
     registry.reset()
+    profiler.reset()
     timings = []
     for _ in range(ROUND_REPEATS):
         t0 = time.perf_counter()
         engine.run_round(launches, collect_collisions=False)
         timings.append(time.perf_counter() - t0)
 
+    spans = profiler.snapshot()
     stages = {}
     for stage in ("build_events", "resolve", "finalise"):
-        hist = registry.value("engine_stage_seconds", stage=stage)
-        stages[stage] = hist["sum"] / hist["count"]
+        span = spans[f"engine.round/engine.{stage}"]
+        stages[stage] = span["total"] / span["count"]
 
     t0 = time.perf_counter()
     route_collection_trials(

@@ -7,10 +7,11 @@ mesh, ~256 worms):
   ``RoutingEngine.run_round`` (an event is one head-arrival, i.e. one
   link of one worm), plus the round's makespan;
 * **stage breakdown** -- per-stage wall-clock of the same rounds,
-  attributed through the engine's own instrumentation
-  (``engine_stage_seconds``): event generation vs. contention
-  resolution vs. outcome finalisation -- plus the simulated-ack routing
-  stage (``protocol_ack_seconds``) from a full protocol execution, so
+  attributed through the span profiler
+  (:mod:`repro.observability.spans`: ``engine.round/engine.resolve``
+  and friends): event generation vs. contention resolution vs. outcome
+  finalisation -- plus the simulated-ack routing stage
+  (``protocol_ack_seconds``) from a full protocol execution, so
   regressions point at a stage instead of "the engine got slower";
 * **trial throughput** -- full trial-and-failure protocol executions per
   second through :func:`repro.runners.route_collection_trials`, serially
@@ -62,20 +63,25 @@ def _mesh_launches(coll):
 
 
 def _round_metrics(registry):
-    """Time one batched engine round; stages come from the instrumentation."""
+    """Time one batched engine round; stages come from the span profiler."""
     from repro.core.engine import RoutingEngine
     from repro.experiments.workloads import mesh_random_function
+    from repro.observability.spans import SpanProfiler
     from repro.optics.coupler import CollisionRule
     from repro.worms.worm import make_worms
 
     coll = mesh_random_function(SIDE, DIM, rng=0)
     worms = make_worms(coll.paths, WORM_LENGTH)
     launches = _mesh_launches(coll)
-    engine = RoutingEngine(worms, CollisionRule.SERVE_FIRST, metrics=registry)
+    profiler = SpanProfiler()
+    engine = RoutingEngine(
+        worms, CollisionRule.SERVE_FIRST, metrics=registry, profiler=profiler
+    )
     events = sum(w.n_links for w in worms)
 
     engine.run_round(launches, collect_collisions=False)  # warm-up
-    registry.reset()  # keep the warm-up out of the stage histograms
+    registry.reset()  # keep the warm-up out of the counters
+    profiler.reset()  # ... and out of the stage spans
     timings = []
     makespan = None
     for _ in range(ROUND_REPEATS):
@@ -85,13 +91,14 @@ def _round_metrics(registry):
         makespan = result.makespan
     best = min(timings)
 
+    spans = profiler.snapshot()
     stages = {}
     for stage in ("build_events", "resolve", "finalise"):
-        hist = registry.value("engine_stage_seconds", stage=stage)
+        span = spans[f"engine.round/engine.{stage}"]
         stages[stage] = {
-            "seconds_best": hist["min"],
-            "seconds_mean": hist["sum"] / hist["count"],
-            "share_of_round": hist["sum"] / sum(timings),
+            "seconds_best": span["min"],
+            "seconds_mean": span["total"] / span["count"],
+            "share_of_round": span["total"] / sum(timings),
         }
     return {
         "workload": f"mesh_random_function({SIDE}, {DIM})",
@@ -183,8 +190,9 @@ def main() -> int:
         "trials": trials_payload,
         "metrics": registry.snapshot(),
         "note": "pool_speedup is bounded above by cpu_count; on a "
-        "single-core host jobs>1 cannot beat serial. Stage timings come "
-        "from engine_stage_seconds/protocol_ack_seconds in 'metrics'.",
+        "single-core host jobs>1 cannot beat serial. Round stage timings "
+        "come from the span profiler (engine.round/* paths); the ack "
+        "stage from protocol_ack_seconds in 'metrics'.",
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "BENCH_engine.json"

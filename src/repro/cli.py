@@ -15,14 +15,22 @@
 Each experiment id matches DESIGN.md's index; ``run`` prints the same
 tables the benchmark harness saves under ``benchmarks/results/``.
 
-Observability: ``--log-level`` (before the subcommand) opts into library
-logging; every work-executing subcommand (``run``/``demo``/``report``)
-accepts ``--metrics-out PATH`` (enable the process metrics registry,
-write its JSON snapshot at exit) and ``--trace-out PATH`` (emit a JSONL
-run trace: manifest + records + summary; ``demo`` traces every protocol
+Observability: ``--log-level`` (before or after the subcommand) opts
+into library logging; every work-executing subcommand
+(``run``/``demo``/``report``/``scenario run``) accepts
+``--metrics-out PATH`` (enable the process metrics registry, write its
+JSON snapshot at exit) and ``--trace-out PATH`` (emit a JSONL run
+trace: manifest + records + summary; ``demo`` traces every protocol
 round, and ``demo --flight`` adds per-worm flight-recorder events).
-``repro trace {summary,timeline,links,diff}`` analyses saved traces. See
-docs/OBSERVABILITY.md.
+``run`` and ``scenario run`` also take ``--prom-port N`` (serve live
+Prometheus text metrics on ``127.0.0.1:N/metrics`` for the duration of
+the run) and ``--profile`` (span profiler: print an ASCII flame view of
+where the wall time went). ``scenario run --snapshot-every K`` emits
+per-window stats every K rounds; ``--watch`` (or the ``scenario
+watch`` alias) renders them live as a refreshing sparkline dashboard.
+``repro trace {summary,timeline,links,diff}`` analyses saved traces and
+``repro bench compare A.json B.json`` diffs two engine benchmark files,
+exiting nonzero on a regression. See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -94,33 +102,77 @@ def EXPERIMENTS() -> dict[str, tuple[str, Callable]]:
 
 
 def _open_sinks(args):
-    """The (registry, trace writer) pair requested by the CLI flags.
+    """The (registry, trace writer, exporter) triple behind the CLI flags.
 
     Enabling the process-default registry is what routes the in-process
-    engine/protocol/runner instrumentation into ``--metrics-out``.
+    engine/protocol/runner instrumentation into its consumers, so it
+    turns on whenever anything will read it: ``--metrics-out``, a
+    ``--prom-port`` scrape endpoint, or a ``--json`` summary that embeds
+    the final snapshot.
     """
     from repro.observability import TraceWriter, enable_metrics
 
-    registry = enable_metrics() if getattr(args, "metrics_out", None) else None
+    want_registry = bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "prom_port", None) is not None
+        or getattr(args, "json", False)
+    )
+    registry = enable_metrics() if want_registry else None
     writer = (
         TraceWriter(args.trace_out) if getattr(args, "trace_out", None) else None
     )
-    return registry, writer
+    exporter = None
+    if getattr(args, "prom_port", None) is not None:
+        from repro.observability import start_http_exporter
+
+        exporter = start_http_exporter(registry, args.prom_port)
+        print(
+            f"serving Prometheus metrics on {exporter.url}", file=sys.stderr
+        )
+    return registry, writer, exporter
 
 
-def _close_sinks(args, registry, writer) -> None:
+def _close_sinks(args, registry, writer, exporter=None) -> None:
     """Write the metrics snapshot, close the trace, restore the default."""
     from repro.observability import disable_metrics
 
+    if exporter is not None:
+        exporter.close()
     if writer is not None:
         writer.close()
         print(f"wrote trace to {args.trace_out}")
     if registry is not None:
-        with open(args.metrics_out, "w", encoding="utf-8") as fh:
-            json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        if getattr(args, "metrics_out", None):
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote metrics snapshot to {args.metrics_out}")
         disable_metrics()
-        print(f"wrote metrics snapshot to {args.metrics_out}")
+
+
+def _open_profiler(args):
+    """The span profiler behind ``--profile`` (None when not requested)."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.observability import enable_profiling
+
+    return enable_profiling()
+
+
+def _render_profiler(args, profiler) -> None:
+    """Print the ``--profile`` flame view, restore the no-op default.
+
+    Under ``--json`` the view goes to stderr so stdout stays one parseable
+    JSON object.
+    """
+    if profiler is None:
+        return
+    from repro.observability import disable_profiling, render_spans
+
+    disable_profiling()
+    out = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print("\nspan profile (wall/self time per span path):", file=out)
+    print(render_spans(profiler.snapshot()), file=out)
 
 
 def _cmd_list(_args) -> int:
@@ -144,7 +196,8 @@ def _cmd_run(args) -> int:
             f"unknown experiment {args.experiment!r}; try 'python -m repro list'"
         )
     jobs = getattr(args, "jobs", 1)
-    metrics, writer = _open_sinks(args)
+    metrics, writer, exporter = _open_sinks(args)
+    profiler = _open_profiler(args)
     if writer is not None:
         writer.write_manifest(
             command="run",
@@ -174,9 +227,14 @@ def _cmd_run(args) -> int:
             if writer is not None:
                 writer.write("experiment", id=key, seconds=elapsed)
         if writer is not None:
+            if profiler is not None:
+                from repro.observability import write_profile
+
+                write_profile(writer, profiler)
             writer.write_summary(experiments=len(targets))
     finally:
-        _close_sinks(args, metrics, writer)
+        _close_sinks(args, metrics, writer, exporter)
+        _render_profiler(args, profiler)
     return 0
 
 
@@ -236,7 +294,7 @@ def _cmd_demo(args) -> int:
         raise ObservabilityError(
             "--flight records through the run trace; pass --trace-out PATH too"
         )
-    metrics, writer = _open_sinks(args)
+    metrics, writer, exporter = _open_sinks(args)
     if writer is not None:
         writer.write_manifest(
             command="demo", seed=0, network=bf.name, worms=coll.n, bandwidth=4
@@ -257,7 +315,7 @@ def _cmd_demo(args) -> int:
         if writer is not None:
             writer.write_summary(rounds=result.rounds)
     finally:
-        _close_sinks(args, metrics, writer)
+        _close_sinks(args, metrics, writer, exporter)
     print(f"completed in {result.rounds} rounds / {result.total_time} steps")
     for rec in result.records:
         line = (
@@ -274,7 +332,7 @@ def _cmd_demo(args) -> int:
 def _cmd_faults_sweep(args) -> int:
     from repro.experiments import exp_resilience
 
-    metrics, writer = _open_sinks(args)
+    metrics, writer, exporter = _open_sinks(args)
     if writer is not None:
         writer.write_manifest(
             command="faults sweep",
@@ -313,7 +371,7 @@ def _cmd_faults_sweep(args) -> int:
                 tables=len(tables), elapsed=time.perf_counter() - t0
             )
     finally:
-        _close_sinks(args, metrics, writer)
+        _close_sinks(args, metrics, writer, exporter)
     return 0
 
 
@@ -328,7 +386,7 @@ def _cmd_faults_replay(args) -> int:
         f"replaying scripted faults from {args.schedule} on "
         f"mesh{(args.side,) * args.d}: {coll!r} (repair={args.repair})"
     )
-    metrics, writer = _open_sinks(args)
+    metrics, writer, exporter = _open_sinks(args)
     if writer is not None:
         writer.write_manifest(
             command="faults replay",
@@ -351,7 +409,7 @@ def _cmd_faults_replay(args) -> int:
         if writer is not None:
             writer.write_summary(rounds=result.rounds)
     finally:
-        _close_sinks(args, metrics, writer)
+        _close_sinks(args, metrics, writer, exporter)
     status = "completed" if result.completed else "STALLED"
     print(
         f"{status} in {result.rounds} rounds / {result.total_time} steps; "
@@ -377,6 +435,29 @@ def _cmd_scenario_list(_args) -> int:
     return 0
 
 
+def _make_watcher(args, windows: list):
+    """The ``--watch`` window callback: live dashboard or one row per window.
+
+    On a TTY the whole sparkline dashboard redraws in place (ANSI clear);
+    otherwise (pipes, CI logs) each window appends one stat row. With
+    ``--json`` the rows go to stderr so stdout stays one JSON object.
+    """
+    from repro.observability import format_window, render_windows
+
+    out = sys.stderr if getattr(args, "json", False) else sys.stdout
+    interactive = out.isatty()
+
+    def on_window(window: dict) -> None:
+        windows.append(window)
+        if interactive:
+            out.write("\x1b[2J\x1b[H" + render_windows(windows) + "\n")
+        else:
+            out.write(format_window(window) + "\n")
+        out.flush()
+
+    return on_window
+
+
 def _cmd_scenario_run(args) -> int:
     from repro.scenarios import ScenarioSpec, get_scenario, run_scenario
 
@@ -385,7 +466,14 @@ def _cmd_scenario_run(args) -> int:
             spec = ScenarioSpec.from_json(fh.read())
     else:
         spec = get_scenario(args.scenario)
-    metrics, writer = _open_sinks(args)
+    watch = getattr(args, "watch", False)
+    snapshot_every = getattr(args, "snapshot_every", None)
+    if watch and snapshot_every is None and spec.snapshot_every is None:
+        snapshot_every = 8  # watching needs windows; pick a sane default
+    windows: list = []
+    on_window = _make_watcher(args, windows) if watch else None
+    metrics, writer, exporter = _open_sinks(args)
+    profiler = _open_profiler(args)
     if writer is not None:
         writer.write_manifest(
             command="scenario run",
@@ -397,16 +485,27 @@ def _cmd_scenario_run(args) -> int:
         t0 = time.perf_counter()
         result = run_scenario(
             spec, seed=args.seed, metrics=metrics, trace=writer,
-            rounds=args.rounds,
+            rounds=args.rounds, snapshot_every=snapshot_every,
+            on_window=on_window,
         )
         elapsed = time.perf_counter() - t0
         if writer is not None:
+            if profiler is not None:
+                from repro.observability import write_profile
+
+                write_profile(writer, profiler)
             writer.write_summary(**result.snapshot())
     finally:
-        _close_sinks(args, metrics, writer)
+        _close_sinks(args, metrics, writer, exporter)
+        _render_profiler(args, profiler)
     snap = result.snapshot()
     if args.json:
-        print(json.dumps(snap, sort_keys=True))
+        payload = dict(snap)
+        if metrics is not None:
+            # --json always enables the registry (see _open_sinks), so the
+            # one-line summary carries the full final metrics snapshot.
+            payload["metrics"] = metrics.snapshot()
+        print(json.dumps(payload, sort_keys=True))
     else:
         print(
             f"scenario {spec.name!r}: {snap['rounds']} rounds / "
@@ -442,10 +541,35 @@ def _cmd_scenario_run(args) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_bench_compare(args) -> int:
+    from repro.observability.benchcmp import (
+        DEFAULT_THRESHOLD,
+        compare_benchmarks,
+        render_comparison,
+    )
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    deltas = compare_benchmarks(
+        args.baseline, args.candidate, threshold=threshold
+    )
+    print(render_comparison(deltas, threshold=threshold))
+    regressed = [d.backend for d in deltas if d.regressed]
+    if regressed:
+        print(
+            f"REGRESSION: backend(s) {', '.join(regressed)} exceeded "
+            f"x{threshold:.2f} on round_seconds_median",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report import write_report
 
-    metrics, writer = _open_sinks(args)
+    metrics, writer, exporter = _open_sinks(args)
     if writer is not None:
         writer.write_manifest(command="report", results=args.results, out=args.out)
     try:
@@ -456,7 +580,7 @@ def _cmd_report(args) -> int:
                 sections=sections, elapsed=time.perf_counter() - t0
             )
     finally:
-        _close_sinks(args, metrics, writer)
+        _close_sinks(args, metrics, writer, exporter)
     print(f"wrote {args.out} with {sections} sections")
     return 0
 
@@ -549,6 +673,30 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="write a structured JSONL run trace here",
         )
+        # Same option as the root parser's, accepted after the subcommand
+        # too; SUPPRESS keeps the root default when the flag is absent.
+        p.add_argument(
+            "--log-level",
+            choices=["debug", "info", "warning", "error"],
+            default=argparse.SUPPRESS,
+            help="opt into library logging on stderr at this level",
+        )
+
+    def _add_live_flags(p) -> None:
+        p.add_argument(
+            "--prom-port",
+            type=int,
+            default=None,
+            metavar="N",
+            help="serve live Prometheus text metrics on 127.0.0.1:N/metrics "
+            "while the run lasts (0 picks a free port)",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="span profiler: print an ASCII flame view of where the "
+            "wall time went (and add a span_profile record to --trace-out)",
+        )
 
     def _add_backend_flag(p) -> None:
         p.add_argument(
@@ -572,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(run)
     _add_backend_flag(run)
+    _add_live_flags(run)
     run.set_defaults(fn=_cmd_run)
 
     demo = sub.add_parser("demo", help="a 30-second protocol demo")
@@ -666,45 +815,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s_list.set_defaults(fn=_cmd_scenario_list)
 
+    def _add_scenario_run_flags(p) -> None:
+        p.add_argument(
+            "--scenario",
+            default="baseline",
+            metavar="NAME",
+            help="registry name from 'scenario list' (default: baseline)",
+        )
+        p.add_argument(
+            "--spec",
+            default=None,
+            metavar="FILE.json",
+            help="run a custom ScenarioSpec JSON file instead of a registry name",
+        )
+        p.add_argument("--seed", type=int, default=0, help="root RNG seed")
+        p.add_argument(
+            "--rounds",
+            type=int,
+            default=None,
+            help="override the scenario's round horizon (bounds the run)",
+        )
+        p.add_argument(
+            "--max-drop-rate",
+            type=float,
+            default=0.5,
+            metavar="F",
+            help="health threshold: exit 1 when drop rate exceeds this "
+            "fraction of offered load (default 0.5)",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="print the metrics snapshot as one JSON object",
+        )
+        p.add_argument(
+            "--snapshot-every",
+            type=int,
+            default=None,
+            metavar="K",
+            help="emit per-window stats (scenario_window trace records, "
+            "window gauges) every K rounds",
+        )
+        _add_observability_flags(p)
+        _add_backend_flag(p)
+        _add_live_flags(p)
+
     s_run = scenario_sub.add_parser(
         "run",
         help="run one streaming scenario (exit 1 if admission is unhealthy)",
     )
+    _add_scenario_run_flags(s_run)
     s_run.add_argument(
-        "--scenario",
-        default="baseline",
-        metavar="NAME",
-        help="registry name from 'scenario list' (default: baseline)",
-    )
-    s_run.add_argument(
-        "--spec",
-        default=None,
-        metavar="FILE.json",
-        help="run a custom ScenarioSpec JSON file instead of a registry name",
-    )
-    s_run.add_argument("--seed", type=int, default=0, help="root RNG seed")
-    s_run.add_argument(
-        "--rounds",
-        type=int,
-        default=None,
-        help="override the scenario's round horizon (bounds the run)",
-    )
-    s_run.add_argument(
-        "--max-drop-rate",
-        type=float,
-        default=0.5,
-        metavar="F",
-        help="health threshold: exit 1 when drop rate exceeds this "
-        "fraction of offered load (default 0.5)",
-    )
-    s_run.add_argument(
-        "--json",
+        "--watch",
         action="store_true",
-        help="print the metrics snapshot as one JSON object",
+        help="render window snapshots live: a refreshing sparkline "
+        "dashboard on a TTY, one stat row per window otherwise",
     )
-    _add_observability_flags(s_run)
-    _add_backend_flag(s_run)
     s_run.set_defaults(fn=_cmd_scenario_run)
+
+    s_watch = scenario_sub.add_parser(
+        "watch",
+        help="run a scenario with the live window dashboard "
+        "(same as 'scenario run --watch')",
+    )
+    _add_scenario_run_flags(s_watch)
+    s_watch.set_defaults(fn=_cmd_scenario_run, watch=True)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark utilities (compare saved BENCH_engine.json)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    b_compare = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_engine.json files with per-stage attribution "
+        "(exit 1 past the regression threshold)",
+    )
+    b_compare.add_argument("baseline", help="baseline benchmark JSON")
+    b_compare.add_argument("candidate", help="candidate benchmark JSON")
+    b_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="X",
+        help="flag a backend whose round median grew by more than this "
+        "factor (default 1.25)",
+    )
+    b_compare.set_defaults(fn=_cmd_bench_compare)
 
     report = sub.add_parser(
         "report", help="aggregate benchmarks/results into one markdown report"

@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.records import CollisionEvent, CollisionKind, RoundResult
 from repro.errors import ProtocolError
 from repro.observability.metrics import MetricsRegistry, get_metrics
+from repro.observability.spans import SpanProfiler, get_profiler
 from repro.optics.coupler import CollisionRule, TieRule, resolve
 from repro.optics.signal import Arrival, Occupancy
 from repro.worms.worm import FailureKind, Launch, Worm, WormOutcome
@@ -217,6 +218,12 @@ class RoutingEngine:
     loop) or ``"vectorized"`` (numpy conflict partition + scalar
     fallback for contended groups, bit-identical by construction). None
     defers to the process default set by :func:`set_default_backend`.
+
+    ``profiler`` optionally names the span profiler receiving the
+    ``engine.round`` span and its ``engine.build_events`` /
+    ``engine.resolve`` / ``engine.finalise`` children; None defers to
+    the process default (a no-op unless
+    :func:`repro.observability.enable_profiling` has been called).
     """
 
     def __init__(
@@ -226,6 +233,7 @@ class RoutingEngine:
         tie_rule: TieRule = TieRule.ALL_LOSE,
         metrics: MetricsRegistry | None = None,
         backend: str | None = None,
+        profiler: "SpanProfiler | None" = None,
     ) -> None:
         if not worms:
             raise ProtocolError("the engine needs at least one worm")
@@ -241,6 +249,7 @@ class RoutingEngine:
         # None means "the process default at call time" (a no-op registry
         # unless repro.observability.enable_metrics installed a real one).
         self._metrics = metrics
+        self._profiler = profiler
         self._worms: dict[int, Worm] = {}
         self._link_ids: dict[int, list[int]] = {}
         self._link_index: dict[tuple, int] = {}
@@ -319,6 +328,25 @@ class RoutingEngine:
         costs one ``is not None`` check per event. Returns the per-worm
         outcomes and, when requested, every losing collision.
         """
+        prof = self._profiler if self._profiler is not None else get_profiler()
+        if not prof.enabled:
+            return self._run_round(
+                prof, launches, collect_collisions, dead_links, recorder
+            )
+        with prof.span("engine.round"):
+            return self._run_round(
+                prof, launches, collect_collisions, dead_links, recorder
+            )
+
+    def _run_round(
+        self,
+        prof: SpanProfiler,
+        launches: Sequence[Launch],
+        collect_collisions: bool,
+        dead_links: Sequence[tuple] | None,
+        recorder: "FlightRecorder | None",
+    ) -> RoundResult:
+        """The round body behind :meth:`run_round`'s span wrapper."""
         metrics = self._metrics if self._metrics is not None else get_metrics()
         observe = metrics.enabled
         t_round = time.perf_counter() if observe else 0.0
@@ -356,7 +384,8 @@ class RoutingEngine:
                 recorder.launch(run)
 
         t_stage = time.perf_counter() if observe else 0.0
-        arrays = self._build_event_arrays(runs)
+        with prof.span("engine.build_events"):
+            arrays = self._build_event_arrays(runs)
         n_events = int(arrays[0].shape[0])
         if observe:
             t_events = time.perf_counter() - t_stage
@@ -373,31 +402,33 @@ class RoutingEngine:
                     dead_lids.add(lid)
 
         free_events = 0
-        if self.backend == "vectorized":
-            contended, free_events = self._run_vectorized(
-                runs, arrays, dead_lids, collect_collisions, recorder,
-                collisions, faulted_at,
-            )
-        else:
-            t_arr, lid_arr, wl_arr, pos_arr, ri_arr = arrays
-            events = list(
-                zip(
-                    t_arr.tolist(),
-                    lid_arr.tolist(),
-                    wl_arr.tolist(),
-                    pos_arr.tolist(),
-                    ri_arr.tolist(),
+        with prof.span("engine.resolve"):
+            if self.backend == "vectorized":
+                contended, free_events = self._run_vectorized(
+                    runs, arrays, dead_lids, collect_collisions, recorder,
+                    collisions, faulted_at,
                 )
-            )
-            contended = self._resolve_scalar(
-                events, runs, dead_lids, collect_collisions, recorder,
-                collisions, faulted_at,
-            )
+            else:
+                t_arr, lid_arr, wl_arr, pos_arr, ri_arr = arrays
+                events = list(
+                    zip(
+                        t_arr.tolist(),
+                        lid_arr.tolist(),
+                        wl_arr.tolist(),
+                        pos_arr.tolist(),
+                        ri_arr.tolist(),
+                    )
+                )
+                contended = self._resolve_scalar(
+                    events, runs, dead_lids, collect_collisions, recorder,
+                    collisions, faulted_at,
+                )
 
         if observe:
             t_resolve = time.perf_counter() - t_stage
             t_stage = time.perf_counter()
-        outcomes, makespan = self._finalise(runs)
+        with prof.span("engine.finalise"):
+            outcomes, makespan = self._finalise(runs)
         faulted_links = tuple(
             self._links[lid]
             for lid, _ in sorted(faulted_at.items(), key=lambda kv: kv[1])

@@ -66,6 +66,7 @@ from repro.faults.models import FaultModel, TransientLinkFaults
 from repro.faults.repair import collection_links, reroute_path, surviving_graph
 from repro.observability.logconf import get_logger
 from repro.observability.metrics import MetricsRegistry, get_metrics
+from repro.observability.spans import get_profiler
 from repro.optics.coupler import CollisionRule, TieRule
 from repro.paths.collection import PathCollection
 from repro.worms.worm import FailureKind, Launch, Worm, make_worms
@@ -442,6 +443,7 @@ class TrialAndFailureProtocol:
         rng = as_generator(rng)
         metrics = self._metrics if self._metrics is not None else get_metrics()
         observe = metrics.enabled
+        prof = get_profiler()
         t_run = time.perf_counter() if observe else 0.0
         if self._repaired:
             # A previous run on this instance rerouted worms; reset to the
@@ -477,152 +479,153 @@ class TrialAndFailureProtocol:
         completed = False
         rounds_used = 0
         for t in range(1, cfg.max_rounds + 1):
-            rounds_used = t
-            current_congestion = None
-            if cfg.track_congestion:
-                current_congestion = live_coll.subset(active).path_congestion
-            ctx = dataclasses.replace(
-                base_ctx, current_congestion=current_congestion
-            )
-            delta = cfg.schedule.delay_range(t, ctx)
-            if stall.multiplier > 1.0:
-                # Stall backoff: widen the launch window beyond what the
-                # schedule believes is enough (bounded exponential).
-                delta = max(1, int(math.ceil(delta * stall.multiplier)))
-
-            round_rng = spawn_generator(rng)
-            launches = self._draw_launches(active, delta, round_rng)
-            if self._flight is not None:
-                self._flight.begin_round(t)
-            dead_links = (
-                fault_run.dead_links(t, round_rng)
-                if fault_run is not None
-                else None
-            )
-            result = self.engine.run_round(
-                launches,
-                collect_collisions=cfg.collect_collisions,
-                dead_links=dead_links,
-                recorder=self._flight,
-            )
-            if cfg.collect_collisions:
-                collisions_per_round.append(result.collisions)
-
-            delivered = result.delivered
-            duplicates += sum(1 for uid in delivered if uid in delivered_ever)
-            delivered_ever.update(delivered)
-
-            if cfg.ack_mode == "ideal":
-                acked = set(delivered)
-                ack_span = 0
-            else:
-                t_ack = time.perf_counter() if observe else 0.0
-                acked, ack_span = self._route_acks(
-                    delivered, result.outcomes, round_rng
+            with prof.span("protocol.round"):
+                rounds_used = t
+                current_congestion = None
+                if cfg.track_congestion:
+                    current_congestion = live_coll.subset(active).path_congestion
+                ctx = dataclasses.replace(
+                    base_ctx, current_congestion=current_congestion
                 )
-                if observe:
-                    metrics.observe(
-                        "protocol_ack_seconds", time.perf_counter() - t_ack
-                    )
+                delta = cfg.schedule.delay_range(t, ctx)
+                if stall.multiplier > 1.0:
+                    # Stall backoff: widen the launch window beyond what the
+                    # schedule believes is enough (bounded exponential).
+                    delta = max(1, int(math.ceil(delta * stall.multiplier)))
 
-            if fault_run is not None and acked:
-                lost = fault_run.lost_acks(t, sorted(acked), round_rng)
-                if lost:
-                    acked -= lost
-                    acks_lost += len(lost)
+                round_rng = spawn_generator(rng)
+                launches = self._draw_launches(active, delta, round_rng)
+                if self._flight is not None:
+                    self._flight.begin_round(t)
+                dead_links = (
+                    fault_run.dead_links(t, round_rng)
+                    if fault_run is not None
+                    else None
+                )
+                result = self.engine.run_round(
+                    launches,
+                    collect_collisions=cfg.collect_collisions,
+                    dead_links=dead_links,
+                    recorder=self._flight,
+                )
+                if cfg.collect_collisions:
+                    collisions_per_round.append(result.collisions)
+
+                delivered = result.delivered
+                duplicates += sum(1 for uid in delivered if uid in delivered_ever)
+                delivered_ever.update(delivered)
+
+                if cfg.ack_mode == "ideal":
+                    acked = set(delivered)
+                    ack_span = 0
+                else:
+                    t_ack = time.perf_counter() if observe else 0.0
+                    acked, ack_span = self._route_acks(
+                        delivered, result.outcomes, round_rng
+                    )
                     if observe:
-                        metrics.inc("protocol_acks_lost_total", len(lost))
+                        metrics.observe(
+                            "protocol_ack_seconds", time.perf_counter() - t_ack
+                        )
 
-            if self._flight is not None:
-                self._flight.end_round(
-                    result.makespan, ack_span=ack_span, acked=sorted(acked)
-                )
+                if fault_run is not None and acked:
+                    lost = fault_run.lost_acks(t, sorted(acked), round_rng)
+                    if lost:
+                        acked -= lost
+                        acks_lost += len(lost)
+                        if observe:
+                            metrics.inc("protocol_acks_lost_total", len(lost))
 
-            for uid in acked:
-                delivered_round.setdefault(uid, t)
-            active = [uid for uid in active if uid not in acked]
-
-            eliminated = sum(
-                1
-                for o in result.outcomes.values()
-                if o.failure is FailureKind.ELIMINATED
-            )
-            truncated = sum(
-                1
-                for o in result.outcomes.values()
-                if o.failure is FailureKind.TRUNCATED
-            )
-            faulted = sum(
-                1
-                for o in result.outcomes.values()
-                if o.failure is FailureKind.FAULTED
-            )
-            duration = delta + 2 * dl
-            observed = max(result.makespan or 0, ack_span) + 1
-            total_time += duration
-            observed_time += observed
-            record = RoundRecord(
-                index=t,
-                delay_range=delta,
-                active_before=len(result.outcomes),
-                delivered=len(delivered),
-                eliminated=eliminated,
-                truncated=truncated,
-                acked=len(acked),
-                duration=duration,
-                observed_span=observed,
-                active_congestion=current_congestion,
-                faulted=faulted,
-            )
-            records.append(record)
-            if observe:
-                metrics.inc("protocol_rounds_total")
-                metrics.inc("protocol_delivered_total", len(delivered))
-                metrics.inc("protocol_eliminated_total", eliminated)
-                metrics.inc("protocol_truncated_total", truncated)
-                metrics.inc("protocol_faulted_total", faulted)
-                metrics.inc("protocol_acked_total", len(acked))
-                metrics.gauge("protocol_active_worms", len(active))
-                if current_congestion is not None:
-                    metrics.gauge("protocol_congestion", current_congestion)
-            if self._trace is not None:
-                self._trace.write(
-                    "round", trial=self._trace_trial, **dataclasses.asdict(record)
-                )
-
-            if result.faulted_links:
-                monitor.observe_round(result.faulted_links)
-                if observe:
-                    metrics.gauge(
-                        "protocol_suspected_links", len(monitor.suspected)
+                if self._flight is not None:
+                    self._flight.end_round(
+                        result.makespan, ack_span=ack_span, acked=sorted(acked)
                     )
-            if stall.observe_round(len(acked)) and observe:
-                metrics.inc("protocol_backoff_escalations_total")
 
-            if not active:
-                completed = True
-                break
+                for uid in acked:
+                    delivered_round.setdefault(uid, t)
+                active = [uid for uid in active if uid not in acked]
 
-            if (
-                cfg.repair == "reroute"
-                and monitor.suspected
-                and self._attempt_repairs(
-                    t, active, live_paths, monitor, repairs, metrics, observe
+                eliminated = sum(
+                    1
+                    for o in result.outcomes.values()
+                    if o.failure is FailureKind.ELIMINATED
                 )
-            ):
-                live_coll = PathCollection(
-                    [live_paths[w.uid] for w in self.worms],
-                    topology=self.collection.topology,
-                    require_simple=False,
+                truncated = sum(
+                    1
+                    for o in result.outcomes.values()
+                    if o.failure is FailureKind.TRUNCATED
                 )
-                dl = live_coll.dilation + cfg.worm_length
-                # Repaired paths void the original invariants; re-anchor
-                # the schedule on the repaired collection's measures.
-                base_ctx = dataclasses.replace(
-                    base_ctx,
-                    dilation=live_coll.dilation,
-                    congestion=live_coll.path_congestion,
+                faulted = sum(
+                    1
+                    for o in result.outcomes.values()
+                    if o.failure is FailureKind.FAULTED
                 )
+                duration = delta + 2 * dl
+                observed = max(result.makespan or 0, ack_span) + 1
+                total_time += duration
+                observed_time += observed
+                record = RoundRecord(
+                    index=t,
+                    delay_range=delta,
+                    active_before=len(result.outcomes),
+                    delivered=len(delivered),
+                    eliminated=eliminated,
+                    truncated=truncated,
+                    acked=len(acked),
+                    duration=duration,
+                    observed_span=observed,
+                    active_congestion=current_congestion,
+                    faulted=faulted,
+                )
+                records.append(record)
+                if observe:
+                    metrics.inc("protocol_rounds_total")
+                    metrics.inc("protocol_delivered_total", len(delivered))
+                    metrics.inc("protocol_eliminated_total", eliminated)
+                    metrics.inc("protocol_truncated_total", truncated)
+                    metrics.inc("protocol_faulted_total", faulted)
+                    metrics.inc("protocol_acked_total", len(acked))
+                    metrics.gauge("protocol_active_worms", len(active))
+                    if current_congestion is not None:
+                        metrics.gauge("protocol_congestion", current_congestion)
+                if self._trace is not None:
+                    self._trace.write(
+                        "round", trial=self._trace_trial, **dataclasses.asdict(record)
+                    )
+
+                if result.faulted_links:
+                    monitor.observe_round(result.faulted_links)
+                    if observe:
+                        metrics.gauge(
+                            "protocol_suspected_links", len(monitor.suspected)
+                        )
+                if stall.observe_round(len(acked)) and observe:
+                    metrics.inc("protocol_backoff_escalations_total")
+
+                if not active:
+                    completed = True
+                    break
+
+                if (
+                    cfg.repair == "reroute"
+                    and monitor.suspected
+                    and self._attempt_repairs(
+                        t, active, live_paths, monitor, repairs, metrics, observe
+                    )
+                ):
+                    live_coll = PathCollection(
+                        [live_paths[w.uid] for w in self.worms],
+                        topology=self.collection.topology,
+                        require_simple=False,
+                    )
+                    dl = live_coll.dilation + cfg.worm_length
+                    # Repaired paths void the original invariants; re-anchor
+                    # the schedule on the repaired collection's measures.
+                    base_ctx = dataclasses.replace(
+                        base_ctx,
+                        dilation=live_coll.dilation,
+                        congestion=live_coll.path_congestion,
+                    )
 
         diagnosis: dict[int, str] = {}
         stall_reason: str | None = None

@@ -24,12 +24,21 @@ numbers. This package is the cross-cutting layer that produces them:
   bit-identical to the engine's), per-link utilization and contention
   hot-spots, measured congestion C̃ per wavelength, ASCII timelines and
   link heatmaps, trace diffing -- surfaced as the ``repro trace`` CLI
-  subcommands.
+  subcommands;
+* :mod:`repro.observability.spans` -- the span profiler: nestable
+  ``span("engine.resolve")`` regions aggregating wall/self time per
+  span path, no-op by default (:func:`enable_profiling` opts in),
+  rendered by :func:`~repro.observability.analysis.render_spans`;
+* :mod:`repro.observability.promexport` -- Prometheus text exposition
+  of the metrics registry plus a stdlib HTTP ``/metrics`` exporter,
+  surfaced as the CLI's ``--prom-port``.
 
 The instrumented layers are :class:`~repro.core.engine.RoutingEngine`,
-:class:`~repro.core.protocol.TrialAndFailureProtocol` and
-:class:`~repro.runners.trial.TrialRunner`; see docs/OBSERVABILITY.md for
-the metric names, label conventions and the trace schema.
+:class:`~repro.core.protocol.TrialAndFailureProtocol`,
+:class:`~repro.runners.trial.TrialRunner` and
+:class:`~repro.scenarios.engine.StreamingEngine`; see
+docs/OBSERVABILITY.md for the metric names, label conventions, the span
+paths and the trace schema.
 """
 
 from repro.observability.analysis import (
@@ -38,15 +47,26 @@ from repro.observability.analysis import (
     ReplayReport,
     ReplayedRound,
     diff_traces,
+    format_window,
     hotspots,
     link_stats,
     measured_congestion,
     render_links,
+    render_spans,
     render_timeline,
+    render_windows,
     replay_rounds,
+    sparkline,
     summarize_trace,
     verify_replay,
     worm_history,
+)
+from repro.observability.benchcmp import (
+    BenchDelta,
+    BenchSample,
+    compare_benchmarks,
+    load_bench,
+    render_comparison,
 )
 from repro.observability.flightrec import FLIGHT_KINDS, FlightRecorder
 from repro.observability.logconf import LOG_FORMAT, configure_logging, get_logger
@@ -58,6 +78,22 @@ from repro.observability.metrics import (
     disable_metrics,
     enable_metrics,
     get_metrics,
+)
+from repro.observability.promexport import (
+    PrometheusExporter,
+    parse_prometheus_text,
+    registry_to_prometheus,
+    start_http_exporter,
+)
+from repro.observability.spans import (
+    NULL_PROFILER,
+    NullProfiler,
+    SpanProfile,
+    SpanProfiler,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    write_profile,
 )
 from repro.observability.trace import (
     TRACE_SCHEMA_VERSION,
@@ -75,17 +111,26 @@ __all__ = [
     "get_logger",
     "FLIGHT_KINDS",
     "FlightRecorder",
+    "BenchDelta",
+    "BenchSample",
+    "compare_benchmarks",
+    "load_bench",
+    "render_comparison",
     "LinkStats",
     "Occupation",
     "ReplayReport",
     "ReplayedRound",
     "diff_traces",
+    "format_window",
     "hotspots",
     "link_stats",
     "measured_congestion",
     "render_links",
+    "render_spans",
     "render_timeline",
+    "render_windows",
     "replay_rounds",
+    "sparkline",
     "summarize_trace",
     "verify_replay",
     "worm_history",
@@ -96,6 +141,18 @@ __all__ = [
     "disable_metrics",
     "enable_metrics",
     "get_metrics",
+    "PrometheusExporter",
+    "parse_prometheus_text",
+    "registry_to_prometheus",
+    "start_http_exporter",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "SpanProfile",
+    "SpanProfiler",
+    "disable_profiling",
+    "enable_profiling",
+    "get_profiler",
+    "write_profile",
     "TRACE_SCHEMA_VERSION",
     "RunTrace",
     "TraceWriter",

@@ -19,7 +19,13 @@ events:
   critical paths;
 * :func:`render_timeline` / :func:`render_links` draw ASCII timelines
   and link heatmaps; :func:`summarize_trace` and :func:`diff_traces`
-  back the ``repro trace`` CLI subcommands.
+  back the ``repro trace`` CLI subcommands;
+* :func:`render_spans` draws a span-profile snapshot
+  (:mod:`repro.observability.spans`) as an indented ASCII flame view
+  plus a top-N self-time table; :func:`sparkline`,
+  :func:`format_window` and :func:`render_windows` turn the streaming
+  engine's ``scenario_window`` records into one-line stat rows and
+  refreshing sparkline dashboards (``repro scenario run --watch``).
 
 Everything operates on plain trace records (dicts), so it works on a
 :class:`~repro.observability.trace.RunTrace`, a path, or an in-memory
@@ -47,6 +53,10 @@ __all__ = [
     "worm_history",
     "render_timeline",
     "render_links",
+    "render_spans",
+    "sparkline",
+    "format_window",
+    "render_windows",
     "summarize_trace",
     "diff_traces",
 ]
@@ -738,3 +748,144 @@ def diff_traces(a_source, b_source) -> list[str]:
                     f"outcome(s) differ: {changed[:8]}"
                 )
     return diffs
+
+
+# -- span profiles and streaming windows ------------------------------------
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt_seconds(value: float) -> str:
+    """Seconds with an adaptive unit (s / ms / us), 3 significant digits."""
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def render_spans(snapshot: Mapping, *, top: int = 5) -> str:
+    """Render a span-profile snapshot as an ASCII flame view.
+
+    ``snapshot`` is a :meth:`~repro.observability.spans.SpanProfile.snapshot`
+    dict (path -> count/total/self/min/max). The flame section indents
+    each span under its parent with a bar scaled to its share of the
+    root spans' total wall time; ``top`` > 0 appends a table of the
+    ``top`` spans ranked by *self* time, which is where optimisation
+    effort should go.
+    """
+    if not snapshot:
+        return "no spans recorded"
+    paths = list(snapshot)
+    root_total = sum(
+        snapshot[p]["total"] for p in paths if "/" not in p
+    ) or max(s["total"] for s in snapshot.values())
+    name_width = max(
+        len("  " * p.count("/") + p.rsplit("/", 1)[-1]) for p in paths
+    )
+    name_width = max(name_width, len("span"))
+    lines = [
+        f"{'span':<{name_width}}  {'count':>7}  {'total':>10}  "
+        f"{'self':>10}  share"
+    ]
+    for path in paths:  # snapshot order: parents sort before children
+        stats = snapshot[path]
+        depth = path.count("/")
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        share = stats["total"] / root_total if root_total else 0.0
+        bar = _SPARK_BLOCKS[-1] * max(1, round(share * 20)) if share else ""
+        lines.append(
+            f"{label:<{name_width}}  {stats['count']:>7}  "
+            f"{_fmt_seconds(stats['total']):>10}  "
+            f"{_fmt_seconds(stats['self']):>10}  {share:>5.1%} {bar}"
+        )
+    if top > 0:
+        ranked = sorted(
+            paths, key=lambda p: snapshot[p]["self"], reverse=True
+        )[:top]
+        lines.append("")
+        lines.append(f"top {len(ranked)} by self time:")
+        for path in ranked:
+            stats = snapshot[path]
+            lines.append(
+                f"  {_fmt_seconds(stats['self']):>10}  {path} "
+                f"(count {stats['count']}, mean "
+                f"{_fmt_seconds(stats['total'] / stats['count'])})"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence, *, width: int = 60) -> str:
+    """A unicode block sparkline of ``values`` (None plots as the minimum).
+
+    Series longer than ``width`` are downsampled by bucket means so the
+    line never overflows a terminal row; an empty series renders empty.
+    """
+    vals = [0.0 if v is None else float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(vals) // width
+            hi = max(lo + 1, (i + 1) * len(vals) // width)
+            chunk = vals[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        vals = bucketed
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(vals)
+    return "".join(
+        _SPARK_BLOCKS[min(7, int((v - lo) / span * 8))] for v in vals
+    )
+
+
+def format_window(window: Mapping) -> str:
+    """One streaming window snapshot as a single aligned stat row."""
+    p95 = window.get("latency_p95")
+    return (
+        f"window {window['window']:>3}  "
+        f"rounds {window['start_round']:>4}-{window['end_round']:<4}  "
+        f"thr {window['throughput']:>6.2f}/rd  "
+        f"drop {window['drop_rate']:>6.1%}  "
+        f"active {window['active']:>4}  "
+        f"p95 {('%d rd' % p95) if p95 is not None else '  --'}"
+    )
+
+
+def render_windows(windows: Sequence[Mapping], *, width: int = 60) -> str:
+    """A sparkline dashboard over a sequence of window snapshots.
+
+    One row per tracked series (throughput, drop rate, active worms,
+    p95 admission latency): sparkline, then the latest / min / max
+    values. ``repro scenario run --watch`` redraws this every window.
+    """
+    if not windows:
+        return "no windows yet"
+    last = windows[-1]
+    header = (
+        f"{len(windows)} window(s), rounds "
+        f"{windows[0]['start_round']}-{last['end_round']} "
+        f"(every {last['rounds']} rd)"
+    )
+    series = (
+        ("throughput", "thr/rd", "{:.2f}"),
+        ("drop_rate", "drop", "{:.1%}"),
+        ("active", "active", "{:.0f}"),
+        ("latency_p95", "p95 rd", "{:.0f}"),
+    )
+    lines = [header]
+    for key, label, fmt in series:
+        vals = [w.get(key) for w in windows]
+        known = [v for v in vals if v is not None]
+        if not known:
+            lines.append(f"{label:>7} {'-' * 3}")
+            continue
+        latest = fmt.format(known[-1])
+        lines.append(
+            f"{label:>7} {sparkline(vals, width=width)}  "
+            f"last {latest}  min {fmt.format(min(known))}  "
+            f"max {fmt.format(max(known))}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Benchmark comparison: diff two ``BENCH_engine.json`` files.
+
+The repo emits engine benchmarks in two shapes: the single-result
+``benchmarks/results/BENCH_engine.json`` written by
+``benchmarks/engine_baseline.py`` and the append-only series file
+(``benchmark: "engine_series"``, ``schema: 1``) grown by
+``benchmarks/bench_series.py``. :func:`load_bench` normalises either
+into one latest sample per backend; :func:`compare_benchmarks` diffs a
+baseline file A against a candidate file B -- headline
+``round_seconds_median`` ratio per backend plus per-stage attribution
+(the stage means the span profiler measured), flagging any backend
+whose ratio exceeds the threshold. ``repro bench compare A.json
+B.json`` renders the result and exits nonzero on a flagged regression,
+which is how CI gates performance drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "BenchSample",
+    "BenchDelta",
+    "load_bench",
+    "compare_benchmarks",
+    "render_comparison",
+]
+
+#: A backend regresses when candidate/baseline median exceeds this.
+DEFAULT_THRESHOLD = 1.25
+
+#: The engine stages every schema reports (span paths ``engine.round/...``).
+STAGES = ("build_events", "resolve", "finalise")
+
+
+@dataclass(frozen=True)
+class BenchSample:
+    """One normalised benchmark sample: headline timings plus stage means.
+
+    ``stages`` maps stage name to mean seconds per round; ``meta`` keeps
+    whatever provenance the source file carried (git revision, python
+    version, workload) for rendering.
+    """
+
+    backend: str
+    round_seconds_median: float
+    round_seconds_best: float
+    events_per_second: float
+    stages: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """The A-to-B comparison for one backend.
+
+    ``ratio`` is candidate/baseline ``round_seconds_median`` (> 1 means
+    the candidate is slower); ``stage_ratios`` attributes the change to
+    the engine stages; ``regressed`` is ``ratio > threshold``.
+    """
+
+    backend: str
+    baseline: BenchSample
+    candidate: BenchSample
+    ratio: float
+    stage_ratios: dict
+    regressed: bool
+
+
+def _normalise_baseline(payload: dict, path: str) -> dict[str, BenchSample]:
+    """One ``engine_baseline.py`` result as a single-backend sample map."""
+    rnd = payload["round"]
+    stages = {
+        name: stats["seconds_mean"]
+        for name, stats in rnd.get("stages", {}).items()
+    }
+    sample = BenchSample(
+        backend=str(payload.get("backend", "python")),
+        round_seconds_median=float(rnd["round_seconds_median"]),
+        round_seconds_best=float(rnd["round_seconds_best"]),
+        events_per_second=float(rnd["events_per_second"]),
+        stages=stages,
+        meta={
+            "python": payload.get("python"),
+            "workload": rnd.get("workload"),
+            "source": path,
+        },
+    )
+    return {sample.backend: sample}
+
+
+def _normalise_series(payload: dict, path: str) -> dict[str, BenchSample]:
+    """An ``engine_series`` file reduced to the latest sample per backend."""
+    out: dict[str, BenchSample] = {}
+    for raw in payload.get("samples", ()):
+        backend = str(raw.get("backend") or "python")
+        out[backend] = BenchSample(  # later samples overwrite: latest wins
+            backend=backend,
+            round_seconds_median=float(raw["round_seconds_median"]),
+            round_seconds_best=float(raw["round_seconds_best"]),
+            events_per_second=float(raw["events_per_second"]),
+            stages={k: float(v) for k, v in raw.get("stages", {}).items()},
+            meta={
+                "git_rev": raw.get("git_rev"),
+                "python": raw.get("python"),
+                "workload": raw.get("workload"),
+                "source": path,
+            },
+        )
+    return out
+
+
+def load_bench(path) -> dict[str, BenchSample]:
+    """Load either benchmark schema into ``{backend: latest sample}``.
+
+    Accepts the single-result ``engine_round`` payload or the
+    ``engine_series`` sample log; anything else raises
+    :class:`~repro.errors.ReproError` naming the file.
+    """
+    p = pathlib.Path(path)
+    try:
+        payload = json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read benchmark file {p}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"{p} is not a benchmark JSON object")
+    try:
+        if "samples" in payload:
+            samples = _normalise_series(payload, str(p))
+        elif "round" in payload:
+            samples = _normalise_baseline(payload, str(p))
+        else:
+            raise ReproError(
+                f"{p} has neither 'samples' (series) nor 'round' "
+                "(engine baseline) -- not a BENCH_engine.json"
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"{p} is malformed: {exc!r}") from exc
+    if not samples:
+        raise ReproError(f"{p} holds no benchmark samples")
+    return samples
+
+
+def compare_benchmarks(
+    baseline_path,
+    candidate_path,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[BenchDelta]:
+    """Diff candidate against baseline, one delta per shared backend.
+
+    Backends present in only one file are skipped (a new backend is not
+    a regression); sharing none at all is an error. ``threshold`` flags
+    a backend whose ``round_seconds_median`` ratio exceeds it.
+    """
+    if threshold <= 0:
+        raise ReproError(f"threshold must be > 0, got {threshold}")
+    base = load_bench(baseline_path)
+    cand = load_bench(candidate_path)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        raise ReproError(
+            f"no shared backends: baseline has {sorted(base)}, "
+            f"candidate has {sorted(cand)}"
+        )
+    deltas = []
+    for backend in shared:
+        a, b = base[backend], cand[backend]
+        ratio = (
+            b.round_seconds_median / a.round_seconds_median
+            if a.round_seconds_median > 0
+            else float("inf")
+        )
+        stage_ratios = {
+            stage: (
+                b.stages[stage] / a.stages[stage]
+                if a.stages.get(stage) and stage in b.stages
+                else None
+            )
+            for stage in STAGES
+            if stage in a.stages or stage in b.stages
+        }
+        deltas.append(
+            BenchDelta(
+                backend=backend,
+                baseline=a,
+                candidate=b,
+                ratio=ratio,
+                stage_ratios=stage_ratios,
+                regressed=ratio > threshold,
+            )
+        )
+    return deltas
+
+
+def render_comparison(
+    deltas: list[BenchDelta], *, threshold: float = DEFAULT_THRESHOLD
+) -> str:
+    """Human-readable comparison table with per-stage attribution."""
+    lines = []
+    for d in deltas:
+        verdict = "REGRESSED" if d.regressed else "ok"
+        lines.append(
+            f"{d.backend}: round median "
+            f"{d.baseline.round_seconds_median * 1e3:.3f}ms -> "
+            f"{d.candidate.round_seconds_median * 1e3:.3f}ms "
+            f"(x{d.ratio:.2f}, threshold x{threshold:.2f}) {verdict}"
+        )
+        for stage, ratio in d.stage_ratios.items():
+            if ratio is None:
+                lines.append(f"  {stage:>12}: (missing in one file)")
+                continue
+            a = d.baseline.stages.get(stage)
+            b = d.candidate.stages.get(stage)
+            lines.append(
+                f"  {stage:>12}: {a * 1e3:.3f}ms -> {b * 1e3:.3f}ms "
+                f"(x{ratio:.2f})"
+            )
+    return "\n".join(lines)

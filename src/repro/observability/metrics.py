@@ -111,7 +111,9 @@ class _Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile q must be in [0, 1], got {q}")
-        if self.count == 0:
+        if self.count == 0 or self.min is None or self.max is None:
+            # Never observed -- including a merged snapshot that claims a
+            # count but carries no min/max; None, never a TypeError.
             return None
         if q == 0.0:
             return self.min

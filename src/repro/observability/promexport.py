@@ -1,0 +1,273 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`registry_to_prometheus` renders a
+:class:`~repro.observability.metrics.MetricsRegistry` (or one of its
+snapshots) in the Prometheus text exposition format, version 0.0.4:
+counters and gauges map directly, histograms become cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count`` and a companion
+``<name>_quantile`` gauge carrying the registry's p50/p95/p99. Every
+series is prefixed with the ``repro_`` namespace, so a simulation run
+scrapes like any other job.
+
+:class:`PrometheusExporter` serves that rendering over HTTP with the
+stdlib only -- a daemon-threaded
+:class:`~http.server.ThreadingHTTPServer` bound to localhost answering
+``GET /metrics`` -- which is what ``repro run --prom-port N`` and
+``repro scenario run --prom-port N`` start (port ``0`` picks a free
+ephemeral port; read it back from :attr:`PrometheusExporter.port`).
+:func:`parse_prometheus_text` is the inverse used by the tests and the
+CI smoke: exposition text back into ``(name, labels, value)`` samples.
+"""
+
+from __future__ import annotations
+
+import http.server
+import math
+import threading
+from typing import Mapping
+
+from repro.observability.metrics import MetricsRegistry, parse_label_key
+
+__all__ = [
+    "CONTENT_TYPE",
+    "registry_to_prometheus",
+    "parse_prometheus_text",
+    "PrometheusExporter",
+    "start_http_exporter",
+]
+
+#: The exposition content type served by :class:`PrometheusExporter`.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Histogram quantiles exported as ``<name>_quantile`` gauges.
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _label_str(labels: Mapping[str, object], extra: str = "") -> str:
+    """Render ``{k="v",...}`` (or '' when there are no labels)."""
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    """A sample value: integers stay integral, infinities spell +Inf."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def registry_to_prometheus(
+    source: "MetricsRegistry | Mapping", *, namespace: str = "repro"
+) -> str:
+    """Render a registry (or snapshot) as Prometheus exposition text.
+
+    ``source`` is a :class:`~repro.observability.metrics.MetricsRegistry`
+    or the plain dict its ``snapshot()`` returns. Output is
+    deterministic: metric names and label sets are sorted, histograms
+    emit cumulative ``le`` buckets ending in ``+Inf``. Returns text
+    ending in a newline (required by the format) -- or the empty string
+    for an empty registry.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        kind = metric["kind"]
+        full = f"{namespace}_{name}" if namespace else name
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {full} {kind}")
+            for key in sorted(metric["values"]):
+                labels = parse_label_key(key)
+                lines.append(
+                    f"{full}{_label_str(labels)} "
+                    f"{_fmt(metric['values'][key])}"
+                )
+            continue
+        # histogram: cumulative buckets + sum/count + quantile gauges
+        lines.append(f"# TYPE {full} histogram")
+        quantile_lines: list[str] = []
+        for key in sorted(metric["values"]):
+            hist = metric["values"][key]
+            labels = parse_label_key(key)
+            cumulative = 0
+            for bound in sorted(hist["buckets"], key=float):
+                cumulative += hist["buckets"][bound]
+                le = "+Inf" if math.isinf(float(bound)) else bound
+                le_label = 'le="' + le + '"'
+                lines.append(
+                    f"{full}_bucket{_label_str(labels, le_label)} "
+                    f"{cumulative}"
+                )
+            lines.append(f"{full}_sum{_label_str(labels)} {_fmt(hist['sum'])}")
+            lines.append(f"{full}_count{_label_str(labels)} {hist['count']}")
+            for q, stat in _QUANTILES:
+                if hist.get(stat) is not None:
+                    q_label = 'quantile="' + q + '"'
+                    quantile_lines.append(
+                        f"{full}_quantile"
+                        f"{_label_str(labels, q_label)} "
+                        f"{_fmt(hist[stat])}"
+                    )
+        if quantile_lines:
+            lines.append(f"# TYPE {full}_quantile gauge")
+            lines.extend(quantile_lines)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(text: str) -> list[tuple[str, dict, float]]:
+    """Parse exposition text back into ``(name, labels, value)`` samples.
+
+    The inverse of :func:`registry_to_prometheus` for round-trip tests
+    and the CI scrape smoke; raises :class:`ValueError` on any line that
+    is neither a comment, blank, nor a well-formed sample.
+    """
+    samples: list[tuple[str, dict, float]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"line {lineno}: no value in {line!r}")
+        labels: dict = {}
+        if name_part.endswith("}"):
+            name, _, label_body = name_part.partition("{")
+            body = label_body[:-1]
+            while body:
+                key, sep, rest = body.partition("=")
+                if not sep or not rest.startswith('"'):
+                    raise ValueError(f"line {lineno}: bad labels in {line!r}")
+                # scan the quoted value, honouring backslash escapes
+                out, i = [], 1
+                while i < len(rest):
+                    ch = rest[i]
+                    if ch == "\\" and i + 1 < len(rest):
+                        out.append({"n": "\n"}.get(rest[i + 1], rest[i + 1]))
+                        i += 2
+                        continue
+                    if ch == '"':
+                        break
+                    out.append(ch)
+                    i += 1
+                else:
+                    raise ValueError(f"line {lineno}: unterminated label")
+                labels[key.strip()] = "".join(out)
+                body = rest[i + 1 :].lstrip(",")
+        else:
+            name = name_part
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        try:
+            value = float(value_part)
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad value {value_part!r}"
+            ) from exc
+        samples.append((name, labels, value))
+    return samples
+
+
+class _Handler(http.server.BaseHTTPRequestHandler):
+    """Serves ``GET /metrics`` from the exporter's registry (internal)."""
+
+    # set per-server by PrometheusExporter
+    exporter: "PrometheusExporter"
+
+    def do_GET(self):  # noqa: N802 - stdlib handler naming
+        """Answer ``/metrics`` (and ``/``) with the current exposition."""
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics lives here")
+            return
+        body = registry_to_prometheus(
+            self.server.exporter.registry,
+            namespace=self.server.exporter.namespace,
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class PrometheusExporter:
+    """A localhost ``/metrics`` endpoint over a live registry.
+
+    Stdlib-only: a :class:`~http.server.ThreadingHTTPServer` on a daemon
+    thread, rendering the registry *at scrape time* so Prometheus always
+    sees current values. ``port=0`` binds an ephemeral port; the bound
+    port is :attr:`port` and the scrape address :attr:`url`. Use as a
+    context manager or call :meth:`close` when the run ends.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        namespace: str = "repro",
+    ) -> None:
+        self.registry = registry
+        self.namespace = namespace
+        self._server = http.server.ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.exporter = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-prom-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The actually-bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The scrape URL, e.g. ``http://127.0.0.1:9109/metrics``."""
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and join the server thread."""
+        self._server.shutdown()
+        self._thread.join(timeout=5)
+        self._server.server_close()
+
+    def __enter__(self) -> "PrometheusExporter":
+        """Context-manager entry: the exporter is already serving."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: stop serving."""
+        self.close()
+
+
+def start_http_exporter(
+    registry: MetricsRegistry, port: int = 0, *, host: str = "127.0.0.1"
+) -> PrometheusExporter:
+    """Start (and return) a :class:`PrometheusExporter` for ``registry``."""
+    return PrometheusExporter(registry, port, host=host)

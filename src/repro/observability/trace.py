@@ -18,7 +18,12 @@ A *run trace* is a JSON-Lines file: one JSON object per line, each with a
 * ``summary`` -- last line; total elapsed seconds and free-form totals;
 * ``worm_*`` / ``flight_round`` -- opt-in worm-level flight-recorder
   events (:mod:`repro.observability.flightrec`), replayable via
-  :mod:`repro.observability.analysis`.
+  :mod:`repro.observability.analysis`;
+* ``scenario_round`` / ``scenario_window`` -- streaming-engine records:
+  one per round, plus (with ``snapshot_every`` set) one bounded-memory
+  stats window every N rounds (:mod:`repro.scenarios.engine`);
+* ``span_profile`` -- one aggregated span-profiler snapshot
+  (:func:`repro.observability.spans.write_profile`).
 
 Producers hold a :class:`TraceWriter` (the protocol layer emits ``round``
 and ``trial`` records when given one); consumers call :func:`read_trace`

@@ -66,6 +66,7 @@ from typing import Callable, Sequence
 from repro._util import as_generator
 from repro.errors import TrialError
 from repro.observability.metrics import MetricsRegistry, get_metrics
+from repro.observability.spans import get_profiler
 
 __all__ = ["TrialProgress", "TrialRunner", "spawn_seeds"]
 
@@ -383,6 +384,7 @@ class TrialRunner:
         preloaded = preloaded or {}
         t0 = time.perf_counter()
         observe = metrics.enabled
+        prof = get_profiler()
         results = []
         executed = 0
         done = len(preloaded)
@@ -395,7 +397,8 @@ class TrialRunner:
                 attempts += 1
                 try:
                     t_trial = time.perf_counter() if observe else 0.0
-                    results.append(self.fn(seed))
+                    with prof.span("runner.trial"):
+                        results.append(self.fn(seed))
                     executed += 1
                     if observe:
                         metrics.observe(

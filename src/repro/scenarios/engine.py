@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
@@ -40,6 +41,7 @@ from repro.errors import ScenarioError
 from repro.faults.health import StallDetector
 from repro.network.topology import Topology
 from repro.observability.metrics import MetricsRegistry, get_metrics
+from repro.observability.spans import get_profiler
 from repro.optics.coupler import CollisionRule
 from repro.paths.collection import PathCollection
 from repro.scenarios.arrivals import ArrivalProcess
@@ -107,7 +109,13 @@ class StreamingConfig:
     in the system (None = wait forever). ``rate_windows`` is a tuple of
     ``(start_round, duration, multiplier)`` triples scaling the arrival
     rate while active -- overlapping windows multiply -- which is how
-    flash-crowd events are expressed.
+    flash-crowd events are expressed. ``snapshot_every`` opts into
+    time-resolved observability: every that-many rounds the engine
+    emits one bounded-memory window snapshot (per-window throughput,
+    drop rate, active worms, reservoir-sampled latency quantiles) as a
+    ``scenario_window`` trace record, without perturbing the run -- the
+    windowing consumes no routing randomness, so results stay
+    bit-identical to an unwindowed run.
     """
 
     protocol: ProtocolConfig
@@ -117,6 +125,7 @@ class StreamingConfig:
     max_active: int = 1024
     patience: int | None = None
     rate_windows: tuple = ()
+    snapshot_every: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.protocol, ProtocolConfig):
@@ -188,6 +197,11 @@ class StreamingConfig:
                 )
             windows.append((start, duration, multiplier))
         object.__setattr__(self, "rate_windows", tuple(windows))
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise ScenarioError(
+                f"snapshot_every must be >= 1 (or None), "
+                f"got {self.snapshot_every}"
+            )
 
     def rate_multiplier(self, t: int) -> float:
         """Product of the multipliers of all windows active at round ``t``."""
@@ -314,6 +328,101 @@ def _draw_launches(
     ]
 
 
+#: Latency samples retained per window; windows holding more acks than
+#: this report reservoir-sampled (still deterministic) quantiles.
+WINDOW_RESERVOIR_CAP = 256
+
+
+class _WindowTracker:
+    """Bounded-memory accumulator behind ``snapshot_every`` (internal).
+
+    Sums per-round deltas and reservoir-samples ack latencies until
+    ``every`` rounds have elapsed, then :meth:`flush` produces one
+    JSON-ready window dict and resets. The reservoir draws from a
+    *private* seeded ``random.Random`` -- never from the run's routing
+    generator -- so windowed and unwindowed runs are bit-identical.
+    """
+
+    def __init__(self, every: int, cap: int = WINDOW_RESERVOIR_CAP) -> None:
+        self.every = every
+        self.cap = cap
+        self.index = 0
+        self.start = 1
+        self._rng = random.Random(0x5EED)
+        self._reset()
+
+    def _reset(self) -> None:
+        self.offered = self.admitted = self.rejected = self.expired = 0
+        self.acked = self.delivered = self.duration = self.rounds = 0
+        self.seen = 0
+        self.sample: list[int] = []
+
+    def observe_latency(self, latency: int) -> None:
+        """Reservoir-sample one admission-to-ack latency (algorithm R)."""
+        self.seen += 1
+        if len(self.sample) < self.cap:
+            self.sample.append(latency)
+        else:
+            j = self._rng.randrange(self.seen)
+            if j < self.cap:
+                self.sample[j] = latency
+
+    def observe_round(self, record: StreamingRoundRecord) -> None:
+        """Fold one round's deltas into the open window."""
+        self.offered += record.offered
+        self.admitted += record.admitted
+        self.rejected += record.rejected
+        self.expired += record.expired
+        self.acked += record.acked
+        self.delivered += record.delivered
+        self.duration += record.duration
+        self.rounds += 1
+
+    @property
+    def due(self) -> bool:
+        """True once the open window spans ``every`` rounds."""
+        return self.rounds >= self.every
+
+    def flush(self, end_round: int, active: int) -> dict:
+        """Close the window ending at ``end_round`` and reset for the next."""
+        data = sorted(self.sample)
+
+        def q(p: float) -> float | None:
+            if not data:
+                return None
+            idx = min(len(data) - 1, max(0, math.ceil(p * len(data)) - 1))
+            return float(data[idx])
+
+        window = {
+            "window": self.index,
+            "start_round": self.start,
+            "end_round": end_round,
+            "rounds": self.rounds,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "acked": self.acked,
+            "delivered": self.delivered,
+            "duration": self.duration,
+            "active": active,
+            "throughput": self.acked / self.duration if self.duration else 0.0,
+            "drop_rate": (
+                (self.rejected + self.expired) / self.offered
+                if self.offered
+                else 0.0
+            ),
+            "latency_p50": q(0.50),
+            "latency_p95": q(0.95),
+            "latency_p99": q(0.99),
+            "latency_samples": self.seen,
+        }
+        self.index += 1
+        self.start = end_round + 1
+        self._reset()
+        return window
+
+
 class StreamingEngine:
     """Runs the trial-and-failure rounds with continuous worm admission.
 
@@ -321,7 +430,12 @@ class StreamingEngine:
     mode needs a ``collection`` holding the initial backlog. ``metrics``
     and ``trace`` follow the protocol's conventions: per-round
     ``scenario_round`` trace records plus one ``scenario`` summary,
-    and ``scenario_*`` counters/gauges/histograms in the registry.
+    and ``scenario_*`` counters/gauges/histograms in the registry. With
+    ``config.snapshot_every`` set, each closed window additionally
+    yields one ``scenario_window`` trace record, refreshes the
+    ``scenario_window_*`` gauges, and is handed to the ``on_window``
+    callback (the live-dashboard hook) -- all pure observation, so the
+    run itself is bit-identical to an unwindowed one.
     """
 
     def __init__(
@@ -333,6 +447,7 @@ class StreamingEngine:
         metrics: MetricsRegistry | None = None,
         trace: "TraceWriter | None" = None,
         trace_trial: int = 0,
+        on_window: Callable[[dict], None] | None = None,
     ) -> None:
         self.config = config
         if config.arrivals is None:
@@ -343,11 +458,14 @@ class StreamingEngine:
                 )
         elif network is None:
             raise ScenarioError("streaming mode needs a network=")
+        if on_window is not None and not callable(on_window):
+            raise ScenarioError("on_window must be callable (or None)")
         self.collection = collection
         self.network = network
         self._metrics = metrics
         self._trace = trace
         self._trace_trial = trace_trial
+        self._on_window = on_window
 
     # -- helpers -------------------------------------------------------------
 
@@ -370,6 +488,23 @@ class StreamingEngine:
             backend=proto.backend,
         )
 
+    def _emit_window(self, window: dict, metrics, observe: bool) -> None:
+        """Ship one closed window to the trace, gauges and callback."""
+        if self._trace is not None:
+            self._trace.write(
+                "scenario_window", trial=self._trace_trial, **window
+            )
+        if observe:
+            metrics.inc("scenario_windows_total")
+            metrics.gauge("scenario_window_throughput", window["throughput"])
+            metrics.gauge("scenario_window_drop_rate", window["drop_rate"])
+            metrics.gauge("scenario_window_active_worms", window["active"])
+            for key in ("latency_p50", "latency_p95", "latency_p99"):
+                if window[key] is not None:
+                    metrics.gauge(f"scenario_window_{key}", window[key])
+        if self._on_window is not None:
+            self._on_window(window)
+
     # -- main loop -----------------------------------------------------------
 
     def run(self, rng=None) -> StreamingResult:
@@ -379,7 +514,13 @@ class StreamingEngine:
         rng = as_generator(rng)
         metrics = self._metrics if self._metrics is not None else get_metrics()
         observe = metrics.enabled
+        prof = get_profiler()
         streaming = cfg.arrivals is not None
+        tracker = (
+            _WindowTracker(cfg.snapshot_every)
+            if cfg.snapshot_every is not None
+            else None
+        )
 
         engine: RoutingEngine | None = None
         active: list[int] = []
@@ -440,73 +581,74 @@ class StreamingEngine:
             round_offered = round_admitted = round_rejected = round_expired = 0
 
             if streaming:
-                # Admission phase, "between rounds": expire the
-                # impatient, then draw and admit this round's arrivals.
-                if cfg.patience is not None and active:
-                    stale = [
-                        uid
-                        for uid in active
-                        if t - admitted_round[uid] >= cfg.patience
-                    ]
-                    if stale:
-                        engine.retire_worms(stale)
-                        stale_set = set(stale)
-                        active = [u for u in active if u not in stale_set]
-                        for uid in stale:
-                            del live_paths[uid]
-                        round_expired = len(stale)
-                        expired += round_expired
-                        if observe:
-                            metrics.inc(
-                                "scenario_dropped_total",
-                                round_expired,
-                                reason="expired",
-                            )
-                k = arr_stream.count(t, arr_rng, cfg.rate_multiplier(t))
-                round_offered = k
-                offered += k
-                if observe and k:
-                    metrics.inc("scenario_offered_total", k)
-                admit = min(k, max(0, cfg.max_active - len(active)))
-                round_rejected = k - admit
-                rejected += round_rejected
-                if round_rejected and observe:
-                    metrics.inc(
-                        "scenario_dropped_total",
-                        round_rejected,
-                        reason="rejected",
-                    )
-                if admit:
-                    new_worms = []
-                    for src, dst in traffic_stream.pairs(admit, arr_rng):
-                        path = tuple(self.network.path_fn(src, dst))
-                        new_worms.append(
-                            Worm(uid=next_uid, path=path, length=proto.worm_length)
+                with prof.span("scenario.admission"):
+                    # Admission phase, "between rounds": expire the
+                    # impatient, then draw and admit this round's arrivals.
+                    if cfg.patience is not None and active:
+                        stale = [
+                            uid
+                            for uid in active
+                            if t - admitted_round[uid] >= cfg.patience
+                        ]
+                        if stale:
+                            engine.retire_worms(stale)
+                            stale_set = set(stale)
+                            active = [u for u in active if u not in stale_set]
+                            for uid in stale:
+                                del live_paths[uid]
+                            round_expired = len(stale)
+                            expired += round_expired
+                            if observe:
+                                metrics.inc(
+                                    "scenario_dropped_total",
+                                    round_expired,
+                                    reason="expired",
+                                )
+                    k = arr_stream.count(t, arr_rng, cfg.rate_multiplier(t))
+                    round_offered = k
+                    offered += k
+                    if observe and k:
+                        metrics.inc("scenario_offered_total", k)
+                    admit = min(k, max(0, cfg.max_active - len(active)))
+                    round_rejected = k - admit
+                    rejected += round_rejected
+                    if round_rejected and observe:
+                        metrics.inc(
+                            "scenario_dropped_total",
+                            round_rejected,
+                            reason="rejected",
                         )
-                        live_paths[next_uid] = path
-                        admitted_round[next_uid] = t
-                        active.append(next_uid)
-                        next_uid += 1
-                    if engine is None:
-                        engine = self._build_engine(new_worms)
-                    else:
-                        engine.add_worms(new_worms)
-                    round_admitted = admit
-                    admitted += admit
-                    if observe:
-                        metrics.inc("scenario_admitted_total", admit)
-                    # Re-anchor the schedule envelope on the enlarged
-                    # system (congestion/dilation can only be refreshed
-                    # when membership changes).
-                    coll = self._active_collection(live_paths, active)
-                    base_ctx = ScheduleContext(
-                        n=coll.n,
-                        bandwidth=proto.bandwidth,
-                        worm_length=proto.worm_length,
-                        dilation=coll.dilation,
-                        congestion=coll.path_congestion,
-                    )
-                    dl = coll.dilation + proto.worm_length
+                    if admit:
+                        new_worms = []
+                        for src, dst in traffic_stream.pairs(admit, arr_rng):
+                            path = tuple(self.network.path_fn(src, dst))
+                            new_worms.append(
+                                Worm(uid=next_uid, path=path, length=proto.worm_length)
+                            )
+                            live_paths[next_uid] = path
+                            admitted_round[next_uid] = t
+                            active.append(next_uid)
+                            next_uid += 1
+                        if engine is None:
+                            engine = self._build_engine(new_worms)
+                        else:
+                            engine.add_worms(new_worms)
+                        round_admitted = admit
+                        admitted += admit
+                        if observe:
+                            metrics.inc("scenario_admitted_total", admit)
+                        # Re-anchor the schedule envelope on the enlarged
+                        # system (congestion/dilation can only be refreshed
+                        # when membership changes).
+                        coll = self._active_collection(live_paths, active)
+                        base_ctx = ScheduleContext(
+                            n=coll.n,
+                            bandwidth=proto.bandwidth,
+                            worm_length=proto.worm_length,
+                            dilation=coll.dilation,
+                            congestion=coll.path_congestion,
+                        )
+                        dl = coll.dilation + proto.worm_length
 
             if not active:
                 # Idle round: nothing to launch, so no generator is
@@ -536,90 +678,112 @@ class StreamingEngine:
                         trial=self._trace_trial,
                         **dataclasses.asdict(record),
                     )
+                if tracker is not None:
+                    tracker.observe_round(record)
+                    if tracker.due:
+                        self._emit_window(
+                            tracker.flush(t, 0), metrics, observe
+                        )
                 continue
 
-            # Routing phase: a verbatim mirror of the static protocol's
-            # round (same draw order, same arithmetic).
-            current_congestion = None
-            if proto.track_congestion:
-                if streaming:
-                    current_congestion = self._active_collection(
-                        live_paths, active
-                    ).path_congestion
-                else:
-                    current_congestion = self.collection.subset(
-                        active
-                    ).path_congestion
-            ctx = dataclasses.replace(
-                base_ctx, current_congestion=current_congestion
-            )
-            delta = proto.schedule.delay_range(t, ctx)
-            if stall.multiplier > 1.0:
-                delta = max(1, int(math.ceil(delta * stall.multiplier)))
-
-            round_rng = spawn_generator(rng)
-            launches = _draw_launches(active, delta, proto, round_rng)
-            dead_links = (
-                fault_run.dead_links(t, round_rng)
-                if fault_run is not None
-                else None
-            )
-            result = engine.run_round(launches, collect_collisions=False,
-                                      dead_links=dead_links)
-            delivered = result.delivered
-            acked = set(delivered)
-            if fault_run is not None and acked:
-                lost = fault_run.lost_acks(t, sorted(acked), round_rng)
-                if lost:
-                    acked -= lost
-            for uid in acked:
-                delivered_round.setdefault(uid, t)
-            active = [uid for uid in active if uid not in acked]
-            if acked:
-                acked_total += len(acked)
-                for uid in sorted(acked):
-                    latency = t - admitted_round[uid] + 1
-                    latencies.append(latency)
-                    if observe:
-                        metrics.observe(
-                            "scenario_admission_latency_rounds", latency
-                        )
-                if streaming:
-                    engine.retire_worms(sorted(acked))
-                    for uid in acked:
-                        del live_paths[uid]
-
-            duration = delta + 2 * dl
-            total_time += duration
-            record = StreamingRoundRecord(
-                index=t,
-                delay_range=delta,
-                offered=round_offered,
-                admitted=round_admitted,
-                rejected=round_rejected,
-                expired=round_expired,
-                active_before=len(result.outcomes),
-                delivered=len(delivered),
-                acked=len(acked),
-                duration=duration,
-            )
-            records.append(record)
-            if observe:
-                metrics.inc("scenario_rounds_total")
-                metrics.inc("scenario_acked_total", len(acked))
-                metrics.gauge("scenario_active_worms", len(active))
-            if self._trace is not None:
-                self._trace.write(
-                    "scenario_round",
-                    trial=self._trace_trial,
-                    **dataclasses.asdict(record),
+            with prof.span("scenario.round"):
+                # Routing phase: a verbatim mirror of the static protocol's
+                # round (same draw order, same arithmetic).
+                current_congestion = None
+                if proto.track_congestion:
+                    if streaming:
+                        current_congestion = self._active_collection(
+                            live_paths, active
+                        ).path_congestion
+                    else:
+                        current_congestion = self.collection.subset(
+                            active
+                        ).path_congestion
+                ctx = dataclasses.replace(
+                    base_ctx, current_congestion=current_congestion
                 )
-            stall.observe_round(len(acked))
+                delta = proto.schedule.delay_range(t, ctx)
+                if stall.multiplier > 1.0:
+                    delta = max(1, int(math.ceil(delta * stall.multiplier)))
+
+                round_rng = spawn_generator(rng)
+                launches = _draw_launches(active, delta, proto, round_rng)
+                dead_links = (
+                    fault_run.dead_links(t, round_rng)
+                    if fault_run is not None
+                    else None
+                )
+                result = engine.run_round(launches, collect_collisions=False,
+                                          dead_links=dead_links)
+                delivered = result.delivered
+                acked = set(delivered)
+                if fault_run is not None and acked:
+                    lost = fault_run.lost_acks(t, sorted(acked), round_rng)
+                    if lost:
+                        acked -= lost
+                for uid in acked:
+                    delivered_round.setdefault(uid, t)
+                active = [uid for uid in active if uid not in acked]
+                if acked:
+                    acked_total += len(acked)
+                    for uid in sorted(acked):
+                        latency = t - admitted_round[uid] + 1
+                        latencies.append(latency)
+                        if tracker is not None:
+                            tracker.observe_latency(latency)
+                        if observe:
+                            metrics.observe(
+                                "scenario_admission_latency_rounds", latency
+                            )
+                    if streaming:
+                        with prof.span("scenario.retire"):
+                            engine.retire_worms(sorted(acked))
+                            for uid in acked:
+                                del live_paths[uid]
+
+                duration = delta + 2 * dl
+                total_time += duration
+                record = StreamingRoundRecord(
+                    index=t,
+                    delay_range=delta,
+                    offered=round_offered,
+                    admitted=round_admitted,
+                    rejected=round_rejected,
+                    expired=round_expired,
+                    active_before=len(result.outcomes),
+                    delivered=len(delivered),
+                    acked=len(acked),
+                    duration=duration,
+                )
+                records.append(record)
+                if observe:
+                    metrics.inc("scenario_rounds_total")
+                    metrics.inc("scenario_acked_total", len(acked))
+                    metrics.gauge("scenario_active_worms", len(active))
+                if self._trace is not None:
+                    self._trace.write(
+                        "scenario_round",
+                        trial=self._trace_trial,
+                        **dataclasses.asdict(record),
+                    )
+                if tracker is not None:
+                    tracker.observe_round(record)
+                    if tracker.due:
+                        self._emit_window(
+                            tracker.flush(t, len(active)), metrics, observe
+                        )
+                stall.observe_round(len(acked))
 
             if not streaming and not active:
                 completed = True
                 break
 
+        if tracker is not None and tracker.rounds:
+            # Partial trailing window (horizon or drain not divisible by
+            # snapshot_every): flush it so the series covers every round.
+            self._emit_window(
+                tracker.flush(rounds_used, len(active)), metrics, observe
+            )
         if streaming:
             completed = not active
 

@@ -118,7 +118,9 @@ class ScenarioSpec:
     front from ``traffic`` and routed to completion (the static
     protocol, reached through the streaming machinery). ``backoff``
     optionally enables the stall backoff as a dict with keys ``after``,
-    ``cap`` and ``cooldown``.
+    ``cap`` and ``cooldown``. ``snapshot_every`` opts the run into
+    time-resolved window snapshots (see
+    :class:`~repro.scenarios.engine.StreamingConfig`).
     """
 
     name: str
@@ -134,6 +136,7 @@ class ScenarioSpec:
     traffic: dict = field(default_factory=lambda: {"kind": "uniform"})
     events: tuple = ()
     backoff: dict | None = None
+    snapshot_every: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -219,6 +222,7 @@ class ScenarioSpec:
             max_active=self.max_active,
             patience=self.patience,
             rate_windows=tuple(windows),
+            snapshot_every=self.snapshot_every,
         )
 
     # -- (de)serialization ---------------------------------------------------
@@ -239,6 +243,7 @@ class ScenarioSpec:
             "traffic": dict(self.traffic),
             "events": [dict(ev) for ev in self.events],
             "backoff": dict(self.backoff) if self.backoff is not None else None,
+            "snapshot_every": self.snapshot_every,
         }
 
     @classmethod
@@ -252,7 +257,7 @@ class ScenarioSpec:
         known = {
             "name", "description", "workload", "bandwidth", "worm_length",
             "rounds", "max_active", "patience", "backlog", "arrival",
-            "traffic", "events", "backoff",
+            "traffic", "events", "backoff", "snapshot_every",
         }
         unknown = set(data) - known
         if unknown:
@@ -388,19 +393,26 @@ def run_scenario(
     metrics: MetricsRegistry | None = None,
     trace=None,
     rounds: int | None = None,
+    snapshot_every: int | None = None,
+    on_window=None,
 ):
     """Run a scenario (by spec or registry name) and return its result.
 
     One root generator, seeded by ``seed``, drives the whole run; a
     drain-mode backlog consumes one spawned child before the engine
     starts, mirroring the streaming engine's private arrivals stream, so
-    the two modes stay independently deterministic.
+    the two modes stay independently deterministic. ``snapshot_every``
+    overrides the spec's window size; ``on_window`` is called with every
+    emitted window dict (both observability-only -- results stay
+    bit-identical either way).
     """
     if isinstance(spec, str):
         spec = get_scenario(spec)
     rng = as_generator(seed)
     network = build_network(spec.workload)
     config = spec.to_config(rounds=rounds)
+    if snapshot_every is not None:
+        config = replace(config, snapshot_every=snapshot_every)
     if config.arrivals is None:
         backlog_rng = spawn_generator(rng)
         stream = traffic_from_dict(spec.traffic).start(network.nodes)
@@ -410,10 +422,15 @@ def run_scenario(
             paths, topology=network.topology, require_simple=False
         )
         engine = StreamingEngine(
-            config, collection=collection, metrics=metrics, trace=trace
+            config,
+            collection=collection,
+            metrics=metrics,
+            trace=trace,
+            on_window=on_window,
         )
     else:
         engine = StreamingEngine(
-            config, network=network, metrics=metrics, trace=trace
+            config, network=network, metrics=metrics, trace=trace,
+            on_window=on_window,
         )
     return engine.run(rng)

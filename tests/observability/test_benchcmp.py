@@ -1,0 +1,258 @@
+"""Bench-compare tests: loading both schemas, ratios, the CLI gate.
+
+Pins :mod:`repro.observability.benchcmp`: both benchmark JSON shapes
+normalise into per-backend samples, the comparison flags only ratios
+past the threshold, malformed inputs raise :class:`ReproError`, and
+``repro bench compare`` exits 0/1 accordingly.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observability.benchcmp import (
+    DEFAULT_THRESHOLD,
+    BenchDelta,
+    compare_benchmarks,
+    load_bench,
+    render_comparison,
+)
+
+
+def _baseline_payload(median=0.010, stages=None):
+    stages = stages or {"build_events": 0.004, "resolve": 0.004, "finalise": 0.002}
+    return {
+        "benchmark": "BENCH_engine",
+        "python": "3.11.0",
+        "round": {
+            "workload": "mesh_random_function(16, 2)",
+            "round_seconds_median": median,
+            "round_seconds_best": median * 0.9,
+            "events_per_second": 1e6,
+            "stages": {
+                name: {
+                    "seconds_best": mean * 0.9,
+                    "seconds_mean": mean,
+                    "share_of_round": mean / median,
+                }
+                for name, mean in stages.items()
+            },
+        },
+    }
+
+
+def _series_payload(samples):
+    return {"benchmark": "engine_series", "schema": 1, "samples": samples}
+
+
+def _series_sample(backend="python", median=0.010, stages=None):
+    stages = stages or {"build_events": 0.004, "resolve": 0.004, "finalise": 0.002}
+    return {
+        "schema": 1,
+        "backend": backend,
+        "git_rev": "abc1234",
+        "python": "3.11.0",
+        "workload": "mesh_random_function(16, 2)",
+        "round_seconds_median": median,
+        "round_seconds_best": median * 0.9,
+        "events_per_second": 1e6,
+        "stages": stages,
+    }
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadBench:
+    def test_baseline_schema_is_single_python_sample(self, tmp_path):
+        path = _write(tmp_path, "base.json", _baseline_payload())
+        samples = load_bench(path)
+        assert set(samples) == {"python"}
+        s = samples["python"]
+        assert s.round_seconds_median == 0.010
+        assert s.stages["resolve"] == 0.004
+        assert s.meta["source"] == str(path)
+
+    def test_series_schema_takes_latest_per_backend(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "series.json",
+            _series_payload(
+                [
+                    _series_sample("python", median=0.020),
+                    _series_sample("vectorized", median=0.005),
+                    _series_sample("python", median=0.010),  # latest wins
+                ]
+            ),
+        )
+        samples = load_bench(path)
+        assert set(samples) == {"python", "vectorized"}
+        assert samples["python"].round_seconds_median == 0.010
+        assert samples["vectorized"].round_seconds_median == 0.005
+
+    def test_samples_without_backend_field_count_as_python(self, tmp_path):
+        sample = _series_sample()
+        del sample["backend"]
+        path = _write(tmp_path, "s.json", _series_payload([sample]))
+        assert set(load_bench(path)) == {"python"}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_bench(tmp_path / "nothere.json")
+
+    def test_non_benchmark_json_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="neither"):
+            load_bench(_write(tmp_path, "x.json", {"foo": 1}))
+        with pytest.raises(ReproError, match="not a benchmark"):
+            load_bench(_write(tmp_path, "y.json", [1, 2]))
+
+    def test_empty_series_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="no benchmark samples"):
+            load_bench(_write(tmp_path, "e.json", _series_payload([])))
+
+    def test_malformed_sample_raises(self, tmp_path):
+        bad = _series_sample()
+        del bad["round_seconds_median"]
+        with pytest.raises(ReproError, match="malformed"):
+            load_bench(_write(tmp_path, "m.json", _series_payload([bad])))
+
+
+class TestCompare:
+    def test_self_compare_is_not_regressed(self, tmp_path):
+        path = _write(tmp_path, "b.json", _baseline_payload())
+        (delta,) = compare_benchmarks(path, path)
+        assert isinstance(delta, BenchDelta)
+        assert delta.ratio == pytest.approx(1.0)
+        assert not delta.regressed
+        assert delta.stage_ratios["resolve"] == pytest.approx(1.0)
+
+    def test_regression_past_threshold_flags(self, tmp_path):
+        base = _write(tmp_path, "a.json", _baseline_payload(median=0.010))
+        cand = _write(
+            tmp_path,
+            "b.json",
+            _baseline_payload(
+                median=0.030,
+                stages={"build_events": 0.004, "resolve": 0.024, "finalise": 0.002},
+            ),
+        )
+        (delta,) = compare_benchmarks(base, cand)
+        assert delta.ratio == pytest.approx(3.0)
+        assert delta.regressed
+        # Attribution points at the stage that blew up.
+        assert delta.stage_ratios["resolve"] == pytest.approx(6.0)
+        assert delta.stage_ratios["build_events"] == pytest.approx(1.0)
+
+    def test_threshold_is_respected(self, tmp_path):
+        base = _write(tmp_path, "a.json", _baseline_payload(median=0.010))
+        cand = _write(tmp_path, "b.json", _baseline_payload(median=0.014))
+        (loose,) = compare_benchmarks(base, cand, threshold=1.5)
+        (tight,) = compare_benchmarks(base, cand, threshold=1.2)
+        assert not loose.regressed
+        assert tight.regressed
+
+    def test_bad_threshold_raises(self, tmp_path):
+        path = _write(tmp_path, "b.json", _baseline_payload())
+        with pytest.raises(ReproError, match="threshold"):
+            compare_benchmarks(path, path, threshold=0)
+
+    def test_cross_schema_compare(self, tmp_path):
+        base = _write(tmp_path, "base.json", _baseline_payload(median=0.010))
+        cand = _write(
+            tmp_path,
+            "series.json",
+            _series_payload([_series_sample("python", median=0.010)]),
+        )
+        (delta,) = compare_benchmarks(base, cand)
+        assert delta.backend == "python"
+        assert not delta.regressed
+
+    def test_candidate_only_backend_is_skipped_not_flagged(self, tmp_path):
+        base = _write(
+            tmp_path,
+            "a.json",
+            _series_payload([_series_sample("python")]),
+        )
+        cand = _write(
+            tmp_path,
+            "b.json",
+            _series_payload(
+                [_series_sample("python"), _series_sample("vectorized")]
+            ),
+        )
+        deltas = compare_benchmarks(base, cand)
+        assert [d.backend for d in deltas] == ["python"]
+
+    def test_no_shared_backends_raises(self, tmp_path):
+        base = _write(
+            tmp_path, "a.json", _series_payload([_series_sample("python")])
+        )
+        cand = _write(
+            tmp_path, "b.json", _series_payload([_series_sample("vectorized")])
+        )
+        with pytest.raises(ReproError, match="no shared backends"):
+            compare_benchmarks(base, cand)
+
+
+class TestRender:
+    def test_render_names_verdict_and_stages(self, tmp_path):
+        base = _write(tmp_path, "a.json", _baseline_payload(median=0.010))
+        cand = _write(tmp_path, "b.json", _baseline_payload(median=0.030))
+        deltas = compare_benchmarks(base, cand)
+        out = render_comparison(deltas)
+        assert "REGRESSED" in out
+        assert "resolve" in out
+        assert f"threshold x{DEFAULT_THRESHOLD:.2f}" in out
+        ok = render_comparison(compare_benchmarks(base, base))
+        assert "REGRESSED" not in ok and "ok" in ok
+
+
+class TestCLI:
+    def _run(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured
+
+    def test_compare_ok_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "b.json", _baseline_payload())
+        code, captured = self._run(
+            ["bench", "compare", str(path), str(path)], capsys
+        )
+        assert code == 0
+        assert "ok" in captured.out
+
+    def test_compare_regression_exits_one(self, tmp_path, capsys):
+        base = _write(tmp_path, "a.json", _baseline_payload(median=0.010))
+        cand = _write(tmp_path, "b.json", _baseline_payload(median=0.030))
+        code, captured = self._run(
+            ["bench", "compare", str(base), str(cand)], capsys
+        )
+        assert code == 1
+        assert "REGRESSION" in captured.err
+
+    def test_compare_threshold_flag(self, tmp_path, capsys):
+        base = _write(tmp_path, "a.json", _baseline_payload(median=0.010))
+        cand = _write(tmp_path, "b.json", _baseline_payload(median=0.030))
+        code, _ = self._run(
+            ["bench", "compare", str(base), str(cand), "--threshold", "4.0"],
+            capsys,
+        )
+        assert code == 0
+
+    def test_compare_against_committed_benchmarks(self, capsys):
+        # The committed files must always self-compare clean: this is
+        # exactly what the CI smoke runs.
+        for committed in (
+            "benchmarks/results/BENCH_engine.json",
+            "BENCH_engine.json",
+        ):
+            code, _ = self._run(
+                ["bench", "compare", committed, committed], capsys
+            )
+            assert code == 0

@@ -275,6 +275,32 @@ class TestQuantiles:
         assert snap["p50"] == hist["p50"]
         assert snap["p99"] <= hist["max"]
 
+    def test_merged_count_without_minmax_is_none_not_typeerror(self):
+        # A partial snapshot can claim observations but carry no min/max
+        # (e.g. hand-built or version-skewed); quantile must degrade to
+        # None instead of raising inside the interpolation.
+        reg = MetricsRegistry()
+        reg.merge(
+            {
+                "lat": {
+                    "kind": "histogram",
+                    "values": {
+                        "": {
+                            "buckets": {"inf": 2},
+                            "count": 2,
+                            "sum": 3.0,
+                            "min": None,
+                            "max": None,
+                        }
+                    },
+                }
+            }
+        )
+        for q in (0.0, 0.5, 1.0):
+            assert reg.quantile("lat", q) is None
+        snap = reg.snapshot()["lat"]["values"][""]
+        assert snap["p50"] is None and snap["p99"] is None
+
     def test_invalid_q_raises(self):
         reg = MetricsRegistry()
         reg.observe("lat", 1.0)

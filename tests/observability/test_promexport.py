@@ -1,0 +1,157 @@
+"""Prometheus exposition tests: rendering, parsing, and the HTTP exporter.
+
+Pins the text format contract (TYPE lines, cumulative ``le`` buckets
+ending in ``+Inf``, ``_sum``/``_count``, quantile gauges, label
+escaping), the :func:`parse_prometheus_text` inverse, and the stdlib
+HTTP exporter serving live registry state on an ephemeral port.
+"""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.promexport import (
+    CONTENT_TYPE,
+    PrometheusExporter,
+    parse_prometheus_text,
+    registry_to_prometheus,
+    start_http_exporter,
+)
+
+
+def _samples(reg, **kwargs):
+    return parse_prometheus_text(registry_to_prometheus(reg, **kwargs))
+
+
+class TestRendering:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.inc("acked_total", 7, rule="serve_first")
+        reg.gauge("active", 3)
+        text = registry_to_prometheus(reg)
+        assert "# TYPE repro_acked_total counter" in text
+        assert 'repro_acked_total{rule="serve_first"} 7' in text
+        assert "# TYPE repro_active gauge" in text
+        assert "repro_active 3" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty_string(self):
+        assert registry_to_prometheus(MetricsRegistry()) == ""
+
+    def test_accepts_snapshot_dict(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", 2)
+        assert registry_to_prometheus(reg.snapshot()) == registry_to_prometheus(reg)
+
+    def test_namespace_override_and_none(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        assert "myapp_hits 1" in registry_to_prometheus(reg, namespace="myapp")
+        assert "\nhits 1" in registry_to_prometheus(reg, namespace="")
+
+    def test_histogram_buckets_are_cumulative_ending_inf(self):
+        reg = MetricsRegistry(buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            reg.observe("lat", v)
+        samples = _samples(reg)
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in samples
+            if name == "repro_lat_bucket"
+        }
+        assert buckets["1.0"] == 2
+        assert buckets["10.0"] == 3  # cumulative, not per-bucket
+        assert buckets["+Inf"] == 4
+        by_name = {name: value for name, labels, value in samples}
+        assert by_name["repro_lat_count"] == 4
+        assert by_name["repro_lat_sum"] == pytest.approx(106.2)
+
+    def test_histogram_quantile_gauges(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("lat", v)
+        text = registry_to_prometheus(reg)
+        assert "# TYPE repro_lat_quantile gauge" in text
+        qs = {
+            labels["quantile"]: value
+            for name, labels, value in parse_prometheus_text(text)
+            if name == "repro_lat_quantile"
+        }
+        assert set(qs) == {"0.5", "0.95", "0.99"}
+        assert qs["0.5"] == pytest.approx(reg.quantile("lat", 0.5))
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.inc("odd", 1, tag='quo"te\\slash')
+        samples = _samples(reg)
+        (name, labels, value), = samples
+        assert labels["tag"] == 'quo"te\\slash'
+        assert value == 1
+
+    def test_output_is_deterministic_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z_total", 1, rule="b")
+        reg.inc("z_total", 1, rule="a")
+        reg.inc("a_total", 1)
+        text = registry_to_prometheus(reg)
+        assert text == registry_to_prometheus(reg)
+        assert text.index("repro_a_total") < text.index("repro_z_total")
+        assert text.index('rule="a"') < text.index('rule="b"')
+
+
+class TestParsing:
+    def test_round_trips_mixed_registry(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total", 5, mode="x")
+        reg.gauge("g", -2.5)
+        reg.observe("h", 0.25)
+        samples = _samples(reg)
+        values = {(name, tuple(sorted(labels.items()))): v for name, labels, v in samples}
+        assert values[("repro_c_total", (("mode", "x"),))] == 5
+        assert values[("repro_g", ())] == -2.5
+        assert values[("repro_h_count", ())] == 1
+
+    def test_comments_and_blanks_skipped(self):
+        assert parse_prometheus_text("# HELP x y\n\nx 1\n") == [("x", {}, 1.0)]
+
+    def test_bad_lines_raise(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("novalue\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m{k=unquoted} 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m notanumber\n")
+
+
+class TestHTTPExporter:
+    def test_scrape_serves_live_registry(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        with start_http_exporter(reg, port=0) as exporter:
+            assert exporter.port > 0
+            assert exporter.url.endswith(f":{exporter.port}/metrics")
+            with urllib.request.urlopen(exporter.url, timeout=5) as resp:
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode("utf-8")
+            assert ("repro_hits", {}, 1.0) in parse_prometheus_text(body)
+            # Rendering happens at scrape time: new values appear.
+            reg.inc("hits")
+            with urllib.request.urlopen(exporter.url, timeout=5) as resp:
+                body = resp.read().decode("utf-8")
+            assert ("repro_hits", {}, 2.0) in parse_prometheus_text(body)
+
+    def test_unknown_path_is_404(self):
+        with PrometheusExporter(MetricsRegistry(), port=0) as exporter:
+            url = exporter.url.replace("/metrics", "/nope")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5)
+            assert excinfo.value.code == 404
+
+    def test_close_stops_serving(self):
+        exporter = start_http_exporter(MetricsRegistry(), port=0)
+        url = exporter.url
+        exporter.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url, timeout=2)
