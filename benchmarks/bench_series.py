@@ -35,6 +35,16 @@ pooled-trials figures cannot beat serial -- which is why the gate is
 relative to the previous sample, not to a fixed budget. Run via ``make
 bench-series`` or ``python benchmarks/bench_series.py``; tune with
 ``--threshold`` or skip the gate with ``--no-check``.
+
+``--ledger PATH`` additionally records each sample as one
+``kind="bench"`` row in the persistent run ledger
+(:mod:`repro.observability.ledger`), which is the preferred query
+surface going forward: ``repro runs list --kind bench`` / ``repro runs
+compare`` replace ad-hoc BENCH_engine.json parsing (the JSON write
+stays for schema compatibility, but new consumers should read the
+ledger). ``REPRO_BENCH_SLEEP`` (seconds, float) injects a deterministic
+per-round sleep into the timed loop -- a test/CI hook for exercising
+the regression gate with a synthetic slowdown.
 """
 
 from __future__ import annotations
@@ -93,9 +103,13 @@ def collect_sample(backend: str = "python") -> dict:
     engine.run_round(launches, collect_collisions=False)  # warm-up
     registry.reset()
     profiler.reset()
+    # CI hook: a deterministic synthetic slowdown for gate smoke tests.
+    bench_sleep = float(os.environ.get("REPRO_BENCH_SLEEP", "0") or 0)
     timings = []
     for _ in range(ROUND_REPEATS):
         t0 = time.perf_counter()
+        if bench_sleep > 0:
+            time.sleep(bench_sleep)
         engine.run_round(launches, collect_collisions=False)
         timings.append(time.perf_counter() - t0)
 
@@ -185,6 +199,45 @@ def append_sample(path: str | pathlib.Path, sample: dict) -> dict:
     return series
 
 
+def record_sample(ledger, sample: dict, *, wall: float) -> str:
+    """One ``kind="bench"`` ledger row for a measured series sample.
+
+    The whole sample travels in ``summary`` (so ``round_seconds_median``
+    and ``stages`` feed ``repro runs compare`` directly), plus a grouped
+    reservoir of the headline for history quantiles.
+    """
+    from repro.observability import GroupedStats, RunRecord, fingerprint_of
+
+    labels = {
+        "workload": sample["workload"],
+        "backend": sample["backend"],
+        "fault_model": "none",
+        "scenario": "",
+    }
+    groups = GroupedStats()
+    groups.observe(
+        labels,
+        ("bench", sample["taken_unix"]),
+        round_seconds_median=sample["round_seconds_median"],
+        round_seconds_best=sample["round_seconds_best"],
+    )
+    return ledger.record(
+        RunRecord(
+            kind="bench",
+            started_unix=sample["taken_unix"],
+            wall_seconds=wall,
+            workload=sample["workload"],
+            backend=sample["backend"],
+            fault_model="none",
+            fingerprint=fingerprint_of(
+                "engine_series", sample["workload"], sample["backend"]
+            ),
+            summary=dict(sample),
+            groups=groups.snapshot(),
+        )
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Measure, append, gate; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
@@ -203,16 +256,35 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="append the sample without enforcing the regression gate",
     )
+    parser.add_argument(
+        "--ledger",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="also record each sample in the persistent run ledger "
+        "(default .repro/ledger.db when PATH is omitted)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.engine import BACKENDS
+
+    ledger = None
+    if args.ledger is not None:
+        from repro.observability import RunLedger
+
+        ledger = RunLedger(args.ledger or None)
 
     series_before = load_series(args.out)
     failures: list[str] = []
     medians: dict[str, float] = {}
     for backend in BACKENDS:
+        t_sample = time.perf_counter()
         sample = collect_sample(backend)
+        sample_wall = time.perf_counter() - t_sample
         medians[backend] = sample["round_seconds_median"]
+        if ledger is not None:
+            record_sample(ledger, sample, wall=sample_wall)
         if not args.no_check:
             # Each backend gates against ITS previous sample, so the
             # slower python kernel never masks a vectorized regression.
@@ -235,6 +307,9 @@ def main(argv: list[str] | None = None) -> int:
             "by cpu_count)"
         )
     print(f"appended to {args.out}")
+    if ledger is not None:
+        print(f"recorded {len(BACKENDS)} ledger row(s) in {ledger.path}")
+        ledger.close()
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)
     return 1 if failures else 0

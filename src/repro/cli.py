@@ -31,6 +31,14 @@ watch`` alias) renders them live as a refreshing sparkline dashboard.
 ``repro trace {summary,timeline,links,diff}`` analyses saved traces and
 ``repro bench compare A.json B.json`` diffs two engine benchmark files,
 exiting nonzero on a regression. See docs/OBSERVABILITY.md.
+
+History: ``run``, ``faults sweep`` and ``scenario run`` accept
+``--ledger [PATH]`` to record the run in the persistent run ledger
+(default ``.repro/ledger.db``); ``repro runs
+{list,show,compare,groups,gc}`` queries it -- ``repro runs compare
+latest~1 latest`` (or ``repro runs compare latest`` against the grouped
+history baseline) diffs runs with per-stage attribution and exits
+nonzero past the regression threshold.
 """
 
 from __future__ import annotations
@@ -175,6 +183,51 @@ def _render_profiler(args, profiler) -> None:
     print(render_spans(profiler.snapshot()), file=out)
 
 
+def _open_ledger(args):
+    """The run ledger behind ``--ledger`` (None when not requested)."""
+    if getattr(args, "ledger", None) is None:
+        return None
+    from repro.observability import RunLedger
+
+    return RunLedger(args.ledger or None)
+
+
+def _record_cli_run(
+    ledger,
+    *,
+    kind: str,
+    workload: str,
+    args,
+    wall: float,
+    metrics=None,
+    profiler=None,
+    fault_model: str = "none",
+    summary: dict | None = None,
+) -> str:
+    """One ``kind="experiment"`` ledger row for a CLI-level invocation."""
+    from repro.core.engine import get_default_backend
+    from repro.observability import RunRecord, fingerprint_of
+
+    backend = getattr(args, "backend", None) or get_default_backend()
+    seed = getattr(args, "seed", None)
+    trials = getattr(args, "trials", None)
+    return ledger.record(
+        RunRecord(
+            kind=kind,
+            wall_seconds=wall,
+            workload=workload,
+            backend=backend,
+            fault_model=fault_model,
+            seed=seed,
+            trials=trials,
+            fingerprint=fingerprint_of(kind, workload, backend, seed, trials),
+            summary=summary or {},
+            metrics=metrics.snapshot() if metrics is not None else None,
+            spans=profiler.snapshot() if profiler is not None else None,
+        )
+    )
+
+
 def _cmd_list(_args) -> int:
     registry = _registry()
     width = max(len(k) for k in registry)
@@ -198,6 +251,7 @@ def _cmd_run(args) -> int:
     jobs = getattr(args, "jobs", 1)
     metrics, writer, exporter = _open_sinks(args)
     profiler = _open_profiler(args)
+    ledger = _open_ledger(args)
     if writer is not None:
         writer.write_manifest(
             command="run",
@@ -226,6 +280,19 @@ def _cmd_run(args) -> int:
             print(f"\n[{key} done in {elapsed:.1f}s]")
             if writer is not None:
                 writer.write("experiment", id=key, seconds=elapsed)
+            if ledger is not None:
+                # One row per experiment; the metrics/span snapshots are
+                # cumulative across the invocation's targets.
+                _record_cli_run(
+                    ledger,
+                    kind="experiment",
+                    workload=key,
+                    args=args,
+                    wall=elapsed,
+                    metrics=metrics,
+                    profiler=profiler,
+                    summary={"experiment": key, "trials": args.trials},
+                )
         if writer is not None:
             if profiler is not None:
                 from repro.observability import write_profile
@@ -235,6 +302,9 @@ def _cmd_run(args) -> int:
     finally:
         _close_sinks(args, metrics, writer, exporter)
         _render_profiler(args, profiler)
+        if ledger is not None:
+            print(f"recorded {len(targets)} run(s) in ledger {ledger.path}")
+            ledger.close()
     return 0
 
 
@@ -333,6 +403,8 @@ def _cmd_faults_sweep(args) -> int:
     from repro.experiments import exp_resilience
 
     metrics, writer, exporter = _open_sinks(args)
+    profiler = _open_profiler(args)
+    ledger = _open_ledger(args)
     if writer is not None:
         writer.write_manifest(
             command="faults sweep",
@@ -366,12 +438,31 @@ def _cmd_faults_sweep(args) -> int:
             with open(args.out, "w", encoding="utf-8") as fh:
                 fh.write(rendered + "\n")
             print(f"\nwrote fault-sweep tables to {args.out}")
+        elapsed = time.perf_counter() - t0
         if writer is not None:
-            writer.write_summary(
-                tables=len(tables), elapsed=time.perf_counter() - t0
+            if profiler is not None:
+                from repro.observability import write_profile
+
+                write_profile(writer, profiler)
+            writer.write_summary(tables=len(tables), elapsed=elapsed)
+        if ledger is not None:
+            run_id = _record_cli_run(
+                ledger,
+                kind="experiment",
+                workload=f"faults_sweep(side={args.side}, d={args.d})",
+                args=args,
+                wall=elapsed,
+                metrics=metrics,
+                profiler=profiler,
+                fault_model="sweep",
+                summary={"tables": len(tables), "repair": args.repair},
             )
+            print(f"recorded run {run_id} in ledger {ledger.path}")
     finally:
         _close_sinks(args, metrics, writer, exporter)
+        _render_profiler(args, profiler)
+        if ledger is not None:
+            ledger.close()
     return 0
 
 
@@ -474,6 +565,7 @@ def _cmd_scenario_run(args) -> int:
     on_window = _make_watcher(args, windows) if watch else None
     metrics, writer, exporter = _open_sinks(args)
     profiler = _open_profiler(args)
+    ledger = _open_ledger(args)
     if writer is not None:
         writer.write_manifest(
             command="scenario run",
@@ -486,7 +578,7 @@ def _cmd_scenario_run(args) -> int:
         result = run_scenario(
             spec, seed=args.seed, metrics=metrics, trace=writer,
             rounds=args.rounds, snapshot_every=snapshot_every,
-            on_window=on_window,
+            on_window=on_window, ledger=ledger,
         )
         elapsed = time.perf_counter() - t0
         if writer is not None:
@@ -498,6 +590,12 @@ def _cmd_scenario_run(args) -> int:
     finally:
         _close_sinks(args, metrics, writer, exporter)
         _render_profiler(args, profiler)
+        if ledger is not None:
+            print(
+                f"recorded scenario run in ledger {ledger.path}",
+                file=sys.stderr if args.json else sys.stdout,
+            )
+            ledger.close()
     snap = result.snapshot()
     if args.json:
         payload = dict(snap)
@@ -563,6 +661,131 @@ def _cmd_bench_compare(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _runs_ledger(args):
+    """The ledger a ``repro runs`` subcommand queries (default path)."""
+    from repro.observability import RunLedger
+
+    return RunLedger(args.ledger)
+
+
+def _runs_filters(args) -> dict:
+    """The shared ``repro runs`` history filters as keyword arguments."""
+    return {
+        "kind": getattr(args, "kind", None),
+        "workload": getattr(args, "workload", None),
+        "backend": getattr(args, "runs_backend", None),
+        "fault_model": getattr(args, "fault_model", None),
+        "scenario": getattr(args, "scenario", None),
+    }
+
+
+def _cmd_runs_list(args) -> int:
+    with _runs_ledger(args) as ledger:
+        records = ledger.runs(limit=args.limit, **_runs_filters(args))
+        path = ledger.path
+    if not records:
+        print(f"no matching runs in {path} (record some with --ledger)")
+        return 0
+    print(f"{len(records)} run(s) in {path} (oldest first):\n")
+    for r in records:
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(r.started_unix)
+        )
+        what = r.scenario or r.workload or "-"
+        print(
+            f"  {r.run_id}  {when}  {r.kind:<10} {(r.backend or '-'):<10} "
+            f"{r.wall_seconds:9.3f}s  {what}"
+        )
+    print("\ninspect one with 'repro runs show REF' (REF: id prefix, "
+          "latest, latest~N)")
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    with _runs_ledger(args) as ledger:
+        record = ledger.get(args.ref)
+    payload = record.to_dict()
+    if not args.full:
+        for heavy in ("metrics", "spans", "groups"):
+            if payload.get(heavy):
+                payload[heavy] = (
+                    f"<{len(payload[heavy])} entries; rerun with --full>"
+                )
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_runs_compare(args) -> int:
+    from repro.observability import compare_runs, render_comparison
+    from repro.observability.benchcmp import DEFAULT_THRESHOLD
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    with _runs_ledger(args) as ledger:
+        delta = compare_runs(
+            ledger, args.baseline, args.candidate, threshold=threshold
+        )
+    print(f"baseline:  {delta.baseline.meta.get('run_id')}")
+    print(f"candidate: {delta.candidate.meta.get('run_id')}")
+    print(render_comparison([delta], threshold=threshold))
+    if delta.regressed:
+        print(
+            f"REGRESSION: {delta.metric} grew x{delta.ratio:.2f} "
+            f"(threshold x{threshold:.2f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_runs_groups(args) -> int:
+    from repro.observability import parse_group_key
+
+    with _runs_ledger(args) as ledger:
+        stats = ledger.group_history(**_runs_filters(args))
+    snap = stats.snapshot()
+    if args.json:
+        print(json.dumps(snap, sort_keys=True))
+        return 0
+    if not snap:
+        print("no grouped history yet (record runs with --ledger first)")
+        return 0
+
+    def fmt(v) -> str:
+        return "n/a" if v is None else f"{v:.4g}"
+
+    for key, fields in snap.items():
+        labels = parse_group_key(key)
+        desc = ", ".join(f"{k}={v}" for k, v in labels.items() if v)
+        print(f"group [{desc or 'unlabelled'}]:")
+        for name, data in fields.items():
+            mean = data["sum"] / data["count"] if data["count"] else 0.0
+            print(
+                f"  {name:>12}: n={data['count']} mean={fmt(mean)} "
+                f"p50={fmt(data['p50'])} p95={fmt(data['p95'])} "
+                f"p99={fmt(data['p99'])} min={fmt(data['min'])} "
+                f"max={fmt(data['max'])}"
+            )
+    return 0
+
+
+def _cmd_runs_gc(args) -> int:
+    if args.keep is None and args.older_than_days is None:
+        raise ReproError("runs gc needs --keep and/or --older-than-days")
+    before = (
+        time.time() - args.older_than_days * 86400.0
+        if args.older_than_days is not None
+        else None
+    )
+    with _runs_ledger(args) as ledger:
+        removed = ledger.gc(keep=args.keep, before=before, kind=args.kind)
+        remaining = len(ledger.runs())
+        path = ledger.path
+    print(f"removed {removed} run(s) from {path}; {remaining} remain")
     return 0
 
 
@@ -707,6 +930,17 @@ def build_parser() -> argparse.ArgumentParser:
             "batches uncontended events with numpy -- see docs/PERFORMANCE.md)",
         )
 
+    def _add_ledger_flag(p) -> None:
+        p.add_argument(
+            "--ledger",
+            nargs="?",
+            const="",
+            default=None,
+            metavar="PATH",
+            help="record this run in the persistent run ledger (default "
+            ".repro/ledger.db when PATH is omitted; query with 'repro runs')",
+        )
+
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run.add_argument("--trials", type=int, default=5, help="trials per data point")
@@ -721,6 +955,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(run)
     _add_backend_flag(run)
     _add_live_flags(run)
+    _add_ledger_flag(run)
     run.set_defaults(fn=_cmd_run)
 
     demo = sub.add_parser("demo", help="a 30-second protocol demo")
@@ -783,6 +1018,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(f_sweep)
     _add_backend_flag(f_sweep)
+    _add_live_flags(f_sweep)
+    _add_ledger_flag(f_sweep)
     f_sweep.set_defaults(fn=_cmd_faults_sweep)
 
     f_replay = faults_sub.add_parser(
@@ -859,6 +1096,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_observability_flags(p)
         _add_backend_flag(p)
         _add_live_flags(p)
+        _add_ledger_flag(p)
 
     s_run = scenario_sub.add_parser(
         "run",
@@ -902,6 +1140,138 @@ def build_parser() -> argparse.ArgumentParser:
         "factor (default 1.25)",
     )
     b_compare.set_defaults(fn=_cmd_bench_compare)
+
+    runs = sub.add_parser(
+        "runs", help="query the persistent run ledger (see --ledger)"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_runs_ledger_flag(p) -> None:
+        p.add_argument(
+            "--ledger",
+            default=None,
+            metavar="PATH",
+            help="ledger path (default .repro/ledger.db; .jsonl/.ndjson "
+            "selects the append-only JSONL backend)",
+        )
+
+    def _add_runs_filter_flags(p) -> None:
+        p.add_argument(
+            "--kind",
+            choices=["trials", "scenario", "bench", "experiment"],
+            default=None,
+            help="only runs of this kind",
+        )
+        p.add_argument(
+            "--workload", default=None, help="only this workload label"
+        )
+        p.add_argument(
+            "--backend",
+            dest="runs_backend",
+            default=None,
+            help="only this engine backend",
+        )
+        p.add_argument(
+            "--fault-model", default=None, help="only this fault-model label"
+        )
+        p.add_argument(
+            "--scenario", default=None, help="only this scenario name"
+        )
+
+    r_list = runs_sub.add_parser("list", help="list recorded runs")
+    _add_runs_ledger_flag(r_list)
+    _add_runs_filter_flags(r_list)
+    r_list.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the most recent N matching runs",
+    )
+    r_list.set_defaults(fn=_cmd_runs_list)
+
+    r_show = runs_sub.add_parser(
+        "show", help="print one recorded run as JSON"
+    )
+    r_show.add_argument(
+        "ref", help="run reference: id (or unique prefix), latest, latest~N"
+    )
+    r_show.add_argument(
+        "--full",
+        action="store_true",
+        help="include the full metrics/span/grouped-stats snapshots",
+    )
+    _add_runs_ledger_flag(r_show)
+    r_show.set_defaults(fn=_cmd_runs_show)
+
+    r_compare = runs_sub.add_parser(
+        "compare",
+        help="diff two runs -- or one run against its grouped history "
+        "baseline -- with per-stage attribution (exit 1 past the "
+        "regression threshold)",
+    )
+    r_compare.add_argument(
+        "baseline", help="baseline run reference (or, with no candidate, "
+        "the run to judge against its history)"
+    )
+    r_compare.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="candidate run reference; omit to compare 'baseline' against "
+        "the median of its (kind, workload, backend, fault-model, "
+        "scenario) history",
+    )
+    r_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="X",
+        help="flag a regression when the headline metric grew by more "
+        "than this factor (default 1.25)",
+    )
+    _add_runs_ledger_flag(r_compare)
+    r_compare.set_defaults(fn=_cmd_runs_compare)
+
+    r_groups = runs_sub.add_parser(
+        "groups",
+        help="bounded-memory grouped history: per (workload, backend, "
+        "fault-model, scenario) counts, means and p50/p95/p99",
+    )
+    _add_runs_ledger_flag(r_groups)
+    _add_runs_filter_flags(r_groups)
+    r_groups.add_argument(
+        "--json",
+        action="store_true",
+        help="print the merged grouped-stats snapshot as one JSON object",
+    )
+    r_groups.set_defaults(fn=_cmd_runs_groups)
+
+    r_gc = runs_sub.add_parser(
+        "gc", help="delete old runs from the ledger"
+    )
+    _add_runs_ledger_flag(r_gc)
+    r_gc.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retain only the most recent N runs (per --kind when given)",
+    )
+    r_gc.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="delete runs started more than D days ago",
+    )
+    r_gc.add_argument(
+        "--kind",
+        choices=["trials", "scenario", "bench", "experiment"],
+        default=None,
+        help="restrict gc to runs of this kind",
+    )
+    r_gc.set_defaults(fn=_cmd_runs_gc)
 
     report = sub.add_parser(
         "report", help="aggregate benchmarks/results into one markdown report"

@@ -31,7 +31,17 @@ numbers. This package is the cross-cutting layer that produces them:
   rendered by :func:`~repro.observability.analysis.render_spans`;
 * :mod:`repro.observability.promexport` -- Prometheus text exposition
   of the metrics registry plus a stdlib HTTP ``/metrics`` exporter,
-  surfaced as the CLI's ``--prom-port``.
+  surfaced as the CLI's ``--prom-port``;
+* :mod:`repro.observability.groupstats` -- bounded-memory per-group
+  accumulators (exact counters + deterministic mergeable
+  reservoir-sampled quantiles), keyed by (workload, backend,
+  fault-model, scenario), bit-identical across ``jobs`` and merge
+  orders;
+* :mod:`repro.observability.ledger` -- the persistent run ledger
+  (stdlib SQLite, JSONL fallback): one durable row per run/trial
+  batch/benchmark sample with fingerprint, provenance and full
+  metric/span/grouped-stats snapshots, surfaced as the ``repro runs``
+  CLI family with history-aware regression comparison.
 
 The instrumented layers are :class:`~repro.core.engine.RoutingEngine`,
 :class:`~repro.core.protocol.TrialAndFailureProtocol`,
@@ -65,10 +75,26 @@ from repro.observability.benchcmp import (
     BenchDelta,
     BenchSample,
     compare_benchmarks,
+    delta_between,
     load_bench,
     render_comparison,
 )
 from repro.observability.flightrec import FLIGHT_KINDS, FlightRecorder
+from repro.observability.groupstats import (
+    DEFAULT_RESERVOIR_CAP,
+    GroupedStats,
+    Reservoir,
+    group_key,
+    parse_group_key,
+)
+from repro.observability.ledger import (
+    DEFAULT_LEDGER_PATH,
+    RunLedger,
+    RunRecord,
+    compare_runs,
+    fingerprint_of,
+    stable_repr,
+)
 from repro.observability.logconf import LOG_FORMAT, configure_logging, get_logger
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
@@ -114,8 +140,20 @@ __all__ = [
     "BenchDelta",
     "BenchSample",
     "compare_benchmarks",
+    "delta_between",
     "load_bench",
     "render_comparison",
+    "DEFAULT_RESERVOIR_CAP",
+    "GroupedStats",
+    "Reservoir",
+    "group_key",
+    "parse_group_key",
+    "DEFAULT_LEDGER_PATH",
+    "RunLedger",
+    "RunRecord",
+    "compare_runs",
+    "fingerprint_of",
+    "stable_repr",
     "LinkStats",
     "Occupation",
     "ReplayReport",

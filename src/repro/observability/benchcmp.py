@@ -26,6 +26,7 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "BenchSample",
     "BenchDelta",
+    "delta_between",
     "load_bench",
     "compare_benchmarks",
     "render_comparison",
@@ -59,9 +60,12 @@ class BenchSample:
 class BenchDelta:
     """The A-to-B comparison for one backend.
 
-    ``ratio`` is candidate/baseline ``round_seconds_median`` (> 1 means
-    the candidate is slower); ``stage_ratios`` attributes the change to
-    the engine stages; ``regressed`` is ``ratio > threshold``.
+    ``ratio`` is candidate/baseline headline (> 1 means the candidate
+    is slower); ``stage_ratios`` attributes the change to the measured
+    stages; ``regressed`` is ``ratio > threshold``. ``metric`` names
+    the headline being compared -- ``round_seconds_median`` for engine
+    benchmarks, ``wall_seconds`` when the run ledger diffs two recorded
+    runs through :func:`delta_between`.
     """
 
     backend: str
@@ -70,6 +74,53 @@ class BenchDelta:
     ratio: float
     stage_ratios: dict
     regressed: bool
+    metric: str = "round_seconds_median"
+
+
+def delta_between(
+    baseline: BenchSample,
+    candidate: BenchSample,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    metric: str = "round_seconds_median",
+) -> BenchDelta:
+    """The normalised comparison of two samples (shared with the ledger).
+
+    The headline value travels in ``round_seconds_median`` (``metric``
+    only relabels it for rendering); stage ratios cover the union of
+    both samples' stages, ``None`` marking a stage measured on one side
+    only. This is the single place the headline ratio and the per-stage
+    attribution are computed -- ``repro bench compare`` and ``repro runs
+    compare`` both go through it.
+    """
+    if threshold <= 0:
+        raise ReproError(f"threshold must be > 0, got {threshold}")
+    ratio = (
+        candidate.round_seconds_median / baseline.round_seconds_median
+        if baseline.round_seconds_median > 0
+        else float("inf")
+    )
+    known = [s for s in STAGES if s in baseline.stages or s in candidate.stages]
+    extra = sorted(
+        (set(baseline.stages) | set(candidate.stages)) - set(STAGES)
+    )
+    stage_ratios = {
+        stage: (
+            candidate.stages[stage] / baseline.stages[stage]
+            if baseline.stages.get(stage) and stage in candidate.stages
+            else None
+        )
+        for stage in (*known, *extra)
+    }
+    return BenchDelta(
+        backend=candidate.backend,
+        baseline=baseline,
+        candidate=candidate,
+        ratio=ratio,
+        stage_ratios=stage_ratios,
+        regressed=ratio > threshold,
+        metric=metric,
+    )
 
 
 def _normalise_baseline(payload: dict, path: str) -> dict[str, BenchSample]:
@@ -168,34 +219,10 @@ def compare_benchmarks(
             f"no shared backends: baseline has {sorted(base)}, "
             f"candidate has {sorted(cand)}"
         )
-    deltas = []
-    for backend in shared:
-        a, b = base[backend], cand[backend]
-        ratio = (
-            b.round_seconds_median / a.round_seconds_median
-            if a.round_seconds_median > 0
-            else float("inf")
-        )
-        stage_ratios = {
-            stage: (
-                b.stages[stage] / a.stages[stage]
-                if a.stages.get(stage) and stage in b.stages
-                else None
-            )
-            for stage in STAGES
-            if stage in a.stages or stage in b.stages
-        }
-        deltas.append(
-            BenchDelta(
-                backend=backend,
-                baseline=a,
-                candidate=b,
-                ratio=ratio,
-                stage_ratios=stage_ratios,
-                regressed=ratio > threshold,
-            )
-        )
-    return deltas
+    return [
+        delta_between(base[backend], cand[backend], threshold=threshold)
+        for backend in shared
+    ]
 
 
 def render_comparison(
@@ -205,15 +232,20 @@ def render_comparison(
     lines = []
     for d in deltas:
         verdict = "REGRESSED" if d.regressed else "ok"
+        label = (
+            "round median"
+            if d.metric == "round_seconds_median"
+            else d.metric
+        )
         lines.append(
-            f"{d.backend}: round median "
+            f"{d.backend}: {label} "
             f"{d.baseline.round_seconds_median * 1e3:.3f}ms -> "
             f"{d.candidate.round_seconds_median * 1e3:.3f}ms "
             f"(x{d.ratio:.2f}, threshold x{threshold:.2f}) {verdict}"
         )
         for stage, ratio in d.stage_ratios.items():
             if ratio is None:
-                lines.append(f"  {stage:>12}: (missing in one file)")
+                lines.append(f"  {stage:>12}: (missing on one side)")
                 continue
             a = d.baseline.stages.get(stage)
             b = d.candidate.stages.get(stage)

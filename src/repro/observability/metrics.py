@@ -55,21 +55,73 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 _KINDS = ("counter", "gauge", "histogram")
 
 
+def _escape_label_part(text: str) -> str:
+    r"""Escape one key or value for the canonical label-key string.
+
+    The separators (``=`` between key and value, ``,`` between pairs)
+    plus backslash and newline are escaped, so a value like ``"a=1,b"``
+    survives the round trip instead of being re-split into phantom
+    labels -- which is what the Prometheus exporter (and anything else
+    calling :func:`parse_label_key`) would otherwise see.
+    """
+    return (
+        text.replace("\\", "\\\\")
+        .replace("=", "\\=")
+        .replace(",", "\\,")
+        .replace("\n", "\\n")
+    )
+
+
 def _label_key(labels: Mapping[str, object]) -> str:
-    """Canonical ``k=v,k2=v2`` string (sorted by key; '' when unlabelled)."""
+    """Canonical ``k=v,k2=v2`` string (sorted by key; '' when unlabelled).
+
+    Keys and values containing the separator characters are
+    backslash-escaped; :func:`parse_label_key` is the exact inverse.
+    """
     if not labels:
         return ""
-    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return ",".join(
+        f"{_escape_label_part(str(k))}={_escape_label_part(str(labels[k]))}"
+        for k in sorted(labels)
+    )
 
 
 def parse_label_key(key: str) -> dict[str, str]:
-    """Invert :func:`_label_key`: ``'a=1,b=x'`` back to a dict."""
+    """Invert :func:`_label_key`: ``'a=1,b=x'`` back to a dict.
+
+    Honours the backslash escapes :func:`_label_key` emits for label
+    keys/values containing ``=``, ``,``, backslashes or newlines.
+    """
     if not key:
         return {}
     out: dict[str, str] = {}
-    for part in key.split(","):
-        k, _, v = part.partition("=")
-        out[k] = v
+    part: list[str] = []
+    name: str | None = None
+    i = 0
+    while i < len(key):
+        ch = key[i]
+        if ch == "\\" and i + 1 < len(key):
+            part.append({"n": "\n"}.get(key[i + 1], key[i + 1]))
+            i += 2
+            continue
+        if ch == "=" and name is None:
+            name = "".join(part)
+            part = []
+        elif ch == ",":
+            if name is None:
+                out["".join(part)] = ""
+            else:
+                out[name] = "".join(part)
+            name = None
+            part = []
+        else:
+            part.append(ch)
+        i += 1
+    if name is None:
+        if part:
+            out["".join(part)] = ""
+    else:
+        out[name] = "".join(part)
     return out
 
 

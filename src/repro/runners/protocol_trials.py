@@ -11,21 +11,108 @@ and the benchmark harness share.
 
 from __future__ import annotations
 
+import time
 from functools import partial
 from typing import Callable
 
 from repro.core.protocol import ProtocolConfig, TrialAndFailureProtocol
 from repro.core.records import ProtocolResult
+from repro.observability.groupstats import GroupedStats
+from repro.observability.ledger import RunLedger, RunRecord, fingerprint_of, stable_repr
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import get_profiler
 from repro.optics.coupler import CollisionRule
 from repro.paths.collection import PathCollection
-from repro.runners.trial import TrialProgress, TrialRunner
+from repro.runners.trial import (
+    TrialProgress,
+    TrialRunner,
+    _describe_trial_fn,
+    spawn_seeds,
+)
 
 __all__ = [
     "protocol_trial",
     "instrumented_protocol_trial",
+    "fault_label",
     "route_collection_trials",
 ]
+
+
+def fault_label(config: ProtocolConfig) -> str:
+    """The canonical fault-model label of a protocol config.
+
+    The run ledger groups history by (workload, backend, fault-model,
+    scenario); this is the fault-model coordinate -- ``"none"`` for a
+    fault-free config, otherwise the fault spec / rate / repair policy.
+    """
+    parts = []
+    if config.faults is not None:
+        parts.append(stable_repr(config.faults))
+    if config.fault_rate:
+        parts.append(f"rate={config.fault_rate}")
+    if config.repair != "none":
+        parts.append(f"repair={config.repair}")
+    return ",".join(parts) or "none"
+
+
+def _record_trial_batch(
+    ledger: RunLedger,
+    *,
+    collection: PathCollection,
+    config: ProtocolConfig,
+    trial_fn,
+    trials: int,
+    seed,
+    results: list[ProtocolResult],
+    started: float,
+    wall: float,
+    metrics: MetricsRegistry | None,
+) -> str:
+    """One ledger row for a completed trial batch; returns the run id."""
+    from repro.core.engine import get_default_backend
+
+    backend = config.backend or get_default_backend()
+    labels = {
+        "workload": repr(collection),
+        "backend": backend,
+        "fault_model": fault_label(config),
+        "scenario": "",
+    }
+    groups = GroupedStats()
+    for child_seed, result in zip(spawn_seeds(seed, trials), results):
+        groups.observe(
+            labels,
+            child_seed,
+            rounds=result.rounds,
+            makespan=result.total_time,
+        )
+    completed = sum(1 for r in results if r.completed)
+    profiler = get_profiler()
+    record = RunRecord(
+        kind="trials",
+        started_unix=started,
+        wall_seconds=wall,
+        workload=labels["workload"],
+        backend=backend,
+        fault_model=labels["fault_model"],
+        seed=seed if isinstance(seed, int) else None,
+        trials=trials,
+        fingerprint=fingerprint_of(
+            _describe_trial_fn(trial_fn), backend, trials, seed
+        ),
+        summary={
+            "completed": completed,
+            "trials": trials,
+            "rounds_p50": groups.quantile(labels, "rounds", 0.50),
+            "rounds_p95": groups.quantile(labels, "rounds", 0.95),
+            "rounds_p99": groups.quantile(labels, "rounds", 0.99),
+            "seed": seed if isinstance(seed, int) else stable_repr(seed),
+        },
+        metrics=metrics.snapshot() if metrics is not None else None,
+        spans=get_profiler().snapshot() if profiler.enabled else None,
+        groups=groups.snapshot(),
+    )
+    return ledger.record(record)
 
 
 def protocol_trial(
@@ -65,6 +152,7 @@ def route_collection_trials(
     metrics: MetricsRegistry | None = None,
     checkpoint=None,
     backend: str | None = None,
+    ledger: RunLedger | None = None,
     **config_kwargs,
 ) -> list[ProtocolResult]:
     """Route ``collection`` over ``trials`` independent seeds.
@@ -84,6 +172,14 @@ def route_collection_trials(
     and gauge aggregation is bit-identical for any ``jobs`` (wall-clock
     histogram sums are run-dependent by nature). The runner's own batch
     metrics land in the same registry.
+
+    When ``ledger`` (a :class:`~repro.observability.ledger.RunLedger`)
+    is given, the completed batch is recorded as one ``kind="trials"``
+    row: config fingerprint, seed, backend, workload and fault-model
+    labels, wall time, the metrics/span snapshots, and a
+    :class:`~repro.observability.groupstats.GroupedStats` snapshot of
+    per-trial rounds and makespan keyed by each trial's child seed --
+    bit-identical for any ``jobs`` because the results are.
     """
     config = ProtocolConfig(
         bandwidth=bandwidth,
@@ -106,11 +202,27 @@ def route_collection_trials(
         metrics=metrics,
         checkpoint=checkpoint,
     )
+    started = time.time()
     outputs = runner.run(trials, seed)
+    wall = time.time() - started
     if metrics is None:
-        return outputs
-    results = []
-    for result, snapshot in outputs:
-        results.append(result)
-        metrics.merge(snapshot)
+        results = outputs
+    else:
+        results = []
+        for result, snapshot in outputs:
+            results.append(result)
+            metrics.merge(snapshot)
+    if ledger is not None:
+        _record_trial_batch(
+            ledger,
+            collection=collection,
+            config=config,
+            trial_fn=trial_fn,
+            trials=trials,
+            seed=seed,
+            results=results,
+            started=started,
+            wall=wall,
+            metrics=metrics,
+        )
     return results

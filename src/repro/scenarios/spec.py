@@ -23,6 +23,7 @@ Events are schedule windows layered on the baseline load:
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field, replace
 
 from repro._util import as_generator, spawn_generator
@@ -395,6 +396,7 @@ def run_scenario(
     rounds: int | None = None,
     snapshot_every: int | None = None,
     on_window=None,
+    ledger=None,
 ):
     """Run a scenario (by spec or registry name) and return its result.
 
@@ -404,7 +406,12 @@ def run_scenario(
     the two modes stay independently deterministic. ``snapshot_every``
     overrides the spec's window size; ``on_window`` is called with every
     emitted window dict (both observability-only -- results stay
-    bit-identical either way).
+    bit-identical either way). ``ledger`` (a
+    :class:`~repro.observability.ledger.RunLedger`) records the finished
+    run as one ``kind="scenario"`` row -- fingerprint, scenario and
+    workload labels, wall time, metric/span snapshots, and grouped
+    latency / drop-rate / throughput reservoirs -- without perturbing
+    the run.
     """
     if isinstance(spec, str):
         spec = get_scenario(spec)
@@ -433,4 +440,76 @@ def run_scenario(
             config, network=network, metrics=metrics, trace=trace,
             on_window=on_window,
         )
-    return engine.run(rng)
+    started = time.time()
+    result = engine.run(rng)
+    if ledger is not None:
+        _record_scenario_run(
+            ledger,
+            spec=spec,
+            config=config,
+            seed=seed,
+            result=result,
+            started=started,
+            wall=time.time() - started,
+            metrics=metrics,
+        )
+    return result
+
+
+def _record_scenario_run(
+    ledger, *, spec, config, seed, result, started, wall, metrics
+) -> str:
+    """One ``kind="scenario"`` ledger row for a finished run."""
+    from repro.core.engine import get_default_backend
+    from repro.observability.groupstats import GroupedStats
+    from repro.observability.ledger import RunRecord, fingerprint_of, stable_repr
+    from repro.observability.spans import get_profiler
+    from repro.runners.protocol_trials import fault_label
+
+    backend = config.protocol.backend or get_default_backend()
+    labels = {
+        "workload": json.dumps(spec.workload, sort_keys=True),
+        "backend": backend,
+        "fault_model": fault_label(config.protocol),
+        "scenario": spec.name,
+    }
+    groups = GroupedStats()
+    # Latencies arrive in deterministic ack order, so (scenario, index)
+    # uniquely and reproducibly identifies each observation.
+    for index, latency in enumerate(result.latencies):
+        groups.observe(labels, ("latency", index), latency=latency)
+    groups.observe(
+        labels,
+        ("run", stable_repr(seed)),
+        rounds=result.rounds,
+        drop_rate=result.drop_rate,
+        throughput=result.throughput,
+    )
+    profiler = get_profiler()
+    record = RunRecord(
+        kind="scenario",
+        started_unix=started,
+        wall_seconds=wall,
+        workload=labels["workload"],
+        backend=backend,
+        fault_model=labels["fault_model"],
+        scenario=spec.name,
+        seed=seed if isinstance(seed, int) else None,
+        trials=None,
+        fingerprint=fingerprint_of(spec, backend, seed),
+        summary={
+            "completed": result.completed,
+            "rounds": result.rounds,
+            "offered": result.offered,
+            "acked": result.acked,
+            "rejected": result.rejected,
+            "expired": result.expired,
+            "drop_rate": result.drop_rate,
+            "throughput": result.throughput,
+            "seed": seed if isinstance(seed, int) else stable_repr(seed),
+        },
+        metrics=metrics.snapshot() if metrics is not None else None,
+        spans=profiler.snapshot() if profiler.enabled else None,
+        groups=groups.snapshot(),
+    )
+    return ledger.record(record)

@@ -160,3 +160,49 @@ class TestRepoSeries:
             assert sample["cpu_count"] >= 1
             assert "git_rev" in sample and "python" in sample
             assert sample.get("backend", "python") in ("python", "vectorized")
+
+
+class TestLedgerRecording:
+    def test_record_sample_writes_bench_row(self, series_mod, tmp_path):
+        from repro.observability import RunLedger
+
+        sample = _sample(
+            0.01,
+            backend="vectorized",
+            taken_unix=123.0,
+            workload="mesh_random_function(16, 2)",
+            round_seconds_best=0.009,
+            stages={"build_events": 0.002, "resolve": 0.005},
+        )
+        with RunLedger(tmp_path / "ledger.db") as ledger:
+            run_id = series_mod.record_sample(ledger, sample, wall=0.5)
+            record = ledger.get(run_id)
+        assert record.kind == "bench"
+        assert record.backend == "vectorized"
+        assert record.wall_seconds == 0.5
+        # Bench rows compare on the round median, not wall seconds.
+        assert record.headline() == ("round_seconds_median", 0.01)
+        assert record.stage_means() == {"build_events": 0.002, "resolve": 0.005}
+        assert record.fingerprint
+        (fields,) = record.groups.values()
+        assert fields["round_seconds_median"]["count"] == 1
+
+
+class TestSleepHook:
+    def test_injected_sleep_slows_round_median(self, series_mod, monkeypatch):
+        # The CI smoke job uses REPRO_BENCH_SLEEP to manufacture a
+        # regression; the hook must show up in the measured median.
+        monkeypatch.setattr(series_mod, "SIDE", 4)
+        monkeypatch.setattr(series_mod, "ROUND_REPEATS", 3)
+        monkeypatch.setattr(series_mod, "TRIALS", 1)
+        monkeypatch.setenv("REPRO_BENCH_SLEEP", "0.02")
+        sample = series_mod.collect_sample("python")
+        assert sample["round_seconds_median"] >= 0.02
+
+    def test_empty_env_means_no_sleep(self, series_mod, monkeypatch):
+        monkeypatch.setattr(series_mod, "SIDE", 4)
+        monkeypatch.setattr(series_mod, "ROUND_REPEATS", 2)
+        monkeypatch.setattr(series_mod, "TRIALS", 1)
+        monkeypatch.setenv("REPRO_BENCH_SLEEP", "")
+        sample = series_mod.collect_sample("python")
+        assert sample["round_seconds_median"] < 0.5

@@ -1,0 +1,203 @@
+"""CLI surface of the run ledger: ``--ledger`` flags and ``repro runs``.
+
+Pins the wiring: ``scenario run``/``faults sweep``/``run`` accept
+``--ledger PATH`` and record one row; ``repro runs
+list|show|compare|groups|gc`` query it; ``runs compare`` exits 0 on a
+self-compare and 1 past the threshold (the history-aware CI gate); and
+``faults sweep`` gained ``--prom-port``/``--profile`` parity with
+``run``/``scenario run``.
+"""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.observability import RunLedger, RunRecord
+
+
+def _scenario(ledger, seed=3):
+    return main(
+        [
+            "scenario", "run", "--scenario", "static-drain",
+            "--seed", str(seed), "--ledger", str(ledger),
+        ]
+    )
+
+
+def _seed_rows(path, walls, **kwargs):
+    with RunLedger(path) as ledger:
+        for wall in walls:
+            ledger.record(
+                RunRecord(
+                    kind="trials",
+                    wall_seconds=wall,
+                    workload="w",
+                    backend="python",
+                    fault_model="none",
+                    **kwargs,
+                )
+            )
+
+
+class TestLedgerFlag:
+    def test_scenario_run_records_one_row(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.db"
+        assert _scenario(ledger) == 0
+        capsys.readouterr()
+        with RunLedger(ledger) as led:
+            (record,) = led.runs()
+        assert record.kind == "scenario"
+        assert record.scenario == "static-drain"
+
+    def test_faults_sweep_records_and_profiles(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.db"
+        code = main(
+            [
+                "faults", "sweep", "--side", "4", "--trials", "1",
+                "--ledger", str(ledger), "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # --profile parity with run/scenario run: the flame view prints.
+        assert "span profile" in out
+        with RunLedger(ledger) as led:
+            (record,) = led.runs()
+        assert record.kind == "experiment"
+        assert record.fault_model == "sweep"
+        assert record.spans  # the profiler snapshot rode along
+
+    def test_parser_exposes_live_flags_on_faults_sweep(self):
+        args = build_parser().parse_args(
+            ["faults", "sweep", "--prom-port", "0", "--profile"]
+        )
+        assert args.prom_port == 0
+        assert args.profile is True
+
+
+class TestRunsList:
+    def test_lists_recorded_runs(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0, 2.0])
+        assert main(["runs", "list", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "trials" in out
+
+    def test_empty_ledger_is_not_an_error(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        assert main(["runs", "list", "--ledger", str(path)]) == 0
+        assert "no matching runs" in capsys.readouterr().out
+
+    def test_kind_filter_and_limit(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0, 2.0, 3.0])
+        assert (
+            main(
+                [
+                    "runs", "list", "--ledger", str(path),
+                    "--kind", "trials", "--limit", "1",
+                ]
+            )
+            == 0
+        )
+        assert "1 run(s)" in capsys.readouterr().out
+        assert (
+            main(["runs", "list", "--ledger", str(path), "--kind", "bench"])
+            == 0
+        )
+        assert "no matching runs" in capsys.readouterr().out
+
+
+class TestRunsShow:
+    def test_show_prints_json(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0])
+        assert main(["runs", "show", "latest", "--ledger", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "trials"
+        assert payload["wall_seconds"] == 1.0
+
+    def test_unknown_ref_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0])
+        assert main(["runs", "show", "nope", "--ledger", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunsCompare:
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0])
+        code = main(
+            ["runs", "compare", "latest", "latest", "--ledger", str(path)]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0, 1.5])
+        code = main(
+            [
+                "runs", "compare", "latest~1", "latest",
+                "--ledger", str(path), "--threshold", "1.25",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "REGRESSION" in captured.err
+
+    def test_history_baseline_mode(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0, 1.0, 1.0, 4.0])
+        code = main(["runs", "compare", "latest", "--ledger", str(path)])
+        assert code == 1
+        assert "history[n=3]" in capsys.readouterr().out
+
+
+class TestRunsGroups:
+    def test_groups_render_and_json(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.db"
+        assert _scenario(ledger) == 0
+        capsys.readouterr()
+        assert main(["runs", "groups", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=static-drain" in out
+        assert "latency" in out and "p95=" in out
+        assert (
+            main(["runs", "groups", "--ledger", str(ledger), "--json"]) == 0
+        )
+        snap = json.loads(capsys.readouterr().out)
+        (fields,) = snap.values()
+        assert "latency" in fields
+
+
+class TestRunsGc:
+    def test_keep_prunes_old_rows(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0, 2.0, 3.0])
+        assert (
+            main(["runs", "gc", "--keep", "1", "--ledger", str(path)]) == 0
+        )
+        assert "removed 2 run(s)" in capsys.readouterr().out
+        with RunLedger(path) as led:
+            assert len(led.runs()) == 1
+
+    def test_gc_without_bounds_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "ledger.db"
+        _seed_rows(path, [1.0])
+        assert main(["runs", "gc", "--ledger", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestJsonlLedgerViaCli:
+    def test_jsonl_suffix_selects_fallback_writer(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert _scenario(ledger) == 0
+        capsys.readouterr()
+        lines = ledger.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "scenario"
+        assert main(["runs", "list", "--ledger", str(ledger)]) == 0
+        assert "1 run(s)" in capsys.readouterr().out

@@ -1,0 +1,198 @@
+"""Grouped bounded-memory statistics: determinism, merging, memory bounds.
+
+The contract under test (docs/OBSERVABILITY.md): grouped quantile
+snapshots are bit-identical across shard splits (``jobs=1`` vs
+``jobs=N``) and across merge orders, and the per-(group, field) memory
+stays constant as the observation count grows -- the two properties
+that let million-trial sweeps report grouped p50/p95/p99 without
+unbounded histograms.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    DEFAULT_RESERVOIR_CAP,
+    GroupedStats,
+    Reservoir,
+    group_key,
+    parse_group_key,
+)
+
+GROUP = {"workload": "mesh(8,2)", "backend": "python", "fault_model": "none"}
+
+
+def _observations(n, seed=13):
+    rng = random.Random(seed)
+    return [(uid, rng.uniform(0.0, 500.0)) for uid in range(n)]
+
+
+class TestGroupKey:
+    def test_round_trip(self):
+        assert parse_group_key(group_key(GROUP)) == GROUP
+
+    def test_pathological_labels_round_trip(self):
+        labels = {"workload": "mesh(8,2), d=2", "note": "a\\b\nc"}
+        assert parse_group_key(group_key(labels)) == labels
+
+    def test_key_is_order_insensitive(self):
+        assert group_key({"a": 1, "b": 2}) == group_key({"b": 2, "a": 1})
+
+
+class TestReservoir:
+    def test_exact_below_cap(self):
+        res = Reservoir(cap=100)
+        for uid, v in _observations(50):
+            res.observe(v, uid)
+        values = sorted(v for _, v in _observations(50))
+        assert res.count == 50
+        assert res.min == values[0] and res.max == values[-1]
+        assert res.quantile(0.0) == values[0]
+        assert res.quantile(1.0) == values[-1]
+        assert res.quantile(0.5) == values[24]
+
+    def test_sample_bounded_at_cap(self):
+        res = Reservoir(cap=32)
+        for uid, v in _observations(10_000):
+            res.observe(v, uid)
+        assert res.count == 10_000
+        assert res.sample_size == 32
+
+    def test_merge_equals_single_stream(self):
+        obs = _observations(2_000)
+        whole = Reservoir(cap=64)
+        for uid, v in obs:
+            whole.observe(v, uid)
+        parts = [Reservoir(cap=64) for _ in range(4)]
+        for uid, v in obs:
+            parts[uid % 4].observe(v, uid)
+        merged = Reservoir(cap=64)
+        for part in parts:
+            merged.merge(part.snapshot())
+        assert merged.snapshot() == whole.snapshot()
+
+    def test_invalid_cap_and_quantile(self):
+        with pytest.raises(ObservabilityError):
+            Reservoir(cap=0)
+        res = Reservoir()
+        with pytest.raises(ObservabilityError):
+            res.quantile(1.5)
+        assert res.quantile(0.5) is None
+
+    def test_non_finite_observation_raises(self):
+        res = Reservoir()
+        with pytest.raises(ObservabilityError):
+            res.observe(float("inf"), 0)
+
+    def test_sum_is_exact(self):
+        # Naive float folding gives sum([0.1]*10) == 0.9999999999999999;
+        # the fixed-point accumulator matches the correctly-rounded
+        # exact sum instead (what math.fsum computes).
+        import math
+
+        res = Reservoir()
+        for uid in range(10):
+            res.observe(0.1, uid)
+        assert res.sum == math.fsum([0.1] * 10)
+        assert res.sum != sum([0.1] * 10)
+
+
+class TestDeterminism:
+    """The acceptance-criterion properties, at GroupedStats level."""
+
+    def test_bit_identical_across_shard_splits(self):
+        # jobs=1 (one stream) vs jobs=4 (four shards): identical snapshots.
+        obs = _observations(5_000)
+        serial = GroupedStats(cap=64)
+        for uid, v in obs:
+            serial.observe(GROUP, uid, rounds=v)
+        for shards in (2, 4, 7):
+            parts = [GroupedStats(cap=64) for _ in range(shards)]
+            for uid, v in obs:
+                parts[uid % shards].observe(GROUP, uid, rounds=v)
+            merged = GroupedStats(cap=64)
+            for part in parts:
+                merged.merge(part.snapshot())
+            assert merged.snapshot() == serial.snapshot()
+
+    def test_bit_identical_across_merge_orders(self):
+        obs = _observations(3_000)
+        parts = [GroupedStats(cap=32) for _ in range(5)]
+        for uid, v in obs:
+            parts[uid % 5].observe(GROUP, uid, rounds=v, makespan=2 * v)
+        orders = [
+            list(range(5)),
+            list(reversed(range(5))),
+            [2, 0, 4, 1, 3],
+        ]
+        snapshots = []
+        for order in orders:
+            merged = GroupedStats(cap=32)
+            for i in order:
+                merged.merge(parts[i].snapshot())
+            snapshots.append(merged.snapshot())
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_remerging_same_snapshot_keeps_sample_stable(self):
+        stats = GroupedStats(cap=16)
+        for uid, v in _observations(100):
+            stats.observe(GROUP, uid, rounds=v)
+        snap = stats.snapshot()
+        again = GroupedStats(cap=16)
+        again.merge(snap)
+        again.merge(snap)  # e.g. the same ledger row folded twice
+        key = group_key(GROUP)
+        twice = again.snapshot()[key]["rounds"]
+        once = snap[key]["rounds"]
+        assert twice["sample"] == once["sample"]
+        assert twice["p50"] == once["p50"]
+        assert twice["count"] == 2 * once["count"]
+
+
+class TestBoundedMemory:
+    def test_accumulator_size_constant_as_trials_grow_10x(self):
+        small_stats = GroupedStats()
+        for uid, v in _observations(1_000):
+            small_stats.observe(GROUP, uid, rounds=v)
+        big_stats = GroupedStats()
+        for uid, v in _observations(10_000):
+            big_stats.observe(GROUP, uid, rounds=v)
+        key = group_key(GROUP)
+        small = small_stats.snapshot()[key]["rounds"]
+        big = big_stats.snapshot()[key]["rounds"]
+        assert small["count"] == 1_000 and big["count"] == 10_000
+        # The retained sample (the only unbounded-risk part) stays at cap.
+        assert len(small["sample"]) == DEFAULT_RESERVOIR_CAP
+        assert len(big["sample"]) == DEFAULT_RESERVOIR_CAP
+        # And the serialized accumulator does not grow with trial count
+        # (same sample length, same field set -- compare structure sizes).
+        assert abs(len(json.dumps(big)) - len(json.dumps(small))) < 2_000
+
+
+class TestGroupedStatsApi:
+    def test_observe_requires_fields(self):
+        with pytest.raises(ObservabilityError):
+            GroupedStats().observe(GROUP, 0)
+
+    def test_groups_and_quantile_lookup(self):
+        stats = GroupedStats()
+        stats.observe({"backend": "a"}, 0, rounds=5)
+        stats.observe({"backend": "b"}, 0, rounds=9)
+        assert stats.groups() == ["backend=a", "backend=b"]
+        assert stats.quantile({"backend": "a"}, "rounds", 0.5) == 5
+        assert stats.quantile("backend=b", "rounds", 0.5) == 9
+        assert stats.quantile({"backend": "c"}, "rounds", 0.5) is None
+        assert len(stats) == 2
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        stats = GroupedStats()
+        stats.observe({"z": 1}, 0, b=1.0, a=2.0)
+        stats.observe({"a": 1}, 0, x=3.0)
+        snap = stats.snapshot()
+        assert list(snap) == sorted(snap)
+        for fields in snap.values():
+            assert list(fields) == sorted(fields)
+        json.dumps(snap)  # must not raise

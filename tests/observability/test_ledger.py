@@ -1,0 +1,312 @@
+"""The persistent run ledger: storage backends, refs, history, compare.
+
+Covers both storage backends (stdlib SQLite and the append-only JSONL
+fallback) through the same API, the ``latest``/``latest~N``/prefix run
+references, garbage collection, grouped history merging, and
+:func:`~repro.observability.ledger.compare_runs` -- including the
+acceptance-criterion behaviours: an injected >=1.25x regression between
+two ledger entries is flagged (nonzero path) while a self-compare is
+clean, and the producer wiring records bit-identical grouped snapshots
+for ``jobs=1`` vs ``jobs=4``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    GroupedStats,
+    RunLedger,
+    RunRecord,
+    compare_runs,
+    fingerprint_of,
+    stable_repr,
+)
+
+BACKEND_PATHS = ["ledger.db", "ledger.jsonl"]
+
+
+def _ledger(tmp_path, name):
+    return RunLedger(tmp_path / name)
+
+
+def _trial_record(wall=1.0, *, backend="python", seed=1, stages=None):
+    spans = None
+    if stages is not None:
+        spans = {
+            f"engine.round/engine.{name}": {
+                "count": 10,
+                "total": seconds * 10,
+                "self": seconds * 10,
+                "min": seconds,
+                "max": seconds,
+            }
+            for name, seconds in stages.items()
+        }
+    groups = GroupedStats()
+    groups.observe(
+        {"workload": "w", "backend": backend}, seed, rounds=7.0
+    )
+    return RunRecord(
+        kind="trials",
+        wall_seconds=wall,
+        workload="w",
+        backend=backend,
+        fault_model="none",
+        seed=seed,
+        trials=10,
+        summary={"completed": 10},
+        spans=spans,
+        groups=groups.snapshot(),
+    )
+
+
+class TestBackends:
+    @pytest.mark.parametrize("name", BACKEND_PATHS)
+    def test_record_and_reload(self, tmp_path, name):
+        with _ledger(tmp_path, name) as ledger:
+            run_id = ledger.record(_trial_record())
+            assert run_id
+        with _ledger(tmp_path, name) as reopened:
+            (record,) = reopened.runs()
+            assert record.run_id == run_id
+            assert record.kind == "trials"
+            assert record.python  # filled in by record()
+            assert record.started_unix > 0
+
+    @pytest.mark.parametrize("name", BACKEND_PATHS)
+    def test_filters_and_limit(self, tmp_path, name):
+        with _ledger(tmp_path, name) as ledger:
+            ledger.record(_trial_record(backend="python"))
+            ledger.record(_trial_record(backend="vectorized"))
+            ledger.record(_trial_record(backend="vectorized"))
+            assert len(ledger.runs()) == 3
+            assert len(ledger.runs(backend="vectorized")) == 2
+            assert len(ledger.runs(kind="scenario")) == 0
+            assert len(ledger.runs(limit=1)) == 1
+            assert ledger.runs(limit=1)[0].run_id == ledger.get("latest").run_id
+
+    def test_jsonl_is_append_only_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.record(_trial_record())
+            ledger.record(_trial_record())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_jsonl_corrupt_line_names_position(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.record(_trial_record())
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(ObservabilityError, match="line 2"):
+            RunLedger(path).runs()
+
+    def test_missing_kind_rejected(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            with pytest.raises(ObservabilityError):
+                ledger.record(RunRecord(kind=""))
+
+
+class TestRefs:
+    @pytest.mark.parametrize("name", BACKEND_PATHS)
+    def test_latest_and_offsets(self, tmp_path, name):
+        with _ledger(tmp_path, name) as ledger:
+            first = ledger.record(_trial_record(wall=1.0))
+            second = ledger.record(_trial_record(wall=2.0))
+            assert ledger.get("latest").run_id == second
+            assert ledger.get("latest~0").run_id == second
+            assert ledger.get("latest~1").run_id == first
+            assert ledger.get(first).run_id == first
+            with pytest.raises(ObservabilityError, match="reaches past"):
+                ledger.get("latest~2")
+            with pytest.raises(ObservabilityError, match="no run"):
+                ledger.get("zzz")
+
+    def test_empty_ledger_is_a_clear_error(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            with pytest.raises(ObservabilityError, match="no runs yet"):
+                ledger.get("latest")
+
+
+class TestGc:
+    @pytest.mark.parametrize("name", BACKEND_PATHS)
+    def test_keep_most_recent(self, tmp_path, name):
+        with _ledger(tmp_path, name) as ledger:
+            for wall in (1.0, 2.0, 3.0):
+                ledger.record(_trial_record(wall=wall))
+            latest = ledger.get("latest").run_id
+            assert ledger.gc(keep=1) == 2
+            (remaining,) = ledger.runs()
+            assert remaining.run_id == latest
+
+    def test_gc_requires_a_bound(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            with pytest.raises(ObservabilityError):
+                ledger.gc()
+
+    def test_before_cutoff(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            ledger.record(_trial_record())
+            cutoff = ledger.get("latest").started_unix + 1
+            assert ledger.gc(before=cutoff) == 1
+            assert ledger.runs() == []
+
+
+class TestGroupHistory:
+    def test_histories_merge_order_independently(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            for seed in range(5):
+                ledger.record(_trial_record(seed=seed))
+            merged = ledger.group_history(kind="trials").snapshot()
+        (fields,) = merged.values()
+        assert fields["rounds"]["count"] == 5
+
+
+class TestCompareRuns:
+    def test_self_compare_is_clean(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            run_id = ledger.record(_trial_record(wall=1.0))
+            delta = compare_runs(ledger, run_id, run_id)
+        assert delta.ratio == 1.0
+        assert not delta.regressed
+
+    def test_injected_regression_flagged_with_stage_attribution(self, tmp_path):
+        # The acceptance criterion: a >=1.25x injected regression between
+        # two ledger entries must be flagged; the per-stage ratios point
+        # at the slowed stage.
+        base_stages = {"build_events": 0.001, "resolve": 0.002}
+        slow_stages = {"build_events": 0.001, "resolve": 0.004}
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            ledger.record(_trial_record(wall=1.0, stages=base_stages))
+            ledger.record(_trial_record(wall=1.5, stages=slow_stages))
+            delta = compare_runs(ledger, "latest~1", "latest", threshold=1.25)
+        assert delta.regressed
+        assert delta.ratio == pytest.approx(1.5)
+        assert delta.metric == "wall_seconds"
+        assert delta.stage_ratios["engine.round/engine.resolve"] == (
+            pytest.approx(2.0)
+        )
+        assert delta.stage_ratios["engine.round/engine.build_events"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_below_threshold_not_flagged(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            ledger.record(_trial_record(wall=1.0))
+            ledger.record(_trial_record(wall=1.2))
+            delta = compare_runs(ledger, "latest~1", "latest", threshold=1.25)
+        assert not delta.regressed
+
+    def test_history_baseline_uses_peer_median(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            for wall in (1.0, 2.0, 3.0):
+                ledger.record(_trial_record(wall=wall))
+            ledger.record(_trial_record(wall=4.0))
+            delta = compare_runs(ledger, "latest", threshold=1.25)
+        # Peers are the first three runs; median wall is 2.0.
+        assert delta.ratio == pytest.approx(2.0)
+        assert delta.regressed
+
+    def test_history_baseline_needs_peers(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            ledger.record(_trial_record())
+            with pytest.raises(ObservabilityError, match="no history peers"):
+                compare_runs(ledger, "latest")
+
+    def test_cross_kind_and_cross_backend_rejected(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            ledger.record(_trial_record(backend="python"))
+            ledger.record(_trial_record(backend="vectorized"))
+            with pytest.raises(ObservabilityError, match="backends"):
+                compare_runs(ledger, "latest~1", "latest")
+            ledger.record(
+                RunRecord(kind="bench", backend="python", wall_seconds=1.0,
+                          summary={"round_seconds_median": 0.01})
+            )
+            with pytest.raises(ObservabilityError, match="run against"):
+                compare_runs(ledger, "latest~2", "latest")
+
+    def test_bench_rows_compare_on_round_median(self, tmp_path):
+        with _ledger(tmp_path, "ledger.db") as ledger:
+            for median in (0.010, 0.020):
+                ledger.record(
+                    RunRecord(
+                        kind="bench",
+                        backend="vectorized",
+                        wall_seconds=0.5,
+                        summary={
+                            "round_seconds_median": median,
+                            "stages": {"resolve": median / 2},
+                        },
+                    )
+                )
+            delta = compare_runs(ledger, "latest~1", "latest")
+        assert delta.metric == "round_seconds_median"
+        assert delta.ratio == pytest.approx(2.0)
+        assert delta.regressed
+
+
+class TestFingerprint:
+    def test_stable_across_object_identity(self):
+        class Thing:
+            pass
+
+        a, b = Thing(), Thing()
+        # Default reprs differ only by address; the fingerprint strips it.
+        assert stable_repr(a) == stable_repr(b)
+        assert fingerprint_of(a, "x") == fingerprint_of(b, "x")
+        assert fingerprint_of("x") != fingerprint_of("y")
+
+
+class TestProducerWiring:
+    """The three choke points record rows with deterministic groups."""
+
+    def test_route_collection_trials_groups_identical_across_jobs(
+        self, tmp_path
+    ):
+        from repro.experiments.workloads import mesh_random_function
+        from repro.runners import route_collection_trials
+
+        coll = mesh_random_function(4, 2, rng=0)
+        snapshots = []
+        for jobs in (1, 4):
+            with RunLedger(tmp_path / f"jobs{jobs}.db") as ledger:
+                route_collection_trials(
+                    coll, bandwidth=2, trials=8, seed=3, jobs=jobs,
+                    ledger=ledger,
+                )
+                record = ledger.get("latest")
+            assert record.kind == "trials"
+            assert record.trials == 8 and record.seed == 3
+            assert record.fingerprint
+            snapshots.append(record.groups)
+        assert snapshots[0] == snapshots[1]
+
+    def test_run_scenario_records_latency_groups(self, tmp_path):
+        from repro.scenarios import run_scenario
+
+        with RunLedger(tmp_path / "scen.db") as ledger:
+            result = run_scenario("static-drain", seed=2, ledger=ledger)
+            record = ledger.get("latest")
+        assert record.kind == "scenario"
+        assert record.scenario == "static-drain"
+        assert record.summary["acked"] == result.acked
+        (fields,) = record.groups.values()
+        assert fields["latency"]["count"] == len(result.latencies)
+        assert "drop_rate" in fields and "throughput" in fields
+
+    def test_scenario_rows_identical_for_same_seed(self, tmp_path):
+        from repro.scenarios import run_scenario
+
+        rows = []
+        for name in ("a.db", "b.db"):
+            with RunLedger(tmp_path / name) as ledger:
+                run_scenario("static-drain", seed=2, ledger=ledger)
+                rows.append(ledger.get("latest"))
+        assert rows[0].groups == rows[1].groups
+        assert rows[0].summary == rows[1].summary
+        assert rows[0].fingerprint == rows[1].fingerprint

@@ -222,6 +222,27 @@ class TestLabelKeys:
         assert parse_label_key("") == {}
         assert parse_label_key("a=1,b=x") == {"a": "1", "b": "x"}
 
+    def test_pathological_values_round_trip(self):
+        # Values containing the encoding's own separators (= and ,),
+        # backslashes, quotes and newlines must come back verbatim --
+        # they used to split into phantom labels.
+        reg = MetricsRegistry()
+        nasty = {
+            "expr": "a=1,b=2",
+            "path": "C:\\tmp\\x",
+            "quote": 'say "hi"',
+            "multi": "line1\nline2",
+            "edge": ",=\\\n=",
+        }
+        reg.inc("x_total", 1, **nasty)
+        (key,) = reg.snapshot()["x_total"]["values"]
+        assert parse_label_key(key) == nasty
+
+    def test_legacy_unescaped_keys_still_parse(self):
+        # Keys written before escaping existed contain no escapes at all;
+        # they must keep parsing unchanged.
+        assert parse_label_key("op=route,wl=3") == {"op": "route", "wl": "3"}
+
     def test_default_buckets_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 

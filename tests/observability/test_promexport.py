@@ -116,6 +116,26 @@ class TestParsing:
     def test_comments_and_blanks_skipped(self):
         assert parse_prometheus_text("# HELP x y\n\nx 1\n") == [("x", {}, 1.0)]
 
+    def test_pathological_label_round_trips(self):
+        # The full export->parse path must preserve label values holding
+        # quotes, backslashes, newlines and the registry's own key
+        # separators (= and ,) -- the regression this pins had commas
+        # splitting one value into phantom labels.
+        reg = MetricsRegistry()
+        nasty = {
+            "expr": "a=1,b=2",
+            "path": "C:\\tmp",
+            "quote": 'he said "hi"',
+            "multi": "line1\nline2",
+        }
+        reg.inc("weird_total", 3, **nasty)
+        samples = _samples(reg)
+        (labels,) = [
+            labels for name, labels, _ in samples
+            if name == "repro_weird_total"
+        ]
+        assert labels == nasty
+
     def test_bad_lines_raise(self):
         with pytest.raises(ValueError):
             parse_prometheus_text("novalue\n")
