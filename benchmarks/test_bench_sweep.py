@@ -1,0 +1,43 @@
+"""E-SWP: sharded sweep service overhead vs the bare trial runner.
+
+Times a complete serial-mode sweep (plan, durable journal, per-shard
+checkpoints, result publication, shard-order merge) against routing the
+same trials straight through ``route_collection_trials``. The gap is
+the price of crash tolerance; it should stay a small constant per
+shard, not scale with trial work.
+"""
+
+from repro.experiments.workloads import mesh_random_function
+from repro.runners import route_collection_trials
+from repro.sweep import SweepOptions, SweepSupervisor, default_plan
+
+_SIDE = 3
+_TRIALS = 4
+_SHARD = 2
+
+
+def test_bench_sweep_serial_service(benchmark, tmp_path_factory):
+    """Full sweep service, in-process serial mode (2 shards)."""
+    plan = default_plan(
+        trials=_TRIALS, shard_size=_SHARD, side=_SIDE, faults=(None,)
+    )
+
+    def run():
+        sweep_dir = tmp_path_factory.mktemp("sweep")
+        options = SweepOptions(workers=0)
+        return SweepSupervisor(sweep_dir, options=options).start(plan)
+
+    report = benchmark(run)
+    assert report.counts["done"] == _TRIALS // _SHARD
+    assert report.completed == _TRIALS
+
+
+def test_bench_sweep_bare_runner_baseline(benchmark):
+    """The same trials without journal/checkpoint/merge machinery."""
+    collection = mesh_random_function(_SIDE, 2, rng=0)
+    results = benchmark(
+        lambda: route_collection_trials(
+            collection, 2, _TRIALS, worm_length=4, seed=0, max_rounds=400
+        )
+    )
+    assert len(results) == _TRIALS

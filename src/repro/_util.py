@@ -1,15 +1,23 @@
-"""Small shared helpers: RNG plumbing, math utilities, validation.
+"""Small shared helpers: RNG plumbing, math utilities, validation, durable IO.
 
 Every stochastic component in the library accepts either an integer seed,
 ``None`` (fresh OS entropy) or an existing :class:`numpy.random.Generator`.
 Funnelling all of them through :func:`as_generator` keeps experiments
 reproducible end to end: an experiment seeds a root generator and spawns
 independent child streams per trial/round with :func:`spawn_generator`.
+
+:func:`durable_write_text` is the one crash-safe file write every journal
+in the library (trial checkpoints, the sweep work queue) goes through:
+temp file, ``fsync`` of data *and* directory, then an atomic
+``os.replace`` -- a kill at any instant leaves either the old or the new
+file, never a torn one.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import pathlib
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -24,6 +32,7 @@ __all__ = [
     "check_positive",
     "check_non_negative",
     "pairwise",
+    "durable_write_text",
 ]
 
 SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
@@ -86,3 +95,38 @@ def check_non_negative(name: str, value: float) -> None:
 def pairwise(seq: Sequence) -> Iterable[tuple]:
     """Yield consecutive pairs ``(seq[i], seq[i+1])``."""
     return zip(seq, seq[1:])
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """Flush a directory entry so a rename survives power loss.
+
+    Not every platform lets a directory be opened for fsync (Windows
+    does not); skipping there degrades to plain-rename atomicity, which
+    those platforms already guarantee for ``os.replace``.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def durable_write_text(path: "str | os.PathLike", text: str) -> None:
+    """Atomically and durably replace ``path`` with ``text``.
+
+    The write goes to a sibling temp file which is fsynced *before* the
+    atomic ``os.replace``, and the directory entry is fsynced after --
+    so a crash at any instant leaves either the complete old file or the
+    complete new one on disk, never a truncated or interleaved hybrid.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)

@@ -11,6 +11,8 @@
     python -m repro faults replay F.json # run a scripted fault schedule
     python -m repro scenario list        # streaming-scenario catalogue
     python -m repro scenario run --scenario baseline --seed 1
+    python -m repro sweep run --dir S    # crash-tolerant sharded sweep
+    python -m repro sweep resume --dir S # pick up after any crash
 
 Each experiment id matches DESIGN.md's index; ``run`` prints the same
 tables the benchmark harness saves under ``benchmarks/results/``.
@@ -32,8 +34,13 @@ watch`` alias) renders them live as a refreshing sparkline dashboard.
 ``repro bench compare A.json B.json`` diffs two engine benchmark files,
 exiting nonzero on a regression. See docs/OBSERVABILITY.md.
 
-History: ``run``, ``faults sweep`` and ``scenario run`` accept
-``--ledger [PATH]`` to record the run in the persistent run ledger
+Sweeps: ``repro sweep {run,status,resume,retry-quarantined}`` drives
+the crash-tolerant sharded sweep service (durable journal, supervised
+workers, ``--chaos SPEC`` / ``$REPRO_CHAOS`` fault injection; exit
+code 3 when shards were quarantined). See docs/SWEEPS.md.
+
+History: ``run``, ``faults sweep``, ``scenario run`` and ``sweep``
+accept ``--ledger [PATH]`` to record the run in the persistent run ledger
 (default ``.repro/ledger.db``); ``repro runs
 {list,show,compare,groups,gc}`` queries it -- ``repro runs compare
 latest~1 latest`` (or ``repro runs compare latest`` against the grouped
@@ -789,6 +796,136 @@ def _cmd_runs_gc(args) -> int:
     return 0
 
 
+def _sweep_options(args):
+    """The :class:`~repro.sweep.SweepOptions` behind the sweep flags.
+
+    ``--chaos SPEC`` wins over ``$REPRO_CHAOS``; both absent means no
+    chaos harness.
+    """
+    from repro.faults import chaos_from_env, parse_chaos_spec
+    from repro.sweep import SweepOptions
+
+    spec = getattr(args, "chaos", None)
+    chaos = parse_chaos_spec(spec) if spec is not None else chaos_from_env()
+    return SweepOptions(
+        workers=0 if getattr(args, "serial", False) else args.workers,
+        lease_timeout=args.lease_timeout,
+        heartbeat_interval=args.heartbeat_interval,
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        backoff_seed=args.backoff_seed,
+        chaos=chaos,
+    )
+
+
+def _sweep_plan(args):
+    """The plan a ``sweep run`` executes: ``--plan FILE`` or flag-built."""
+    from repro.sweep import SweepPlan, default_plan
+
+    if args.plan:
+        return SweepPlan.load(args.plan)
+    faults = tuple(
+        None if spec.strip().lower() in ("", "none") else spec.strip()
+        for spec in args.faults.split(";")
+    )
+    return default_plan(
+        name=args.name,
+        side=args.side,
+        d=args.d,
+        trials=args.trials,
+        shard_size=args.shard_size,
+        seed=args.seed,
+        bandwidth=args.bandwidth,
+        worm_length=args.worm_length,
+        max_rounds=args.max_rounds,
+        faults=faults,
+        backend=args.backend,
+    )
+
+
+def _print_sweep_report(args, report) -> int:
+    """Render a sweep report; exit 3 = completed with quarantined shards."""
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        counts = report.counts
+        states = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+        print(
+            f"sweep '{report.name}' [{sum(counts.values())} shard(s)]: "
+            f"{states or 'empty'}"
+        )
+        print(
+            f"trials: {report.completed}/{report.trials} routed to "
+            "completion"
+        )
+        if report.merged_path:
+            print(f"merged grouped stats: {report.merged_path}")
+        if report.quarantined:
+            print(
+                f"QUARANTINED shard(s) {report.quarantined}: each failed "
+                "its whole attempt budget; inspect hb/shard-*.err under "
+                "the sweep dir, then 'repro sweep retry-quarantined "
+                f"--dir {args.dir}'",
+                file=sys.stderr,
+            )
+    return 3 if report.quarantined else 0
+
+
+def _sweep_drive(args, mode: str) -> int:
+    """Shared driver for ``sweep run|resume|retry-quarantined``."""
+    from repro.sweep import SweepSupervisor
+
+    metrics, writer, exporter = _open_sinks(args)
+    profiler = _open_profiler(args)
+    ledger = _open_ledger(args)
+    if writer is not None:
+        writer.write_manifest(command=f"sweep {mode}", dir=args.dir)
+    try:
+        supervisor = SweepSupervisor(args.dir, options=_sweep_options(args))
+        if mode == "run":
+            report = supervisor.start(_sweep_plan(args))
+        elif mode == "resume":
+            report = supervisor.resume()
+        else:
+            report = supervisor.retry_quarantined()
+        if ledger is not None:
+            run_id = supervisor.record(report, ledger)
+            if not getattr(args, "json", False):
+                print(f"recorded run {run_id} in ledger {ledger.path}")
+        if writer is not None:
+            if profiler is not None:
+                from repro.observability import write_profile
+
+                write_profile(writer, profiler)
+            writer.write_summary(**report.counts)
+        return _print_sweep_report(args, report)
+    finally:
+        _close_sinks(args, metrics, writer, exporter)
+        _render_profiler(args, profiler)
+        if ledger is not None:
+            ledger.close()
+
+
+def _cmd_sweep_run(args) -> int:
+    return _sweep_drive(args, "run")
+
+
+def _cmd_sweep_resume(args) -> int:
+    return _sweep_drive(args, "resume")
+
+
+def _cmd_sweep_retry(args) -> int:
+    return _sweep_drive(args, "retry-quarantined")
+
+
+def _cmd_sweep_status(args) -> int:
+    from repro.sweep import SweepSupervisor
+
+    report = SweepSupervisor(args.dir).status()
+    return _print_sweep_report(args, report)
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.report import write_report
 
@@ -1158,7 +1295,7 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_runs_filter_flags(p) -> None:
         p.add_argument(
             "--kind",
-            choices=["trials", "scenario", "bench", "experiment"],
+            choices=["trials", "scenario", "bench", "experiment", "sweep"],
             default=None,
             help="only runs of this kind",
         )
@@ -1267,11 +1404,169 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r_gc.add_argument(
         "--kind",
-        choices=["trials", "scenario", "bench", "experiment"],
+        choices=["trials", "scenario", "bench", "experiment", "sweep"],
         default=None,
         help="restrict gc to runs of this kind",
     )
     r_gc.set_defaults(fn=_cmd_runs_gc)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="crash-tolerant sharded sweeps with worker supervision "
+        "(see docs/SWEEPS.md)",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def _add_sweep_dir_flag(p) -> None:
+        p.add_argument(
+            "--dir",
+            required=True,
+            metavar="PATH",
+            help="sweep state directory (plan, journal, checkpoints, "
+            "results, merged stats)",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="print the report as one JSON object",
+        )
+
+    def _add_sweep_supervision_flags(p) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=2,
+            help="concurrent shard worker processes",
+        )
+        p.add_argument(
+            "--serial",
+            action="store_true",
+            help="run every shard in-process (the bit-identity reference "
+            "mode; same as --workers 0)",
+        )
+        p.add_argument(
+            "--lease-timeout",
+            type=float,
+            default=5.0,
+            metavar="SECONDS",
+            help="heartbeat staleness after which a worker is presumed "
+            "dead, SIGKILLed, and its shard retried",
+        )
+        p.add_argument(
+            "--heartbeat-interval",
+            type=float,
+            default=0.2,
+            metavar="SECONDS",
+            help="how often workers refresh their liveness file",
+        )
+        p.add_argument(
+            "--max-attempts",
+            type=int,
+            default=3,
+            help="attempts per shard before quarantine",
+        )
+        p.add_argument(
+            "--backoff-base",
+            type=float,
+            default=0.05,
+            metavar="SECONDS",
+            help="first retry delay (doubles per attempt, plus "
+            "deterministic jitter)",
+        )
+        p.add_argument(
+            "--backoff-cap",
+            type=float,
+            default=1.0,
+            metavar="SECONDS",
+            help="retry delay ceiling",
+        )
+        p.add_argument(
+            "--backoff-seed",
+            type=int,
+            default=0,
+            help="seed of the (dedicated) retry-jitter hash stream",
+        )
+        p.add_argument(
+            "--chaos",
+            default=None,
+            metavar="SPEC",
+            help="chaos harness, e.g. kill_after=2,drop=1,poison=0+3 "
+            "(default $REPRO_CHAOS; see docs/SWEEPS.md)",
+        )
+
+    s_run = sweep_sub.add_parser(
+        "run",
+        help="start a new sweep (exit 3 = completed with quarantined "
+        "shards)",
+    )
+    _add_sweep_dir_flag(s_run)
+    s_run.add_argument(
+        "--plan",
+        default=None,
+        metavar="FILE",
+        help="sweep plan JSON (omit to build one from the flags below)",
+    )
+    s_run.add_argument("--name", default="mesh-sweep", help="plan name")
+    s_run.add_argument("--side", type=int, default=4, help="mesh side length")
+    s_run.add_argument("--d", type=int, default=2, help="mesh dimension")
+    s_run.add_argument(
+        "--trials", type=int, default=8, help="trials per config"
+    )
+    s_run.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        help="trials per shard (the retry/checkpoint granularity)",
+    )
+    s_run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    s_run.add_argument("--bandwidth", type=int, default=2, help="wavelengths B")
+    s_run.add_argument(
+        "--worm-length", type=int, default=4, help="worm length L"
+    )
+    s_run.add_argument(
+        "--max-rounds", type=int, default=400, help="round budget per trial"
+    )
+    s_run.add_argument(
+        "--faults",
+        default="none;transient:rate=0.02",
+        metavar="SPECS",
+        help="';'-separated fault specs, one sweep config per spec "
+        "('none' = fault-free; see docs/FAULTS.md)",
+    )
+    _add_sweep_supervision_flags(s_run)
+    _add_observability_flags(s_run)
+    _add_backend_flag(s_run)
+    _add_live_flags(s_run)
+    _add_ledger_flag(s_run)
+    s_run.set_defaults(fn=_cmd_sweep_run)
+
+    s_status = sweep_sub.add_parser(
+        "status", help="report a sweep directory's journal state"
+    )
+    _add_sweep_dir_flag(s_status)
+    s_status.set_defaults(fn=_cmd_sweep_status)
+
+    def _add_sweep_continue_parser(name: str, help_text: str, fn):
+        p = sweep_sub.add_parser(name, help=help_text)
+        _add_sweep_dir_flag(p)
+        _add_sweep_supervision_flags(p)
+        _add_observability_flags(p)
+        _add_backend_flag(p)
+        _add_live_flags(p)
+        _add_ledger_flag(p)
+        p.set_defaults(fn=fn)
+        return p
+
+    _add_sweep_continue_parser(
+        "resume",
+        "continue a sweep after a crashed or killed supervisor",
+        _cmd_sweep_resume,
+    )
+    _add_sweep_continue_parser(
+        "retry-quarantined",
+        "give quarantined shards a fresh attempt budget and supervise",
+        _cmd_sweep_retry,
+    )
 
     report = sub.add_parser(
         "report", help="aggregate benchmarks/results into one markdown report"

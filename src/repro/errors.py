@@ -52,6 +52,14 @@ class TrialError(ReproError, ValueError):
     """
 
 
+class SweepError(ReproError, ValueError):
+    """A sharded sweep plan, journal, or supervisor was driven incorrectly.
+
+    Also a :class:`ValueError`, so callers validating shard sizes and
+    sweep layouts the usual way keep working.
+    """
+
+
 class ScenarioError(ReproError, ValueError):
     """A streaming scenario spec or engine was configured incorrectly.
 

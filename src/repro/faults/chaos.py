@@ -1,0 +1,193 @@
+"""Process-level chaos injection for the sharded sweep service.
+
+The fault models in :mod:`repro.faults.models` attack the *simulated*
+network; a :class:`ChaosPolicy` attacks the *infrastructure running the
+simulation*: it hard-kills shard workers mid-batch, delays or drops
+their published results, truncates the supervisor's work-queue journal
+behind its back, and marks shards as permanently poisoned. The sweep
+layer (:mod:`repro.sweep`) uses it to certify -- in tests and CI -- that
+a chaos-ridden sweep still merges to results bit-identical to a serial
+run: every knob perturbs only *when and whether* work completes, never
+*what* the work computes (trial outcomes depend only on their child
+seeds, and all chaos randomness would live in its own stream anyway).
+
+Policies are deterministic by design: ``kill_after``/``hang_after``
+trigger on exact settled-trial counts, and every knob except ``poison``
+applies only to the first ``attempts`` attempts of each shard, so a
+retried shard eventually succeeds and the whole sweep converges. A
+``poison``-listed shard fails on *every* attempt -- the probe for the
+quarantine path.
+
+Inject via the ``--chaos SPEC`` CLI flag or the ``REPRO_CHAOS``
+environment variable (flag wins); the spec grammar is
+``key=value`` pairs joined by commas::
+
+    kill_after=2              SIGKILL the worker after 2 settled trials
+    hang_after=1              stop heartbeating and sleep forever after 1
+    delay=0.5                 sleep 0.5s before publishing a shard result
+    drop=1                    finish the shard but never publish its result
+    truncate_journal=1        torn-write the journal file after each commit
+    poison=1+3                shards 1 and 3 hard-fail on every attempt
+    attempts=2                apply the above to the first 2 attempts
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+
+from repro.errors import FaultError
+
+__all__ = ["CHAOS_ENV_VAR", "ChaosPolicy", "parse_chaos_spec", "chaos_from_env"]
+
+#: Environment variable the sweep CLI consults when ``--chaos`` is absent.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """One immutable bundle of infrastructure-fault knobs.
+
+    All knobs default off; :meth:`active` reports whether any is set.
+    ``kill_after``/``hang_after`` count settled trials *within one
+    attempt* (checkpointed trials survive the kill, which is exactly
+    what lets a killed-every-time shard still make progress across
+    retries). ``attempts`` bounds which attempts the transient knobs
+    apply to; ``poison`` lists shard indices that fail unconditionally.
+    """
+
+    kill_after: int | None = None
+    hang_after: int | None = None
+    delay: float = 0.0
+    drop: bool = False
+    truncate_journal: bool = False
+    poison: tuple[int, ...] = ()
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kill_after is not None and self.kill_after < 1:
+            raise FaultError(
+                f"kill_after must be >= 1, got {self.kill_after}"
+            )
+        if self.hang_after is not None and self.hang_after < 1:
+            raise FaultError(
+                f"hang_after must be >= 1, got {self.hang_after}"
+            )
+        if self.delay < 0:
+            raise FaultError(f"delay must be >= 0, got {self.delay}")
+        if self.attempts < 1:
+            raise FaultError(f"attempts must be >= 1, got {self.attempts}")
+        if any(s < 0 for s in self.poison):
+            raise FaultError(
+                f"poison shard indices must be >= 0, got {self.poison}"
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def active(self) -> bool:
+        """Whether any chaos knob is switched on."""
+        return (
+            self.kill_after is not None
+            or self.hang_after is not None
+            or self.delay > 0
+            or self.drop
+            or self.truncate_journal
+            or bool(self.poison)
+        )
+
+    def applies(self, attempt: int) -> bool:
+        """Whether the transient knobs strike this (1-based) attempt."""
+        return attempt <= self.attempts
+
+    def is_poisoned(self, shard_index: int) -> bool:
+        """Whether this shard fails on every attempt, forcing quarantine."""
+        return shard_index in self.poison
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_spec(self) -> str:
+        """The ``key=value,...`` spec string reproducing this policy.
+
+        The inverse of :func:`parse_chaos_spec`; this is how the
+        supervisor ships the policy to worker processes.
+        """
+        parts = []
+        if self.kill_after is not None:
+            parts.append(f"kill_after={self.kill_after}")
+        if self.hang_after is not None:
+            parts.append(f"hang_after={self.hang_after}")
+        if self.delay > 0:
+            parts.append(f"delay={self.delay}")
+        if self.drop:
+            parts.append("drop=1")
+        if self.truncate_journal:
+            parts.append("truncate_journal=1")
+        if self.poison:
+            parts.append("poison=" + "+".join(str(s) for s in self.poison))
+        if self.attempts != 1:
+            parts.append(f"attempts={self.attempts}")
+        return ",".join(parts)
+
+    def __repr__(self) -> str:
+        return f"ChaosPolicy({self.to_spec() or 'off'})"
+
+
+def _parse_bool(name: str, raw: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise FaultError(f"chaos flag {name} expects a boolean, got {raw!r}")
+
+
+def parse_chaos_spec(spec: str) -> ChaosPolicy:
+    """Parse a ``key=value,...`` chaos spec (see the module docstring).
+
+    An empty spec, ``none`` or ``off`` yields the all-off policy.
+    """
+    spec = (spec or "").strip()
+    if spec.lower() in ("", "none", "off"):
+        return ChaosPolicy()
+    known = {f.name for f in fields(ChaosPolicy)}
+    kwargs: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise FaultError(
+                f"chaos spec entries look like key=value, got {part!r}"
+            )
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        if key not in known:
+            raise FaultError(
+                f"unknown chaos knob {key!r}; expected one of {sorted(known)}"
+            )
+        try:
+            if key in ("kill_after", "hang_after", "attempts"):
+                kwargs[key] = int(raw)
+            elif key == "delay":
+                kwargs[key] = float(raw)
+            elif key in ("drop", "truncate_journal"):
+                kwargs[key] = _parse_bool(key, raw)
+            elif key == "poison":
+                kwargs[key] = tuple(
+                    int(s) for s in raw.split("+") if s.strip() != ""
+                )
+        except ValueError as exc:
+            raise FaultError(f"bad chaos value {part!r}: {exc}") from exc
+    return ChaosPolicy(**kwargs)
+
+
+def chaos_from_env(environ=None) -> ChaosPolicy | None:
+    """The policy named by ``$REPRO_CHAOS``, or None when unset/empty.
+
+    This is what lets CI switch a whole sweep invocation into chaos mode
+    without touching its command line.
+    """
+    raw = (environ if environ is not None else os.environ).get(CHAOS_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    return parse_chaos_spec(raw)

@@ -97,8 +97,11 @@ class RunRecord:
 
     ``kind`` partitions the history: ``"trials"`` (a
     ``route_collection_trials`` batch), ``"scenario"`` (a streaming
-    scenario run), ``"bench"`` (one ``bench_series`` sample) or
-    ``"experiment"`` (a CLI experiment/sweep invocation). ``groups``
+    scenario run), ``"bench"`` (one ``bench_series`` sample),
+    ``"experiment"`` (a CLI experiment/sweep invocation) or
+    ``"sweep"`` (a merged sharded sweep — fingerprint is the plan
+    digest, groups are the shard-order fold; see
+    :mod:`repro.sweep`). ``groups``
     carries a :class:`~repro.observability.groupstats.GroupedStats`
     snapshot keyed by (workload, backend, fault-model, scenario), which
     is what makes the history's quantiles mergeable with bounded

@@ -53,7 +53,6 @@ import functools
 import hashlib
 import json
 import logging
-import os
 import pathlib
 import pickle
 import re
@@ -63,7 +62,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro._util import as_generator
+from repro._util import as_generator, durable_write_text
 from repro.errors import TrialError
 from repro.observability.metrics import MetricsRegistry, get_metrics
 from repro.observability.spans import get_profiler
@@ -107,9 +106,10 @@ def _describe_trial_fn(fn) -> str:
     parts.append(f"{module}:{qualname}")
     return " | ".join(reversed(parts))
 
-#: How many times one batch tolerates the worker pool breaking before
-#: giving up. Deliberately separate from per-trial ``retries`` (a pool
-#: break is an infrastructure failure, not a trial failure).
+#: Default for ``TrialRunner(pool_rebuilds=...)``: how many times one
+#: batch tolerates the worker pool breaking before giving up.
+#: Deliberately separate from per-trial ``retries`` (a pool break is an
+#: infrastructure failure, not a trial failure).
 _POOL_REBUILD_LIMIT = 3
 
 #: Sentinel distinguishing "not settled yet" from a legal None result.
@@ -206,7 +206,15 @@ class _Checkpoint:
         return dict(self.completed)
 
     def record(self, index: int, result) -> None:
-        """Persist one settled trial (atomic full rewrite)."""
+        """Persist one settled trial (atomic, fsynced full rewrite).
+
+        Durability matters as much as atomicity here: the sweep layer's
+        whole resume story assumes a checkpoint visible on disk really
+        holds its trials, so the temp file and its directory entry are
+        both fsynced before the ``os.replace`` -- a ``kill -9`` (or
+        power cut) at any instant leaves either the previous or the next
+        valid JSON, never a torn file.
+        """
         self.completed[index] = result
         payload = {
             "version": _CHECKPOINT_VERSION,
@@ -217,9 +225,7 @@ class _Checkpoint:
                 for i, r in sorted(self.completed.items())
             },
         }
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, self.path)
+        durable_write_text(self.path, json.dumps(payload))
 
 
 def spawn_seeds(seed, n: int) -> list[int]:
@@ -265,7 +271,11 @@ class TrialRunner:
     defers to the process default, a no-op unless enabled);
     ``checkpoint`` optionally names a JSON file settled results are
     journaled to -- rerunning the same batch resumes from it, skipping
-    completed trials and returning bit-identical results.
+    completed trials and returning bit-identical results;
+    ``pool_rebuilds`` caps how many times one batch tolerates the worker
+    pool breaking (a hard-killed worker) before giving up -- separate
+    from per-trial ``retries`` and folded into the checkpoint context,
+    so a resumed batch must use the same cap.
     """
 
     def __init__(
@@ -278,6 +288,7 @@ class TrialRunner:
         progress: Callable[[TrialProgress], None] | None = None,
         metrics: MetricsRegistry | None = None,
         checkpoint: str | pathlib.Path | None = None,
+        pool_rebuilds: int = _POOL_REBUILD_LIMIT,
     ) -> None:
         if jobs < 1:
             raise TrialError(f"jobs must be >= 1, got {jobs}")
@@ -285,6 +296,10 @@ class TrialRunner:
             raise TrialError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise TrialError(f"retries must be >= 0, got {retries}")
+        if pool_rebuilds < 0:
+            raise TrialError(
+                f"pool_rebuilds must be >= 0, got {pool_rebuilds}"
+            )
         self.fn = fn
         self.jobs = jobs
         self.timeout = timeout
@@ -292,6 +307,7 @@ class TrialRunner:
         self.progress = progress
         self.metrics = metrics
         self.checkpoint = checkpoint
+        self.pool_rebuilds = pool_rebuilds
 
     # -- public API ----------------------------------------------------------
 
@@ -314,7 +330,8 @@ class TrialRunner:
 
             context = (
                 f"fn={_describe_trial_fn(self.fn)} "
-                f"backend={get_default_backend()}"
+                f"backend={get_default_backend()} "
+                f"pool_rebuilds={self.pool_rebuilds}"
             )
             ckpt = _Checkpoint(self.checkpoint, seeds, context)
             preloaded = ckpt.load()
@@ -382,6 +399,21 @@ class TrialRunner:
         preloaded: dict[int, object] | None = None,
     ) -> list:
         preloaded = preloaded or {}
+        if self.timeout is not None:
+            # A single process cannot preempt its own trial, so a
+            # configured timeout silently stops protecting the batch the
+            # moment it runs serially (jobs=1, a tiny remainder, or the
+            # unpicklable-fn fallback). Say so instead of letting a stuck
+            # trial hang a "timeout-bounded" sweep without explanation.
+            _log.warning(
+                "timeout=%ss is configured but this batch of %d trial(s) "
+                "runs serially, where per-trial timeouts cannot be "
+                "enforced; a stuck trial will hang the batch (use jobs>1 "
+                "for preemptible trials)",
+                self.timeout,
+                len(seeds) - len(preloaded),
+            )
+            metrics.inc("runner_timeout_unenforced_total")
         t0 = time.perf_counter()
         observe = metrics.enabled
         prof = get_profiler()
@@ -480,10 +512,10 @@ class TrialRunner:
             nonlocal pool, rebuilds
             rebuilds += 1
             metrics.inc("runner_pool_rebuilds_total")
-            if rebuilds > _POOL_REBUILD_LIMIT:
+            if rebuilds > self.pool_rebuilds:
                 raise TrialError(
                     f"worker pool broke {rebuilds} times (limit "
-                    f"{_POOL_REBUILD_LIMIT}); giving up on the batch"
+                    f"{self.pool_rebuilds}); giving up on the batch"
                 ) from exc
             pending = [j for j in futures if results[j] is _UNSET]
             _log.warning(
@@ -491,7 +523,7 @@ class TrialRunner:
                 "resubmitting %d unsettled trial(s)",
                 exc,
                 rebuilds,
-                _POOL_REBUILD_LIMIT,
+                self.pool_rebuilds,
                 len(pending),
             )
             pool.shutdown(wait=False, cancel_futures=True)

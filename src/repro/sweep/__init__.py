@@ -1,0 +1,38 @@
+"""Crash-tolerant sharded sweeps: plan, journal, workers, supervisor.
+
+The sweep service turns a (config x seed-range) grid into shards with
+prefix-stable child seeds (:mod:`repro.sweep.plan`), tracks them through
+a durable, torn-write-tolerant work queue (:mod:`repro.sweep.journal`),
+executes them in supervised worker processes with heartbeat liveness,
+capped exponential backoff and poison-shard quarantine
+(:mod:`repro.sweep.worker`, :mod:`repro.sweep.supervisor`), and merges
+their grouped statistics in shard order -- bit-identical to a serial
+run, no matter how much chaos (:class:`repro.faults.ChaosPolicy`) the
+infrastructure absorbed along the way. See docs/SWEEPS.md.
+"""
+
+from repro.sweep.journal import SHARD_STATES, SweepJournal
+from repro.sweep.plan import (
+    Shard,
+    SweepConfig,
+    SweepPlan,
+    build_collection,
+    default_plan,
+)
+from repro.sweep.supervisor import SweepOptions, SweepReport, SweepSupervisor
+from repro.sweep.worker import execute_shard, run_shard_worker
+
+__all__ = [
+    "SHARD_STATES",
+    "Shard",
+    "SweepConfig",
+    "SweepJournal",
+    "SweepOptions",
+    "SweepPlan",
+    "SweepReport",
+    "SweepSupervisor",
+    "build_collection",
+    "default_plan",
+    "execute_shard",
+    "run_shard_worker",
+]

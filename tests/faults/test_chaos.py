@@ -1,0 +1,102 @@
+"""ChaosPolicy: spec grammar, validation, env plumbing."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    CHAOS_ENV_VAR,
+    ChaosPolicy,
+    chaos_from_env,
+    parse_chaos_spec,
+)
+
+
+class TestPolicy:
+    def test_defaults_are_off(self):
+        policy = ChaosPolicy()
+        assert not policy.active()
+        assert policy.to_spec() == ""
+
+    def test_any_knob_activates(self):
+        assert ChaosPolicy(kill_after=1).active()
+        assert ChaosPolicy(drop=True).active()
+        assert ChaosPolicy(poison=(0,)).active()
+        assert ChaosPolicy(delay=0.1).active()
+        assert ChaosPolicy(truncate_journal=True).active()
+
+    def test_applies_respects_attempt_budget(self):
+        policy = ChaosPolicy(kill_after=1, attempts=2)
+        assert policy.applies(1) and policy.applies(2)
+        assert not policy.applies(3)
+
+    def test_poison_membership(self):
+        policy = ChaosPolicy(poison=(1, 3))
+        assert policy.is_poisoned(1) and policy.is_poisoned(3)
+        assert not policy.is_poisoned(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kill_after": 0},
+            {"hang_after": 0},
+            {"delay": -0.1},
+            {"attempts": 0},
+            {"poison": (-1,)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(FaultError):
+            ChaosPolicy(**kwargs)
+
+    def test_fault_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(kill_after=-5)
+
+
+class TestSpecGrammar:
+    @pytest.mark.parametrize("spec", ["", "none", "off", "  None "])
+    def test_empty_specs_mean_off(self, spec):
+        assert not parse_chaos_spec(spec).active()
+
+    def test_full_round_trip(self):
+        policy = ChaosPolicy(
+            kill_after=2,
+            hang_after=1,
+            delay=0.5,
+            drop=True,
+            truncate_journal=True,
+            poison=(1, 3),
+            attempts=2,
+        )
+        assert parse_chaos_spec(policy.to_spec()) == policy
+
+    def test_parse_kill_and_poison(self):
+        policy = parse_chaos_spec("kill_after=2,poison=0+4")
+        assert policy.kill_after == 2
+        assert policy.poison == (0, 4)
+
+    def test_unknown_knob_refused(self):
+        with pytest.raises(FaultError, match="unknown chaos knob"):
+            parse_chaos_spec("gremlins=9")
+
+    def test_missing_equals_refused(self):
+        with pytest.raises(FaultError, match="key=value"):
+            parse_chaos_spec("drop")
+
+    def test_bad_value_refused(self):
+        with pytest.raises(FaultError, match="bad chaos value"):
+            parse_chaos_spec("kill_after=soon")
+
+    def test_bad_bool_refused(self):
+        with pytest.raises(FaultError, match="boolean"):
+            parse_chaos_spec("drop=maybe")
+
+
+class TestEnv:
+    def test_unset_means_none(self):
+        assert chaos_from_env({}) is None
+        assert chaos_from_env({CHAOS_ENV_VAR: "  "}) is None
+
+    def test_env_spec_parsed(self):
+        policy = chaos_from_env({CHAOS_ENV_VAR: "drop=1,attempts=2"})
+        assert policy == ChaosPolicy(drop=True, attempts=2)

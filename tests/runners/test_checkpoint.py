@@ -199,3 +199,49 @@ class TestProtocolResultRoundTrip:
             collection, 2, 3, worm_length=3, seed=9, checkpoint=ckpt
         )
         assert first == again
+
+
+class TestDurableRewrite:
+    def test_torn_write_leaves_previous_state(self, tmp_path):
+        """A crash between temp write and rename never tears the journal."""
+        from unittest.mock import patch
+
+        import repro._util as util
+
+        ckpt = tmp_path / "batch.json"
+        seeds = spawn_seeds(3, 4)
+        with pytest.raises(_Abort):
+            TrialRunner(
+                _double, checkpoint=ckpt, progress=_abort_after(2)
+            ).run_seeds(seeds)
+        before = ckpt.read_text()
+
+        with patch.object(
+            util.os, "replace", side_effect=OSError("simulated crash")
+        ):
+            with pytest.raises(OSError):
+                TrialRunner(_double, checkpoint=ckpt).run_seeds(seeds)
+
+        # The previous consistent state is exactly what survives...
+        assert ckpt.read_text() == before
+        assert json.loads(before)["completed"]  # ...and it parses.
+        # ...and the resume from it is bit-identical.
+        assert TrialRunner(_double, checkpoint=ckpt).run_seeds(seeds) == [
+            s * 2 for s in seeds
+        ]
+
+    def test_pool_rebuild_cap_in_context_digest(self, tmp_path):
+        """A changed pool_rebuilds cap is a context mismatch on resume."""
+        ckpt = tmp_path / "batch.json"
+        TrialRunner(_double, checkpoint=ckpt, pool_rebuilds=3).run_seeds(
+            [1, 2]
+        )
+        # Same cap resumes fine...
+        TrialRunner(_double, checkpoint=ckpt, pool_rebuilds=3).run_seeds(
+            [1, 2]
+        )
+        # ...a different cap is refused.
+        with pytest.raises(TrialError, match="context mismatch"):
+            TrialRunner(
+                _double, checkpoint=ckpt, pool_rebuilds=5
+            ).run_seeds([1, 2])

@@ -135,3 +135,41 @@ class TestProgress:
         with pytest.raises(TrialError):
             TrialRunner(_always_raises, progress=events.append).run(1, seed=0)
         assert events and events[-1].error is not None
+
+
+class TestPoolRebuildCap:
+    def test_negative_cap_rejected(self):
+        with pytest.raises(TrialError, match="pool_rebuilds"):
+            TrialRunner(_double, pool_rebuilds=-1)
+
+    def test_cap_is_recorded(self):
+        assert TrialRunner(_double).pool_rebuilds == 3
+        assert TrialRunner(_double, pool_rebuilds=0).pool_rebuilds == 0
+
+
+class TestSerialTimeoutWarning:
+    def test_serial_timeout_warns_and_counts(self, caplog):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        with caplog.at_level("WARNING", logger="repro.runners.trial"):
+            out = TrialRunner(
+                _double, timeout=5.0, metrics=reg
+            ).run_seeds([1, 2])
+        assert out == [2, 4]
+        assert any(
+            "cannot be" in r.getMessage() and "enforced" in r.getMessage()
+            for r in caplog.records
+        )
+        assert reg.value("runner_timeout_unenforced_total") == 1
+
+    def test_no_timeout_no_warning(self, caplog):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        with caplog.at_level("WARNING", logger="repro.runners.trial"):
+            TrialRunner(_double, metrics=reg).run_seeds([1, 2])
+        assert not [
+            r for r in caplog.records if "enforced" in r.getMessage()
+        ]
+        assert not reg.value("runner_timeout_unenforced_total")

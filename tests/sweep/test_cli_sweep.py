@@ -1,0 +1,149 @@
+"""The ``repro sweep`` CLI family: exit codes, reports, ledger rows."""
+
+import json
+
+from repro.cli import main
+
+_FAST = [
+    "--trials", "4",
+    "--shard-size", "2",
+    "--side", "3",
+    "--faults", "none",
+]
+
+
+class TestRun:
+    def test_serial_run_completes(self, tmp_path, capsys):
+        d = str(tmp_path / "s")
+        assert main(["sweep", "run", "--dir", d, "--serial", *_FAST]) == 0
+        out = capsys.readouterr().out
+        assert "done=2" in out
+        assert (tmp_path / "s" / "merged.json").exists()
+
+    def test_rerun_same_dir_refused(self, tmp_path, capsys):
+        d = str(tmp_path / "s")
+        assert main(["sweep", "run", "--dir", d, "--serial", *_FAST]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "run", "--dir", d, "--serial", *_FAST]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_json_report(self, tmp_path, capsys):
+        d = str(tmp_path / "s")
+        assert (
+            main(["sweep", "run", "--dir", d, "--serial", "--json", *_FAST])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["done"] == 2
+        assert payload["quarantined"] == []
+
+    def test_bad_chaos_spec_is_exit_2(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "run",
+                    "--dir", str(tmp_path / "s"),
+                    "--serial",
+                    "--chaos", "gremlins=9",
+                    *_FAST,
+                ]
+            )
+            == 2
+        )
+        assert "unknown chaos knob" in capsys.readouterr().err
+
+
+class TestQuarantineExit:
+    def test_poison_exits_3_then_retry_exits_0(self, tmp_path, capsys):
+        d = str(tmp_path / "s")
+        code = main(
+            [
+                "sweep", "run",
+                "--dir", d,
+                "--serial",
+                "--chaos", "poison=0",
+                "--max-attempts", "2",
+                "--backoff-base", "0.001",
+                "--backoff-cap", "0.002",
+                *_FAST,
+            ]
+        )
+        assert code == 3
+        assert "QUARANTINED" in capsys.readouterr().err
+        assert (
+            main(["sweep", "retry-quarantined", "--dir", d, "--serial"]) == 0
+        )
+
+    def test_status_reflects_quarantine(self, tmp_path, capsys):
+        d = str(tmp_path / "s")
+        main(
+            [
+                "sweep", "run",
+                "--dir", d,
+                "--serial",
+                "--chaos", "poison=0",
+                "--max-attempts", "1",
+                "--backoff-base", "0.001",
+                *_FAST,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["sweep", "status", "--dir", d, "--json"]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["quarantined"] == 1
+
+
+class TestStatusAndResume:
+    def test_status_missing_dir_is_exit_2(self, tmp_path, capsys):
+        assert main(["sweep", "status", "--dir", str(tmp_path / "nope")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_resume_completed_sweep_is_a_noop(self, tmp_path, capsys):
+        d = str(tmp_path / "s")
+        assert main(["sweep", "run", "--dir", d, "--serial", *_FAST]) == 0
+        before = (tmp_path / "s" / "merged.json").read_bytes()
+        assert main(["sweep", "resume", "--dir", d, "--serial"]) == 0
+        assert (tmp_path / "s" / "merged.json").read_bytes() == before
+
+
+class TestLedger:
+    def test_sweep_records_a_ledger_row(self, tmp_path, capsys):
+        d = str(tmp_path / "s")
+        ledger = str(tmp_path / "ledger.db")
+        assert (
+            main(
+                [
+                    "sweep", "run",
+                    "--dir", d,
+                    "--serial",
+                    "--ledger", ledger,
+                    *_FAST,
+                ]
+            )
+            == 0
+        )
+        assert "recorded run" in capsys.readouterr().out
+        assert main(["runs", "list", "--ledger", ledger, "--kind", "sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "mesh-sweep" in out
+
+    def test_ledger_groups_carry_merged_stats(self, tmp_path):
+        from repro.observability import RunLedger
+
+        d = tmp_path / "s"
+        ledger_path = tmp_path / "ledger.db"
+        main(
+            [
+                "sweep", "run",
+                "--dir", str(d),
+                "--serial",
+                "--ledger", str(ledger_path),
+                *_FAST,
+            ]
+        )
+        with RunLedger(ledger_path) as ledger:
+            (record,) = ledger.runs(kind="sweep")
+        merged = json.loads((d / "merged.json").read_text())
+        assert record.groups == merged["groups"]
+        assert record.summary["counts"]["done"] == 2
+        assert record.fingerprint == merged["plan"]

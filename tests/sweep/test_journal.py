@@ -1,0 +1,153 @@
+"""The durable work queue: transitions, torn-write recovery, guards."""
+
+import json
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import SweepJournal, default_plan
+
+
+@pytest.fixture
+def plan():
+    return default_plan(trials=4, shard_size=2, side=3)  # 4 shards
+
+
+@pytest.fixture
+def journal(tmp_path, plan):
+    return SweepJournal.create(tmp_path / "journal.json", plan)
+
+
+class TestLifecycle:
+    def test_fresh_journal_all_pending(self, journal, plan):
+        assert journal.counts() == {
+            "pending": 4,
+            "leased": 0,
+            "done": 0,
+            "failed": 0,
+            "quarantined": 0,
+        }
+        assert journal.plan_digest == plan.digest()
+        assert not journal.is_settled()
+
+    def test_create_refuses_to_clobber(self, tmp_path, plan, journal):
+        with pytest.raises(SweepError, match="already exists"):
+            SweepJournal.create(journal.path, plan)
+
+    def test_lease_complete(self, journal):
+        attempt = journal.lease(0, owner="t", pid=1, now=10.0)
+        assert attempt == 1
+        assert journal.shard(0)["state"] == "leased"
+        journal.complete(0, "shard-0.json")
+        assert journal.shard(0)["state"] == "done"
+        assert journal.shard(0)["result"] == "shard-0.json"
+
+    def test_leased_shard_not_leasable(self, journal):
+        journal.lease(0, owner="t", pid=1, now=0.0)
+        assert 0 not in journal.leasable(now=100.0)
+        with pytest.raises(SweepError, match="not leasable"):
+            journal.lease(0, owner="t", pid=1, now=0.0)
+
+    def test_fail_backs_off(self, journal):
+        journal.lease(1, owner="t", pid=1, now=0.0)
+        journal.fail(
+            1, "boom", now=0.0, retry_at=5.0, quarantine=False
+        )
+        assert journal.shard(1)["state"] == "failed"
+        assert 1 not in journal.leasable(now=4.9)
+        assert 1 in journal.leasable(now=5.0)
+        assert journal.next_wakeup() == 5.0
+        assert journal.shard(1)["failures"] == ["boom"]
+
+    def test_second_lease_counts_attempts(self, journal):
+        journal.lease(1, owner="t", pid=1, now=0.0)
+        journal.fail(1, "x", now=0.0, retry_at=0.0, quarantine=False)
+        assert journal.lease(1, owner="t", pid=2, now=1.0) == 2
+
+    def test_quarantine_is_terminal_until_reset(self, journal):
+        journal.lease(2, owner="t", pid=1, now=0.0)
+        journal.fail(2, "poison", now=0.0, retry_at=None, quarantine=True)
+        assert journal.shard(2)["state"] == "quarantined"
+        assert 2 not in journal.leasable(now=1e9)
+        assert journal.reset([2]) == [2]
+        assert journal.shard(2)["state"] == "pending"
+        assert journal.shard(2)["attempts"] == 0
+
+    def test_release_orphaned_lease(self, journal):
+        journal.lease(3, owner="dead", pid=99, now=0.0)
+        journal.release(3)
+        row = journal.shard(3)
+        assert row["state"] == "failed"  # attempt stays counted
+        assert row["lease"] is None
+        assert row["failures"] == []  # no blame recorded
+        assert 3 in journal.leasable(now=0.0)
+
+    def test_settled_when_done_and_quarantined(self, journal):
+        for i in (0, 1, 2):
+            journal.lease(i, owner="t", pid=1, now=0.0)
+            journal.complete(i, f"shard-{i}.json")
+        journal.lease(3, owner="t", pid=1, now=0.0)
+        journal.fail(3, "p", now=0.0, retry_at=None, quarantine=True)
+        assert journal.is_settled()
+
+
+class TestDurability:
+    def test_reload_round_trip(self, tmp_path, plan, journal):
+        journal.lease(0, owner="t", pid=1, now=3.0)
+        journal.complete(0, "shard-0.json")
+        loaded = SweepJournal.load(journal.path, plan_digest=plan.digest())
+        assert loaded.counts() == journal.counts()
+        assert loaded.shard(0)["result"] == "shard-0.json"
+
+    def test_truncated_primary_recovers_from_backup(
+        self, tmp_path, plan, journal
+    ):
+        journal.lease(0, owner="t", pid=1, now=0.0)
+        journal.complete(0, "shard-0.json")
+        # Tear the primary mid-byte; the .bak twin holds the same commit.
+        size = journal.path.stat().st_size
+        with open(journal.path, "r+b") as fh:
+            fh.truncate(size // 2)
+        loaded = SweepJournal.load(journal.path, plan_digest=plan.digest())
+        assert loaded.shard(0)["state"] == "done"
+
+    def test_both_torn_is_an_error(self, tmp_path, plan, journal):
+        journal.path.write_text("{torn")
+        journal.path.with_name(journal.path.name + ".bak").write_text("{gone")
+        with pytest.raises(SweepError, match="unreadable"):
+            SweepJournal.load(journal.path)
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(SweepError, match="not found"):
+            SweepJournal.load(tmp_path / "absent.json")
+
+
+class TestGuards:
+    def test_plan_digest_mismatch_refused(self, tmp_path, plan, journal):
+        other = default_plan(trials=8, shard_size=2, side=3)
+        with pytest.raises(SweepError, match="different plan"):
+            SweepJournal.load(journal.path, plan_digest=other.digest())
+
+    def test_wrong_schema_version_refused(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text(json.dumps({"version": 99, "plan": "", "shards": {}}))
+        with pytest.raises(SweepError, match="schema version"):
+            SweepJournal.load(path)
+
+    def test_malformed_shard_row_refused(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "plan": "x",
+                    "shards": {"0": {"state": "levitating"}},
+                }
+            )
+        )
+        with pytest.raises(SweepError, match="malformed"):
+            SweepJournal.load(path)
+
+    def test_unknown_shard_index(self, journal):
+        with pytest.raises(SweepError, match="no shard"):
+            journal.shard(99)

@@ -1,0 +1,95 @@
+"""Satellite: ``kill -9`` the live supervisor process, resume, compare.
+
+The strongest crash-tolerance claim in docs/SWEEPS.md, tested for real:
+a ``repro sweep run`` subprocess is SIGKILLed mid-flight (no cleanup,
+no handlers), ``repro sweep resume`` finishes the sweep, and the merged
+grouped stats are byte-identical to an uninterrupted serial run.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+from repro.cli import main
+from repro.sweep.journal import load_json
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+_FAST = [
+    "--trials", "8",
+    "--shard-size", "2",
+    "--side", "3",
+    "--faults", "none",
+]
+
+
+def _spawn_sweep(sweep_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "sweep", "run",
+            "--dir", sweep_dir,
+            "--workers", "2",
+            # Slow each shard's publication down so the kill reliably
+            # lands mid-flight; delay never touches trial results.
+            "--chaos", "delay=0.4,attempts=99",
+            *_FAST,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_progress(journal_path: pathlib.Path, timeout: float) -> dict:
+    """Block until the journal shows work both done and outstanding."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            payload = load_json(journal_path)
+        except Exception:
+            time.sleep(0.05)
+            continue
+        states = [row["state"] for row in payload["shards"].values()]
+        if "done" in states and any(s != "done" for s in states):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"no mid-flight journal state within {timeout}s")
+
+
+class TestSupervisorKillResume:
+    def test_kill9_resume_matches_serial(self, tmp_path, capsys):
+        serial_dir = tmp_path / "serial"
+        assert (
+            main(
+                ["sweep", "run", "--dir", str(serial_dir), "--serial", *_FAST]
+            )
+            == 0
+        )
+        reference = (serial_dir / "merged.json").read_bytes()
+
+        sweep_dir = tmp_path / "killed"
+        proc = _spawn_sweep(str(sweep_dir))
+        try:
+            _wait_for_progress(sweep_dir / "journal.json", timeout=60.0)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        # The dead supervisor left no merged stats behind...
+        assert not (sweep_dir / "merged.json").exists()
+        capsys.readouterr()
+
+        # ...resume (chaos off) finishes what remains...
+        assert main(["sweep", "resume", "--dir", str(sweep_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["done"] == sum(report["counts"].values())
+
+        # ...and the merge is byte-identical to the serial reference.
+        assert (sweep_dir / "merged.json").read_bytes() == reference
