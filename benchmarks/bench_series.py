@@ -23,9 +23,10 @@ schema-versioned sample::
 Stage means come from the span profiler
 (:mod:`repro.observability.spans`, paths ``engine.round/engine.*``), so
 a slowdown points at a stage instead of "the engine got slower". Every invocation records one sample per engine backend
-(``"backend": "python" | "vectorized"``; samples predating the field are
-python ones), so the series shows the vectorized speedup and the gate
-covers both kernels independently: each new sample is compared against
+(``"backend": "python" | "vectorized" | "batched"``; samples predating
+the field are python ones), so the series shows the vectorized and
+batched speedups and the gate covers every kernel independently: each
+new sample is compared against
 the most recent previous sample *with the same backend* and the script
 exits non-zero on a >25% ``round_seconds_median`` slowdown (the CI
 gate); samples are appended either way, so the series keeps recording
@@ -119,6 +120,13 @@ def collect_sample(backend: str = "python") -> dict:
         span = spans[f"engine.round/engine.{stage}"]
         stages[stage] = span["total"] / span["count"]
 
+    # Warm-up (same spirit as the round warm-up above): first-touch
+    # costs -- the collection's cached share matrix, allocator pools --
+    # belong to neither backend's steady-state throughput.
+    route_collection_trials(
+        coll, bandwidth=BANDWIDTH, trials=2,
+        worm_length=WORM_LENGTH, seed=0, jobs=1, backend=backend,
+    )
     t0 = time.perf_counter()
     route_collection_trials(
         coll, bandwidth=BANDWIDTH, trials=TRIALS,
@@ -278,11 +286,13 @@ def main(argv: list[str] | None = None) -> int:
     series_before = load_series(args.out)
     failures: list[str] = []
     medians: dict[str, float] = {}
+    trial_rates: dict[str, float] = {}
     for backend in BACKENDS:
         t_sample = time.perf_counter()
         sample = collect_sample(backend)
         sample_wall = time.perf_counter() - t_sample
         medians[backend] = sample["round_seconds_median"]
+        trial_rates[backend] = sample["trials_per_second_serial"]
         if ledger is not None:
             record_sample(ledger, sample, wall=sample_wall)
         if not args.no_check:
@@ -305,6 +315,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{medians['vectorized'] / medians['python']:.2f}x "
             "(single-process; pooled-trial throughput is still bounded "
             "by cpu_count)"
+        )
+    if trial_rates.get("vectorized") and trial_rates.get("batched"):
+        print(
+            f"batched/vectorized serial trial throughput: "
+            f"{trial_rates['batched'] / trial_rates['vectorized']:.2f}x "
+            f"({trial_rates['vectorized']:.2f} -> "
+            f"{trial_rates['batched']:.2f} trials/s; lockstep batching "
+            "amortises the sort kernel across the whole trial slice)"
         )
     print(f"appended to {args.out}")
     if ledger is not None:

@@ -1059,12 +1059,16 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def _add_backend_flag(p) -> None:
+        from repro.core.engine import BACKENDS
+
         p.add_argument(
             "--backend",
-            choices=["python", "vectorized"],
+            choices=list(BACKENDS),
             default=None,
             help="engine round kernel (bit-identical results; vectorized "
-            "batches uncontended events with numpy -- see docs/PERFORMANCE.md)",
+            "batches uncontended events with numpy, batched additionally "
+            "runs whole trial slices in lockstep -- see "
+            "docs/PERFORMANCE.md)",
         )
 
     def _add_ledger_flag(p) -> None:

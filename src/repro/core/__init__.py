@@ -30,9 +30,11 @@ from repro.core.records import (
 )
 from repro.core.engine import (
     BACKENDS,
+    RoundCall,
     RoutingEngine,
     get_default_backend,
     run_round,
+    run_round_batch,
     set_default_backend,
 )
 from repro.core.schedule import (
@@ -48,6 +50,7 @@ from repro.core.protocol import (
     ProtocolConfig,
     TrialAndFailureProtocol,
     route_collection,
+    run_protocol_batch,
 )
 from repro.core.witness import (
     WitnessNode,
@@ -72,9 +75,11 @@ __all__ = [
     "RoundRecord",
     "ProtocolResult",
     "BACKENDS",
+    "RoundCall",
     "RoutingEngine",
     "get_default_backend",
     "run_round",
+    "run_round_batch",
     "set_default_backend",
     "ScheduleContext",
     "DelaySchedule",
@@ -86,6 +91,7 @@ __all__ = [
     "ProtocolConfig",
     "TrialAndFailureProtocol",
     "route_collection",
+    "run_protocol_batch",
     "WitnessNode",
     "build_witness_tree",
     "blocking_graphs",

@@ -22,7 +22,7 @@ each contended (link, wavelength, time) group through the coupler kernels,
 so the collision semantics live in exactly one place. Conflict-free
 arrivals take an inlined fast path.
 
-Two backends share those semantics. ``backend="python"`` (the default)
+Three backends share those semantics. ``backend="python"`` (the default)
 walks every event group in the scalar loop above. ``backend="vectorized"``
 first partitions the lexsorted event array with numpy: two events can
 only interact if they share a (link, wavelength) channel *and* are at
@@ -33,11 +33,23 @@ link by construction -- and *contended* runs, which fall back to the
 scalar loop over just their events. The partition is conservative
 (over-approximates contention), so outcomes are bit-identical to the
 scalar engine by construction; the differential test suite enforces it.
+
+``backend="batched"`` behaves exactly like ``"vectorized"`` for a single
+:meth:`RoutingEngine.run_round` call, and additionally opts callers into
+:func:`run_round_batch`: many independent rounds (typically the same
+round of many trials differing only in their seeds) are stacked into one
+set of ``(trial, link, wavelength)``-keyed arrays so the event build,
+the lexsort and the adjacent-gap conflict test amortise across the whole
+batch. Events within one trial never cluster with another trial's (the
+trial id is the most significant sort key), so each trial's partition --
+and therefore its outcomes, collision order, fault attribution and
+flight-recorder stream -- is bit-identical to running that trial alone.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -55,16 +67,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "BACKENDS",
+    "RoundCall",
     "RoutingEngine",
     "get_default_backend",
     "run_round",
+    "run_round_batch",
     "set_default_backend",
 ]
 
 #: The selectable round-kernel implementations.
-BACKENDS = ("python", "vectorized")
+BACKENDS = ("python", "vectorized", "batched")
 
 _default_backend = "python"
+
+#: Sentinel for :meth:`RoutingEngine.fork`'s ``metrics`` parameter: None
+#: is a meaningful value there ("use the process default registry"), so
+#: "inherit the parent's" needs its own marker.
+_INHERIT = object()
 
 
 def set_default_backend(backend: str) -> None:
@@ -215,9 +234,12 @@ class RoutingEngine:
     uninstrumented engine pays only one enabled-check per round.
 
     ``backend`` selects the round kernel: ``"python"`` (scalar event
-    loop) or ``"vectorized"`` (numpy conflict partition + scalar
-    fallback for contended groups, bit-identical by construction). None
-    defers to the process default set by :func:`set_default_backend`.
+    loop), ``"vectorized"`` (numpy conflict partition + scalar fallback
+    for contended groups, bit-identical by construction) or
+    ``"batched"`` (identical to ``"vectorized"`` per round, and the
+    opt-in marker that routes trial drivers through
+    :func:`run_round_batch`). None defers to the process default set by
+    :func:`set_default_backend`.
 
     ``profiler`` optionally names the span profiler receiving the
     ``engine.round`` span and its ``engine.build_events`` /
@@ -256,12 +278,45 @@ class RoutingEngine:
         self._links: list[tuple] = []
         self._lid_arrays: dict[int, np.ndarray] = {}
         self._pos_arrays: dict[int, np.ndarray] = {}
+        # Lazily built concatenated event table for the batched kernel;
+        # invalidated whenever the worm set changes.
+        self._ev_table: tuple[np.ndarray, np.ndarray, dict[int, int]] | None = None
         for w in worms:
             self._register(w)
+
+    def fork(self, metrics: "MetricsRegistry | None" = _INHERIT) -> "RoutingEngine":
+        """A new engine sharing this one's precomputed link layout.
+
+        Bit-identical to constructing a fresh engine over the same worms
+        in the same order -- link ids, per-worm arrays and registration
+        order are copied, not recomputed -- at a fraction of the cost.
+        The lockstep trial driver uses this to stamp out one engine per
+        trial of a shared collection. Registries are dict copies, so
+        streaming ``add_worms``/``retire_worms`` on either engine never
+        affects the other; the per-worm numpy arrays are shared
+        read-only. ``metrics`` overrides the fork's registry (pass None
+        for the process default); omitted, the fork inherits this
+        engine's.
+        """
+        clone = RoutingEngine.__new__(RoutingEngine)
+        clone.backend = self.backend
+        clone.rule = self.rule
+        clone.tie_rule = self.tie_rule
+        clone._metrics = self._metrics if metrics is _INHERIT else metrics
+        clone._profiler = self._profiler
+        clone._worms = dict(self._worms)
+        clone._link_ids = dict(self._link_ids)
+        clone._link_index = dict(self._link_index)
+        clone._links = list(self._links)
+        clone._lid_arrays = dict(self._lid_arrays)
+        clone._pos_arrays = dict(self._pos_arrays)
+        clone._ev_table = self._ev_table
+        return clone
 
     def _register(self, w: Worm) -> None:
         if w.uid in self._worms:
             raise ProtocolError(f"duplicate worm uid {w.uid}")
+        self._ev_table = None
         self._worms[w.uid] = w
         ids = []
         for a, b in zip(w.path, w.path[1:]):
@@ -302,6 +357,7 @@ class RoutingEngine:
         for uid in uids:
             if uid not in self._worms:
                 raise ProtocolError(f"cannot retire unknown worm uid {uid}")
+            self._ev_table = None
             del self._worms[uid]
             del self._link_ids[uid]
             del self._lid_arrays[uid]
@@ -369,19 +425,7 @@ class RoutingEngine:
                 )
             return RoundResult(outcomes={}, collisions=(), makespan=None)
 
-        runs: list[_Run] = []
-        seen: set[int] = set()
-        for launch in launches:
-            worm = self._worms.get(launch.worm)
-            if worm is None:
-                raise ProtocolError(f"launch names unknown worm uid {launch.worm}")
-            if launch.worm in seen:
-                raise ProtocolError(f"worm uid {launch.worm} launched twice")
-            seen.add(launch.worm)
-            runs.append(_Run(worm, launch, self._link_ids[launch.worm]))
-        if recorder is not None:
-            for run in runs:
-                recorder.launch(run)
+        runs = self._begin_runs(launches, recorder)
 
         t_stage = time.perf_counter() if observe else 0.0
         with prof.span("engine.build_events"):
@@ -393,17 +437,11 @@ class RoutingEngine:
 
         collisions: list[CollisionEvent] = []
         faulted_at: dict[int, int] = {}
-        dead_lids: set[int] = set()
-        if dead_links:
-            index = self._link_index
-            for link in dead_links:
-                lid = index.get(tuple(link))
-                if lid is not None:
-                    dead_lids.add(lid)
+        dead_lids = self._dead_lids(dead_links)
 
         free_events = 0
         with prof.span("engine.resolve"):
-            if self.backend == "vectorized":
+            if self.backend != "python":
                 contended, free_events = self._run_vectorized(
                     runs, arrays, dead_lids, collect_collisions, recorder,
                     collisions, faulted_at,
@@ -443,7 +481,7 @@ class RoutingEngine:
                 t_resolve=t_resolve,
                 t_finalise=time.perf_counter() - t_stage,
                 t_round=time.perf_counter() - t_round,
-                free_events=free_events if self.backend == "vectorized" else None,
+                free_events=free_events if self.backend != "python" else None,
             )
         return RoundResult(
             outcomes=outcomes,
@@ -451,6 +489,38 @@ class RoutingEngine:
             makespan=makespan,
             faulted_links=faulted_links,
         )
+
+    def _begin_runs(
+        self,
+        launches: Sequence[Launch],
+        recorder: "FlightRecorder | None",
+    ) -> list[_Run]:
+        """Validate ``launches`` into per-round ``_Run`` state (+ launch events)."""
+        runs: list[_Run] = []
+        seen: set[int] = set()
+        for launch in launches:
+            worm = self._worms.get(launch.worm)
+            if worm is None:
+                raise ProtocolError(f"launch names unknown worm uid {launch.worm}")
+            if launch.worm in seen:
+                raise ProtocolError(f"worm uid {launch.worm} launched twice")
+            seen.add(launch.worm)
+            runs.append(_Run(worm, launch, self._link_ids[launch.worm]))
+        if recorder is not None:
+            for run in runs:
+                recorder.launch(run)
+        return runs
+
+    def _dead_lids(self, dead_links: Sequence[tuple] | None) -> set[int]:
+        """The round's dead directed links as registered link ids."""
+        dead_lids: set[int] = set()
+        if dead_links:
+            index = self._link_index
+            for link in dead_links:
+                lid = index.get(tuple(link))
+                if lid is not None:
+                    dead_lids.add(lid)
+        return dead_lids
 
     def _resolve_scalar(
         self,
@@ -648,6 +718,33 @@ class RoutingEngine:
         clashed[:-1] |= clash
         contended_run = np.zeros(len(runs), dtype=bool)
         contended_run[ri[corder[clashed]]] = True
+        return self._apply_partition(
+            runs, arrays, contended_run, dead_lids, collect_collisions,
+            recorder, collisions, faulted_at,
+        )
+
+    def _apply_partition(
+        self,
+        runs: list[_Run],
+        arrays: tuple[np.ndarray, ...],
+        contended_run: np.ndarray,
+        dead_lids: set[int],
+        collect_collisions: bool,
+        recorder,
+        collisions: list[CollisionEvent],
+        faulted_at: dict[int, int],
+    ) -> tuple[int, int]:
+        """Resolve one round given its free/contended run partition.
+
+        Shared tail of the vectorized and batched kernels: bulk-write the
+        free runs' records, emit their recorder events in global order,
+        and replay the contended subset through :meth:`_resolve_scalar`.
+        ``contended_run`` is the per-run contention mask (conservative);
+        event indices in ``arrays`` are the round's own (per-trial)
+        global positions. Returns ``(contended groups, free events)``.
+        """
+        t, lid, wl, pos, ri = arrays
+        n = t.shape[0]
         free_evt = ~contended_run[ri]
 
         # Dead links: a free worm crossing one dies at its first dead
@@ -779,6 +876,19 @@ class RoutingEngine:
         run) is unique per event, so the order is exactly that of sorting
         the equivalent python tuples.
         """
+        t, lid, wl, pos, ri = self._event_parts(runs)
+        order = np.lexsort((ri, pos, wl, lid, t))
+        return t[order], lid[order], wl[order], pos[order], ri[order]
+
+    def _event_parts(
+        self, runs: list[_Run]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Unsorted event columns ``(t, lid, wl, pos, ri)`` for ``runs``.
+
+        Column order is immaterial: the (time, link, wavelength, pos,
+        run) key is unique per event, so any subsequent lexsort fully
+        determines the canonical order regardless of input order.
+        """
         t_parts: list[np.ndarray] = []
         lid_parts: list[np.ndarray] = []
         wl_parts: list[np.ndarray] = []
@@ -797,13 +907,71 @@ class RoutingEngine:
             else:
                 wl_parts.append(np.full(n, wl, dtype=np.int64))
             ri_parts.append(np.full(n, ri, dtype=np.int64))
-        t = np.concatenate(t_parts)
-        lid = np.concatenate(lid_parts)
-        wl = np.concatenate(wl_parts)
-        pos = np.concatenate(pos_parts)
-        ri = np.concatenate(ri_parts)
-        order = np.lexsort((ri, pos, wl, lid, t))
-        return t[order], lid[order], wl[order], pos[order], ri[order]
+        return (
+            np.concatenate(t_parts),
+            np.concatenate(lid_parts),
+            np.concatenate(wl_parts),
+            np.concatenate(pos_parts),
+            np.concatenate(ri_parts),
+        )
+
+    def _event_table(self) -> tuple[np.ndarray, np.ndarray, dict[int, int]]:
+        """Concatenated per-worm event columns plus per-uid start offsets.
+
+        The batched kernel's fast event builder gathers a round's events
+        from this fixed table with one fancy-index pass instead of one
+        small-array append loop per worm. Rebuilt lazily after any
+        ``add_worms``/``retire_worms``.
+        """
+        table = self._ev_table
+        if table is None:
+            lid_parts = list(self._lid_arrays.values())
+            pos_parts = list(self._pos_arrays.values())
+            starts: dict[int, int] = {}
+            off = 0
+            for uid, arr in self._lid_arrays.items():
+                starts[uid] = off
+                off += len(arr)
+            empty = np.empty(0, dtype=np.int64)
+            table = (
+                np.concatenate(lid_parts) if lid_parts else empty,
+                np.concatenate(pos_parts) if pos_parts else empty,
+                starts,
+            )
+            self._ev_table = table
+        return table
+
+    def _batch_event_parts(
+        self, runs: list[_Run]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Unsorted event columns for one round, built by table gather.
+
+        Semantically identical to :meth:`_event_parts` (the follow-up
+        lexsort makes input order immaterial) but one vectorized gather
+        instead of a per-worm python loop. Launches carrying per-link
+        wavelength tuples fall back to the scalar assembly.
+        """
+        if any(isinstance(run.wavelength, tuple) for run in runs):
+            return self._event_parts(runs)
+        ev_lid, ev_pos, spans = self._event_table()
+        k = len(runs)
+        counts = np.fromiter((run.n_links for run in runs), dtype=np.int64, count=k)
+        starts = np.fromiter((spans[run.uid] for run in runs), dtype=np.int64, count=k)
+        delays = np.fromiter((run.delay for run in runs), dtype=np.int64, count=k)
+        wls = np.fromiter((run.wavelength for run in runs), dtype=np.int64, count=k)
+        total = int(counts.sum())
+        # Segmented arange: event e of run k gathers table row starts[k]+e.
+        flat0 = np.cumsum(counts) - counts
+        idx = np.arange(total, dtype=np.int64)
+        idx += np.repeat(starts - flat0, counts)
+        pos = ev_pos[idx]
+        return (
+            pos + np.repeat(delays, counts),
+            ev_lid[idx],
+            np.repeat(wls, counts),
+            pos,
+            np.repeat(np.arange(k, dtype=np.int64), counts),
+        )
 
     @staticmethod
     def _install(
@@ -896,3 +1064,184 @@ def run_round(
     return RoutingEngine(worms, rule, tie_rule, backend=backend).run_round(
         launches, collect_collisions=collect_collisions, dead_links=dead_links
     )
+
+
+@dataclass
+class RoundCall:
+    """One trial's :meth:`RoutingEngine.run_round` arguments.
+
+    The unit :func:`run_round_batch` stacks: each call names its own
+    engine (typically a :meth:`RoutingEngine.fork` of a shared parent,
+    so trials may retire worms independently), launches, fault set, and
+    flight recorder. Results come back in call order and are required to
+    be bit-identical to ``call.engine.run_round(...)`` run alone.
+    """
+
+    engine: RoutingEngine
+    launches: Sequence[Launch]
+    collect_collisions: bool = True
+    dead_links: Sequence[tuple] | None = None
+    recorder: "FlightRecorder | None" = None
+
+
+def run_round_batch(calls: Sequence[RoundCall]) -> list[RoundResult]:
+    """Simulate one round for many independent trials in one array pass.
+
+    This is the batched backend's kernel: every call's head-arrival
+    events are stacked into single ``(trial, link, wavelength)``-keyed
+    arrays so the canonical lexsort and the adjacent-gap conflict test
+    amortise across the whole batch, then each trial's contended subset
+    replays through the scalar resolver exactly as the vectorized
+    backend would have done alone.
+
+    Bit-identity argument: the batch lexsorts use the trial id as the
+    most-significant key, so restricting the stable sort to one trial's
+    events reproduces that trial's own sort (the per-trial key tuples
+    are unique); the conflict test masks cross-trial adjacencies and
+    uses each trial's own ``max_worm_length - 1`` gap, so the per-trial
+    contention masks -- and hence outcomes, collision order, fault
+    attribution, and recorder streams -- match single-trial
+    ``run_round`` exactly. Wall-clock stage timings are attributed to
+    each trial as an equal share of the shared batch stages (the
+    metrics contract leaves timing histograms run-dependent).
+    """
+    if not calls:
+        return []
+    eng0 = calls[0].engine
+    prof = eng0._profiler if eng0._profiler is not None else get_profiler()
+    if not prof.enabled:
+        return _run_round_batch(prof, calls)
+    with prof.span("engine.round_batch"):
+        return _run_round_batch(prof, calls)
+
+
+def _run_round_batch(
+    prof: SpanProfiler, calls: Sequence[RoundCall]
+) -> list[RoundResult]:
+    """The batch body behind :func:`run_round_batch`'s span wrapper."""
+    results: list[RoundResult | None] = [None] * len(calls)
+    # Per live trial: (call index, engine, metrics, observe, runs,
+    # dead_lids, unsorted event columns, adjacency gap).
+    states: list[tuple] = []
+    t_batch = time.perf_counter()
+    with prof.span("engine.build_events"):
+        for ci, call in enumerate(calls):
+            eng = call.engine
+            metrics = eng._metrics if eng._metrics is not None else get_metrics()
+            observe = metrics.enabled
+            if not call.launches:
+                # Same contract as run_round: an empty round still counts.
+                if observe:
+                    eng._record_metrics(
+                        metrics, {}, n_events=0, contended=0, t_events=0.0,
+                        t_resolve=0.0, t_finalise=0.0, t_round=0.0,
+                    )
+                results[ci] = RoundResult(
+                    outcomes={}, collisions=(), makespan=None
+                )
+                continue
+            runs = eng._begin_runs(call.launches, call.recorder)
+            parts = eng._batch_event_parts(runs)
+            gap = max(run.length for run in runs) - 1
+            states.append(
+                (ci, eng, metrics, observe, runs,
+                 eng._dead_lids(call.dead_links), parts, gap)
+            )
+        if not states:
+            return results  # type: ignore[return-value]
+        k_live = len(states)
+        counts = np.fromiter(
+            (s[6][0].shape[0] for s in states), dtype=np.int64, count=k_live
+        )
+        btri = np.repeat(np.arange(k_live, dtype=np.int64), counts)
+        bgap = np.repeat(
+            np.fromiter((s[7] for s in states), dtype=np.int64, count=k_live),
+            counts,
+        )
+        bt = np.concatenate([s[6][0] for s in states])
+        blid = np.concatenate([s[6][1] for s in states])
+        bwl = np.concatenate([s[6][2] for s in states])
+        bpos = np.concatenate([s[6][3] for s in states])
+        bri = np.concatenate([s[6][4] for s in states])
+    t_build = time.perf_counter() - t_batch
+
+    t_stage = time.perf_counter()
+    with prof.span("engine.resolve"):
+        # Canonical order: trial-major, then each trial's unique
+        # (t, lid, wl, pos, ri) key -- slicing out one trial yields
+        # exactly its single-trial _build_event_arrays output.
+        corder = np.lexsort((bri, bpos, bwl, blid, bt, btri))
+        bounds = np.searchsorted(btri[corder], np.arange(k_live + 1))
+        # Partition order: trial-major (channel, time). The global
+        # wavelength radix keeps (lid, wl) -> key injective; channel
+        # *grouping* within a trial is what matters, not group order.
+        key = blid * (int(bwl.max()) + 1) + bwl
+        porder = np.lexsort((bt, key, btri))
+        tri2 = btri[porder]
+        k2 = key[porder]
+        t2 = bt[porder]
+        clash = (
+            (tri2[1:] == tri2[:-1])
+            & (k2[1:] == k2[:-1])
+            & (t2[1:] - t2[:-1] <= bgap[porder][1:])
+        )
+        clashed = np.zeros(bt.shape[0], dtype=bool)
+        clashed[1:] = clash
+        clashed[:-1] |= clash
+        # Flatten (trial, run) so one scatter marks every contended run.
+        run_counts = np.fromiter(
+            (len(s[4]) for s in states), dtype=np.int64, count=k_live
+        )
+        run_off = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(run_counts))
+        )
+        hit = porder[clashed]
+        contended_flat = np.zeros(int(run_off[-1]), dtype=bool)
+        contended_flat[run_off[btri[hit]] + bri[hit]] = True
+    t_part = time.perf_counter() - t_stage
+
+    for si, (ci, eng, metrics, observe, runs, dead_lids, _, _) in enumerate(
+        states
+    ):
+        call = calls[ci]
+        t_trial = time.perf_counter() if observe else 0.0
+        sl = corder[bounds[si]:bounds[si + 1]]
+        arrays = (bt[sl], blid[sl], bwl[sl], bpos[sl], bri[sl])
+        collisions: list[CollisionEvent] = []
+        faulted_at: dict[int, int] = {}
+        with prof.span("engine.resolve"):
+            contended, free_events = eng._apply_partition(
+                runs, arrays,
+                contended_flat[run_off[si]:run_off[si + 1]],
+                dead_lids, call.collect_collisions, call.recorder,
+                collisions, faulted_at,
+            )
+        if observe:
+            t_resolve = time.perf_counter() - t_trial
+            t_stage = time.perf_counter()
+        with prof.span("engine.finalise"):
+            outcomes, makespan = eng._finalise(runs)
+        faulted_links = tuple(
+            eng._links[lid]
+            for lid, _ in sorted(faulted_at.items(), key=lambda kv: kv[1])
+        )
+        if observe:
+            t_finalise = time.perf_counter() - t_stage
+            eng._record_metrics(
+                metrics,
+                outcomes,
+                n_events=int(arrays[0].shape[0]),
+                contended=contended,
+                t_events=t_build / k_live,
+                t_resolve=t_part / k_live + t_resolve,
+                t_finalise=t_finalise,
+                t_round=(t_build + t_part) / k_live + t_resolve + t_finalise,
+                free_events=free_events,
+            )
+        results[ci] = RoundResult(
+            outcomes=outcomes,
+            collisions=tuple(collisions),
+            makespan=makespan,
+            faulted_links=faulted_links,
+        )
+    return results  # type: ignore[return-value]

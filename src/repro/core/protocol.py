@@ -50,7 +50,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro._util import as_generator, spawn_generator
-from repro.core.engine import BACKENDS, RoutingEngine
+from repro.core.engine import (
+    BACKENDS,
+    RoundCall,
+    RoutingEngine,
+    run_round_batch,
+)
 from repro.core.records import (
     DIAG_ACK_LOST,
     DIAG_CONTENTION,
@@ -76,7 +81,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.observability.flightrec import FlightRecorder
     from repro.observability.trace import TraceWriter
 
-__all__ = ["ProtocolConfig", "TrialAndFailureProtocol", "route_collection"]
+__all__ = [
+    "ProtocolConfig",
+    "TrialAndFailureProtocol",
+    "route_collection",
+    "run_protocol_batch",
+]
 
 _PRIORITY_MODES = ("random", "uid", "reverse_uid")
 _ACK_MODES = ("ideal", "simulated")
@@ -110,9 +120,13 @@ class ProtocolConfig:
     which streaming runs need so one transient stall does not
     permanently inflate ``Delta_t``.
 
-    ``backend`` selects the engine's round kernel (``"python"`` or
-    ``"vectorized"``, bit-identical); None defers to the process default
-    (see :func:`repro.core.engine.set_default_backend`).
+    ``backend`` selects the engine's round kernel (``"python"``,
+    ``"vectorized"`` or ``"batched"``, all bit-identical); None defers
+    to the process default (see
+    :func:`repro.core.engine.set_default_backend`). ``"batched"``
+    additionally opts trial drivers (:func:`run_protocol_batch`, the
+    trial runner's batch dispatch) into simulating many seeds' rounds
+    through one stacked engine pass.
     """
 
     bandwidth: int
@@ -199,6 +213,47 @@ class ProtocolConfig:
             )
 
 
+class _TrialState:
+    """Mutable per-execution loop state threaded through the round stepper.
+
+    One instance per :meth:`TrialAndFailureProtocol.run` (or lockstep
+    batch) execution. The stepper methods -- ``_start_trial``,
+    ``_prepare_round``, ``_absorb_round``, ``_finish_trial`` -- read and
+    mutate it, so the serial loop and :func:`run_protocol_batch` share
+    one round implementation and stay bit-identical by construction.
+    """
+
+    __slots__ = (
+        "rng",
+        "round_rng",
+        "metrics",
+        "observe",
+        "t_run",
+        "active",
+        "delivered_round",
+        "delivered_ever",
+        "duplicates",
+        "acks_lost",
+        "records",
+        "collisions_per_round",
+        "repairs",
+        "total_time",
+        "observed_time",
+        "live_coll",
+        "live_paths",
+        "base_ctx",
+        "dl",
+        "fault_run",
+        "monitor",
+        "stall",
+        "completed",
+        "rounds_used",
+        "t",
+        "current_congestion",
+        "delta",
+    )
+
+
 class TrialAndFailureProtocol:
     """Drives the round loop over a fixed path collection.
 
@@ -225,13 +280,32 @@ class TrialAndFailureProtocol:
         trace: "TraceWriter | None" = None,
         trace_trial: int = 0,
         flight: "bool | FlightRecorder" = False,
+        _share_from: "TrialAndFailureProtocol | None" = None,
     ) -> None:
         self.collection = collection
         self.config = config
         self._metrics = metrics
         self._trace = trace
         self._trace_trial = trace_trial
-        self.worms = make_worms(collection.paths, config.worm_length)
+        # _share_from lets the lockstep batch driver stamp out one
+        # protocol per trial of the *same* collection and config without
+        # re-deriving worms and link layouts: the worm list is shared
+        # (repair rebinds, never mutates it) and the engines are forks.
+        # Forks are bit-identical to fresh construction, so sharing is a
+        # pure construction-cost optimisation. Ignored unless the donor
+        # really matches and is pristine.
+        share = _share_from
+        if share is not None and (
+            share.collection is not collection
+            or share.config is not config
+            or share._repaired
+        ):
+            share = None
+        self.worms = (
+            share.worms
+            if share is not None
+            else make_worms(collection.paths, config.worm_length)
+        )
         self._flight: "FlightRecorder | None" = None
         if flight:
             from repro.observability.flightrec import FlightRecorder
@@ -246,14 +320,23 @@ class TrialAndFailureProtocol:
             else:
                 self._flight = FlightRecorder(trace, trial=trace_trial)
             self._flight.describe_worms(self.worms)
-        self._build_engines(self.worms)
-        self._base_ctx = ScheduleContext(
-            n=collection.n,
-            bandwidth=config.bandwidth,
-            worm_length=config.worm_length,
-            dilation=collection.dilation,
-            congestion=collection.path_congestion,
-        )
+        if share is not None:
+            self.engine = share.engine.fork(metrics=metrics)
+            self._ack_engine = (
+                share._ack_engine.fork(metrics=metrics)
+                if share._ack_engine is not None
+                else None
+            )
+            self._base_ctx = share._base_ctx
+        else:
+            self._build_engines(self.worms)
+            self._base_ctx = ScheduleContext(
+                n=collection.n,
+                bandwidth=config.bandwidth,
+                worm_length=config.worm_length,
+                dilation=collection.dilation,
+                congestion=collection.path_congestion,
+            )
         self._repaired = False
 
     def _build_engines(self, worms: list[Worm]) -> None:
@@ -437,201 +520,240 @@ class TrialAndFailureProtocol:
 
     # -- main loop ----------------------------------------------------------------
 
-    def run(self, rng=None) -> ProtocolResult:
-        """Execute rounds until every worm is acknowledged (or max_rounds)."""
+    def _start_trial(self, rng=None) -> _TrialState:
+        """Initialise one execution's loop state (everything before round 1)."""
         cfg = self.config
-        rng = as_generator(rng)
-        metrics = self._metrics if self._metrics is not None else get_metrics()
-        observe = metrics.enabled
-        prof = get_profiler()
-        t_run = time.perf_counter() if observe else 0.0
+        st = _TrialState()
+        st.rng = as_generator(rng)
+        st.metrics = self._metrics if self._metrics is not None else get_metrics()
+        st.observe = st.metrics.enabled
+        st.t_run = time.perf_counter() if st.observe else 0.0
         if self._repaired:
             # A previous run on this instance rerouted worms; reset to the
             # pristine collection so reruns stay seed-deterministic.
             self.worms = make_worms(self.collection.paths, cfg.worm_length)
             self._build_engines(self.worms)
             self._repaired = False
-        active: list[int] = [w.uid for w in self.worms]
-        delivered_round: dict[int, int] = {}
-        delivered_ever: set[int] = set()
-        duplicates = 0
-        acks_lost = 0
-        records: list[RoundRecord] = []
-        collisions_per_round: list[tuple] = []
-        repairs: list[RepairEvent] = []
-        total_time = 0
-        observed_time = 0
-        live_coll = self.collection
-        live_paths: dict[int, tuple] = {w.uid: w.path for w in self.worms}
-        base_ctx = self._base_ctx
-        dl = live_coll.dilation + cfg.worm_length
-
-        fault_run = (
-            cfg.faults.start(self.collection.links, rng)
+        st.active = [w.uid for w in self.worms]
+        st.delivered_round = {}
+        st.delivered_ever = set()
+        st.duplicates = 0
+        st.acks_lost = 0
+        st.records = []
+        st.collisions_per_round = []
+        st.repairs = []
+        st.total_time = 0
+        st.observed_time = 0
+        st.live_coll = self.collection
+        st.live_paths = {w.uid: w.path for w in self.worms}
+        st.base_ctx = self._base_ctx
+        st.dl = st.live_coll.dilation + cfg.worm_length
+        st.fault_run = (
+            cfg.faults.start(self.collection.links, st.rng)
             if cfg.faults is not None
             else None
         )
-        monitor = LinkHealthMonitor(cfg.suspect_after)
-        stall = StallDetector(
+        st.monitor = LinkHealthMonitor(cfg.suspect_after)
+        st.stall = StallDetector(
             cfg.backoff_after, cfg.backoff_cap, cooldown=cfg.backoff_cooldown
         )
+        st.completed = False
+        st.rounds_used = 0
+        st.t = 0
+        return st
 
-        completed = False
-        rounds_used = 0
-        for t in range(1, cfg.max_rounds + 1):
-            with prof.span("protocol.round"):
-                rounds_used = t
-                current_congestion = None
-                if cfg.track_congestion:
-                    current_congestion = live_coll.subset(active).path_congestion
-                ctx = dataclasses.replace(
-                    base_ctx, current_congestion=current_congestion
+    def _measure_congestion(self, st: _TrialState) -> int | None:
+        """The surviving worms' path congestion (None when untracked).
+
+        Exactly what the serial loop feeds :meth:`_prepare_round`; the
+        lockstep driver instead computes the same values for many trials
+        at once through the collection's share-matrix oracle, falling
+        back to this per-trial path after a repair changed the paths.
+        """
+        if not self.config.track_congestion:
+            return None
+        return st.live_coll.subset(st.active).path_congestion
+
+    def _prepare_round(
+        self, st: _TrialState, current_congestion: int | None
+    ) -> tuple[list[Launch], "list | None"]:
+        """Advance to the next round and draw its launches and faults.
+
+        ``current_congestion`` is injected (rather than measured here) so
+        the lockstep batch driver can supply oracle-computed values; it
+        must equal what :meth:`_measure_congestion` would return. The
+        caller must not call past ``max_rounds``. Everything that draws
+        from the round RNG happens here, in the serial loop's exact
+        order: spawn the round generator, draw launches, then fault the
+        links.
+        """
+        cfg = self.config
+        st.t += 1
+        st.rounds_used = st.t
+        st.current_congestion = current_congestion
+        ctx = dataclasses.replace(
+            st.base_ctx, current_congestion=current_congestion
+        )
+        delta = cfg.schedule.delay_range(st.t, ctx)
+        if st.stall.multiplier > 1.0:
+            # Stall backoff: widen the launch window beyond what the
+            # schedule believes is enough (bounded exponential).
+            delta = max(1, int(math.ceil(delta * st.stall.multiplier)))
+        st.delta = delta
+
+        st.round_rng = spawn_generator(st.rng)
+        launches = self._draw_launches(st.active, delta, st.round_rng)
+        if self._flight is not None:
+            self._flight.begin_round(st.t)
+        dead_links = (
+            st.fault_run.dead_links(st.t, st.round_rng)
+            if st.fault_run is not None
+            else None
+        )
+        return launches, dead_links
+
+    def _absorb_round(self, st: _TrialState, result) -> bool:
+        """Fold one engine round's result into the trial state.
+
+        Acks (simulated acks route on this trial's own ack engine),
+        bookkeeping, metrics, trace records, health monitoring, and
+        repair all happen here. Returns True when the trial completed
+        (every worm acknowledged).
+        """
+        cfg = self.config
+        metrics = st.metrics
+        observe = st.observe
+        t = st.t
+        if cfg.collect_collisions:
+            st.collisions_per_round.append(result.collisions)
+
+        delivered = result.delivered
+        st.duplicates += sum(1 for uid in delivered if uid in st.delivered_ever)
+        st.delivered_ever.update(delivered)
+
+        if cfg.ack_mode == "ideal":
+            acked = set(delivered)
+            ack_span = 0
+        else:
+            t_ack = time.perf_counter() if observe else 0.0
+            acked, ack_span = self._route_acks(
+                delivered, result.outcomes, st.round_rng
+            )
+            if observe:
+                metrics.observe(
+                    "protocol_ack_seconds", time.perf_counter() - t_ack
                 )
-                delta = cfg.schedule.delay_range(t, ctx)
-                if stall.multiplier > 1.0:
-                    # Stall backoff: widen the launch window beyond what the
-                    # schedule believes is enough (bounded exponential).
-                    delta = max(1, int(math.ceil(delta * stall.multiplier)))
 
-                round_rng = spawn_generator(rng)
-                launches = self._draw_launches(active, delta, round_rng)
-                if self._flight is not None:
-                    self._flight.begin_round(t)
-                dead_links = (
-                    fault_run.dead_links(t, round_rng)
-                    if fault_run is not None
-                    else None
-                )
-                result = self.engine.run_round(
-                    launches,
-                    collect_collisions=cfg.collect_collisions,
-                    dead_links=dead_links,
-                    recorder=self._flight,
-                )
-                if cfg.collect_collisions:
-                    collisions_per_round.append(result.collisions)
-
-                delivered = result.delivered
-                duplicates += sum(1 for uid in delivered if uid in delivered_ever)
-                delivered_ever.update(delivered)
-
-                if cfg.ack_mode == "ideal":
-                    acked = set(delivered)
-                    ack_span = 0
-                else:
-                    t_ack = time.perf_counter() if observe else 0.0
-                    acked, ack_span = self._route_acks(
-                        delivered, result.outcomes, round_rng
-                    )
-                    if observe:
-                        metrics.observe(
-                            "protocol_ack_seconds", time.perf_counter() - t_ack
-                        )
-
-                if fault_run is not None and acked:
-                    lost = fault_run.lost_acks(t, sorted(acked), round_rng)
-                    if lost:
-                        acked -= lost
-                        acks_lost += len(lost)
-                        if observe:
-                            metrics.inc("protocol_acks_lost_total", len(lost))
-
-                if self._flight is not None:
-                    self._flight.end_round(
-                        result.makespan, ack_span=ack_span, acked=sorted(acked)
-                    )
-
-                for uid in acked:
-                    delivered_round.setdefault(uid, t)
-                active = [uid for uid in active if uid not in acked]
-
-                eliminated = sum(
-                    1
-                    for o in result.outcomes.values()
-                    if o.failure is FailureKind.ELIMINATED
-                )
-                truncated = sum(
-                    1
-                    for o in result.outcomes.values()
-                    if o.failure is FailureKind.TRUNCATED
-                )
-                faulted = sum(
-                    1
-                    for o in result.outcomes.values()
-                    if o.failure is FailureKind.FAULTED
-                )
-                duration = delta + 2 * dl
-                observed = max(result.makespan or 0, ack_span) + 1
-                total_time += duration
-                observed_time += observed
-                record = RoundRecord(
-                    index=t,
-                    delay_range=delta,
-                    active_before=len(result.outcomes),
-                    delivered=len(delivered),
-                    eliminated=eliminated,
-                    truncated=truncated,
-                    acked=len(acked),
-                    duration=duration,
-                    observed_span=observed,
-                    active_congestion=current_congestion,
-                    faulted=faulted,
-                )
-                records.append(record)
+        if st.fault_run is not None and acked:
+            lost = st.fault_run.lost_acks(t, sorted(acked), st.round_rng)
+            if lost:
+                acked -= lost
+                st.acks_lost += len(lost)
                 if observe:
-                    metrics.inc("protocol_rounds_total")
-                    metrics.inc("protocol_delivered_total", len(delivered))
-                    metrics.inc("protocol_eliminated_total", eliminated)
-                    metrics.inc("protocol_truncated_total", truncated)
-                    metrics.inc("protocol_faulted_total", faulted)
-                    metrics.inc("protocol_acked_total", len(acked))
-                    metrics.gauge("protocol_active_worms", len(active))
-                    if current_congestion is not None:
-                        metrics.gauge("protocol_congestion", current_congestion)
-                if self._trace is not None:
-                    self._trace.write(
-                        "round", trial=self._trace_trial, **dataclasses.asdict(record)
-                    )
+                    metrics.inc("protocol_acks_lost_total", len(lost))
 
-                if result.faulted_links:
-                    monitor.observe_round(result.faulted_links)
-                    if observe:
-                        metrics.gauge(
-                            "protocol_suspected_links", len(monitor.suspected)
-                        )
-                if stall.observe_round(len(acked)) and observe:
-                    metrics.inc("protocol_backoff_escalations_total")
+        if self._flight is not None:
+            self._flight.end_round(
+                result.makespan, ack_span=ack_span, acked=sorted(acked)
+            )
 
-                if not active:
-                    completed = True
-                    break
+        for uid in acked:
+            st.delivered_round.setdefault(uid, t)
+        st.active = [uid for uid in st.active if uid not in acked]
 
-                if (
-                    cfg.repair == "reroute"
-                    and monitor.suspected
-                    and self._attempt_repairs(
-                        t, active, live_paths, monitor, repairs, metrics, observe
-                    )
-                ):
-                    live_coll = PathCollection(
-                        [live_paths[w.uid] for w in self.worms],
-                        topology=self.collection.topology,
-                        require_simple=False,
-                    )
-                    dl = live_coll.dilation + cfg.worm_length
-                    # Repaired paths void the original invariants; re-anchor
-                    # the schedule on the repaired collection's measures.
-                    base_ctx = dataclasses.replace(
-                        base_ctx,
-                        dilation=live_coll.dilation,
-                        congestion=live_coll.path_congestion,
-                    )
+        eliminated = sum(
+            1
+            for o in result.outcomes.values()
+            if o.failure is FailureKind.ELIMINATED
+        )
+        truncated = sum(
+            1
+            for o in result.outcomes.values()
+            if o.failure is FailureKind.TRUNCATED
+        )
+        faulted = sum(
+            1
+            for o in result.outcomes.values()
+            if o.failure is FailureKind.FAULTED
+        )
+        duration = st.delta + 2 * st.dl
+        observed = max(result.makespan or 0, ack_span) + 1
+        st.total_time += duration
+        st.observed_time += observed
+        record = RoundRecord(
+            index=t,
+            delay_range=st.delta,
+            active_before=len(result.outcomes),
+            delivered=len(delivered),
+            eliminated=eliminated,
+            truncated=truncated,
+            acked=len(acked),
+            duration=duration,
+            observed_span=observed,
+            active_congestion=st.current_congestion,
+            faulted=faulted,
+        )
+        st.records.append(record)
+        if observe:
+            metrics.inc("protocol_rounds_total")
+            metrics.inc("protocol_delivered_total", len(delivered))
+            metrics.inc("protocol_eliminated_total", eliminated)
+            metrics.inc("protocol_truncated_total", truncated)
+            metrics.inc("protocol_faulted_total", faulted)
+            metrics.inc("protocol_acked_total", len(acked))
+            metrics.gauge("protocol_active_worms", len(st.active))
+            if st.current_congestion is not None:
+                metrics.gauge("protocol_congestion", st.current_congestion)
+        if self._trace is not None:
+            self._trace.write(
+                "round", trial=self._trace_trial, **dataclasses.asdict(record)
+            )
 
+        if result.faulted_links:
+            st.monitor.observe_round(result.faulted_links)
+            if observe:
+                metrics.gauge(
+                    "protocol_suspected_links", len(st.monitor.suspected)
+                )
+        if st.stall.observe_round(len(acked)) and observe:
+            metrics.inc("protocol_backoff_escalations_total")
+
+        if not st.active:
+            st.completed = True
+            return True
+
+        if (
+            cfg.repair == "reroute"
+            and st.monitor.suspected
+            and self._attempt_repairs(
+                t, st.active, st.live_paths, st.monitor, st.repairs,
+                metrics, observe,
+            )
+        ):
+            st.live_coll = PathCollection(
+                [st.live_paths[w.uid] for w in self.worms],
+                topology=self.collection.topology,
+                require_simple=False,
+            )
+            st.dl = st.live_coll.dilation + cfg.worm_length
+            # Repaired paths void the original invariants; re-anchor
+            # the schedule on the repaired collection's measures.
+            st.base_ctx = dataclasses.replace(
+                st.base_ctx,
+                dilation=st.live_coll.dilation,
+                congestion=st.live_coll.path_congestion,
+            )
+        return False
+
+    def _finish_trial(self, st: _TrialState) -> ProtocolResult:
+        """Diagnose, emit final metrics/trace, and build the result."""
+        cfg = self.config
+        metrics = st.metrics
         diagnosis: dict[int, str] = {}
         stall_reason: str | None = None
-        if not completed:
+        if not st.completed:
             diagnosis = self._diagnose(
-                active, delivered_ever, live_paths, monitor
+                st.active, st.delivered_ever, st.live_paths, st.monitor
             )
             counts = Counter(diagnosis.values())
             breakdown = ", ".join(
@@ -639,52 +761,74 @@ class TrialAndFailureProtocol:
             )
             stall_reason = (
                 f"max_rounds={cfg.max_rounds} exhausted with "
-                f"{len(active)} active worm(s): {breakdown}"
+                f"{len(st.active)} active worm(s): {breakdown}"
             )
             _log.warning(
                 "protocol exhausted max_rounds=%d with %d active worm(s) "
                 "(%s); suspected dead links: %d; repairs applied: %d",
                 cfg.max_rounds,
-                len(active),
+                len(st.active),
                 breakdown,
-                len(monitor.suspected),
-                len(repairs),
+                len(st.monitor.suspected),
+                len(st.repairs),
             )
             metrics.inc("protocol_exhausted_total")
 
-        if observe:
+        if st.observe:
             metrics.inc("protocol_runs_total")
-            if completed:
+            if st.completed:
                 metrics.inc("protocol_completed_total")
-            metrics.inc("protocol_duplicates_total", duplicates)
-            metrics.observe("protocol_run_seconds", time.perf_counter() - t_run)
+            metrics.inc("protocol_duplicates_total", st.duplicates)
+            metrics.observe(
+                "protocol_run_seconds", time.perf_counter() - st.t_run
+            )
         if self._trace is not None:
             self._trace.write(
                 "trial",
                 trial=self._trace_trial,
-                completed=completed,
-                rounds=rounds_used,
-                total_time=total_time,
-                observed_time=observed_time,
-                delivered_round=delivered_round,
-                duplicate_deliveries=duplicates,
+                completed=st.completed,
+                rounds=st.rounds_used,
+                total_time=st.total_time,
+                observed_time=st.observed_time,
+                delivered_round=st.delivered_round,
+                duplicate_deliveries=st.duplicates,
                 diagnosis=diagnosis,
                 stall_reason=stall_reason,
-                repairs=[dataclasses.asdict(r) for r in repairs],
+                repairs=[dataclasses.asdict(r) for r in st.repairs],
             )
         return ProtocolResult(
-            completed=completed,
-            rounds=rounds_used,
-            total_time=total_time,
-            observed_time=observed_time,
-            records=tuple(records),
-            delivered_round=delivered_round,
-            collisions_per_round=tuple(collisions_per_round),
-            duplicate_deliveries=duplicates,
+            completed=st.completed,
+            rounds=st.rounds_used,
+            total_time=st.total_time,
+            observed_time=st.observed_time,
+            records=tuple(st.records),
+            delivered_round=st.delivered_round,
+            collisions_per_round=tuple(st.collisions_per_round),
+            duplicate_deliveries=st.duplicates,
             diagnosis=diagnosis,
             stall_reason=stall_reason,
-            repairs=tuple(repairs),
+            repairs=tuple(st.repairs),
         )
+
+    def run(self, rng=None) -> ProtocolResult:
+        """Execute rounds until every worm is acknowledged (or max_rounds)."""
+        cfg = self.config
+        prof = get_profiler()
+        st = self._start_trial(rng)
+        while st.t < cfg.max_rounds:
+            with prof.span("protocol.round"):
+                launches, dead_links = self._prepare_round(
+                    st, self._measure_congestion(st)
+                )
+                result = self.engine.run_round(
+                    launches,
+                    collect_collisions=cfg.collect_collisions,
+                    dead_links=dead_links,
+                    recorder=self._flight,
+                )
+                if self._absorb_round(st, result):
+                    break
+        return self._finish_trial(st)
 
 
 def route_collection(
@@ -710,3 +854,107 @@ def route_collection(
     return TrialAndFailureProtocol(
         collection, config, metrics=metrics, trace=trace, flight=flight
     ).run(rng)
+
+
+def run_protocol_batch(
+    collection: PathCollection,
+    config: ProtocolConfig,
+    seeds,
+    *,
+    metrics=None,
+) -> list[ProtocolResult]:
+    """Run one protocol trial per seed, simulating their rounds in lockstep.
+
+    The batched backend's trial driver: one
+    :class:`TrialAndFailureProtocol` is stamped out per seed (engine
+    forks of a shared parent, so construction cost is paid once), and
+    every round all still-running trials' launches go through a single
+    :func:`repro.core.engine.run_round_batch` pass. Each trial's result
+    is bit-identical to ``TrialAndFailureProtocol(collection,
+    config).run(seed)`` because the stepper methods driving both loops
+    are the same code and the batch kernel is bit-identical per trial;
+    congestion tracking uses the collection's exact share-matrix oracle
+    when available (falling back to per-trial measurement for repaired
+    trials or collections too large for the dense matrix). Simulated
+    acks route serially per trial on each trial's own ack engine.
+
+    ``metrics`` is None (process default for every trial), one shared
+    registry, or a sequence of per-trial registries -- the last is how
+    the instrumented trial runner keeps per-trial snapshots exact.
+    Profiler note: the serial loop's per-round ``protocol.round`` span
+    is not emitted here; the engine's ``engine.round_batch`` span tree
+    covers the shared work instead.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    if isinstance(metrics, (list, tuple)):
+        if len(metrics) != len(seeds):
+            raise ProtocolError(
+                f"got {len(metrics)} metrics registries for "
+                f"{len(seeds)} seeds"
+            )
+        per_trial = list(metrics)
+    else:
+        per_trial = [metrics] * len(seeds)
+
+    protos: list[TrialAndFailureProtocol] = []
+    for m in per_trial:
+        protos.append(
+            TrialAndFailureProtocol(
+                collection,
+                config,
+                metrics=m,
+                _share_from=protos[0] if protos else None,
+            )
+        )
+    states = [p._start_trial(seed) for p, seed in zip(protos, seeds)]
+
+    results: list[ProtocolResult | None] = [None] * len(seeds)
+    live = list(range(len(seeds)))
+    while live:
+        congestion: dict[int, int | None] = {i: None for i in live}
+        if config.track_congestion:
+            # Trials still on the pristine collection share one exact
+            # oracle matmul; repaired trials measure their own paths.
+            oracle = [i for i in live if states[i].live_coll is collection]
+            vals = None
+            if oracle:
+                masks = np.zeros((len(oracle), collection.n), dtype=bool)
+                for row, i in enumerate(oracle):
+                    masks[row, states[i].active] = True
+                vals = collection.subset_congestion_batch(masks)
+            if vals is not None:
+                for row, i in enumerate(oracle):
+                    congestion[i] = int(vals[row])
+                rest = [i for i in live if states[i].live_coll is not collection]
+            else:
+                rest = live
+            for i in rest:
+                congestion[i] = protos[i]._measure_congestion(states[i])
+
+        calls = []
+        for i in live:
+            launches, dead_links = protos[i]._prepare_round(
+                states[i], congestion[i]
+            )
+            calls.append(
+                RoundCall(
+                    engine=protos[i].engine,
+                    launches=launches,
+                    collect_collisions=config.collect_collisions,
+                    dead_links=dead_links,
+                    recorder=protos[i]._flight,
+                )
+            )
+        round_results = run_round_batch(calls)
+
+        next_live = []
+        for i, result in zip(live, round_results):
+            done = protos[i]._absorb_round(states[i], result)
+            if done or states[i].t >= config.max_rounds:
+                results[i] = protos[i]._finish_trial(states[i])
+            else:
+                next_live.append(i)
+        live = next_live
+    return results  # type: ignore[return-value]

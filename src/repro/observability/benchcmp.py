@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
@@ -206,8 +207,11 @@ def compare_benchmarks(
     """Diff candidate against baseline, one delta per shared backend.
 
     Backends present in only one file are skipped (a new backend is not
-    a regression); sharing none at all is an error. ``threshold`` flags
-    a backend whose ``round_seconds_median`` ratio exceeds it.
+    a regression) with a :class:`RuntimeWarning` naming each skipped
+    backend and which side it came from, so a gate that silently
+    stopped tracking a backend is visible in the logs; sharing none at
+    all is an error. ``threshold`` flags a backend whose
+    ``round_seconds_median`` ratio exceeds it.
     """
     if threshold <= 0:
         raise ReproError(f"threshold must be > 0, got {threshold}")
@@ -219,6 +223,20 @@ def compare_benchmarks(
             f"no shared backends: baseline has {sorted(base)}, "
             f"candidate has {sorted(cand)}"
         )
+    baseline_only = sorted(set(base) - set(cand))
+    candidate_only = sorted(set(cand) - set(base))
+    for side, path, backends in (
+        ("baseline", baseline_path, baseline_only),
+        ("candidate", candidate_path, candidate_only),
+    ):
+        if backends:
+            warnings.warn(
+                f"benchmark comparison skipped backend(s) "
+                f"{', '.join(backends)} present only in the {side} file "
+                f"({path}); they are not gated by this comparison",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return [
         delta_between(base[backend], cand[backend], threshold=threshold)
         for backend in shared

@@ -138,9 +138,15 @@ class Reservoir:
         self._insert(_tag(self.salt, uid, value), value)
 
     def _insert(self, tag: str, value: float) -> None:
-        if len(self._sample) >= self.cap and tag >= self._sample[-1][0]:
-            return  # full, and this tag loses to everything retained
         entry = (tag, value)
+        if len(self._sample) >= self.cap and entry >= self._sample[-1]:
+            # Full, and this entry loses to everything retained. The
+            # comparison must use the full (tag, value) entry -- the
+            # same total order ``insort`` keeps -- not the tag alone:
+            # on a tag *tie*, a smaller value still beats the current
+            # tail, and dropping it here would make the retained set
+            # depend on merge/shard order.
+            return
         if entry in self._sample:
             return  # same (uid, value) re-merged; keep the sample a set
         insort(self._sample, entry)

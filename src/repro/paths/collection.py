@@ -28,6 +28,11 @@ from repro.network.topology import Topology
 
 __all__ = ["PathCollection"]
 
+#: Largest collection for which the dense path-adjacency matrix is
+#: cached (4 * n**2 bytes reaches 16 MiB here; callers fall back to
+#: per-subset recomputation past it).
+_SHARE_MATRIX_MAX_PATHS = 2048
+
 
 class PathCollection:
     """An immutable multiset of directed paths with cached metrics."""
@@ -164,6 +169,51 @@ class PathCollection:
             topology=self.topology,
             require_simple=False,
         )
+
+    @cached_property
+    def _share_matrix(self) -> "np.ndarray | None":
+        """0/1 ``n x n`` matrix: paths ``i`` and ``j`` share a directed link.
+
+        float32 so a blas matmul against it stays exact (every count it
+        can produce is an integer below ``2**24``) while the cache stays
+        small; None when the collection exceeds
+        ``_SHARE_MATRIX_MAX_PATHS`` and the dense form would not pay.
+        """
+        n = self.n
+        if n > _SHARE_MATRIX_MAX_PATHS:
+            return None
+        incidence = np.zeros((n, len(self.links)), dtype=np.float32)
+        link_col = {link: col for col, link in enumerate(self.links)}
+        for pid, path in enumerate(self._paths):
+            for a, b in zip(path, path[1:]):
+                incidence[pid, link_col[(a, b)]] = 1.0
+        shares = (incidence @ incidence.T) > 0
+        return shares.astype(np.float32)
+
+    def subset_congestion_batch(
+        self, active: "np.ndarray"
+    ) -> "np.ndarray | None":
+        """``subset(mask).path_congestion`` for many masks in one matmul.
+
+        ``active`` is a ``(K, n)`` boolean matrix of per-trial survivor
+        masks over *this* collection's paths. Returns the ``K`` exact
+        congestion values (``int64``), bit-equal to building each subset
+        and reading its ``path_congestion`` -- for an active path ``i``,
+        the subset's sharing set is exactly the active paths adjacent to
+        ``i`` in the share matrix, and all counts are small integers, so
+        the float32 accumulation is exact. Returns None when the
+        collection is too large for the dense share matrix (callers fall
+        back to the per-subset path). Rows with no active path yield 0
+        (``subset`` itself would refuse an empty selection).
+        """
+        shares = self._share_matrix
+        if shares is None:
+            return None
+        mask = np.ascontiguousarray(np.asarray(active, dtype=np.float32))
+        counts = mask @ shares
+        # Only surviving paths participate in the max.
+        counts[mask == 0.0] = 0.0
+        return counts.max(axis=1).astype(np.int64)
 
     def merged_with(self, other: "PathCollection") -> "PathCollection":
         """Concatenate two collections (topology kept only if shared)."""

@@ -12,7 +12,9 @@ results.
 
 from repro.runners.protocol_trials import (
     instrumented_protocol_trial,
+    instrumented_protocol_trial_batch,
     protocol_trial,
+    protocol_trial_batch,
     route_collection_trials,
 )
 from repro.runners.trial import TrialProgress, TrialRunner, spawn_seeds
@@ -22,6 +24,8 @@ __all__ = [
     "TrialRunner",
     "spawn_seeds",
     "protocol_trial",
+    "protocol_trial_batch",
     "instrumented_protocol_trial",
+    "instrumented_protocol_trial_batch",
     "route_collection_trials",
 ]

@@ -11,11 +11,16 @@ and the benchmark harness share.
 
 from __future__ import annotations
 
+import math
 import time
 from functools import partial
 from typing import Callable
 
-from repro.core.protocol import ProtocolConfig, TrialAndFailureProtocol
+from repro.core.protocol import (
+    ProtocolConfig,
+    TrialAndFailureProtocol,
+    run_protocol_batch,
+)
 from repro.core.records import ProtocolResult
 from repro.observability.groupstats import GroupedStats
 from repro.observability.ledger import RunLedger, RunRecord, fingerprint_of, stable_repr
@@ -32,7 +37,9 @@ from repro.runners.trial import (
 
 __all__ = [
     "protocol_trial",
+    "protocol_trial_batch",
     "instrumented_protocol_trial",
+    "instrumented_protocol_trial_batch",
     "fault_label",
     "route_collection_trials",
 ]
@@ -122,6 +129,18 @@ def protocol_trial(
     return TrialAndFailureProtocol(collection, config).run(seed)
 
 
+def protocol_trial_batch(
+    seeds: list[int], collection: PathCollection, config: ProtocolConfig
+) -> list[ProtocolResult]:
+    """One lockstep-batched trial per seed; picklable by construction.
+
+    The batched backend's unit of work: all the seeds' rounds are
+    simulated through :func:`repro.core.protocol.run_protocol_batch`,
+    bit-identical per trial to :func:`protocol_trial` on the same seed.
+    """
+    return run_protocol_batch(collection, config, seeds)
+
+
 def instrumented_protocol_trial(
     seed: int, collection: PathCollection, config: ProtocolConfig
 ) -> tuple[ProtocolResult, dict]:
@@ -135,6 +154,21 @@ def instrumented_protocol_trial(
     registry = MetricsRegistry()
     result = TrialAndFailureProtocol(collection, config, metrics=registry).run(seed)
     return result, registry.snapshot()
+
+
+def instrumented_protocol_trial_batch(
+    seeds: list[int], collection: PathCollection, config: ProtocolConfig
+) -> list[tuple[ProtocolResult, dict]]:
+    """Lockstep-batched trials, each against its own private registry.
+
+    Returns one ``(result, snapshot)`` pair per seed, so the caller's
+    merge loop is identical to the per-seed instrumented path: counters
+    and gauges stay bit-identical for any ``jobs`` or slice boundaries
+    (wall-clock histogram sums are run-dependent by contract).
+    """
+    registries = [MetricsRegistry() for _ in seeds]
+    results = run_protocol_batch(collection, config, seeds, metrics=registries)
+    return [(r, m.snapshot()) for r, m in zip(results, registries)]
 
 
 def route_collection_trials(
@@ -162,9 +196,14 @@ def route_collection_trials(
     ``checkpoint`` passes through to the runner: a killed batch rerun
     with the same arguments resumes from the journal, skipping the
     already-completed trials. ``backend`` selects the engine's round
-    kernel (``"python"`` or ``"vectorized"``, bit-identical results;
-    None = process default); it travels inside the pickled config, so it
-    applies in worker processes too.
+    kernel (``"python"``, ``"vectorized"`` or ``"batched"``,
+    bit-identical results; None = process default); it travels inside
+    the pickled config, so it applies in worker processes too. The
+    ``"batched"`` backend additionally switches the runner to batch
+    dispatch: each worker takes a contiguous slice of seeds and runs
+    them in lockstep through
+    :func:`repro.core.protocol.run_protocol_batch`, amortising the sort
+    kernel across the slice while staying bit-identical per trial.
 
     When ``metrics`` is given, every trial runs instrumented against its
     own private registry (in the worker process for ``jobs > 1``) and the
@@ -188,11 +227,29 @@ def route_collection_trials(
         backend=backend,
         **config_kwargs,
     )
-    trial_fn = (
-        partial(protocol_trial, collection=collection, config=config)
-        if metrics is None
-        else partial(instrumented_protocol_trial, collection=collection, config=config)
-    )
+    from repro.core.engine import get_default_backend
+
+    batched = (config.backend or get_default_backend()) == "batched"
+    if batched:
+        trial_fn = (
+            partial(protocol_trial_batch, collection=collection, config=config)
+            if metrics is None
+            else partial(
+                instrumented_protocol_trial_batch,
+                collection=collection,
+                config=config,
+            )
+        )
+        batch_size = max(1, math.ceil(trials / max(1, jobs)))
+    else:
+        trial_fn = (
+            partial(protocol_trial, collection=collection, config=config)
+            if metrics is None
+            else partial(
+                instrumented_protocol_trial, collection=collection, config=config
+            )
+        )
+        batch_size = None
     runner = TrialRunner(
         trial_fn,
         jobs=jobs,
@@ -201,6 +258,7 @@ def route_collection_trials(
         progress=progress,
         metrics=metrics,
         checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     started = time.time()
     outputs = runner.run(trials, seed)

@@ -143,6 +143,30 @@ def _worker_run(seed: int):
     return _WORKER_FN(seed)
 
 
+def _worker_run_batch(seeds: list[int]):
+    """Invoke the worker's shared *batch* trial function on a seed slice."""
+    assert _WORKER_FN is not None, "worker pool initializer did not run"
+    return _WORKER_FN(seeds)
+
+
+def _batch_results(out, unit: Sequence[int]) -> list:
+    """Validate a batch trial function's return value (one result per seed)."""
+    try:
+        out = list(out)
+    except TypeError as exc:
+        raise TrialError(
+            f"batch trial function returned non-iterable "
+            f"{type(out).__name__!r} for trials "
+            f"{unit[0]}..{unit[-1]}"
+        ) from exc
+    if len(out) != len(unit):
+        raise TrialError(
+            f"batch trial function returned {len(out)} result(s) for "
+            f"{len(unit)} seed(s) (trials {unit[0]}..{unit[-1]})"
+        )
+    return out
+
+
 class _Checkpoint:
     """Crash-safe journal of settled trial results for one seed batch.
 
@@ -216,6 +240,21 @@ class _Checkpoint:
         valid JSON, never a torn file.
         """
         self.completed[index] = result
+        self._flush()
+
+    def record_many(self, indices: Sequence[int], results: Sequence) -> None:
+        """Persist one settled batch unit in a single atomic rewrite.
+
+        The file contents depend only on the completed-trials map, so a
+        batch-dispatched run's final checkpoint is byte-identical to the
+        per-trial :meth:`record` sequence over the same results -- the
+        unit just amortises the fsynced rewrite.
+        """
+        for i, r in zip(indices, results):
+            self.completed[i] = r
+        self._flush()
+
+    def _flush(self) -> None:
         payload = {
             "version": _CHECKPOINT_VERSION,
             "fingerprint": self.fingerprint,
@@ -276,6 +315,17 @@ class TrialRunner:
     pool breaking (a hard-killed worker) before giving up -- separate
     from per-trial ``retries`` and folded into the checkpoint context,
     so a resumed batch must use the same cap.
+
+    ``batch_size`` switches the runner into *batch dispatch*: ``fn``
+    then takes a **list of seeds** and returns one result per seed (in
+    seed order), and the unit of work -- submitted, timed out, retried
+    and checkpointed as one -- becomes a slice of up to ``batch_size``
+    outstanding trials instead of a single seed. This is how the
+    batched engine backend amortises its per-round array passes across
+    a worker's whole seed slice. Results, order, and checkpoint bytes
+    are required to be independent of the slice boundaries (each trial
+    still depends only on its own seed); per-trial progress reports are
+    preserved (one per trial, emitted when its unit settles).
     """
 
     def __init__(
@@ -289,6 +339,7 @@ class TrialRunner:
         metrics: MetricsRegistry | None = None,
         checkpoint: str | pathlib.Path | None = None,
         pool_rebuilds: int = _POOL_REBUILD_LIMIT,
+        batch_size: int | None = None,
     ) -> None:
         if jobs < 1:
             raise TrialError(f"jobs must be >= 1, got {jobs}")
@@ -300,6 +351,10 @@ class TrialRunner:
             raise TrialError(
                 f"pool_rebuilds must be >= 0, got {pool_rebuilds}"
             )
+        if batch_size is not None and batch_size < 1:
+            raise TrialError(
+                f"batch_size must be >= 1 (or None), got {batch_size}"
+            )
         self.fn = fn
         self.jobs = jobs
         self.timeout = timeout
@@ -308,6 +363,7 @@ class TrialRunner:
         self.metrics = metrics
         self.checkpoint = checkpoint
         self.pool_rebuilds = pool_rebuilds
+        self.batch_size = batch_size
 
     # -- public API ----------------------------------------------------------
 
@@ -350,6 +406,29 @@ class TrialRunner:
                     len(seeds),
                 )
                 metrics.inc("runner_checkpoint_loaded_total", len(preloaded))
+        if self.batch_size is not None:
+            # Batch dispatch: slice boundaries never change results or
+            # checkpoint bytes, so batch_size stays out of the
+            # checkpoint context on purpose (a resume may re-slice).
+            if (
+                self.jobs == 1
+                or len(seeds) - len(preloaded) <= self.batch_size
+            ):
+                return self._run_serial_batched(seeds, metrics, ckpt, preloaded)
+            if not self._picklable():
+                _log.warning(
+                    "batch trial function %r is not picklable; running "
+                    "%d trial(s) in-process although jobs=%d were "
+                    "requested (define it at module level, or wrap "
+                    "module-level functions with functools.partial, to "
+                    "parallelize)",
+                    self.fn,
+                    len(seeds),
+                    self.jobs,
+                )
+                metrics.inc("runner_serial_fallbacks_total")
+                return self._run_serial_batched(seeds, metrics, ckpt, preloaded)
+            return self._run_pool_batched(seeds, metrics, ckpt, preloaded)
         if self.jobs == 1 or len(seeds) - len(preloaded) <= 1:
             return self._run_serial(seeds, metrics, ckpt, preloaded)
         if not self._picklable():
@@ -582,6 +661,248 @@ class TrialRunner:
                     metrics.inc("runner_checkpoint_writes_total")
                 done += 1
                 self._report(i, seed, attempts[i], done, total, t0)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+        metrics.inc("runner_trials_total", executed, mode="pool")
+        if metrics.enabled:
+            metrics.observe(
+                "runner_batch_seconds", time.perf_counter() - t0, mode="pool"
+            )
+        return results
+
+    # -- batch dispatch (batch_size is not None) -------------------------------
+
+    def _units(
+        self, seeds: list[int], preloaded: dict[int, object]
+    ) -> list[list[int]]:
+        """Slice the outstanding trial indices into batch-dispatch units.
+
+        Units are contiguous slices of the *remaining* indices (a resume
+        re-slices around checkpointed holes); each is one submit /
+        timeout / retry / checkpoint-write unit.
+        """
+        todo = [i for i in range(len(seeds)) if i not in preloaded]
+        size = self.batch_size
+        assert size is not None
+        return [todo[k:k + size] for k in range(0, len(todo), size)]
+
+    def _settle_unit(
+        self,
+        unit: list[int],
+        out: list,
+        results: list,
+        seeds: list[int],
+        attempts: int,
+        done: int,
+        total: int,
+        t0: float,
+        metrics: MetricsRegistry,
+        ckpt: _Checkpoint | None,
+    ) -> int:
+        """Merge one settled unit's results; returns the new done count."""
+        for i, r in zip(unit, out):
+            results[i] = r
+        if ckpt is not None:
+            ckpt.record_many(unit, out)
+            metrics.inc("runner_checkpoint_writes_total")
+        for i in unit:
+            done += 1
+            self._report(i, seeds[i], attempts, done, total, t0)
+        return done
+
+    def _run_serial_batched(
+        self,
+        seeds: list[int],
+        metrics: MetricsRegistry,
+        ckpt: _Checkpoint | None = None,
+        preloaded: dict[int, object] | None = None,
+    ) -> list:
+        preloaded = preloaded or {}
+        if self.timeout is not None:
+            _log.warning(
+                "timeout=%ss is configured but this batch of %d trial(s) "
+                "runs in-process, where per-unit timeouts cannot be "
+                "enforced; a stuck unit will hang the batch (use jobs>1 "
+                "for preemptible units)",
+                self.timeout,
+                len(seeds) - len(preloaded),
+            )
+            metrics.inc("runner_timeout_unenforced_total")
+        t0 = time.perf_counter()
+        observe = metrics.enabled
+        prof = get_profiler()
+        total = len(seeds)
+        results: list = [_UNSET] * total
+        for i, r in preloaded.items():
+            results[i] = r
+        done = len(preloaded)
+        executed = 0
+        for unit in self._units(seeds, preloaded):
+            unit_seeds = [seeds[i] for i in unit]
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    t_unit = time.perf_counter() if observe else 0.0
+                    with prof.span("runner.trial_batch"):
+                        out = self.fn(unit_seeds)
+                    executed += len(unit)
+                    if observe:
+                        # One observation per trial (count parity with
+                        # per-seed mode); the value is its share of the
+                        # unit's wall time.
+                        share = (time.perf_counter() - t_unit) / len(unit)
+                        for _ in unit:
+                            metrics.observe(
+                                "runner_trial_seconds", share, mode="serial"
+                            )
+                    break
+                except Exception as exc:
+                    if attempts > self.retries:
+                        metrics.inc("runner_trials_failed_total", mode="serial")
+                        self._report(
+                            unit[0], unit_seeds[0], attempts, done, total,
+                            t0, error=str(exc),
+                        )
+                        raise TrialError(
+                            f"trial unit {unit[0]}..{unit[-1]} "
+                            f"({len(unit)} seed(s)) failed after "
+                            f"{attempts} attempt(s): {exc}"
+                        ) from exc
+                    metrics.inc("runner_retries_total", mode="serial")
+            out = _batch_results(out, unit)
+            done = self._settle_unit(
+                unit, out, results, seeds, attempts, done, total, t0,
+                metrics, ckpt,
+            )
+        metrics.inc("runner_trials_total", executed, mode="serial")
+        if observe:
+            metrics.observe(
+                "runner_batch_seconds", time.perf_counter() - t0, mode="serial"
+            )
+        return results
+
+    def _run_pool_batched(
+        self,
+        seeds: list[int],
+        metrics: MetricsRegistry,
+        ckpt: _Checkpoint | None = None,
+        preloaded: dict[int, object] | None = None,
+    ) -> list:
+        preloaded = preloaded or {}
+        t0 = time.perf_counter()
+        total = len(seeds)
+        results: list = [_UNSET] * total
+        for i, r in preloaded.items():
+            results[i] = r
+        done = len(preloaded)
+        executed = 0
+        rebuilds = 0
+        metrics.gauge("runner_pool_jobs", self.jobs)
+        from repro.core.engine import get_default_backend
+
+        initargs = (pickle.dumps(self.fn), get_default_backend())
+        units = self._units(seeds, preloaded)
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=initargs,
+            )
+
+        pool = make_pool()
+
+        def submit_unit(unit: list[int]):
+            return pool.submit(
+                _worker_run_batch, [seeds[i] for i in unit]
+            )
+
+        def rebuild_pool(exc: BaseException) -> None:
+            # Same recovery contract as the per-seed pool: a broken pool
+            # loses every unsettled future, so rebuild and resubmit all
+            # unsettled units, one attempt each.
+            nonlocal pool, rebuilds
+            rebuilds += 1
+            metrics.inc("runner_pool_rebuilds_total")
+            if rebuilds > self.pool_rebuilds:
+                raise TrialError(
+                    f"worker pool broke {rebuilds} times (limit "
+                    f"{self.pool_rebuilds}); giving up on the batch"
+                ) from exc
+            pending = [
+                ui for ui in futures if results[units[ui][0]] is _UNSET
+            ]
+            _log.warning(
+                "worker pool broke (%r); rebuilding (%d/%d) and "
+                "resubmitting %d unsettled unit(s)",
+                exc,
+                rebuilds,
+                self.pool_rebuilds,
+                len(pending),
+            )
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = make_pool()
+            for ui in pending:
+                attempts[ui] += 1
+                futures[ui] = submit_unit(units[ui])
+
+        try:
+            futures = {ui: submit_unit(u) for ui, u in enumerate(units)}
+            attempts = {ui: 1 for ui in futures}
+            # Settle units in index order, like the per-seed pool.
+            for ui, unit in enumerate(units):
+                while True:
+                    try:
+                        out = futures[ui].result(timeout=self.timeout)
+                        break
+                    except BrokenProcessPool as exc:
+                        rebuild_pool(exc)  # raises TrialError past the cap
+                    except FutureTimeout as exc:
+                        futures[ui].cancel()
+                        metrics.inc("runner_timeouts_total")
+                        if attempts[ui] > self.retries:
+                            metrics.inc(
+                                "runner_trials_failed_total", mode="pool"
+                            )
+                            self._report(
+                                unit[0], seeds[unit[0]], attempts[ui],
+                                done, total, t0, error=repr(exc),
+                            )
+                            raise TrialError(
+                                f"trial unit {unit[0]}..{unit[-1]} "
+                                f"({len(unit)} seed(s)) timed out after "
+                                f"{attempts[ui]} attempt(s)"
+                            ) from exc
+                        attempts[ui] += 1
+                        metrics.inc("runner_retries_total", mode="pool")
+                        futures[ui] = submit_unit(unit)
+                    except Exception as exc:
+                        if attempts[ui] > self.retries:
+                            metrics.inc(
+                                "runner_trials_failed_total", mode="pool"
+                            )
+                            self._report(
+                                unit[0], seeds[unit[0]], attempts[ui],
+                                done, total, t0, error=str(exc),
+                            )
+                            raise TrialError(
+                                f"trial unit {unit[0]}..{unit[-1]} "
+                                f"({len(unit)} seed(s)) failed after "
+                                f"{attempts[ui]} attempt(s): {exc}"
+                            ) from exc
+                        attempts[ui] += 1
+                        metrics.inc("runner_retries_total", mode="pool")
+                        futures[ui] = submit_unit(unit)
+                out = _batch_results(out, unit)
+                executed += len(unit)
+                done = self._settle_unit(
+                    unit, out, results, seeds, attempts[ui], done, total,
+                    t0, metrics, ckpt,
+                )
         except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)
             raise

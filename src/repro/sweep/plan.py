@@ -115,6 +115,14 @@ class SweepConfig:
             )
         if self.max_rounds < 1:
             raise SweepError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.backend is not None:
+            from repro.core.engine import BACKENDS
+
+            if self.backend not in BACKENDS:
+                raise SweepError(
+                    f"unknown backend {self.backend!r}; "
+                    f"expected one of {BACKENDS}"
+                )
 
     def fault_model(self):
         """The parsed fault model (None when fault-free)."""

@@ -94,7 +94,7 @@ def execute_shard(
     a kill resume mid-shard instead of starting over.
     """
     from repro.runners import TrialRunner, protocol_trial
-    from repro.runners.protocol_trials import fault_label
+    from repro.runners.protocol_trials import fault_label, protocol_trial_batch
 
     shards = plan.shards()
     if not 0 <= shard_index < len(shards):
@@ -109,12 +109,24 @@ def execute_shard(
     sweep_dir = pathlib.Path(sweep_dir)
     ckpt = checkpoint_path(sweep_dir, shard_index)
     ckpt.parent.mkdir(parents=True, exist_ok=True)
-    runner = TrialRunner(
-        partial(protocol_trial, collection=collection, config=pconfig),
-        jobs=1,
-        progress=progress,
-        checkpoint=ckpt,
-    )
+    if pconfig.backend == "batched":
+        # The whole shard is one lockstep batch: the sort kernel
+        # amortises across every seed while each trial stays
+        # bit-identical to a per-seed run (checkpoint resume included).
+        runner = TrialRunner(
+            partial(protocol_trial_batch, collection=collection, config=pconfig),
+            jobs=1,
+            progress=progress,
+            checkpoint=ckpt,
+            batch_size=max(1, len(shard.seeds)),
+        )
+    else:
+        runner = TrialRunner(
+            partial(protocol_trial, collection=collection, config=pconfig),
+            jobs=1,
+            progress=progress,
+            checkpoint=ckpt,
+        )
     results = runner.run_seeds(list(shard.seeds))
 
     from repro.core.engine import get_default_backend

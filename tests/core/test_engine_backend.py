@@ -214,3 +214,38 @@ class TestOccupancyEviction:
         result = engine.run_round(launches)
         assert all(o.delivered for o in result.outcomes.values())
         assert len(captured["occupancy"]) <= 2
+
+
+class TestFork:
+    """``fork()``: a clone sharing precomputed layout, not metrics."""
+
+    def _engine(self, **kwargs):
+        return RoutingEngine(
+            _chain_worms(3), CollisionRule.SERVE_FIRST, **kwargs
+        )
+
+    def test_fork_inherits_metrics_by_default(self):
+        registry = MetricsRegistry()
+        parent = self._engine(metrics=registry)
+        assert parent.fork()._metrics is registry
+
+    def test_fork_overrides_metrics(self):
+        parent = self._engine(metrics=MetricsRegistry())
+        mine = MetricsRegistry()
+        clone = parent.fork(metrics=mine)
+        assert clone._metrics is mine
+        clone2 = parent.fork(metrics=None)
+        assert clone2._metrics is None
+
+    def test_fork_rounds_bit_identical(self):
+        launches = [Launch(worm=i, delay=i, wavelength=0) for i in range(3)]
+        parent = self._engine(backend="vectorized")
+        clone = parent.fork()
+        assert clone.run_round(launches) == parent.run_round(launches)
+
+    def test_fork_registration_does_not_leak_to_parent(self):
+        parent = self._engine()
+        clone = parent.fork()
+        clone._register(Worm(uid=99, path=(0, 1), length=1))
+        assert 99 in clone._worms
+        assert 99 not in parent._worms

@@ -314,3 +314,42 @@ class TestReportObservability:
         )
         assert code == 2
         assert "parent directory" in capsys.readouterr().err
+
+
+class TestBackendFlagRegistry:
+    """Every --backend flag derives its choices from the engine registry."""
+
+    @staticmethod
+    def _backend_actions(parser):
+        import argparse
+
+        found, stack, seen = [], [parser], set()
+        while stack:
+            p = stack.pop()
+            if id(p) in seen:
+                continue
+            seen.add(id(p))
+            for action in p._actions:
+                if isinstance(action, argparse._SubParsersAction):
+                    stack.extend(action.choices.values())
+                elif ("--backend" in action.option_strings
+                      and action.dest == "backend"):
+                    found.append(action)
+        return found
+
+    def test_choices_match_engine_registry_everywhere(self):
+        from repro.core.engine import BACKENDS
+
+        actions = self._backend_actions(build_parser())
+        # run, demo, faults sweep/replay, scenario subcommands, sweep run...
+        assert len(actions) >= 5
+        for action in actions:
+            assert tuple(action.choices) == BACKENDS
+
+    def test_batched_run_smoke(self, capsys):
+        assert main(
+            ["run", "e_pred", "--trials", "2", "--seed", "1",
+             "--backend", "batched"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "done in" in out

@@ -159,7 +159,9 @@ class TestRepoSeries:
             }
             assert sample["cpu_count"] >= 1
             assert "git_rev" in sample and "python" in sample
-            assert sample.get("backend", "python") in ("python", "vectorized")
+            from repro.core.engine import BACKENDS
+
+            assert sample.get("backend", "python") in BACKENDS
 
 
 class TestLedgerRecording:

@@ -184,7 +184,44 @@ class TestCompare:
                 [_series_sample("python"), _series_sample("vectorized")]
             ),
         )
-        deltas = compare_benchmarks(base, cand)
+        with pytest.warns(RuntimeWarning, match="vectorized"):
+            deltas = compare_benchmarks(base, cand)
+        assert [d.backend for d in deltas] == ["python"]
+
+    def test_skipped_backends_warn_with_names_and_side(self, tmp_path):
+        base = _write(
+            tmp_path,
+            "a.json",
+            _series_payload(
+                [_series_sample("python"), _series_sample("batched")]
+            ),
+        )
+        cand = _write(
+            tmp_path,
+            "b.json",
+            _series_payload(
+                [_series_sample("python"), _series_sample("vectorized")]
+            ),
+        )
+        with pytest.warns(RuntimeWarning) as caught:
+            deltas = compare_benchmarks(base, cand)
+        assert [d.backend for d in deltas] == ["python"]
+        messages = [str(w.message) for w in caught]
+        assert any("batched" in m and "baseline" in m for m in messages)
+        assert any("vectorized" in m and "candidate" in m for m in messages)
+
+    def test_shared_backends_do_not_warn(self, tmp_path):
+        import warnings as warnings_mod
+
+        base = _write(
+            tmp_path, "a.json", _series_payload([_series_sample("python")])
+        )
+        cand = _write(
+            tmp_path, "b.json", _series_payload([_series_sample("python")])
+        )
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            deltas = compare_benchmarks(base, cand)
         assert [d.backend for d in deltas] == ["python"]
 
     def test_no_shared_backends_raises(self, tmp_path):

@@ -196,3 +196,58 @@ class TestGroupedStatsApi:
         for fields in snap.values():
             assert list(fields) == sorted(fields)
         json.dumps(snap)  # must not raise
+
+
+class TestTagTieBreak:
+    """A tag *tie* must not make the retained sample order-dependent.
+
+    Keep-smallest retention orders entries by the full ``(tag, value)``
+    tuple; comparing the tag alone dropped a smaller-valued entry that
+    tied the current tail's tag, so the sample depended on the order
+    observations (or shard snapshots) arrived. Forced collisions via a
+    monkeypatched ``_tag`` pin the fix.
+    """
+
+    COLLIDING = {"a": "t1", "b": "t2", "c": "t2", "d": "t3"}
+    OBS = [("a", 5.0), ("b", 9.0), ("c", 1.0), ("d", 2.0)]
+
+    @pytest.fixture()
+    def forced_tags(self, monkeypatch):
+        import repro.observability.groupstats as gs
+
+        monkeypatch.setattr(
+            gs, "_tag", lambda salt, uid, value: self.COLLIDING[uid]
+        )
+
+    def test_tie_loses_to_smaller_value_when_full(self, forced_tags):
+        res = Reservoir(cap=2)
+        res.observe(5.0, "a")  # tag t1
+        res.observe(9.0, "b")  # tag t2 -- full: [(t1, 5.0), (t2, 9.0)]
+        res.observe(1.0, "c")  # tag t2 ties the tail; value 1.0 wins
+        assert res._sample == [("t1", 5.0), ("t2", 1.0)]
+
+    def test_observation_order_cannot_change_sample(self, forced_tags):
+        import itertools
+
+        samples = set()
+        for perm in itertools.permutations(self.OBS):
+            res = Reservoir(cap=2)
+            for uid, v in perm:
+                res.observe(v, uid)
+            samples.add(tuple(res._sample))
+        assert samples == {(("t1", 5.0), ("t2", 1.0))}
+
+    def test_merge_order_bit_identical_across_shard_splits(self, forced_tags):
+        merged = set()
+        for split in range(1, len(self.OBS)):
+            for order in ((0, 1), (1, 0)):
+                shards = [Reservoir(cap=2), Reservoir(cap=2)]
+                for uid, v in self.OBS[:split]:
+                    shards[0].observe(v, uid)
+                for uid, v in self.OBS[split:]:
+                    shards[1].observe(v, uid)
+                total = Reservoir(cap=2)
+                for i in order:
+                    total.merge(shards[i].snapshot())
+                merged.add(tuple(total._sample))
+        assert merged == {(("t1", 5.0), ("t2", 1.0))}

@@ -12,7 +12,7 @@ recorder stream and a replay cross-check of vectorized traces.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.engine import RoutingEngine
+from repro.core.engine import RoundCall, RoutingEngine, run_round_batch
 from repro.core.reference import reference_run_round
 from repro.observability.analysis import verify_replay
 from repro.observability.flightrec import FlightRecorder
@@ -92,13 +92,35 @@ def _round(worms, launches, rule, tie_rule, backend, dead_links=(),
     )
 
 
+def _batch_round(worms, launches, rule, tie_rule, dead_links=(),
+                 recorder=None):
+    """One round through the batch kernel (a singleton batch)."""
+    engine = RoutingEngine(worms, rule, tie_rule, backend="batched")
+    call = RoundCall(
+        engine=engine,
+        launches=launches,
+        collect_collisions=True,
+        dead_links=dead_links or None,
+        recorder=recorder,
+    )
+    [result] = run_round_batch([call])
+    return result
+
+
 def _compare(worms, launches, dead_links, rule, tie_rule):
     py = _round(worms, launches, rule, tie_rule, "python", dead_links)
     vec = _round(worms, launches, rule, tie_rule, "vectorized", dead_links)
+    bat = _round(worms, launches, rule, tie_rule, "batched", dead_links)
+    kern = _batch_round(worms, launches, rule, tie_rule, dead_links)
     # Full structural equality: outcomes (including blocker identities),
-    # the collision event sequence in order, makespan, faulted links.
+    # the collision event sequence in order, makespan, faulted links --
+    # three-way across backends, plus the stacked batch kernel itself.
     assert py == vec, (py, vec)
+    assert py == bat, (py, bat)
+    assert py == kern, (py, kern)
     assert py.faulted_links == vec.faulted_links
+    assert py.faulted_links == bat.faulted_links
+    assert py.faulted_links == kern.faulted_links
 
 
 class TestBackendBitIdentity:
@@ -164,17 +186,23 @@ class TestRecorderStream:
     def test_flight_records_bit_identical(self, inst):
         worms, launches, dead_links = inst
         streams = []
-        for backend in ("python", "vectorized"):
+        for backend in ("python", "vectorized", "batched", "batch-kernel"):
             collector = _Collector()
             fr = FlightRecorder(collector)
             fr.describe_worms(worms)
             fr.begin_round(1)
-            result = _round(worms, launches, CollisionRule.SERVE_FIRST,
-                            TieRule.ALL_LOSE, backend, dead_links,
-                            recorder=fr)
+            if backend == "batch-kernel":
+                result = _batch_round(worms, launches,
+                                      CollisionRule.SERVE_FIRST,
+                                      TieRule.ALL_LOSE, dead_links,
+                                      recorder=fr)
+            else:
+                result = _round(worms, launches, CollisionRule.SERVE_FIRST,
+                                TieRule.ALL_LOSE, backend, dead_links,
+                                recorder=fr)
             fr.end_round(result.makespan)
             streams.append(collector.records)
-        assert streams[0] == streams[1]
+        assert all(s == streams[0] for s in streams[1:])
 
     @given(instances())
     @settings(max_examples=75, deadline=None)
@@ -194,3 +222,74 @@ class TestRecorderStream:
         report = verify_replay(collector)
         assert report.rounds_checked == 1
         assert report.mismatches == ()
+
+
+class TestBatchKernelStacking:
+    """Many trials stacked into ONE ``run_round_batch`` call.
+
+    The batched backend's whole claim is that stacking K independent
+    rounds into one set of ``(trial, link, wavelength)``-keyed arrays
+    changes nothing: every trial's RoundResult -- and its recorder
+    stream -- must equal the same trial run alone through the scalar
+    engine.
+    """
+
+    @given(st.lists(instances(), min_size=2, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_stacked_rounds_bit_identical(self, insts):
+        for rule, tie_rule in RULES:
+            solo = [
+                _round(worms, launches, rule, tie_rule, "python", dead)
+                for worms, launches, dead in insts
+            ]
+            calls = [
+                RoundCall(
+                    engine=RoutingEngine(worms, rule, tie_rule,
+                                         backend="batched"),
+                    launches=launches,
+                    collect_collisions=True,
+                    dead_links=dead or None,
+                )
+                for worms, launches, dead in insts
+            ]
+            stacked = run_round_batch(calls)
+            for i, (a, b) in enumerate(zip(solo, stacked)):
+                assert a == b, (i, a, b)
+                assert a.faulted_links == b.faulted_links, i
+
+    @given(st.lists(instances(), min_size=2, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_stacked_recorder_streams_bit_identical(self, insts):
+        solo_streams, stacked_streams = [], []
+        recorders = []
+        for worms, launches, dead in insts:
+            collector = _Collector()
+            fr = FlightRecorder(collector)
+            fr.describe_worms(worms)
+            fr.begin_round(1)
+            result = _round(worms, launches, CollisionRule.SERVE_FIRST,
+                            TieRule.ALL_LOSE, "python", dead, recorder=fr)
+            fr.end_round(result.makespan)
+            solo_streams.append(collector.records)
+
+            collector2 = _Collector()
+            fr2 = FlightRecorder(collector2)
+            fr2.describe_worms(worms)
+            fr2.begin_round(1)
+            recorders.append((fr2, collector2))
+        calls = [
+            RoundCall(
+                engine=RoutingEngine(worms, CollisionRule.SERVE_FIRST,
+                                     TieRule.ALL_LOSE, backend="batched"),
+                launches=launches,
+                collect_collisions=True,
+                dead_links=dead or None,
+                recorder=recorders[i][0],
+            )
+            for i, (worms, launches, dead) in enumerate(insts)
+        ]
+        results = run_round_batch(calls)
+        for (fr2, collector2), result in zip(recorders, results):
+            fr2.end_round(result.makespan)
+            stacked_streams.append(collector2.records)
+        assert solo_streams == stacked_streams

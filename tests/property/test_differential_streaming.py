@@ -32,7 +32,7 @@ def drain_instances(draw):
                                  CollisionRule.PRIORITY]))
     fault_rate = draw(st.sampled_from([0.0, 0.05, 0.15]))
     backoff_after = draw(st.sampled_from([0, 2]))
-    backend = draw(st.sampled_from(["python", "vectorized"]))
+    backend = draw(st.sampled_from(["python", "vectorized", "batched"]))
 
     net = build_network({"kind": "mesh", "side": 3})
     rng = as_generator(seed)

@@ -66,3 +66,80 @@ class TestSeedForSeedDeterminism:
         assert [_fingerprint(r) for r in serial] == [
             _fingerprint(r) for r in pooled
         ]
+
+
+class TestBatchedBackendDispatch:
+    """backend="batched" switches the runner to seed-slice dispatch.
+
+    The results, the merged metrics (modulo run-dependent wall-clock
+    histogram values and runner-internal counters) and the checkpoint
+    journal must be bit-identical to the other backends / to serial
+    execution for any ``jobs``.
+    """
+
+    @staticmethod
+    def _strip(snapshot):
+        out = {}
+        for name, metric in snapshot.items():
+            if name.startswith("runner_"):
+                continue
+            if metric.get("kind") == "histogram":
+                out[name] = {
+                    k: v.get("count") for k, v in metric["values"].items()
+                }
+            else:
+                out[name] = metric["values"]
+        return out
+
+    def test_results_match_vectorized_for_any_jobs(self, collection):
+        base = route_collection_trials(
+            collection, bandwidth=2, trials=6, seed=11, jobs=1,
+            backend="vectorized",
+        )
+        for jobs in (1, 2, 3):
+            got = route_collection_trials(
+                collection, bandwidth=2, trials=6, seed=11, jobs=jobs,
+                backend="batched",
+            )
+            assert got == base, jobs
+
+    def test_merged_metrics_match_serial(self, collection):
+        from repro.observability.metrics import MetricsRegistry
+
+        serial = MetricsRegistry()
+        route_collection_trials(
+            collection, bandwidth=2, trials=6, seed=11, jobs=1,
+            backend="batched", metrics=serial,
+        )
+        pooled = MetricsRegistry()
+        route_collection_trials(
+            collection, bandwidth=2, trials=6, seed=11, jobs=2,
+            backend="batched", metrics=pooled,
+        )
+        assert self._strip(pooled.snapshot()) == self._strip(serial.snapshot())
+
+    def test_checkpoint_bytes_match_across_jobs(self, collection, tmp_path):
+        a, b = tmp_path / "serial.json", tmp_path / "pooled.json"
+        serial = route_collection_trials(
+            collection, bandwidth=2, trials=5, seed=4, jobs=1,
+            backend="batched", checkpoint=a,
+        )
+        pooled = route_collection_trials(
+            collection, bandwidth=2, trials=5, seed=4, jobs=2,
+            backend="batched", checkpoint=b,
+        )
+        assert serial == pooled
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_faulty_config_still_bit_identical(self, collection):
+        kwargs = dict(
+            bandwidth=2, trials=4, seed=17, fault_rate=0.05,
+            repair="reroute",
+        )
+        base = route_collection_trials(
+            collection, jobs=1, backend="vectorized", **kwargs
+        )
+        got = route_collection_trials(
+            collection, jobs=2, backend="batched", **kwargs
+        )
+        assert got == base

@@ -56,7 +56,7 @@ def _assert_drain_matches_static(proto, coll, seed=77):
 
 
 class TestDrainModeEquivalence:
-    @pytest.mark.parametrize("backend", ["python", "vectorized"])
+    @pytest.mark.parametrize("backend", ["python", "vectorized", "batched"])
     def test_bit_identical_to_static_protocol(self, backend):
         _, coll, _ = _backlog_collection(n_worms=28)
         proto = ProtocolConfig(
@@ -64,7 +64,7 @@ class TestDrainModeEquivalence:
         )
         _assert_drain_matches_static(proto, coll)
 
-    @pytest.mark.parametrize("backend", ["python", "vectorized"])
+    @pytest.mark.parametrize("backend", ["python", "vectorized", "batched"])
     def test_bit_identical_under_faults_and_backoff(self, backend):
         _, coll, _ = _backlog_collection(n_worms=20)
         proto = ProtocolConfig(

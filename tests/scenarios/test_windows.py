@@ -45,7 +45,7 @@ def _run(config, seed=11, network=None, **engine_kwargs):
 
 
 class TestDifferentialIdentity:
-    @pytest.mark.parametrize("backend", ["python", "vectorized"])
+    @pytest.mark.parametrize("backend", ["python", "vectorized", "batched"])
     def test_windowed_run_is_bit_identical(self, backend):
         """snapshot_every= must consume zero run RNG on either backend."""
         try:

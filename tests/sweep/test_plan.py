@@ -114,3 +114,40 @@ class TestBuildCollection:
     def test_missing_kind_refused(self):
         with pytest.raises(SweepError, match="'kind'"):
             build_collection({"side": 3})
+
+
+class TestBackendValidation:
+    def test_known_backends_accepted(self):
+        from repro.core.engine import BACKENDS
+
+        for backend in (None, *BACKENDS):
+            SweepConfig(backend=backend)
+
+    def test_unknown_backend_refused(self):
+        with pytest.raises(SweepError, match="unknown backend"):
+            SweepConfig(backend="cuda")
+
+
+class TestBatchedShardExecution:
+    def test_shard_results_match_vectorized_up_to_label(self, tmp_path):
+        import json
+
+        from repro.sweep.worker import execute_shard
+
+        def run(backend, where):
+            plan = SweepPlan(
+                configs=[SweepConfig(trials=5, backend=backend)],
+                shard_size=3,
+            )
+            out = []
+            for shard_index in range(len(plan.shards())):
+                result = execute_shard(plan, shard_index, where)
+                result.pop("plan")  # digests differ: backend is in them
+                out.append(
+                    json.dumps(result, sort_keys=True).replace(backend, "X")
+                )
+            return out
+
+        assert run("vectorized", tmp_path / "v") == run(
+            "batched", tmp_path / "b"
+        )
